@@ -1,0 +1,27 @@
+//! Criterion microbench: lookup-table construction — Algorithm 1 dynamic
+//! programming vs brute-force `M_µ · x` (the Eq. 6 `T_c,dp` vs `T_c,mm`
+//! ablation). Expected: DP wins by ≈µ× at every µ.
+
+use biq_matrix::MatrixRng;
+use biqgemm_core::lut::{build_lut_bruteforce, build_lut_dp};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_lut_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lut_build");
+    let mut g = MatrixRng::seed_from(0x10f);
+    for mu in [4usize, 8, 12] {
+        let x = g.gaussian_vec(mu);
+        let mut out = vec![0.0f32; 1 << mu];
+        group.bench_with_input(BenchmarkId::new("dp", mu), &mu, |b, _| {
+            b.iter(|| build_lut_dp(black_box(&x), black_box(&mut out)));
+        });
+        group.bench_with_input(BenchmarkId::new("bruteforce", mu), &mu, |b, _| {
+            b.iter(|| build_lut_bruteforce(black_box(&x), black_box(&mut out)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lut_build);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench: end-to-end Transformer-base encoder-layer inference,
+//! fp32 vs BiQGEMM-quantized backends (the deployment-level payoff).
+
+use biq_matrix::MatrixRng;
+use biq_nn::linear::QuantMethod;
+use biq_nn::transformer::{EncoderLayer, LayerBackend};
+use biqgemm_core::BiqConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_encoder_layer(c: &mut Criterion) {
+    let d_model = 512;
+    let d_ff = 2048;
+    let heads = 8;
+    let seq = 18; // average sub-words per sentence (paper Table II)
+    let x = MatrixRng::seed_from(0xd0c).gaussian_col(d_model, seq, 0.0, 1.0);
+    let mut group = c.benchmark_group("encoder_layer_base_seq18");
+    group.sample_size(10);
+
+    let fp = {
+        let mut g = MatrixRng::seed_from(0xbe1);
+        EncoderLayer::random(&mut g, d_model, d_ff, heads, LayerBackend::Fp32 { parallel: false })
+    };
+    group.bench_function("fp32", |b| b.iter(|| black_box(fp.forward(black_box(&x)))));
+
+    for bits in [1usize, 2, 3] {
+        let layer = {
+            let mut g = MatrixRng::seed_from(0xbe1);
+            EncoderLayer::random(
+                &mut g,
+                d_model,
+                d_ff,
+                heads,
+                LayerBackend::Biq {
+                    bits,
+                    method: QuantMethod::Greedy,
+                    cfg: BiqConfig::default(),
+                    parallel: false,
+                },
+            )
+        };
+        group.bench_function(format!("biqgemm_{bits}bit"), |b| {
+            b.iter(|| black_box(layer.forward(black_box(&x))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoder_layer);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench: offline quantization cost (greedy vs alternating) and
+//! key-matrix packing throughput.
+
+use biq_matrix::MatrixRng;
+use biq_quant::alternating::alternating_quantize_matrix_rowwise;
+use biq_quant::greedy_quantize_matrix_rowwise;
+use biq_quant::packing::KeyMatrix;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_quantizers(c: &mut Criterion) {
+    let mut g = MatrixRng::seed_from(0x9a7);
+    let w = g.gaussian(512, 512, 0.0, 1.0);
+    let mut group = c.benchmark_group("quantize_512x512");
+    group.sample_size(10);
+    for bits in [1usize, 3] {
+        group.bench_with_input(BenchmarkId::new("greedy", bits), &bits, |b, &bits| {
+            b.iter(|| black_box(greedy_quantize_matrix_rowwise(black_box(&w), bits)));
+        });
+        group.bench_with_input(BenchmarkId::new("alternating", bits), &bits, |b, &bits| {
+            b.iter(|| black_box(alternating_quantize_matrix_rowwise(black_box(&w), bits, 5)));
+        });
+    }
+    group.finish();
+
+    let signs = g.signs(2048, 2048);
+    let mut group = c.benchmark_group("pack_keys_2kx2k");
+    group.sample_size(20);
+    for mu in [4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("mu", mu), &mu, |b, &mu| {
+            b.iter(|| black_box(KeyMatrix::pack(black_box(&signs), mu)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_quantizers);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion microbench: the query/accumulate kernel under the two LUT
+//! layouts (Fig. 6 ablation — KeyMajor should win for batched inputs).
+
+use biq_bench::workloads::binary_workload;
+use biqgemm_core::config::{BiqConfig, LutLayout};
+use biqgemm_core::BiqGemm;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_query_layouts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_layout");
+    group.sample_size(20);
+    let (m, n) = (2048, 1024);
+    for b in [1usize, 32] {
+        let w = binary_workload(m, n, b);
+        for (name, layout) in
+            [("key_major", LutLayout::KeyMajor), ("batch_major", LutLayout::BatchMajor)]
+        {
+            let engine =
+                BiqGemm::from_signs(&w.signs, BiqConfig { layout, ..BiqConfig::default() });
+            group.bench_with_input(BenchmarkId::new(name, b), &b, |bch, _| {
+                bch.iter(|| black_box(engine.matmul(black_box(&w.x))));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_simd_toggle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_simd");
+    group.sample_size(20);
+    let (m, n, b) = (2048, 1024, 32);
+    let w = binary_workload(m, n, b);
+    for (name, simd) in [("avx2_dispatch", true), ("forced_scalar", false)] {
+        let engine = BiqGemm::from_signs(&w.signs, BiqConfig { simd, ..BiqConfig::default() });
+        group.bench_function(name, |bch| {
+            bch.iter(|| black_box(engine.matmul(black_box(&w.x))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_layouts, bench_simd_toggle);
+criterion_main!(benches);

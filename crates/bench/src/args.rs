@@ -1,0 +1,88 @@
+//! Minimal flag parsing shared by the experiment binaries.
+//!
+//! Every binary accepts:
+//!
+//! * `--quick` — shrink sweeps/repetitions for smoke testing;
+//! * `--csv` — emit CSV instead of an aligned table;
+//! * `--threads N` — pin the rayon pool size (default: all cores).
+
+/// Parsed common flags.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CommonArgs {
+    /// Reduced problem sizes / repetitions.
+    pub quick: bool,
+    /// CSV output.
+    pub csv: bool,
+    /// Requested rayon threads (`None` = library default).
+    pub threads: Option<usize>,
+}
+
+/// Parses `std::env::args`, ignoring unknown flags (binaries may add their
+/// own on top).
+pub fn parse() -> CommonArgs {
+    parse_from(std::env::args().skip(1))
+}
+
+/// Parses from an explicit iterator (testable).
+pub fn parse_from(args: impl IntoIterator<Item = String>) -> CommonArgs {
+    let mut out = CommonArgs::default();
+    let mut iter = args.into_iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--quick" => out.quick = true,
+            "--csv" => out.csv = true,
+            "--threads" => {
+                out.threads = iter.next().and_then(|v| v.parse().ok());
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Builds a rayon pool of the requested size (or the default pool) and runs
+/// `f` inside it.
+pub fn with_pool<T: Send>(threads: Option<usize>, f: impl FnOnce() -> T + Send) -> T {
+    match threads {
+        Some(n) => rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()
+            .expect("failed to build rayon pool")
+            .install(f),
+        None => f(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flags() {
+        let a = parse_from(v(&["--quick", "--threads", "4", "--csv"]));
+        assert!(a.quick && a.csv);
+        assert_eq!(a.threads, Some(4));
+    }
+
+    #[test]
+    fn ignores_unknown() {
+        let a = parse_from(v(&["--whatever"]));
+        assert!(!a.quick && !a.csv && a.threads.is_none());
+    }
+
+    #[test]
+    fn missing_thread_count_is_none() {
+        let a = parse_from(v(&["--threads", "x"]));
+        assert_eq!(a.threads, None);
+    }
+
+    #[test]
+    fn with_pool_pins_thread_count() {
+        let n = with_pool(Some(2), rayon::current_num_threads);
+        assert_eq!(n, 2);
+    }
+}

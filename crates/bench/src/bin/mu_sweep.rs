@@ -1,0 +1,52 @@
+//! Ablation: empirical runtime vs LUT-unit µ, against the Eq. 9 model.
+//!
+//! The paper optimises µ analytically (`argmin_µ (2^µ + m)/(m·µ)`, ≈ 8 for
+//! its sizes) and confirms empirically. This sweep reproduces that check:
+//! for each µ we re-pack the weights, re-plan tiles so the LUT bank stays in
+//! cache, and time the serial kernel; the model column is Eq. 9's factor
+//! normalised to µ = 8.
+
+use biq_bench::args;
+use biq_bench::table::{fmt_f, Table};
+use biq_bench::timing::{auto_reps, measure};
+use biq_bench::workloads::binary_workload;
+use biqgemm_core::complexity::{eq9_factor, optimal_mu};
+use biqgemm_core::planner::{plan, DEFAULT_LUT_BUDGET_BYTES};
+use biqgemm_core::{BiqConfig, BiqGemm};
+use std::time::Duration;
+
+fn main() {
+    let a = args::parse();
+    let (m, n, b) = if a.quick { (1024, 1024, 32) } else { (4096, 1024, 32) };
+    let mus: Vec<usize> = if a.quick { vec![4, 6, 8, 10] } else { vec![2, 4, 6, 8, 10, 12] };
+    println!("µ sweep ablation: m = {m}, n = {n}, b = {b}, 1-bit weights, 1 thread");
+    println!("(model optimum for m = {m}: µ* = {})\n", optimal_mu(m));
+    let w = binary_workload(m, n, b);
+    let mut t = Table::new(&["µ", "runtime ms", "speedup vs µ=8", "Eq.9 model (rel)"]);
+    let mut baseline_ms = None;
+    let mut rows = Vec::new();
+    for &mu in &mus {
+        let planned = plan(m, n, b, DEFAULT_LUT_BUDGET_BYTES);
+        let cfg = BiqConfig { mu, ..planned };
+        let engine = BiqGemm::from_signs(&w.signs, cfg);
+        let reps = auto_reps(Duration::from_millis(250), 3, 15, || engine.matmul(&w.x));
+        let meas = measure(1, reps, || engine.matmul(&w.x));
+        if mu == 8 {
+            baseline_ms = Some(meas.median_ms());
+        }
+        rows.push((mu, meas.median_ms()));
+    }
+    let base = baseline_ms.unwrap_or(rows[rows.len() / 2].1);
+    let model_base = eq9_factor(m, 8);
+    for (mu, ms) in rows {
+        t.row(&[
+            mu.to_string(),
+            fmt_f(ms, 3),
+            fmt_f(base / ms, 2),
+            fmt_f(eq9_factor(m, mu) / model_base, 2),
+        ]);
+    }
+    println!("{}", if a.csv { t.render_csv() } else { t.render() });
+    println!("Expected shape: runtime falls steeply from µ=2 to µ≈8 and flattens/regresses past");
+    println!("the model optimum as the table build (2^µ) and cache pressure take over.");
+}

@@ -1,0 +1,57 @@
+//! Convenience driver: regenerates every table/figure/ablation in sequence,
+//! teeing each experiment's output into `results/<name>.txt`.
+//!
+//! `cargo run --release -p biq-bench --bin run_all [-- --quick]`
+
+use std::io::Write as _;
+use std::path::Path;
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "table1_quant_quality",
+    "table2_memory",
+    "table3_machine",
+    "table4_runtime",
+    "fig8_profiling",
+    "fig9_unpack",
+    "fig10_speedup",
+    "mu_sweep",
+    "ablation_threads",
+    "ablation_int8",
+];
+
+fn main() {
+    let pass_args: Vec<String> = std::env::args().skip(1).collect();
+    let exe_dir = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(Path::to_path_buf))
+        .expect("cannot locate binary directory");
+    std::fs::create_dir_all("results").expect("create results/");
+    let mut failures = 0;
+    for name in EXPERIMENTS {
+        print!("running {name} ... ");
+        std::io::stdout().flush().ok();
+        let bin = exe_dir.join(name);
+        let out = Command::new(&bin).args(&pass_args).output();
+        match out {
+            Ok(o) if o.status.success() => {
+                let path = format!("results/{name}.txt");
+                std::fs::write(&path, &o.stdout).expect("write result");
+                println!("ok -> {path}");
+            }
+            Ok(o) => {
+                failures += 1;
+                println!("FAILED (exit {:?})", o.status.code());
+                eprintln!("{}", String::from_utf8_lossy(&o.stderr));
+            }
+            Err(e) => {
+                failures += 1;
+                println!("FAILED to launch: {e} (build with `cargo build --release -p biq-bench` first)");
+            }
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+    println!("\nall experiments regenerated under results/");
+}

@@ -1,0 +1,19 @@
+//! Shared harness for regenerating every table and figure of the BiQGEMM
+//! paper.
+//!
+//! Each experiment is a binary under `src/bin/` (see DESIGN.md §4 for the
+//! experiment index); this library provides the common pieces:
+//!
+//! * [`timing`] — median-of-k wall-clock measurement with warmup;
+//! * [`table`] — aligned markdown table rendering for stdout;
+//! * [`machine`] — host introspection (Table III);
+//! * [`workloads`] — seeded synthetic matrices ("synthetic matrices filled by
+//!   random numbers", paper Section IV-A);
+//! * [`args`] — the tiny flag parser shared by all binaries (`--quick`
+//!   shrinks sweeps for smoke testing).
+
+pub mod args;
+pub mod machine;
+pub mod table;
+pub mod timing;
+pub mod workloads;

@@ -1,0 +1,90 @@
+//! Host introspection — regenerates Table III ("Machine configurations used
+//! in Section IV") for the machine the harness actually runs on.
+
+use std::fs;
+
+/// What we can learn about the host.
+#[derive(Clone, Debug, Default)]
+pub struct MachineInfo {
+    /// CPU model string (from /proc/cpuinfo when available).
+    pub cpu_model: String,
+    /// Logical CPUs visible to the process.
+    pub logical_cpus: usize,
+    /// L1d cache size string, if readable.
+    pub l1d: Option<String>,
+    /// L2 cache size string, if readable.
+    pub l2: Option<String>,
+    /// L3 cache size string, if readable.
+    pub l3: Option<String>,
+    /// Total RAM in GiB, if readable.
+    pub ram_gib: Option<f64>,
+    /// OS description.
+    pub os: String,
+}
+
+fn read_trimmed(path: &str) -> Option<String> {
+    fs::read_to_string(path).ok().map(|s| s.trim().to_string()).filter(|s| !s.is_empty())
+}
+
+/// Collects host information (gracefully degrading on non-Linux).
+pub fn detect() -> MachineInfo {
+    let cpu_model = fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|v| v.trim().to_string())
+        })
+        .unwrap_or_else(|| std::env::consts::ARCH.to_string());
+    let logical_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cache = |index: usize| -> Option<String> {
+        read_trimmed(&format!("/sys/devices/system/cpu/cpu0/cache/index{index}/size"))
+    };
+    // index0 = L1d, index2 = L2, index3 = L3 on typical x86 topologies; check
+    // the level file to be safe.
+    let cache_by_level = |level: &str, want_data: bool| -> Option<String> {
+        for i in 0..5 {
+            let lv = read_trimmed(&format!("/sys/devices/system/cpu/cpu0/cache/index{i}/level"));
+            let ty = read_trimmed(&format!("/sys/devices/system/cpu/cpu0/cache/index{i}/type"));
+            if lv.as_deref() == Some(level) {
+                if want_data && ty.as_deref() == Some("Instruction") {
+                    continue;
+                }
+                return cache(i);
+            }
+        }
+        None
+    };
+    let ram_gib = fs::read_to_string("/proc/meminfo").ok().and_then(|s| {
+        s.lines().find(|l| l.starts_with("MemTotal")).and_then(|l| {
+            l.split_whitespace()
+                .nth(1)
+                .and_then(|kb| kb.parse::<f64>().ok())
+                .map(|kb| kb / (1024.0 * 1024.0))
+        })
+    });
+    let os = format!("{} {}", std::env::consts::OS, std::env::consts::ARCH);
+    MachineInfo {
+        cpu_model,
+        logical_cpus,
+        l1d: cache_by_level("1", true),
+        l2: cache_by_level("2", false),
+        l3: cache_by_level("3", false),
+        ram_gib,
+        os,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detect_reports_positive_cpus() {
+        let m = detect();
+        assert!(m.logical_cpus >= 1);
+        assert!(!m.cpu_model.is_empty());
+        assert!(!m.os.is_empty());
+    }
+}

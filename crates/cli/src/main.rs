@@ -1,0 +1,140 @@
+//! `biq` — the BiQGEMM deployment pipeline on files. See `biq help`.
+
+use biq_cli::{cmd_gen, cmd_info, cmd_matmul, cmd_pack, cmd_quantize, CliError};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const HELP: &str = "\
+biq — BiQGEMM artifact pipeline
+
+USAGE:
+  biq gen      --rows M --cols N [--seed S] [--std V] [--col] OUT
+  biq quantize --bits B [--alternating] IN OUT
+  biq pack     --mu U IN OUT
+  biq matmul   --weights W --input X --output Y [--parallel]
+  biq info     FILE
+  biq help
+
+ARTIFACTS:
+  .biqm  dense matrix (row-major weights / col-major activations)
+  .biqq  multi-bit binary-coding quantized matrix
+  .biqw  packed BiQGEMM weights (key matrix + per-row scales)
+";
+
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Self {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = raw.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = match it.peek() {
+                    Some(v) if !v.starts_with("--") => Some(it.next().unwrap().clone()),
+                    _ => None,
+                };
+                flags.push((name.to_string(), value));
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Self { positional, flags }
+    }
+
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn usize_flag(&self, name: &str) -> Result<usize, CliError> {
+        self.flag(name)
+            .ok_or_else(|| CliError(format!("missing --{name}")))?
+            .parse()
+            .map_err(|_| CliError(format!("--{name} must be an integer")))
+    }
+}
+
+fn run() -> Result<(), CliError> {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = raw.first().cloned() else {
+        println!("{HELP}");
+        return Ok(());
+    };
+    let args = Args::parse(&raw[1..]);
+    match cmd.as_str() {
+        "gen" => {
+            let rows = args.usize_flag("rows")?;
+            let cols = args.usize_flag("cols")?;
+            let seed = args.flag("seed").map_or(Ok(0u64), |s| {
+                s.parse().map_err(|_| CliError("--seed must be an integer".into()))
+            })?;
+            let std: f32 = args.flag("std").map_or(Ok(1.0f32), |s| {
+                s.parse().map_err(|_| CliError("--std must be a float".into()))
+            })?;
+            let out = positional_path(&args, 0, "output path")?;
+            cmd_gen(rows, cols, seed, std, args.has("col"), &out)?;
+            println!("wrote {rows}x{cols} matrix to {}", out.display());
+        }
+        "quantize" => {
+            let bits = args.usize_flag("bits")?;
+            let input = positional_path(&args, 0, "input path")?;
+            let out = positional_path(&args, 1, "output path")?;
+            cmd_quantize(&input, bits, args.has("alternating"), &out)?;
+            println!("quantized {} -> {} ({bits} bits)", input.display(), out.display());
+        }
+        "pack" => {
+            let mu = args.usize_flag("mu")?;
+            let input = positional_path(&args, 0, "input path")?;
+            let out = positional_path(&args, 1, "output path")?;
+            cmd_pack(&input, mu, &out)?;
+            println!("packed {} -> {} (µ = {mu})", input.display(), out.display());
+        }
+        "matmul" => {
+            let weights = flag_path(&args, "weights")?;
+            let input = flag_path(&args, "input")?;
+            let output = flag_path(&args, "output")?;
+            let (m, b) = cmd_matmul(&weights, &input, &output, args.has("parallel"))?;
+            println!("wrote {m}x{b} output to {}", output.display());
+        }
+        "info" => {
+            let path = positional_path(&args, 0, "file path")?;
+            println!("{}", cmd_info(&path)?);
+        }
+        "help" | "--help" | "-h" => println!("{HELP}"),
+        other => return Err(CliError(format!("unknown command '{other}'\n\n{HELP}"))),
+    }
+    Ok(())
+}
+
+fn positional_path(args: &Args, idx: usize, what: &str) -> Result<PathBuf, CliError> {
+    args.positional
+        .get(idx)
+        .map(PathBuf::from)
+        .ok_or_else(|| CliError(format!("missing {what}")))
+}
+
+fn flag_path(args: &Args, name: &str) -> Result<PathBuf, CliError> {
+    args.flag(name)
+        .map(PathBuf::from)
+        .ok_or_else(|| CliError(format!("missing --{name}")))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

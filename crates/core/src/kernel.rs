@@ -1,0 +1,150 @@
+//! The user-facing BiQGEMM engine.
+//!
+//! [`BiqGemm`] owns packed weights plus a configuration and exposes
+//! GEMM/GEMV entry points. Weights are packed **once** (the key matrix is
+//! what a deployment ships — paper footnote 3: "matrix K instead of B can be
+//! loaded in advance"); every `matmul` builds its lookup tables on the fly
+//! from the incoming activations.
+
+use crate::config::BiqConfig;
+use crate::parallel::biqgemm_parallel;
+use crate::profile::PhaseProfile;
+use crate::tiled::{biqgemm_tiled, biqgemv_tiled};
+use crate::weights::BiqWeights;
+use biq_matrix::{ColMatrix, Matrix, SignMatrix};
+use biq_quant::MultiBitMatrix;
+
+/// A ready-to-run BiQGEMM operator for one weight matrix.
+#[derive(Clone, Debug)]
+pub struct BiqGemm {
+    weights: BiqWeights,
+    cfg: BiqConfig,
+}
+
+impl BiqGemm {
+    /// Packs multi-bit quantized weights under `cfg` (keys use `cfg.mu`).
+    pub fn new(quant: &MultiBitMatrix, cfg: BiqConfig) -> Self {
+        cfg.validate();
+        Self { weights: BiqWeights::from_multibit(quant, cfg.mu), cfg }
+    }
+
+    /// Packs a raw sign matrix with unit scales (the paper's runtime
+    /// experiments: pure binary `Y = B·X`).
+    pub fn from_signs(signs: &SignMatrix, cfg: BiqConfig) -> Self {
+        cfg.validate();
+        Self { weights: BiqWeights::from_signs_unscaled(signs, cfg.mu), cfg }
+    }
+
+    /// Wraps pre-packed weights.
+    ///
+    /// # Panics
+    /// Panics if the weights were packed with a different µ than `cfg.mu`.
+    pub fn from_weights(weights: BiqWeights, cfg: BiqConfig) -> Self {
+        cfg.validate();
+        assert_eq!(weights.mu(), cfg.mu, "weights were packed with a different µ");
+        Self { weights, cfg }
+    }
+
+    /// The packed weights.
+    pub fn weights(&self) -> &BiqWeights {
+        &self.weights
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &BiqConfig {
+        &self.cfg
+    }
+
+    /// Output size `m`.
+    pub fn output_size(&self) -> usize {
+        self.weights.output_size()
+    }
+
+    /// Input size `n`.
+    pub fn input_size(&self) -> usize {
+        self.weights.input_size()
+    }
+
+    /// Serial `Y = Σ_p α_p ∘ (B_p · X)`.
+    pub fn matmul(&self, x: &ColMatrix) -> Matrix {
+        let mut profile = PhaseProfile::new();
+        biqgemm_tiled(&self.weights, x, &self.cfg, &mut profile)
+    }
+
+    /// Serial matmul with phase accounting (Fig. 8).
+    pub fn matmul_profiled(&self, x: &ColMatrix, profile: &mut PhaseProfile) -> Matrix {
+        biqgemm_tiled(&self.weights, x, &self.cfg, profile)
+    }
+
+    /// Multi-threaded matmul on the ambient rayon pool, using
+    /// `cfg.schedule`.
+    pub fn matmul_parallel(&self, x: &ColMatrix) -> Matrix {
+        biqgemm_parallel(&self.weights, x, &self.cfg)
+    }
+
+    /// Single-vector product `y = Σ_p α_p ∘ (B_p · x)`.
+    pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        biqgemv_tiled(&self.weights, x, &self.cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biq_matrix::{assert_allclose, MatrixRng};
+    use biq_quant::greedy_quantize_matrix_rowwise;
+
+    #[test]
+    fn engine_round_trip_matches_dequantized_reference() {
+        let mut g = MatrixRng::seed_from(240);
+        let wf = g.gaussian(48, 96, 0.0, 1.0);
+        let x = g.gaussian_col(96, 8, 0.0, 1.0);
+        let q = greedy_quantize_matrix_rowwise(&wf, 2);
+        let engine = BiqGemm::new(&q, BiqConfig::default());
+        let y = engine.matmul(&x);
+        let y_ref = biq_gemm::gemm_naive(&q.dequantize(), &x);
+        assert_allclose(&y, &y_ref, 1e-4, 1e-4);
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_bit_exactly_on_ints() {
+        let mut g = MatrixRng::seed_from(241);
+        let signs = g.signs(70, 120);
+        let x = g.small_int_col(120, 10, 2);
+        let engine = BiqGemm::from_signs(&signs, BiqConfig::default());
+        assert_eq!(
+            engine.matmul(&x).as_slice(),
+            engine.matmul_parallel(&x).as_slice()
+        );
+    }
+
+    #[test]
+    fn matvec_matches_matmul_single_column() {
+        let mut g = MatrixRng::seed_from(242);
+        let signs = g.signs(20, 30);
+        let xv: Vec<f32> = (0..30).map(|i| (i % 5) as f32 - 2.0).collect();
+        let engine = BiqGemm::from_signs(&signs, BiqConfig::default());
+        let x = ColMatrix::from_column(xv.clone());
+        assert_eq!(engine.matvec(&xv), engine.matmul(&x).into_vec());
+    }
+
+    #[test]
+    fn accessors_report_logical_shape() {
+        let mut g = MatrixRng::seed_from(243);
+        let wf = g.gaussian(10, 20, 0.0, 1.0);
+        let q = greedy_quantize_matrix_rowwise(&wf, 3);
+        let engine = BiqGemm::new(&q, BiqConfig::with_mu(4));
+        assert_eq!(engine.output_size(), 10);
+        assert_eq!(engine.input_size(), 20);
+        assert_eq!(engine.weights().bits(), 3);
+        assert_eq!(engine.config().mu, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "different µ")]
+    fn mu_mismatch_rejected() {
+        let signs = SignMatrix::ones(2, 8);
+        let w = BiqWeights::from_signs_unscaled(&signs, 4);
+        let _ = BiqGemm::from_weights(w, BiqConfig::with_mu(8));
+    }
+}

@@ -1,0 +1,448 @@
+//! Lookup-table banks: storage + layout for the live tables of one tile.
+//!
+//! A bank holds the tables for `num_chunks` consecutive input chunks ×
+//! `nb` consecutive batch columns. Every chunk gets a full `2^µ`-entry
+//! stride even when its sub-vector is ragged (`L < µ`), keeping addressing
+//! uniform; only the first `2^L` entries are meaningful.
+//!
+//! Two layouts (see [`LutLayout`]):
+//!
+//! * **KeyMajor** (paper Fig. 6): `data[(c·2^µ + key)·nb + a]` — one lookup
+//!   yields a contiguous batch vector, so query accumulation vectorises.
+//!   Building scatters each freshly computed table across the batch stride —
+//!   that movement is charged to the **replace** phase.
+//! * **BatchMajor**: `data[(c·nb + a)·2^µ + key]` — tables are built in
+//!   place with zero scatter, but queries for `b > 1` gather.
+
+use crate::config::{LutBuildMethod, LutLayout};
+use crate::lut::{build_lut_bruteforce, build_lut_dp};
+use crate::profile::PhaseProfile;
+use biq_matrix::reshape::ChunkedInput;
+
+/// A reusable bank of lookup tables for one (chunk-tile × batch-tile).
+#[derive(Debug)]
+pub struct LutBank {
+    data: Vec<f32>,
+    scratch: Vec<f32>,
+    /// Per-chunk gathered DP step vectors (`µ × nb`), KeyMajor build only.
+    steps: Vec<f32>,
+    table: usize,
+    num_chunks: usize,
+    nb: usize,
+    layout: LutLayout,
+}
+
+impl LutBank {
+    /// Creates an empty bank for LUT-unit `mu` and layout `layout`.
+    pub fn new(mu: usize, layout: LutLayout) -> Self {
+        assert!((1..=16).contains(&mu), "µ must be in 1..=16");
+        Self {
+            data: Vec::new(),
+            scratch: vec![0.0; 1usize << mu],
+            steps: Vec::new(),
+            table: 1usize << mu,
+            num_chunks: 0,
+            nb: 0,
+            layout,
+        }
+    }
+
+    /// The layout of this bank.
+    #[inline]
+    pub fn layout(&self) -> LutLayout {
+        self.layout
+    }
+
+    /// Number of chunks currently resident.
+    #[inline]
+    pub fn num_chunks(&self) -> usize {
+        self.num_chunks
+    }
+
+    /// Batch columns currently resident.
+    #[inline]
+    pub fn batch(&self) -> usize {
+        self.nb
+    }
+
+    /// Builds tables for chunks `[chunk_start, chunk_start + num_chunks)` ×
+    /// batch columns `[batch_start, batch_start + nb)` of `input`,
+    /// overwriting the bank. Build arithmetic is charged to `profile.build`;
+    /// the KeyMajor scatter is charged to `profile.replace`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build(
+        &mut self,
+        input: &ChunkedInput<'_>,
+        chunk_start: usize,
+        num_chunks: usize,
+        batch_start: usize,
+        nb: usize,
+        method: LutBuildMethod,
+        profile: &mut PhaseProfile,
+    ) {
+        debug_assert!(chunk_start + num_chunks <= input.num_chunks());
+        debug_assert!(batch_start + nb <= input.batch());
+        self.num_chunks = num_chunks;
+        self.nb = nb;
+        let needed = num_chunks * self.table * nb;
+        if self.data.len() < needed {
+            self.data.resize(needed, 0.0);
+        }
+        for c in 0..num_chunks {
+            match self.layout {
+                LutLayout::BatchMajor => {
+                    for a in 0..nb {
+                        let sub = input.chunk(batch_start + a, chunk_start + c);
+                        let len = 1usize << sub.len();
+                        let off = (c * nb + a) * self.table;
+                        let dst = &mut self.data[off..off + len];
+                        profile.time_build(|| fill_table(method, sub, dst));
+                    }
+                }
+                LutLayout::KeyMajor => match method {
+                    LutBuildMethod::DynamicProgramming => {
+                        self.build_key_major_batched(
+                            input,
+                            chunk_start,
+                            c,
+                            batch_start,
+                            nb,
+                            profile,
+                        );
+                    }
+                    LutBuildMethod::Gemm => {
+                        // Brute-force path keeps the per-(chunk, batch)
+                        // scratch + scatter structure (it exists for the
+                        // ablation; the scatter is the replace phase).
+                        for a in 0..nb {
+                            let sub = input.chunk(batch_start + a, chunk_start + c);
+                            let len = 1usize << sub.len();
+                            let scratch = &mut self.scratch[..len];
+                            profile.time_build(|| fill_table(method, sub, scratch));
+                            let base = c * self.table * nb + a;
+                            let data = &mut self.data;
+                            let scratch = &self.scratch[..len];
+                            profile.time_replace(|| {
+                                for (k, &v) in scratch.iter().enumerate() {
+                                    data[base + k * nb] = v;
+                                }
+                            });
+                        }
+                    }
+                },
+            }
+        }
+    }
+
+    /// Batch-vectorised Algorithm 1 directly in the Fig. 6 layout: table
+    /// entries are contiguous `nb`-vectors, and the DP recurrence
+    /// (`q[2^t + j] = q[j] + 2·x_{L−1−t}`) becomes a vector add per entry.
+    /// The strided gather of sub-vector values across batch columns is the
+    /// residual "replace" (tiling data-movement) cost.
+    #[allow(clippy::too_many_arguments)]
+    fn build_key_major_batched(
+        &mut self,
+        input: &ChunkedInput<'_>,
+        chunk_start: usize,
+        c: usize,
+        batch_start: usize,
+        nb: usize,
+        profile: &mut PhaseProfile,
+    ) {
+        let l = input.chunk(batch_start, chunk_start + c).len();
+        debug_assert!(l >= 1);
+        let entries = 1usize << l;
+        // Gather phase (replace): steps[t][a] = 2·x_a[L−1−t], plus −Σx per
+        // batch column into entry 0.
+        let seg_base = c * self.table * nb;
+        if self.steps.len() < l.max(1) * nb {
+            self.steps.resize(l.max(1) * nb, 0.0);
+        }
+        let steps = &mut self.steps;
+        let data = &mut self.data;
+        profile.time_replace(|| {
+            for a in 0..nb {
+                let sub = input.chunk(batch_start + a, chunk_start + c);
+                let mut neg = 0.0f32;
+                for &v in sub {
+                    neg -= v;
+                }
+                data[seg_base + a] = neg;
+                for t in 0..l - 1 {
+                    steps[t * nb + a] = 2.0 * sub[l - 1 - t];
+                }
+            }
+        });
+        // DP fill (build): vector adds over contiguous nb-rows.
+        let seg = &mut data[seg_base..seg_base + entries * nb];
+        profile.time_build(|| {
+            for t in 0..l - 1 {
+                let rows = 1usize << t;
+                let (lo, hi) = seg.split_at_mut(rows * nb);
+                let step = &steps[t * nb..t * nb + nb];
+                for (dst, src) in hi[..rows * nb].chunks_exact_mut(nb).zip(lo.chunks_exact(nb)) {
+                    for ((d, &s), &st) in dst.iter_mut().zip(src).zip(step) {
+                        *d = s + st;
+                    }
+                }
+            }
+            // Mirror: upper-half row r (global index 2^{l−1}+r) is the
+            // negation of lower-half row 2^{l−1}−1−r.
+            let half = 1usize << (l - 1);
+            let (lo, hi) = seg.split_at_mut(half * nb);
+            for (r, dst) in hi.chunks_exact_mut(nb).enumerate() {
+                let src = &lo[(half - 1 - r) * nb..(half - r) * nb];
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    *d = -s;
+                }
+            }
+        });
+    }
+
+    /// KeyMajor: the contiguous batch vector for `(chunk_local, key)`.
+    ///
+    /// # Panics
+    /// Debug-panics when called on a BatchMajor bank.
+    #[inline]
+    pub fn entry_vec(&self, chunk_local: usize, key: u16) -> &[f32] {
+        debug_assert_eq!(self.layout, LutLayout::KeyMajor);
+        debug_assert!(chunk_local < self.num_chunks);
+        let off = (chunk_local * self.table + key as usize) * self.nb;
+        &self.data[off..off + self.nb]
+    }
+
+    /// BatchMajor: the scalar entry for `(chunk_local, batch_local, key)`.
+    #[inline]
+    pub fn entry(&self, chunk_local: usize, batch_local: usize, key: u16) -> f32 {
+        debug_assert_eq!(self.layout, LutLayout::BatchMajor);
+        self.data[(chunk_local * self.nb + batch_local) * self.table + key as usize]
+    }
+
+    /// BatchMajor: the contiguous `2^µ` table for `(chunk_local,
+    /// batch_local)` — the natural GEMV-style access.
+    #[inline]
+    pub fn table_slice(&self, chunk_local: usize, batch_local: usize) -> &[f32] {
+        debug_assert_eq!(self.layout, LutLayout::BatchMajor);
+        let off = (chunk_local * self.nb + batch_local) * self.table;
+        &self.data[off..off + self.table]
+    }
+
+    /// Single-batch gather: with `nb == 1` both layouts store entry
+    /// `(chunk c, key)` at `c·2^µ + key`; sums the entries selected by one
+    /// key row. Two-way unrolled so the independent gathers pipeline.
+    ///
+    /// # Panics
+    /// Debug-panics unless exactly one batch column is resident.
+    #[inline]
+    pub fn gather_scalar(&self, keys: &[u16]) -> f32 {
+        debug_assert_eq!(self.nb, 1);
+        debug_assert!(keys.len() <= self.num_chunks);
+        let table = self.table;
+        let data = &self.data[..self.num_chunks * table];
+        let mut acc = [0.0f32; 4];
+        let mut it = keys.chunks_exact(4);
+        let mut c = 0;
+        for quad in &mut it {
+            acc[0] += data[c * table + quad[0] as usize];
+            acc[1] += data[(c + 1) * table + quad[1] as usize];
+            acc[2] += data[(c + 2) * table + quad[2] as usize];
+            acc[3] += data[(c + 3) * table + quad[3] as usize];
+            c += 4;
+        }
+        let mut tail = 0.0f32;
+        for &k in it.remainder() {
+            tail += data[c * table + k as usize];
+            c += 1;
+        }
+        (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+    }
+
+    /// Bytes of live table data.
+    pub fn resident_bytes(&self) -> usize {
+        self.num_chunks * self.table * self.nb * 4
+    }
+}
+
+/// Unprofiled batch-vectorised DP fill of one chunk's tables directly in the
+/// KeyMajor layout — shared by [`LutBank`] and the parallel SharedLut
+/// builder. `seg` must span `2^µ · nb` floats; `steps` is caller scratch
+/// (resized as needed).
+pub(crate) fn fill_chunk_key_major_dp(
+    seg: &mut [f32],
+    steps: &mut Vec<f32>,
+    input: &ChunkedInput<'_>,
+    chunk: usize,
+    batch_start: usize,
+    nb: usize,
+) {
+    let l = input.chunk(batch_start, chunk).len();
+    let entries = 1usize << l;
+    if steps.len() < l.max(1) * nb {
+        steps.resize(l.max(1) * nb, 0.0);
+    }
+    for a in 0..nb {
+        let sub = input.chunk(batch_start + a, chunk);
+        let mut neg = 0.0f32;
+        for &v in sub {
+            neg -= v;
+        }
+        seg[a] = neg;
+        for t in 0..l - 1 {
+            steps[t * nb + a] = 2.0 * sub[l - 1 - t];
+        }
+    }
+    let seg = &mut seg[..entries * nb];
+    for t in 0..l - 1 {
+        let rows = 1usize << t;
+        let (lo, hi) = seg.split_at_mut(rows * nb);
+        let step = &steps[t * nb..t * nb + nb];
+        for (dst, src) in hi[..rows * nb].chunks_exact_mut(nb).zip(lo.chunks_exact(nb)) {
+            for ((d, &s), &st) in dst.iter_mut().zip(src).zip(step) {
+                *d = s + st;
+            }
+        }
+    }
+    let half = 1usize << (l - 1);
+    let (lo, hi) = seg.split_at_mut(half * nb);
+    for (r, dst) in hi.chunks_exact_mut(nb).enumerate() {
+        let src = &lo[(half - 1 - r) * nb..(half - r) * nb];
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d = -s;
+        }
+    }
+}
+
+#[inline]
+fn fill_table(method: LutBuildMethod, sub: &[f32], dst: &mut [f32]) {
+    match method {
+        LutBuildMethod::DynamicProgramming => build_lut_dp(sub, dst),
+        LutBuildMethod::Gemm => build_lut_bruteforce(sub, dst),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mmu::key_dot;
+    use biq_matrix::{ColMatrix, MatrixRng};
+
+    fn check_bank_contents(
+        bank: &LutBank,
+        input: &ChunkedInput<'_>,
+        chunk_start: usize,
+        batch_start: usize,
+    ) {
+        for c in 0..bank.num_chunks() {
+            for a in 0..bank.batch() {
+                let sub = input.chunk(batch_start + a, chunk_start + c);
+                for k in 0..(1usize << sub.len()) {
+                    let expected = key_dot(k as u16, sub);
+                    let got = match bank.layout() {
+                        LutLayout::KeyMajor => bank.entry_vec(c, k as u16)[a],
+                        LutLayout::BatchMajor => bank.entry(c, a, k as u16),
+                    };
+                    assert!(
+                        (got - expected).abs() < 1e-4,
+                        "layout {:?} chunk {c} batch {a} key {k}: {got} vs {expected}",
+                        bank.layout()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn both_layouts_hold_correct_tables() {
+        let mut g = MatrixRng::seed_from(220);
+        let x = g.gaussian_col(20, 5, 0.0, 1.0); // n=20, µ=4 -> 5 chunks
+        let input = ChunkedInput::new(&x, 4);
+        for layout in [LutLayout::KeyMajor, LutLayout::BatchMajor] {
+            let mut bank = LutBank::new(4, layout);
+            let mut prof = PhaseProfile::new();
+            bank.build(&input, 0, 5, 0, 5, LutBuildMethod::DynamicProgramming, &mut prof);
+            check_bank_contents(&bank, &input, 0, 0);
+        }
+    }
+
+    #[test]
+    fn partial_tile_with_offsets() {
+        let mut g = MatrixRng::seed_from(221);
+        let x = g.gaussian_col(24, 8, 0.0, 1.0);
+        let input = ChunkedInput::new(&x, 4); // 6 chunks
+        let mut bank = LutBank::new(4, LutLayout::KeyMajor);
+        let mut prof = PhaseProfile::new();
+        bank.build(&input, 2, 3, 5, 2, LutBuildMethod::DynamicProgramming, &mut prof);
+        assert_eq!(bank.num_chunks(), 3);
+        assert_eq!(bank.batch(), 2);
+        check_bank_contents(&bank, &input, 2, 5);
+    }
+
+    #[test]
+    fn ragged_tail_chunk_supported() {
+        let mut g = MatrixRng::seed_from(222);
+        let x = g.gaussian_col(10, 3, 0.0, 1.0); // µ=4: chunks of 4,4,2
+        let input = ChunkedInput::new(&x, 4);
+        for layout in [LutLayout::KeyMajor, LutLayout::BatchMajor] {
+            let mut bank = LutBank::new(4, layout);
+            let mut prof = PhaseProfile::new();
+            bank.build(&input, 0, 3, 0, 3, LutBuildMethod::DynamicProgramming, &mut prof);
+            check_bank_contents(&bank, &input, 0, 0);
+        }
+    }
+
+    #[test]
+    fn gemm_method_matches_dp() {
+        let mut g = MatrixRng::seed_from(223);
+        let x = g.small_int_col(16, 4, 4);
+        let input = ChunkedInput::new(&x, 4);
+        let mut dp = LutBank::new(4, LutLayout::KeyMajor);
+        let mut bf = LutBank::new(4, LutLayout::KeyMajor);
+        let mut prof = PhaseProfile::new();
+        dp.build(&input, 0, 4, 0, 4, LutBuildMethod::DynamicProgramming, &mut prof);
+        bf.build(&input, 0, 4, 0, 4, LutBuildMethod::Gemm, &mut prof);
+        for c in 0..4 {
+            for k in 0..16u16 {
+                assert_eq!(dp.entry_vec(c, k), bf.entry_vec(c, k));
+            }
+        }
+    }
+
+    #[test]
+    fn keymajor_charges_replace_batchmajor_does_not() {
+        let mut g = MatrixRng::seed_from(224);
+        let x = g.gaussian_col(64, 16, 0.0, 1.0);
+        let input = ChunkedInput::new(&x, 8);
+        let mut prof_km = PhaseProfile::new();
+        let mut km = LutBank::new(8, LutLayout::KeyMajor);
+        km.build(&input, 0, 8, 0, 16, LutBuildMethod::DynamicProgramming, &mut prof_km);
+        assert!(prof_km.replace > std::time::Duration::ZERO);
+        let mut prof_bm = PhaseProfile::new();
+        let mut bm = LutBank::new(8, LutLayout::BatchMajor);
+        bm.build(&input, 0, 8, 0, 16, LutBuildMethod::DynamicProgramming, &mut prof_bm);
+        assert_eq!(prof_bm.replace, std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn bank_reuse_shrinks_without_realloc_issue() {
+        let mut g = MatrixRng::seed_from(225);
+        let x = g.gaussian_col(32, 4, 0.0, 1.0);
+        let input = ChunkedInput::new(&x, 8);
+        let mut bank = LutBank::new(8, LutLayout::BatchMajor);
+        let mut prof = PhaseProfile::new();
+        bank.build(&input, 0, 4, 0, 4, LutBuildMethod::DynamicProgramming, &mut prof);
+        check_bank_contents(&bank, &input, 0, 0);
+        // Rebuild a smaller region; stale data beyond it must not matter.
+        bank.build(&input, 1, 2, 1, 2, LutBuildMethod::DynamicProgramming, &mut prof);
+        check_bank_contents(&bank, &input, 1, 1);
+    }
+
+    #[test]
+    fn resident_bytes_formula() {
+        let x = ColMatrix::zeros(16, 2);
+        let input = ChunkedInput::new(&x, 4);
+        let mut bank = LutBank::new(4, LutLayout::KeyMajor);
+        let mut prof = PhaseProfile::new();
+        bank.build(&input, 0, 4, 0, 2, LutBuildMethod::DynamicProgramming, &mut prof);
+        assert_eq!(bank.resident_bytes(), 4 * 16 * 2 * 4);
+    }
+}

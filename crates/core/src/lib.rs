@@ -1,0 +1,64 @@
+//! # BiQGEMM — lookup-table matrix multiplication for binary-coding
+//! # quantized DNNs
+//!
+//! A from-scratch Rust reproduction of *BiQGEMM: Matrix Multiplication with
+//! Lookup Table For Binary-Coding-based Quantized DNNs* (Jeon, Park, Kwon,
+//! Kim, Yun, Lee — Samsung Research, SC 2020).
+//!
+//! ## The idea
+//!
+//! When a weight matrix is quantized to `{−1,+1}` factors, the dot product of
+//! any length-`µ` slice of the input with a `{−1,+1}` row slice can take only
+//! `2^µ` values. BiQGEMM pre-computes those values once per input slice —
+//! into a **lookup table** — and turns the inner loop of GEMM into table
+//! lookups keyed by `µ`-bit packed weights:
+//!
+//! 1. [`lut`] builds each table in `≈ 2^µ + µ − 1` additions using the
+//!    paper's Algorithm 1 dynamic programming (vs `2^µ·µ` for brute force);
+//! 2. [`weights::BiqWeights`] packs sign planes into the key matrix `K`
+//!    (µ-bit keys, MSB-first) with per-row scales;
+//! 3. [`kernel`] queries tables and accumulates (`Y[i,α] += q^β_α[K[i,β]]`);
+//! 4. [`tiled`] adds the paper's LUT-stationary tiling (Algorithm 2) so live
+//!    tables fit in cache; [`parallel`] distributes tiles over threads.
+//!
+//! Time complexity (paper Eq. 8–10): `O(2^µ·(n/µ)·b + m·(n/µ)·b)`, i.e.
+//! `≈ GEMM/µ` when `2^µ ≪ m`. The analytic model lives in [`complexity`],
+//! including the optimal-µ search; [`planner`] turns it plus a cache budget
+//! into a concrete [`config::BiqConfig`].
+//!
+//! ## Quick start
+//!
+//! ```
+//! use biq_matrix::{ColMatrix, MatrixRng};
+//! use biq_quant::greedy_quantize_matrix_rowwise;
+//! use biqgemm_core::{BiqConfig, BiqGemm};
+//!
+//! let mut rng = MatrixRng::seed_from(1);
+//! let w = rng.gaussian(128, 64, 0.0, 1.0);        // m × n weights
+//! let x = rng.gaussian_col(64, 4, 0.0, 1.0);      // n × b activations
+//!
+//! let quant = greedy_quantize_matrix_rowwise(&w, 2); // 2-bit binary coding
+//! let engine = BiqGemm::new(&quant, BiqConfig::default());
+//! let y = engine.matmul(&x);                      // m × b output
+//! assert_eq!(y.shape(), (128, 4));
+//! ```
+
+pub mod actquant;
+pub mod complexity;
+pub mod config;
+pub mod kernel;
+pub mod layout;
+pub mod lut;
+pub mod mmu;
+pub mod parallel;
+pub mod planner;
+pub mod profile;
+pub mod serialize;
+pub mod simd;
+pub mod tiled;
+pub mod weights;
+
+pub use config::{BiqConfig, LutBuildMethod, LutLayout, Schedule};
+pub use kernel::BiqGemm;
+pub use profile::PhaseProfile;
+pub use weights::BiqWeights;

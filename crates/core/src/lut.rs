@@ -1,0 +1,210 @@
+//! Lookup-table construction — Algorithm 1 of the paper plus the GEMM-based
+//! alternative of Fig. 4(a).
+//!
+//! For a sub-vector `x = (x_0 … x_{L−1})` the table holds
+//! `q[k] = ⟨pattern(k), x⟩` for every key `k ∈ [0, 2^L)`, patterns MSB-first.
+//!
+//! **Dynamic programming** (Fig. 4(b)): start from
+//! `q[0] = −(x_0 + … + x_{L−1})` (the all-minus pattern), then flipping the
+//! sign of one element turns `−x_i` into `+x_i`, i.e. adds `2·x_i`:
+//!
+//! ```text
+//! q[0]          = −Σ x
+//! q[2^t + j]    = q[j] + 2·x_{L−1−t}     (t = 0..L−2, j = 0..2^t)   [lower half]
+//! q[2^L − i]    = −q[i − 1]              (i = 1..=2^{L−1})          [mirror]
+//! ```
+//!
+//! Total: `(L−1) + (2^{L−1} − 1)` additions plus `2^{L−1}` negations —
+//! the paper's `2^µ + µ − 1` operation count (Eq. 6), a factor `µ` cheaper
+//! than the `2^µ · µ` GEMM construction.
+
+use crate::mmu::key_dot;
+
+/// Builds the lookup table for `x` into `out` using Algorithm 1 (dynamic
+/// programming). `out.len()` must be `2^x.len()`.
+///
+/// # Panics
+/// Panics if `x` is empty, longer than 16, or `out` has the wrong length.
+pub fn build_lut_dp(x: &[f32], out: &mut [f32]) {
+    let l = x.len();
+    assert!((1..=16).contains(&l), "sub-vector length must be in 1..=16");
+    assert_eq!(out.len(), 1usize << l, "output must have 2^L entries");
+    // q[0] = all-minus pattern.
+    let mut neg_sum = 0.0f32;
+    for &v in x {
+        neg_sum -= v;
+    }
+    out[0] = neg_sum;
+    // Lower half by single-flip DP: index 2^t + j flips element L−1−t of j.
+    for t in 0..l - 1 {
+        let step = 2.0 * x[l - 1 - t];
+        let (lo, hi) = out.split_at_mut(1 << t);
+        for (dst, &src) in hi[..1 << t].iter_mut().zip(lo.iter()) {
+            *dst = src + step;
+        }
+    }
+    // Mirror: complementing every sign negates the sum.
+    let half = 1usize << (l - 1);
+    for i in 1..=half {
+        out[(1 << l) - i] = -out[i - 1];
+    }
+}
+
+/// Brute-force table construction (`q[k] = ⟨pattern(k), x⟩` one dot product
+/// at a time) — the reference the DP builder is tested against, and the
+/// `T_c,mm` cost model's operational realisation.
+pub fn build_lut_bruteforce(x: &[f32], out: &mut [f32]) {
+    let l = x.len();
+    assert!((1..=16).contains(&l), "sub-vector length must be in 1..=16");
+    assert_eq!(out.len(), 1usize << l, "output must have 2^L entries");
+    for (k, o) in out.iter_mut().enumerate() {
+        *o = key_dot(k as u16, x);
+    }
+}
+
+/// GEMM-style construction of *many* tables at once (Fig. 4(a)): one matrix
+/// product `M_µ · X^r_µ` where the columns of `X^r_µ` are the sub-vectors.
+/// `subvecs` yields the sub-vectors; tables are written consecutively into
+/// `out` (each `2^L` entries where `L` is that sub-vector's length — callers
+/// in this crate always pass full-µ slices plus at most one ragged tail).
+pub fn build_luts_gemm<'a>(
+    subvecs: impl Iterator<Item = &'a [f32]>,
+    mu: usize,
+    out: &mut [f32],
+) {
+    let table = 1usize << mu;
+    let mut offset = 0;
+    for x in subvecs {
+        let l = x.len();
+        debug_assert!(l <= mu);
+        let len = 1usize << l;
+        build_lut_bruteforce(x, &mut out[offset..offset + len]);
+        offset += table;
+    }
+}
+
+/// Exact number of floating-point *additions/negations* Algorithm 1 spends
+/// on one table of `2^L` entries — used by tests pinning Eq. 6 and by the
+/// complexity model.
+pub fn dp_op_count(l: usize) -> usize {
+    // (L−1 adds for −Σx beyond the first term… counted as L−1) is folded in:
+    // q[0] costs L−1 additions; lower half costs 2^{L−1}−1; mirror costs
+    // 2^{L−1} negations.
+    (l - 1) + ((1usize << (l - 1)) - 1) + (1usize << (l - 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biq_matrix::MatrixRng;
+    use rand::Rng as _;
+
+    #[test]
+    fn dp_matches_bruteforce_for_all_lengths() {
+        let mut g = MatrixRng::seed_from(200);
+        for l in 1..=10 {
+            let x = g.gaussian_vec(l);
+            let mut dp = vec![0.0f32; 1 << l];
+            let mut bf = vec![0.0f32; 1 << l];
+            build_lut_dp(&x, &mut dp);
+            build_lut_bruteforce(&x, &mut bf);
+            for (k, (a, b)) in dp.iter().zip(&bf).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-4,
+                    "L={l}, key={k}: dp {a} vs brute force {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dp_is_exact_on_integers() {
+        // Integer inputs: DP and brute force must agree bit-exactly.
+        let mut g = MatrixRng::seed_from(201);
+        for l in [1usize, 4, 8] {
+            let x: Vec<f32> = (0..l).map(|_| g.rng().random_range(-8i32..=8) as f32).collect();
+            let mut dp = vec![0.0f32; 1 << l];
+            let mut bf = vec![0.0f32; 1 << l];
+            build_lut_dp(&x, &mut dp);
+            build_lut_bruteforce(&x, &mut bf);
+            assert_eq!(dp, bf);
+        }
+    }
+
+    #[test]
+    fn paper_figure_4b_worked_example() {
+        // Verify a handful of entries symbolically for µ = 4.
+        let x = [1.0f32, 10.0, 100.0, 1000.0];
+        let mut q = vec![0.0f32; 16];
+        build_lut_dp(&x, &mut q);
+        assert_eq!(q[0], -1111.0); // −x0 −x1 −x2 −x3
+        assert_eq!(q[1], -1.0 - 10.0 - 100.0 + 1000.0); // r1 = r0 + 2x3
+        assert_eq!(q[2], -1.0 - 10.0 + 100.0 - 1000.0); // r2 = r0 + 2x2
+        assert_eq!(q[6], -1.0 + 10.0 + 100.0 - 1000.0); // 0110
+        assert_eq!(q[15], 1111.0); // all plus
+        assert_eq!(q[8], -q[7]); // mirror row of Fig. 4(b)
+    }
+
+    #[test]
+    fn mirror_symmetry_holds() {
+        let mut g = MatrixRng::seed_from(202);
+        for l in [2usize, 5, 8] {
+            let x = g.gaussian_vec(l);
+            let mut q = vec![0.0f32; 1 << l];
+            build_lut_dp(&x, &mut q);
+            for k in 0..(1usize << l) {
+                let comp = ((1usize << l) - 1) - k;
+                assert_eq!(q[k], -q[comp], "L={l}, key={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn length_one_table() {
+        let mut q = vec![0.0f32; 2];
+        build_lut_dp(&[3.5], &mut q);
+        assert_eq!(q, vec![-3.5, 3.5]);
+    }
+
+    #[test]
+    fn gemm_builder_writes_consecutive_tables() {
+        let mut g = MatrixRng::seed_from(203);
+        let a = g.gaussian_vec(3);
+        let b = g.gaussian_vec(3);
+        let mut out = vec![0.0f32; 16];
+        build_luts_gemm([a.as_slice(), b.as_slice()].into_iter(), 3, &mut out);
+        let mut ea = vec![0.0f32; 8];
+        let mut eb = vec![0.0f32; 8];
+        build_lut_bruteforce(&a, &mut ea);
+        build_lut_bruteforce(&b, &mut eb);
+        assert_eq!(&out[..8], &ea[..]);
+        assert_eq!(&out[8..], &eb[..]);
+    }
+
+    #[test]
+    fn gemm_builder_handles_ragged_tail() {
+        let mut g = MatrixRng::seed_from(204);
+        let full = g.gaussian_vec(4);
+        let ragged = g.gaussian_vec(2);
+        let mut out = vec![0.0f32; 32];
+        build_luts_gemm([full.as_slice(), ragged.as_slice()].into_iter(), 4, &mut out);
+        let mut er = vec![0.0f32; 4];
+        build_lut_bruteforce(&ragged, &mut er);
+        assert_eq!(&out[16..20], &er[..]);
+    }
+
+    #[test]
+    fn dp_op_count_matches_eq6_asymptotics() {
+        // Eq. 6 counts ≈ 2^µ + µ − 1 ops per table.
+        for l in 1..=12 {
+            assert_eq!(dp_op_count(l), (1 << l) + l - 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "2^L entries")]
+    fn wrong_output_length_rejected() {
+        let mut q = vec![0.0f32; 7];
+        build_lut_dp(&[1.0, 2.0, 3.0], &mut q);
+    }
+}

@@ -1,0 +1,110 @@
+//! Definition 5 of the paper: `M_µ ∈ {−1,+1}^{2^µ × µ}`, the matrix whose
+//! rows enumerate **all** length-`µ` binary vectors.
+//!
+//! Row `k` of `M_µ` is the sign pattern encoded by key `k` under the
+//! workspace-wide MSB-first convention: bit `(µ−1−t)` of `k` gives the sign
+//! of element `t` (`1 ↦ +1`). Consequently `M_µ · x` computed row by row *is*
+//! the lookup table for sub-vector `x`, and the DP builder in [`crate::lut`]
+//! is validated against exactly this product.
+
+use biq_matrix::SignMatrix;
+
+/// Sign of element `t` in the pattern encoded by `key` (MSB-first, length
+/// `mu`).
+#[inline]
+pub fn key_sign(key: u16, mu: usize, t: usize) -> i8 {
+    debug_assert!(t < mu);
+    if (key >> (mu - 1 - t)) & 1 == 1 {
+        1
+    } else {
+        -1
+    }
+}
+
+/// Materialises `M_µ` as a dense sign matrix (`2^µ × µ`).
+///
+/// # Panics
+/// Panics unless `1 ≤ µ ≤ 16`.
+pub fn m_mu(mu: usize) -> SignMatrix {
+    assert!((1..=16).contains(&mu), "µ must be in 1..=16");
+    SignMatrix::from_fn(1usize << mu, mu, |k, t| key_sign(k as u16, mu, t) == 1)
+}
+
+/// The dot product `⟨row k of M_µ, x⟩` computed directly — the brute-force
+/// definition of one lookup-table entry.
+#[inline]
+pub fn key_dot(key: u16, x: &[f32]) -> f32 {
+    let mu = x.len();
+    let mut acc = 0.0f32;
+    for (t, &v) in x.iter().enumerate() {
+        acc += key_sign(key, mu, t) as f32 * v;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn m2_enumerates_all_patterns_in_key_order() {
+        let m = m_mu(2);
+        assert_eq!(m.shape(), (4, 2));
+        // key 0 = 00 -> (−1, −1); key 1 = 01 -> (−1, +1);
+        // key 2 = 10 -> (+1, −1); key 3 = 11 -> (+1, +1)
+        assert_eq!(m.row(0), &[-1, -1]);
+        assert_eq!(m.row(1), &[-1, 1]);
+        assert_eq!(m.row(2), &[1, -1]);
+        assert_eq!(m.row(3), &[1, 1]);
+    }
+
+    #[test]
+    fn rows_are_unique() {
+        let m = m_mu(4);
+        for a in 0..16 {
+            for b in (a + 1)..16 {
+                assert_ne!(m.row(a), m.row(b));
+            }
+        }
+    }
+
+    #[test]
+    fn key_sign_is_msb_first() {
+        // key 6 = 0110 with µ = 4: (−1, +1, +1, −1) — the paper's Fig. 5
+        // example pattern.
+        assert_eq!(key_sign(6, 4, 0), -1);
+        assert_eq!(key_sign(6, 4, 1), 1);
+        assert_eq!(key_sign(6, 4, 2), 1);
+        assert_eq!(key_sign(6, 4, 3), -1);
+    }
+
+    #[test]
+    fn key_dot_matches_matrix_row_product() {
+        let x = [0.5f32, -1.25, 2.0, 0.75];
+        let m = m_mu(4);
+        for k in 0..16u16 {
+            let expected: f32 = m
+                .row(k as usize)
+                .iter()
+                .zip(&x)
+                .map(|(&s, &v)| s as f32 * v)
+                .sum();
+            assert_eq!(key_dot(k, &x), expected);
+        }
+    }
+
+    #[test]
+    fn complement_key_negates_dot() {
+        let x = [1.0f32, -2.0, 3.0];
+        for k in 0..8u16 {
+            let comp = 7 - k;
+            assert_eq!(key_dot(k, &x), -key_dot(comp, &x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "µ must be in 1..=16")]
+    fn mu_zero_rejected() {
+        let _ = m_mu(0);
+    }
+}

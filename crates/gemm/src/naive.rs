@@ -1,0 +1,95 @@
+//! Textbook triple-loop GEMM/GEMV — the paper's `kCpu` \[51\] / `kGpu` \[53\]
+//! baseline.
+//!
+//! The loop order is chosen so both operands of the inner dot product are
+//! contiguous (`W` rows and `X` columns), which is as good as a naive kernel
+//! gets; all cache-blocking sophistication lives in [`crate::blocked`].
+
+use biq_matrix::{ColMatrix, Matrix};
+
+/// Naive `y = W · x` for a single input vector.
+///
+/// # Panics
+/// Panics if `x.len() != w.cols()`.
+pub fn gemv_naive(w: &Matrix, x: &[f32]) -> Vec<f32> {
+    assert_eq!(x.len(), w.cols(), "gemv dimension mismatch");
+    (0..w.rows()).map(|i| dot(w.row(i), x)).collect()
+}
+
+/// Naive `Y = W · X`.
+///
+/// # Panics
+/// Panics if `x.rows() != w.cols()`.
+pub fn gemm_naive(w: &Matrix, x: &ColMatrix) -> Matrix {
+    assert_eq!(x.rows(), w.cols(), "gemm inner dimension mismatch");
+    let (m, b) = (w.rows(), x.cols());
+    let mut y = Matrix::zeros(m, b);
+    for i in 0..m {
+        let wrow = w.row(i);
+        let yrow = y.row_mut(i);
+        for (alpha, ya) in yrow.iter_mut().enumerate() {
+            *ya = dot(wrow, x.col(alpha));
+        }
+    }
+    y
+}
+
+/// Plain contiguous dot product (single accumulator — the compiler may
+/// vectorise, but we deliberately do not hand-tune this baseline).
+#[inline]
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f32;
+    for (x, y) in a.iter().zip(b) {
+        acc += x * y;
+    }
+    acc
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // index-style loops read clearer in reference checks
+mod tests {
+    use super::*;
+    use biq_matrix::MatrixRng;
+
+    #[test]
+    fn identity_times_x_is_x() {
+        let w = Matrix::identity(4);
+        let x = ColMatrix::from_fn(4, 2, |i, j| (i + 10 * j) as f32);
+        let y = gemm_naive(&w, &x);
+        for a in 0..2 {
+            for i in 0..4 {
+                assert_eq!(y.get(i, a), x.get(i, a));
+            }
+        }
+    }
+
+    #[test]
+    fn known_product() {
+        // [[1,2],[3,4]] · [5,6]ᵀ = [17, 39]
+        let w = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(gemv_naive(&w, &[5.0, 6.0]), vec![17.0, 39.0]);
+    }
+
+    #[test]
+    fn gemm_matches_gemv_per_column() {
+        let mut g = MatrixRng::seed_from(50);
+        let w = g.gaussian(7, 9, 0.0, 1.0);
+        let x = g.gaussian_col(9, 4, 0.0, 1.0);
+        let y = gemm_naive(&w, &x);
+        for a in 0..4 {
+            let ycol = gemv_naive(&w, x.col(a));
+            for i in 0..7 {
+                assert_eq!(y.get(i, a), ycol[i]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mismatched_shapes_panic() {
+        let w = Matrix::zeros(2, 3);
+        let x = ColMatrix::zeros(4, 1);
+        let _ = gemm_naive(&w, &x);
+    }
+}

@@ -1,0 +1,200 @@
+//! Rayon-parallel drivers for the baseline kernels.
+//!
+//! Output rows are disjoint across threads, so each worker writes its own
+//! row-block of `Y` without synchronisation (`par_chunks_mut` hands out
+//! non-overlapping `&mut` slices — data-race freedom is structural).
+//!
+//! Thread count is whatever the ambient rayon pool provides; the bench
+//! harness pins pools explicitly when an experiment needs a fixed count.
+
+use crate::blocked::pack_input_row_major;
+use biq_matrix::{ColMatrix, Matrix};
+use rayon::prelude::*;
+
+/// Minimum rows per parallel task, to amortise scheduling overhead.
+const MIN_ROWS_PER_TASK: usize = 16;
+
+/// Parallel naive GEMM (`kGpu` analog: many simple workers, no blocking).
+pub fn par_gemm_naive(w: &Matrix, x: &ColMatrix) -> Matrix {
+    assert_eq!(x.rows(), w.cols(), "gemm inner dimension mismatch");
+    let (m, b) = (w.rows(), x.cols());
+    let mut y = Matrix::zeros(m, b);
+    let rows_per_task = rows_per_task(m);
+    y.as_mut_slice()
+        .par_chunks_mut(rows_per_task * b)
+        .enumerate()
+        .for_each(|(t, yblock)| {
+            let row0 = t * rows_per_task;
+            let rows = yblock.len() / b;
+            for r in 0..rows {
+                let wrow = w.row(row0 + r);
+                let yrow = &mut yblock[r * b..(r + 1) * b];
+                for (alpha, ya) in yrow.iter_mut().enumerate() {
+                    let mut acc = 0.0f32;
+                    for (a, v) in wrow.iter().zip(x.col(alpha)) {
+                        acc += a * v;
+                    }
+                    *ya = acc;
+                }
+            }
+        });
+    y
+}
+
+/// Parallel blocked GEMM (`cublas`/multi-thread `mkl` analog).
+pub fn par_gemm_blocked(w: &Matrix, x: &ColMatrix) -> Matrix {
+    assert_eq!(x.rows(), w.cols(), "gemm inner dimension mismatch");
+    let (m, b) = (w.rows(), x.cols());
+    if b == 1 {
+        return par_gemv(w, x.col(0));
+    }
+    let xr = pack_input_row_major(x);
+    let mut y = Matrix::zeros(m, b);
+    let rows_per_task = rows_per_task(m);
+    y.as_mut_slice()
+        .par_chunks_mut(rows_per_task * b)
+        .enumerate()
+        .for_each(|(t, yblock)| {
+            let row0 = t * rows_per_task;
+            let rows = yblock.len() / b;
+            blocked_kernel_relative(&RowShiftedMatrix { w, row0 }, &xr, b, rows, yblock);
+        });
+    y
+}
+
+/// A borrowed view of `w` with rows shifted by `row0`.
+struct RowShiftedMatrix<'a> {
+    w: &'a Matrix,
+    row0: usize,
+}
+
+impl RowShiftedMatrix<'_> {
+    #[inline]
+    fn row(&self, i: usize) -> &[f32] {
+        self.w.row(self.row0 + i)
+    }
+    #[inline]
+    fn cols(&self) -> usize {
+        self.w.cols()
+    }
+}
+
+/// Relative-row variant of the blocked kernel (mirrors
+/// `blocked::gemm_blocked_packed`).
+fn blocked_kernel_relative(
+    w: &RowShiftedMatrix<'_>,
+    xr: &[f32],
+    b: usize,
+    rows: usize,
+    y: &mut [f32],
+) {
+    const MR: usize = 4;
+    const KC: usize = 256;
+    let n = w.cols();
+    let mut k0 = 0;
+    while k0 < n {
+        let kc = KC.min(n - k0);
+        let mut i = 0;
+        while i + MR <= rows {
+            let (r0, rest) = y[i * b..].split_at_mut(b);
+            let (r1, rest) = rest.split_at_mut(b);
+            let (r2, rest) = rest.split_at_mut(b);
+            let r3 = &mut rest[..b];
+            let w0 = &w.row(i)[k0..k0 + kc];
+            let w1 = &w.row(i + 1)[k0..k0 + kc];
+            let w2 = &w.row(i + 2)[k0..k0 + kc];
+            let w3 = &w.row(i + 3)[k0..k0 + kc];
+            for (t, (((&a0, &a1), &a2), &a3)) in w0.iter().zip(w1).zip(w2).zip(w3).enumerate() {
+                let xrow = &xr[(k0 + t) * b..(k0 + t) * b + b];
+                for (yv, &xv) in r0.iter_mut().zip(xrow) {
+                    *yv += a0 * xv;
+                }
+                for (yv, &xv) in r1.iter_mut().zip(xrow) {
+                    *yv += a1 * xv;
+                }
+                for (yv, &xv) in r2.iter_mut().zip(xrow) {
+                    *yv += a2 * xv;
+                }
+                for (yv, &xv) in r3.iter_mut().zip(xrow) {
+                    *yv += a3 * xv;
+                }
+            }
+            i += MR;
+        }
+        while i < rows {
+            let yrow = &mut y[i * b..i * b + b];
+            let wrow = &w.row(i)[k0..k0 + kc];
+            for (t, &a) in wrow.iter().enumerate() {
+                let xrow = &xr[(k0 + t) * b..(k0 + t) * b + b];
+                for (yv, &xv) in yrow.iter_mut().zip(xrow) {
+                    *yv += a * xv;
+                }
+            }
+            i += 1;
+        }
+        k0 += kc;
+    }
+}
+
+/// Parallel GEMV over row chunks.
+fn par_gemv(w: &Matrix, x: &[f32]) -> Matrix {
+    let m = w.rows();
+    let mut y = Matrix::zeros(m, 1);
+    let rows_per_task = rows_per_task(m);
+    y.as_mut_slice()
+        .par_chunks_mut(rows_per_task)
+        .enumerate()
+        .for_each(|(t, yblock)| {
+            let row0 = t * rows_per_task;
+            for (r, yv) in yblock.iter_mut().enumerate() {
+                *yv = crate::blocked::dot8(w.row(row0 + r), x);
+            }
+        });
+    y
+}
+
+#[inline]
+fn rows_per_task(m: usize) -> usize {
+    let threads = rayon::current_num_threads().max(1);
+    (m.div_ceil(threads * 4)).max(MIN_ROWS_PER_TASK.min(m.max(1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocked::gemm_blocked;
+    use crate::naive::gemm_naive;
+    use biq_matrix::MatrixRng;
+
+    #[test]
+    fn par_naive_matches_serial() {
+        let mut g = MatrixRng::seed_from(70);
+        for &(m, n, b) in &[(3usize, 5usize, 2usize), (64, 48, 7), (130, 200, 33)] {
+            let w = g.small_int_matrix(m, n, 3);
+            let x = g.small_int_col(n, b, 3);
+            assert_eq!(par_gemm_naive(&w, &x).as_slice(), gemm_naive(&w, &x).as_slice());
+        }
+    }
+
+    #[test]
+    fn par_blocked_matches_serial_blocked() {
+        let mut g = MatrixRng::seed_from(71);
+        for &(m, n, b) in &[(1usize, 4usize, 5usize), (65, 300, 8), (200, 64, 32)] {
+            let w = g.small_int_matrix(m, n, 2);
+            let x = g.small_int_col(n, b, 2);
+            assert_eq!(
+                par_gemm_blocked(&w, &x).as_slice(),
+                gemm_blocked(&w, &x).as_slice(),
+                "mismatch at ({m},{n},{b})"
+            );
+        }
+    }
+
+    #[test]
+    fn par_blocked_batch_one() {
+        let mut g = MatrixRng::seed_from(72);
+        let w = g.small_int_matrix(100, 64, 3);
+        let x = g.small_int_col(64, 1, 3);
+        assert_eq!(par_gemm_blocked(&w, &x).as_slice(), gemm_naive(&w, &x).as_slice());
+    }
+}

@@ -1,0 +1,162 @@
+//! GEMM over bit-packed binary weights — the Fig. 9 experiment.
+//!
+//! Two scenarios from Section IV-C of the paper:
+//!
+//! * [`gemm_with_unpack`] — the *correct* way to use packed weights with a
+//!   conventional GEMM: every weight row is expanded by Algorithm 3
+//!   ([`biq_quant::unpack`]) into a scratch buffer before multiplying. The
+//!   runtime difference against `sGEMM` is pure decompression overhead.
+//! * [`gemm_without_unpack`] — reads each packed 32-bit word, converts the
+//!   *container itself* to `f32`, and multiplies it with the input as if it
+//!   were a weight. The result is **numerically wrong by design**; the paper
+//!   uses it to isolate the memory-bandwidth benefit of packed weights
+//!   (weight traffic shrinks 32×, arithmetic count unchanged).
+
+use biq_matrix::{ColMatrix, Matrix};
+use biq_quant::packing::PackedRowsU32;
+use biq_quant::unpack::unpack_row_u32;
+
+/// Correct GEMM over packed weights: Algorithm-3 unpacking **inside the
+/// inner dot product**, exactly as a naive kernel fed packed data must run
+/// (the paper's `w/ unpack` scenario — unpack work scales with `m·n·b`, not
+/// `m·n`, which is what makes the overhead dominate in Fig. 9).
+///
+/// # Panics
+/// Panics if `x.rows() != packed.cols()`.
+pub fn gemm_with_unpack(packed: &PackedRowsU32, x: &ColMatrix) -> Matrix {
+    assert_eq!(x.rows(), packed.cols(), "inner dimension mismatch");
+    let (m, n, b) = (packed.rows(), packed.cols(), x.cols());
+    let mut y = Matrix::zeros(m, b);
+    for i in 0..m {
+        let words = packed.row(i);
+        let yrow = y.row_mut(i);
+        for (alpha, ya) in yrow.iter_mut().enumerate() {
+            let xcol = x.col(alpha);
+            let mut acc = 0.0f32;
+            let mut chunks = xcol.chunks_exact(32);
+            for (&word, xc) in words.iter().zip(&mut chunks) {
+                let w = crate::unpack_word_inline(word);
+                for (a, v) in w.iter().zip(xc) {
+                    acc += a * v;
+                }
+            }
+            let rem = chunks.remainder();
+            if !rem.is_empty() {
+                let w = crate::unpack_word_inline(words[n / 32]);
+                for (a, v) in w.iter().zip(rem) {
+                    acc += a * v;
+                }
+            }
+            *ya = acc;
+        }
+    }
+    y
+}
+
+/// Row-amortised variant: each weight row is unpacked **once** into a scratch
+/// buffer and reused across the whole batch — the best case for unpacking
+/// (overhead `∝ m·n` instead of `m·n·b`). Reported alongside the naive
+/// variant in the Fig. 9 harness to bound the overhead from below.
+pub fn gemm_with_unpack_amortized(packed: &PackedRowsU32, x: &ColMatrix) -> Matrix {
+    assert_eq!(x.rows(), packed.cols(), "inner dimension mismatch");
+    let (m, n, b) = (packed.rows(), packed.cols(), x.cols());
+    let mut y = Matrix::zeros(m, b);
+    // Workhorse row buffer, reused across rows (perf-book: reuse collections).
+    let mut wrow = vec![0.0f32; n];
+    for i in 0..m {
+        unpack_row_u32(packed.row(i), &mut wrow);
+        let yrow = y.row_mut(i);
+        for (alpha, ya) in yrow.iter_mut().enumerate() {
+            let mut acc = 0.0f32;
+            for (a, v) in wrow.iter().zip(x.col(alpha)) {
+                acc += a * v;
+            }
+            *ya = acc;
+        }
+    }
+    y
+}
+
+/// Bandwidth probe: multiplies the packed words directly without unpacking.
+///
+/// Each 32-bit container is cast to `f32` and multiplied against all 32 input
+/// values it covers, so the arithmetic-operation count matches a real GEMM
+/// while weight memory traffic is 1/32 of it. **Results are meaningless** —
+/// only the runtime is (paper, Fig. 9: "will produce incorrect result, but is
+/// useful to identify performance gain by decreased memory access latency").
+pub fn gemm_without_unpack(packed: &PackedRowsU32, x: &ColMatrix) -> Matrix {
+    assert_eq!(x.rows(), packed.cols(), "inner dimension mismatch");
+    let (m, n, b) = (packed.rows(), packed.cols(), x.cols());
+    let mut y = Matrix::zeros(m, b);
+    for i in 0..m {
+        let words = packed.row(i);
+        let yrow = y.row_mut(i);
+        for (alpha, ya) in yrow.iter_mut().enumerate() {
+            let xcol = x.col(alpha);
+            let mut acc = 0.0f32;
+            let mut chunks = xcol.chunks_exact(32);
+            for (&word, xc) in words.iter().zip(&mut chunks) {
+                let s = word as f32; // container reinterpreted as a "weight"
+                for &v in xc {
+                    acc += s * v;
+                }
+            }
+            let rem = chunks.remainder();
+            if !rem.is_empty() {
+                let s = words[n / 32] as f32;
+                for &v in rem {
+                    acc += s * v;
+                }
+            }
+            *ya = acc;
+        }
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::gemm_naive;
+    use biq_matrix::MatrixRng;
+    use biq_quant::packing::PackedRowsU32;
+
+    #[test]
+    fn with_unpack_is_correct() {
+        let mut g = MatrixRng::seed_from(90);
+        for &(m, n, b) in &[(4usize, 32usize, 2usize), (7, 100, 5), (16, 64, 1)] {
+            let signs = g.signs(m, n);
+            let packed = PackedRowsU32::pack(&signs);
+            let x = g.small_int_col(n, b, 3);
+            let y = gemm_with_unpack(&packed, &x);
+            let y_ref = gemm_naive(&signs.to_f32(), &x);
+            assert_eq!(y.as_slice(), y_ref.as_slice(), "mismatch ({m},{n},{b})");
+            let y_amortized = gemm_with_unpack_amortized(&packed, &x);
+            assert_eq!(y_amortized.as_slice(), y_ref.as_slice(), "amortized mismatch ({m},{n},{b})");
+        }
+    }
+
+    #[test]
+    fn without_unpack_is_intentionally_wrong_but_shaped() {
+        let mut g = MatrixRng::seed_from(91);
+        let signs = g.signs(8, 64);
+        let packed = PackedRowsU32::pack(&signs);
+        let x = g.uniform_col(64, 3, 0.5, 1.0);
+        let y = gemm_without_unpack(&packed, &x);
+        assert_eq!(y.shape(), (8, 3));
+        // With strictly positive inputs and non-trivial packed words the
+        // probe's output differs from the true product (that is its point).
+        let y_ref = gemm_naive(&signs.to_f32(), &x);
+        assert_ne!(y.as_slice(), y_ref.as_slice());
+    }
+
+    #[test]
+    fn without_unpack_touches_every_input_once_per_row() {
+        // With all-(+1) signs, every word is u32::MAX; acc = MAX * Σx.
+        let signs = biq_matrix::SignMatrix::ones(1, 32);
+        let packed = PackedRowsU32::pack(&signs);
+        let x = ColMatrix::from_column(vec![1.0; 32]);
+        let y = gemm_without_unpack(&packed, &x);
+        assert_eq!(y.get(0, 0), u32::MAX as f32 * 32.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Tolerant floating-point comparison helpers shared by tests, examples and
+//! the bench harness.
+//!
+//! Different kernels accumulate in different orders, so outputs generally
+//! agree only to within a relative tolerance proportional to the reduction
+//! length. [`allclose`] mirrors NumPy's semantics:
+//! `|a − b| <= atol + rtol * |b|` element-wise.
+
+use crate::dense::Matrix;
+
+/// Largest absolute element-wise difference between two equal-length slices.
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+}
+
+/// Largest relative element-wise difference `|a−b| / max(|b|, 1e-12)`.
+pub fn max_rel_diff(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs() / y.abs().max(1e-12))
+        .fold(0.0, f32::max)
+}
+
+/// NumPy-style closeness: `|a − b| <= atol + rtol * |b|` for every element.
+/// Non-finite values must match exactly (same NaN-ness / same infinity).
+pub fn allclose(a: &[f32], b: &[f32], rtol: f32, atol: f32) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    a.iter().zip(b).all(|(&x, &y)| {
+        if !x.is_finite() || !y.is_finite() {
+            (x.is_nan() && y.is_nan()) || x == y
+        } else {
+            (x - y).abs() <= atol + rtol * y.abs()
+        }
+    })
+}
+
+/// Asserts [`allclose`] over two matrices, printing the offending element on
+/// failure.
+///
+/// # Panics
+/// Panics when shapes differ or any element is out of tolerance.
+pub fn assert_allclose(actual: &Matrix, expected: &Matrix, rtol: f32, atol: f32) {
+    assert_eq!(actual.shape(), expected.shape(), "shape mismatch");
+    let (rows, cols) = actual.shape();
+    for i in 0..rows {
+        for j in 0..cols {
+            let x = actual.get(i, j);
+            let y = expected.get(i, j);
+            let ok = if !x.is_finite() || !y.is_finite() {
+                (x.is_nan() && y.is_nan()) || x == y
+            } else {
+                (x - y).abs() <= atol + rtol * y.abs()
+            };
+            assert!(
+                ok,
+                "mismatch at ({i}, {j}): actual {x} vs expected {y} \
+                 (|diff| = {}, rtol = {rtol}, atol = {atol})",
+                (x - y).abs()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_abs_diff_basic() {
+        assert_eq!(max_abs_diff(&[1.0, 2.0], &[1.5, 2.0]), 0.5);
+        assert_eq!(max_abs_diff(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn max_rel_diff_basic() {
+        let d = max_rel_diff(&[110.0], &[100.0]);
+        assert!((d - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn allclose_respects_tolerances() {
+        assert!(allclose(&[1.0], &[1.0 + 1e-7], 1e-6, 0.0));
+        assert!(!allclose(&[1.0], &[1.1], 1e-6, 0.0));
+        assert!(allclose(&[0.0], &[1e-9], 0.0, 1e-8));
+        assert!(!allclose(&[1.0, 2.0], &[1.0], 1e-6, 1e-6));
+    }
+
+    #[test]
+    fn allclose_handles_non_finite() {
+        assert!(allclose(&[f32::NAN], &[f32::NAN], 1e-6, 1e-6));
+        assert!(allclose(&[f32::INFINITY], &[f32::INFINITY], 0.0, 0.0));
+        assert!(!allclose(&[f32::INFINITY], &[f32::NEG_INFINITY], 0.0, 0.0));
+        assert!(!allclose(&[f32::NAN], &[0.0], 1.0, 1.0));
+    }
+
+    #[test]
+    fn assert_allclose_passes_within_tolerance() {
+        let a = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let b = Matrix::from_vec(1, 2, vec![1.0 + 1e-7, 2.0 - 1e-7]);
+        assert_allclose(&a, &b, 1e-5, 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch at (0, 1)")]
+    fn assert_allclose_reports_location() {
+        let a = Matrix::from_vec(1, 2, vec![1.0, 5.0]);
+        let b = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        assert_allclose(&a, &b, 1e-5, 1e-6);
+    }
+}

@@ -1,0 +1,186 @@
+//! Seeded workload generators.
+//!
+//! The paper evaluates on "synthetic matrices filled by random numbers"
+//! (Section IV-A). Everything here is deterministic given a seed so that
+//! benchmarks and tests are reproducible run to run.
+//!
+//! Gaussian sampling is implemented with the Box–Muller transform rather than
+//! pulling in `rand_distr`, keeping the dependency set to the approved list.
+
+use crate::dense::{ColMatrix, Matrix};
+use crate::sign::SignMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded generator of random matrices and vectors.
+///
+/// ```
+/// use biq_matrix::MatrixRng;
+/// let mut g = MatrixRng::seed_from(42);
+/// let w = g.gaussian(8, 16, 0.0, 1.0);
+/// assert_eq!(w.shape(), (8, 16));
+/// ```
+pub struct MatrixRng {
+    rng: StdRng,
+    /// Spare Gaussian sample cached by Box–Muller (it produces pairs).
+    spare: Option<f32>,
+}
+
+impl MatrixRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed), spare: None }
+    }
+
+    /// One `f32` uniform in `[lo, hi)`.
+    #[inline]
+    pub fn uniform_f32(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.rng.random::<f32>()
+    }
+
+    /// One standard-normal sample via Box–Muller.
+    pub fn standard_normal(&mut self) -> f32 {
+        if let Some(v) = self.spare.take() {
+            return v;
+        }
+        // Draw u1 in (0, 1] to keep ln() finite.
+        let u1: f64 = 1.0 - self.rng.random::<f64>();
+        let u2: f64 = self.rng.random::<f64>();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some((r * theta.sin()) as f32);
+        (r * theta.cos()) as f32
+    }
+
+    /// One Gaussian sample with the given mean and standard deviation.
+    #[inline]
+    pub fn normal(&mut self, mean: f32, std: f32) -> f32 {
+        mean + std * self.standard_normal()
+    }
+
+    /// Row-major `rows × cols` matrix of `N(mean, std²)` samples.
+    pub fn gaussian(&mut self, rows: usize, cols: usize, mean: f32, std: f32) -> Matrix {
+        Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| self.normal(mean, std)).collect())
+    }
+
+    /// Column-major `rows × cols` matrix of `N(mean, std²)` samples.
+    pub fn gaussian_col(&mut self, rows: usize, cols: usize, mean: f32, std: f32) -> ColMatrix {
+        ColMatrix::from_vec(rows, cols, (0..rows * cols).map(|_| self.normal(mean, std)).collect())
+    }
+
+    /// Row-major matrix of uniform samples in `[lo, hi)`.
+    pub fn uniform(&mut self, rows: usize, cols: usize, lo: f32, hi: f32) -> Matrix {
+        Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| self.uniform_f32(lo, hi)).collect())
+    }
+
+    /// Column-major matrix of uniform samples in `[lo, hi)`.
+    pub fn uniform_col(&mut self, rows: usize, cols: usize, lo: f32, hi: f32) -> ColMatrix {
+        ColMatrix::from_vec(
+            rows,
+            cols,
+            (0..rows * cols).map(|_| self.uniform_f32(lo, hi)).collect(),
+        )
+    }
+
+    /// Random `{−1,+1}` matrix with fair coin flips.
+    pub fn signs(&mut self, rows: usize, cols: usize) -> SignMatrix {
+        let mut flips = Vec::with_capacity(rows * cols);
+        for _ in 0..rows * cols {
+            flips.push(if self.rng.random::<bool>() { 1i8 } else { -1i8 });
+        }
+        SignMatrix::from_vec(rows, cols, flips)
+    }
+
+    /// Row-major matrix of *small integers* in `[-range, range]`, stored as
+    /// `f32`. Sums of a few thousand such values stay exactly representable,
+    /// so kernels with different accumulation orders can be compared
+    /// bit-exactly.
+    pub fn small_int_matrix(&mut self, rows: usize, cols: usize, range: i32) -> Matrix {
+        Matrix::from_vec(
+            rows,
+            cols,
+            (0..rows * cols).map(|_| self.rng.random_range(-range..=range) as f32).collect(),
+        )
+    }
+
+    /// Column-major variant of [`Self::small_int_matrix`].
+    pub fn small_int_col(&mut self, rows: usize, cols: usize, range: i32) -> ColMatrix {
+        ColMatrix::from_vec(
+            rows,
+            cols,
+            (0..rows * cols).map(|_| self.rng.random_range(-range..=range) as f32).collect(),
+        )
+    }
+
+    /// Random vector of `N(0,1)` samples.
+    pub fn gaussian_vec(&mut self, len: usize) -> Vec<f32> {
+        (0..len).map(|_| self.standard_normal()).collect()
+    }
+
+    /// Access the underlying RNG for ad-hoc draws.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = MatrixRng::seed_from(7).gaussian(4, 4, 0.0, 1.0);
+        let b = MatrixRng::seed_from(7).gaussian(4, 4, 0.0, 1.0);
+        assert_eq!(a, b);
+        let c = MatrixRng::seed_from(8).gaussian(4, 4, 0.0, 1.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gaussian_moments_are_plausible() {
+        let mut g = MatrixRng::seed_from(123);
+        let m = g.gaussian(100, 100, 2.0, 3.0);
+        let n = m.len() as f64;
+        let mean: f64 = m.as_slice().iter().map(|&v| v as f64).sum::<f64>() / n;
+        let var: f64 =
+            m.as_slice().iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 3.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut g = MatrixRng::seed_from(5);
+        let m = g.uniform(32, 32, -1.5, 2.5);
+        assert!(m.as_slice().iter().all(|&v| (-1.5..2.5).contains(&v)));
+    }
+
+    #[test]
+    fn signs_are_all_pm_one_and_roughly_balanced() {
+        let mut g = MatrixRng::seed_from(99);
+        let s = g.signs(64, 64);
+        let plus = s.as_slice().iter().filter(|&&v| v == 1).count();
+        assert!(s.as_slice().iter().all(|&v| v == 1 || v == -1));
+        let frac = plus as f64 / (64.0 * 64.0);
+        assert!((frac - 0.5).abs() < 0.05, "plus fraction {frac}");
+    }
+
+    #[test]
+    fn small_int_matrix_contains_integers_in_range() {
+        let mut g = MatrixRng::seed_from(17);
+        let m = g.small_int_matrix(16, 16, 4);
+        for &v in m.as_slice() {
+            assert_eq!(v, v.trunc());
+            assert!((-4.0..=4.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn col_and_row_generators_share_distribution_shape() {
+        let mut g = MatrixRng::seed_from(3);
+        let c = g.gaussian_col(10, 3, 0.0, 1.0);
+        assert_eq!(c.shape(), (10, 3));
+        let u = g.uniform_col(4, 4, 0.0, 1.0);
+        assert!(u.as_slice().iter().all(|&v| (0.0..1.0).contains(&v)));
+    }
+}

@@ -1,0 +1,229 @@
+//! Dense `{−1,+1}` sign matrices — the logical form of one binary-coding
+//! weight factor `B_i ∈ {−1,+1}^{m×n}` before bit packing.
+
+use crate::dense::{ColMatrix, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major `rows × cols` matrix whose elements are `−1` or `+1`,
+/// stored one `i8` per element.
+///
+/// This is the *reference* representation: baselines multiply it directly
+/// (after widening to `f32`), and the packers in `biq-quant` compress it into
+/// key matrices (µ-bit row chunks) or XNOR words (32/64-bit column chunks).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SignMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<i8>,
+}
+
+impl SignMatrix {
+    /// All-(+1) matrix.
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![1; rows * cols] }
+    }
+
+    /// Wraps an existing row-major sign buffer.
+    ///
+    /// # Panics
+    /// Panics if the length mismatches or any element is not ±1.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<i8>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length mismatch");
+        assert!(
+            data.iter().all(|&v| v == 1 || v == -1),
+            "SignMatrix elements must be -1 or +1"
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Builds from a predicate: `true ↦ +1`, `false ↦ −1`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> bool) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(if f(i, j) { 1 } else { -1 });
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Takes the element-wise sign of a real matrix (`>= 0 ↦ +1`), the
+    /// convention used by binary-coding quantizers.
+    pub fn signum_of(m: &Matrix) -> Self {
+        Self::from_fn(m.rows(), m.cols(), |i, j| m.get(i, j) >= 0.0)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Immutable element access; always ±1.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> i8 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Mutable element write.
+    ///
+    /// # Panics
+    /// Panics (in debug) if `v` is not ±1.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: i8) {
+        debug_assert!(v == 1 || v == -1, "sign must be ±1");
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Contiguous row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[i8] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// The backing row-major slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[i8] {
+        &self.data
+    }
+
+    /// Widens to a dense `f32` matrix (for reference GEMM).
+    pub fn to_f32(&self) -> Matrix {
+        Matrix::from_vec(self.rows, self.cols, self.data.iter().map(|&v| v as f32).collect())
+    }
+
+    /// Vertically stacks `parts` (used for multi-bit weights, Fig. 2 of the
+    /// paper: `B_1 .. B_β` concatenated along the output dimension).
+    ///
+    /// # Panics
+    /// Panics if `parts` is empty or column counts differ.
+    pub fn vstack(parts: &[&SignMatrix]) -> SignMatrix {
+        assert!(!parts.is_empty(), "vstack of zero matrices");
+        let cols = parts[0].cols;
+        assert!(parts.iter().all(|p| p.cols == cols), "vstack column mismatch");
+        let rows = parts.iter().map(|p| p.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for p in parts {
+            data.extend_from_slice(&p.data);
+        }
+        SignMatrix { rows, cols, data }
+    }
+
+    /// Reference product `self · x` for a contiguous vector `x` of length
+    /// `cols` — the exact sum the LUT query must reproduce.
+    pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.cols, "matvec length mismatch");
+        (0..self.rows)
+            .map(|i| self.row(i).iter().zip(x).map(|(&s, &v)| s as f32 * v).sum())
+            .collect()
+    }
+
+    /// Reference product `self · X` with a column-major input, producing a
+    /// row-major `rows × b` output.
+    pub fn matmul(&self, x: &ColMatrix) -> Matrix {
+        assert_eq!(x.rows(), self.cols, "inner dimension mismatch");
+        let mut y = Matrix::zeros(self.rows, x.cols());
+        for (alpha, xcol) in (0..x.cols()).map(|a| (a, x.col(a))) {
+            for i in 0..self.rows {
+                let mut acc = 0.0f32;
+                for (s, v) in self.row(i).iter().zip(xcol) {
+                    acc += *s as f32 * *v;
+                }
+                y.set(i, alpha, acc);
+            }
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // index-style loops read clearer in reference checks
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ones_and_from_fn() {
+        let s = SignMatrix::ones(2, 3);
+        assert!(s.as_slice().iter().all(|&v| v == 1));
+        let s = SignMatrix::from_fn(2, 2, |i, j| (i + j) % 2 == 0);
+        assert_eq!(s.get(0, 0), 1);
+        assert_eq!(s.get(0, 1), -1);
+        assert_eq!(s.get(1, 0), -1);
+        assert_eq!(s.get(1, 1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be -1 or +1")]
+    fn rejects_non_sign_values() {
+        let _ = SignMatrix::from_vec(1, 2, vec![1, 0]);
+    }
+
+    #[test]
+    fn signum_of_maps_zero_to_plus_one() {
+        let m = Matrix::from_vec(1, 3, vec![-0.5, 0.0, 2.0]);
+        let s = SignMatrix::signum_of(&m);
+        assert_eq!(s.as_slice(), &[-1, 1, 1]);
+    }
+
+    #[test]
+    fn to_f32_round_trip() {
+        let s = SignMatrix::from_fn(3, 4, |i, j| i * j % 3 == 0);
+        let f = s.to_f32();
+        for i in 0..3 {
+            for j in 0..4 {
+                assert_eq!(f.get(i, j), s.get(i, j) as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn vstack_concatenates_rows() {
+        let a = SignMatrix::ones(2, 3);
+        let b = SignMatrix::from_fn(1, 3, |_, _| false);
+        let v = SignMatrix::vstack(&[&a, &b]);
+        assert_eq!(v.shape(), (3, 3));
+        assert_eq!(v.row(0), &[1, 1, 1]);
+        assert_eq!(v.row(2), &[-1, -1, -1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "column mismatch")]
+    fn vstack_rejects_mismatched_cols() {
+        let a = SignMatrix::ones(1, 2);
+        let b = SignMatrix::ones(1, 3);
+        let _ = SignMatrix::vstack(&[&a, &b]);
+    }
+
+    #[test]
+    fn matvec_matches_manual_sum() {
+        // B = [[+1, -1], [-1, +1]], x = [2, 3] -> y = [-1, 1]
+        let s = SignMatrix::from_vec(2, 2, vec![1, -1, -1, 1]);
+        assert_eq!(s.matvec(&[2.0, 3.0]), vec![-1.0, 1.0]);
+    }
+
+    #[test]
+    fn matmul_matches_matvec_per_column() {
+        let s = SignMatrix::from_fn(4, 6, |i, j| (i * 7 + j * 3) % 2 == 0);
+        let x = ColMatrix::from_fn(6, 3, |i, j| (i as f32) * 0.25 - j as f32);
+        let y = s.matmul(&x);
+        for a in 0..3 {
+            let yv = s.matvec(x.col(a));
+            for i in 0..4 {
+                assert_eq!(y.get(i, a), yv[i]);
+            }
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Lightweight row-range and column-range views used by tiled kernels.
+//!
+//! Tiling (Algorithm 2 of the paper) walks rectangular tiles of the key
+//! matrix and the output. These views carry `(offset, len)` pairs so tile
+//! loops can hand out disjoint mutable output row-blocks without `unsafe`.
+
+use crate::dense::{ColMatrix, Matrix};
+
+/// A contiguous range of rows `[start, start+len)` of a row-major [`Matrix`].
+#[derive(Clone, Copy, Debug)]
+pub struct RowsView<'a> {
+    mat: &'a Matrix,
+    start: usize,
+    len: usize,
+}
+
+impl<'a> RowsView<'a> {
+    /// Borrows rows `[start, start+len)`.
+    ///
+    /// # Panics
+    /// Panics when the range exceeds the matrix.
+    pub fn new(mat: &'a Matrix, start: usize, len: usize) -> Self {
+        assert!(start + len <= mat.rows(), "row range out of bounds");
+        Self { mat, start, len }
+    }
+
+    /// First row index of the view in the parent matrix.
+    #[inline]
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Number of rows in the view.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the view is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Row `i` *of the view* (i.e. parent row `start + i`).
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        debug_assert!(i < self.len);
+        self.mat.row(self.start + i)
+    }
+}
+
+/// A contiguous range of columns `[start, start+len)` of a column-major
+/// [`ColMatrix`].
+#[derive(Clone, Copy, Debug)]
+pub struct ColsView<'a> {
+    mat: &'a ColMatrix,
+    start: usize,
+    len: usize,
+}
+
+impl<'a> ColsView<'a> {
+    /// Borrows columns `[start, start+len)`.
+    ///
+    /// # Panics
+    /// Panics when the range exceeds the matrix.
+    pub fn new(mat: &'a ColMatrix, start: usize, len: usize) -> Self {
+        assert!(start + len <= mat.cols(), "column range out of bounds");
+        Self { mat, start, len }
+    }
+
+    /// First column index of the view in the parent matrix.
+    #[inline]
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Number of columns in the view.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the view is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Column `j` *of the view* (parent column `start + j`).
+    #[inline]
+    pub fn col(&self, j: usize) -> &[f32] {
+        debug_assert!(j < self.len);
+        self.mat.col(self.start + j)
+    }
+}
+
+/// Splits `total` into `ceil(total/size)` contiguous `(start, len)` tiles.
+pub fn tile_ranges(total: usize, size: usize) -> Vec<(usize, usize)> {
+    assert!(size > 0, "tile size must be positive");
+    let mut out = Vec::with_capacity(total.div_ceil(size));
+    let mut start = 0;
+    while start < total {
+        let len = size.min(total - start);
+        out.push((start, len));
+        start += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_view_indexes_into_parent() {
+        let m = Matrix::from_fn(6, 2, |i, j| (i * 10 + j) as f32);
+        let v = RowsView::new(&m, 2, 3);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.row(0), m.row(2));
+        assert_eq!(v.row(2), m.row(4));
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn cols_view_indexes_into_parent() {
+        let m = ColMatrix::from_fn(3, 5, |i, j| (i + j * 100) as f32);
+        let v = ColsView::new(&m, 1, 2);
+        assert_eq!(v.col(1), m.col(2));
+        assert_eq!(v.start(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn rows_view_rejects_overflow() {
+        let m = Matrix::zeros(4, 1);
+        let _ = RowsView::new(&m, 3, 2);
+    }
+
+    #[test]
+    fn tile_ranges_cover_exactly() {
+        assert_eq!(tile_ranges(10, 4), vec![(0, 4), (4, 4), (8, 2)]);
+        assert_eq!(tile_ranges(8, 4), vec![(0, 4), (4, 4)]);
+        assert_eq!(tile_ranges(3, 8), vec![(0, 3)]);
+        assert_eq!(tile_ranges(0, 8), Vec::<(usize, usize)>::new());
+    }
+
+    #[test]
+    fn tile_ranges_partition_is_disjoint_and_total() {
+        for total in [1usize, 7, 16, 33] {
+            for size in [1usize, 2, 5, 16] {
+                let tiles = tile_ranges(total, size);
+                let sum: usize = tiles.iter().map(|&(_, l)| l).sum();
+                assert_eq!(sum, total);
+                for w in tiles.windows(2) {
+                    assert_eq!(w[0].0 + w[0].1, w[1].0);
+                }
+            }
+        }
+    }
+}

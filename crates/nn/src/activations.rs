@@ -1,0 +1,150 @@
+//! Element-wise activations and column softmax.
+//!
+//! The paper keeps activations in floating point throughout (weight-only
+//! quantization), so these run on plain `f32` — and layer-norm/softmax are
+//! precisely the operations it cites as demanding float math in INT8
+//! pipelines.
+
+use biq_matrix::ColMatrix;
+
+/// ReLU.
+#[inline]
+pub fn relu(v: f32) -> f32 {
+    v.max(0.0)
+}
+
+/// Numerically-stable logistic sigmoid.
+#[inline]
+pub fn sigmoid(v: f32) -> f32 {
+    if v >= 0.0 {
+        1.0 / (1.0 + (-v).exp())
+    } else {
+        let e = v.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Hyperbolic tangent.
+#[inline]
+pub fn tanh(v: f32) -> f32 {
+    v.tanh()
+}
+
+/// GELU, tanh approximation (the Transformer/BERT feed-forward activation).
+#[inline]
+pub fn gelu(v: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/π)
+    0.5 * v * (1.0 + (C * (v + 0.044715 * v * v * v)).tanh())
+}
+
+/// Applies `f` to every element in place.
+pub fn map_inplace(x: &mut ColMatrix, f: impl Fn(f32) -> f32) {
+    for v in x.as_mut_slice() {
+        *v = f(*v);
+    }
+}
+
+/// Numerically-stable softmax over a slice, in place.
+pub fn softmax_inplace(v: &mut [f32]) {
+    if v.is_empty() {
+        return;
+    }
+    let max = v.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+    let mut sum = 0.0f32;
+    for x in v.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    let inv = 1.0 / sum;
+    for x in v.iter_mut() {
+        *x *= inv;
+    }
+}
+
+/// Softmax over each *column* of a column-major matrix (per-token
+/// distribution over the feature axis).
+pub fn softmax_columns(x: &mut ColMatrix) {
+    for j in 0..x.cols() {
+        softmax_inplace(x.col_mut(j));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        assert_eq!(relu(-1.0), 0.0);
+        assert_eq!(relu(2.5), 2.5);
+    }
+
+    #[test]
+    fn sigmoid_symmetry_and_range() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        for v in [-30.0f32, -2.0, 0.3, 10.0, 50.0] {
+            let s = sigmoid(v);
+            assert!((0.0..=1.0).contains(&s));
+            assert!((sigmoid(-v) - (1.0 - s)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sigmoid_stable_at_extremes() {
+        assert!(sigmoid(-1e4).is_finite());
+        assert!(sigmoid(1e4).is_finite());
+        assert!(sigmoid(-1e4) < 1e-30);
+        assert!((sigmoid(1e4) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gelu_known_values() {
+        assert_eq!(gelu(0.0), 0.0);
+        assert!((gelu(1.0) - 0.8412).abs() < 1e-3);
+        assert!(gelu(-5.0).abs() < 1e-3);
+        assert!((gelu(5.0) - 5.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_shift_invariant() {
+        let mut a = vec![1.0f32, 2.0, 3.0];
+        let mut b = vec![101.0f32, 102.0, 103.0];
+        softmax_inplace(&mut a);
+        softmax_inplace(&mut b);
+        assert!((a.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+        assert!(a[2] > a[1] && a[1] > a[0]);
+    }
+
+    #[test]
+    fn softmax_handles_large_inputs() {
+        let mut v = vec![1000.0f32, 1000.0];
+        softmax_inplace(&mut v);
+        assert!((v[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_empty_is_noop() {
+        let mut v: Vec<f32> = vec![];
+        softmax_inplace(&mut v);
+    }
+
+    #[test]
+    fn softmax_columns_normalises_each_column() {
+        let mut x = ColMatrix::from_fn(3, 2, |i, j| (i + j) as f32);
+        softmax_columns(&mut x);
+        for j in 0..2 {
+            let s: f32 = x.col(j).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn map_inplace_applies_everywhere() {
+        let mut x = ColMatrix::from_fn(2, 2, |i, j| (i as f32) - (j as f32));
+        map_inplace(&mut x, relu);
+        assert!(x.as_slice().iter().all(|&v| v >= 0.0));
+    }
+}

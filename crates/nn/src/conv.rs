@@ -1,0 +1,338 @@
+//! 2-D convolution lowered to GEMM via im2col — the CNN counterpart of the
+//! paper's workloads (its binary-coding lineage, XNOR-Net \[19\] and
+//! LQ-Nets \[17\], is all convolutional).
+//!
+//! A convolution with kernels `K ∈ R^{C_out × C_in × kh × kw}` over an input
+//! `C_in × H × W` becomes one matrix multiplication:
+//!
+//! ```text
+//! W_mat : C_out × (C_in·kh·kw)      (each kernel flattened to a row)
+//! X_col : (C_in·kh·kw) × (H_out·W_out)   (im2col patches as columns)
+//! Y     = W_mat · X_col             -> C_out × (H_out·W_out)
+//! ```
+//!
+//! `W_mat` is a fixed weight matrix, so it quantizes and runs through
+//! BiQGEMM exactly like a Linear layer; the im2col gather stays fp32. The
+//! patch-column count `H_out·W_out` plays the role of GEMM batch — large for
+//! early layers, which is the regime where the paper's crossover analysis
+//! (Fig. 10) matters.
+
+use crate::linear::Linear;
+use biq_matrix::{ColMatrix, Matrix, MatrixRng};
+
+/// A `C × H × W` feature map, channel-major contiguous.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FeatureMap {
+    /// Channels.
+    pub channels: usize,
+    /// Height.
+    pub height: usize,
+    /// Width.
+    pub width: usize,
+    data: Vec<f32>,
+}
+
+impl FeatureMap {
+    /// Zero-filled map.
+    pub fn zeros(channels: usize, height: usize, width: usize) -> Self {
+        Self { channels, height, width, data: vec![0.0; channels * height * width] }
+    }
+
+    /// Wraps a channel-major buffer.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn from_vec(channels: usize, height: usize, width: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), channels * height * width, "buffer length mismatch");
+        Self { channels, height, width, data }
+    }
+
+    /// Random map.
+    pub fn random(rng: &mut MatrixRng, channels: usize, height: usize, width: usize) -> Self {
+        Self::from_vec(channels, height, width, rng.gaussian_vec(channels * height * width))
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, c: usize, y: usize, x: usize) -> f32 {
+        debug_assert!(c < self.channels && y < self.height && x < self.width);
+        self.data[(c * self.height + y) * self.width + x]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn set(&mut self, c: usize, y: usize, x: usize, v: f32) {
+        self.data[(c * self.height + y) * self.width + x] = v;
+    }
+
+    /// The backing slice.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+}
+
+/// Geometry of a convolution.
+#[derive(Clone, Copy, Debug)]
+pub struct ConvShape {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels.
+    pub out_channels: usize,
+    /// Kernel height/width.
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Symmetric zero padding.
+    pub padding: usize,
+}
+
+impl ConvShape {
+    /// Output spatial size for an input of `h × w`.
+    ///
+    /// # Panics
+    /// Panics if the kernel does not fit the padded input.
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let ph = h + 2 * self.padding;
+        let pw = w + 2 * self.padding;
+        assert!(ph >= self.kernel && pw >= self.kernel, "kernel larger than padded input");
+        ((ph - self.kernel) / self.stride + 1, (pw - self.kernel) / self.stride + 1)
+    }
+
+    /// Rows of the im2col matrix (`C_in · k · k`).
+    pub fn patch_len(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+}
+
+/// Lowers an input map to the im2col matrix (`patch_len × H_out·W_out`,
+/// column-major — each output position is one column, ready for the
+/// workspace's GEMM convention).
+pub fn im2col(input: &FeatureMap, shape: &ConvShape) -> ColMatrix {
+    assert_eq!(input.channels, shape.in_channels, "channel mismatch");
+    let (ho, wo) = shape.output_hw(input.height, input.width);
+    let plen = shape.patch_len();
+    let mut out = ColMatrix::zeros(plen, ho * wo);
+    let pad = shape.padding as isize;
+    for oy in 0..ho {
+        for ox in 0..wo {
+            let col = out.col_mut(oy * wo + ox);
+            let mut r = 0;
+            for c in 0..shape.in_channels {
+                for ky in 0..shape.kernel {
+                    for kx in 0..shape.kernel {
+                        let iy = (oy * shape.stride + ky) as isize - pad;
+                        let ix = (ox * shape.stride + kx) as isize - pad;
+                        col[r] = if iy >= 0
+                            && ix >= 0
+                            && (iy as usize) < input.height
+                            && (ix as usize) < input.width
+                        {
+                            input.get(c, iy as usize, ix as usize)
+                        } else {
+                            0.0
+                        };
+                        r += 1;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A 2-D convolution layer executing as im2col + backend matmul.
+#[derive(Clone, Debug)]
+pub struct Conv2d {
+    shape: ConvShape,
+    /// `C_out × patch_len` flattened kernels on a pluggable backend.
+    weight: Linear,
+}
+
+impl Conv2d {
+    /// Wraps flattened kernels (`C_out × C_in·k·k`) already in a [`Linear`].
+    ///
+    /// # Panics
+    /// Panics if the linear's shape disagrees with `shape`.
+    pub fn new(shape: ConvShape, weight: Linear) -> Self {
+        assert_eq!(weight.out_features(), shape.out_channels, "out_channels mismatch");
+        assert_eq!(weight.in_features(), shape.patch_len(), "patch length mismatch");
+        Self { shape, weight }
+    }
+
+    /// Randomly initialised convolution on `backend`.
+    pub fn random(
+        rng: &mut MatrixRng,
+        shape: ConvShape,
+        backend: crate::transformer::LayerBackend,
+    ) -> Self {
+        let std = (shape.patch_len() as f32).powf(-0.5);
+        let w = rng.gaussian(shape.out_channels, shape.patch_len(), 0.0, std);
+        let weight = match backend {
+            crate::transformer::LayerBackend::Fp32 { parallel } => {
+                Linear::fp32_with(w, None, parallel)
+            }
+            crate::transformer::LayerBackend::Biq { bits, method, cfg, parallel } => {
+                if parallel {
+                    Linear::quantized_parallel(&w, bits, method, cfg, None)
+                } else {
+                    Linear::quantized(&w, bits, method, cfg, None)
+                }
+            }
+            crate::transformer::LayerBackend::Xnor { bits } => Linear::xnor(&w, bits, None),
+        };
+        Self::new(shape, weight)
+    }
+
+    /// Geometry.
+    pub fn shape(&self) -> &ConvShape {
+        &self.shape
+    }
+
+    /// Convolves one feature map.
+    pub fn forward(&self, input: &FeatureMap) -> FeatureMap {
+        let (ho, wo) = self.shape.output_hw(input.height, input.width);
+        let xcol = im2col(input, &self.shape);
+        let y = self.weight.forward(&xcol); // C_out × (ho·wo), column-major
+        let mut out = FeatureMap::zeros(self.shape.out_channels, ho, wo);
+        for c in 0..self.shape.out_channels {
+            for p in 0..ho * wo {
+                out.set(c, p / wo, p % wo, y.get(c, p));
+            }
+        }
+        out
+    }
+}
+
+/// Direct (nested-loop) convolution — the test oracle for the im2col path.
+pub fn conv2d_direct(input: &FeatureMap, kernels: &Matrix, shape: &ConvShape) -> FeatureMap {
+    assert_eq!(kernels.rows(), shape.out_channels);
+    assert_eq!(kernels.cols(), shape.patch_len());
+    let (ho, wo) = shape.output_hw(input.height, input.width);
+    let mut out = FeatureMap::zeros(shape.out_channels, ho, wo);
+    let pad = shape.padding as isize;
+    for co in 0..shape.out_channels {
+        let krow = kernels.row(co);
+        for oy in 0..ho {
+            for ox in 0..wo {
+                let mut acc = 0.0f32;
+                let mut r = 0;
+                for c in 0..shape.in_channels {
+                    for ky in 0..shape.kernel {
+                        for kx in 0..shape.kernel {
+                            let iy = (oy * shape.stride + ky) as isize - pad;
+                            let ix = (ox * shape.stride + kx) as isize - pad;
+                            if iy >= 0
+                                && ix >= 0
+                                && (iy as usize) < input.height
+                                && (ix as usize) < input.width
+                            {
+                                acc += krow[r] * input.get(c, iy as usize, ix as usize);
+                            }
+                            r += 1;
+                        }
+                    }
+                }
+                out.set(co, oy, ox, acc);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::QuantMethod;
+    use crate::transformer::LayerBackend;
+    use biq_quant::error_metrics::relative_l2;
+    use biqgemm_core::BiqConfig;
+
+    const FP: LayerBackend = LayerBackend::Fp32 { parallel: false };
+
+    fn shape(ci: usize, co: usize, k: usize, s: usize, p: usize) -> ConvShape {
+        ConvShape { in_channels: ci, out_channels: co, kernel: k, stride: s, padding: p }
+    }
+
+    #[test]
+    fn output_geometry() {
+        assert_eq!(shape(1, 1, 3, 1, 0).output_hw(8, 8), (6, 6));
+        assert_eq!(shape(1, 1, 3, 1, 1).output_hw(8, 8), (8, 8)); // "same"
+        assert_eq!(shape(1, 1, 3, 2, 1).output_hw(8, 8), (4, 4));
+        assert_eq!(shape(1, 1, 1, 1, 0).output_hw(5, 7), (5, 7));
+    }
+
+    #[test]
+    fn im2col_identity_kernel_geometry() {
+        // 1×1 kernel, stride 1: im2col is just the channel-major reshape.
+        let mut g = MatrixRng::seed_from(800);
+        let fm = FeatureMap::random(&mut g, 3, 4, 5);
+        let sh = shape(3, 8, 1, 1, 0);
+        let cols = im2col(&fm, &sh);
+        assert_eq!(cols.shape(), (3, 20));
+        for p in 0..20 {
+            for c in 0..3 {
+                assert_eq!(cols.get(c, p), fm.get(c, p / 5, p % 5));
+            }
+        }
+    }
+
+    #[test]
+    fn im2col_conv_matches_direct_for_all_geometries() {
+        let mut g = MatrixRng::seed_from(801);
+        for (k, s, p) in [(3usize, 1usize, 0usize), (3, 1, 1), (3, 2, 1), (5, 2, 2), (1, 1, 0)] {
+            let sh = shape(2, 4, k, s, p);
+            let fm = FeatureMap::random(&mut g, 2, 9, 11);
+            let kernels = g.gaussian(4, sh.patch_len(), 0.0, 0.5);
+            let conv = Conv2d::new(sh, Linear::fp32(kernels.clone(), None));
+            let y = conv.forward(&fm);
+            let y_ref = conv2d_direct(&fm, &kernels, &sh);
+            assert_eq!(y.channels, y_ref.channels);
+            assert_eq!((y.height, y.width), (y_ref.height, y_ref.width));
+            for (a, b) in y.as_slice().iter().zip(y_ref.as_slice()) {
+                assert!((a - b).abs() < 1e-4, "k={k} s={s} p={p}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn padding_zeroes_outside() {
+        // All-ones input, all-ones 3×3 kernel, padding 1: the corner output
+        // sums only the 4 in-bounds taps.
+        let fm = FeatureMap::from_vec(1, 3, 3, vec![1.0; 9]);
+        let sh = shape(1, 1, 3, 1, 1);
+        let kernels = Matrix::filled(1, 9, 1.0);
+        let y = conv2d_direct(&fm, &kernels, &sh);
+        assert_eq!(y.get(0, 0, 0), 4.0);
+        assert_eq!(y.get(0, 1, 1), 9.0);
+    }
+
+    #[test]
+    fn quantized_conv_tracks_fp32() {
+        let sh = shape(4, 16, 3, 1, 1);
+        let fm = {
+            let mut g = MatrixRng::seed_from(802);
+            FeatureMap::random(&mut g, 4, 8, 8)
+        };
+        let mk = |backend| {
+            let mut g = MatrixRng::seed_from(803);
+            Conv2d::random(&mut g, sh, backend)
+        };
+        let y_fp = mk(FP).forward(&fm);
+        let y_q = mk(LayerBackend::Biq {
+            bits: 3,
+            method: QuantMethod::Greedy,
+            cfg: BiqConfig::default(),
+            parallel: false,
+        })
+        .forward(&fm);
+        let err = relative_l2(y_q.as_slice(), y_fp.as_slice());
+        assert!(err < 0.35, "3-bit conv relative error {err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "patch length mismatch")]
+    fn wrong_kernel_width_rejected() {
+        let sh = shape(2, 3, 3, 1, 0);
+        let _ = Conv2d::new(sh, Linear::fp32(Matrix::zeros(3, 10), None));
+    }
+}

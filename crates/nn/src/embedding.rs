@@ -1,0 +1,137 @@
+//! Token embeddings and sinusoidal positional encodings — the non-GEMM
+//! front end of the paper's NMT workload.
+//!
+//! Embedding lookup is a gather, not a matrix multiply, so it stays fp32;
+//! the *output projection* (embedding transposed, `vocab × d`) is a real
+//! few-batch GEMM and is quantizable like any [`crate::linear::Linear`].
+
+use biq_matrix::{ColMatrix, Matrix, MatrixRng};
+
+/// A `vocab × d_model` embedding table.
+#[derive(Clone, Debug)]
+pub struct Embedding {
+    table: Matrix,
+}
+
+impl Embedding {
+    /// Wraps an existing table.
+    pub fn new(table: Matrix) -> Self {
+        Self { table }
+    }
+
+    /// Randomly initialised table (`N(0, d^{-1/2})`, the Transformer init).
+    pub fn random(rng: &mut MatrixRng, vocab: usize, d_model: usize) -> Self {
+        Self { table: rng.gaussian(vocab, d_model, 0.0, (d_model as f32).powf(-0.5)) }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.table.rows()
+    }
+
+    /// Embedding width.
+    pub fn d_model(&self) -> usize {
+        self.table.cols()
+    }
+
+    /// The raw table (e.g. to tie the output projection).
+    pub fn table(&self) -> &Matrix {
+        &self.table
+    }
+
+    /// Embeds a token sequence into a `d_model × len` activation matrix.
+    ///
+    /// # Panics
+    /// Panics if any token id is out of vocabulary.
+    pub fn forward(&self, tokens: &[usize]) -> ColMatrix {
+        let d = self.d_model();
+        let mut out = ColMatrix::zeros(d, tokens.len());
+        for (j, &tok) in tokens.iter().enumerate() {
+            assert!(tok < self.vocab(), "token {tok} out of vocabulary {}", self.vocab());
+            let row = self.table.row(tok);
+            out.col_mut(j).copy_from_slice(row);
+        }
+        out
+    }
+}
+
+/// Adds the standard sinusoidal positional encoding in place:
+/// `PE(pos, 2i) = sin(pos / 10000^{2i/d})`, `PE(pos, 2i+1) = cos(…)`.
+pub fn add_positional_encoding(x: &mut ColMatrix, start_pos: usize) {
+    let d = x.rows();
+    for j in 0..x.cols() {
+        let pos = (start_pos + j) as f32;
+        let col = x.col_mut(j);
+        for (i, c) in col.iter_mut().enumerate() {
+            let pair = (i / 2) as f32;
+            let freq = 1.0f32 / 10000f32.powf(2.0 * pair / d as f32);
+            let angle = pos * freq;
+            *c += if i % 2 == 0 { angle.sin() } else { angle.cos() };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embeds_tokens_to_table_rows() {
+        let table = Matrix::from_fn(4, 3, |i, j| (i * 10 + j) as f32);
+        let e = Embedding::new(table);
+        let x = e.forward(&[2, 0, 2]);
+        assert_eq!(x.shape(), (3, 3));
+        assert_eq!(x.col(0), &[20.0, 21.0, 22.0]);
+        assert_eq!(x.col(1), &[0.0, 1.0, 2.0]);
+        assert_eq!(x.col(0), x.col(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocabulary")]
+    fn oov_token_panics() {
+        let e = Embedding::new(Matrix::zeros(4, 2));
+        let _ = e.forward(&[4]);
+    }
+
+    #[test]
+    fn positional_encoding_position_zero_is_sin0_cos0() {
+        let mut x = ColMatrix::zeros(6, 1);
+        add_positional_encoding(&mut x, 0);
+        // pos 0: sin(0) = 0 on even dims, cos(0) = 1 on odd dims.
+        for i in 0..6 {
+            let expected = if i % 2 == 0 { 0.0 } else { 1.0 };
+            assert!((x.get(i, 0) - expected).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn positional_encoding_is_shift_consistent() {
+        // Encoding column j with start 0 equals column 0 with start j.
+        let d = 8;
+        let mut a = ColMatrix::zeros(d, 4);
+        add_positional_encoding(&mut a, 0);
+        for j in 0..4 {
+            let mut b = ColMatrix::zeros(d, 1);
+            add_positional_encoding(&mut b, j);
+            for i in 0..d {
+                assert!((a.get(i, j) - b.get(i, 0)).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn positional_values_bounded() {
+        let mut x = ColMatrix::zeros(16, 32);
+        add_positional_encoding(&mut x, 100);
+        assert!(x.as_slice().iter().all(|&v| v.abs() <= 1.0 + 1e-6));
+    }
+
+    #[test]
+    fn random_embedding_shapes() {
+        let mut g = MatrixRng::seed_from(42);
+        let e = Embedding::random(&mut g, 100, 16);
+        assert_eq!(e.vocab(), 100);
+        assert_eq!(e.d_model(), 16);
+        assert_eq!(e.forward(&[7, 8]).shape(), (16, 2));
+    }
+}

@@ -1,0 +1,30 @@
+//! Neural-network substrate exercising BiQGEMM on the workloads the paper's
+//! introduction motivates (Section II-C): Transformer attention/feed-forward
+//! blocks and (bi-directional) LSTM speech models.
+//!
+//! Activations flow as **column-major `features × batch`** matrices
+//! ([`biq_matrix::ColMatrix`]): a batch column is one token (Transformers) or
+//! one time-step sample (LSTMs), matching the paper's observation that the
+//! sub-words of a sequence are processed "in a group manner" — i.e. sequence
+//! length plays the role of GEMM batch size.
+//!
+//! The only compute-bearing primitive is [`linear::Linear`], which carries a
+//! pluggable [`linear::Backend`]: full-precision blocked GEMM, BiQGEMM over
+//! binary-coding quantized weights, or XNOR-popcount. Every composite layer
+//! (attention, Transformer encoder/decoder, LSTM) is backend-agnostic, so an
+//! entire model can be flipped from fp32 to quantized inference with one
+//! constructor argument — exactly the deployment story BiQGEMM targets.
+
+pub mod activations;
+pub mod attention;
+pub mod configs;
+pub mod conv;
+pub mod layernorm;
+pub mod linear;
+pub mod pooling;
+pub mod embedding;
+pub mod lstm;
+pub mod seq2seq;
+pub mod transformer;
+
+pub use linear::{Backend, BackendKind, Linear};

@@ -1,0 +1,333 @@
+//! LSTM cells and (bi-directional) layers — the paper's ASR workload
+//! (Section II-C cites LAS: six bi-LSTM encoder layers with `2.5K × 5K`
+//! weight matrices).
+//!
+//! Gate layout follows the usual packed convention: the input-to-hidden and
+//! hidden-to-hidden matrices each stack the four gates `[i; f; g; o]`
+//! vertically (`4h × in` and `4h × h`), so one step costs exactly two
+//! few-batch GEMMs — the memory-bound shape BiQGEMM accelerates. Both
+//! matrices run through a backend-pluggable [`Linear`].
+
+use crate::activations::{sigmoid, tanh};
+use crate::linear::Linear;
+use crate::transformer::LayerBackend;
+use biq_matrix::{ColMatrix, MatrixRng};
+
+/// One LSTM cell (`input_size → hidden`).
+#[derive(Clone, Debug)]
+pub struct LstmCell {
+    /// Input projection `4h × input_size` (gates stacked `[i; f; g; o]`).
+    w_ih: Linear,
+    /// Recurrent projection `4h × h`.
+    w_hh: Linear,
+    hidden: usize,
+    input_size: usize,
+}
+
+/// The running state of an LSTM: `(h, c)`, each `hidden × batch`.
+#[derive(Clone, Debug)]
+pub struct LstmState {
+    /// Hidden state.
+    pub h: ColMatrix,
+    /// Cell state.
+    pub c: ColMatrix,
+}
+
+impl LstmState {
+    /// Zero state for `hidden × batch`.
+    pub fn zeros(hidden: usize, batch: usize) -> Self {
+        Self { h: ColMatrix::zeros(hidden, batch), c: ColMatrix::zeros(hidden, batch) }
+    }
+}
+
+impl LstmCell {
+    /// Builds a cell from its two packed projections.
+    ///
+    /// # Panics
+    /// Panics unless both have `4h` output rows and `w_hh` is `4h × h`.
+    pub fn new(w_ih: Linear, w_hh: Linear) -> Self {
+        let four_h = w_ih.out_features();
+        assert_eq!(w_hh.out_features(), four_h, "gate stack mismatch");
+        assert_eq!(four_h % 4, 0, "output rows must be 4·hidden");
+        let hidden = four_h / 4;
+        assert_eq!(w_hh.in_features(), hidden, "w_hh must be 4h × h");
+        Self { input_size: w_ih.in_features(), w_ih, w_hh, hidden }
+    }
+
+    /// Randomly initialised cell on `backend`.
+    pub fn random(
+        rng: &mut MatrixRng,
+        input_size: usize,
+        hidden: usize,
+        backend: LayerBackend,
+    ) -> Self {
+        let std_i = (input_size as f32).powf(-0.5);
+        let std_h = (hidden as f32).powf(-0.5);
+        let w_ih = backend_linear(backend, rng, 4 * hidden, input_size, std_i);
+        let w_hh = backend_linear(backend, rng, 4 * hidden, hidden, std_h);
+        Self::new(w_ih, w_hh)
+    }
+
+    /// Hidden size `h`.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Input size.
+    pub fn input_size(&self) -> usize {
+        self.input_size
+    }
+
+    /// One time step: consumes `x_t` (`input × batch`) and the previous
+    /// state, returns the next state.
+    ///
+    /// # Panics
+    /// Panics on shape mismatches.
+    pub fn step(&self, x: &ColMatrix, state: &LstmState) -> LstmState {
+        assert_eq!(x.rows(), self.input_size, "input feature mismatch");
+        assert_eq!(state.h.rows(), self.hidden, "state size mismatch");
+        assert_eq!(x.cols(), state.h.cols(), "batch mismatch");
+        let batch = x.cols();
+        let gx = self.w_ih.forward(x); // 4h × b
+        let gh = self.w_hh.forward(&state.h); // 4h × b
+        let h = self.hidden;
+        let mut next = LstmState::zeros(h, batch);
+        for col in 0..batch {
+            let gxc = gx.col(col);
+            let ghc = gh.col(col);
+            let cprev = state.c.col(col);
+            let hc = next.h.col_mut(col);
+            // Gates: i = σ, f = σ, g = tanh, o = σ.
+            for r in 0..h {
+                let i = sigmoid(gxc[r] + ghc[r]);
+                let f = sigmoid(gxc[h + r] + ghc[h + r]);
+                let g = tanh(gxc[2 * h + r] + ghc[2 * h + r]);
+                let o = sigmoid(gxc[3 * h + r] + ghc[3 * h + r]);
+                let c = f * cprev[r] + i * g;
+                hc[r] = o * tanh(c);
+                // store c afterwards (separate borrow)
+                // (written below)
+                next.c.set(r, col, c);
+            }
+        }
+        next
+    }
+}
+
+fn backend_linear(
+    backend: LayerBackend,
+    rng: &mut MatrixRng,
+    out: usize,
+    inp: usize,
+    std: f32,
+) -> Linear {
+    let w = rng.gaussian(out, inp, 0.0, std);
+    match backend {
+        LayerBackend::Fp32 { parallel } => Linear::fp32_with(w, None, parallel),
+        LayerBackend::Biq { bits, method, cfg, parallel } => {
+            if parallel {
+                Linear::quantized_parallel(&w, bits, method, cfg, None)
+            } else {
+                Linear::quantized(&w, bits, method, cfg, None)
+            }
+        }
+        LayerBackend::Xnor { bits } => Linear::xnor(&w, bits, None),
+    }
+}
+
+/// A unidirectional LSTM layer unrolled over a sequence.
+#[derive(Clone, Debug)]
+pub struct Lstm {
+    cell: LstmCell,
+}
+
+impl Lstm {
+    /// Wraps a cell.
+    pub fn new(cell: LstmCell) -> Self {
+        Self { cell }
+    }
+
+    /// Randomly initialised layer.
+    pub fn random(
+        rng: &mut MatrixRng,
+        input_size: usize,
+        hidden: usize,
+        backend: LayerBackend,
+    ) -> Self {
+        Self::new(LstmCell::random(rng, input_size, hidden, backend))
+    }
+
+    /// The cell.
+    pub fn cell(&self) -> &LstmCell {
+        &self.cell
+    }
+
+    /// Runs the sequence (`seq` of `input × batch` frames), returning all
+    /// hidden states (`seq` of `hidden × batch`).
+    pub fn forward(&self, seq: &[ColMatrix]) -> Vec<ColMatrix> {
+        let batch = seq.first().map_or(0, |x| x.cols());
+        let mut state = LstmState::zeros(self.cell.hidden(), batch);
+        let mut out = Vec::with_capacity(seq.len());
+        for x in seq {
+            state = self.cell.step(x, &state);
+            out.push(state.h.clone());
+        }
+        out
+    }
+}
+
+/// A bi-directional LSTM layer: forward and backward passes concatenated
+/// along the feature axis (output size `2h`), the LAS encoder building
+/// block.
+#[derive(Clone, Debug)]
+pub struct BiLstm {
+    fwd: Lstm,
+    bwd: Lstm,
+}
+
+impl BiLstm {
+    /// Randomly initialised bi-LSTM.
+    pub fn random(
+        rng: &mut MatrixRng,
+        input_size: usize,
+        hidden: usize,
+        backend: LayerBackend,
+    ) -> Self {
+        Self {
+            fwd: Lstm::random(rng, input_size, hidden, backend),
+            bwd: Lstm::random(rng, input_size, hidden, backend),
+        }
+    }
+
+    /// Output feature size (`2h`).
+    pub fn output_size(&self) -> usize {
+        2 * self.fwd.cell().hidden()
+    }
+
+    /// Runs both directions and concatenates per time step.
+    pub fn forward(&self, seq: &[ColMatrix]) -> Vec<ColMatrix> {
+        let f = self.fwd.forward(seq);
+        let rev: Vec<ColMatrix> = seq.iter().rev().cloned().collect();
+        let mut b = self.bwd.forward(&rev);
+        b.reverse();
+        f.into_iter()
+            .zip(b)
+            .map(|(hf, hb)| {
+                let (h, batch) = hf.shape();
+                ColMatrix::from_fn(2 * h, batch, |i, j| {
+                    if i < h {
+                        hf.get(i, j)
+                    } else {
+                        hb.get(i - h, j)
+                    }
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::QuantMethod;
+    use biq_quant::error_metrics::cosine_similarity;
+    use biqgemm_core::BiqConfig;
+
+    const FP: LayerBackend = LayerBackend::Fp32 { parallel: false };
+
+    #[test]
+    fn state_shapes_propagate() {
+        let mut g = MatrixRng::seed_from(340);
+        let cell = LstmCell::random(&mut g, 10, 8, FP);
+        let x = g.gaussian_col(10, 3, 0.0, 1.0);
+        let s = cell.step(&x, &LstmState::zeros(8, 3));
+        assert_eq!(s.h.shape(), (8, 3));
+        assert_eq!(s.c.shape(), (8, 3));
+    }
+
+    #[test]
+    fn hidden_state_is_bounded_by_one() {
+        // |h| = |o·tanh(c)| ≤ 1 always.
+        let mut g = MatrixRng::seed_from(341);
+        let cell = LstmCell::random(&mut g, 6, 5, FP);
+        let mut state = LstmState::zeros(5, 2);
+        for _ in 0..20 {
+            let x = g.gaussian_col(6, 2, 0.0, 3.0);
+            state = cell.step(&x, &state);
+            assert!(state.h.as_slice().iter().all(|&v| v.abs() <= 1.0 + 1e-6));
+        }
+    }
+
+    #[test]
+    fn forget_gate_zero_input_decays_cell() {
+        // With zero input and zero hidden, gates are σ(0)=0.5, g=tanh(0)=0,
+        // so c' = 0.5·c every step.
+        let mut g = MatrixRng::seed_from(342);
+        let cell = LstmCell::random(&mut g, 4, 3, FP);
+        let x = ColMatrix::zeros(4, 1);
+        let mut state = LstmState::zeros(3, 1);
+        state.c.set(0, 0, 1.0);
+        // After one step from h=0, c0' = 0.5·1 + 0.5·0 = 0.5 exactly? Only if
+        // biases are zero — Linear::random has no bias here, so gx = gh = 0.
+        let next = cell.step(&x, &state);
+        assert!((next.c.get(0, 0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sequence_unroll_length() {
+        let mut g = MatrixRng::seed_from(343);
+        let lstm = Lstm::random(&mut g, 6, 4, FP);
+        let seq: Vec<ColMatrix> = (0..7).map(|_| g.gaussian_col(6, 2, 0.0, 1.0)).collect();
+        let out = lstm.forward(&seq);
+        assert_eq!(out.len(), 7);
+        assert!(out.iter().all(|h| h.shape() == (4, 2)));
+    }
+
+    #[test]
+    fn bilstm_concatenates_directions() {
+        let mut g = MatrixRng::seed_from(344);
+        let bi = BiLstm::random(&mut g, 6, 4, FP);
+        assert_eq!(bi.output_size(), 8);
+        let seq: Vec<ColMatrix> = (0..5).map(|_| g.gaussian_col(6, 2, 0.0, 1.0)).collect();
+        let out = bi.forward(&seq);
+        assert_eq!(out.len(), 5);
+        assert!(out.iter().all(|h| h.shape() == (8, 2)));
+        // The forward half of step 0 equals a pure forward LSTM's step 0.
+        let f = bi.fwd.forward(&seq);
+        for i in 0..4 {
+            assert_eq!(out[0].get(i, 0), f[0].get(i, 0));
+        }
+    }
+
+    #[test]
+    fn quantized_lstm_tracks_fp32() {
+        let x_seq: Vec<ColMatrix> = {
+            let mut g = MatrixRng::seed_from(345);
+            (0..4).map(|_| g.gaussian_col(16, 2, 0.0, 1.0)).collect()
+        };
+        let mk = |backend| {
+            let mut g = MatrixRng::seed_from(888);
+            Lstm::random(&mut g, 16, 12, backend)
+        };
+        let fp = mk(FP);
+        let q = mk(LayerBackend::Biq {
+            bits: 3,
+            method: QuantMethod::Greedy,
+            cfg: BiqConfig::default(),
+            parallel: false,
+        });
+        let yf = fp.forward(&x_seq);
+        let yq = q.forward(&x_seq);
+        let cs = cosine_similarity(yq[3].as_slice(), yf[3].as_slice());
+        assert!(cs > 0.9, "cosine similarity {cs}");
+    }
+
+    #[test]
+    #[should_panic(expected = "w_hh must be 4h × h")]
+    fn mismatched_recurrent_rejected() {
+        let mut g = MatrixRng::seed_from(346);
+        let w_ih = Linear::fp32(g.gaussian(16, 6, 0.0, 1.0), None);
+        let w_hh = Linear::fp32(g.gaussian(16, 5, 0.0, 1.0), None);
+        let _ = LstmCell::new(w_ih, w_hh);
+    }
+}

@@ -1,0 +1,117 @@
+//! Spatial pooling over [`crate::conv::FeatureMap`]s — the glue that turns
+//! the Conv2d layer into a complete quantized-CNN inference path (the
+//! XNOR-Net \[19\] / LQ-Nets \[17\] setting the paper's quantizer lineage
+//! comes from).
+
+use crate::conv::FeatureMap;
+
+/// Max pooling with a square window and equal stride (no padding).
+///
+/// # Panics
+/// Panics if the window does not fit the input.
+pub fn max_pool2d(input: &FeatureMap, window: usize, stride: usize) -> FeatureMap {
+    assert!(window > 0 && stride > 0, "window/stride must be positive");
+    assert!(
+        input.height >= window && input.width >= window,
+        "pool window larger than input"
+    );
+    let ho = (input.height - window) / stride + 1;
+    let wo = (input.width - window) / stride + 1;
+    let mut out = FeatureMap::zeros(input.channels, ho, wo);
+    for c in 0..input.channels {
+        for oy in 0..ho {
+            for ox in 0..wo {
+                let mut best = f32::NEG_INFINITY;
+                for ky in 0..window {
+                    for kx in 0..window {
+                        best = best.max(input.get(c, oy * stride + ky, ox * stride + kx));
+                    }
+                }
+                out.set(c, oy, ox, best);
+            }
+        }
+    }
+    out
+}
+
+/// Global average pooling: collapses each channel to its spatial mean,
+/// producing the feature vector a classifier head consumes.
+pub fn global_avg_pool(input: &FeatureMap) -> Vec<f32> {
+    let area = (input.height * input.width) as f32;
+    (0..input.channels)
+        .map(|c| {
+            let mut acc = 0.0f32;
+            for y in 0..input.height {
+                for x in 0..input.width {
+                    acc += input.get(c, y, x);
+                }
+            }
+            acc / area
+        })
+        .collect()
+}
+
+/// ReLU applied element-wise to a feature map, in place.
+pub fn relu_inplace(input: &mut FeatureMap) {
+    let (c, h, w) = (input.channels, input.height, input.width);
+    for ci in 0..c {
+        for y in 0..h {
+            for x in 0..w {
+                let v = input.get(ci, y, x);
+                if v < 0.0 {
+                    input.set(ci, y, x, 0.0);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_reduces_and_selects_maxima() {
+        // 1 channel, 4x4 ramp; 2x2/2 pooling picks each block's bottom-right.
+        let fm = FeatureMap::from_vec(1, 4, 4, (0..16).map(|v| v as f32).collect());
+        let p = max_pool2d(&fm, 2, 2);
+        assert_eq!((p.channels, p.height, p.width), (1, 2, 2));
+        assert_eq!(p.get(0, 0, 0), 5.0);
+        assert_eq!(p.get(0, 0, 1), 7.0);
+        assert_eq!(p.get(0, 1, 0), 13.0);
+        assert_eq!(p.get(0, 1, 1), 15.0);
+    }
+
+    #[test]
+    fn overlapping_pool_geometry() {
+        let fm = FeatureMap::zeros(2, 5, 5);
+        let p = max_pool2d(&fm, 3, 1);
+        assert_eq!((p.height, p.width), (3, 3));
+        assert_eq!(p.channels, 2);
+    }
+
+    #[test]
+    fn global_avg_pool_is_channel_mean() {
+        let mut fm = FeatureMap::zeros(2, 2, 2);
+        for (i, v) in [1.0f32, 2.0, 3.0, 4.0].iter().enumerate() {
+            fm.set(0, i / 2, i % 2, *v);
+        }
+        fm.set(1, 0, 0, 8.0);
+        let g = global_avg_pool(&fm);
+        assert_eq!(g, vec![2.5, 2.0]);
+    }
+
+    #[test]
+    fn relu_clamps_only_negatives() {
+        let mut fm = FeatureMap::from_vec(1, 1, 3, vec![-1.0, 0.0, 2.0]);
+        relu_inplace(&mut fm);
+        assert_eq!(fm.as_slice(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "pool window larger")]
+    fn oversized_window_rejected() {
+        let fm = FeatureMap::zeros(1, 2, 2);
+        let _ = max_pool2d(&fm, 3, 1);
+    }
+}

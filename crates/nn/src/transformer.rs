@@ -1,0 +1,311 @@
+//! Transformer encoder / decoder layers (Section II-C of the paper:
+//! "an encoder layer includes one attention block structured as four (n × n)
+//! weight matrices and a feed-forward block with (n × 4n) and (4n × n)
+//! matrices").
+//!
+//! Post-norm residual arrangement as in the original Transformer:
+//! `x ← LN(x + Attn(x))`, `x ← LN(x + FF(x))` with `FF = W₂·gelu(W₁·x)`.
+
+use crate::activations::{gelu, map_inplace};
+use crate::attention::MultiHeadAttention;
+use crate::layernorm::LayerNorm;
+use crate::linear::{Linear, QuantMethod};
+use biq_matrix::{ColMatrix, Matrix, MatrixRng};
+use biqgemm_core::BiqConfig;
+
+/// How the weight matrices of a generated layer are executed.
+#[derive(Clone, Copy, Debug)]
+pub enum LayerBackend {
+    /// Dense fp32 (blocked GEMM); `parallel` picks the rayon driver.
+    Fp32 {
+        /// Use the multi-threaded kernel.
+        parallel: bool,
+    },
+    /// BiQGEMM over `bits`-bit binary-coding quantized weights.
+    Biq {
+        /// Quantization bits β_w.
+        bits: usize,
+        /// Quantizer flavour.
+        method: QuantMethod,
+        /// Engine configuration.
+        cfg: BiqConfig,
+        /// Use the multi-threaded kernel.
+        parallel: bool,
+    },
+    /// XNOR-popcount with `bits`-bit weights (activations binarised 1-bit).
+    Xnor {
+        /// Quantization bits β_w.
+        bits: usize,
+    },
+}
+
+impl LayerBackend {
+    fn linear(&self, weight: Matrix, bias: Option<Vec<f32>>) -> Linear {
+        match *self {
+            LayerBackend::Fp32 { parallel } => Linear::fp32_with(weight, bias, parallel),
+            LayerBackend::Biq { bits, method, cfg, parallel } => {
+                if parallel {
+                    Linear::quantized_parallel(&weight, bits, method, cfg, bias)
+                } else {
+                    Linear::quantized(&weight, bits, method, cfg, bias)
+                }
+            }
+            LayerBackend::Xnor { bits } => Linear::xnor(&weight, bits, bias),
+        }
+    }
+}
+
+/// One Transformer encoder layer.
+#[derive(Clone, Debug)]
+pub struct EncoderLayer {
+    attn: MultiHeadAttention,
+    ff1: Linear,
+    ff2: Linear,
+    ln1: LayerNorm,
+    ln2: LayerNorm,
+}
+
+impl EncoderLayer {
+    /// Assembles a layer from parts.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatches between the blocks.
+    pub fn new(
+        attn: MultiHeadAttention,
+        ff1: Linear,
+        ff2: Linear,
+        ln1: LayerNorm,
+        ln2: LayerNorm,
+    ) -> Self {
+        let d = attn.d_model();
+        assert_eq!(ff1.in_features(), d, "ff1 input must be d_model");
+        assert_eq!(ff2.out_features(), d, "ff2 output must be d_model");
+        assert_eq!(ff1.out_features(), ff2.in_features(), "ff inner dim mismatch");
+        assert_eq!(ln1.dim(), d, "ln1 dim");
+        assert_eq!(ln2.dim(), d, "ln2 dim");
+        Self { attn, ff1, ff2, ln1, ln2 }
+    }
+
+    /// Randomly initialised layer (`d_model`, `d_ff`, `heads`) on the given
+    /// backend — the harness's way of instantiating paper-sized workloads.
+    pub fn random(
+        rng: &mut MatrixRng,
+        d_model: usize,
+        d_ff: usize,
+        heads: usize,
+        backend: LayerBackend,
+    ) -> Self {
+        let std_a = (d_model as f32).powf(-0.5);
+        let std_f = (d_ff as f32).powf(-0.5);
+        let proj = |rng: &mut MatrixRng, b: &LayerBackend| {
+            b.linear(rng.gaussian(d_model, d_model, 0.0, std_a), None)
+        };
+        let attn = MultiHeadAttention::new(
+            proj(rng, &backend),
+            proj(rng, &backend),
+            proj(rng, &backend),
+            proj(rng, &backend),
+            heads,
+        );
+        let ff1 = backend.linear(rng.gaussian(d_ff, d_model, 0.0, std_a), Some(vec![0.0; d_ff]));
+        let ff2 = backend.linear(rng.gaussian(d_model, d_ff, 0.0, std_f), Some(vec![0.0; d_model]));
+        Self::new(attn, ff1, ff2, LayerNorm::new(d_model), LayerNorm::new(d_model))
+    }
+
+    /// Model width.
+    pub fn d_model(&self) -> usize {
+        self.attn.d_model()
+    }
+
+    /// Forward over a `d_model × seq` activation matrix.
+    pub fn forward(&self, x: &ColMatrix) -> ColMatrix {
+        // x ← LN(x + Attn(x))
+        let mut h = self.attn.forward(x);
+        add_inplace(&mut h, x);
+        self.ln1.forward_inplace(&mut h);
+        // x ← LN(x + FF(x))
+        let mut f = self.ff1.forward(&h);
+        map_inplace(&mut f, gelu);
+        let mut f = self.ff2.forward(&f);
+        add_inplace(&mut f, &h);
+        self.ln2.forward_inplace(&mut f);
+        f
+    }
+}
+
+/// One Transformer decoder layer (self-attention + cross-attention + FF).
+#[derive(Clone, Debug)]
+pub struct DecoderLayer {
+    self_attn: MultiHeadAttention,
+    cross_attn: MultiHeadAttention,
+    ff1: Linear,
+    ff2: Linear,
+    ln1: LayerNorm,
+    ln2: LayerNorm,
+    ln3: LayerNorm,
+}
+
+impl DecoderLayer {
+    /// Randomly initialised decoder layer.
+    pub fn random(
+        rng: &mut MatrixRng,
+        d_model: usize,
+        d_ff: usize,
+        heads: usize,
+        backend: LayerBackend,
+    ) -> Self {
+        let std_a = (d_model as f32).powf(-0.5);
+        let std_f = (d_ff as f32).powf(-0.5);
+        let proj =
+            |rng: &mut MatrixRng| backend.linear(rng.gaussian(d_model, d_model, 0.0, std_a), None);
+        let self_attn =
+            MultiHeadAttention::new(proj(rng), proj(rng), proj(rng), proj(rng), heads);
+        let cross_attn =
+            MultiHeadAttention::new(proj(rng), proj(rng), proj(rng), proj(rng), heads);
+        let ff1 = backend.linear(rng.gaussian(d_ff, d_model, 0.0, std_a), Some(vec![0.0; d_ff]));
+        let ff2 = backend.linear(rng.gaussian(d_model, d_ff, 0.0, std_f), Some(vec![0.0; d_model]));
+        Self {
+            self_attn,
+            cross_attn,
+            ff1,
+            ff2,
+            ln1: LayerNorm::new(d_model),
+            ln2: LayerNorm::new(d_model),
+            ln3: LayerNorm::new(d_model),
+        }
+    }
+
+    /// Forward: `x` is the decoder stream (`d × s_dec`), `memory` the encoder
+    /// output (`d × s_enc`).
+    pub fn forward(&self, x: &ColMatrix, memory: &ColMatrix) -> ColMatrix {
+        let mut h = self.self_attn.forward(x);
+        add_inplace(&mut h, x);
+        self.ln1.forward_inplace(&mut h);
+        let mut c = self.cross_attn.attend(&h, memory);
+        add_inplace(&mut c, &h);
+        self.ln2.forward_inplace(&mut c);
+        let mut f = self.ff1.forward(&c);
+        map_inplace(&mut f, gelu);
+        let mut f = self.ff2.forward(&f);
+        add_inplace(&mut f, &c);
+        self.ln3.forward_inplace(&mut f);
+        f
+    }
+}
+
+/// A stack of encoder layers.
+#[derive(Clone, Debug)]
+pub struct Encoder {
+    layers: Vec<EncoderLayer>,
+}
+
+impl Encoder {
+    /// Randomly initialised `num_layers`-deep encoder.
+    pub fn random(
+        rng: &mut MatrixRng,
+        num_layers: usize,
+        d_model: usize,
+        d_ff: usize,
+        heads: usize,
+        backend: LayerBackend,
+    ) -> Self {
+        Self {
+            layers: (0..num_layers)
+                .map(|_| EncoderLayer::random(rng, d_model, d_ff, heads, backend))
+                .collect(),
+        }
+    }
+
+    /// Number of layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Runs all layers.
+    pub fn forward(&self, x: &ColMatrix) -> ColMatrix {
+        let mut h = x.clone();
+        for layer in &self.layers {
+            h = layer.forward(&h);
+        }
+        h
+    }
+}
+
+fn add_inplace(a: &mut ColMatrix, b: &ColMatrix) {
+    assert_eq!(a.shape(), b.shape(), "residual shape mismatch");
+    for (x, y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *x += *y;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biq_quant::error_metrics::cosine_similarity;
+
+    #[test]
+    fn encoder_layer_preserves_shape_and_finiteness() {
+        let mut g = MatrixRng::seed_from(330);
+        let layer =
+            EncoderLayer::random(&mut g, 32, 128, 4, LayerBackend::Fp32 { parallel: false });
+        let x = g.gaussian_col(32, 6, 0.0, 1.0);
+        let y = layer.forward(&x);
+        assert_eq!(y.shape(), (32, 6));
+        assert!(y.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn quantized_encoder_tracks_fp32_direction() {
+        // Table I proxy at miniature scale: 3-bit quantized layer output
+        // should stay directionally close to fp32.
+        let mut g = MatrixRng::seed_from(331);
+        let x = g.gaussian_col(32, 4, 0.0, 1.0);
+        let mut g1 = MatrixRng::seed_from(777);
+        let fp = EncoderLayer::random(&mut g1, 32, 64, 4, LayerBackend::Fp32 { parallel: false });
+        let mut g2 = MatrixRng::seed_from(777);
+        let q = EncoderLayer::random(
+            &mut g2,
+            32,
+            64,
+            4,
+            LayerBackend::Biq {
+                bits: 3,
+                method: QuantMethod::Greedy,
+                cfg: BiqConfig::default(),
+                parallel: false,
+            },
+        );
+        let cs = cosine_similarity(q.forward(&x).as_slice(), fp.forward(&x).as_slice());
+        assert!(cs > 0.95, "cosine similarity {cs}");
+    }
+
+    #[test]
+    fn encoder_stack_runs_depth() {
+        let mut g = MatrixRng::seed_from(332);
+        let enc = Encoder::random(&mut g, 3, 16, 32, 2, LayerBackend::Fp32 { parallel: false });
+        assert_eq!(enc.depth(), 3);
+        let x = g.gaussian_col(16, 5, 0.0, 1.0);
+        assert_eq!(enc.forward(&x).shape(), (16, 5));
+    }
+
+    #[test]
+    fn decoder_layer_consumes_memory() {
+        let mut g = MatrixRng::seed_from(333);
+        let dec = DecoderLayer::random(&mut g, 16, 32, 2, LayerBackend::Fp32 { parallel: false });
+        let x = g.gaussian_col(16, 3, 0.0, 1.0);
+        let mem = g.gaussian_col(16, 8, 0.0, 1.0);
+        let y = dec.forward(&x, &mem);
+        assert_eq!(y.shape(), (16, 3));
+        assert!(y.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let x = MatrixRng::seed_from(42).gaussian_col(16, 2, 0.0, 1.0);
+        let mk = || {
+            let mut g = MatrixRng::seed_from(9);
+            EncoderLayer::random(&mut g, 16, 32, 2, LayerBackend::Fp32 { parallel: false })
+        };
+        assert_eq!(mk().forward(&x).as_slice(), mk().forward(&x).as_slice());
+    }
+}

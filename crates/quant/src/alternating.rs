@@ -1,0 +1,290 @@
+//! Alternating multi-bit quantization (Xu et al. \[15\]).
+//!
+//! Starting from the greedy solution, alternate two exact sub-problems until
+//! convergence:
+//!
+//! 1. **Scale refit** — with the sign planes `B` fixed, the optimal scales
+//!    solve the `q × q` normal equations `(BᵀB) α = Bᵀ w` (least squares).
+//! 2. **Re-binarisation** — with the scales fixed, each weight independently
+//!    picks the sign combination `s ∈ {−1,+1}^q` minimising
+//!    `|w − Σ_i s_i α_i|`; for small `q` all `2^q` candidate reconstruction
+//!    values are enumerated once per row and reused for every element.
+//!
+//! Both steps can only decrease the squared error, so the alternating
+//! objective is monotonically non-increasing and always at least as good as
+//! greedy — an invariant the tests assert.
+
+use crate::binary_coding::{greedy_quantize_vector, MultiBitMatrix, QuantPlane};
+use biq_matrix::{Matrix, SignMatrix};
+
+/// Solves the small symmetric system `G α = c` (`G = BᵀB`, `c = Bᵀw`) by
+/// Gaussian elimination with partial pivoting, in `f64`.
+///
+/// Returns `None` when the system is numerically singular (e.g. duplicate
+/// sign planes) — callers keep the previous scales in that case.
+fn solve_normal_equations(mut g: Vec<f64>, mut c: Vec<f64>) -> Option<Vec<f64>> {
+    let q = c.len();
+    debug_assert_eq!(g.len(), q * q);
+    for col in 0..q {
+        // Partial pivot.
+        let mut pivot = col;
+        for r in col + 1..q {
+            if g[r * q + col].abs() > g[pivot * q + col].abs() {
+                pivot = r;
+            }
+        }
+        if g[pivot * q + col].abs() < 1e-10 {
+            return None;
+        }
+        if pivot != col {
+            for k in 0..q {
+                g.swap(col * q + k, pivot * q + k);
+            }
+            c.swap(col, pivot);
+        }
+        let diag = g[col * q + col];
+        for r in col + 1..q {
+            let f = g[r * q + col] / diag;
+            if f == 0.0 {
+                continue;
+            }
+            for k in col..q {
+                g[r * q + k] -= f * g[col * q + k];
+            }
+            c[r] -= f * c[col];
+        }
+    }
+    // Back substitution.
+    let mut alpha = vec![0.0f64; q];
+    for row in (0..q).rev() {
+        let mut acc = c[row];
+        for k in row + 1..q {
+            acc -= g[row * q + k] * alpha[k];
+        }
+        alpha[row] = acc / g[row * q + row];
+    }
+    Some(alpha)
+}
+
+/// Least-squares optimal scales for fixed sign planes of one row.
+///
+/// `planes[i][j]` is the sign of plane `i` at element `j`.
+pub fn refit_scales(w: &[f32], planes: &[Vec<i8>]) -> Option<Vec<f32>> {
+    let q = planes.len();
+    let mut gram = vec![0.0f64; q * q];
+    let mut rhs = vec![0.0f64; q];
+
+    for i in 0..q {
+        for j in i..q {
+            let mut acc = 0.0f64;
+            for (&a, &b) in planes[i].iter().zip(&planes[j]) {
+                acc += (a as i32 * b as i32) as f64;
+            }
+            gram[i * q + j] = acc;
+            gram[j * q + i] = acc;
+        }
+        let mut acc = 0.0f64;
+        for (&s, &wv) in planes[i].iter().zip(w) {
+            acc += s as f64 * wv as f64;
+        }
+        rhs[i] = acc;
+    }
+    solve_normal_equations(gram, rhs).map(|a| a.into_iter().map(|v| v as f32).collect())
+}
+
+/// For fixed scales, re-binarises every element to the nearest of the `2^q`
+/// reconstruction values `Σ_i s_i α_i`. Returns the new planes.
+pub fn rebinarize(w: &[f32], alphas: &[f32]) -> Vec<Vec<i8>> {
+    let q = alphas.len();
+    assert!(q <= 16, "rebinarize enumerates 2^q combos; q > 16 is unreasonable");
+    let combos = 1usize << q;
+    // candidate[k] = Σ_i s_i α_i where s_i = +1 if bit (q-1-i) of k is set.
+    let mut candidate = vec![0.0f32; combos];
+    for (k, cand) in candidate.iter_mut().enumerate() {
+        let mut acc = 0.0f32;
+        for (i, &a) in alphas.iter().enumerate() {
+            let s = if (k >> (q - 1 - i)) & 1 == 1 { 1.0 } else { -1.0 };
+            acc += s * a;
+        }
+        *cand = acc;
+    }
+    let mut planes = vec![vec![0i8; w.len()]; q];
+    for (j, &wj) in w.iter().enumerate() {
+        let mut best = 0usize;
+        let mut best_d = f32::INFINITY;
+        for (k, &cand) in candidate.iter().enumerate() {
+            let d = (wj - cand).abs();
+            if d < best_d {
+                best_d = d;
+                best = k;
+            }
+        }
+        for (i, plane) in planes.iter_mut().enumerate() {
+            plane[j] = if (best >> (q - 1 - i)) & 1 == 1 { 1 } else { -1 };
+        }
+    }
+    planes
+}
+
+/// Squared reconstruction error of `(alphas, planes)` against `w`.
+fn sse(w: &[f32], alphas: &[f32], planes: &[Vec<i8>]) -> f64 {
+    let mut acc = 0.0f64;
+    for (j, &wj) in w.iter().enumerate() {
+        let mut rec = 0.0f32;
+        for (i, &a) in alphas.iter().enumerate() {
+            rec += a * planes[i][j] as f32;
+        }
+        acc += ((wj - rec) as f64).powi(2);
+    }
+    acc
+}
+
+/// Alternating quantization of one vector: greedy init, then up to
+/// `max_iters` refit/re-binarise rounds (early exit when the error stops
+/// improving).
+pub fn alternating_quantize_vector(
+    w: &[f32],
+    q: usize,
+    max_iters: usize,
+) -> (Vec<f32>, Vec<Vec<i8>>) {
+    let (mut alphas, mut planes) = greedy_quantize_vector(w, q);
+    let mut err = sse(w, &alphas, &planes);
+    for _ in 0..max_iters {
+        if let Some(new_alphas) = refit_scales(w, &planes) {
+            let new_planes = rebinarize(w, &new_alphas);
+            let new_err = sse(w, &new_alphas, &new_planes);
+            if new_err + 1e-12 >= err {
+                break;
+            }
+            alphas = new_alphas;
+            planes = new_planes;
+            err = new_err;
+        } else {
+            break;
+        }
+    }
+    (alphas, planes)
+}
+
+/// Row-wise alternating quantization of a matrix (the "Binary-Coding"
+/// quantizer of Table I at its best-effort setting).
+pub fn alternating_quantize_matrix_rowwise(
+    w: &Matrix,
+    bits: usize,
+    max_iters: usize,
+) -> MultiBitMatrix {
+    assert!(bits >= 1, "need at least one bit");
+    let (m, n) = w.shape();
+    let mut plane_scales = vec![vec![0.0f32; m]; bits];
+    let mut plane_signs = vec![vec![0i8; m * n]; bits];
+    for i in 0..m {
+        let (alphas, planes) = alternating_quantize_vector(w.row(i), bits, max_iters);
+        for q in 0..bits {
+            plane_scales[q][i] = alphas[q].abs();
+            // Keep scales non-negative by folding signs into the plane, so
+            // downstream kernels may assume α ≥ 0.
+            let flip = if alphas[q] < 0.0 { -1 } else { 1 };
+            let dst = &mut plane_signs[q][i * n..(i + 1) * n];
+            for (d, &s) in dst.iter_mut().zip(&planes[q]) {
+                *d = s * flip;
+            }
+        }
+    }
+    let planes = plane_scales
+        .into_iter()
+        .zip(plane_signs)
+        .map(|(scales, signs)| QuantPlane { signs: SignMatrix::from_vec(m, n, signs), scales })
+        .collect();
+    MultiBitMatrix::new(planes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binary_coding::{greedy_quantize_matrix_rowwise, quantization_sse};
+    use biq_matrix::MatrixRng;
+
+    #[test]
+    fn normal_equations_solve_identity() {
+        // G = I2, c = [3, -2] -> alpha = c
+        let a = solve_normal_equations(vec![1.0, 0.0, 0.0, 1.0], vec![3.0, -2.0]).unwrap();
+        assert!((a[0] - 3.0).abs() < 1e-12 && (a[1] + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normal_equations_detect_singular() {
+        // Duplicate planes -> rank-1 Gram matrix.
+        assert!(solve_normal_equations(vec![4.0, 4.0, 4.0, 4.0], vec![1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn refit_scales_exactly_recovers_representable_vector() {
+        // w is exactly 0.75*b1 + 0.25*b2.
+        let b1 = vec![1i8, -1, 1, -1];
+        let b2 = vec![1i8, 1, -1, -1];
+        let w: Vec<f32> = (0..4).map(|j| 0.75 * b1[j] as f32 + 0.25 * b2[j] as f32).collect();
+        let alphas = refit_scales(&w, &[b1, b2]).unwrap();
+        assert!((alphas[0] - 0.75).abs() < 1e-6);
+        assert!((alphas[1] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rebinarize_picks_nearest_candidate() {
+        // alphas = [1.0, 0.25] -> candidates {-1.25, -0.75, 0.75, 1.25}
+        let planes = rebinarize(&[1.3, 0.8, -0.7, -1.4], &[1.0, 0.25]);
+        // 1.3 -> 1.25 = +1,+1 ; 0.8 -> 0.75 = +1,-1 ; -0.7 -> -0.75 ; -1.4 -> -1.25
+        assert_eq!(planes[0], vec![1, 1, -1, -1]);
+        assert_eq!(planes[1], vec![1, -1, 1, -1]);
+    }
+
+    #[test]
+    fn alternating_never_worse_than_greedy() {
+        let mut g = MatrixRng::seed_from(77);
+        for bits in 1..=4 {
+            let w = g.gaussian(6, 128, 0.0, 1.0);
+            let greedy = greedy_quantize_matrix_rowwise(&w, bits);
+            let alt = alternating_quantize_matrix_rowwise(&w, bits, 10);
+            let e_g = quantization_sse(&w, &greedy);
+            let e_a = quantization_sse(&w, &alt);
+            assert!(
+                e_a <= e_g + 1e-6,
+                "alternating worse than greedy at {bits} bits: {e_a} > {e_g}"
+            );
+        }
+    }
+
+    #[test]
+    fn alternating_strictly_improves_on_gaussian_multibit() {
+        let mut g = MatrixRng::seed_from(5);
+        let w = g.gaussian(4, 256, 0.0, 1.0);
+        let greedy = greedy_quantize_matrix_rowwise(&w, 3);
+        let alt = alternating_quantize_matrix_rowwise(&w, 3, 15);
+        let e_g = quantization_sse(&w, &greedy);
+        let e_a = quantization_sse(&w, &alt);
+        // On Gaussian data with ≥2 bits, alternating reliably improves.
+        assert!(e_a < e_g, "expected strict improvement: {e_a} vs {e_g}");
+    }
+
+    #[test]
+    fn alternating_scales_are_non_negative() {
+        let mut g = MatrixRng::seed_from(9);
+        let w = g.gaussian(8, 64, 0.0, 1.0);
+        let alt = alternating_quantize_matrix_rowwise(&w, 3, 10);
+        for p in alt.planes() {
+            assert!(p.scales.iter().all(|&s| s >= 0.0));
+        }
+    }
+
+    #[test]
+    fn one_bit_alternating_matches_optimal_one_bit() {
+        // For 1 bit, greedy is already least-squares optimal (sign + mean
+        // |w|); alternating must not change the error.
+        let mut g = MatrixRng::seed_from(21);
+        let w = g.gaussian(1, 512, 0.0, 1.0);
+        let greedy = greedy_quantize_matrix_rowwise(&w, 1);
+        let alt = alternating_quantize_matrix_rowwise(&w, 1, 10);
+        let e_g = quantization_sse(&w, &greedy);
+        let e_a = quantization_sse(&w, &alt);
+        assert!((e_a - e_g).abs() < 1e-6 * e_g.max(1.0));
+    }
+}

@@ -1,0 +1,322 @@
+//! Greedy binary-coding quantization (Guo et al. \[21\], as used in the
+//! paper's Table I "Binary-Coding (Greedy)" rows).
+//!
+//! Greedy approximation peels one binary plane at a time off the residual:
+//!
+//! ```text
+//! r ← w
+//! for i in 1..=q:
+//!     b_i = sign(r)
+//!     α_i = ⟨b_i, r⟩ / p = mean(|r|)     (least-squares optimal given b_i)
+//!     r  ← r − α_i b_i
+//! ```
+//!
+//! Each step is the 1-bit least-squares optimum for the current residual, so
+//! residual norms are monotonically non-increasing in `q` — a property the
+//! tests pin down.
+//!
+//! For matrices the paper quantizes **per row** (Section II-B: "quantization
+//! can be independently performed for each row or column"): every output row
+//! gets its own scale per plane, giving scale *vectors* `α_i ∈ R^m` that are
+//! Hadamard-multiplied with partial outputs (Eq. 2).
+
+use biq_matrix::{Matrix, SignMatrix};
+
+/// One binary plane of a row-wise quantized matrix: a sign matrix plus one
+/// scale per row.
+#[derive(Clone, Debug)]
+pub struct QuantPlane {
+    /// Sign factor `B_i ∈ {−1,+1}^{m×n}`.
+    pub signs: SignMatrix,
+    /// Per-row scales `α_i ∈ R^m` (length = number of rows).
+    pub scales: Vec<f32>,
+}
+
+impl QuantPlane {
+    /// Dequantizes this plane alone: `α_i ∘ B_i` (row `r` scaled by
+    /// `scales[r]`).
+    pub fn dequantize(&self) -> Matrix {
+        let (m, n) = self.signs.shape();
+        Matrix::from_fn(m, n, |i, j| self.scales[i] * self.signs.get(i, j) as f32)
+    }
+}
+
+/// A multi-bit binary-coding quantized matrix: `W ≈ Σ_i α_i ∘ B_i`.
+#[derive(Clone, Debug)]
+pub struct MultiBitMatrix {
+    planes: Vec<QuantPlane>,
+    rows: usize,
+    cols: usize,
+}
+
+impl MultiBitMatrix {
+    /// Builds from planes.
+    ///
+    /// # Panics
+    /// Panics if `planes` is empty or shapes/scale lengths disagree.
+    pub fn new(planes: Vec<QuantPlane>) -> Self {
+        assert!(!planes.is_empty(), "at least one plane required");
+        let (rows, cols) = planes[0].signs.shape();
+        for p in &planes {
+            assert_eq!(p.signs.shape(), (rows, cols), "plane shape mismatch");
+            assert_eq!(p.scales.len(), rows, "scale length mismatch");
+        }
+        Self { planes, rows, cols }
+    }
+
+    /// Number of quantization bits `β_w` (= number of planes).
+    #[inline]
+    pub fn bits(&self) -> usize {
+        self.planes.len()
+    }
+
+    /// `(rows, cols)` of the logical weight matrix.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// The planes, most-significant first.
+    #[inline]
+    pub fn planes(&self) -> &[QuantPlane] {
+        &self.planes
+    }
+
+    /// Reconstructs the dense approximation `Σ_i α_i ∘ B_i`.
+    pub fn dequantize(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for p in &self.planes {
+            for i in 0..self.rows {
+                let s = p.scales[i];
+                let row = out.row_mut(i);
+                for (o, &b) in row.iter_mut().zip(p.signs.row(i)) {
+                    *o += s * b as f32;
+                }
+            }
+        }
+        out
+    }
+
+    /// The sign matrices vertically stacked (`B_1; B_2; …; B_β`), the layout
+    /// BiQGEMM and Fig. 2 of the paper use for multi-bit weights.
+    pub fn stacked_signs(&self) -> SignMatrix {
+        let refs: Vec<&SignMatrix> = self.planes.iter().map(|p| &p.signs).collect();
+        SignMatrix::vstack(&refs)
+    }
+
+    /// All per-row scales concatenated in plane order (length `β·m`),
+    /// matching the row order of [`Self::stacked_signs`].
+    pub fn stacked_scales(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.bits() * self.rows);
+        for p in &self.planes {
+            out.extend_from_slice(&p.scales);
+        }
+        out
+    }
+
+    /// Truncates to the first `bits` planes (coarser approximation).
+    ///
+    /// # Panics
+    /// Panics if `bits` is zero or exceeds the available planes.
+    pub fn truncated(&self, bits: usize) -> MultiBitMatrix {
+        assert!(bits >= 1 && bits <= self.bits(), "invalid bit count");
+        MultiBitMatrix::new(self.planes[..bits].to_vec())
+    }
+}
+
+/// Greedily quantizes a single vector into `q` (scale, signs) pairs.
+/// Returns `(alphas, sign_planes)`; `sign_planes[i][j] ∈ {−1,+1}`.
+///
+/// # Panics
+/// Panics if `q == 0` or `w` is empty.
+pub fn greedy_quantize_vector(w: &[f32], q: usize) -> (Vec<f32>, Vec<Vec<i8>>) {
+    assert!(q >= 1, "need at least one bit");
+    assert!(!w.is_empty(), "empty vector");
+    let p = w.len() as f32;
+    let mut residual: Vec<f32> = w.to_vec();
+    let mut alphas = Vec::with_capacity(q);
+    let mut planes = Vec::with_capacity(q);
+    for _ in 0..q {
+        let signs: Vec<i8> = residual.iter().map(|&r| if r >= 0.0 { 1 } else { -1 }).collect();
+        // α = ⟨b, r⟩ / p = mean |r| (since b = sign(r))
+        let alpha = residual.iter().map(|r| r.abs()).sum::<f32>() / p;
+        for (r, &s) in residual.iter_mut().zip(&signs) {
+            *r -= alpha * s as f32;
+        }
+        alphas.push(alpha);
+        planes.push(signs);
+    }
+    (alphas, planes)
+}
+
+/// Row-wise greedy quantization of `w` into `bits` planes.
+///
+/// Every row of `w` is quantized independently, so plane `i` consists of a
+/// sign matrix and a per-row scale vector `α_i ∈ R^m` (Eq. 2 of the paper).
+pub fn greedy_quantize_matrix_rowwise(w: &Matrix, bits: usize) -> MultiBitMatrix {
+    assert!(bits >= 1, "need at least one bit");
+    let (m, n) = w.shape();
+    assert!(m > 0 && n > 0, "empty matrix");
+    let mut plane_scales = vec![vec![0.0f32; m]; bits];
+    let mut plane_signs = vec![vec![0i8; m * n]; bits];
+    let mut residual = vec![0.0f32; n];
+    for i in 0..m {
+        residual.copy_from_slice(w.row(i));
+        for q in 0..bits {
+            let alpha = residual.iter().map(|r| r.abs()).sum::<f32>() / n as f32;
+            let dst = &mut plane_signs[q][i * n..(i + 1) * n];
+            for ((r, d), _) in residual.iter_mut().zip(dst.iter_mut()).zip(0..n) {
+                let s = if *r >= 0.0 { 1i8 } else { -1i8 };
+                *d = s;
+                *r -= alpha * s as f32;
+            }
+            plane_scales[q][i] = alpha;
+        }
+    }
+    let planes = plane_scales
+        .into_iter()
+        .zip(plane_signs)
+        .map(|(scales, signs)| QuantPlane {
+            signs: SignMatrix::from_vec(m, n, signs),
+            scales,
+        })
+        .collect();
+    MultiBitMatrix::new(planes)
+}
+
+/// Sum of squared residuals `‖w − dequant‖²` for a quantized matrix.
+pub fn quantization_sse(w: &Matrix, q: &MultiBitMatrix) -> f64 {
+    assert_eq!(w.shape(), q.shape(), "shape mismatch");
+    let deq = q.dequantize();
+    w.as_slice()
+        .iter()
+        .zip(deq.as_slice())
+        .map(|(&a, &b)| ((a - b) as f64).powi(2))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biq_matrix::MatrixRng;
+
+    #[test]
+    fn one_bit_vector_recovers_mean_abs() {
+        let w = [1.0, -2.0, 3.0, -4.0];
+        let (alphas, planes) = greedy_quantize_vector(&w, 1);
+        assert_eq!(alphas.len(), 1);
+        assert!((alphas[0] - 2.5).abs() < 1e-6);
+        assert_eq!(planes[0], vec![1, -1, 1, -1]);
+    }
+
+    #[test]
+    fn constant_vector_is_exact_with_one_bit() {
+        let w = [0.7f32; 16];
+        let (alphas, planes) = greedy_quantize_vector(&w, 1);
+        assert!((alphas[0] - 0.7).abs() < 1e-6);
+        assert!(planes[0].iter().all(|&s| s == 1));
+    }
+
+    #[test]
+    fn residual_norm_non_increasing_in_bits() {
+        let mut g = MatrixRng::seed_from(11);
+        let w = g.gaussian(1, 256, 0.0, 1.0);
+        let mut prev = f64::INFINITY;
+        for bits in 1..=6 {
+            let q = greedy_quantize_matrix_rowwise(&w, bits);
+            let sse = quantization_sse(&w, &q);
+            assert!(sse <= prev + 1e-9, "sse grew at {bits} bits: {sse} > {prev}");
+            prev = sse;
+        }
+        // 6 greedy bits on a Gaussian should capture most of the energy.
+        let total: f64 = w.as_slice().iter().map(|&v| (v as f64).powi(2)).sum();
+        assert!(prev / total < 0.05, "relative sse {}", prev / total);
+    }
+
+    #[test]
+    fn rowwise_matches_per_vector_quantization() {
+        let mut g = MatrixRng::seed_from(42);
+        let w = g.gaussian(5, 32, 0.0, 2.0);
+        let q = greedy_quantize_matrix_rowwise(&w, 3);
+        for i in 0..5 {
+            let (alphas, planes) = greedy_quantize_vector(w.row(i), 3);
+            for (bit, plane) in q.planes().iter().enumerate() {
+                assert!((plane.scales[i] - alphas[bit]).abs() < 1e-6);
+                assert_eq!(plane.signs.row(i), &planes[bit][..]);
+            }
+        }
+    }
+
+    #[test]
+    fn scales_are_non_negative_and_decreasing_typically() {
+        let mut g = MatrixRng::seed_from(1);
+        let w = g.gaussian(8, 64, 0.0, 1.0);
+        let q = greedy_quantize_matrix_rowwise(&w, 4);
+        for i in 0..8 {
+            let mut prev = f32::INFINITY;
+            for plane in q.planes() {
+                assert!(plane.scales[i] >= 0.0);
+                assert!(plane.scales[i] <= prev);
+                prev = plane.scales[i];
+            }
+        }
+    }
+
+    #[test]
+    fn dequantize_matches_manual_sum() {
+        let w = Matrix::from_vec(2, 2, vec![1.0, -1.0, 0.5, -0.25]);
+        let q = greedy_quantize_matrix_rowwise(&w, 2);
+        let deq = q.dequantize();
+        for i in 0..2 {
+            for j in 0..2 {
+                let mut acc = 0.0;
+                for p in q.planes() {
+                    acc += p.scales[i] * p.signs.get(i, j) as f32;
+                }
+                assert!((deq.get(i, j) - acc).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn stacked_layout_matches_planes() {
+        let mut g = MatrixRng::seed_from(2);
+        let w = g.gaussian(3, 8, 0.0, 1.0);
+        let q = greedy_quantize_matrix_rowwise(&w, 2);
+        let stacked = q.stacked_signs();
+        assert_eq!(stacked.shape(), (6, 8));
+        assert_eq!(stacked.row(0), q.planes()[0].signs.row(0));
+        assert_eq!(stacked.row(3), q.planes()[1].signs.row(0));
+        let scales = q.stacked_scales();
+        assert_eq!(scales.len(), 6);
+        assert_eq!(scales[4], q.planes()[1].scales[1]);
+    }
+
+    #[test]
+    fn truncated_keeps_prefix_planes() {
+        let mut g = MatrixRng::seed_from(3);
+        let w = g.gaussian(4, 16, 0.0, 1.0);
+        let q3 = greedy_quantize_matrix_rowwise(&w, 3);
+        let q1 = q3.truncated(1);
+        assert_eq!(q1.bits(), 1);
+        assert_eq!(q1.planes()[0].scales, q3.planes()[0].scales);
+        // Greedy is a prefix procedure: quantizing directly to 1 bit matches.
+        let direct = greedy_quantize_matrix_rowwise(&w, 1);
+        assert_eq!(direct.planes()[0].scales, q1.planes()[0].scales);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn zero_bits_rejected() {
+        let w = Matrix::zeros(1, 4);
+        let _ = greedy_quantize_matrix_rowwise(&w, 0);
+    }
+
+    #[test]
+    fn plane_dequantize_single() {
+        let w = Matrix::from_vec(1, 2, vec![2.0, -2.0]);
+        let q = greedy_quantize_matrix_rowwise(&w, 1);
+        let d = q.planes()[0].dequantize();
+        assert_eq!(d.as_slice(), &[2.0, -2.0]);
+    }
+}

@@ -1,0 +1,157 @@
+//! The Table II memory-usage model.
+//!
+//! Table II of the paper reports the storage footprint of one matrix
+//! multiplication (`512 × 512` weights, batch 18) as the bit widths of
+//! weights (W), activations/inputs (A/I) and outputs (O) vary. Footprints are
+//! in **decimal megabytes** (10⁶ bytes): `512·512·32/8 = 1.048576 MB` is
+//! printed as `1.049`, matching the paper.
+//!
+//! Also modelled: BiQGEMM's extra working-state (key matrix + live lookup
+//! tables) so the harness can reason about tile-size limits (Section III-C).
+
+/// Memory footprint of one `m × n` GEMM with batch `b`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MemoryUsage {
+    /// Weight storage, MB.
+    pub weights_mb: f64,
+    /// Input (activation) storage, MB.
+    pub inputs_mb: f64,
+    /// Output storage, MB.
+    pub outputs_mb: f64,
+}
+
+impl MemoryUsage {
+    /// Total MB.
+    pub fn total_mb(&self) -> f64 {
+        self.weights_mb + self.inputs_mb + self.outputs_mb
+    }
+}
+
+const MB: f64 = 1e6;
+
+/// Bytes for `count` values of `bits` width (bit-packed, rounded to bytes).
+fn bytes(count: usize, bits: u32) -> f64 {
+    (count as f64 * bits as f64 / 8.0).ceil()
+}
+
+/// Memory usage of a `m × n` weight matrix, `n × b` input and `m × b` output
+/// at the given bit widths (Table II's model).
+pub fn gemm_memory(m: usize, n: usize, b: usize, w_bits: u32, a_bits: u32, o_bits: u32) -> MemoryUsage {
+    MemoryUsage {
+        weights_mb: bytes(m * n, w_bits) / MB,
+        inputs_mb: bytes(n * b, a_bits) / MB,
+        outputs_mb: bytes(m * b, o_bits) / MB,
+    }
+}
+
+/// Storage of BiQGEMM's key matrix for an `m × n` binary matrix at LUT-unit
+/// `µ` and `beta` quantization bits, assuming keys are stored µ bits each
+/// (densely packed, as a deployment would).
+pub fn key_matrix_mb(m: usize, n: usize, mu: usize, beta: usize) -> f64 {
+    let chunks = n.div_ceil(mu);
+    bytes(beta * m * chunks, mu as u32) / MB
+}
+
+/// Live lookup-table bytes for `num_chunks` chunks at LUT-unit `µ` and batch
+/// `b` (each table has `2^µ` f32 entries per batch column). This is the
+/// quantity that must fit in cache/scratchpad and constrains tile size
+/// (Section III-C of the paper).
+pub fn lut_working_set_mb(num_chunks: usize, mu: usize, b: usize) -> f64 {
+    (num_chunks as f64) * (1u64 << mu) as f64 * b as f64 * 4.0 / MB
+}
+
+/// One row of the Table II reproduction.
+#[derive(Clone, Copy, Debug)]
+pub struct TableIIRow {
+    /// Weight bits.
+    pub w_bits: u32,
+    /// Activation bits.
+    pub a_bits: u32,
+    /// Output bits.
+    pub o_bits: u32,
+    /// Footprint under the model.
+    pub usage: MemoryUsage,
+}
+
+/// Regenerates the full Table II (512×512 weights, batch 18).
+pub fn table_ii() -> Vec<TableIIRow> {
+    let configs: [(u32, u32, u32); 7] = [
+        (32, 32, 32),
+        (8, 8, 32),
+        (6, 6, 32),
+        (4, 4, 32),
+        (4, 32, 32),
+        (3, 32, 32),
+        (2, 32, 32),
+    ];
+    configs
+        .iter()
+        .map(|&(w, a, o)| TableIIRow { w_bits: w, a_bits: a, o_bits: o, usage: gemm_memory(512, 512, 18, w, a, o) })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 5e-4
+    }
+
+    #[test]
+    fn full_precision_row_matches_paper() {
+        // Paper: W 1.049, I 0.037, O 0.037, total 1.122.
+        let u = gemm_memory(512, 512, 18, 32, 32, 32);
+        assert!(close(u.weights_mb, 1.049), "W = {}", u.weights_mb);
+        assert!(close(u.inputs_mb, 0.037), "I = {}", u.inputs_mb);
+        assert!(close(u.outputs_mb, 0.037), "O = {}", u.outputs_mb);
+        assert!(close(u.total_mb(), 1.122), "total = {}", u.total_mb());
+    }
+
+    #[test]
+    fn int8_row_matches_paper() {
+        // Paper: 8/8/32 -> W 0.262, I 0.009, total 0.308.
+        let u = gemm_memory(512, 512, 18, 8, 8, 32);
+        assert!(close(u.weights_mb, 0.262));
+        assert!(close(u.inputs_mb, 0.009));
+        assert!(close(u.total_mb(), 0.308));
+    }
+
+    #[test]
+    fn binary_coding_rows_match_paper() {
+        // 4/32/32 -> 0.205 ; 3/32/32 -> 0.172 ; 2/32/32 -> 0.139.
+        assert!(close(gemm_memory(512, 512, 18, 4, 32, 32).total_mb(), 0.205));
+        assert!(close(gemm_memory(512, 512, 18, 3, 32, 32).total_mb(), 0.172));
+        assert!(close(gemm_memory(512, 512, 18, 2, 32, 32).total_mb(), 0.139));
+    }
+
+    #[test]
+    fn table_ii_has_all_seven_rows_in_order() {
+        let t = table_ii();
+        assert_eq!(t.len(), 7);
+        assert_eq!(t[0].w_bits, 32);
+        assert_eq!(t[6].w_bits, 2);
+        // Totals strictly decrease down the uniform block and the
+        // binary-coding block.
+        assert!(t[1].usage.total_mb() > t[2].usage.total_mb());
+        assert!(t[4].usage.total_mb() > t[5].usage.total_mb());
+        assert!(t[5].usage.total_mb() > t[6].usage.total_mb());
+    }
+
+    #[test]
+    fn key_matrix_is_as_small_as_packed_binary() {
+        // µ-bit keys over n/µ chunks cost exactly n bits per row: the key
+        // matrix is the same size as the packed binary matrix (paper
+        // Section III: "K instead of B can be loaded").
+        let kb = key_matrix_mb(512, 512, 8, 1);
+        let packed_b = bytes(512 * 512, 1) / 1e6;
+        assert!((kb - packed_b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lut_working_set_grows_exponentially_in_mu() {
+        let a = lut_working_set_mb(64, 8, 32);
+        let b = lut_working_set_mb(64, 10, 32);
+        assert!((b / a - 4.0).abs() < 1e-9);
+    }
+}

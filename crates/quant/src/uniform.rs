@@ -1,0 +1,243 @@
+//! Uniform (fixed-point) quantization — the INT8-style scheme BiQGEMM is
+//! contrasted against in Tables I and II.
+//!
+//! Two flavours:
+//!
+//! * **symmetric** (weights): `q = clamp(round(w / s), −Q, Q)` with
+//!   `s = max|w| / Q`, `Q = 2^{bits−1} − 1`;
+//! * **asymmetric** (activations): affine with a zero point, covering
+//!   `[min, max]` with `2^bits − 1` steps.
+//!
+//! `fake_quantize_*` run quantize→dequantize in one step, which is how the
+//! Table I fidelity proxy perturbs a model's weights/activations.
+
+use biq_matrix::Matrix;
+
+/// Symmetric per-tensor uniform quantizer.
+#[derive(Clone, Copy, Debug)]
+pub struct SymmetricQuantizer {
+    /// Bit width (2..=16).
+    pub bits: u32,
+    /// Step size.
+    pub scale: f32,
+}
+
+impl SymmetricQuantizer {
+    /// Fits the scale to cover `max |w|` of `data`.
+    ///
+    /// # Panics
+    /// Panics if `bits < 2` (symmetric needs a sign bit plus magnitude) or
+    /// `bits > 16`.
+    pub fn fit(data: &[f32], bits: u32) -> Self {
+        assert!((2..=16).contains(&bits), "bits must be in 2..=16");
+        let qmax = ((1i32 << (bits - 1)) - 1) as f32;
+        let max_abs = data.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let scale = if max_abs > 0.0 { max_abs / qmax } else { 1.0 };
+        Self { bits, scale }
+    }
+
+    /// Largest representable integer level.
+    #[inline]
+    pub fn qmax(&self) -> i32 {
+        (1i32 << (self.bits - 1)) - 1
+    }
+
+    /// Quantizes one value to an integer level.
+    #[inline]
+    pub fn quantize(&self, v: f32) -> i32 {
+        let q = (v / self.scale).round() as i32;
+        q.clamp(-self.qmax(), self.qmax())
+    }
+
+    /// Dequantizes an integer level.
+    #[inline]
+    pub fn dequantize(&self, q: i32) -> f32 {
+        q as f32 * self.scale
+    }
+
+    /// Quantize→dequantize in one step.
+    #[inline]
+    pub fn fake_quantize(&self, v: f32) -> f32 {
+        self.dequantize(self.quantize(v))
+    }
+}
+
+/// Asymmetric (affine) per-tensor quantizer with a zero point.
+#[derive(Clone, Copy, Debug)]
+pub struct AsymmetricQuantizer {
+    /// Bit width (2..=16).
+    pub bits: u32,
+    /// Step size.
+    pub scale: f32,
+    /// Integer level that represents real 0.0.
+    pub zero_point: i32,
+}
+
+impl AsymmetricQuantizer {
+    /// Fits scale/zero-point to cover `[min, max]` of `data` (always
+    /// including 0 in the range, as inference quantizers do).
+    pub fn fit(data: &[f32], bits: u32) -> Self {
+        assert!((2..=16).contains(&bits), "bits must be in 2..=16");
+        let levels = ((1u32 << bits) - 1) as f32;
+        let mut lo = 0.0f32;
+        let mut hi = 0.0f32;
+        for &v in data {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        let scale = if hi > lo { (hi - lo) / levels } else { 1.0 };
+        let zero_point = (-lo / scale).round() as i32;
+        Self { bits, scale, zero_point }
+    }
+
+    /// Quantizes one value to an unsigned level in `[0, 2^bits)`.
+    #[inline]
+    pub fn quantize(&self, v: f32) -> i32 {
+        let q = (v / self.scale).round() as i32 + self.zero_point;
+        q.clamp(0, (1i32 << self.bits) - 1)
+    }
+
+    /// Dequantizes a level.
+    #[inline]
+    pub fn dequantize(&self, q: i32) -> f32 {
+        (q - self.zero_point) as f32 * self.scale
+    }
+
+    /// Quantize→dequantize in one step.
+    #[inline]
+    pub fn fake_quantize(&self, v: f32) -> f32 {
+        self.dequantize(self.quantize(v))
+    }
+}
+
+/// Fake-quantizes a whole matrix with a per-tensor symmetric quantizer.
+pub fn fake_quantize_matrix(w: &Matrix, bits: u32) -> Matrix {
+    let q = SymmetricQuantizer::fit(w.as_slice(), bits);
+    Matrix::from_vec(w.rows(), w.cols(), w.as_slice().iter().map(|&v| q.fake_quantize(v)).collect())
+}
+
+/// Fake-quantizes each row with its own symmetric quantizer (per-channel
+/// weight quantization, the stronger baseline).
+pub fn fake_quantize_matrix_per_row(w: &Matrix, bits: u32) -> Matrix {
+    let mut out = Matrix::zeros(w.rows(), w.cols());
+    for i in 0..w.rows() {
+        let q = SymmetricQuantizer::fit(w.row(i), bits);
+        let dst = out.row_mut(i);
+        for (d, &v) in dst.iter_mut().zip(w.row(i)) {
+            *d = q.fake_quantize(v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biq_matrix::MatrixRng;
+
+    #[test]
+    fn symmetric_round_trips_extremes() {
+        let data = [-4.0f32, 0.0, 4.0];
+        let q = SymmetricQuantizer::fit(&data, 8);
+        assert!((q.fake_quantize(4.0) - 4.0).abs() < 1e-5);
+        assert!((q.fake_quantize(-4.0) + 4.0).abs() < 1e-5);
+        assert_eq!(q.quantize(0.0), 0);
+    }
+
+    #[test]
+    fn symmetric_clamps_out_of_range() {
+        let q = SymmetricQuantizer { bits: 8, scale: 0.1 };
+        assert_eq!(q.quantize(1e9), q.qmax());
+        assert_eq!(q.quantize(-1e9), -q.qmax());
+    }
+
+    #[test]
+    fn symmetric_error_bounded_by_half_step() {
+        let mut g = MatrixRng::seed_from(4);
+        let w = g.uniform(1, 1000, -2.0, 2.0);
+        let q = SymmetricQuantizer::fit(w.as_slice(), 8);
+        for &v in w.as_slice() {
+            assert!((q.fake_quantize(v) - v).abs() <= q.scale / 2.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn more_bits_less_error() {
+        let mut g = MatrixRng::seed_from(6);
+        let w = g.gaussian(16, 64, 0.0, 1.0);
+        let mut prev = f64::INFINITY;
+        for bits in [2u32, 4, 6, 8, 12] {
+            let fq = fake_quantize_matrix(&w, bits);
+            let err: f64 = w
+                .as_slice()
+                .iter()
+                .zip(fq.as_slice())
+                .map(|(&a, &b)| ((a - b) as f64).powi(2))
+                .sum();
+            assert!(err <= prev, "error grew at {bits} bits");
+            prev = err;
+        }
+    }
+
+    #[test]
+    fn asymmetric_represents_zero_exactly() {
+        let data = [-1.0f32, 0.0, 3.0];
+        let q = AsymmetricQuantizer::fit(&data, 8);
+        assert_eq!(q.fake_quantize(0.0), 0.0);
+    }
+
+    #[test]
+    fn asymmetric_covers_skewed_range_better_than_symmetric() {
+        // Data in [0, 1]: asymmetric uses all levels, symmetric wastes half.
+        let mut g = MatrixRng::seed_from(8);
+        let w = g.uniform(1, 512, 0.0, 1.0);
+        let qa = AsymmetricQuantizer::fit(w.as_slice(), 4);
+        let qs = SymmetricQuantizer::fit(w.as_slice(), 4);
+        let ea: f64 = w
+            .as_slice()
+            .iter()
+            .map(|&v| ((v - qa.fake_quantize(v)) as f64).powi(2))
+            .sum();
+        let es: f64 = w
+            .as_slice()
+            .iter()
+            .map(|&v| ((v - qs.fake_quantize(v)) as f64).powi(2))
+            .sum();
+        assert!(ea < es, "asymmetric {ea} should beat symmetric {es} on skewed data");
+    }
+
+    #[test]
+    fn per_row_no_worse_than_per_tensor() {
+        let mut g = MatrixRng::seed_from(10);
+        // Rows with very different ranges.
+        let mut w = g.gaussian(4, 64, 0.0, 1.0);
+        for j in 0..64 {
+            let v = w.get(3, j) * 10.0;
+            w.set(3, j, v);
+        }
+        let pt = fake_quantize_matrix(&w, 4);
+        let pr = fake_quantize_matrix_per_row(&w, 4);
+        let err = |a: &Matrix| -> f64 {
+            w.as_slice()
+                .iter()
+                .zip(a.as_slice())
+                .map(|(&x, &y)| ((x - y) as f64).powi(2))
+                .sum()
+        };
+        assert!(err(&pr) <= err(&pt));
+    }
+
+    #[test]
+    fn constant_zero_data_is_stable() {
+        let q = SymmetricQuantizer::fit(&[0.0; 8], 8);
+        assert_eq!(q.fake_quantize(0.0), 0.0);
+        let qa = AsymmetricQuantizer::fit(&[0.0; 8], 8);
+        assert_eq!(qa.fake_quantize(0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be in 2..=16")]
+    fn rejects_one_bit_symmetric() {
+        let _ = SymmetricQuantizer::fit(&[1.0], 1);
+    }
+}

@@ -1,0 +1,99 @@
+//! Quantized CNN inference: a small conv → relu → pool → conv → pool →
+//! linear classifier running with BiQGEMM conv kernels — the XNOR-Net-style
+//! workload the paper's binary-coding lineage originally targeted, here with
+//! fp32 activations preserved (weight-only quantization).
+//!
+//! Run with: `cargo run --release --example cnn_inference`
+
+use biqgemm_repro::biq_matrix::MatrixRng;
+use biqgemm_repro::biq_nn::conv::{Conv2d, ConvShape, FeatureMap};
+use biqgemm_repro::biq_nn::linear::{Linear, QuantMethod};
+use biqgemm_repro::biq_nn::pooling::{global_avg_pool, max_pool2d, relu_inplace};
+use biqgemm_repro::biq_nn::transformer::LayerBackend;
+use biqgemm_repro::biq_matrix::ColMatrix;
+use biqgemm_repro::biq_quant::error_metrics::cosine_similarity;
+use biqgemm_repro::biqgemm_core::BiqConfig;
+use std::time::Instant;
+
+struct SmallCnn {
+    conv1: Conv2d,
+    conv2: Conv2d,
+    head: Linear,
+}
+
+impl SmallCnn {
+    fn random(seed: u64, backend: LayerBackend) -> Self {
+        let mut g = MatrixRng::seed_from(seed);
+        let conv1 = Conv2d::random(
+            &mut g,
+            ConvShape { in_channels: 3, out_channels: 32, kernel: 3, stride: 1, padding: 1 },
+            backend,
+        );
+        let conv2 = Conv2d::random(
+            &mut g,
+            ConvShape { in_channels: 32, out_channels: 64, kernel: 3, stride: 1, padding: 1 },
+            backend,
+        );
+        let head_w = g.gaussian(10, 64, 0.0, 64f32.powf(-0.5));
+        let head = match backend {
+            LayerBackend::Fp32 { parallel } => Linear::fp32_with(head_w, None, parallel),
+            LayerBackend::Biq { bits, method, cfg, .. } => {
+                Linear::quantized(&head_w, bits, method, cfg, None)
+            }
+            LayerBackend::Xnor { bits } => Linear::xnor(&head_w, bits, None),
+        };
+        Self { conv1, conv2, head }
+    }
+
+    fn forward(&self, image: &FeatureMap) -> Vec<f32> {
+        let mut h = self.conv1.forward(image);
+        relu_inplace(&mut h);
+        let h = max_pool2d(&h, 2, 2);
+        let mut h = self.conv2.forward(&h);
+        relu_inplace(&mut h);
+        let h = max_pool2d(&h, 2, 2);
+        let feat = global_avg_pool(&h);
+        self.head.forward(&ColMatrix::from_column(feat)).col(0).to_vec()
+    }
+}
+
+fn main() {
+    let image = {
+        let mut g = MatrixRng::seed_from(0x1313);
+        FeatureMap::random(&mut g, 3, 32, 32) // CIFAR-sized input
+    };
+    println!("SmallCnn on a 3x32x32 input: conv3->32 + conv32->64 (3x3, same), 10-way head\n");
+
+    let fp = SmallCnn::random(0xc44, LayerBackend::Fp32 { parallel: false });
+    let biq = SmallCnn::random(
+        0xc44,
+        LayerBackend::Biq {
+            bits: 2,
+            method: QuantMethod::Greedy,
+            cfg: BiqConfig::default(),
+            parallel: false,
+        },
+    );
+
+    let t0 = Instant::now();
+    let logits_fp = fp.forward(&image);
+    let t_fp = t0.elapsed();
+    let t0 = Instant::now();
+    let logits_biq = biq.forward(&image);
+    let t_biq = t0.elapsed();
+
+    let top = |v: &[f32]| -> usize {
+        v.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0
+    };
+    println!("fp32 forward:    {:>7.2} ms, argmax class {}", t_fp.as_secs_f64() * 1e3, top(&logits_fp));
+    println!("BiQGEMM 2-bit:   {:>7.2} ms, argmax class {}", t_biq.as_secs_f64() * 1e3, top(&logits_biq));
+    println!(
+        "logit cosine similarity: {:.4}   speedup: {:.2}x",
+        cosine_similarity(&logits_biq, &logits_fp),
+        t_fp.as_secs_f64() / t_biq.as_secs_f64()
+    );
+    println!("\nNote: im2col gives the conv GEMM a *huge* batch (H·W ≈ 1024 columns) against");
+    println!("small weight matrices (m = 32/64) — the far side of Fig. 10's crossover, where");
+    println!("fp32 GEMM is competitive. BiQGEMM's regime is the opposite corner (large m, few");
+    println!("batch): NLP projections and decode loops, as the other examples show.");
+}

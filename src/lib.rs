@@ -1,0 +1,18 @@
+//! Umbrella crate for the BiQGEMM reproduction workspace.
+//!
+//! This crate re-exports the public surface of every member crate so that
+//! examples and integration tests can write `use biqgemm_repro::...`.
+//! Downstream users will normally depend on the individual crates instead:
+//!
+//! * [`biq_matrix`] — dense matrix substrate (layouts, reshape, RNG workloads)
+//! * [`biq_quant`] — binary-coding / uniform quantizers and bit packing
+//! * [`biq_gemm`] — dense & quantized baseline kernels (naive, blocked, XNOR)
+//! * [`biqgemm_core`] — the BiQGEMM lookup-table matrix-multiplication engine
+//! * [`biq_nn`] — NN layers (Linear/Attention/Transformer/LSTM) with pluggable
+//!   matmul backends
+
+pub use biq_gemm;
+pub use biq_matrix;
+pub use biq_nn;
+pub use biq_quant;
+pub use biqgemm_core;
