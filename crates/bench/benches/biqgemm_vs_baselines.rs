@@ -52,8 +52,7 @@ fn bench_kernels(c: &mut Criterion) {
     for (name, schedule) in
         [("row_parallel", Schedule::RowParallel), ("shared_lut", Schedule::SharedLut)]
     {
-        let engine =
-            BiqGemm::from_signs(&w.signs, BiqConfig { schedule, ..BiqConfig::default() });
+        let engine = BiqGemm::from_signs(&w.signs, BiqConfig { schedule, ..BiqConfig::default() });
         group.bench_function(name, |bch| {
             bch.iter(|| black_box(engine.matmul_parallel(black_box(&w.x))))
         });

@@ -1,7 +1,9 @@
 //! Criterion microbench: the query/accumulate kernel under the two LUT
-//! layouts (Fig. 6 ablation — KeyMajor should win for batched inputs).
+//! layouts (Fig. 6 ablation — KeyMajor should win for batched inputs), plus
+//! the arena-reuse ablation (one-shot legacy facade vs warmed executor).
 
 use biq_bench::workloads::binary_workload;
+use biq_runtime::{compile, BackendSpec, Executor, PlanBuilder, QuantMethod, WeightSource};
 use biqgemm_core::config::{BiqConfig, LutLayout};
 use biqgemm_core::BiqGemm;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -40,5 +42,34 @@ fn bench_simd_toggle(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_query_layouts, bench_simd_toggle);
+/// The refactor's headline: per-call allocation (legacy one-shot facade)
+/// vs the executor's warmed arena, in the paper's small-batch regime. Both
+/// sides run the identical `BiqConfig::default()` tile shapes so the only
+/// difference is scratch reuse.
+fn bench_arena_reuse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arena_reuse");
+    group.sample_size(20);
+    for (m, n, b) in [(512usize, 512usize, 1usize), (512, 512, 8), (2048, 1024, 1)] {
+        let w = binary_workload(m, n, b);
+        let engine = BiqGemm::from_signs(&w.signs, BiqConfig::default());
+        let id = format!("{m}x{n}_b{b}");
+        group.bench_with_input(BenchmarkId::new("one_shot", &id), &b, |bch, _| {
+            bch.iter(|| black_box(engine.matmul(black_box(&w.x))));
+        });
+        let plan = PlanBuilder::new(m, n)
+            .batch_hint(b)
+            .backend(BackendSpec::Biq { bits: 1, method: QuantMethod::Greedy })
+            .config(BiqConfig::default())
+            .build();
+        let op = compile(&plan, WeightSource::Signs(&w.signs));
+        let mut exec = Executor::warmed_for(&op);
+        let mut y = vec![0.0f32; m * b];
+        group.bench_with_input(BenchmarkId::new("executor_arena", &id), &b, |bch, _| {
+            bch.iter(|| exec.run_into(&op, black_box(&w.x), black_box(&mut y)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_layouts, bench_simd_toggle, bench_arena_reuse);
 criterion_main!(benches);

@@ -21,16 +21,20 @@ fn main() {
     let batches: Vec<usize> = if a.quick { vec![32] } else { vec![1, 32] };
     println!("INT8 vs BiQGEMM ablation (1 thread)\n");
     let mut t = Table::new(&[
-        "matrix", "batch", "fp32 ms", "INT8 ms", "INT8 conv %", "BiQ 2-bit ms", "BiQ 1-bit ms",
+        "matrix",
+        "batch",
+        "fp32 ms",
+        "INT8 ms",
+        "INT8 conv %",
+        "BiQ 2-bit ms",
+        "BiQ 1-bit ms",
     ]);
     for &n in &sizes {
         for &b in &batches {
             let wload = binary_workload(n, n, b);
             let wf = gaussian_weights(n, n, 0x148 + n as u64);
             let int8 = Int8Gemm::new(&wf);
-            let reps = auto_reps(Duration::from_millis(300), 3, 12, || {
-                gemm_blocked(&wf, &wload.x)
-            });
+            let reps = auto_reps(Duration::from_millis(300), 3, 12, || gemm_blocked(&wf, &wload.x));
             let m_fp = measure(1, reps, || gemm_blocked(&wf, &wload.x));
             let mut phases = Int8Phases::default();
             let m_int8 = measure(1, reps, || int8.forward(&wload.x, &mut phases));

@@ -53,8 +53,7 @@ fn main() {
                     measure(1, reps, || par_gemm_blocked(&dense, &w.x)),
                 )
             });
-        let (b_biq, b_gemm) =
-            *base.get_or_insert((m_row.median_ms(), m_gemm.median_ms()));
+        let (b_biq, b_gemm) = *base.get_or_insert((m_row.median_ms(), m_gemm.median_ms()));
         t.row(&[
             nt.to_string(),
             fmt_f(m_row.median_ms(), 2),

@@ -30,7 +30,13 @@ fn main() {
     let n = 1024;
     println!("Fig. 10: speedup over blocked fp32 GEMM ('eigen' role), n = {n}, 1 thread\n");
     let mut t = Table::new(&[
-        "batch", "m", "eigen ms", "kCpu x", "BiQ 3-bit x", "BiQ 2-bit x", "BiQ 1-bit x",
+        "batch",
+        "m",
+        "eigen ms",
+        "kCpu x",
+        "BiQ 3-bit x",
+        "BiQ 2-bit x",
+        "BiQ 1-bit x",
     ]);
     for &b in &batches {
         for &m in &ms {

@@ -23,9 +23,7 @@ fn main() {
     let b = 32;
     println!("Fig. 8: BiQGEMM phase profile (1-bit weights, b = {b}, µ = 8, 1 thread)\n");
     for n in ns {
-        let mut t = Table::new(&[
-            "m", "build %", "query %", "replace %", "total ms",
-        ]);
+        let mut t = Table::new(&["m", "build %", "query %", "replace %", "total ms"]);
         for &m in &sizes {
             let w = binary_workload(m, n, b);
             let engine = BiqGemm::from_signs(&w.signs, BiqConfig::default());

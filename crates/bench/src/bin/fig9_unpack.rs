@@ -28,7 +28,12 @@ fn main() {
     let batches: Vec<usize> = if a.quick { vec![32] } else { vec![32, 64, 128] };
     println!("Fig. 9: unpacking overhead for GEMM on 1-bit packed weights (1 thread)\n");
     let mut t = Table::new(&[
-        "matrix", "batch", "w/o unpack ms", "sGEMM ms", "w/ unpack ms", "w/ unpack (amortized) ms",
+        "matrix",
+        "batch",
+        "w/o unpack ms",
+        "sGEMM ms",
+        "w/ unpack ms",
+        "w/ unpack (amortized) ms",
         "unpack overhead x",
     ]);
     for &n in &sizes {
@@ -36,9 +41,8 @@ fn main() {
             let w = binary_workload(n, n, b);
             let packed = PackedRowsU32::pack(&w.signs);
             let dense = DenseBinaryWeights::unscaled(&w.signs);
-            let reps = auto_reps(Duration::from_millis(400), 3, 20, || {
-                gemm_with_unpack(&packed, &w.x)
-            });
+            let reps =
+                auto_reps(Duration::from_millis(400), 3, 20, || gemm_with_unpack(&packed, &w.x));
             let m_wo = measure(1, reps, || gemm_without_unpack(&packed, &w.x));
             let m_sg = measure(1, reps, || dense.sgemm_naive(&w.x));
             let m_wi = measure(1, reps, || gemm_with_unpack(&packed, &w.x));

@@ -1,11 +1,18 @@
 //! Convenience driver: regenerates every table/figure/ablation in sequence,
-//! teeing each experiment's output into `results/<name>.txt`.
+//! teeing each experiment's output into `results/<name>.txt`, then runs the
+//! runtime-driven perf suite and writes `results/BENCH_biqgemm.json` — the
+//! machine-readable trajectory record future changes are compared against.
 //!
 //! `cargo run --release -p biq-bench --bin run_all [-- --quick]`
 
+use biq_bench::args::{self, with_pool};
+use biq_bench::timing::{auto_reps, measure};
+use biq_bench::workloads::binary_workload;
+use biq_runtime::{compile, BackendSpec, Executor, PlanBuilder, QuantMethod, WeightSource};
 use std::io::Write as _;
 use std::path::Path;
 use std::process::Command;
+use std::time::Duration;
 
 const EXPERIMENTS: &[&str] = &[
     "table1_quant_quality",
@@ -20,7 +27,93 @@ const EXPERIMENTS: &[&str] = &[
     "ablation_int8",
 ];
 
+/// One row of the JSON perf record.
+struct BenchRow {
+    m: usize,
+    n: usize,
+    b: usize,
+    backend: &'static str,
+    biqgemm_ns: u128,
+    blocked_fp32_ns: u128,
+}
+
+impl BenchRow {
+    fn speedup(&self) -> f64 {
+        if self.biqgemm_ns == 0 {
+            // 0 would only happen on timer-granularity underflow; emit a
+            // finite value so the JSON stays parseable (NaN is not JSON).
+            return 0.0;
+        }
+        self.blocked_fp32_ns as f64 / self.biqgemm_ns as f64
+    }
+}
+
+/// Times BiQGEMM (runtime-planned, 1-bit weights) and blocked fp32 (same
+/// runtime, same executor kind) on one workload; both paths go through the
+/// plan/executor so the numbers include exactly the serving-path overheads.
+fn bench_workload(m: usize, n: usize, b: usize, threads: Option<usize>) -> BenchRow {
+    let w = binary_workload(m, n, b);
+    let dense = w.signs.to_f32();
+
+    let mut biq_builder = PlanBuilder::new(m, n)
+        .batch_hint(b)
+        .backend(BackendSpec::Biq { bits: 1, method: QuantMethod::Greedy });
+    if let Some(t) = threads {
+        biq_builder = biq_builder.threads(t);
+    }
+    let biq_plan = biq_builder.build();
+    let biq_op = compile(&biq_plan, WeightSource::Signs(&w.signs));
+    let mut biq_exec = Executor::warmed_for(&biq_op);
+    let mut y = vec![0.0f32; m * b];
+
+    let mut fp_builder = PlanBuilder::new(m, n).batch_hint(b).backend(BackendSpec::Fp32Blocked);
+    if let Some(t) = threads {
+        fp_builder = fp_builder.threads(t);
+    }
+    let fp_plan = fp_builder.build();
+    let fp_op = compile(&fp_plan, WeightSource::Dense(&dense));
+    let mut fp_exec = Executor::warmed_for(&fp_op);
+
+    let reps =
+        auto_reps(Duration::from_millis(200), 3, 20, || biq_exec.run_into(&biq_op, &w.x, &mut y));
+    let m_biq = measure(1, reps, || biq_exec.run_into(&biq_op, &w.x, &mut y));
+    let m_fp = measure(1, reps, || fp_exec.run_into(&fp_op, &w.x, &mut y));
+
+    BenchRow {
+        m,
+        n,
+        b,
+        backend: biq_op.backend_name(),
+        biqgemm_ns: m_biq.median.as_nanos(),
+        blocked_fp32_ns: m_fp.median.as_nanos(),
+    }
+}
+
+fn write_bench_json(rows: &[BenchRow], path: &str) -> std::io::Result<()> {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "  {{\"workload\": \"m={m} n={n} b={b}\", \"m\": {m}, \"n\": {n}, ",
+                "\"b\": {b}, \"backend\": \"{backend}\", \"biqgemm_median_ns\": {biq}, ",
+                "\"blocked_fp32_median_ns\": {fp}, \"speedup_vs_blocked_fp32\": {speedup:.3}}}{comma}\n"
+            ),
+            m = r.m,
+            n = r.n,
+            b = r.b,
+            backend = r.backend,
+            biq = r.biqgemm_ns,
+            fp = r.blocked_fp32_ns,
+            speedup = r.speedup(),
+            comma = if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("]\n");
+    std::fs::write(path, out)
+}
+
 fn main() {
+    let a = args::parse();
     let pass_args: Vec<String> = std::env::args().skip(1).collect();
     let exe_dir = std::env::current_exe()
         .ok()
@@ -46,10 +139,44 @@ fn main() {
             }
             Err(e) => {
                 failures += 1;
-                println!("FAILED to launch: {e} (build with `cargo build --release -p biq-bench` first)");
+                println!(
+                    "FAILED to launch: {e} (build with `cargo build --release -p biq-bench` first)"
+                );
             }
         }
     }
+
+    // Runtime-driven perf record: small-batch serving shapes first (the
+    // paper's target regime and the arena-reuse fast path), then the
+    // larger-batch parallel shapes.
+    print!("running runtime perf suite ... ");
+    std::io::stdout().flush().ok();
+    let shapes: &[(usize, usize, usize)] = if a.quick {
+        &[(512, 512, 1), (512, 512, 8)]
+    } else {
+        &[(1024, 1024, 1), (1024, 1024, 8), (1024, 1024, 32), (2048, 2048, 1), (2048, 2048, 32)]
+    };
+    // Honor --threads for the runtime suite too: it pins both the planner's
+    // serial/parallel decision and the rayon pool the parallel drivers use.
+    let rows: Vec<BenchRow> = with_pool(a.threads, || {
+        shapes.iter().map(|&(m, n, b)| bench_workload(m, n, b, a.threads)).collect()
+    });
+    let json_path = "results/BENCH_biqgemm.json";
+    write_bench_json(&rows, json_path).expect("write BENCH_biqgemm.json");
+    println!("ok -> {json_path}");
+    for r in &rows {
+        println!(
+            "  m={} n={} b={} [{}]: biqgemm {} ns vs blocked fp32 {} ns ({:.2}x)",
+            r.m,
+            r.n,
+            r.b,
+            r.backend,
+            r.biqgemm_ns,
+            r.blocked_fp32_ns,
+            r.speedup()
+        );
+    }
+
     if failures > 0 {
         std::process::exit(1);
     }

@@ -18,12 +18,12 @@
 use biq_bench::args;
 use biq_bench::table::{fmt_f, Table};
 use biq_matrix::MatrixRng;
-use biq_quant::alternating::alternating_quantize_matrix_rowwise;
-use biq_quant::error_metrics::{matrix_sqnr_db, relative_l2};
-use biq_quant::uniform::fake_quantize_matrix_per_row;
-use biq_quant::greedy_quantize_matrix_rowwise;
 use biq_nn::linear::QuantMethod;
 use biq_nn::transformer::{EncoderLayer, LayerBackend};
+use biq_quant::alternating::alternating_quantize_matrix_rowwise;
+use biq_quant::error_metrics::{matrix_sqnr_db, relative_l2};
+use biq_quant::greedy_quantize_matrix_rowwise;
+use biq_quant::uniform::fake_quantize_matrix_per_row;
 use biqgemm_core::BiqConfig;
 
 fn main() {
@@ -41,11 +41,7 @@ fn main() {
     let mut part_a = Table::new(&["scheme", "W bits", "weight SQNR (dB)"]);
     for bits in [8u32, 6, 4] {
         let fq = fake_quantize_matrix_per_row(&w, bits);
-        part_a.row(&[
-            "Uniform".into(),
-            bits.to_string(),
-            fmt_f(matrix_sqnr_db(&w, &fq), 2),
-        ]);
+        part_a.row(&["Uniform".into(), bits.to_string(), fmt_f(matrix_sqnr_db(&w, &fq), 2)]);
     }
     for bits in [4usize, 3, 2, 1] {
         let q = greedy_quantize_matrix_rowwise(&w, bits);

@@ -38,7 +38,12 @@ fn run(a: &biq_bench::args::CommonArgs, sizes: &[usize], batches: &[usize]) {
         rayon::current_num_threads()
     );
     let mut t = Table::new(&[
-        "weights", "batch", "BiQGEMM us", "kGpu us", "cublas us", "xnor us",
+        "weights",
+        "batch",
+        "BiQGEMM us",
+        "kGpu us",
+        "cublas us",
+        "xnor us",
         "BiQ/kGpu speedup",
     ]);
     for &n in sizes {
@@ -47,7 +52,8 @@ fn run(a: &biq_bench::args::CommonArgs, sizes: &[usize], batches: &[usize]) {
             let dense = w.signs.to_f32();
             let engine = BiqGemm::from_signs(&w.signs, BiqConfig::default());
             let xw = XnorWeights::new(vec![(vec![1.0f32; n], PackedRowsU64::pack(&w.signs))]);
-            let reps = auto_reps(Duration::from_millis(300), 3, 20, || engine.matmul_parallel(&w.x));
+            let reps =
+                auto_reps(Duration::from_millis(300), 3, 20, || engine.matmul_parallel(&w.x));
             let m_biq = measure(1, reps, || engine.matmul_parallel(&w.x));
             let m_kgpu = measure(1, reps, || par_gemm_naive(&dense, &w.x));
             let m_cublas = measure(1, reps, || par_gemm_blocked(&dense, &w.x));

@@ -18,8 +18,11 @@ use biq_matrix::io as mio;
 use biq_matrix::{ColMatrix, Matrix, MatrixRng};
 use biq_quant::serialize as qser;
 use biq_quant::{alternating::alternating_quantize_matrix_rowwise, greedy_quantize_matrix_rowwise};
+use biq_runtime::{
+    compile, BackendSpec, Executor, PlanBuilder, QuantMethod, Threading, WeightSource,
+};
 use biqgemm_core::serialize as wser;
-use biqgemm_core::{BiqConfig, BiqGemm};
+use biqgemm_core::BiqConfig;
 use bytes::Bytes;
 use std::fmt;
 use std::fs::File;
@@ -82,8 +85,8 @@ pub fn cmd_quantize(
     alternating: bool,
     out: &Path,
 ) -> Result<(), CliError> {
-    let w = mio::decode_matrix(read_bytes(input)?)
-        .map_err(|e| CliError(format!("{input:?}: {e}")))?;
+    let w =
+        mio::decode_matrix(read_bytes(input)?).map_err(|e| CliError(format!("{input:?}: {e}")))?;
     let q = if alternating {
         alternating_quantize_matrix_rowwise(&w, bits, 10)
     } else {
@@ -101,7 +104,9 @@ pub fn cmd_pack(input: &Path, mu: usize, out: &Path) -> Result<(), CliError> {
 }
 
 /// `biq matmul`: packed weights × column-major activations → row-major
-/// output. Returns `(m, b)` for reporting.
+/// output, planned and executed through the `biq_runtime` plan/executor
+/// (the single code path all kernels share). Returns `(m, b)` for
+/// reporting.
 pub fn cmd_matmul(
     weights: &Path,
     input: &Path,
@@ -112,9 +117,15 @@ pub fn cmd_matmul(
         .map_err(|e| CliError(format!("{weights:?}: {e}")))?;
     let x = mio::decode_col_matrix(read_bytes(input)?)
         .map_err(|e| CliError(format!("{input:?}: {e}")))?;
-    let cfg = BiqConfig { mu: w.mu(), ..BiqConfig::default() };
-    let engine = BiqGemm::from_weights(w, cfg);
-    let y: Matrix = if parallel { engine.matmul_parallel(&x) } else { engine.matmul(&x) };
+    let plan = PlanBuilder::new(w.output_size(), w.input_size())
+        .batch_hint(x.cols().max(1))
+        .backend(BackendSpec::Biq { bits: w.bits(), method: QuantMethod::Greedy })
+        .config(BiqConfig { mu: w.mu(), ..BiqConfig::default() })
+        .threading(if parallel { Threading::Parallel } else { Threading::Serial })
+        .build();
+    let op = compile(&plan, WeightSource::Packed(w));
+    let mut exec = Executor::warmed_for(&op);
+    let y: Matrix = exec.run(&op, &x);
     let shape = y.shape();
     write_bytes(output, &mio::encode_matrix(&y))?;
     Ok(shape)
@@ -126,22 +137,19 @@ pub fn cmd_info(path: &Path) -> Result<String, CliError> {
     if data.len() >= 4 {
         match &data[..4] {
             b"BIQ1" => {
-                let (kind, rows, cols) = mio::peek_kind(&data)
-                    .map_err(|e| CliError(format!("{path:?}: {e}")))?;
+                let (kind, rows, cols) =
+                    mio::peek_kind(&data).map_err(|e| CliError(format!("{path:?}: {e}")))?;
                 return Ok(format!("matrix container: kind {kind:?}, shape {rows}x{cols}"));
             }
             b"BIQQ" => {
-                let q = qser::decode_multibit(data)
-                    .map_err(|e| CliError(format!("{path:?}: {e}")))?;
+                let q =
+                    qser::decode_multibit(data).map_err(|e| CliError(format!("{path:?}: {e}")))?;
                 let (r, c) = q.shape();
-                return Ok(format!(
-                    "quantized matrix: {r}x{c}, {} binary-coding bits",
-                    q.bits()
-                ));
+                return Ok(format!("quantized matrix: {r}x{c}, {} binary-coding bits", q.bits()));
             }
             b"BIQW" => {
-                let w = wser::decode_weights(data)
-                    .map_err(|e| CliError(format!("{path:?}: {e}")))?;
+                let w =
+                    wser::decode_weights(data).map_err(|e| CliError(format!("{path:?}: {e}")))?;
                 return Ok(format!(
                     "packed BiQGEMM weights: {}x{}, {} bits, µ = {}, {} key rows x {} chunks",
                     w.output_size(),

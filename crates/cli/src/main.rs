@@ -46,10 +46,7 @@ impl Args {
     }
 
     fn flag(&self, name: &str) -> Option<&str> {
-        self.flags
-            .iter()
-            .find(|(n, _)| n == name)
-            .and_then(|(_, v)| v.as_deref())
+        self.flags.iter().find(|(n, _)| n == name).and_then(|(_, v)| v.as_deref())
     }
 
     fn has(&self, name: &str) -> bool {
@@ -117,16 +114,11 @@ fn run() -> Result<(), CliError> {
 }
 
 fn positional_path(args: &Args, idx: usize, what: &str) -> Result<PathBuf, CliError> {
-    args.positional
-        .get(idx)
-        .map(PathBuf::from)
-        .ok_or_else(|| CliError(format!("missing {what}")))
+    args.positional.get(idx).map(PathBuf::from).ok_or_else(|| CliError(format!("missing {what}")))
 }
 
 fn flag_path(args: &Args, name: &str) -> Result<PathBuf, CliError> {
-    args.flag(name)
-        .map(PathBuf::from)
-        .ok_or_else(|| CliError(format!("missing --{name}")))
+    args.flag(name).map(PathBuf::from).ok_or_else(|| CliError(format!("missing --{name}")))
 }
 
 fn main() -> ExitCode {

@@ -1,0 +1,197 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Provides `Criterion`, benchmark groups, `BenchmarkId`, and the
+//! `criterion_group!`/`criterion_main!` macros. Measurement is a simple
+//! calibrated median: each benchmark body is batched until a batch takes
+//! ≳200 µs, then `sample_size` batches are timed and the median per-iteration
+//! time is printed as
+//!
+//! ```text
+//! bench  group/name ... median 123 ns/iter (k samples)
+//! ```
+//!
+//! No plots, no statistics beyond the median, no baseline files — enough to
+//! compare kernels by eye and to keep `cargo bench` runnable offline.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Label of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` labelling.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self { label: format!("{name}/{parameter}") }
+    }
+
+    /// Parameter-only labelling.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { label: s }
+    }
+}
+
+/// Timer handed to benchmark bodies.
+pub struct Bencher {
+    samples: usize,
+    /// Median nanoseconds per iteration, filled by [`Bencher::iter`].
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Measures `f`, recording the median per-iteration time.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Calibrate the batch size so one batch is long enough to time.
+        let mut batch: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_micros(200) || batch >= 1 << 24 {
+                break;
+            }
+            batch *= 2;
+        }
+        let mut per_iter: Vec<f64> = (0..self.samples.max(1))
+            .map(|_| {
+                let t0 = Instant::now();
+                for _ in 0..batch {
+                    std::hint::black_box(f());
+                }
+                t0.elapsed().as_nanos() as f64 / batch as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = per_iter[per_iter.len() / 2];
+    }
+}
+
+fn run_one(group: &str, label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { samples, median_ns: f64::NAN };
+    f(&mut b);
+    let sep = if group.is_empty() { "" } else { "/" };
+    println!(
+        "bench  {group}{sep}{label} ... median {:.0} ns/iter ({samples} samples)",
+        b.median_ns
+    );
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n;
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&self.name, &id.into().label, self.samples, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&self.name, &id.into().label, self.samples, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing happens eagerly; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Criterion {
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let samples = if self.default_samples == 0 { 10 } else { self.default_samples };
+        BenchmarkGroup { _criterion: self, name: name.into(), samples }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let samples = if self.default_samples == 0 { 10 } else { self.default_samples };
+        run_one("", &id.into().label, samples, &mut f);
+        self
+    }
+}
+
+/// Bundles benchmark functions into one callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3).bench_function("noop", |b| {
+            b.iter(|| std::hint::black_box(1 + 1));
+        });
+        group.bench_with_input(BenchmarkId::new("sum", 8), &8usize, |b, &n| {
+            b.iter(|| (0..n).sum::<usize>());
+        });
+        group.finish();
+    }
+}

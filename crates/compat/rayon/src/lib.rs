@@ -1,0 +1,210 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Provides the slice-parallel surface this workspace uses —
+//! `par_chunks_mut(..).enumerate().for_each(..)` — executed on real OS
+//! threads via `std::thread::scope`, plus `current_num_threads` and a
+//! minimal `ThreadPoolBuilder`/`ThreadPool::install` for pinning the
+//! worker count in benchmarks.
+//!
+//! Work distribution is a shared atomic cursor over the chunk list, so
+//! uneven chunks still balance. With one logical CPU (or one chunk) the
+//! driver degrades to a plain serial loop with no thread spawns.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Global worker-count override installed by [`ThreadPool::install`]
+/// (0 = use the machine's available parallelism).
+static POOL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of threads parallel operations will use.
+pub fn current_num_threads() -> usize {
+    match POOL_THREADS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Builder for a fixed-size pool.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Pool construction error (never produced by this shim; kept for API
+/// compatibility with `build().expect(..)` call sites).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default (machine) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests a fixed worker count (0 = machine default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { num_threads: self.num_threads })
+    }
+}
+
+/// A scoped worker-count setting. Unlike real rayon there are no persistent
+/// workers; [`ThreadPool::install`] just pins [`current_num_threads`] for
+/// the duration of the closure (threads are spawned per parallel call).
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread count installed as the default.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = POOL_THREADS.swap(self.num_threads, Ordering::Relaxed);
+        let out = f();
+        POOL_THREADS.store(prev, Ordering::Relaxed);
+        out
+    }
+}
+
+/// Runs `f(index, item)` for every item, distributing items over worker
+/// threads with a shared atomic cursor.
+fn run_indexed<I, F>(items: Vec<I>, f: F)
+where
+    I: Send,
+    F: Fn(usize, I) + Sync,
+{
+    let threads = current_num_threads().min(items.len()).max(1);
+    if threads <= 1 {
+        for (i, item) in items.into_iter().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let slots: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+    let slots = &slots;
+    let cursor = &cursor;
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= slots.len() {
+                    break;
+                }
+                let item = slots[i].lock().expect("slot lock poisoned").take();
+                if let Some(item) = item {
+                    f(i, item);
+                }
+            });
+        }
+    });
+}
+
+/// Parallel iterator over disjoint mutable chunks of a slice.
+pub struct ParChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs every chunk with its index.
+    pub fn enumerate(self) -> EnumerateParChunksMut<'a, T> {
+        EnumerateParChunksMut { chunks: self.chunks }
+    }
+
+    /// Applies `f` to every chunk in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        run_indexed(self.chunks, |_, c| f(c));
+    }
+}
+
+/// Enumerated variant of [`ParChunksMut`].
+pub struct EnumerateParChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<T: Send> EnumerateParChunksMut<'_, T> {
+    /// Applies `f` to every `(index, chunk)` pair in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        run_indexed(self.chunks, |i, c| f((i, c)));
+    }
+}
+
+/// Mutable slice parallelism (the `rayon::slice::ParallelSliceMut` role).
+pub trait ParallelSliceMut<T: Send> {
+    /// Splits the slice into chunks of at most `chunk_size` elements that
+    /// can be processed in parallel.
+    ///
+    /// # Panics
+    /// Panics if `chunk_size` is zero.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksMut { chunks: self.chunks_mut(chunk_size).collect() }
+    }
+}
+
+/// The customary glob import.
+pub mod prelude {
+    pub use crate::ParallelSliceMut;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn chunks_see_disjoint_data_and_all_of_it() {
+        let mut v = vec![0u32; 103];
+        v.as_mut_slice().par_chunks_mut(10).enumerate().for_each(|(i, c)| {
+            for x in c.iter_mut() {
+                *x = i as u32 + 1;
+            }
+        });
+        assert!(v.iter().all(|&x| x > 0));
+        assert_eq!(v[0], 1);
+        assert_eq!(v[102], 11);
+    }
+
+    #[test]
+    fn install_pins_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 2);
+        assert_ne!(POOL_THREADS.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn parallel_sum_matches_serial() {
+        let mut v: Vec<u64> = (0..1000).collect();
+        v.as_mut_slice().par_chunks_mut(7).for_each(|c| {
+            for x in c.iter_mut() {
+                *x *= 3;
+            }
+        });
+        assert_eq!(v.iter().sum::<u64>(), 3 * (999 * 1000 / 2));
+    }
+}

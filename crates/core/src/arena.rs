@@ -1,0 +1,118 @@
+//! Reusable execution scratch for BiQGEMM — the allocation-free query path.
+//!
+//! Every BiQGEMM call needs three pieces of transient state: a [`LutBank`]
+//! holding the live lookup tables of the current tile, a per-row batch
+//! accumulator, and (inside the bank) the DP step vectors of Algorithm 1.
+//! The seed kernels allocated all three per call; a [`BiqArena`] owns them
+//! across calls so the steady state of repeated small-batch inference — the
+//! paper's target regime, where per-call allocation is measurable — touches
+//! the heap only when a *larger* shape than ever seen arrives.
+//!
+//! The arena is keyed by `(µ, layout)`: a bank built for one key width or
+//! physical layout cannot be reinterpreted under another, so changing either
+//! rebuilds the bank (an explicit, rare cost). All buffers grow
+//! monotonically and never shrink.
+//!
+//! `biq_runtime::Executor` wraps one `BiqArena` (plus baseline-kernel
+//! scratch) behind the workspace-wide `GemmBackend` trait; the deprecated
+//! free-function entry points construct a throwaway arena so every path
+//! funnels through the same tile loop.
+
+use crate::config::LutLayout;
+use crate::layout::LutBank;
+
+/// Reusable scratch buffers for the serial BiQGEMM tile loop.
+#[derive(Debug)]
+pub struct BiqArena {
+    bank: Option<LutBank>,
+    bank_mu: usize,
+    bank_layout: LutLayout,
+    acc: Vec<f32>,
+}
+
+impl Default for BiqArena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BiqArena {
+    /// An empty arena; buffers are created on first use.
+    pub fn new() -> Self {
+        Self { bank: None, bank_mu: 0, bank_layout: LutLayout::KeyMajor, acc: Vec::new() }
+    }
+
+    /// Pre-sizes every buffer for a serial run of `cfg` at batch `b`, so
+    /// even the *first* kernel call at that shape is allocation-free.
+    pub fn reserve(&mut self, cfg: &crate::config::BiqConfig, b: usize) {
+        let nb = cfg.tile_batch.min(b.max(1));
+        let (bank, _) = self.parts(cfg.mu, cfg.layout, nb);
+        bank.reserve(cfg.tile_chunks, nb);
+    }
+
+    /// Mutable access to the bank and accumulator for one kernel run,
+    /// (re)creating the bank when `(µ, layout)` differ from the cached key
+    /// and growing the accumulator to at least `acc_len`.
+    pub fn parts(
+        &mut self,
+        mu: usize,
+        layout: LutLayout,
+        acc_len: usize,
+    ) -> (&mut LutBank, &mut [f32]) {
+        if self.bank.is_none() || self.bank_mu != mu || self.bank_layout != layout {
+            self.bank = Some(LutBank::new(mu, layout));
+            self.bank_mu = mu;
+            self.bank_layout = layout;
+        }
+        if self.acc.len() < acc_len {
+            self.acc.resize(acc_len, 0.0);
+        }
+        (self.bank.as_mut().expect("bank just ensured"), &mut self.acc[..acc_len])
+    }
+
+    /// Bytes of lookup-table data currently resident in the bank.
+    pub fn resident_lut_bytes(&self) -> usize {
+        self.bank.as_ref().map_or(0, LutBank::resident_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bank_is_cached_across_same_key_calls() {
+        let mut a = BiqArena::new();
+        {
+            let (bank, acc) = a.parts(4, LutLayout::KeyMajor, 8);
+            assert_eq!(bank.layout(), LutLayout::KeyMajor);
+            assert_eq!(acc.len(), 8);
+        }
+        let before = a.bank.as_ref().map(|b| b as *const LutBank as usize);
+        let _ = a.parts(4, LutLayout::KeyMajor, 4);
+        let after = a.bank.as_ref().map(|b| b as *const LutBank as usize);
+        assert_eq!(before, after, "same (µ, layout) must not rebuild the bank");
+    }
+
+    #[test]
+    fn key_change_rebuilds_bank() {
+        let mut a = BiqArena::new();
+        let _ = a.parts(4, LutLayout::KeyMajor, 1);
+        {
+            let (bank, _) = a.parts(8, LutLayout::KeyMajor, 1);
+            assert_eq!(bank.layout(), LutLayout::KeyMajor);
+        }
+        let (bank, _) = a.parts(8, LutLayout::BatchMajor, 1);
+        assert_eq!(bank.layout(), LutLayout::BatchMajor);
+    }
+
+    #[test]
+    fn accumulator_grows_monotonically() {
+        let mut a = BiqArena::new();
+        let (_, acc) = a.parts(4, LutLayout::KeyMajor, 16);
+        assert_eq!(acc.len(), 16);
+        let (_, acc) = a.parts(4, LutLayout::KeyMajor, 4);
+        assert_eq!(acc.len(), 4, "view is sized to the request");
+        assert!(a.acc.len() >= 16, "backing store never shrinks");
+    }
+}

@@ -59,9 +59,7 @@ pub fn model_speedup(m: usize, n: usize, mu: usize, b: usize, bits: usize) -> f6
 pub fn optimal_mu(m: usize) -> usize {
     (1..=16)
         .min_by(|&a, &b| {
-            eq9_factor(m, a)
-                .partial_cmp(&eq9_factor(m, b))
-                .expect("factors are finite")
+            eq9_factor(m, a).partial_cmp(&eq9_factor(m, b)).expect("factors are finite")
         })
         .expect("non-empty range")
 }

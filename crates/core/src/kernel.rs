@@ -6,10 +6,11 @@
 //! loaded in advance"); every `matmul` builds its lookup tables on the fly
 //! from the incoming activations.
 
+use crate::arena::BiqArena;
 use crate::config::BiqConfig;
-use crate::parallel::biqgemm_parallel;
+use crate::parallel::biqgemm_parallel_into;
 use crate::profile::PhaseProfile;
-use crate::tiled::{biqgemm_tiled, biqgemv_tiled};
+use crate::tiled::biqgemm_serial_into;
 use crate::weights::BiqWeights;
 use biq_matrix::{ColMatrix, Matrix, SignMatrix};
 use biq_quant::MultiBitMatrix;
@@ -66,25 +67,47 @@ impl BiqGemm {
     }
 
     /// Serial `Y = Σ_p α_p ∘ (B_p · X)`.
+    ///
+    /// Convenience wrapper over the unified serial path with a throwaway
+    /// arena; hold a `biq_runtime::Executor` instead to reuse LUT arenas
+    /// across calls.
     pub fn matmul(&self, x: &ColMatrix) -> Matrix {
         let mut profile = PhaseProfile::new();
-        biqgemm_tiled(&self.weights, x, &self.cfg, &mut profile)
+        self.matmul_profiled(x, &mut profile)
     }
 
     /// Serial matmul with phase accounting (Fig. 8).
     pub fn matmul_profiled(&self, x: &ColMatrix, profile: &mut PhaseProfile) -> Matrix {
-        biqgemm_tiled(&self.weights, x, &self.cfg, profile)
+        let mut y = Matrix::zeros(self.weights.output_size(), x.cols());
+        let mut arena = BiqArena::new();
+        biqgemm_serial_into(&self.weights, x, &self.cfg, profile, &mut arena, y.as_mut_slice());
+        y
+    }
+
+    /// Serial matmul into a caller-provided `m × b` row-major buffer, using
+    /// `arena` for all scratch — the allocation-free steady-state path.
+    pub fn matmul_into(
+        &self,
+        x: &ColMatrix,
+        profile: &mut PhaseProfile,
+        arena: &mut BiqArena,
+        y: &mut [f32],
+    ) {
+        biqgemm_serial_into(&self.weights, x, &self.cfg, profile, arena, y);
     }
 
     /// Multi-threaded matmul on the ambient rayon pool, using
     /// `cfg.schedule`.
     pub fn matmul_parallel(&self, x: &ColMatrix) -> Matrix {
-        biqgemm_parallel(&self.weights, x, &self.cfg)
+        let mut y = Matrix::zeros(self.weights.output_size(), x.cols());
+        biqgemm_parallel_into(&self.weights, x, &self.cfg, y.as_mut_slice());
+        y
     }
 
     /// Single-vector product `y = Σ_p α_p ∘ (B_p · x)`.
     pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
-        biqgemv_tiled(&self.weights, x, &self.cfg)
+        let xm = ColMatrix::from_vec(x.len(), 1, x.to_vec());
+        self.matmul(&xm).into_vec()
     }
 }
 
@@ -112,10 +135,7 @@ mod tests {
         let signs = g.signs(70, 120);
         let x = g.small_int_col(120, 10, 2);
         let engine = BiqGemm::from_signs(&signs, BiqConfig::default());
-        assert_eq!(
-            engine.matmul(&x).as_slice(),
-            engine.matmul_parallel(&x).as_slice()
-        );
+        assert_eq!(engine.matmul(&x).as_slice(), engine.matmul_parallel(&x).as_slice());
     }
 
     #[test]

@@ -53,6 +53,20 @@ impl LutBank {
         self.layout
     }
 
+    /// Pre-grows storage for `num_chunks` chunks × `nb` batch columns so a
+    /// following [`LutBank::build`] of that size (or smaller) allocates
+    /// nothing. Buffers never shrink.
+    pub fn reserve(&mut self, num_chunks: usize, nb: usize) {
+        let needed = num_chunks * self.table * nb;
+        if self.data.len() < needed {
+            self.data.resize(needed, 0.0);
+        }
+        let mu = self.table.trailing_zeros() as usize;
+        if self.steps.len() < mu.max(1) * nb {
+            self.steps.resize(mu.max(1) * nb, 0.0);
+        }
+    }
+
     /// Number of chunks currently resident.
     #[inline]
     pub fn num_chunks(&self) -> usize {

@@ -24,7 +24,22 @@
 //! Time complexity (paper Eq. 8–10): `O(2^µ·(n/µ)·b + m·(n/µ)·b)`, i.e.
 //! `≈ GEMM/µ` when `2^µ ≪ m`. The analytic model lives in [`complexity`],
 //! including the optimal-µ search; [`planner`] turns it plus a cache budget
-//! into a concrete [`config::BiqConfig`].
+//! into a concrete [`config::BiqConfig`], and additionally computes the
+//! scratch-buffer sizes and serial/parallel recommendation the runtime
+//! layer plans with.
+//!
+//! ## Execution model
+//!
+//! The preferred entry point is **`biq_runtime::Executor`**: build an
+//! `ExecutionPlan` (a thin layer over [`planner`]), `compile` it against
+//! weights, and run it against a reusable arena. Within this crate,
+//! [`arena::BiqArena`] owns the reusable scratch (LUT bank, batch
+//! accumulator, DP step vectors) and [`tiled::biqgemm_serial_into`] /
+//! [`parallel::biqgemm_parallel_into`] are the arena-threaded kernels every
+//! path funnels into. [`kernel::BiqGemm`] remains as a self-contained
+//! facade (one-shot arena per call); the old free functions
+//! `biqgemm_tiled` / `biqgemv_tiled` / `biqgemm_parallel` are deprecated
+//! shims over the same code path.
 //!
 //! ## Quick start
 //!
@@ -44,6 +59,7 @@
 //! ```
 
 pub mod actquant;
+pub mod arena;
 pub mod complexity;
 pub mod config;
 pub mod kernel;
@@ -58,6 +74,7 @@ pub mod simd;
 pub mod tiled;
 pub mod weights;
 
+pub use arena::BiqArena;
 pub use config::{BiqConfig, LutBuildMethod, LutLayout, Schedule};
 pub use kernel::BiqGemm;
 pub use profile::PhaseProfile;

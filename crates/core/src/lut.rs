@@ -67,11 +67,7 @@ pub fn build_lut_bruteforce(x: &[f32], out: &mut [f32]) {
 /// `subvecs` yields the sub-vectors; tables are written consecutively into
 /// `out` (each `2^L` entries where `L` is that sub-vector's length — callers
 /// in this crate always pass full-µ slices plus at most one ragged tail).
-pub fn build_luts_gemm<'a>(
-    subvecs: impl Iterator<Item = &'a [f32]>,
-    mu: usize,
-    out: &mut [f32],
-) {
+pub fn build_luts_gemm<'a>(subvecs: impl Iterator<Item = &'a [f32]>, mu: usize, out: &mut [f32]) {
     let table = 1usize << mu;
     let mut offset = 0;
     for x in subvecs {
@@ -109,10 +105,7 @@ mod tests {
             build_lut_dp(&x, &mut dp);
             build_lut_bruteforce(&x, &mut bf);
             for (k, (a, b)) in dp.iter().zip(&bf).enumerate() {
-                assert!(
-                    (a - b).abs() < 1e-4,
-                    "L={l}, key={k}: dp {a} vs brute force {b}"
-                );
+                assert!((a - b).abs() < 1e-4, "L={l}, key={k}: dp {a} vs brute force {b}");
             }
         }
     }

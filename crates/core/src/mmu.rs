@@ -83,12 +83,7 @@ mod tests {
         let x = [0.5f32, -1.25, 2.0, 0.75];
         let m = m_mu(4);
         for k in 0..16u16 {
-            let expected: f32 = m
-                .row(k as usize)
-                .iter()
-                .zip(&x)
-                .map(|(&s, &v)| s as f32 * v)
-                .sum();
+            let expected: f32 = m.row(k as usize).iter().zip(&x).map(|(&s, &v)| s as f32 * v).sum();
             assert_eq!(key_dot(k, &x), expected);
         }
     }

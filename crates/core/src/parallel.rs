@@ -27,17 +27,40 @@ use biq_matrix::view::tile_ranges;
 use biq_matrix::{ColMatrix, Matrix};
 use rayon::prelude::*;
 
+/// Parallel BiQGEMM into a caller-provided row-major `m × b` buffer,
+/// dispatching on `cfg.schedule`. `y` is zeroed before accumulation.
+///
+/// Unlike the serial arena path, per-task LUT banks are thread-local and
+/// allocated inside the drivers (each worker must own its tables — "one
+/// lookup table cannot be implemented by coordinating more than two
+/// threads"); the runtime planner therefore prefers the serial path for
+/// small batches, where allocation overhead is proportionally largest.
+///
+/// # Panics
+/// Panics on dimension mismatch, `y.len() != m·b`, or invalid config.
+pub fn biqgemm_parallel_into(w: &BiqWeights, x: &ColMatrix, cfg: &BiqConfig, y: &mut [f32]) {
+    cfg.validate();
+    assert_eq!(x.rows(), w.input_size(), "inner dimension mismatch");
+    assert_eq!(y.len(), w.output_size() * x.cols(), "output buffer must hold m·b floats");
+    y.fill(0.0);
+    match cfg.schedule {
+        Schedule::RowParallel => row_parallel(w, x, cfg, y),
+        Schedule::SharedLut => shared_lut(w, x, cfg, y),
+    }
+}
+
 /// Parallel BiQGEMM, dispatching on `cfg.schedule`.
 ///
 /// # Panics
 /// Panics on dimension mismatch or invalid config.
+#[deprecated(
+    since = "0.1.0",
+    note = "route through biq_runtime::Executor (or biqgemm_parallel_into) so outputs are reusable"
+)]
 pub fn biqgemm_parallel(w: &BiqWeights, x: &ColMatrix, cfg: &BiqConfig) -> Matrix {
-    cfg.validate();
-    assert_eq!(x.rows(), w.input_size(), "inner dimension mismatch");
-    match cfg.schedule {
-        Schedule::RowParallel => row_parallel(w, x, cfg),
-        Schedule::SharedLut => shared_lut(w, x, cfg),
-    }
+    let mut y = Matrix::zeros(w.output_size(), x.cols());
+    biqgemm_parallel_into(w, x, cfg, y.as_mut_slice());
+    y
 }
 
 /// Rows-per-task sizing: enough tasks for load balance, big enough blocks to
@@ -47,36 +70,30 @@ fn rows_per_task(m: usize) -> usize {
     m.div_ceil(threads).max(16.min(m.max(1)))
 }
 
-fn row_parallel(w: &BiqWeights, x: &ColMatrix, cfg: &BiqConfig) -> Matrix {
+fn row_parallel(w: &BiqWeights, x: &ColMatrix, cfg: &BiqConfig, y: &mut [f32]) {
     let (m, b) = (w.output_size(), x.cols());
-    let mut y = Matrix::zeros(m, b);
     if b == 0 {
-        return y;
+        return;
     }
     let rpt = rows_per_task(m);
     let bits = w.bits();
-    y.as_mut_slice()
-        .par_chunks_mut(rpt * b)
-        .enumerate()
-        .for_each(|(t, yblock)| {
-            let row0 = t * rpt;
-            let rows = yblock.len() / b;
-            let mut bank = LutBank::new(w.mu(), cfg.layout);
-            let mut acc = vec![0.0f32; cfg.tile_batch.min(b)];
-            let mut profile = PhaseProfile::new();
-            // Key rows for this block: every plane's copy of [row0, row0+rows).
-            let ranges: Vec<(usize, usize)> =
-                (0..bits).map(|p| (p * m + row0, p * m + row0 + rows)).collect();
-            run_tiles(w, x, cfg, &mut profile, &mut bank, &mut acc, &ranges, yblock, row0);
-        });
-    y
+    y.par_chunks_mut(rpt * b).enumerate().for_each(|(t, yblock)| {
+        let row0 = t * rpt;
+        let rows = yblock.len() / b;
+        let mut bank = LutBank::new(w.mu(), cfg.layout);
+        let mut acc = vec![0.0f32; cfg.tile_batch.min(b)];
+        let mut profile = PhaseProfile::new();
+        // Key rows for this block: every plane's copy of [row0, row0+rows).
+        let ranges: Vec<(usize, usize)> =
+            (0..bits).map(|p| (p * m + row0, p * m + row0 + rows)).collect();
+        run_tiles(w, x, cfg, &mut profile, &mut bank, &mut acc, &ranges, yblock, row0);
+    });
 }
 
-fn shared_lut(w: &BiqWeights, x: &ColMatrix, cfg: &BiqConfig) -> Matrix {
+fn shared_lut(w: &BiqWeights, x: &ColMatrix, cfg: &BiqConfig, y: &mut [f32]) {
     let (m, b) = (w.output_size(), x.cols());
-    let mut y = Matrix::zeros(m, b);
     if b == 0 {
-        return y;
+        return;
     }
     let input = ChunkedInput::new(x, w.mu());
     let chunks = w.chunks();
@@ -89,18 +106,16 @@ fn shared_lut(w: &BiqWeights, x: &ColMatrix, cfg: &BiqConfig) -> Matrix {
             // ("one lookup table cannot be implemented by coordinating more
             // than two threads" — each table is built by exactly one).
             let mut bank = vec![0.0f32; nc * table * nb];
-            bank.par_chunks_mut(table * nb).enumerate().for_each(|(c, seg)| {
-                match cfg.layout {
-                    LutLayout::KeyMajor => {
-                        let mut steps = Vec::new();
-                        crate::layout::fill_chunk_key_major_dp(seg, &mut steps, &input, c0 + c, b0, nb);
-                    }
-                    LutLayout::BatchMajor => {
-                        for a in 0..nb {
-                            let sub = input.chunk(b0 + a, c0 + c);
-                            let len = 1usize << sub.len();
-                            crate::lut::build_lut_dp(sub, &mut seg[a * table..a * table + len]);
-                        }
+            bank.par_chunks_mut(table * nb).enumerate().for_each(|(c, seg)| match cfg.layout {
+                LutLayout::KeyMajor => {
+                    let mut steps = Vec::new();
+                    crate::layout::fill_chunk_key_major_dp(seg, &mut steps, &input, c0 + c, b0, nb);
+                }
+                LutLayout::BatchMajor => {
+                    for a in 0..nb {
+                        let sub = input.chunk(b0 + a, c0 + c);
+                        let len = 1usize << sub.len();
+                        crate::lut::build_lut_dp(sub, &mut seg[a * table..a * table + len]);
                     }
                 }
             });
@@ -108,53 +123,45 @@ fn shared_lut(w: &BiqWeights, x: &ColMatrix, cfg: &BiqConfig) -> Matrix {
             let bank = &bank[..];
             let level =
                 if cfg.simd { crate::simd::detect() } else { crate::simd::SimdLevel::Scalar };
-            y.as_mut_slice()
-                .par_chunks_mut(rpt * b)
-                .enumerate()
-                .for_each(|(t, yblock)| {
-                    let row0 = t * rpt;
-                    let rows = yblock.len() / b;
-                    let mut acc = vec![0.0f32; nb];
-                    for p in 0..w.bits() {
-                        for r in p * m + row0..p * m + row0 + rows {
-                            let scale = w.scale(r);
-                            let out_row = r % m;
-                            let yoff = (out_row - row0) * b + b0;
-                            let krow = &keys.key_row(r)[c0..c0 + nc];
-                            match cfg.layout {
-                                LutLayout::KeyMajor => {
-                                    acc.fill(0.0);
-                                    for (ci, &key) in krow.iter().enumerate() {
-                                        let off = (ci * table + key as usize) * nb;
-                                        crate::simd::add_assign(&mut acc, &bank[off..off + nb], level);
-                                    }
-                                    crate::simd::axpy(
-                                        &mut yblock[yoff..yoff + nb],
-                                        scale,
-                                        &acc,
-                                        level,
-                                    );
+            y.par_chunks_mut(rpt * b).enumerate().for_each(|(t, yblock)| {
+                let row0 = t * rpt;
+                let rows = yblock.len() / b;
+                let mut acc = vec![0.0f32; nb];
+                for p in 0..w.bits() {
+                    for r in p * m + row0..p * m + row0 + rows {
+                        let scale = w.scale(r);
+                        let out_row = r % m;
+                        let yoff = (out_row - row0) * b + b0;
+                        let krow = &keys.key_row(r)[c0..c0 + nc];
+                        match cfg.layout {
+                            LutLayout::KeyMajor => {
+                                acc.fill(0.0);
+                                for (ci, &key) in krow.iter().enumerate() {
+                                    let off = (ci * table + key as usize) * nb;
+                                    crate::simd::add_assign(&mut acc, &bank[off..off + nb], level);
                                 }
-                                LutLayout::BatchMajor => {
-                                    let yrow = &mut yblock[yoff..yoff + nb];
-                                    for (a, yv) in yrow.iter_mut().enumerate() {
-                                        let mut s = 0.0f32;
-                                        for (ci, &key) in krow.iter().enumerate() {
-                                            s += bank[(ci * nb + a) * table + key as usize];
-                                        }
-                                        *yv += scale * s;
+                                crate::simd::axpy(&mut yblock[yoff..yoff + nb], scale, &acc, level);
+                            }
+                            LutLayout::BatchMajor => {
+                                let yrow = &mut yblock[yoff..yoff + nb];
+                                for (a, yv) in yrow.iter_mut().enumerate() {
+                                    let mut s = 0.0f32;
+                                    for (ci, &key) in krow.iter().enumerate() {
+                                        s += bank[(ci * nb + a) * table + key as usize];
                                     }
+                                    *yv += scale * s;
                                 }
                             }
                         }
                     }
-                });
+                }
+            });
         }
     }
-    y
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the deprecated shims are exercised here on purpose
 mod tests {
     use super::*;
     use crate::profile::PhaseProfile;
@@ -170,12 +177,20 @@ mod tests {
     #[test]
     fn row_parallel_matches_serial_bit_exactly() {
         let mut g = MatrixRng::seed_from(250);
-        for &(m, n, b, bits) in &[(40usize, 64usize, 6usize, 1usize), (100, 50, 3, 2), (17, 33, 9, 3)] {
+        for &(m, n, b, bits) in
+            &[(40usize, 64usize, 6usize, 1usize), (100, 50, 3, 2), (17, 33, 9, 3)]
+        {
             let wf = g.small_int_matrix(m, n, 2);
             let q = greedy_quantize_matrix_rowwise(&wf, bits);
             let x = g.small_int_col(n, b, 2);
             let w = BiqWeights::from_multibit(&q, 8);
-            let cfg = BiqConfig { schedule: Schedule::RowParallel, tile_rows: 8, tile_chunks: 2, tile_batch: 4, ..BiqConfig::default() };
+            let cfg = BiqConfig {
+                schedule: Schedule::RowParallel,
+                tile_rows: 8,
+                tile_chunks: 2,
+                tile_batch: 4,
+                ..BiqConfig::default()
+            };
             assert_eq!(
                 biqgemm_parallel(&w, &x, &cfg).as_slice(),
                 serial(&w, &x, &cfg).as_slice(),
@@ -192,11 +207,14 @@ mod tests {
             let q = greedy_quantize_matrix_rowwise(&wf, bits);
             let x = g.small_int_col(n, b, 2);
             let w = BiqWeights::from_multibit(&q, 8);
-            let cfg = BiqConfig { schedule: Schedule::SharedLut, tile_rows: 8, tile_chunks: 3, tile_batch: 5, ..BiqConfig::default() };
-            assert_eq!(
-                biqgemm_parallel(&w, &x, &cfg).as_slice(),
-                serial(&w, &x, &cfg).as_slice()
-            );
+            let cfg = BiqConfig {
+                schedule: Schedule::SharedLut,
+                tile_rows: 8,
+                tile_chunks: 3,
+                tile_batch: 5,
+                ..BiqConfig::default()
+            };
+            assert_eq!(biqgemm_parallel(&w, &x, &cfg).as_slice(), serial(&w, &x, &cfg).as_slice());
         }
     }
 

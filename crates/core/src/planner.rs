@@ -13,10 +13,86 @@
 //! 3. sizes the chunk tile so the whole bank fits the budget.
 
 use crate::complexity::optimal_mu;
-use crate::config::BiqConfig;
+use crate::config::{BiqConfig, Schedule};
 
 /// Default LUT budget: half of a typical 1 MiB L2.
 pub const DEFAULT_LUT_BUDGET_BYTES: usize = 512 * 1024;
+
+/// Batches at or below this stay on the serial arena path under
+/// [`Threading::Auto`]: in the paper's small-batch serving regime the
+/// allocation-free arena beats the parallel drivers' per-task bank
+/// allocations unless the matrix is very large.
+pub const SMALL_BATCH_SERIAL_MAX: usize = 8;
+
+/// Output sizes below this never go parallel: a thread task wants at least
+/// one `tile_rows`-deep block per worker to amortise its replicated builds.
+const MIN_PARALLEL_OUTPUT: usize = 256;
+
+/// How the executor should thread a plan.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Threading {
+    /// Decide from shape and worker count ([`recommend_parallel`]).
+    #[default]
+    Auto,
+    /// Force the serial arena path (allocation-free steady state).
+    Serial,
+    /// Force the rayon drivers (`cfg.schedule` picks the variant).
+    Parallel,
+}
+
+/// Scratch-buffer requirements (in `f32` slots) implied by one config at
+/// batch `b` — what an executor arena must hold so the query phase runs
+/// without touching the allocator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScratchSpec {
+    /// Lookup-table bank: `tile_chunks · 2^µ · min(tile_batch, b)`.
+    pub lut_bank_floats: usize,
+    /// Algorithm 1 step vectors: `µ · min(tile_batch, b)`.
+    pub dp_steps_floats: usize,
+    /// Per-row batch accumulator: `min(tile_batch, b)`.
+    pub acc_floats: usize,
+    /// Single-table build scratch (`2^µ`, GEMM build method only).
+    pub table_scratch_floats: usize,
+}
+
+impl ScratchSpec {
+    /// Total scratch bytes.
+    pub fn total_bytes(&self) -> usize {
+        (self.lut_bank_floats + self.dp_steps_floats + self.acc_floats + self.table_scratch_floats)
+            * 4
+    }
+}
+
+/// Computes the scratch a serial run of `cfg` needs at batch `b`.
+pub fn scratch_spec(cfg: &BiqConfig, b: usize) -> ScratchSpec {
+    let nb = cfg.tile_batch.min(b.max(1));
+    ScratchSpec {
+        lut_bank_floats: cfg.tile_chunks * (1usize << cfg.mu) * nb,
+        dp_steps_floats: cfg.mu * nb,
+        acc_floats: nb,
+        table_scratch_floats: 1usize << cfg.mu,
+    }
+}
+
+/// Whether an `m × n` matmul at batch `b` should use the parallel drivers
+/// when `threads` workers are available. Serial wins for small batches
+/// (arena reuse, no per-task bank builds) and for outputs too short to give
+/// every worker a meaningful row block.
+pub fn recommend_parallel(m: usize, b: usize, threads: usize) -> bool {
+    threads > 1 && b > SMALL_BATCH_SERIAL_MAX && m >= MIN_PARALLEL_OUTPUT
+}
+
+/// Picks the parallel schedule for an `m`-row output at LUT-unit `mu`:
+/// row-parallel when query work dominates (`m ≫ 2^µ`, the regime BiQGEMM
+/// targets), shared-LUT when tables are expensive relative to the row count
+/// and replicating their construction per task would dominate.
+pub fn choose_schedule(m: usize, mu: usize) -> Schedule {
+    if m >= (1usize << mu) {
+        Schedule::RowParallel
+    } else {
+        Schedule::SharedLut
+    }
+}
 
 /// Plans a configuration for an `m × n` weight matrix at batch `b`.
 ///
@@ -42,6 +118,7 @@ pub fn plan(m: usize, n: usize, b: usize, lut_budget_bytes: usize) -> BiqConfig 
         tile_rows: 64.min(m).max(1),
         tile_chunks,
         tile_batch,
+        schedule: choose_schedule(m, mu),
         ..BiqConfig::default()
     }
 }
@@ -94,5 +171,35 @@ mod tests {
     #[should_panic(expected = "degenerate")]
     fn zero_shape_rejected() {
         let _ = plan(0, 4, 1, DEFAULT_LUT_BUDGET_BYTES);
+    }
+}
+
+#[cfg(test)]
+mod runtime_planning_tests {
+    use super::*;
+
+    #[test]
+    fn scratch_spec_matches_bank_geometry() {
+        let cfg = BiqConfig { mu: 8, tile_chunks: 4, tile_batch: 16, ..BiqConfig::default() };
+        let s = scratch_spec(&cfg, 3); // batch smaller than the tile
+        assert_eq!(s.lut_bank_floats, 4 * 256 * 3);
+        assert_eq!(s.dp_steps_floats, 8 * 3);
+        assert_eq!(s.acc_floats, 3);
+        assert_eq!(s.table_scratch_floats, 256);
+        assert_eq!(s.total_bytes(), (4 * 256 * 3 + 24 + 3 + 256) * 4);
+    }
+
+    #[test]
+    fn small_batch_stays_serial() {
+        assert!(!recommend_parallel(4096, SMALL_BATCH_SERIAL_MAX, 16));
+        assert!(recommend_parallel(4096, SMALL_BATCH_SERIAL_MAX + 1, 16));
+        assert!(!recommend_parallel(4096, 64, 1), "one worker is never parallel");
+        assert!(!recommend_parallel(64, 64, 16), "short outputs stay serial");
+    }
+
+    #[test]
+    fn schedule_follows_query_vs_build_balance() {
+        assert_eq!(choose_schedule(4096, 8), Schedule::RowParallel);
+        assert_eq!(choose_schedule(100, 8), Schedule::SharedLut);
     }
 }

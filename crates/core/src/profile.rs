@@ -40,11 +40,7 @@ impl PhaseProfile {
         if t == 0.0 {
             return (0.0, 0.0, 0.0);
         }
-        (
-            self.build.as_secs_f64() / t,
-            self.query.as_secs_f64() / t,
-            self.replace.as_secs_f64() / t,
-        )
+        (self.build.as_secs_f64() / t, self.query.as_secs_f64() / t, self.replace.as_secs_f64() / t)
     }
 
     /// Runs `f`, charging its wall time to `build`.

@@ -160,10 +160,7 @@ mod tests {
         let w = BiqWeights::from_signs_unscaled(&g.signs(2, 8), 4);
         let mut raw = encode_weights(&w).to_vec();
         raw[4] = 0; // µ = 0
-        assert!(matches!(
-            decode_weights(Bytes::from(raw)),
-            Err(WeightsDecodeError::BadHeader(_))
-        ));
+        assert!(matches!(decode_weights(Bytes::from(raw)), Err(WeightsDecodeError::BadHeader(_))));
     }
 
     #[test]
@@ -185,9 +182,6 @@ mod tests {
         let off = raw.len() - 2; // last key (2-bit chunk)
         raw[off] = 9;
         raw[off + 1] = 0;
-        assert!(matches!(
-            decode_weights(Bytes::from(raw)),
-            Err(WeightsDecodeError::BadHeader(_))
-        ));
+        assert!(matches!(decode_weights(Bytes::from(raw)), Err(WeightsDecodeError::BadHeader(_))));
     }
 }

@@ -19,6 +19,7 @@
 //! `α_r` distributes over partial sums, so applying it per chunk tile is
 //! exact up to f32 rounding.
 
+use crate::arena::BiqArena;
 use crate::config::{BiqConfig, LutLayout};
 use crate::layout::LutBank;
 use crate::profile::PhaseProfile;
@@ -27,23 +28,52 @@ use biq_matrix::reshape::ChunkedInput;
 use biq_matrix::view::tile_ranges;
 use biq_matrix::{ColMatrix, Matrix};
 
+/// Serial LUT-stationary BiQGEMM into a caller-provided output buffer,
+/// using `arena` for every scratch need. `y` is a row-major `m × b` buffer;
+/// it is zeroed before accumulation. Once the arena has warmed to the
+/// workload's shape, repeat calls perform **no heap allocation**.
+///
+/// This is the single serial code path: [`biqgemm_tiled`],
+/// [`biqgemv_tiled`], `BiqGemm::matmul` and the runtime executor all funnel
+/// here.
+///
+/// # Panics
+/// Panics if `x.rows() != w.input_size()`, `y.len() != m·b`, or the config
+/// is invalid.
+pub fn biqgemm_serial_into(
+    w: &BiqWeights,
+    x: &ColMatrix,
+    cfg: &BiqConfig,
+    profile: &mut PhaseProfile,
+    arena: &mut BiqArena,
+    y: &mut [f32],
+) {
+    cfg.validate();
+    assert_eq!(x.rows(), w.input_size(), "inner dimension mismatch");
+    let (m, b) = (w.output_size(), x.cols());
+    assert_eq!(y.len(), m * b, "output buffer must hold m·b floats");
+    y.fill(0.0);
+    let (bank, acc) = arena.parts(w.mu(), cfg.layout, cfg.tile_batch.min(b.max(1)));
+    run_tiles(w, x, cfg, profile, bank, acc, &[(0, w.key_rows())], y, 0);
+}
+
 /// Serial LUT-stationary BiQGEMM: `Y = Σ_p α_p ∘ (B_p · X)`.
 ///
 /// # Panics
 /// Panics if `x.rows() != w.input_size()` or the config is invalid.
+#[deprecated(
+    since = "0.1.0",
+    note = "route through biq_runtime::Executor (or biqgemm_serial_into) so LUT arenas are reused"
+)]
 pub fn biqgemm_tiled(
     w: &BiqWeights,
     x: &ColMatrix,
     cfg: &BiqConfig,
     profile: &mut PhaseProfile,
 ) -> Matrix {
-    cfg.validate();
-    assert_eq!(x.rows(), w.input_size(), "inner dimension mismatch");
-    let (m, b) = (w.output_size(), x.cols());
-    let mut y = Matrix::zeros(m, b);
-    let mut bank = LutBank::new(w.mu(), cfg.layout);
-    let mut acc = vec![0.0f32; cfg.tile_batch.min(b.max(1))];
-    run_tiles(w, x, cfg, profile, &mut bank, &mut acc, &[(0, w.key_rows())], y.as_mut_slice(), 0);
+    let mut y = Matrix::zeros(w.output_size(), x.cols());
+    let mut arena = BiqArena::new();
+    biqgemm_serial_into(w, x, cfg, profile, &mut arena, y.as_mut_slice());
     y
 }
 
@@ -80,42 +110,46 @@ pub(crate) fn run_tiles(
             bank.build(&input, c0, nc, b0, nb, cfg.build, profile);
             profile.time_query(|| {
                 for &(kr_start, kr_end) in key_row_ranges {
-                for (r0, nr) in tile_ranges(kr_end - kr_start, cfg.tile_rows) {
-                    for r in kr_start + r0..kr_start + r0 + nr {
-                        let scale = w.scale(r);
-                        let out_row = r % m;
-                        debug_assert!(out_row >= y_row0);
-                        let yoff = (out_row - y_row0) * b + b0;
-                        let krow = &keys.key_row(r)[c0..c0 + nc];
-                        if nb == 1 {
-                            // GEMV fast path: with one live batch column the
-                            // two layouts coincide (entry (c, key) lives at
-                            // c·2^µ + key); gather scalars directly.
-                            y[yoff] += scale * bank.gather_scalar(krow);
-                            continue;
-                        }
-                        match cfg.layout {
-                            LutLayout::KeyMajor => {
-                                let acc = &mut acc[..nb];
-                                acc.fill(0.0);
-                                for (ci, &key) in krow.iter().enumerate() {
-                                    crate::simd::add_assign(acc, bank.entry_vec(ci, key), level);
-                                }
-                                crate::simd::axpy(&mut y[yoff..yoff + nb], scale, acc, level);
+                    for (r0, nr) in tile_ranges(kr_end - kr_start, cfg.tile_rows) {
+                        for r in kr_start + r0..kr_start + r0 + nr {
+                            let scale = w.scale(r);
+                            let out_row = r % m;
+                            debug_assert!(out_row >= y_row0);
+                            let yoff = (out_row - y_row0) * b + b0;
+                            let krow = &keys.key_row(r)[c0..c0 + nc];
+                            if nb == 1 {
+                                // GEMV fast path: with one live batch column the
+                                // two layouts coincide (entry (c, key) lives at
+                                // c·2^µ + key); gather scalars directly.
+                                y[yoff] += scale * bank.gather_scalar(krow);
+                                continue;
                             }
-                            LutLayout::BatchMajor => {
-                                let yrow = &mut y[yoff..yoff + nb];
-                                for (a, yv) in yrow.iter_mut().enumerate() {
-                                    let mut s = 0.0f32;
+                            match cfg.layout {
+                                LutLayout::KeyMajor => {
+                                    let acc = &mut acc[..nb];
+                                    acc.fill(0.0);
                                     for (ci, &key) in krow.iter().enumerate() {
-                                        s += bank.entry(ci, a, key);
+                                        crate::simd::add_assign(
+                                            acc,
+                                            bank.entry_vec(ci, key),
+                                            level,
+                                        );
                                     }
-                                    *yv += scale * s;
+                                    crate::simd::axpy(&mut y[yoff..yoff + nb], scale, acc, level);
+                                }
+                                LutLayout::BatchMajor => {
+                                    let yrow = &mut y[yoff..yoff + nb];
+                                    for (a, yv) in yrow.iter_mut().enumerate() {
+                                        let mut s = 0.0f32;
+                                        for (ci, &key) in krow.iter().enumerate() {
+                                            s += bank.entry(ci, a, key);
+                                        }
+                                        *yv += scale * s;
+                                    }
                                 }
                             }
                         }
                     }
-                }
                 }
             });
         }
@@ -123,14 +157,22 @@ pub(crate) fn run_tiles(
 }
 
 /// Convenience single-vector entry point (`b = 1` GEMV).
+#[deprecated(
+    since = "0.1.0",
+    note = "route through biq_runtime::Executor (or biqgemm_serial_into) so LUT arenas are reused"
+)]
 pub fn biqgemv_tiled(w: &BiqWeights, x: &[f32], cfg: &BiqConfig) -> Vec<f32> {
     let xm = ColMatrix::from_vec(x.len(), 1, x.to_vec());
     let mut profile = PhaseProfile::new();
-    biqgemm_tiled(w, &xm, cfg, &mut profile).into_vec()
+    let mut arena = BiqArena::new();
+    let mut y = vec![0.0f32; w.output_size()];
+    biqgemm_serial_into(w, &xm, cfg, &mut profile, &mut arena, &mut y);
+    y
 }
 
 #[cfg(test)]
 #[allow(clippy::needless_range_loop)] // index-style loops read clearer in reference checks
+#[allow(deprecated)] // the deprecated shims are exercised here on purpose
 mod tests {
     use super::*;
     use crate::config::LutBuildMethod;
@@ -159,7 +201,13 @@ mod tests {
             let signs = g.signs(m, n);
             let x = g.small_int_col(n, b, 3);
             let w = BiqWeights::from_signs_unscaled(&signs, mu);
-            let cfg = BiqConfig { mu, tile_rows: 4, tile_chunks: 2, tile_batch: 2, ..BiqConfig::default() };
+            let cfg = BiqConfig {
+                mu,
+                tile_rows: 4,
+                tile_chunks: 2,
+                tile_batch: 2,
+                ..BiqConfig::default()
+            };
             let mut prof = PhaseProfile::new();
             let y = biqgemm_tiled(&w, &x, &cfg, &mut prof);
             let y_ref = reference(&w, &signs.to_f32(), &x);
@@ -173,7 +221,14 @@ mod tests {
         let signs = g.signs(20, 32);
         let x = g.small_int_col(32, 6, 2);
         let w = BiqWeights::from_signs_unscaled(&signs, 8);
-        let mk = |layout| BiqConfig { mu: 8, tile_rows: 8, tile_chunks: 2, tile_batch: 3, layout, ..BiqConfig::default() };
+        let mk = |layout| BiqConfig {
+            mu: 8,
+            tile_rows: 8,
+            tile_chunks: 2,
+            tile_batch: 3,
+            layout,
+            ..BiqConfig::default()
+        };
         let mut p = PhaseProfile::new();
         let ykm = biqgemm_tiled(&w, &x, &mk(LutLayout::KeyMajor), &mut p);
         let ybm = biqgemm_tiled(&w, &x, &mk(LutLayout::BatchMajor), &mut p);
@@ -188,7 +243,13 @@ mod tests {
             let x = g.gaussian_col(40, 4, 0.0, 1.0);
             let q = greedy_quantize_matrix_rowwise(&wf, bits);
             let w = BiqWeights::from_multibit(&q, 8);
-            let cfg = BiqConfig { mu: 8, tile_rows: 7, tile_chunks: 3, tile_batch: 2, ..BiqConfig::default() };
+            let cfg = BiqConfig {
+                mu: 8,
+                tile_rows: 7,
+                tile_chunks: 3,
+                tile_batch: 2,
+                ..BiqConfig::default()
+            };
             let mut prof = PhaseProfile::new();
             let y = biqgemm_tiled(&w, &x, &cfg, &mut prof);
             let y_ref = biq_gemm::gemm_naive(&q.dequantize(), &x);
@@ -205,7 +266,13 @@ mod tests {
         let w = BiqWeights::from_signs_unscaled(&signs, 4);
         let mut outputs = Vec::new();
         for (tr, tc, tb) in [(1, 1, 1), (3, 2, 4), (30, 13, 7), (100, 100, 100)] {
-            let cfg = BiqConfig { mu: 4, tile_rows: tr, tile_chunks: tc, tile_batch: tb, ..BiqConfig::default() };
+            let cfg = BiqConfig {
+                mu: 4,
+                tile_rows: tr,
+                tile_chunks: tc,
+                tile_batch: tb,
+                ..BiqConfig::default()
+            };
             let mut prof = PhaseProfile::new();
             outputs.push(biqgemm_tiled(&w, &x, &cfg, &mut prof));
         }
@@ -220,10 +287,22 @@ mod tests {
         let signs = g.signs(12, 24);
         let x = g.small_int_col(24, 3, 3);
         let w = BiqWeights::from_signs_unscaled(&signs, 4);
-        let base = BiqConfig { mu: 4, tile_rows: 5, tile_chunks: 2, tile_batch: 2, ..BiqConfig::default() };
+        let base = BiqConfig {
+            mu: 4,
+            tile_rows: 5,
+            tile_chunks: 2,
+            tile_batch: 2,
+            ..BiqConfig::default()
+        };
         let mut p = PhaseProfile::new();
-        let y_dp = biqgemm_tiled(&w, &x, &BiqConfig { build: LutBuildMethod::DynamicProgramming, ..base }, &mut p);
-        let y_mm = biqgemm_tiled(&w, &x, &BiqConfig { build: LutBuildMethod::Gemm, ..base }, &mut p);
+        let y_dp = biqgemm_tiled(
+            &w,
+            &x,
+            &BiqConfig { build: LutBuildMethod::DynamicProgramming, ..base },
+            &mut p,
+        );
+        let y_mm =
+            biqgemm_tiled(&w, &x, &BiqConfig { build: LutBuildMethod::Gemm, ..base }, &mut p);
         assert_eq!(y_dp.as_slice(), y_mm.as_slice());
     }
 

@@ -41,13 +41,7 @@ impl BiqWeights {
     pub fn from_signs(signs: &SignMatrix, scales: &[f32], mu: usize) -> Self {
         assert_eq!(scales.len(), signs.rows(), "scale length mismatch");
         let (m, n) = signs.shape();
-        Self {
-            keys: KeyMatrix::pack(signs, mu),
-            scales: scales.to_vec(),
-            m,
-            n,
-            bits: 1,
-        }
+        Self { keys: KeyMatrix::pack(signs, mu), scales: scales.to_vec(), m, n, bits: 1 }
     }
 
     /// Packs raw signs with unit scales — the pure binary `Y = B·X` setting
@@ -61,13 +55,7 @@ impl BiqWeights {
     /// # Panics
     /// Panics when the parts are inconsistent (key rows ≠ `bits·m`, scale
     /// count ≠ key rows, or key width ≠ `n`).
-    pub fn from_parts(
-        keys: KeyMatrix,
-        scales: Vec<f32>,
-        m: usize,
-        n: usize,
-        bits: usize,
-    ) -> Self {
+    pub fn from_parts(keys: KeyMatrix, scales: Vec<f32>, m: usize, n: usize, bits: usize) -> Self {
         assert_eq!(keys.rows(), bits * m, "key rows must equal bits·m");
         assert_eq!(keys.cols(), n, "key width must equal n");
         assert_eq!(scales.len(), bits * m, "scale count must equal bits·m");

@@ -50,8 +50,11 @@ proptest! {
         let cfg = BiqConfig::with_mu(4);
         let y_eq3 = biqgemm_quantized_activations(&w, &xq, &cfg);
         let mut p = PhaseProfile::new();
-        let y_deq = biqgemm_core::tiled::biqgemm_tiled(&w, &xq.dequantize(), &cfg, &mut p);
-        for (a, bv) in y_eq3.as_slice().iter().zip(y_deq.as_slice()) {
+        let xdq = xq.dequantize();
+        let mut y_deq = vec![0.0f32; w.output_size() * xdq.cols()];
+        let mut arena = biqgemm_core::BiqArena::new();
+        biqgemm_core::tiled::biqgemm_serial_into(&w, &xdq, &cfg, &mut p, &mut arena, &mut y_deq);
+        for (a, bv) in y_eq3.as_slice().iter().zip(&y_deq) {
             prop_assert!((a - bv).abs() <= 1e-3 * (1.0 + bv.abs()), "{} vs {}", a, bv);
         }
     }

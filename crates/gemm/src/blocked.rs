@@ -29,31 +29,56 @@ const KC: usize = 256;
 /// # Panics
 /// Panics if `x.rows() != w.cols()`.
 pub fn gemm_blocked(w: &Matrix, x: &ColMatrix) -> Matrix {
+    let mut y = Matrix::zeros(w.rows(), x.cols());
+    let mut pack = Vec::new();
+    gemm_blocked_into(w, x, &mut pack, y.as_mut_slice());
+    y
+}
+
+/// Blocked GEMM into a caller-provided row-major `m × b` buffer
+/// (overwritten), with the `X`-panel packed into reusable caller scratch —
+/// the allocation-free form the runtime executor dispatches to.
+///
+/// # Panics
+/// Panics if `x.rows() != w.cols()` or `y.len() != m·b`.
+pub fn gemm_blocked_into(w: &Matrix, x: &ColMatrix, pack: &mut Vec<f32>, y: &mut [f32]) {
     assert_eq!(x.rows(), w.cols(), "gemm inner dimension mismatch");
     let (m, b) = (w.rows(), x.cols());
+    assert_eq!(y.len(), m * b, "output buffer must hold m·b floats");
     if b == 1 {
-        let y = gemv_blocked(w, x.col(0));
-        return Matrix::from_vec(m, 1, y);
+        for (i, yv) in y.iter_mut().enumerate() {
+            *yv = dot8(w.row(i), x.col(0));
+        }
+        return;
     }
-    let xr = pack_input_row_major(x);
-    let mut y = Matrix::zeros(m, b);
-    gemm_blocked_packed(w, &xr, b, 0, m, y.as_mut_slice());
-    y
+    pack_input_row_major_into(x, pack);
+    y.fill(0.0);
+    gemm_blocked_packed(w, pack, b, 0, m, y);
 }
 
 /// Packs a column-major `n × b` input into a row-major buffer (row `k`
 /// contiguous over the batch). This is the `X`-panel packing a library GEMM
 /// performs internally.
 pub fn pack_input_row_major(x: &ColMatrix) -> Vec<f32> {
+    let mut xr = Vec::new();
+    pack_input_row_major_into(x, &mut xr);
+    xr
+}
+
+/// [`pack_input_row_major`] into reusable caller scratch (grown as needed,
+/// never shrunk).
+pub fn pack_input_row_major_into(x: &ColMatrix, xr: &mut Vec<f32>) {
     let (n, b) = x.shape();
-    let mut xr = vec![0.0f32; n * b];
+    if xr.len() < n * b {
+        xr.resize(n * b, 0.0);
+    }
+    let xr = &mut xr[..n * b];
     for alpha in 0..b {
         let col = x.col(alpha);
         for (k, &v) in col.iter().enumerate() {
             xr[k * b + alpha] = v;
         }
     }
-    xr
 }
 
 /// The blocked kernel over a row range `[row_start, row_end)` of `W`,
@@ -83,9 +108,7 @@ pub(crate) fn gemm_blocked_packed(
             let w1 = &w.row(i + 1)[k0..k0 + kc];
             let w2 = &w.row(i + 2)[k0..k0 + kc];
             let w3 = &w.row(i + 3)[k0..k0 + kc];
-            for (t, (((&a0, &a1), &a2), &a3)) in
-                w0.iter().zip(w1).zip(w2).zip(w3).enumerate()
-            {
+            for (t, (((&a0, &a1), &a2), &a3)) in w0.iter().zip(w1).zip(w2).zip(w3).enumerate() {
                 let xrow = &xr[(k0 + t) * b..(k0 + t) * b + b];
                 // Four axpys sharing one loaded X row; each loop
                 // autovectorises over the contiguous batch dimension.
@@ -158,7 +181,9 @@ mod tests {
     #[test]
     fn matches_naive_on_random_shapes() {
         let mut g = MatrixRng::seed_from(60);
-        for &(m, n, b) in &[(1usize, 1usize, 1usize), (5, 7, 3), (16, 32, 8), (33, 65, 17), (128, 100, 2)] {
+        for &(m, n, b) in
+            &[(1usize, 1usize, 1usize), (5, 7, 3), (16, 32, 8), (33, 65, 17), (128, 100, 2)]
+        {
             let w = g.gaussian(m, n, 0.0, 1.0);
             let x = g.gaussian_col(n, b, 0.0, 1.0);
             let y = gemm_blocked(&w, &x);

@@ -21,9 +21,9 @@ pub mod parallel;
 pub mod unpack_gemm;
 pub mod xnor;
 
-pub use blocked::{gemm_blocked, gemv_blocked};
-pub use naive::{gemm_naive, gemv_naive};
-pub use parallel::{par_gemm_blocked, par_gemm_naive};
+pub use blocked::{gemm_blocked, gemm_blocked_into, gemv_blocked};
+pub use naive::{gemm_naive, gemm_naive_into, gemv_naive};
+pub use parallel::{par_gemm_blocked, par_gemm_blocked_into, par_gemm_naive};
 
 /// Algorithm 3 as an inlined stack-array unpack (hot path of
 /// [`unpack_gemm::gemm_with_unpack`]).

@@ -21,17 +21,27 @@ pub fn gemv_naive(w: &Matrix, x: &[f32]) -> Vec<f32> {
 /// # Panics
 /// Panics if `x.rows() != w.cols()`.
 pub fn gemm_naive(w: &Matrix, x: &ColMatrix) -> Matrix {
+    let mut y = Matrix::zeros(w.rows(), x.cols());
+    gemm_naive_into(w, x, y.as_mut_slice());
+    y
+}
+
+/// Naive GEMM into a caller-provided row-major `m × b` buffer (overwritten)
+/// — the allocation-free form the runtime executor dispatches to.
+///
+/// # Panics
+/// Panics if `x.rows() != w.cols()` or `y.len() != m·b`.
+pub fn gemm_naive_into(w: &Matrix, x: &ColMatrix, y: &mut [f32]) {
     assert_eq!(x.rows(), w.cols(), "gemm inner dimension mismatch");
     let (m, b) = (w.rows(), x.cols());
-    let mut y = Matrix::zeros(m, b);
+    assert_eq!(y.len(), m * b, "output buffer must hold m·b floats");
     for i in 0..m {
         let wrow = w.row(i);
-        let yrow = y.row_mut(i);
+        let yrow = &mut y[i * b..(i + 1) * b];
         for (alpha, ya) in yrow.iter_mut().enumerate() {
             *ya = dot(wrow, x.col(alpha));
         }
     }
-    y
 }
 
 /// Plain contiguous dot product (single accumulator — the compiler may

@@ -24,9 +24,8 @@ impl DenseBinaryWeights {
     /// Panics if `scales.len() != signs.rows()`.
     pub fn new(scales: &[f32], signs: &SignMatrix) -> Self {
         assert_eq!(scales.len(), signs.rows(), "scale length mismatch");
-        let dense = Matrix::from_fn(signs.rows(), signs.cols(), |i, j| {
-            scales[i] * signs.get(i, j) as f32
-        });
+        let dense =
+            Matrix::from_fn(signs.rows(), signs.cols(), |i, j| scales[i] * signs.get(i, j) as f32);
         Self { dense }
     }
 

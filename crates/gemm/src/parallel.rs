@@ -7,7 +7,6 @@
 //! Thread count is whatever the ambient rayon pool provides; the bench
 //! harness pins pools explicitly when an experiment needs a fixed count.
 
-use crate::blocked::pack_input_row_major;
 use biq_matrix::{ColMatrix, Matrix};
 use rayon::prelude::*;
 
@@ -20,46 +19,57 @@ pub fn par_gemm_naive(w: &Matrix, x: &ColMatrix) -> Matrix {
     let (m, b) = (w.rows(), x.cols());
     let mut y = Matrix::zeros(m, b);
     let rows_per_task = rows_per_task(m);
-    y.as_mut_slice()
-        .par_chunks_mut(rows_per_task * b)
-        .enumerate()
-        .for_each(|(t, yblock)| {
-            let row0 = t * rows_per_task;
-            let rows = yblock.len() / b;
-            for r in 0..rows {
-                let wrow = w.row(row0 + r);
-                let yrow = &mut yblock[r * b..(r + 1) * b];
-                for (alpha, ya) in yrow.iter_mut().enumerate() {
-                    let mut acc = 0.0f32;
-                    for (a, v) in wrow.iter().zip(x.col(alpha)) {
-                        acc += a * v;
-                    }
-                    *ya = acc;
+    y.as_mut_slice().par_chunks_mut(rows_per_task * b).enumerate().for_each(|(t, yblock)| {
+        let row0 = t * rows_per_task;
+        let rows = yblock.len() / b;
+        for r in 0..rows {
+            let wrow = w.row(row0 + r);
+            let yrow = &mut yblock[r * b..(r + 1) * b];
+            for (alpha, ya) in yrow.iter_mut().enumerate() {
+                let mut acc = 0.0f32;
+                for (a, v) in wrow.iter().zip(x.col(alpha)) {
+                    acc += a * v;
                 }
+                *ya = acc;
             }
-        });
+        }
+    });
     y
 }
 
 /// Parallel blocked GEMM (`cublas`/multi-thread `mkl` analog).
 pub fn par_gemm_blocked(w: &Matrix, x: &ColMatrix) -> Matrix {
+    let mut y = Matrix::zeros(w.rows(), x.cols());
+    let mut pack = Vec::new();
+    par_gemm_blocked_into(w, x, &mut pack, y.as_mut_slice());
+    y
+}
+
+/// Parallel blocked GEMM into a caller-provided row-major `m × b` buffer
+/// (overwritten), packing the `X` panel into reusable caller scratch — the
+/// form the runtime executor dispatches to. Worker bookkeeping still
+/// allocates inside the thread driver; only the data-plane buffers are
+/// caller-owned.
+///
+/// # Panics
+/// Panics if `x.rows() != w.cols()` or `y.len() != m·b`.
+pub fn par_gemm_blocked_into(w: &Matrix, x: &ColMatrix, pack: &mut Vec<f32>, y: &mut [f32]) {
     assert_eq!(x.rows(), w.cols(), "gemm inner dimension mismatch");
     let (m, b) = (w.rows(), x.cols());
+    assert_eq!(y.len(), m * b, "output buffer must hold m·b floats");
     if b == 1 {
-        return par_gemv(w, x.col(0));
+        par_gemv_into(w, x.col(0), y);
+        return;
     }
-    let xr = pack_input_row_major(x);
-    let mut y = Matrix::zeros(m, b);
+    crate::blocked::pack_input_row_major_into(x, pack);
+    let xr = &pack[..x.rows() * b];
+    y.fill(0.0);
     let rows_per_task = rows_per_task(m);
-    y.as_mut_slice()
-        .par_chunks_mut(rows_per_task * b)
-        .enumerate()
-        .for_each(|(t, yblock)| {
-            let row0 = t * rows_per_task;
-            let rows = yblock.len() / b;
-            blocked_kernel_relative(&RowShiftedMatrix { w, row0 }, &xr, b, rows, yblock);
-        });
-    y
+    y.par_chunks_mut(rows_per_task * b).enumerate().for_each(|(t, yblock)| {
+        let row0 = t * rows_per_task;
+        let rows = yblock.len() / b;
+        blocked_kernel_relative(&RowShiftedMatrix { w, row0 }, xr, b, rows, yblock);
+    });
 }
 
 /// A borrowed view of `w` with rows shifted by `row0`.
@@ -137,20 +147,15 @@ fn blocked_kernel_relative(
 }
 
 /// Parallel GEMV over row chunks.
-fn par_gemv(w: &Matrix, x: &[f32]) -> Matrix {
+fn par_gemv_into(w: &Matrix, x: &[f32], y: &mut [f32]) {
     let m = w.rows();
-    let mut y = Matrix::zeros(m, 1);
     let rows_per_task = rows_per_task(m);
-    y.as_mut_slice()
-        .par_chunks_mut(rows_per_task)
-        .enumerate()
-        .for_each(|(t, yblock)| {
-            let row0 = t * rows_per_task;
-            for (r, yv) in yblock.iter_mut().enumerate() {
-                *yv = crate::blocked::dot8(w.row(row0 + r), x);
-            }
-        });
-    y
+    y.par_chunks_mut(rows_per_task).enumerate().for_each(|(t, yblock)| {
+        let row0 = t * rows_per_task;
+        for (r, yv) in yblock.iter_mut().enumerate() {
+            *yv = crate::blocked::dot8(w.row(row0 + r), x);
+        }
+    });
 }
 
 #[inline]

@@ -132,7 +132,11 @@ mod tests {
             let y_ref = gemm_naive(&signs.to_f32(), &x);
             assert_eq!(y.as_slice(), y_ref.as_slice(), "mismatch ({m},{n},{b})");
             let y_amortized = gemm_with_unpack_amortized(&packed, &x);
-            assert_eq!(y_amortized.as_slice(), y_ref.as_slice(), "amortized mismatch ({m},{n},{b})");
+            assert_eq!(
+                y_amortized.as_slice(),
+                y_ref.as_slice(),
+                "amortized mismatch ({m},{n},{b})"
+            );
         }
     }
 

@@ -48,11 +48,8 @@ impl XnorWeights {
 
     /// From a multi-bit binary-coding quantized matrix.
     pub fn from_multibit(q: &biq_quant::MultiBitMatrix) -> Self {
-        let planes = q
-            .planes()
-            .iter()
-            .map(|p| (p.scales.clone(), PackedRowsU64::pack(&p.signs)))
-            .collect();
+        let planes =
+            q.planes().iter().map(|p| (p.scales.clone(), PackedRowsU64::pack(&p.signs))).collect();
         Self::new(planes)
     }
 
@@ -173,8 +170,7 @@ mod tests {
             let b = g.signs(1, n);
             let pa = PackedRowsU64::pack(&a);
             let pb = PackedRowsU64::pack(&b);
-            let expected: i32 =
-                (0..n).map(|j| (a.get(0, j) as i32) * (b.get(0, j) as i32)).sum();
+            let expected: i32 = (0..n).map(|j| (a.get(0, j) as i32) * (b.get(0, j) as i32)).sum();
             let got = xnor_dot(pa.row(0), pb.row(0), n, pa.tail_mask());
             assert_eq!(got, expected, "n = {n}");
         }

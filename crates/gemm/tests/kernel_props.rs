@@ -5,7 +5,9 @@
 use biq_gemm::packed_sgemm::DenseBinaryWeights;
 use biq_gemm::unpack_gemm::{gemm_with_unpack, gemm_with_unpack_amortized};
 use biq_gemm::xnor::{xnor_gemm_presigned, XnorWeights};
-use biq_gemm::{gemm_blocked, gemm_naive, gemv_blocked, gemv_naive, par_gemm_blocked, par_gemm_naive};
+use biq_gemm::{
+    gemm_blocked, gemm_naive, gemv_blocked, gemv_naive, par_gemm_blocked, par_gemm_naive,
+};
 use biq_matrix::{ColMatrix, Matrix, MatrixRng, SignMatrix};
 use biq_quant::packing::{PackedRowsU32, PackedRowsU64};
 use proptest::prelude::*;

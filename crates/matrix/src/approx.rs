@@ -20,10 +20,7 @@ pub fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
 /// Largest relative element-wise difference `|a−b| / max(|b|, 1e-12)`.
 pub fn max_rel_diff(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "length mismatch");
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| (x - y).abs() / y.abs().max(1e-12))
-        .fold(0.0, f32::max)
+    a.iter().zip(b).map(|(x, y)| (x - y).abs() / y.abs().max(1e-12)).fold(0.0, f32::max)
 }
 
 /// NumPy-style closeness: `|a − b| <= atol + rtol * |b|` for every element.

@@ -5,14 +5,12 @@
 //! without bounds checks in inner loops (see the Bounds Checks chapter of the
 //! Rust Performance Book: hoist a slice, then iterate).
 
-use serde::{Deserialize, Serialize};
-
 /// A dense row-major `rows × cols` matrix of `f32`.
 ///
 /// Element `(i, j)` lives at `data[i * cols + j]`; row `i` is the contiguous
 /// slice `data[i*cols .. (i+1)*cols]`. Used for weights (`m × n`) and outputs
 /// (`m × b`).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -197,7 +195,7 @@ impl Matrix {
 /// contiguous slice `data[j*rows .. (j+1)*rows]`. Used for inputs (`n × b`)
 /// where lookup-table construction slices each batch column into LUT-unit
 /// sub-vectors.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ColMatrix {
     rows: usize,
     cols: usize,

@@ -272,20 +272,14 @@ mod tests {
         let mut g = MatrixRng::seed_from(503);
         let mut raw = encode_matrix(&g.gaussian(2, 2, 0.0, 1.0)).to_vec();
         raw[0] = b'X';
-        assert!(matches!(
-            decode_matrix(Bytes::from(raw)),
-            Err(IoFormatError::BadMagic(_))
-        ));
+        assert!(matches!(decode_matrix(Bytes::from(raw)), Err(IoFormatError::BadMagic(_))));
     }
 
     #[test]
     fn kind_mismatch_rejected() {
         let mut g = MatrixRng::seed_from(504);
         let enc = encode_matrix(&g.gaussian(2, 2, 0.0, 1.0));
-        assert!(matches!(
-            decode_col_matrix(enc),
-            Err(IoFormatError::KindMismatch { .. })
-        ));
+        assert!(matches!(decode_col_matrix(enc), Err(IoFormatError::KindMismatch { .. })));
     }
 
     #[test]
@@ -302,10 +296,7 @@ mod tests {
         let mut raw = encode_sign_matrix(&s).to_vec();
         let last = raw.len() - 1;
         raw[last] = 0;
-        assert!(matches!(
-            decode_sign_matrix(Bytes::from(raw)),
-            Err(IoFormatError::BadSign(0))
-        ));
+        assert!(matches!(decode_sign_matrix(Bytes::from(raw)), Err(IoFormatError::BadSign(0))));
     }
 
     #[test]

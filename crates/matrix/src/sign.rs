@@ -2,7 +2,6 @@
 //! weight factor `B_i ∈ {−1,+1}^{m×n}` before bit packing.
 
 use crate::dense::{ColMatrix, Matrix};
-use serde::{Deserialize, Serialize};
 
 /// A dense row-major `rows × cols` matrix whose elements are `−1` or `+1`,
 /// stored one `i8` per element.
@@ -10,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// This is the *reference* representation: baselines multiply it directly
 /// (after widening to `f32`), and the packers in `biq-quant` compress it into
 /// key matrices (µ-bit row chunks) or XNOR words (32/64-bit column chunks).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SignMatrix {
     rows: usize,
     cols: usize,
@@ -29,10 +28,7 @@ impl SignMatrix {
     /// Panics if the length mismatches or any element is not ±1.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<i8>) -> Self {
         assert_eq!(data.len(), rows * cols, "buffer length mismatch");
-        assert!(
-            data.iter().all(|&v| v == 1 || v == -1),
-            "SignMatrix elements must be -1 or +1"
-        );
+        assert!(data.iter().all(|&v| v == 1 || v == -1), "SignMatrix elements must be -1 or +1");
         Self { rows, cols, data }
     }
 

@@ -96,17 +96,46 @@ impl<'a> ColsView<'a> {
 }
 
 /// Splits `total` into `ceil(total/size)` contiguous `(start, len)` tiles.
-pub fn tile_ranges(total: usize, size: usize) -> Vec<(usize, usize)> {
+///
+/// Returns a lazy iterator: tile loops in the hot kernels run it on every
+/// call, so it must not allocate (the executor's zero-allocation
+/// steady-state guarantee counts on it).
+///
+/// # Panics
+/// Panics if `size == 0`.
+pub fn tile_ranges(total: usize, size: usize) -> TileRanges {
     assert!(size > 0, "tile size must be positive");
-    let mut out = Vec::with_capacity(total.div_ceil(size));
-    let mut start = 0;
-    while start < total {
-        let len = size.min(total - start);
-        out.push((start, len));
-        start += len;
-    }
-    out
+    TileRanges { total, size, start: 0 }
 }
+
+/// Iterator over the `(start, len)` tiles of [`tile_ranges`].
+#[derive(Clone, Copy, Debug)]
+pub struct TileRanges {
+    total: usize,
+    size: usize,
+    start: usize,
+}
+
+impl Iterator for TileRanges {
+    type Item = (usize, usize);
+
+    fn next(&mut self) -> Option<(usize, usize)> {
+        if self.start >= self.total {
+            return None;
+        }
+        let len = self.size.min(self.total - self.start);
+        let item = (self.start, len);
+        self.start += len;
+        Some(item)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = (self.total - self.start).div_ceil(self.size);
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for TileRanges {}
 
 #[cfg(test)]
 mod tests {
@@ -139,17 +168,19 @@ mod tests {
 
     #[test]
     fn tile_ranges_cover_exactly() {
-        assert_eq!(tile_ranges(10, 4), vec![(0, 4), (4, 4), (8, 2)]);
-        assert_eq!(tile_ranges(8, 4), vec![(0, 4), (4, 4)]);
-        assert_eq!(tile_ranges(3, 8), vec![(0, 3)]);
-        assert_eq!(tile_ranges(0, 8), Vec::<(usize, usize)>::new());
+        let collect = |total, size| tile_ranges(total, size).collect::<Vec<_>>();
+        assert_eq!(collect(10, 4), vec![(0, 4), (4, 4), (8, 2)]);
+        assert_eq!(collect(8, 4), vec![(0, 4), (4, 4)]);
+        assert_eq!(collect(3, 8), vec![(0, 3)]);
+        assert_eq!(collect(0, 8), Vec::<(usize, usize)>::new());
+        assert_eq!(tile_ranges(10, 4).len(), 3, "ExactSizeIterator hint");
     }
 
     #[test]
     fn tile_ranges_partition_is_disjoint_and_total() {
         for total in [1usize, 7, 16, 33] {
             for size in [1usize, 2, 5, 16] {
-                let tiles = tile_ranges(total, size);
+                let tiles: Vec<_> = tile_ranges(total, size).collect();
                 let sum: usize = tiles.iter().map(|&(_, l)| l).sum();
                 assert_eq!(sum, total);
                 for w in tiles.windows(2) {

@@ -11,8 +11,7 @@ use proptest::prelude::*;
 
 fn arb_matrix(max_r: usize, max_c: usize) -> impl Strategy<Value = Matrix> {
     (1..=max_r, 1..=max_c).prop_flat_map(|(r, c)| {
-        proptest::collection::vec(any::<f32>(), r * c)
-            .prop_map(move |v| Matrix::from_vec(r, c, v))
+        proptest::collection::vec(any::<f32>(), r * c).prop_map(move |v| Matrix::from_vec(r, c, v))
     })
 }
 

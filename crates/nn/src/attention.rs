@@ -106,7 +106,8 @@ mod tests {
     use biqgemm_core::BiqConfig;
 
     fn fp_attention(g: &mut MatrixRng, d: usize, heads: usize) -> MultiHeadAttention {
-        let mk = |g: &mut MatrixRng| Linear::fp32(g.gaussian(d, d, 0.0, (d as f32).powf(-0.5)), None);
+        let mk =
+            |g: &mut MatrixRng| Linear::fp32(g.gaussian(d, d, 0.0, (d as f32).powf(-0.5)), None);
         MultiHeadAttention::new(mk(g), mk(g), mk(g), mk(g), heads)
     }
 
@@ -137,8 +138,7 @@ mod tests {
         );
         let x = g.gaussian_col(d, 1, 0.0, 1.0);
         let y = attn.forward(&x);
-        let expected =
-            Linear::fp32(wo, None).forward(&Linear::fp32(wv, None).forward(&x));
+        let expected = Linear::fp32(wo, None).forward(&Linear::fp32(wv, None).forward(&x));
         for i in 0..d {
             assert!((y.get(i, 0) - expected.get(i, 0)).abs() < 1e-4);
         }

@@ -167,20 +167,7 @@ impl Conv2d {
     ) -> Self {
         let std = (shape.patch_len() as f32).powf(-0.5);
         let w = rng.gaussian(shape.out_channels, shape.patch_len(), 0.0, std);
-        let weight = match backend {
-            crate::transformer::LayerBackend::Fp32 { parallel } => {
-                Linear::fp32_with(w, None, parallel)
-            }
-            crate::transformer::LayerBackend::Biq { bits, method, cfg, parallel } => {
-                if parallel {
-                    Linear::quantized_parallel(&w, bits, method, cfg, None)
-                } else {
-                    Linear::quantized(&w, bits, method, cfg, None)
-                }
-            }
-            crate::transformer::LayerBackend::Xnor { bits } => Linear::xnor(&w, bits, None),
-        };
-        Self::new(shape, weight)
+        Self::new(shape, backend.linear(w, None))
     }
 
     /// Geometry.

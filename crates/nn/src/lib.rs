@@ -19,12 +19,12 @@ pub mod activations;
 pub mod attention;
 pub mod configs;
 pub mod conv;
+pub mod embedding;
 pub mod layernorm;
 pub mod linear;
-pub mod pooling;
-pub mod embedding;
 pub mod lstm;
+pub mod pooling;
 pub mod seq2seq;
 pub mod transformer;
 
-pub use linear::{Backend, BackendKind, Linear};
+pub use linear::{BackendKind, Linear, QuantMethod};

@@ -2,24 +2,32 @@
 //! primitive every model in this crate is built from (Fig. 1 of the paper).
 //!
 //! `forward` computes `Y = W·X (+ bias)` with `W : out × in` and activations
-//! as column-major `features × batch`. The multiplication engine is chosen at
-//! construction:
+//! as column-major `features × batch`. Since the plan/executor refactor a
+//! layer is a compiled runtime op plus a (shareable) executor:
 //!
-//! * [`Backend::Fp32`] — dense blocked GEMM (serial or rayon-parallel), the
-//!   `eigen`/`mkl` role;
-//! * [`Backend::Biq`] — binary-coding quantized weights through BiQGEMM;
-//! * [`Backend::Xnor`] — weights *and* activations binarised, XNOR-popcount.
+//! * the **plan** ([`biq_runtime::ExecutionPlan`]) decides the kernel family
+//!   (fp32 naive/blocked, int8, xnor, BiQGEMM), µ, tile shapes and
+//!   threading — built once at construction;
+//! * the **compiled op** owns the packed weights (the dense matrix never
+//!   ships for quantized layers, mirroring a real deployment);
+//! * the **executor** owns the reusable scratch arenas (LUT bank,
+//!   accumulators, pack panel). Models pass one [`SharedExecutor`] to all
+//!   their layers so arenas are reused across layers and time-steps.
 //!
-//! Quantized constructors consume the fp32 weights, quantize once, and keep
-//! only the packed form — mirroring a real deployment where the dense matrix
-//! never ships.
+//! The historical constructors ([`Linear::fp32`], [`Linear::quantized`],
+//! [`Linear::xnor`], …) remain as thin shims over [`Linear::from_plan`];
+//! each creates a private executor, which is correct but forgoes
+//! cross-layer arena sharing.
 
-use biq_gemm::xnor::{xnor_gemm, XnorWeights};
-use biq_gemm::{gemm_blocked, par_gemm_blocked};
 use biq_matrix::{ColMatrix, Matrix};
-use biq_quant::alternating::alternating_quantize_matrix_rowwise;
-use biq_quant::greedy_quantize_matrix_rowwise;
-use biqgemm_core::{BiqConfig, BiqGemm};
+use biq_runtime::{
+    compile, BackendSpec, CompiledOp, ExecutionPlan, PlanBuilder, SharedExecutor, Threading,
+    WeightSource,
+};
+use biqgemm_core::BiqConfig;
+use std::sync::Arc;
+
+pub use biq_runtime::QuantMethod;
 
 /// Which engine a [`Linear`] uses (coarse tag, for reporting).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -30,54 +38,61 @@ pub enum BackendKind {
     Biq,
     /// XNOR-popcount (1-bit activations too).
     Xnor,
+    /// INT8 fixed-point pipeline.
+    Int8,
 }
 
-/// The matmul engine of a [`Linear`] layer.
-#[derive(Clone, Debug)]
-pub enum Backend {
-    /// Dense fp32 weights, blocked GEMM. `parallel` selects the rayon driver.
-    Fp32 {
-        /// Dense `out × in` weights.
-        weight: Matrix,
-        /// Use the rayon-parallel kernel.
-        parallel: bool,
-    },
-    /// Binary-coding quantized weights through BiQGEMM.
-    Biq {
-        /// Packed engine.
-        engine: BiqGemm,
-        /// Use the rayon-parallel kernel.
-        parallel: bool,
-    },
-    /// XNOR-popcount with on-the-fly activation binarisation.
-    Xnor {
-        /// Packed weight planes.
-        weights: XnorWeights,
-    },
-}
-
-/// Quantization recipe for [`Linear::quantized`].
-#[derive(Clone, Copy, Debug)]
-pub enum QuantMethod {
-    /// Greedy binary coding (Guo et al.).
-    Greedy,
-    /// Greedy + alternating refinement (`iters` rounds).
-    Alternating {
-        /// Maximum refinement rounds.
-        iters: usize,
-    },
+impl BackendKind {
+    fn of(spec: &BackendSpec) -> Self {
+        match spec {
+            BackendSpec::Fp32Naive | BackendSpec::Fp32Blocked => BackendKind::Fp32,
+            BackendSpec::Int8 => BackendKind::Int8,
+            BackendSpec::Xnor { .. } => BackendKind::Xnor,
+            BackendSpec::Biq { .. } => BackendKind::Biq,
+        }
+    }
 }
 
 /// A fully-connected layer with optional bias.
+///
+/// `Clone` is cheap: the compiled op (packed weights) is reference-counted
+/// and the executor handle is shared, so clones reuse both.
 #[derive(Clone, Debug)]
 pub struct Linear {
-    backend: Backend,
+    op: Arc<CompiledOp>,
+    exec: SharedExecutor,
     bias: Option<Vec<f32>>,
     out_features: usize,
     in_features: usize,
+    kind: BackendKind,
 }
 
 impl Linear {
+    /// The one true constructor: binds `plan` to `weights` and runs through
+    /// `exec`. All other constructors are conveniences over this.
+    ///
+    /// # Panics
+    /// Panics when the weight shape disagrees with the plan or
+    /// `bias.len() != m`.
+    pub fn from_plan(
+        plan: &ExecutionPlan,
+        weights: WeightSource<'_>,
+        bias: Option<Vec<f32>>,
+        exec: SharedExecutor,
+    ) -> Self {
+        Self::check_bias(&bias, plan.m);
+        let op = compile(plan, weights);
+        exec.warm(&op);
+        Self {
+            out_features: op.output_size(),
+            in_features: op.input_size(),
+            kind: BackendKind::of(&plan.spec),
+            op: Arc::new(op),
+            exec,
+            bias,
+        }
+    }
+
     /// Full-precision layer (serial blocked GEMM).
     pub fn fp32(weight: Matrix, bias: Option<Vec<f32>>) -> Self {
         Self::fp32_with(weight, bias, false)
@@ -85,13 +100,16 @@ impl Linear {
 
     /// Full-precision layer, optionally rayon-parallel.
     pub fn fp32_with(weight: Matrix, bias: Option<Vec<f32>>, parallel: bool) -> Self {
-        let (out_features, in_features) = weight.shape();
-        Self::check_bias(&bias, out_features);
-        Self { backend: Backend::Fp32 { weight, parallel }, bias, out_features, in_features }
+        let (m, n) = weight.shape();
+        let plan = PlanBuilder::new(m, n)
+            .backend(BackendSpec::Fp32Blocked)
+            .threading(if parallel { Threading::Parallel } else { Threading::Serial })
+            .build();
+        Self::from_plan(&plan, WeightSource::Dense(&weight), bias, SharedExecutor::new())
     }
 
     /// Quantizes `weight` to `bits` binary-coding planes and runs it through
-    /// BiQGEMM.
+    /// BiQGEMM with the explicit engine config `cfg`.
     pub fn quantized(
         weight: &Matrix,
         bits: usize,
@@ -99,21 +117,7 @@ impl Linear {
         cfg: BiqConfig,
         bias: Option<Vec<f32>>,
     ) -> Self {
-        let (out_features, in_features) = weight.shape();
-        Self::check_bias(&bias, out_features);
-        let quant = match method {
-            QuantMethod::Greedy => greedy_quantize_matrix_rowwise(weight, bits),
-            QuantMethod::Alternating { iters } => {
-                alternating_quantize_matrix_rowwise(weight, bits, iters)
-            }
-        };
-        let engine = BiqGemm::new(&quant, cfg);
-        Self {
-            backend: Backend::Biq { engine, parallel: false },
-            bias,
-            out_features,
-            in_features,
-        }
+        Self::quantized_threaded(weight, bits, method, cfg, bias, Threading::Serial)
     }
 
     /// Like [`Self::quantized`] but using the rayon-parallel BiQGEMM driver.
@@ -124,36 +128,32 @@ impl Linear {
         cfg: BiqConfig,
         bias: Option<Vec<f32>>,
     ) -> Self {
-        let mut l = Self::quantized(weight, bits, method, cfg, bias);
-        if let Backend::Biq { parallel, .. } = &mut l.backend {
-            *parallel = true;
-        }
-        l
+        Self::quantized_threaded(weight, bits, method, cfg, bias, Threading::Parallel)
+    }
+
+    fn quantized_threaded(
+        weight: &Matrix,
+        bits: usize,
+        method: QuantMethod,
+        cfg: BiqConfig,
+        bias: Option<Vec<f32>>,
+        threading: Threading,
+    ) -> Self {
+        let (m, n) = weight.shape();
+        let plan = PlanBuilder::new(m, n)
+            .backend(BackendSpec::Biq { bits, method })
+            .config(cfg)
+            .threading(threading)
+            .build();
+        Self::from_plan(&plan, WeightSource::Dense(weight), bias, SharedExecutor::new())
     }
 
     /// Quantizes to `bits` planes and runs XNOR-popcount (activations are
     /// binarised dynamically each forward).
     pub fn xnor(weight: &Matrix, bits: usize, bias: Option<Vec<f32>>) -> Self {
-        let (out_features, in_features) = weight.shape();
-        Self::check_bias(&bias, out_features);
-        let quant = greedy_quantize_matrix_rowwise(weight, bits);
-        Self {
-            backend: Backend::Xnor { weights: XnorWeights::from_multibit(&quant) },
-            bias,
-            out_features,
-            in_features,
-        }
-    }
-
-    /// Wraps a prebuilt backend.
-    pub fn from_backend(
-        backend: Backend,
-        bias: Option<Vec<f32>>,
-        out_features: usize,
-        in_features: usize,
-    ) -> Self {
-        Self::check_bias(&bias, out_features);
-        Self { backend, bias, out_features, in_features }
+        let (m, n) = weight.shape();
+        let plan = PlanBuilder::new(m, n).backend(BackendSpec::Xnor { bits }).build();
+        Self::from_plan(&plan, WeightSource::Dense(weight), bias, SharedExecutor::new())
     }
 
     fn check_bias(bias: &Option<Vec<f32>>, out: usize) {
@@ -174,11 +174,18 @@ impl Linear {
 
     /// Which kind of engine this layer runs on.
     pub fn backend_kind(&self) -> BackendKind {
-        match self.backend {
-            Backend::Fp32 { .. } => BackendKind::Fp32,
-            Backend::Biq { .. } => BackendKind::Biq,
-            Backend::Xnor { .. } => BackendKind::Xnor,
-        }
+        self.kind
+    }
+
+    /// The execution plan this layer was compiled from.
+    pub fn plan(&self) -> &ExecutionPlan {
+        self.op.plan()
+    }
+
+    /// The executor handle this layer runs through (share it with other
+    /// layers to pool arenas).
+    pub fn executor(&self) -> &SharedExecutor {
+        &self.exec
     }
 
     /// `Y = W·X (+ bias)`, activations column-major `in × batch`, output
@@ -188,23 +195,7 @@ impl Linear {
     /// Panics if `x.rows() != in_features`.
     pub fn forward(&self, x: &ColMatrix) -> ColMatrix {
         assert_eq!(x.rows(), self.in_features, "input feature mismatch");
-        let y: Matrix = match &self.backend {
-            Backend::Fp32 { weight, parallel } => {
-                if *parallel {
-                    par_gemm_blocked(weight, x)
-                } else {
-                    gemm_blocked(weight, x)
-                }
-            }
-            Backend::Biq { engine, parallel } => {
-                if *parallel {
-                    engine.matmul_parallel(x)
-                } else {
-                    engine.matmul(x)
-                }
-            }
-            Backend::Xnor { weights } => xnor_gemm(weights, x),
-        };
+        let y = self.exec.run(&self.op, x);
         let mut out = y.to_col_major();
         if let Some(bias) = &self.bias {
             for j in 0..out.cols() {
@@ -258,8 +249,8 @@ mod tests {
         let w = g.gaussian(32, 96, 0.0, 1.0);
         let x = g.gaussian_col(96, 3, 0.0, 1.0);
         let y_fp = Linear::fp32(w.clone(), None).forward(&x);
-        let yg = Linear::quantized(&w, 2, QuantMethod::Greedy, BiqConfig::default(), None)
-            .forward(&x);
+        let yg =
+            Linear::quantized(&w, 2, QuantMethod::Greedy, BiqConfig::default(), None).forward(&x);
         let ya = Linear::quantized(
             &w,
             2,
@@ -282,8 +273,7 @@ mod tests {
         let yp = Linear::fp32_with(w.clone(), None, true).forward(&x);
         assert_eq!(ys.as_slice(), yp.as_slice());
         let qs = Linear::quantized(&w, 1, QuantMethod::Greedy, BiqConfig::default(), None);
-        let qp =
-            Linear::quantized_parallel(&w, 1, QuantMethod::Greedy, BiqConfig::default(), None);
+        let qp = Linear::quantized_parallel(&w, 1, QuantMethod::Greedy, BiqConfig::default(), None);
         assert_eq!(qs.forward(&x).as_slice(), qp.forward(&x).as_slice());
     }
 
@@ -297,6 +287,45 @@ mod tests {
         let y = l.forward(&x);
         assert_eq!(y.shape(), (32, 2));
         assert!(y.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn clones_share_the_executor_arena() {
+        let mut g = MatrixRng::seed_from(314);
+        let w = g.gaussian(8, 8, 0.0, 1.0);
+        let x = g.gaussian_col(8, 1, 0.0, 1.0);
+        let a = Linear::fp32(w, None);
+        let b = a.clone();
+        let _ = a.forward(&x);
+        let _ = b.forward(&x);
+        assert_eq!(a.executor().runs(), 2, "clone shares the executor");
+    }
+
+    #[test]
+    fn from_plan_with_shared_executor_pools_arenas() {
+        let mut g = MatrixRng::seed_from(315);
+        let exec = SharedExecutor::new();
+        let mk = |g: &mut MatrixRng, m: usize, n: usize, exec: &SharedExecutor| {
+            let w = g.gaussian(m, n, 0.0, 1.0);
+            let plan = PlanBuilder::new(m, n)
+                .backend(BackendSpec::Biq { bits: 2, method: QuantMethod::Greedy })
+                .build();
+            Linear::from_plan(&plan, WeightSource::Dense(&w), None, exec.clone())
+        };
+        let l1 = mk(&mut g, 16, 24, &exec);
+        let l2 = mk(&mut g, 24, 16, &exec);
+        let x = g.gaussian_col(24, 2, 0.0, 1.0);
+        let h = l1.forward(&x);
+        let _ = l2.forward(&h);
+        assert_eq!(exec.runs(), 2, "both layers ran through one executor");
+    }
+
+    #[test]
+    fn linear_stays_send_and_sync() {
+        // A serving layer moves models across threads; the executor handle
+        // (Arc<Mutex>) and Arc'd compiled op must keep that possible.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Linear>();
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::activations::{sigmoid, tanh};
 use crate::linear::Linear;
 use crate::transformer::LayerBackend;
 use biq_matrix::{ColMatrix, MatrixRng};
+use biq_runtime::SharedExecutor;
 
 /// One LSTM cell (`input_size → hidden`).
 #[derive(Clone, Debug)]
@@ -54,17 +55,30 @@ impl LstmCell {
         Self { input_size: w_ih.in_features(), w_ih, w_hh, hidden }
     }
 
-    /// Randomly initialised cell on `backend`.
+    /// Randomly initialised cell on `backend` (private executor).
     pub fn random(
         rng: &mut MatrixRng,
         input_size: usize,
         hidden: usize,
         backend: LayerBackend,
     ) -> Self {
+        Self::random_shared(rng, input_size, hidden, backend, &SharedExecutor::new())
+    }
+
+    /// [`Self::random`] with an explicit executor: both gate projections —
+    /// and, via the same handle, every time-step of the unrolled sequence —
+    /// reuse one arena pool.
+    pub fn random_shared(
+        rng: &mut MatrixRng,
+        input_size: usize,
+        hidden: usize,
+        backend: LayerBackend,
+        exec: &SharedExecutor,
+    ) -> Self {
         let std_i = (input_size as f32).powf(-0.5);
         let std_h = (hidden as f32).powf(-0.5);
-        let w_ih = backend_linear(backend, rng, 4 * hidden, input_size, std_i);
-        let w_hh = backend_linear(backend, rng, 4 * hidden, hidden, std_h);
+        let w_ih = backend_linear(backend, rng, 4 * hidden, input_size, std_i, exec);
+        let w_hh = backend_linear(backend, rng, 4 * hidden, hidden, std_h, exec);
         Self::new(w_ih, w_hh)
     }
 
@@ -120,19 +134,9 @@ fn backend_linear(
     out: usize,
     inp: usize,
     std: f32,
+    exec: &SharedExecutor,
 ) -> Linear {
-    let w = rng.gaussian(out, inp, 0.0, std);
-    match backend {
-        LayerBackend::Fp32 { parallel } => Linear::fp32_with(w, None, parallel),
-        LayerBackend::Biq { bits, method, cfg, parallel } => {
-            if parallel {
-                Linear::quantized_parallel(&w, bits, method, cfg, None)
-            } else {
-                Linear::quantized(&w, bits, method, cfg, None)
-            }
-        }
-        LayerBackend::Xnor { bits } => Linear::xnor(&w, bits, None),
-    }
+    backend.linear_shared(rng.gaussian(out, inp, 0.0, std), None, exec)
 }
 
 /// A unidirectional LSTM layer unrolled over a sequence.
@@ -155,6 +159,17 @@ impl Lstm {
         backend: LayerBackend,
     ) -> Self {
         Self::new(LstmCell::random(rng, input_size, hidden, backend))
+    }
+
+    /// Randomly initialised layer on a shared executor.
+    pub fn random_shared(
+        rng: &mut MatrixRng,
+        input_size: usize,
+        hidden: usize,
+        backend: LayerBackend,
+        exec: &SharedExecutor,
+    ) -> Self {
+        Self::new(LstmCell::random_shared(rng, input_size, hidden, backend, exec))
     }
 
     /// The cell.
@@ -186,16 +201,18 @@ pub struct BiLstm {
 }
 
 impl BiLstm {
-    /// Randomly initialised bi-LSTM.
+    /// Randomly initialised bi-LSTM. Both directions share one executor,
+    /// so the backward pass reuses the arenas the forward pass warmed.
     pub fn random(
         rng: &mut MatrixRng,
         input_size: usize,
         hidden: usize,
         backend: LayerBackend,
     ) -> Self {
+        let exec = SharedExecutor::new();
         Self {
-            fwd: Lstm::random(rng, input_size, hidden, backend),
-            bwd: Lstm::random(rng, input_size, hidden, backend),
+            fwd: Lstm::random_shared(rng, input_size, hidden, backend, &exec),
+            bwd: Lstm::random_shared(rng, input_size, hidden, backend, &exec),
         }
     }
 

@@ -11,10 +11,7 @@ use crate::conv::FeatureMap;
 /// Panics if the window does not fit the input.
 pub fn max_pool2d(input: &FeatureMap, window: usize, stride: usize) -> FeatureMap {
     assert!(window > 0 && stride > 0, "window/stride must be positive");
-    assert!(
-        input.height >= window && input.width >= window,
-        "pool window larger than input"
-    );
+    assert!(input.height >= window && input.width >= window, "pool window larger than input");
     let ho = (input.height - window) / stride + 1;
     let wo = (input.width - window) / stride + 1;
     let mut out = FeatureMap::zeros(input.channels, ho, wo);

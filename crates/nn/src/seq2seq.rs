@@ -14,6 +14,7 @@ use crate::embedding::{add_positional_encoding, Embedding};
 use crate::linear::Linear;
 use crate::transformer::{DecoderLayer, Encoder, LayerBackend};
 use biq_matrix::{ColMatrix, MatrixRng};
+use biq_runtime::SharedExecutor;
 
 /// Special token ids used by the decoder loop.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -50,22 +51,16 @@ impl Seq2Seq {
     ) -> Self {
         assert!(vocab >= 4, "vocabulary too small");
         let embed = Embedding::random(rng, vocab, d_model);
-        let encoder = Encoder::random(rng, enc_layers, d_model, d_ff, heads, backend);
+        // One executor for the whole model: encoder stack, decoder stack and
+        // the output projection pool their arenas (decode re-runs the same
+        // plans every emitted token).
+        let exec = SharedExecutor::new();
+        let encoder = Encoder::random_shared(rng, enc_layers, d_model, d_ff, heads, backend, &exec);
         let decoder = (0..dec_layers)
-            .map(|_| DecoderLayer::random(rng, d_model, d_ff, heads, backend))
+            .map(|_| DecoderLayer::random_shared(rng, d_model, d_ff, heads, backend, &exec))
             .collect();
         let proj_w = rng.gaussian(vocab, d_model, 0.0, (d_model as f32).powf(-0.5));
-        let out_proj = match backend {
-            LayerBackend::Fp32 { parallel } => Linear::fp32_with(proj_w, None, parallel),
-            LayerBackend::Biq { bits, method, cfg, parallel } => {
-                if parallel {
-                    Linear::quantized_parallel(&proj_w, bits, method, cfg, None)
-                } else {
-                    Linear::quantized(&proj_w, bits, method, cfg, None)
-                }
-            }
-            LayerBackend::Xnor { bits } => Linear::xnor(&proj_w, bits, None),
-        };
+        let out_proj = backend.linear_shared(proj_w, None, &exec);
         Self { embed, encoder, decoder, out_proj, specials: SpecialTokens { bos: 0, eos: 1 } }
     }
 

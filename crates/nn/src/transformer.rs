@@ -11,6 +11,7 @@ use crate::attention::MultiHeadAttention;
 use crate::layernorm::LayerNorm;
 use crate::linear::{Linear, QuantMethod};
 use biq_matrix::{ColMatrix, Matrix, MatrixRng};
+use biq_runtime::{BackendSpec, PlanBuilder, SharedExecutor, Threading, WeightSource};
 use biqgemm_core::BiqConfig;
 
 /// How the weight matrices of a generated layer are executed.
@@ -40,18 +41,44 @@ pub enum LayerBackend {
 }
 
 impl LayerBackend {
-    fn linear(&self, weight: Matrix, bias: Option<Vec<f32>>) -> Linear {
-        match *self {
-            LayerBackend::Fp32 { parallel } => Linear::fp32_with(weight, bias, parallel),
-            LayerBackend::Biq { bits, method, cfg, parallel } => {
-                if parallel {
-                    Linear::quantized_parallel(&weight, bits, method, cfg, bias)
-                } else {
-                    Linear::quantized(&weight, bits, method, cfg, bias)
-                }
+    /// Builds a [`Linear`] for `weight` on this backend, routed through
+    /// `exec` — the per-model plan-caching hook: every layer built with the
+    /// same handle shares one executor, so LUT arenas and pack panels are
+    /// reused across layers and (for recurrent models) time-steps.
+    pub fn linear_shared(
+        &self,
+        weight: Matrix,
+        bias: Option<Vec<f32>>,
+        exec: &SharedExecutor,
+    ) -> Linear {
+        let (m, n) = weight.shape();
+        let threading = |parallel: bool| {
+            if parallel {
+                Threading::Parallel
+            } else {
+                Threading::Serial
             }
-            LayerBackend::Xnor { bits } => Linear::xnor(&weight, bits, bias),
-        }
+        };
+        let plan = match *self {
+            LayerBackend::Fp32 { parallel } => PlanBuilder::new(m, n)
+                .backend(BackendSpec::Fp32Blocked)
+                .threading(threading(parallel))
+                .build(),
+            LayerBackend::Biq { bits, method, cfg, parallel } => PlanBuilder::new(m, n)
+                .backend(BackendSpec::Biq { bits, method })
+                .config(cfg)
+                .threading(threading(parallel))
+                .build(),
+            LayerBackend::Xnor { bits } => {
+                PlanBuilder::new(m, n).backend(BackendSpec::Xnor { bits }).build()
+            }
+        };
+        Linear::from_plan(&plan, WeightSource::Dense(&weight), bias, exec.clone())
+    }
+
+    /// Builds a [`Linear`] on a private executor (no arena sharing).
+    pub fn linear(&self, weight: Matrix, bias: Option<Vec<f32>>) -> Linear {
+        self.linear_shared(weight, bias, &SharedExecutor::new())
     }
 }
 
@@ -88,6 +115,7 @@ impl EncoderLayer {
 
     /// Randomly initialised layer (`d_model`, `d_ff`, `heads`) on the given
     /// backend — the harness's way of instantiating paper-sized workloads.
+    /// The layer's six projections share one private executor.
     pub fn random(
         rng: &mut MatrixRng,
         d_model: usize,
@@ -95,20 +123,42 @@ impl EncoderLayer {
         heads: usize,
         backend: LayerBackend,
     ) -> Self {
+        Self::random_shared(rng, d_model, d_ff, heads, backend, &SharedExecutor::new())
+    }
+
+    /// [`Self::random`] with an explicit executor, so a whole model stack
+    /// pools its arenas.
+    pub fn random_shared(
+        rng: &mut MatrixRng,
+        d_model: usize,
+        d_ff: usize,
+        heads: usize,
+        backend: LayerBackend,
+        exec: &SharedExecutor,
+    ) -> Self {
         let std_a = (d_model as f32).powf(-0.5);
         let std_f = (d_ff as f32).powf(-0.5);
-        let proj = |rng: &mut MatrixRng, b: &LayerBackend| {
-            b.linear(rng.gaussian(d_model, d_model, 0.0, std_a), None)
+        let exec = exec.clone();
+        let proj = |rng: &mut MatrixRng, b: &LayerBackend, e: &SharedExecutor| {
+            b.linear_shared(rng.gaussian(d_model, d_model, 0.0, std_a), None, e)
         };
         let attn = MultiHeadAttention::new(
-            proj(rng, &backend),
-            proj(rng, &backend),
-            proj(rng, &backend),
-            proj(rng, &backend),
+            proj(rng, &backend, &exec),
+            proj(rng, &backend, &exec),
+            proj(rng, &backend, &exec),
+            proj(rng, &backend, &exec),
             heads,
         );
-        let ff1 = backend.linear(rng.gaussian(d_ff, d_model, 0.0, std_a), Some(vec![0.0; d_ff]));
-        let ff2 = backend.linear(rng.gaussian(d_model, d_ff, 0.0, std_f), Some(vec![0.0; d_model]));
+        let ff1 = backend.linear_shared(
+            rng.gaussian(d_ff, d_model, 0.0, std_a),
+            Some(vec![0.0; d_ff]),
+            &exec,
+        );
+        let ff2 = backend.linear_shared(
+            rng.gaussian(d_model, d_ff, 0.0, std_f),
+            Some(vec![0.0; d_model]),
+            &exec,
+        );
         Self::new(attn, ff1, ff2, LayerNorm::new(d_model), LayerNorm::new(d_model))
     }
 
@@ -146,7 +196,7 @@ pub struct DecoderLayer {
 }
 
 impl DecoderLayer {
-    /// Randomly initialised decoder layer.
+    /// Randomly initialised decoder layer (private executor).
     pub fn random(
         rng: &mut MatrixRng,
         d_model: usize,
@@ -154,16 +204,37 @@ impl DecoderLayer {
         heads: usize,
         backend: LayerBackend,
     ) -> Self {
+        Self::random_shared(rng, d_model, d_ff, heads, backend, &SharedExecutor::new())
+    }
+
+    /// [`Self::random`] with an explicit executor for model-level arena
+    /// pooling.
+    pub fn random_shared(
+        rng: &mut MatrixRng,
+        d_model: usize,
+        d_ff: usize,
+        heads: usize,
+        backend: LayerBackend,
+        exec: &SharedExecutor,
+    ) -> Self {
         let std_a = (d_model as f32).powf(-0.5);
         let std_f = (d_ff as f32).powf(-0.5);
-        let proj =
-            |rng: &mut MatrixRng| backend.linear(rng.gaussian(d_model, d_model, 0.0, std_a), None);
-        let self_attn =
-            MultiHeadAttention::new(proj(rng), proj(rng), proj(rng), proj(rng), heads);
-        let cross_attn =
-            MultiHeadAttention::new(proj(rng), proj(rng), proj(rng), proj(rng), heads);
-        let ff1 = backend.linear(rng.gaussian(d_ff, d_model, 0.0, std_a), Some(vec![0.0; d_ff]));
-        let ff2 = backend.linear(rng.gaussian(d_model, d_ff, 0.0, std_f), Some(vec![0.0; d_model]));
+        let exec = exec.clone();
+        let proj = |rng: &mut MatrixRng| {
+            backend.linear_shared(rng.gaussian(d_model, d_model, 0.0, std_a), None, &exec)
+        };
+        let self_attn = MultiHeadAttention::new(proj(rng), proj(rng), proj(rng), proj(rng), heads);
+        let cross_attn = MultiHeadAttention::new(proj(rng), proj(rng), proj(rng), proj(rng), heads);
+        let ff1 = backend.linear_shared(
+            rng.gaussian(d_ff, d_model, 0.0, std_a),
+            Some(vec![0.0; d_ff]),
+            &exec,
+        );
+        let ff2 = backend.linear_shared(
+            rng.gaussian(d_model, d_ff, 0.0, std_f),
+            Some(vec![0.0; d_model]),
+            &exec,
+        );
         Self {
             self_attn,
             cross_attn,
@@ -200,7 +271,9 @@ pub struct Encoder {
 }
 
 impl Encoder {
-    /// Randomly initialised `num_layers`-deep encoder.
+    /// Randomly initialised `num_layers`-deep encoder. One executor spans
+    /// the whole stack: every layer's forward pass reuses the same LUT
+    /// arenas (the per-model plan cache).
     pub fn random(
         rng: &mut MatrixRng,
         num_layers: usize,
@@ -209,9 +282,23 @@ impl Encoder {
         heads: usize,
         backend: LayerBackend,
     ) -> Self {
+        Self::random_shared(rng, num_layers, d_model, d_ff, heads, backend, &SharedExecutor::new())
+    }
+
+    /// [`Self::random`] on an explicit executor, so a larger model (e.g. a
+    /// seq2seq with a decoder stack) can pool arenas across *all* its parts.
+    pub fn random_shared(
+        rng: &mut MatrixRng,
+        num_layers: usize,
+        d_model: usize,
+        d_ff: usize,
+        heads: usize,
+        backend: LayerBackend,
+        exec: &SharedExecutor,
+    ) -> Self {
         Self {
             layers: (0..num_layers)
-                .map(|_| EncoderLayer::random(rng, d_model, d_ff, heads, backend))
+                .map(|_| EncoderLayer::random_shared(rng, d_model, d_ff, heads, backend, exec))
                 .collect(),
         }
     }

@@ -176,10 +176,7 @@ pub fn greedy_quantize_matrix_rowwise(w: &Matrix, bits: usize) -> MultiBitMatrix
     let planes = plane_scales
         .into_iter()
         .zip(plane_signs)
-        .map(|(scales, signs)| QuantPlane {
-            signs: SignMatrix::from_vec(m, n, signs),
-            scales,
-        })
+        .map(|(scales, signs)| QuantPlane { signs: SignMatrix::from_vec(m, n, signs), scales })
         .collect();
     MultiBitMatrix::new(planes)
 }
@@ -188,11 +185,7 @@ pub fn greedy_quantize_matrix_rowwise(w: &Matrix, bits: usize) -> MultiBitMatrix
 pub fn quantization_sse(w: &Matrix, q: &MultiBitMatrix) -> f64 {
     assert_eq!(w.shape(), q.shape(), "shape mismatch");
     let deq = q.dequantize();
-    w.as_slice()
-        .iter()
-        .zip(deq.as_slice())
-        .map(|(&a, &b)| ((a - b) as f64).powi(2))
-        .sum()
+    w.as_slice().iter().zip(deq.as_slice()).map(|(&a, &b)| ((a - b) as f64).powi(2)).sum()
 }
 
 #[cfg(test)]

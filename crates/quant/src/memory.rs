@@ -36,7 +36,14 @@ fn bytes(count: usize, bits: u32) -> f64 {
 
 /// Memory usage of a `m × n` weight matrix, `n × b` input and `m × b` output
 /// at the given bit widths (Table II's model).
-pub fn gemm_memory(m: usize, n: usize, b: usize, w_bits: u32, a_bits: u32, o_bits: u32) -> MemoryUsage {
+pub fn gemm_memory(
+    m: usize,
+    n: usize,
+    b: usize,
+    w_bits: u32,
+    a_bits: u32,
+    o_bits: u32,
+) -> MemoryUsage {
     MemoryUsage {
         weights_mb: bytes(m * n, w_bits) / MB,
         inputs_mb: bytes(n * b, a_bits) / MB,
@@ -75,18 +82,16 @@ pub struct TableIIRow {
 
 /// Regenerates the full Table II (512×512 weights, batch 18).
 pub fn table_ii() -> Vec<TableIIRow> {
-    let configs: [(u32, u32, u32); 7] = [
-        (32, 32, 32),
-        (8, 8, 32),
-        (6, 6, 32),
-        (4, 4, 32),
-        (4, 32, 32),
-        (3, 32, 32),
-        (2, 32, 32),
-    ];
+    let configs: [(u32, u32, u32); 7] =
+        [(32, 32, 32), (8, 8, 32), (6, 6, 32), (4, 4, 32), (4, 32, 32), (3, 32, 32), (2, 32, 32)];
     configs
         .iter()
-        .map(|&(w, a, o)| TableIIRow { w_bits: w, a_bits: a, o_bits: o, usage: gemm_memory(512, 512, 18, w, a, o) })
+        .map(|&(w, a, o)| TableIIRow {
+            w_bits: w,
+            a_bits: a,
+            o_bits: o,
+            usage: gemm_memory(512, 512, 18, w, a, o),
+        })
         .collect()
 }
 

@@ -60,8 +60,7 @@ impl std::error::Error for SerializeError {}
 pub fn encode_multibit(q: &MultiBitMatrix) -> Bytes {
     let (rows, cols) = q.shape();
     let row_bytes = cols.div_ceil(8);
-    let mut buf =
-        BytesMut::with_capacity(21 + q.bits() * (rows * 4 + rows * row_bytes));
+    let mut buf = BytesMut::with_capacity(21 + q.bits() * (rows * 4 + rows * row_bytes));
     buf.put_slice(MAGIC_QUANT);
     buf.put_u8(q.bits() as u8);
     buf.put_u64_le(rows as u64);
@@ -174,10 +173,8 @@ pub fn decode_key_matrix(mut data: Bytes) -> Result<KeyMatrix, SerializeError> {
         return Err(SerializeError::BadHeader(format!("shape {rows}x{cols}")));
     }
     let chunks = cols.div_ceil(mu);
-    let key_bytes = rows
-        .checked_mul(chunks)
-        .and_then(|v| v.checked_mul(2))
-        .ok_or(SerializeError::Truncated)?;
+    let key_bytes =
+        rows.checked_mul(chunks).and_then(|v| v.checked_mul(2)).ok_or(SerializeError::Truncated)?;
     if data.remaining() < key_bytes {
         return Err(SerializeError::Truncated);
     }
@@ -233,10 +230,7 @@ mod tests {
         let q = greedy_quantize_matrix_rowwise(&g.gaussian(2, 4, 0.0, 1.0), 1);
         let mut raw = encode_multibit(&q).to_vec();
         raw[1] = b'X';
-        assert!(matches!(
-            decode_multibit(Bytes::from(raw)),
-            Err(SerializeError::BadMagic(_))
-        ));
+        assert!(matches!(decode_multibit(Bytes::from(raw)), Err(SerializeError::BadMagic(_))));
     }
 
     #[test]
@@ -260,10 +254,7 @@ mod tests {
         let q = greedy_quantize_matrix_rowwise(&g.gaussian(3, 9, 0.0, 1.0), 2);
         let enc = encode_multibit(&q);
         for cut in [5usize, 20, enc.len() - 1] {
-            assert!(matches!(
-                decode_multibit(enc.slice(0..cut)),
-                Err(SerializeError::Truncated)
-            ));
+            assert!(matches!(decode_multibit(enc.slice(0..cut)), Err(SerializeError::Truncated)));
         }
     }
 

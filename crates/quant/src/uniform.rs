@@ -193,16 +193,10 @@ mod tests {
         let w = g.uniform(1, 512, 0.0, 1.0);
         let qa = AsymmetricQuantizer::fit(w.as_slice(), 4);
         let qs = SymmetricQuantizer::fit(w.as_slice(), 4);
-        let ea: f64 = w
-            .as_slice()
-            .iter()
-            .map(|&v| ((v - qa.fake_quantize(v)) as f64).powi(2))
-            .sum();
-        let es: f64 = w
-            .as_slice()
-            .iter()
-            .map(|&v| ((v - qs.fake_quantize(v)) as f64).powi(2))
-            .sum();
+        let ea: f64 =
+            w.as_slice().iter().map(|&v| ((v - qa.fake_quantize(v)) as f64).powi(2)).sum();
+        let es: f64 =
+            w.as_slice().iter().map(|&v| ((v - qs.fake_quantize(v)) as f64).powi(2)).sum();
         assert!(ea < es, "asymmetric {ea} should beat symmetric {es} on skewed data");
     }
 
@@ -218,11 +212,7 @@ mod tests {
         let pt = fake_quantize_matrix(&w, 4);
         let pr = fake_quantize_matrix_per_row(&w, 4);
         let err = |a: &Matrix| -> f64 {
-            w.as_slice()
-                .iter()
-                .zip(a.as_slice())
-                .map(|(&x, &y)| ((x - y) as f64).powi(2))
-                .sum()
+            w.as_slice().iter().zip(a.as_slice()).map(|(&x, &y)| ((x - y) as f64).powi(2)).sum()
         };
         assert!(err(&pr) <= err(&pt));
     }

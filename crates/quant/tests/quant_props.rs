@@ -3,11 +3,11 @@
 use biq_matrix::{Matrix, MatrixRng};
 use biq_quant::alternating::alternating_quantize_matrix_rowwise;
 use biq_quant::binary_coding::quantization_sse;
+use biq_quant::greedy_quantize_matrix_rowwise;
 use biq_quant::packing::{PackedRowsU32, PackedRowsU64};
 use biq_quant::serialize::{decode_multibit, encode_multibit};
 use biq_quant::uniform::{AsymmetricQuantizer, SymmetricQuantizer};
 use biq_quant::unpack::unpack_row_u32;
-use biq_quant::greedy_quantize_matrix_rowwise;
 use proptest::prelude::*;
 
 fn arb_weights(max_r: usize, max_c: usize) -> impl Strategy<Value = Matrix> {

@@ -1,0 +1,426 @@
+//! The [`GemmBackend`] trait and its implementations — every kernel family
+//! in the workspace behind one dispatchable interface.
+//!
+//! `compile` binds an [`ExecutionPlan`] to weights, performing all one-time
+//! work (quantization, key packing, int8/xnor packing) so that
+//! [`GemmBackend::execute`] on the resulting [`CompiledOp`] is pure
+//! compute. Backends write into caller-provided row-major `m × b` buffers
+//! and draw scratch from the executor's [`Arena`]; the serial BiQGEMM and
+//! dense paths are allocation-free once the arena has warmed.
+
+use crate::arena::Arena;
+use crate::plan::{BackendSpec, ExecutionPlan, QuantMethod};
+use biq_gemm::int8::{Int8Gemm, Int8Phases};
+use biq_gemm::xnor::{xnor_gemm, XnorWeights};
+use biq_gemm::{gemm_blocked_into, gemm_naive_into, par_gemm_blocked_into};
+use biq_matrix::{ColMatrix, Matrix, SignMatrix};
+use biq_quant::alternating::alternating_quantize_matrix_rowwise;
+use biq_quant::{greedy_quantize_matrix_rowwise, MultiBitMatrix};
+use biqgemm_core::parallel::biqgemm_parallel_into;
+use biqgemm_core::tiled::biqgemm_serial_into;
+use biqgemm_core::{BiqConfig, BiqWeights, PhaseProfile};
+
+/// A matmul kernel family bound to one weight operand.
+///
+/// Implementations hold the packed weights (dense, int8, xnor planes, or a
+/// BiQGEMM key matrix); `execute` multiplies against `x` into `y`
+/// (row-major `m × b`, overwritten), drawing every scratch buffer from
+/// `arena`.
+pub trait GemmBackend: Send + Sync {
+    /// Stable kernel-family name (reporting / benchmarks).
+    fn name(&self) -> &'static str;
+
+    /// Output size `m`.
+    fn output_size(&self) -> usize;
+
+    /// Input size `n`.
+    fn input_size(&self) -> usize;
+
+    /// `Y = W · X` into `y`.
+    ///
+    /// # Panics
+    /// Panics if `x.rows() != input_size()` or `y.len() != m · x.cols()`.
+    fn execute(&self, x: &ColMatrix, arena: &mut Arena, profile: &mut PhaseProfile, y: &mut [f32]);
+}
+
+struct NaiveBackend {
+    w: Matrix,
+}
+
+impl GemmBackend for NaiveBackend {
+    fn name(&self) -> &'static str {
+        "fp32_naive"
+    }
+
+    fn output_size(&self) -> usize {
+        self.w.rows()
+    }
+
+    fn input_size(&self) -> usize {
+        self.w.cols()
+    }
+
+    fn execute(
+        &self,
+        x: &ColMatrix,
+        _arena: &mut Arena,
+        profile: &mut PhaseProfile,
+        y: &mut [f32],
+    ) {
+        profile.time_query(|| gemm_naive_into(&self.w, x, y));
+    }
+}
+
+struct BlockedBackend {
+    w: Matrix,
+    parallel: bool,
+}
+
+impl GemmBackend for BlockedBackend {
+    fn name(&self) -> &'static str {
+        if self.parallel {
+            "fp32_blocked_parallel"
+        } else {
+            "fp32_blocked"
+        }
+    }
+
+    fn output_size(&self) -> usize {
+        self.w.rows()
+    }
+
+    fn input_size(&self) -> usize {
+        self.w.cols()
+    }
+
+    fn execute(&self, x: &ColMatrix, arena: &mut Arena, profile: &mut PhaseProfile, y: &mut [f32]) {
+        profile.time_query(|| {
+            if self.parallel {
+                par_gemm_blocked_into(&self.w, x, &mut arena.pack, y);
+            } else {
+                gemm_blocked_into(&self.w, x, &mut arena.pack, y);
+            }
+        });
+    }
+}
+
+struct Int8Backend {
+    engine: Int8Gemm,
+}
+
+impl GemmBackend for Int8Backend {
+    fn name(&self) -> &'static str {
+        "int8"
+    }
+
+    fn output_size(&self) -> usize {
+        self.engine.weights().rows()
+    }
+
+    fn input_size(&self) -> usize {
+        self.engine.weights().cols()
+    }
+
+    fn execute(
+        &self,
+        x: &ColMatrix,
+        _arena: &mut Arena,
+        profile: &mut PhaseProfile,
+        y: &mut [f32],
+    ) {
+        // The int8 pipeline allocates its integer staging internally — it is
+        // a comparison baseline, not a serving path; its conversion phase is
+        // charged to `replace` (data-movement), the kernel to `query`.
+        let mut phases = Int8Phases::default();
+        let out = self.engine.forward(x, &mut phases);
+        profile.replace += std::time::Duration::from_secs_f64(phases.conversion_s);
+        profile.query += std::time::Duration::from_secs_f64(phases.kernel_s);
+        y.copy_from_slice(out.as_slice());
+    }
+}
+
+struct XnorBackend {
+    w: XnorWeights,
+}
+
+impl GemmBackend for XnorBackend {
+    fn name(&self) -> &'static str {
+        "xnor"
+    }
+
+    fn output_size(&self) -> usize {
+        self.w.rows()
+    }
+
+    fn input_size(&self) -> usize {
+        self.w.cols()
+    }
+
+    fn execute(
+        &self,
+        x: &ColMatrix,
+        _arena: &mut Arena,
+        profile: &mut PhaseProfile,
+        y: &mut [f32],
+    ) {
+        // Dynamic activation binarisation allocates internally (baseline
+        // path, like int8 above).
+        let out = profile.time_query(|| xnor_gemm(&self.w, x));
+        y.copy_from_slice(out.as_slice());
+    }
+}
+
+struct BiqBackend {
+    w: BiqWeights,
+    cfg: BiqConfig,
+    parallel: bool,
+}
+
+impl GemmBackend for BiqBackend {
+    fn name(&self) -> &'static str {
+        if self.parallel {
+            "biqgemm_parallel"
+        } else {
+            "biqgemm"
+        }
+    }
+
+    fn output_size(&self) -> usize {
+        self.w.output_size()
+    }
+
+    fn input_size(&self) -> usize {
+        self.w.input_size()
+    }
+
+    fn execute(&self, x: &ColMatrix, arena: &mut Arena, profile: &mut PhaseProfile, y: &mut [f32]) {
+        if self.parallel {
+            profile.time_query(|| biqgemm_parallel_into(&self.w, x, &self.cfg, y));
+        } else {
+            biqgemm_serial_into(&self.w, x, &self.cfg, profile, &mut arena.biq, y);
+        }
+    }
+}
+
+/// Where a backend's weights come from at compile time.
+pub enum WeightSource<'a> {
+    /// Dense fp32 weights (quantized by `compile` when the spec needs it).
+    Dense(&'a Matrix),
+    /// Pre-quantized binary-coding planes.
+    Quantized(&'a MultiBitMatrix),
+    /// A raw sign matrix with unit scales (1-bit, the paper's runtime
+    /// experiments).
+    Signs(&'a SignMatrix),
+    /// Pre-packed BiQGEMM weights (deserialized deployments). Only valid
+    /// for [`BackendSpec::Biq`]; the plan's µ must match the packing.
+    Packed(BiqWeights),
+}
+
+/// An [`ExecutionPlan`] bound to packed weights — ready for any
+/// [`crate::Executor`].
+pub struct CompiledOp {
+    plan: ExecutionPlan,
+    backend: Box<dyn GemmBackend>,
+}
+
+impl CompiledOp {
+    /// The plan this op was compiled from.
+    pub fn plan(&self) -> &ExecutionPlan {
+        &self.plan
+    }
+
+    /// Kernel-family name of the bound backend.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// Output size `m`.
+    pub fn output_size(&self) -> usize {
+        self.backend.output_size()
+    }
+
+    /// Input size `n`.
+    pub fn input_size(&self) -> usize {
+        self.backend.input_size()
+    }
+
+    /// The bound backend.
+    pub fn backend(&self) -> &dyn GemmBackend {
+        self.backend.as_ref()
+    }
+}
+
+impl std::fmt::Debug for CompiledOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledOp")
+            .field("backend", &self.backend.name())
+            .field("plan", &self.plan)
+            .finish()
+    }
+}
+
+fn quantize_dense(w: &Matrix, bits: usize, method: QuantMethod) -> MultiBitMatrix {
+    match method {
+        QuantMethod::Greedy => greedy_quantize_matrix_rowwise(w, bits),
+        QuantMethod::Alternating { iters } => alternating_quantize_matrix_rowwise(w, bits, iters),
+    }
+}
+
+/// Binds a plan to weights, performing all one-time quantization and
+/// packing. This is the only place dispatch from [`BackendSpec`] to a
+/// concrete kernel family happens.
+///
+/// # Panics
+/// Panics when the weight shape disagrees with the plan, when a packed
+/// source's µ disagrees with the plan's, or when a dense-only spec
+/// ([`BackendSpec::Int8`], fp32) is given non-dense weights that cannot be
+/// dequantized losslessly enough to stand in (int8/fp32 accept `Quantized`
+/// and `Signs` by dequantizing).
+pub fn compile(plan: &ExecutionPlan, weights: WeightSource<'_>) -> CompiledOp {
+    let check = |m: usize, n: usize| {
+        assert_eq!((m, n), (plan.m, plan.n), "weight shape {m}x{n} disagrees with plan");
+    };
+    let dense = |w: &WeightSource<'_>| -> Matrix {
+        match w {
+            WeightSource::Dense(m) => (*m).clone(),
+            WeightSource::Quantized(q) => q.dequantize(),
+            WeightSource::Signs(s) => s.to_f32(),
+            WeightSource::Packed(_) => {
+                panic!("packed BiQGEMM weights cannot feed a dense backend")
+            }
+        }
+    };
+    let backend: Box<dyn GemmBackend> = match plan.spec {
+        BackendSpec::Fp32Naive => {
+            let w = dense(&weights);
+            check(w.rows(), w.cols());
+            Box::new(NaiveBackend { w })
+        }
+        BackendSpec::Fp32Blocked => {
+            let w = dense(&weights);
+            check(w.rows(), w.cols());
+            Box::new(BlockedBackend { w, parallel: plan.parallel })
+        }
+        BackendSpec::Int8 => {
+            let w = dense(&weights);
+            check(w.rows(), w.cols());
+            Box::new(Int8Backend { engine: Int8Gemm::new(&w) })
+        }
+        BackendSpec::Xnor { bits } => {
+            let q = match &weights {
+                WeightSource::Quantized(q) => (*q).clone(),
+                other => quantize_dense(&dense(other), bits, QuantMethod::Greedy),
+            };
+            check(q.shape().0, q.shape().1);
+            Box::new(XnorBackend { w: XnorWeights::from_multibit(&q) })
+        }
+        BackendSpec::Biq { bits, method } => {
+            let w = match weights {
+                WeightSource::Packed(w) => {
+                    assert_eq!(
+                        w.mu(),
+                        plan.cfg.mu,
+                        "packed weights use µ = {}, plan expects µ = {}",
+                        w.mu(),
+                        plan.cfg.mu
+                    );
+                    w
+                }
+                WeightSource::Quantized(q) => BiqWeights::from_multibit(q, plan.cfg.mu),
+                WeightSource::Signs(s) => BiqWeights::from_signs_unscaled(s, plan.cfg.mu),
+                WeightSource::Dense(d) => {
+                    BiqWeights::from_multibit(&quantize_dense(d, bits, method), plan.cfg.mu)
+                }
+            };
+            check(w.output_size(), w.input_size());
+            Box::new(BiqBackend { w, cfg: plan.cfg, parallel: plan.parallel })
+        }
+    };
+    CompiledOp { plan: *plan, backend }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PlanBuilder;
+    use biq_matrix::MatrixRng;
+
+    fn run(op: &CompiledOp, x: &ColMatrix) -> Vec<f32> {
+        let mut arena = Arena::new();
+        let mut profile = PhaseProfile::new();
+        let mut y = vec![0.0f32; op.output_size() * x.cols()];
+        op.backend().execute(x, &mut arena, &mut profile, &mut y);
+        y
+    }
+
+    #[test]
+    fn every_backend_family_compiles_and_runs() {
+        let mut g = MatrixRng::seed_from(90);
+        let w = g.gaussian(32, 48, 0.0, 1.0);
+        let x = g.gaussian_col(48, 3, 0.0, 1.0);
+        for spec in [
+            BackendSpec::Fp32Naive,
+            BackendSpec::Fp32Blocked,
+            BackendSpec::Int8,
+            BackendSpec::Xnor { bits: 2 },
+            BackendSpec::Biq { bits: 2, method: QuantMethod::Greedy },
+        ] {
+            let plan = PlanBuilder::new(32, 48).batch_hint(3).backend(spec).build();
+            let op = compile(&plan, WeightSource::Dense(&w));
+            let y = run(&op, &x);
+            assert_eq!(y.len(), 32 * 3);
+            assert!(y.iter().all(|v| v.is_finite()), "{}", op.backend_name());
+        }
+    }
+
+    #[test]
+    fn naive_and_blocked_agree_bit_exactly_on_ints() {
+        let mut g = MatrixRng::seed_from(91);
+        let w = g.small_int_matrix(20, 30, 2);
+        let x = g.small_int_col(30, 4, 2);
+        let naive = compile(
+            &PlanBuilder::new(20, 30).backend(BackendSpec::Fp32Naive).build(),
+            WeightSource::Dense(&w),
+        );
+        let blocked = compile(
+            &PlanBuilder::new(20, 30).backend(BackendSpec::Fp32Blocked).build(),
+            WeightSource::Dense(&w),
+        );
+        assert_eq!(run(&naive, &x), run(&blocked, &x));
+    }
+
+    #[test]
+    fn biq_from_signs_matches_dense_reference() {
+        let mut g = MatrixRng::seed_from(92);
+        let signs = g.signs(24, 40);
+        let x = g.small_int_col(40, 5, 3);
+        let plan = PlanBuilder::new(24, 40)
+            .batch_hint(5)
+            .backend(BackendSpec::Biq { bits: 1, method: QuantMethod::Greedy })
+            .build();
+        let op = compile(&plan, WeightSource::Signs(&signs));
+        let y = run(&op, &x);
+        let y_ref = biq_gemm::gemm_naive(&signs.to_f32(), &x);
+        assert_eq!(y, y_ref.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "disagrees with plan")]
+    fn shape_mismatch_rejected() {
+        let w = Matrix::zeros(4, 4);
+        let plan = PlanBuilder::new(8, 8).backend(BackendSpec::Fp32Naive).build();
+        let _ = compile(&plan, WeightSource::Dense(&w));
+    }
+
+    #[test]
+    #[should_panic(expected = "packed weights use µ")]
+    fn packed_mu_mismatch_rejected() {
+        let signs = SignMatrix::ones(4, 16);
+        let packed = BiqWeights::from_signs_unscaled(&signs, 4);
+        let plan = PlanBuilder::new(4, 16)
+            .backend(BackendSpec::Biq { bits: 1, method: QuantMethod::Greedy })
+            .config(BiqConfig::with_mu(8))
+            .build();
+        let _ = compile(&plan, WeightSource::Packed(packed));
+    }
+}

@@ -1,0 +1,239 @@
+//! Execution plans: every decision the runtime makes ahead of the first
+//! byte of compute, recorded in one value.
+//!
+//! A plan is pure data — building one performs no quantization, packing, or
+//! allocation beyond the struct itself. Binding a plan to weights
+//! ([`crate::compile`]) produces a [`crate::CompiledOp`]; running it is the
+//! executor's job. This split is what makes per-layer plan caching cheap:
+//! models build their plans once and re-run them every forward pass.
+
+use biqgemm_core::planner::{
+    plan as plan_cfg, recommend_parallel, scratch_spec, ScratchSpec, Threading,
+    DEFAULT_LUT_BUDGET_BYTES,
+};
+use biqgemm_core::BiqConfig;
+
+/// Weight quantization recipe for BiQGEMM backends (mirrors the paper's two
+/// binary-coding heuristics).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QuantMethod {
+    /// Greedy binary coding (Guo et al.).
+    Greedy,
+    /// Greedy + alternating refinement (`iters` rounds, Xu et al.).
+    Alternating {
+        /// Maximum refinement rounds.
+        iters: usize,
+    },
+}
+
+/// Which kernel family a plan executes on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendSpec {
+    /// Dense fp32 triple loop (`kCpu` baseline).
+    Fp32Naive,
+    /// Dense fp32 cache-blocked GEMM (the vendor-library stand-in).
+    Fp32Blocked,
+    /// INT8 fixed-point pipeline (dynamic activation quantization).
+    Int8,
+    /// XNOR-popcount over `bits` weight planes (activations binarised).
+    Xnor {
+        /// Weight quantization bits β_w.
+        bits: usize,
+    },
+    /// BiQGEMM over `bits`-plane binary-coding quantized weights.
+    Biq {
+        /// Weight quantization bits β_w.
+        bits: usize,
+        /// Quantizer flavour (used when compiling from dense weights).
+        method: QuantMethod,
+    },
+}
+
+/// A fully resolved execution plan for one `m × n` weight operand.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecutionPlan {
+    /// Output size `m`.
+    pub m: usize,
+    /// Input size `n`.
+    pub n: usize,
+    /// Expected batch size (plans stay valid for other batches; scratch
+    /// re-grows if a larger batch arrives).
+    pub batch_hint: usize,
+    /// Kernel family.
+    pub spec: BackendSpec,
+    /// BiQGEMM configuration: µ, tile shapes, LUT layout and build method,
+    /// parallel schedule. Ignored by the dense backends.
+    pub cfg: BiqConfig,
+    /// The threading request the plan was built with.
+    pub threading: Threading,
+    /// The resolved decision: `true` runs the rayon drivers, `false` the
+    /// serial arena path.
+    pub parallel: bool,
+    /// Record of the scratch-buffer sizes a serial run needs — capacity
+    /// planning / introspection. `Executor::warm` provisions from the
+    /// config and debug-asserts it agrees with this record.
+    pub scratch: ScratchSpec,
+}
+
+impl ExecutionPlan {
+    /// Bytes of lookup-table bank the plan keeps live in the arena.
+    pub fn lut_tile_bytes(&self) -> usize {
+        self.cfg.lut_tile_bytes()
+    }
+}
+
+/// Builder for [`ExecutionPlan`] — the single front door to the planner.
+#[derive(Clone, Copy, Debug)]
+pub struct PlanBuilder {
+    m: usize,
+    n: usize,
+    batch_hint: usize,
+    spec: BackendSpec,
+    threading: Threading,
+    lut_budget: usize,
+    threads: Option<usize>,
+    cfg_override: Option<BiqConfig>,
+}
+
+impl PlanBuilder {
+    /// Starts a plan for an `m × n` weight operand. Defaults: batch 1,
+    /// 1-bit greedy BiQGEMM backend, automatic threading, half-L2 LUT
+    /// budget.
+    ///
+    /// # Panics
+    /// Panics when either dimension is zero.
+    pub fn new(m: usize, n: usize) -> Self {
+        assert!(m > 0 && n > 0, "degenerate weight shape {m}x{n}");
+        Self {
+            m,
+            n,
+            batch_hint: 1,
+            spec: BackendSpec::Biq { bits: 1, method: QuantMethod::Greedy },
+            threading: Threading::Auto,
+            lut_budget: DEFAULT_LUT_BUDGET_BYTES,
+            threads: None,
+            cfg_override: None,
+        }
+    }
+
+    /// Expected batch size (`b`): drives tile sizing and the serial/parallel
+    /// decision.
+    pub fn batch_hint(mut self, b: usize) -> Self {
+        self.batch_hint = b.max(1);
+        self
+    }
+
+    /// Selects the kernel family.
+    pub fn backend(mut self, spec: BackendSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Threading policy (default [`Threading::Auto`]).
+    pub fn threading(mut self, threading: Threading) -> Self {
+        self.threading = threading;
+        self
+    }
+
+    /// SRAM budget for live lookup tables, in bytes.
+    pub fn lut_budget(mut self, bytes: usize) -> Self {
+        self.lut_budget = bytes;
+        self
+    }
+
+    /// Worker count assumed by [`Threading::Auto`] (default: the machine's
+    /// available parallelism).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Full `BiqConfig` override, bypassing the planner's µ/tile search
+    /// (expert knob; the config is still validated at build).
+    pub fn config(mut self, cfg: BiqConfig) -> Self {
+        self.cfg_override = Some(cfg);
+        self
+    }
+
+    /// Resolves the plan.
+    pub fn build(self) -> ExecutionPlan {
+        let cfg = match self.cfg_override {
+            Some(cfg) => {
+                cfg.validate();
+                cfg
+            }
+            None => plan_cfg(self.m, self.n, self.batch_hint, self.lut_budget),
+        };
+        let threads = self
+            .threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1));
+        let parallel = match self.threading {
+            Threading::Auto => recommend_parallel(self.m, self.batch_hint, threads),
+            Threading::Serial => false,
+            Threading::Parallel => true,
+        };
+        ExecutionPlan {
+            m: self.m,
+            n: self.n,
+            batch_hint: self.batch_hint,
+            spec: self.spec,
+            cfg,
+            threading: self.threading,
+            parallel,
+            scratch: scratch_spec(&cfg, self.batch_hint),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biqgemm_core::planner::SMALL_BATCH_SERIAL_MAX;
+
+    #[test]
+    fn defaults_follow_planner() {
+        let p = PlanBuilder::new(1024, 1024).batch_hint(32).threads(8).build();
+        assert_eq!(p.cfg.mu, 8, "paper's empirical µ for paper-sized shapes");
+        assert!(p.parallel, "large batch on many workers should parallelise");
+        assert!(p.lut_tile_bytes() <= DEFAULT_LUT_BUDGET_BYTES);
+    }
+
+    #[test]
+    fn small_batch_resolves_serial_under_auto() {
+        let p = PlanBuilder::new(4096, 4096).batch_hint(SMALL_BATCH_SERIAL_MAX).threads(16).build();
+        assert!(!p.parallel);
+        assert!(p.scratch.lut_bank_floats > 0);
+    }
+
+    #[test]
+    fn explicit_threading_wins_over_auto() {
+        let serial = PlanBuilder::new(4096, 4096)
+            .batch_hint(64)
+            .threads(16)
+            .threading(Threading::Serial)
+            .build();
+        assert!(!serial.parallel);
+        let par = PlanBuilder::new(64, 64).threading(Threading::Parallel).build();
+        assert!(par.parallel);
+    }
+
+    #[test]
+    fn config_override_is_validated_and_kept() {
+        let cfg = BiqConfig {
+            mu: 4,
+            tile_rows: 2,
+            tile_chunks: 2,
+            tile_batch: 2,
+            ..BiqConfig::default()
+        };
+        let p = PlanBuilder::new(16, 16).config(cfg).build();
+        assert_eq!(p.cfg.mu, 4);
+        assert_eq!(p.cfg.tile_rows, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_shape_rejected() {
+        let _ = PlanBuilder::new(0, 8);
+    }
+}

@@ -1,0 +1,136 @@
+//! Arena-reuse guarantee: once the executor has run a serial plan once, a
+//! repeat run performs **zero heap allocation** — measured with a counting
+//! global allocator, not inferred.
+//!
+//! This is the acceptance gate for the plan/executor refactor: the seed's
+//! per-call `LutBank`, accumulator and DP-step allocations are gone from
+//! the steady state of small-batch (`b ≤ 8`) inference, the paper's target
+//! serving regime.
+
+use biq_matrix::MatrixRng;
+use biq_runtime::{
+    compile, BackendSpec, Executor, PlanBuilder, QuantMethod, Threading, WeightSource,
+};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every allocation made through the global allocator.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static A: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn serial_small_batch_steady_state_allocates_nothing() {
+    // The paper's serving regime: small batch against a large-ish matrix.
+    for b in [1usize, 4, 8] {
+        let mut g = MatrixRng::seed_from(0xa0 + b as u64);
+        let (m, n) = (256, 512);
+        let signs = g.signs(m, n);
+        let x = g.small_int_col(n, b, 3);
+        let plan = PlanBuilder::new(m, n)
+            .batch_hint(b)
+            .backend(BackendSpec::Biq { bits: 1, method: QuantMethod::Greedy })
+            .threading(Threading::Serial)
+            .build();
+        let op = compile(&plan, WeightSource::Signs(&signs));
+        let mut exec = Executor::warmed_for(&op);
+        let mut y = vec![0.0f32; m * b];
+
+        // First run may still touch the allocator in theory; it is the
+        // warm-up. Steady state starts at run two.
+        exec.run_into(&op, &x, &mut y);
+        let before = allocs();
+        for _ in 0..16 {
+            exec.run_into(&op, &x, &mut y);
+        }
+        let after = allocs();
+        assert_eq!(
+            after - before,
+            0,
+            "b = {b}: query phase allocated {} times in 16 steady-state runs",
+            after - before
+        );
+    }
+}
+
+#[test]
+fn warmed_executor_is_allocation_free_from_the_first_run() {
+    let mut g = MatrixRng::seed_from(0xa9);
+    let (m, n, b) = (128, 384, 4);
+    let signs = g.signs(m, n);
+    let x = g.small_int_col(n, b, 3);
+    let plan = PlanBuilder::new(m, n)
+        .batch_hint(b)
+        .backend(BackendSpec::Biq { bits: 1, method: QuantMethod::Greedy })
+        .threading(Threading::Serial)
+        .build();
+    let op = compile(&plan, WeightSource::Signs(&signs));
+    let mut exec = Executor::warmed_for(&op);
+    let mut y = vec![0.0f32; m * b];
+    let before = allocs();
+    exec.run_into(&op, &x, &mut y);
+    let after = allocs();
+    assert_eq!(after - before, 0, "warmed first run allocated {} times", after - before);
+}
+
+#[test]
+fn fp32_blocked_steady_state_allocates_nothing() {
+    // The dense serving path shares the arena's pack panel.
+    let mut g = MatrixRng::seed_from(0xaa);
+    let (m, n, b) = (128, 256, 6);
+    let w = g.gaussian(m, n, 0.0, 1.0);
+    let x = g.gaussian_col(n, b, 0.0, 1.0);
+    let plan = PlanBuilder::new(m, n)
+        .batch_hint(b)
+        .backend(BackendSpec::Fp32Blocked)
+        .threading(Threading::Serial)
+        .build();
+    let op = compile(&plan, WeightSource::Dense(&w));
+    let mut exec = Executor::warmed_for(&op);
+    let mut y = vec![0.0f32; m * b];
+    exec.run_into(&op, &x, &mut y);
+    let before = allocs();
+    for _ in 0..8 {
+        exec.run_into(&op, &x, &mut y);
+    }
+    assert_eq!(allocs() - before, 0, "blocked fp32 steady state allocated");
+}
+
+#[test]
+fn deprecated_one_shot_path_allocates_every_call() {
+    // Contrast case documenting what the refactor removed: the legacy
+    // facade builds a fresh arena (bank + accumulator) per call.
+    use biqgemm_core::{BiqConfig, BiqGemm};
+    let mut g = MatrixRng::seed_from(0xab);
+    let signs = g.signs(64, 128);
+    let x = g.small_int_col(128, 4, 3);
+    let engine = BiqGemm::from_signs(&signs, BiqConfig::default());
+    let _ = engine.matmul(&x); // warm anything warmable
+    let before = allocs();
+    let _ = engine.matmul(&x);
+    let per_call = allocs() - before;
+    assert!(per_call > 0, "one-shot path unexpectedly allocation-free");
+}

@@ -5,12 +5,12 @@
 //!
 //! Run with: `cargo run --release --example cnn_inference`
 
+use biqgemm_repro::biq_matrix::ColMatrix;
 use biqgemm_repro::biq_matrix::MatrixRng;
 use biqgemm_repro::biq_nn::conv::{Conv2d, ConvShape, FeatureMap};
 use biqgemm_repro::biq_nn::linear::{Linear, QuantMethod};
 use biqgemm_repro::biq_nn::pooling::{global_avg_pool, max_pool2d, relu_inplace};
 use biqgemm_repro::biq_nn::transformer::LayerBackend;
-use biqgemm_repro::biq_matrix::ColMatrix;
 use biqgemm_repro::biq_quant::error_metrics::cosine_similarity;
 use biqgemm_repro::biqgemm_core::BiqConfig;
 use std::time::Instant;
@@ -85,8 +85,16 @@ fn main() {
     let top = |v: &[f32]| -> usize {
         v.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0
     };
-    println!("fp32 forward:    {:>7.2} ms, argmax class {}", t_fp.as_secs_f64() * 1e3, top(&logits_fp));
-    println!("BiQGEMM 2-bit:   {:>7.2} ms, argmax class {}", t_biq.as_secs_f64() * 1e3, top(&logits_biq));
+    println!(
+        "fp32 forward:    {:>7.2} ms, argmax class {}",
+        t_fp.as_secs_f64() * 1e3,
+        top(&logits_fp)
+    );
+    println!(
+        "BiQGEMM 2-bit:   {:>7.2} ms, argmax class {}",
+        t_biq.as_secs_f64() * 1e3,
+        top(&logits_biq)
+    );
     println!(
         "logit cosine similarity: {:.4}   speedup: {:.2}x",
         cosine_similarity(&logits_biq, &logits_fp),

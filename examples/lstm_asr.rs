@@ -61,8 +61,6 @@ fn main() {
         t_fp.as_secs_f64() / t_biq.as_secs_f64(),
         cosine_similarity(y_biq[last].as_slice(), y_fp[last].as_slice())
     );
-    println!(
-        "\nNote: batch = 1 streaming inference is the paper's headline regime — GEMV is"
-    );
+    println!("\nNote: batch = 1 streaming inference is the paper's headline regime — GEMV is");
     println!("memory-bound, so replacing weight traffic with µ-bit keys pays off most here.");
 }

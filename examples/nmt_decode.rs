@@ -51,8 +51,18 @@ fn main() {
     let out_biq = biq.greedy_decode(&src, max_len);
     let t_biq = t0.elapsed();
 
-    println!("fp32 decode:    {:>8.2} ms -> {} tokens {:?}", t_fp.as_secs_f64() * 1e3, out_fp.len(), &out_fp[..out_fp.len().min(8)]);
-    println!("BiQGEMM decode: {:>8.2} ms -> {} tokens {:?}", t_biq.as_secs_f64() * 1e3, out_biq.len(), &out_biq[..out_biq.len().min(8)]);
+    println!(
+        "fp32 decode:    {:>8.2} ms -> {} tokens {:?}",
+        t_fp.as_secs_f64() * 1e3,
+        out_fp.len(),
+        &out_fp[..out_fp.len().min(8)]
+    );
+    println!(
+        "BiQGEMM decode: {:>8.2} ms -> {} tokens {:?}",
+        t_biq.as_secs_f64() * 1e3,
+        out_biq.len(),
+        &out_biq[..out_biq.len().min(8)]
+    );
     println!("decode-loop speedup: {:.2}x", t_fp.as_secs_f64() / t_biq.as_secs_f64());
 
     // The vocab projection alone, at decode batch 1 — the paper's GEMV case.

@@ -8,6 +8,8 @@
 //! * [`biq_quant`] — binary-coding / uniform quantizers and bit packing
 //! * [`biq_gemm`] — dense & quantized baseline kernels (naive, blocked, XNOR)
 //! * [`biqgemm_core`] — the BiQGEMM lookup-table matrix-multiplication engine
+//! * [`biq_runtime`] — the plan/executor runtime unifying every GEMM path
+//!   behind reusable LUT arenas
 //! * [`biq_nn`] — NN layers (Linear/Attention/Transformer/LSTM) with pluggable
 //!   matmul backends
 
@@ -15,4 +17,5 @@ pub use biq_gemm;
 pub use biq_matrix;
 pub use biq_nn;
 pub use biq_quant;
+pub use biq_runtime;
 pub use biqgemm_core;

@@ -4,7 +4,9 @@
 //! encodings at every position; decodes run inside `catch_unwind` so a panic
 //! is reported as a test failure with the offending mutation.
 
-use biqgemm_repro::biq_matrix::io::{decode_matrix, decode_sign_matrix, encode_matrix, encode_sign_matrix};
+use biqgemm_repro::biq_matrix::io::{
+    decode_matrix, decode_sign_matrix, encode_matrix, encode_sign_matrix,
+};
 use biqgemm_repro::biq_matrix::MatrixRng;
 use biqgemm_repro::biq_quant::serialize::{
     decode_key_matrix, decode_multibit, encode_key_matrix, encode_multibit,
@@ -14,7 +16,11 @@ use biqgemm_repro::biqgemm_core::serialize::{decode_weights, encode_weights};
 use biqgemm_repro::biqgemm_core::BiqWeights;
 use bytes::Bytes;
 
-fn check_no_panic<T, E>(name: &str, decode: impl Fn(Vec<u8>) -> Result<T, E> + std::panic::RefUnwindSafe, valid: &[u8]) {
+fn check_no_panic<T, E>(
+    name: &str,
+    decode: impl Fn(Vec<u8>) -> Result<T, E> + std::panic::RefUnwindSafe,
+    valid: &[u8],
+) {
     // Truncations at every prefix length.
     for cut in 0..valid.len() {
         let data = valid[..cut].to_vec();

@@ -4,8 +4,8 @@
 
 use biqgemm_repro::biq_gemm::gemm_naive;
 use biqgemm_repro::biq_matrix::{ColMatrix, SignMatrix};
-use biqgemm_repro::biq_quant::packing::KeyMatrix;
 use biqgemm_repro::biq_quant::greedy_quantize_vector;
+use biqgemm_repro::biq_quant::packing::KeyMatrix;
 use biqgemm_repro::biqgemm_core::lut::{build_lut_bruteforce, build_lut_dp};
 use biqgemm_repro::biqgemm_core::{BiqConfig, BiqGemm};
 use proptest::prelude::*;
