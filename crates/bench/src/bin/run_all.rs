@@ -177,6 +177,33 @@ fn main() {
         );
     }
 
+    // Serving-layer record: the `biq` binary's serve-bench replays
+    // open-loop single-column traffic through `biq_serve`, unbatched vs
+    // batched, and writes results/BENCH_serve.json next to the kernel
+    // record above.
+    print!("running serve-bench ... ");
+    std::io::stdout().flush().ok();
+    let mut serve_args: Vec<String> =
+        vec!["serve-bench".into(), "--out".into(), "results/BENCH_serve.json".into()];
+    if a.quick {
+        serve_args.push("--quick".into());
+    }
+    match Command::new(exe_dir.join("biq")).args(&serve_args).output() {
+        Ok(o) if o.status.success() => {
+            println!("ok -> results/BENCH_serve.json");
+            print!("{}", String::from_utf8_lossy(&o.stdout));
+        }
+        Ok(o) => {
+            failures += 1;
+            println!("FAILED (exit {:?})", o.status.code());
+            eprintln!("{}", String::from_utf8_lossy(&o.stderr));
+        }
+        Err(e) => {
+            failures += 1;
+            println!("FAILED to launch: {e} (build with `cargo build --release -p biq_cli` first)");
+        }
+    }
+
     if failures > 0 {
         std::process::exit(1);
     }

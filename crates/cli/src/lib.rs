@@ -9,10 +9,13 @@
 //! biq pack   --mu U in.biqq out.biqw                    # key matrix + scales
 //! biq matmul --weights w.biqw --input x.biqm --output y.biqm
 //! biq info   file                                       # describe any artifact
+//! biq serve-bench [--requests R] [--out results/BENCH_serve.json]
 //! ```
 //!
 //! Commands are implemented as pure functions over paths so tests can drive
-//! them without spawning processes.
+//! them without spawning processes. `serve-bench` (in [`serve_bench`])
+//! drives the `biq_serve` batching layer with synthetic open-loop traffic
+//! and records throughput/latency per batching mode.
 
 use biq_matrix::io as mio;
 use biq_matrix::{ColMatrix, Matrix, MatrixRng};
@@ -27,6 +30,9 @@ use bytes::Bytes;
 use std::fmt;
 use std::fs::File;
 use std::path::Path;
+
+pub mod serve_bench;
+pub use serve_bench::{cmd_serve_bench, ServeBenchConfig, ServeBenchRow};
 
 /// CLI-level errors (message-oriented; the binary prints and exits 1).
 #[derive(Debug)]

@@ -1,8 +1,12 @@
 //! `biq` — the BiQGEMM deployment pipeline on files. See `biq help`.
 
-use biq_cli::{cmd_gen, cmd_info, cmd_matmul, cmd_pack, cmd_quantize, CliError};
+use biq_cli::{
+    cmd_gen, cmd_info, cmd_matmul, cmd_pack, cmd_quantize, cmd_serve_bench, CliError,
+    ServeBenchConfig,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 const HELP: &str = "\
 biq — BiQGEMM artifact pipeline
@@ -13,12 +17,19 @@ USAGE:
   biq pack     --mu U IN OUT
   biq matmul   --weights W --input X --output Y [--parallel]
   biq info     FILE
+  biq serve-bench [--rows M] [--cols N] [--requests R] [--workers W]
+                  [--window-us U] [--max-batch B] [--gap-us G] [--quick]
+                  [--out PATH]
   biq help
 
 ARTIFACTS:
   .biqm  dense matrix (row-major weights / col-major activations)
   .biqq  multi-bit binary-coding quantized matrix
   .biqw  packed BiQGEMM weights (key matrix + per-row scales)
+
+serve-bench replays synthetic open-loop single-column traffic against the
+biq_serve batching layer, unbatched vs batched, and writes the
+throughput/latency record (default results/BENCH_serve.json).
 ";
 
 struct Args {
@@ -106,6 +117,54 @@ fn run() -> Result<(), CliError> {
         "info" => {
             let path = positional_path(&args, 0, "file path")?;
             println!("{}", cmd_info(&path)?);
+        }
+        "serve-bench" => {
+            let mut cfg = ServeBenchConfig::default();
+            if args.has("quick") {
+                cfg.requests = 400;
+            }
+            if args.has("rows") {
+                cfg.rows = args.usize_flag("rows")?;
+            }
+            if args.has("cols") {
+                cfg.cols = args.usize_flag("cols")?;
+            }
+            if args.has("requests") {
+                cfg.requests = args.usize_flag("requests")?;
+            }
+            if args.has("workers") {
+                cfg.workers = args.usize_flag("workers")?.max(1);
+            }
+            if args.has("window-us") {
+                cfg.window = Duration::from_micros(args.usize_flag("window-us")? as u64);
+            }
+            if args.has("max-batch") {
+                cfg.max_batch_cols = args.usize_flag("max-batch")?.max(1);
+            }
+            if args.has("gap-us") {
+                cfg.gap = Duration::from_micros(args.usize_flag("gap-us")? as u64);
+            }
+            let out = args
+                .flag("out")
+                .map(PathBuf::from)
+                .unwrap_or_else(|| PathBuf::from("results/BENCH_serve.json"));
+            let rows = cmd_serve_bench(&cfg, &out)?;
+            for r in &rows {
+                println!(
+                    "{:>9}: {:.0} req/s, p50 {} us, p99 {} us, mean batch {:.2} cols \
+                     (window {} us, cap {}, {} workers)",
+                    r.mode,
+                    r.throughput_rps,
+                    r.p50_us,
+                    r.p99_us,
+                    r.mean_batch_cols,
+                    r.window_us,
+                    r.max_batch_cols,
+                    r.workers
+                );
+            }
+            let speedup = rows[1].throughput_rps / rows[0].throughput_rps.max(1e-9);
+            println!("batched/unbatched throughput: {speedup:.2}x -> {}", out.display());
         }
         "help" | "--help" | "-h" => println!("{HELP}"),
         other => return Err(CliError(format!("unknown command '{other}'\n\n{HELP}"))),

@@ -1,0 +1,205 @@
+//! `biq serve-bench`: replays synthetic open-loop traffic against a live
+//! `biq_serve::Server` and records throughput/latency per batching mode.
+//!
+//! The experiment pins the paper's amortisation argument at the system
+//! level: a stream of single-column queries against one 512×512 1-bit
+//! operator, served once with batching disabled (`max_batch_cols = 1`,
+//! every request pays its own LUT build) and once with a batch window
+//! (`max_batch_cols ≥ 4`, one build amortised across the packed bucket).
+//! Results append to `results/BENCH_serve.json`.
+
+use crate::CliError;
+use biq_matrix::{ColMatrix, MatrixRng};
+use biq_runtime::{BackendSpec, PlanBuilder, QuantMethod, Threading, WeightSource};
+use biq_serve::{ModelRegistry, Server, ServerConfig};
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// Parameters of one serve-bench run.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeBenchConfig {
+    /// Weight rows `m`.
+    pub rows: usize,
+    /// Weight cols `n`.
+    pub cols: usize,
+    /// Number of single-column requests to replay per mode.
+    pub requests: usize,
+    /// Worker threads per server.
+    pub workers: usize,
+    /// Batch window for the batched mode.
+    pub window: Duration,
+    /// Packed-width cap for the batched mode.
+    pub max_batch_cols: usize,
+    /// Pause between submissions (0 = saturate).
+    pub gap: Duration,
+}
+
+impl Default for ServeBenchConfig {
+    fn default() -> Self {
+        Self {
+            rows: 512,
+            cols: 512,
+            requests: 2000,
+            workers: 2,
+            window: Duration::from_micros(200),
+            max_batch_cols: 16,
+            gap: Duration::ZERO,
+        }
+    }
+}
+
+/// Measured outcome of one mode.
+#[derive(Clone, Debug)]
+pub struct ServeBenchRow {
+    /// `"unbatched"` or `"batched"`.
+    pub mode: &'static str,
+    /// Requests served.
+    pub requests: usize,
+    /// Window used (µs).
+    pub window_us: u128,
+    /// Packed-width cap used.
+    pub max_batch_cols: usize,
+    /// Worker threads.
+    pub workers: usize,
+    /// Completed requests per second over the replay makespan.
+    pub throughput_rps: f64,
+    /// Median submit→reply latency (µs).
+    pub p50_us: u128,
+    /// 99th-percentile submit→reply latency (µs).
+    pub p99_us: u128,
+    /// Mean packed batch width the batcher achieved.
+    pub mean_batch_cols: f64,
+}
+
+/// Replays `cfg.requests` single-column queries against a fresh server in
+/// the given batching mode and reports the measured row.
+fn replay(cfg: &ServeBenchConfig, batched: bool) -> Result<ServeBenchRow, CliError> {
+    let mut g = MatrixRng::seed_from(0x5e7e);
+    let signs = g.signs(cfg.rows, cfg.cols);
+    let (window, max_cols) =
+        if batched { (cfg.window, cfg.max_batch_cols) } else { (Duration::ZERO, 1) };
+    let plan = PlanBuilder::new(cfg.rows, cfg.cols)
+        .batch_hint(max_cols)
+        .backend(BackendSpec::Biq { bits: 1, method: QuantMethod::Greedy })
+        .threading(Threading::Serial)
+        .build();
+    let mut registry = ModelRegistry::new();
+    let op = registry.register("serve_bench", &plan, WeightSource::Signs(&signs));
+    let server = Server::start(
+        registry,
+        ServerConfig {
+            workers: cfg.workers,
+            batch_window: window,
+            max_batch_cols: max_cols,
+            queue_capacity: cfg.requests.max(16),
+            job_capacity: (cfg.workers * 2).max(2),
+        },
+    );
+    let client = server.client();
+
+    // Pre-generate the open-loop trace so generation cost stays out of the
+    // measured makespan.
+    let trace: Vec<ColMatrix> =
+        (0..cfg.requests).map(|_| g.gaussian_col(cfg.cols, 1, 0.0, 1.0)).collect();
+
+    let t0 = Instant::now();
+    let mut tickets = Vec::with_capacity(trace.len());
+    for x in trace {
+        tickets.push(client.submit(op, x).map_err(|e| CliError(format!("submit failed: {e}")))?);
+        if !cfg.gap.is_zero() {
+            std::thread::sleep(cfg.gap);
+        }
+    }
+    for t in tickets {
+        t.wait().map_err(|e| CliError(format!("request failed: {e}")))?;
+    }
+    let makespan = t0.elapsed();
+    let snap = server.shutdown();
+    let op_stats = &snap.ops[0];
+    Ok(ServeBenchRow {
+        mode: if batched { "batched" } else { "unbatched" },
+        requests: cfg.requests,
+        window_us: window.as_micros(),
+        max_batch_cols: max_cols,
+        workers: cfg.workers,
+        throughput_rps: cfg.requests as f64 / makespan.as_secs_f64().max(1e-9),
+        p50_us: op_stats.latency_p50.as_micros(),
+        p99_us: op_stats.latency_p99.as_micros(),
+        mean_batch_cols: op_stats.mean_batch_cols,
+    })
+}
+
+fn render_json(cfg: &ServeBenchConfig, rows: &[ServeBenchRow]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "  {{\"mode\": \"{mode}\", \"m\": {m}, \"n\": {n}, \"b\": 1, ",
+                "\"requests\": {req}, \"workers\": {workers}, \"window_us\": {window}, ",
+                "\"max_batch_cols\": {cap}, \"throughput_rps\": {rps:.1}, ",
+                "\"latency_p50_us\": {p50}, \"latency_p99_us\": {p99}, ",
+                "\"mean_batch_cols\": {mean:.2}}}{comma}\n"
+            ),
+            mode = r.mode,
+            m = cfg.rows,
+            n = cfg.cols,
+            req = r.requests,
+            workers = r.workers,
+            window = r.window_us,
+            cap = r.max_batch_cols,
+            rps = r.throughput_rps,
+            p50 = r.p50_us,
+            p99 = r.p99_us,
+            mean = r.mean_batch_cols,
+            comma = if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// `biq serve-bench`: runs the unbatched and batched replays, writes the
+/// JSON record, and returns the measured rows (unbatched first).
+pub fn cmd_serve_bench(
+    cfg: &ServeBenchConfig,
+    out_path: &Path,
+) -> Result<Vec<ServeBenchRow>, CliError> {
+    let rows = vec![replay(cfg, false)?, replay(cfg, true)?];
+    if let Some(dir) = out_path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(out_path, render_json(cfg, &rows))?;
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_bench_smoke_writes_json_and_batches_win_shape() {
+        // Tiny smoke configuration: correctness of the plumbing, not perf
+        // (debug builds invert every speed relationship).
+        let cfg = ServeBenchConfig {
+            rows: 64,
+            cols: 64,
+            requests: 40,
+            workers: 2,
+            window: Duration::from_micros(100),
+            max_batch_cols: 8,
+            ..ServeBenchConfig::default()
+        };
+        let path = std::env::temp_dir().join("biq_serve_bench_smoke.json");
+        let rows = cmd_serve_bench(&cfg, &path).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].mode, "unbatched");
+        assert_eq!(rows[1].mode, "batched");
+        assert!((rows[0].mean_batch_cols - 1.0).abs() < f64::EPSILON);
+        assert!(rows.iter().all(|r| r.throughput_rps > 0.0));
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"mode\": \"batched\""), "{json}");
+        let _ = std::fs::remove_file(path);
+    }
+}

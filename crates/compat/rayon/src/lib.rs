@@ -87,12 +87,6 @@ where
     F: Fn(usize, I) + Sync,
 {
     let threads = current_num_threads().min(items.len()).max(1);
-    if threads <= 1 {
-        for (i, item) in items.into_iter().enumerate() {
-            f(i, item);
-        }
-        return;
-    }
     let slots: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
     let cursor = AtomicUsize::new(0);
     let f = &f;
@@ -114,15 +108,37 @@ where
     });
 }
 
+/// Runs `f(index, chunk)` over the chunks of `slice`. With one logical
+/// worker (or a single chunk) this is a plain serial loop that touches
+/// neither the allocator nor the thread spawner — the property the
+/// counting-allocator tests pin for steady-state runs under a 1-thread
+/// pool; otherwise chunks are collected and distributed over real threads.
+fn run_chunks<T, F>(slice: &mut [T], chunk_size: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_size > 0, "chunk size must be positive");
+    let n_chunks = slice.len().div_ceil(chunk_size);
+    if current_num_threads().min(n_chunks) <= 1 {
+        for (i, c) in slice.chunks_mut(chunk_size).enumerate() {
+            f(i, c);
+        }
+        return;
+    }
+    run_indexed(slice.chunks_mut(chunk_size).collect(), f);
+}
+
 /// Parallel iterator over disjoint mutable chunks of a slice.
 pub struct ParChunksMut<'a, T> {
-    chunks: Vec<&'a mut [T]>,
+    slice: &'a mut [T],
+    chunk_size: usize,
 }
 
 impl<'a, T: Send> ParChunksMut<'a, T> {
     /// Pairs every chunk with its index.
     pub fn enumerate(self) -> EnumerateParChunksMut<'a, T> {
-        EnumerateParChunksMut { chunks: self.chunks }
+        EnumerateParChunksMut { slice: self.slice, chunk_size: self.chunk_size }
     }
 
     /// Applies `f` to every chunk in parallel.
@@ -130,13 +146,14 @@ impl<'a, T: Send> ParChunksMut<'a, T> {
     where
         F: Fn(&mut [T]) + Sync,
     {
-        run_indexed(self.chunks, |_, c| f(c));
+        run_chunks(self.slice, self.chunk_size, |_, c| f(c));
     }
 }
 
 /// Enumerated variant of [`ParChunksMut`].
 pub struct EnumerateParChunksMut<'a, T> {
-    chunks: Vec<&'a mut [T]>,
+    slice: &'a mut [T],
+    chunk_size: usize,
 }
 
 impl<T: Send> EnumerateParChunksMut<'_, T> {
@@ -145,7 +162,7 @@ impl<T: Send> EnumerateParChunksMut<'_, T> {
     where
         F: Fn((usize, &mut [T])) + Sync,
     {
-        run_indexed(self.chunks, |i, c| f((i, c)));
+        run_chunks(self.slice, self.chunk_size, |i, c| f((i, c)));
     }
 }
 
@@ -162,7 +179,7 @@ pub trait ParallelSliceMut<T: Send> {
 impl<T: Send> ParallelSliceMut<T> for [T] {
     fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
         assert!(chunk_size > 0, "chunk size must be positive");
-        ParChunksMut { chunks: self.chunks_mut(chunk_size).collect() }
+        ParChunksMut { slice: self, chunk_size }
     }
 }
 

@@ -34,12 +34,15 @@
 //! `ExecutionPlan` (a thin layer over [`planner`]), `compile` it against
 //! weights, and run it against a reusable arena. Within this crate,
 //! [`arena::BiqArena`] owns the reusable scratch (LUT bank, batch
-//! accumulator, DP step vectors) and [`tiled::biqgemm_serial_into`] /
-//! [`parallel::biqgemm_parallel_into`] are the arena-threaded kernels every
-//! path funnels into. [`kernel::BiqGemm`] remains as a self-contained
-//! facade (one-shot arena per call); the old free functions
+//! accumulator, DP step vectors), [`parallel::ParallelArena`] pools
+//! per-worker copies of it for the rayon drivers, and
+//! [`tiled::biqgemm_serial_into`] /
+//! [`parallel::biqgemm_parallel_arena_into`] are the arena-threaded
+//! kernels every path funnels into. [`kernel::BiqGemm`] remains as a
+//! self-contained facade (one-shot arena per call); the old free functions
 //! `biqgemm_tiled` / `biqgemv_tiled` / `biqgemm_parallel` are deprecated
-//! shims over the same code path.
+//! shims over the same code path (their notes point at `biq_runtime` for
+//! repeat calls and `biq_serve` for concurrent traffic).
 //!
 //! ## Quick start
 //!
@@ -77,5 +80,6 @@ pub mod weights;
 pub use arena::BiqArena;
 pub use config::{BiqConfig, LutBuildMethod, LutLayout, Schedule};
 pub use kernel::BiqGemm;
+pub use parallel::ParallelArena;
 pub use profile::PhaseProfile;
 pub use weights::BiqWeights;

@@ -16,9 +16,21 @@
 //! Both produce bit-identical results to the serial kernel: per output
 //! element the accumulation order over (plane, chunk-tile, chunk) is
 //! unchanged — threads only partition *independent* output elements.
+//!
+//! ## Scratch ownership
+//!
+//! Every per-task buffer (LUT bank, accumulator, DP steps, key-row ranges)
+//! comes out of a [`ParallelArena`]: a pool of per-worker scratch slots plus
+//! one shared bank buffer for the [`Schedule::SharedLut`] build phase. A
+//! task checks a slot out for its lifetime, so two tasks never share a live
+//! table ("one lookup table cannot be implemented by coordinating more than
+//! two threads" — each table is built and read through exactly one slot at a
+//! time). Pools persist across calls — `biq_runtime::Arena` embeds one — so
+//! the parallel steady state reuses warm banks instead of allocating fresh
+//! ones per task, closing the gap the serial arena path already closed.
 
+use crate::arena::BiqArena;
 use crate::config::{BiqConfig, LutLayout, Schedule};
-use crate::layout::LutBank;
 use crate::profile::PhaseProfile;
 use crate::tiled::run_tiles;
 use crate::weights::BiqWeights;
@@ -26,27 +38,153 @@ use biq_matrix::reshape::ChunkedInput;
 use biq_matrix::view::tile_ranges;
 use biq_matrix::{ColMatrix, Matrix};
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// One worker's persistent scratch: the arena (LUT bank + accumulator) plus
+/// the small per-task vectors the drivers used to allocate inline.
+#[derive(Debug, Default)]
+pub(crate) struct WorkerScratch {
+    pub(crate) arena: BiqArena,
+    /// Key-row ranges of the current row block (one per weight plane).
+    pub(crate) ranges: Vec<(usize, usize)>,
+    /// DP step scratch for the SharedLut KeyMajor build phase.
+    pub(crate) steps: Vec<f32>,
+    /// Query accumulator for the SharedLut query phase.
+    pub(crate) acc: Vec<f32>,
+}
+
+/// A pool of per-worker scratch for the parallel BiQGEMM drivers.
+///
+/// Sized to the worker count at construction; tasks check slots out with a
+/// try-lock sweep (falling back to a round-robin blocking lock when more
+/// tasks than slots are momentarily live, which preserves correctness at
+/// the cost of brief queueing). All buffers grow monotonically and persist
+/// across calls, so steady-state parallel runs stop paying the per-task
+/// `LutBank` allocation the seed drivers performed.
+#[derive(Debug)]
+pub struct ParallelArena {
+    slots: Vec<Mutex<WorkerScratch>>,
+    rr: AtomicUsize,
+    /// SharedLut phase-1 bank, built once per (batch-tile × chunk-tile) and
+    /// then read by every query task.
+    shared_bank: Mutex<Vec<f32>>,
+}
+
+impl ParallelArena {
+    /// A pool with `workers` scratch slots (floored at 1).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        Self {
+            slots: (0..workers).map(|_| Mutex::new(WorkerScratch::default())).collect(),
+            rr: AtomicUsize::new(0),
+            shared_bank: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A pool sized to the current rayon worker count.
+    pub fn with_current_threads() -> Self {
+        Self::new(rayon::current_num_threads())
+    }
+
+    /// Number of scratch slots.
+    pub fn workers(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Pre-sizes every slot (and the shared bank) for runs of `cfg` at
+    /// batch `b` with `bits` weight planes, so even the first parallel run
+    /// draws no fresh allocations from inside the task bodies.
+    pub fn reserve(&mut self, cfg: &BiqConfig, bits: usize, b: usize) {
+        let nb = cfg.tile_batch.min(b.max(1));
+        for slot in &self.slots {
+            let mut s = slot.lock().expect("parallel arena slot poisoned");
+            s.arena.reserve(cfg, b);
+            // `Vec::reserve` is relative to `len`, so this guarantees
+            // capacity ≥ `bits` regardless of what earlier runs left behind.
+            let extra = bits.saturating_sub(s.ranges.len());
+            s.ranges.reserve(extra);
+            if s.steps.len() < cfg.mu * nb {
+                s.steps.resize(cfg.mu * nb, 0.0);
+            }
+            if s.acc.len() < nb {
+                s.acc.resize(nb, 0.0);
+            }
+        }
+        if cfg.schedule == Schedule::SharedLut {
+            let needed = cfg.tile_chunks * (1usize << cfg.mu) * nb;
+            let mut bank = self.shared_bank.lock().expect("shared bank poisoned");
+            if bank.len() < needed {
+                bank.resize(needed, 0.0);
+            }
+        }
+    }
+
+    /// Total bytes of lookup-table data resident across every slot.
+    pub fn resident_lut_bytes(&self) -> usize {
+        self.slots
+            .iter()
+            .map(|s| s.lock().expect("parallel arena slot poisoned").arena.resident_lut_bytes())
+            .sum()
+    }
+
+    /// Checks out one scratch slot for the duration of a task: a try-lock
+    /// sweep finds a free slot without blocking; when every slot is busy
+    /// (more live tasks than workers) the task queues on a round-robin
+    /// pick, which stays correct — just momentarily serialised.
+    pub(crate) fn checkout(&self) -> MutexGuard<'_, WorkerScratch> {
+        for slot in &self.slots {
+            if let Ok(guard) = slot.try_lock() {
+                return guard;
+            }
+        }
+        let i = self.rr.fetch_add(1, Ordering::Relaxed) % self.slots.len();
+        self.slots[i].lock().expect("parallel arena slot poisoned")
+    }
+}
+
+impl Default for ParallelArena {
+    fn default() -> Self {
+        Self::with_current_threads()
+    }
+}
 
 /// Parallel BiQGEMM into a caller-provided row-major `m × b` buffer,
-/// dispatching on `cfg.schedule`. `y` is zeroed before accumulation.
+/// dispatching on `cfg.schedule` and drawing all per-task scratch from
+/// `pool`. `y` is zeroed before accumulation.
 ///
-/// Unlike the serial arena path, per-task LUT banks are thread-local and
-/// allocated inside the drivers (each worker must own its tables — "one
-/// lookup table cannot be implemented by coordinating more than two
-/// threads"); the runtime planner therefore prefers the serial path for
-/// small batches, where allocation overhead is proportionally largest.
+/// This is the steady-state serving path: with a persistent pool (the
+/// runtime executor's arena embeds one) repeat runs at a warmed shape reuse
+/// every per-worker LUT bank instead of allocating per task.
 ///
 /// # Panics
 /// Panics on dimension mismatch, `y.len() != m·b`, or invalid config.
-pub fn biqgemm_parallel_into(w: &BiqWeights, x: &ColMatrix, cfg: &BiqConfig, y: &mut [f32]) {
+pub fn biqgemm_parallel_arena_into(
+    w: &BiqWeights,
+    x: &ColMatrix,
+    cfg: &BiqConfig,
+    pool: &ParallelArena,
+    y: &mut [f32],
+) {
     cfg.validate();
     assert_eq!(x.rows(), w.input_size(), "inner dimension mismatch");
     assert_eq!(y.len(), w.output_size() * x.cols(), "output buffer must hold m·b floats");
     y.fill(0.0);
     match cfg.schedule {
-        Schedule::RowParallel => row_parallel(w, x, cfg, y),
-        Schedule::SharedLut => shared_lut(w, x, cfg, y),
+        Schedule::RowParallel => row_parallel(w, x, cfg, pool, y),
+        Schedule::SharedLut => shared_lut(w, x, cfg, pool, y),
     }
+}
+
+/// Parallel BiQGEMM into a caller-provided buffer with a throwaway scratch
+/// pool. Prefer [`biqgemm_parallel_arena_into`] (or the `biq_runtime`
+/// executor, which owns a persistent pool) on repeat-call paths.
+///
+/// # Panics
+/// Panics on dimension mismatch, `y.len() != m·b`, or invalid config.
+pub fn biqgemm_parallel_into(w: &BiqWeights, x: &ColMatrix, cfg: &BiqConfig, y: &mut [f32]) {
+    let pool = ParallelArena::with_current_threads();
+    biqgemm_parallel_arena_into(w, x, cfg, &pool, y);
 }
 
 /// Parallel BiQGEMM, dispatching on `cfg.schedule`.
@@ -55,7 +193,8 @@ pub fn biqgemm_parallel_into(w: &BiqWeights, x: &ColMatrix, cfg: &BiqConfig, y: 
 /// Panics on dimension mismatch or invalid config.
 #[deprecated(
     since = "0.1.0",
-    note = "route through biq_runtime::Executor (or biqgemm_parallel_into) so outputs are reusable"
+    note = "route through biq_runtime::Executor for reusable outputs and persistent per-worker \
+            LUT arenas, or the biq_serve batching layer for concurrent serving traffic"
 )]
 pub fn biqgemm_parallel(w: &BiqWeights, x: &ColMatrix, cfg: &BiqConfig) -> Matrix {
     let mut y = Matrix::zeros(w.output_size(), x.cols());
@@ -70,7 +209,13 @@ fn rows_per_task(m: usize) -> usize {
     m.div_ceil(threads).max(16.min(m.max(1)))
 }
 
-fn row_parallel(w: &BiqWeights, x: &ColMatrix, cfg: &BiqConfig, y: &mut [f32]) {
+fn row_parallel(
+    w: &BiqWeights,
+    x: &ColMatrix,
+    cfg: &BiqConfig,
+    pool: &ParallelArena,
+    y: &mut [f32],
+) {
     let (m, b) = (w.output_size(), x.cols());
     if b == 0 {
         return;
@@ -80,17 +225,18 @@ fn row_parallel(w: &BiqWeights, x: &ColMatrix, cfg: &BiqConfig, y: &mut [f32]) {
     y.par_chunks_mut(rpt * b).enumerate().for_each(|(t, yblock)| {
         let row0 = t * rpt;
         let rows = yblock.len() / b;
-        let mut bank = LutBank::new(w.mu(), cfg.layout);
-        let mut acc = vec![0.0f32; cfg.tile_batch.min(b)];
+        let mut slot = pool.checkout();
+        let WorkerScratch { arena, ranges, .. } = &mut *slot;
         let mut profile = PhaseProfile::new();
         // Key rows for this block: every plane's copy of [row0, row0+rows).
-        let ranges: Vec<(usize, usize)> =
-            (0..bits).map(|p| (p * m + row0, p * m + row0 + rows)).collect();
-        run_tiles(w, x, cfg, &mut profile, &mut bank, &mut acc, &ranges, yblock, row0);
+        ranges.clear();
+        ranges.extend((0..bits).map(|p| (p * m + row0, p * m + row0 + rows)));
+        let (bank, acc) = arena.parts(w.mu(), cfg.layout, cfg.tile_batch.min(b));
+        run_tiles(w, x, cfg, &mut profile, bank, acc, ranges, yblock, row0);
     });
 }
 
-fn shared_lut(w: &BiqWeights, x: &ColMatrix, cfg: &BiqConfig, y: &mut [f32]) {
+fn shared_lut(w: &BiqWeights, x: &ColMatrix, cfg: &BiqConfig, pool: &ParallelArena, y: &mut [f32]) {
     let (m, b) = (w.output_size(), x.cols());
     if b == 0 {
         return;
@@ -100,16 +246,31 @@ fn shared_lut(w: &BiqWeights, x: &ColMatrix, cfg: &BiqConfig, y: &mut [f32]) {
     let keys = w.keys();
     let table = 1usize << w.mu();
     let rpt = rows_per_task(m);
+    // The shared bank buffer persists across tiles and calls; stale entries
+    // are harmless because every (chunk, key, batch) position a query reads
+    // is rewritten by this tile's build phase first.
+    let mut bank_buf = pool.shared_bank.lock().expect("shared bank poisoned");
     for (b0, nb) in tile_ranges(b, cfg.tile_batch) {
         for (c0, nc) in tile_ranges(chunks, cfg.tile_chunks) {
             // Phase 1: build the bank in parallel, one chunk per task
             // ("one lookup table cannot be implemented by coordinating more
             // than two threads" — each table is built by exactly one).
-            let mut bank = vec![0.0f32; nc * table * nb];
+            let needed = nc * table * nb;
+            if bank_buf.len() < needed {
+                bank_buf.resize(needed, 0.0);
+            }
+            let bank = &mut bank_buf[..needed];
             bank.par_chunks_mut(table * nb).enumerate().for_each(|(c, seg)| match cfg.layout {
                 LutLayout::KeyMajor => {
-                    let mut steps = Vec::new();
-                    crate::layout::fill_chunk_key_major_dp(seg, &mut steps, &input, c0 + c, b0, nb);
+                    let mut slot = pool.checkout();
+                    crate::layout::fill_chunk_key_major_dp(
+                        seg,
+                        &mut slot.steps,
+                        &input,
+                        c0 + c,
+                        b0,
+                        nb,
+                    );
                 }
                 LutLayout::BatchMajor => {
                     for a in 0..nb {
@@ -126,7 +287,11 @@ fn shared_lut(w: &BiqWeights, x: &ColMatrix, cfg: &BiqConfig, y: &mut [f32]) {
             y.par_chunks_mut(rpt * b).enumerate().for_each(|(t, yblock)| {
                 let row0 = t * rpt;
                 let rows = yblock.len() / b;
-                let mut acc = vec![0.0f32; nb];
+                let mut slot = pool.checkout();
+                if slot.acc.len() < nb {
+                    slot.acc.resize(nb, 0.0);
+                }
+                let acc = &mut slot.acc[..nb];
                 for p in 0..w.bits() {
                     for r in p * m + row0..p * m + row0 + rows {
                         let scale = w.scale(r);
@@ -138,9 +303,9 @@ fn shared_lut(w: &BiqWeights, x: &ColMatrix, cfg: &BiqConfig, y: &mut [f32]) {
                                 acc.fill(0.0);
                                 for (ci, &key) in krow.iter().enumerate() {
                                     let off = (ci * table + key as usize) * nb;
-                                    crate::simd::add_assign(&mut acc, &bank[off..off + nb], level);
+                                    crate::simd::add_assign(acc, &bank[off..off + nb], level);
                                 }
-                                crate::simd::axpy(&mut yblock[yoff..yoff + nb], scale, &acc, level);
+                                crate::simd::axpy(&mut yblock[yoff..yoff + nb], scale, acc, level);
                             }
                             LutLayout::BatchMajor => {
                                 let yrow = &mut yblock[yoff..yoff + nb];
@@ -259,5 +424,50 @@ mod tests {
             let y = biqgemm_parallel(&w, &x, &cfg);
             assert_eq!(y.shape(), (4, 0));
         }
+    }
+
+    #[test]
+    fn persistent_pool_reuses_across_calls_and_schedules() {
+        // One pool serves both schedules and repeated calls; results stay
+        // bit-identical to the serial kernel throughout.
+        let mut g = MatrixRng::seed_from(255);
+        let signs = g.signs(48, 72);
+        let x = g.small_int_col(72, 5, 2);
+        let w = BiqWeights::from_signs_unscaled(&signs, 8);
+        let mut pool = ParallelArena::new(4);
+        for schedule in [Schedule::RowParallel, Schedule::SharedLut, Schedule::RowParallel] {
+            let cfg = BiqConfig {
+                schedule,
+                tile_rows: 8,
+                tile_chunks: 2,
+                tile_batch: 3,
+                ..BiqConfig::default()
+            };
+            pool.reserve(&cfg, w.bits(), x.cols());
+            let mut y = vec![0.0f32; 48 * 5];
+            biqgemm_parallel_arena_into(&w, &x, &cfg, &pool, &mut y);
+            assert_eq!(y, serial(&w, &x, &cfg).as_slice(), "{schedule:?}");
+        }
+        assert!(pool.resident_lut_bytes() > 0, "row-parallel banks stay resident");
+    }
+
+    #[test]
+    fn pool_smaller_than_task_count_still_correct() {
+        // More row blocks than slots forces the round-robin fallback path.
+        let mut g = MatrixRng::seed_from(256);
+        let signs = g.signs(128, 64);
+        let x = g.small_int_col(64, 3, 2);
+        let w = BiqWeights::from_signs_unscaled(&signs, 8);
+        let pool = ParallelArena::new(1);
+        let cfg = BiqConfig {
+            schedule: Schedule::RowParallel,
+            tile_rows: 8,
+            tile_chunks: 2,
+            tile_batch: 2,
+            ..BiqConfig::default()
+        };
+        let mut y = vec![0.0f32; 128 * 3];
+        biqgemm_parallel_arena_into(&w, &x, &cfg, &pool, &mut y);
+        assert_eq!(y, serial(&w, &x, &cfg).as_slice());
     }
 }

@@ -63,7 +63,9 @@ pub fn biqgemm_serial_into(
 /// Panics if `x.rows() != w.input_size()` or the config is invalid.
 #[deprecated(
     since = "0.1.0",
-    note = "route through biq_runtime::Executor (or biqgemm_serial_into) so LUT arenas are reused"
+    note = "route through biq_runtime::Executor (or biqgemm_serial_into) so LUT arenas are \
+            reused; for concurrent traffic use the biq_serve batching layer, which amortises \
+            one LUT build across a whole request bucket"
 )]
 pub fn biqgemm_tiled(
     w: &BiqWeights,
@@ -159,7 +161,9 @@ pub(crate) fn run_tiles(
 /// Convenience single-vector entry point (`b = 1` GEMV).
 #[deprecated(
     since = "0.1.0",
-    note = "route through biq_runtime::Executor (or biqgemm_serial_into) so LUT arenas are reused"
+    note = "route through biq_runtime::Executor (or biqgemm_serial_into) so LUT arenas are \
+            reused; single-column GEMV traffic is exactly what biq_serve's batch window packs \
+            into shared-LUT-build batches"
 )]
 pub fn biqgemv_tiled(w: &BiqWeights, x: &[f32], cfg: &BiqConfig) -> Vec<f32> {
     let xm = ColMatrix::from_vec(x.len(), 1, x.to_vec());

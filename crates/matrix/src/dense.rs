@@ -305,6 +305,13 @@ impl ColMatrix {
     pub fn into_row_major_transposed(self) -> Matrix {
         Matrix { rows: self.cols, cols: self.rows, data: self.data }
     }
+
+    /// Consumes the matrix, returning the backing column-major buffer
+    /// (batching layers reclaim pack buffers this way instead of
+    /// reallocating per batch).
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
 }
 
 #[cfg(test)]

@@ -8,12 +8,19 @@
 //! sub-words of a sequence are processed "in a group manner" — i.e. sequence
 //! length plays the role of GEMM batch size.
 //!
-//! The only compute-bearing primitive is [`linear::Linear`], which carries a
-//! pluggable [`linear::Backend`]: full-precision blocked GEMM, BiQGEMM over
-//! binary-coding quantized weights, or XNOR-popcount. Every composite layer
-//! (attention, Transformer encoder/decoder, LSTM) is backend-agnostic, so an
-//! entire model can be flipped from fp32 to quantized inference with one
-//! constructor argument — exactly the deployment story BiQGEMM targets.
+//! The only compute-bearing primitive is [`linear::Linear`], a compiled
+//! runtime op with a pluggable kernel family: full-precision blocked GEMM,
+//! BiQGEMM over binary-coding quantized weights, XNOR-popcount, or INT8.
+//! Every composite layer (attention, Transformer encoder/decoder, LSTM) is
+//! backend-agnostic, so an entire model can be flipped from fp32 to
+//! quantized inference with one constructor argument — exactly the
+//! deployment story BiQGEMM targets.
+//!
+//! For concurrent serving traffic, a model's layers route through the
+//! `biq_serve` batching layer instead of their private executors:
+//! [`linear::Linear::compiled_op`] hands the layer's packed weights to a
+//! `ModelRegistry` (`register_linear`), and the server packs concurrent
+//! single-column requests so one LUT build serves a whole bucket.
 
 pub mod activations;
 pub mod attention;

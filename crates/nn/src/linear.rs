@@ -188,6 +188,15 @@ impl Linear {
         &self.exec
     }
 
+    /// The layer's compiled op, shared by reference count — the handle a
+    /// serving layer registers (`biq_serve::ModelRegistry::register_linear`)
+    /// so batched traffic runs against the same packed weights this layer
+    /// forwards through. The op computes `W·X` only; bias stays with the
+    /// layer.
+    pub fn compiled_op(&self) -> Arc<CompiledOp> {
+        Arc::clone(&self.op)
+    }
+
     /// `Y = W·X (+ bias)`, activations column-major `in × batch`, output
     /// column-major `out × batch`.
     ///

@@ -7,7 +7,7 @@
 //! the allocator.
 
 use biqgemm_core::planner::ScratchSpec;
-use biqgemm_core::{BiqArena, BiqConfig};
+use biqgemm_core::{BiqArena, BiqConfig, ParallelArena};
 
 /// Reusable scratch shared by all [`crate::GemmBackend`] implementations.
 #[derive(Debug, Default)]
@@ -16,6 +16,9 @@ pub struct Arena {
     pub(crate) biq: BiqArena,
     /// Row-major input-pack panel for the blocked dense kernels.
     pub(crate) pack: Vec<f32>,
+    /// Per-worker scratch pool for the parallel BiQGEMM drivers, created on
+    /// first parallel run (sized to the rayon worker count at that moment).
+    pub(crate) par: Option<ParallelArena>,
 }
 
 impl Arena {
@@ -39,9 +42,23 @@ impl Arena {
         }
     }
 
-    /// Bytes of lookup-table data currently resident.
+    /// Pre-grows every per-worker slot of the parallel scratch pool for
+    /// runs of `cfg` at batch `b` over `bits` weight planes.
+    pub fn warm_parallel(&mut self, cfg: &BiqConfig, bits: usize, b: usize) {
+        self.par_pool().reserve(cfg, bits, b);
+    }
+
+    /// The parallel scratch pool, created lazily so arenas that only ever
+    /// run serial plans never pay for the slots.
+    pub(crate) fn par_pool(&mut self) -> &mut ParallelArena {
+        self.par.get_or_insert_with(ParallelArena::with_current_threads)
+    }
+
+    /// Bytes of lookup-table data currently resident (serial bank plus
+    /// every per-worker parallel bank).
     pub fn resident_lut_bytes(&self) -> usize {
         self.biq.resident_lut_bytes()
+            + self.par.as_ref().map_or(0, ParallelArena::resident_lut_bytes)
     }
 
     /// Bytes of the dense input-pack panel.

@@ -16,7 +16,7 @@ use biq_gemm::{gemm_blocked_into, gemm_naive_into, par_gemm_blocked_into};
 use biq_matrix::{ColMatrix, Matrix, SignMatrix};
 use biq_quant::alternating::alternating_quantize_matrix_rowwise;
 use biq_quant::{greedy_quantize_matrix_rowwise, MultiBitMatrix};
-use biqgemm_core::parallel::biqgemm_parallel_into;
+use biqgemm_core::parallel::biqgemm_parallel_arena_into;
 use biqgemm_core::tiled::biqgemm_serial_into;
 use biqgemm_core::{BiqConfig, BiqWeights, PhaseProfile};
 
@@ -195,7 +195,8 @@ impl GemmBackend for BiqBackend {
 
     fn execute(&self, x: &ColMatrix, arena: &mut Arena, profile: &mut PhaseProfile, y: &mut [f32]) {
         if self.parallel {
-            profile.time_query(|| biqgemm_parallel_into(&self.w, x, &self.cfg, y));
+            let pool = arena.par_pool();
+            profile.time_query(|| biqgemm_parallel_arena_into(&self.w, x, &self.cfg, pool, y));
         } else {
             biqgemm_serial_into(&self.w, x, &self.cfg, profile, &mut arena.biq, y);
         }

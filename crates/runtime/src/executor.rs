@@ -39,21 +39,33 @@ impl Executor {
     /// buffers the op's backend family actually draws (LUT scratch for
     /// BiQGEMM plans, the pack panel for blocked dense plans).
     pub fn warm(&mut self, op: &CompiledOp) {
+        self.warm_batch(op, op.plan().batch_hint);
+    }
+
+    /// Like [`Executor::warm`] but provisioning for batch `b` instead of
+    /// the plan's hint. Serving layers warm each worker to the largest
+    /// batch the batcher may pack so even the first full-window batch is
+    /// allocation-free.
+    pub fn warm_batch(&mut self, op: &CompiledOp, b: usize) {
         let plan = op.plan();
         match plan.spec {
-            // Parallel BiQGEMM plans use per-task banks inside the rayon
-            // drivers, not the arena — warming would strand a full LUT bank.
-            crate::plan::BackendSpec::Biq { .. } if !plan.parallel => {
-                let provisioned = self.arena.warm_biq(&plan.cfg, plan.batch_hint);
-                debug_assert_eq!(
-                    provisioned, plan.scratch,
-                    "plan.scratch out of sync with the arena's provisioning"
-                );
+            crate::plan::BackendSpec::Biq { bits, .. } => {
+                if plan.parallel {
+                    // Parallel plans draw per-worker banks from the pooled
+                    // scratch slots instead of the serial arena.
+                    self.arena.warm_parallel(&plan.cfg, bits, b);
+                } else {
+                    let provisioned = self.arena.warm_biq(&plan.cfg, b);
+                    debug_assert!(
+                        b != plan.batch_hint || provisioned == plan.scratch,
+                        "plan.scratch out of sync with the arena's provisioning"
+                    );
+                }
             }
             crate::plan::BackendSpec::Fp32Blocked => {
-                self.arena.warm_pack(plan.n, plan.batch_hint);
+                self.arena.warm_pack(plan.n, b);
             }
-            // Naive, int8, xnor (and parallel Biq) draw nothing here.
+            // Naive, int8, xnor draw nothing here.
             _ => {}
         }
     }
@@ -108,6 +120,18 @@ impl Executor {
 /// uncontended in the workspace's forward passes (one thread walks the
 /// layers; kernels parallelise internally) and its cost is noise next to a
 /// matmul.
+///
+/// # Contention hazard
+///
+/// The mutex serialises **every** run through the handle: N threads
+/// hammering one `SharedExecutor` time-slice a single arena and get no
+/// concurrency at all — each caller blocks for the full duration of every
+/// other caller's matmul. This is by design (one arena, one run at a time),
+/// but it makes a shared handle the wrong tool for concurrent traffic. The
+/// sanctioned concurrent path is one **owned** [`Executor`] per worker
+/// thread, which is exactly what the `biq_serve` worker pool does; use
+/// [`SharedExecutor::try_run`] when a caller would rather fail fast (and,
+/// say, fall back to a private executor) than queue on the lock.
 #[derive(Clone, Debug, Default)]
 pub struct SharedExecutor(Arc<Mutex<Executor>>);
 
@@ -123,6 +147,21 @@ impl SharedExecutor {
     /// Panics if the executor lock was poisoned by a panicking run.
     pub fn run(&self, op: &CompiledOp, x: &ColMatrix) -> Matrix {
         self.lock().run(op, x)
+    }
+
+    /// Non-blocking [`SharedExecutor::run`]: returns `None` without
+    /// computing anything when another thread currently holds the
+    /// executor, instead of queueing on the lock (see the contention
+    /// hazard note on this type).
+    ///
+    /// # Panics
+    /// Panics if the executor lock was poisoned by a panicking run.
+    pub fn try_run(&self, op: &CompiledOp, x: &ColMatrix) -> Option<Matrix> {
+        match self.0.try_lock() {
+            Ok(mut exec) => Some(exec.run(op, x)),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+            Err(std::sync::TryLockError::Poisoned(_)) => panic!("executor lock poisoned"),
+        }
     }
 
     /// Runs `op` into a caller buffer (see [`Executor::run_into`]).
@@ -203,6 +242,51 @@ mod tests {
         let _ = a.run(&op, &x);
         let _ = b.run(&op, &x);
         assert_eq!(a.runs(), 2, "clones share one executor");
+    }
+
+    #[test]
+    fn try_run_computes_when_uncontended_and_skips_when_held() {
+        let mut g = MatrixRng::seed_from(99);
+        let w = g.gaussian(8, 8, 0.0, 1.0);
+        let x = g.gaussian_col(8, 1, 0.0, 1.0);
+        let plan = PlanBuilder::new(8, 8).backend(BackendSpec::Fp32Naive).build();
+        let op = compile(&plan, WeightSource::Dense(&w));
+        let shared = SharedExecutor::new();
+        let direct = shared.run(&op, &x);
+        let tried = shared.try_run(&op, &x).expect("uncontended try_run must run");
+        assert_eq!(tried.as_slice(), direct.as_slice());
+        // Hold the lock on another thread; try_run must refuse, not queue.
+        let held = shared.clone();
+        let (locked_tx, locked_rx) = std::sync::mpsc::channel();
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        let holder = std::thread::spawn(move || {
+            let guard = held.0.lock().unwrap();
+            locked_tx.send(()).unwrap();
+            release_rx.recv().unwrap();
+            drop(guard);
+        });
+        locked_rx.recv().unwrap();
+        assert!(shared.try_run(&op, &x).is_none(), "contended try_run must not block");
+        release_tx.send(()).unwrap();
+        holder.join().unwrap();
+        assert_eq!(shared.runs(), 2, "the refused attempt must not count as a run");
+    }
+
+    #[test]
+    fn warm_batch_provisions_beyond_the_plan_hint() {
+        let mut g = MatrixRng::seed_from(100);
+        let signs = g.signs(64, 128);
+        let plan = PlanBuilder::new(64, 128)
+            .batch_hint(1)
+            .backend(BackendSpec::Biq { bits: 1, method: QuantMethod::Greedy })
+            .threading(biqgemm_core::planner::Threading::Serial)
+            .build();
+        let op = compile(&plan, WeightSource::Signs(&signs));
+        let mut exec = Executor::new();
+        exec.warm_batch(&op, 16);
+        let x = g.small_int_col(128, 16, 2);
+        let y = exec.run(&op, &x);
+        assert_eq!(y.shape(), (64, 16));
     }
 
     #[test]

@@ -120,6 +120,47 @@ fn fp32_blocked_steady_state_allocates_nothing() {
 }
 
 #[test]
+fn parallel_steady_state_allocates_nothing_per_worker() {
+    // The arena-aware parallel drivers draw every per-task buffer (LUT
+    // bank, accumulator, DP steps, key-row ranges) from the executor's
+    // persistent per-worker pool. Pinning the pool to one thread makes the
+    // rayon shim degrade to an inline loop with no thread spawns, so the
+    // counting allocator can observe the drivers' own behaviour: after
+    // warm-up, repeat parallel runs must not touch the heap at all.
+    use biqgemm_core::{BiqConfig, Schedule};
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+    pool.install(|| {
+        for schedule in [Schedule::RowParallel, Schedule::SharedLut] {
+            let mut g = MatrixRng::seed_from(0xb0 + schedule as u64);
+            let (m, n, b) = (256, 512, 16);
+            let signs = g.signs(m, n);
+            let x = g.small_int_col(n, b, 3);
+            let plan = PlanBuilder::new(m, n)
+                .batch_hint(b)
+                .backend(BackendSpec::Biq { bits: 1, method: QuantMethod::Greedy })
+                .config(BiqConfig { schedule, ..BiqConfig::default() })
+                .threading(Threading::Parallel)
+                .build();
+            let op = compile(&plan, WeightSource::Signs(&signs));
+            let mut exec = Executor::warmed_for(&op);
+            let mut y = vec![0.0f32; m * b];
+            exec.run_into(&op, &x, &mut y); // warm-up run
+            let before = allocs();
+            for _ in 0..8 {
+                exec.run_into(&op, &x, &mut y);
+            }
+            let after = allocs();
+            assert_eq!(
+                after - before,
+                0,
+                "{schedule:?}: parallel steady state allocated {} times in 8 runs",
+                after - before
+            );
+        }
+    });
+}
+
+#[test]
 fn deprecated_one_shot_path_allocates_every_call() {
     // Contrast case documenting what the refactor removed: the legacy
     // facade builds a fresh arena (bank + accumulator) per call.

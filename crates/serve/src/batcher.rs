@@ -1,0 +1,243 @@
+//! Window/bucket/pack policy — the pure core of the serving layer.
+//!
+//! The [`Batcher`] owns no threads and does no I/O: the server's batcher
+//! thread feeds it accepted requests and asks it what to flush, which keeps
+//! the policy unit-testable without spinning up workers.
+//!
+//! Policy: requests are bucketed by `(op, input rows)` — in practice by op,
+//! since shape validation at submit time already pins `rows` to the op's
+//! input size. A bucket flushes when either
+//!
+//! * its packed width reaches `max_cols` (size trigger, zero added
+//!   latency), or
+//! * its **oldest** request has waited `window` (time trigger, bounding the
+//!   latency cost of waiting for company).
+//!
+//! Flushing produces a [`BatchJob`]: the requests whose columns a worker
+//! will pack side by side into one `ColMatrix`, run through a single
+//! executor pass — one LUT build amortised across every column, the
+//! paper's core win — and scatter back to per-request reply channels.
+
+use crate::registry::OpId;
+use biq_matrix::{ColMatrix, Matrix};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Errors a request can be answered with.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The bounded queue is full ([`crate::Client::try_submit`] only).
+    Busy,
+    /// The server no longer accepts requests.
+    ShuttingDown,
+    /// The op id does not belong to this server's registry.
+    UnknownOp,
+    /// The input's row count disagrees with the op's input size.
+    ShapeMismatch {
+        /// The op's input size `n`.
+        expected: usize,
+        /// The submitted row count.
+        got: usize,
+    },
+    /// The server dropped the request without answering (worker loss).
+    Canceled,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Busy => write!(f, "queue full"),
+            ServeError::ShuttingDown => write!(f, "server shutting down"),
+            ServeError::UnknownOp => write!(f, "unknown op id"),
+            ServeError::ShapeMismatch { expected, got } => {
+                write!(f, "input has {got} rows, op expects {expected}")
+            }
+            ServeError::Canceled => write!(f, "request canceled"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One accepted inference request, waiting in a bucket.
+#[derive(Debug)]
+pub(crate) struct Pending {
+    pub(crate) op: OpId,
+    pub(crate) x: ColMatrix,
+    pub(crate) reply: mpsc::Sender<Result<Matrix, ServeError>>,
+    pub(crate) enqueued: Instant,
+}
+
+/// A flushed bucket: requests a worker packs into one executor pass.
+#[derive(Debug)]
+pub(crate) struct BatchJob {
+    pub(crate) op: OpId,
+    pub(crate) requests: Vec<Pending>,
+    /// Total packed width (sum of request column counts).
+    pub(crate) cols: usize,
+}
+
+/// One op's open bucket.
+#[derive(Debug)]
+struct Bucket {
+    requests: Vec<Pending>,
+    cols: usize,
+    /// Enqueue time of the oldest request — the window anchor.
+    opened: Instant,
+}
+
+/// The window/bucket policy state: one open bucket per registered op.
+pub(crate) struct Batcher {
+    window: Duration,
+    max_cols: usize,
+    buckets: Vec<Option<Bucket>>,
+}
+
+impl Batcher {
+    pub(crate) fn new(num_ops: usize, window: Duration, max_cols: usize) -> Self {
+        Self { window, max_cols: max_cols.max(1), buckets: (0..num_ops).map(|_| None).collect() }
+    }
+
+    /// Accepts one request; returns a job when the size trigger fires.
+    ///
+    /// A request wider than `max_cols` on its own flushes immediately as a
+    /// single-request job (it cannot gain from waiting and must not stall
+    /// the bucket).
+    pub(crate) fn push(&mut self, p: Pending, now: Instant) -> Option<BatchJob> {
+        let op = p.op;
+        let cols = p.x.cols();
+        let slot = &mut self.buckets[op.0];
+        match slot {
+            None if cols >= self.max_cols => {
+                return Some(BatchJob { op, cols, requests: vec![p] });
+            }
+            None => {
+                *slot = Some(Bucket { requests: vec![p], cols, opened: now });
+            }
+            Some(bucket) => {
+                bucket.requests.push(p);
+                bucket.cols += cols;
+            }
+        }
+        if slot.as_ref().is_some_and(|b| b.cols >= self.max_cols) {
+            self.take(op)
+        } else {
+            None
+        }
+    }
+
+    /// Earliest moment any open bucket's window expires.
+    pub(crate) fn next_deadline(&self) -> Option<Instant> {
+        self.buckets.iter().flatten().map(|b| b.opened + self.window).min()
+    }
+
+    /// Flushes every bucket whose window has expired at `now`.
+    pub(crate) fn flush_expired(&mut self, now: Instant) -> Vec<BatchJob> {
+        let window = self.window;
+        let expired: Vec<OpId> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.as_ref().is_some_and(|b| b.opened + window <= now))
+            .map(|(i, _)| OpId(i))
+            .collect();
+        expired.into_iter().filter_map(|op| self.take(op)).collect()
+    }
+
+    /// Flushes everything (shutdown drain).
+    pub(crate) fn flush_all(&mut self) -> Vec<BatchJob> {
+        (0..self.buckets.len()).filter_map(|i| self.take(OpId(i))).collect()
+    }
+
+    /// Requests currently waiting in open buckets.
+    #[cfg(test)]
+    pub(crate) fn pending(&self) -> usize {
+        self.buckets.iter().flatten().map(|b| b.requests.len()).sum()
+    }
+
+    fn take(&mut self, op: OpId) -> Option<BatchJob> {
+        self.buckets[op.0].take().map(|b| BatchJob { op, requests: b.requests, cols: b.cols })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pending(
+        op: usize,
+        cols: usize,
+        now: Instant,
+    ) -> (Pending, mpsc::Receiver<Result<Matrix, ServeError>>) {
+        let (tx, rx) = mpsc::channel();
+        (Pending { op: OpId(op), x: ColMatrix::zeros(4, cols), reply: tx, enqueued: now }, rx)
+    }
+
+    #[test]
+    fn size_trigger_flushes_exactly_at_max_cols() {
+        let now = Instant::now();
+        let mut b = Batcher::new(1, Duration::from_millis(10), 4);
+        let mut rxs = Vec::new();
+        for i in 0..3 {
+            let (p, rx) = pending(0, 1, now);
+            rxs.push(rx);
+            assert!(b.push(p, now).is_none(), "push {i} must keep collecting");
+        }
+        let (p, rx) = pending(0, 1, now);
+        rxs.push(rx);
+        let job = b.push(p, now).expect("fourth column fires the size trigger");
+        assert_eq!(job.cols, 4);
+        assert_eq!(job.requests.len(), 4);
+        assert_eq!(b.pending(), 0);
+    }
+
+    #[test]
+    fn oversized_request_flushes_alone_without_stalling_the_bucket() {
+        let now = Instant::now();
+        let mut b = Batcher::new(1, Duration::from_millis(10), 4);
+        let (small, _rx1) = pending(0, 1, now);
+        assert!(b.push(small, now).is_none());
+        let (big, _rx2) = pending(0, 9, now);
+        let job = b.push(big, now).expect("bucket exceeds max_cols");
+        assert_eq!(job.cols, 10, "waiting small request rides along");
+        assert_eq!(b.pending(), 0);
+    }
+
+    #[test]
+    fn time_trigger_only_fires_per_bucket_window() {
+        let now = Instant::now();
+        let window = Duration::from_millis(5);
+        let mut b = Batcher::new(2, window, 64);
+        let (p0, _rx0) = pending(0, 1, now);
+        b.push(p0, now);
+        let later = now + Duration::from_millis(3);
+        let (p1, _rx1) = pending(1, 2, later);
+        b.push(p1, later);
+        assert_eq!(b.next_deadline(), Some(now + window), "oldest bucket anchors the deadline");
+        assert!(b.flush_expired(now + Duration::from_millis(4)).is_empty());
+        let jobs = b.flush_expired(now + window);
+        assert_eq!(jobs.len(), 1, "only op 0's window has passed");
+        assert_eq!(jobs[0].op, OpId(0));
+        assert_eq!(b.pending(), 1);
+        let jobs = b.flush_expired(later + window);
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].cols, 2);
+    }
+
+    #[test]
+    fn flush_all_drains_every_bucket() {
+        let now = Instant::now();
+        let mut b = Batcher::new(3, Duration::from_secs(1), 64);
+        let mut rxs = Vec::new();
+        for op in [0usize, 1, 1, 2] {
+            let (p, rx) = pending(op, 1, now);
+            rxs.push(rx);
+            assert!(b.push(p, now).is_none());
+        }
+        let jobs = b.flush_all();
+        assert_eq!(jobs.len(), 3);
+        assert_eq!(jobs.iter().map(|j| j.requests.len()).sum::<usize>(), 4);
+        assert_eq!(b.pending(), 0);
+        assert_eq!(b.next_deadline(), None);
+    }
+}

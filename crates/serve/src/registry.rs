@@ -1,0 +1,142 @@
+//! The catalogue of operators a server can run.
+//!
+//! Registration happens before [`crate::Server::start`]; every worker warms
+//! its private executor for every registered op at startup, so the first
+//! request against any op already finds provisioned arenas. Compiled ops
+//! are reference-counted — registering a layer that already exists (e.g.
+//! via [`ModelRegistry::register_linear`]) shares the packed weights
+//! instead of re-quantizing them.
+
+use biq_runtime::{compile, CompiledOp, ExecutionPlan, WeightSource};
+use std::sync::Arc;
+
+/// Stable identifier of a registered op (an index into the registry).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct OpId(pub(crate) usize);
+
+impl OpId {
+    /// The registry index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// One registered operator: a name for reporting plus the compiled op.
+#[derive(Debug)]
+pub struct RegisteredOp {
+    name: String,
+    op: Arc<CompiledOp>,
+}
+
+impl RegisteredOp {
+    /// The name given at registration.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The compiled op (shared with every worker).
+    pub fn op(&self) -> &Arc<CompiledOp> {
+        &self.op
+    }
+}
+
+/// The set of [`CompiledOp`]s a [`crate::Server`] serves.
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    ops: Vec<RegisteredOp>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compiles `plan` against `weights` (quantization/packing happens
+    /// here, once) and registers the result.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        plan: &ExecutionPlan,
+        weights: WeightSource<'_>,
+    ) -> OpId {
+        self.register_op(name, Arc::new(compile(plan, weights)))
+    }
+
+    /// Registers an already-compiled op, sharing its packed weights.
+    pub fn register_op(&mut self, name: impl Into<String>, op: Arc<CompiledOp>) -> OpId {
+        let id = OpId(self.ops.len());
+        self.ops.push(RegisteredOp { name: name.into(), op });
+        id
+    }
+
+    /// Registers the compiled op behind an `nn` layer, so a model's linear
+    /// layers route their matmuls through the server's batched path while
+    /// sharing the layer's packed weights. The server computes `W·X` only;
+    /// a layer bias (and activation) stays the caller's job, exactly as
+    /// with [`biq_runtime::Executor::run`].
+    pub fn register_linear(&mut self, name: impl Into<String>, layer: &biq_nn::Linear) -> OpId {
+        self.register_op(name, layer.compiled_op())
+    }
+
+    /// The op registered under `id`.
+    ///
+    /// # Panics
+    /// Panics when `id` did not come from this registry.
+    pub fn get(&self, id: OpId) -> &RegisteredOp {
+        &self.ops[id.0]
+    }
+
+    /// Finds an op id by registration name (first match).
+    pub fn lookup(&self, name: &str) -> Option<OpId> {
+        self.ops.iter().position(|o| o.name == name).map(OpId)
+    }
+
+    /// Number of registered ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Iterates over `(id, op)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (OpId, &RegisteredOp)> {
+        self.ops.iter().enumerate().map(|(i, o)| (OpId(i), o))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biq_matrix::MatrixRng;
+    use biq_runtime::{BackendSpec, PlanBuilder, QuantMethod};
+
+    #[test]
+    fn register_and_lookup() {
+        let mut g = MatrixRng::seed_from(1);
+        let signs = g.signs(8, 16);
+        let plan = PlanBuilder::new(8, 16)
+            .backend(BackendSpec::Biq { bits: 1, method: QuantMethod::Greedy })
+            .build();
+        let mut reg = ModelRegistry::new();
+        let id = reg.register("enc.q", &plan, WeightSource::Signs(&signs));
+        assert_eq!(reg.lookup("enc.q"), Some(id));
+        assert_eq!(reg.get(id).name(), "enc.q");
+        assert_eq!(reg.get(id).op().output_size(), 8);
+        assert_eq!(reg.len(), 1);
+        assert!(reg.lookup("missing").is_none());
+    }
+
+    #[test]
+    fn register_linear_shares_the_compiled_op() {
+        let mut g = MatrixRng::seed_from(2);
+        let w = g.gaussian(8, 8, 0.0, 1.0);
+        let layer = biq_nn::Linear::fp32(w, None);
+        let mut reg = ModelRegistry::new();
+        let id = reg.register_linear("fc", &layer);
+        assert!(Arc::ptr_eq(reg.get(id).op(), &layer.compiled_op()));
+    }
+}

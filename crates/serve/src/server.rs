@@ -1,0 +1,495 @@
+//! The serving engine: a batcher thread feeding a pool of worker threads,
+//! each worker owning a private warmed [`Executor`].
+//!
+//! ```text
+//!  Client::submit ──► bounded MPSC queue ──► batcher thread
+//!  (backpressure:          │                   │ window/bucket (Batcher)
+//!   try_submit→Busy)       │                   ▼
+//!                          │            bounded job channel ──► worker 0..N-1
+//!                          │            (full ⇒ batcher blocks    │ own Executor
+//!                          ▼             ⇒ submit queue fills     │ pack → run → scatter
+//!                   Ticket::wait ◄───────── reply channels ◄──────┘
+//! ```
+//!
+//! Workers never share an executor: each owns one, warmed at startup for
+//! every registered op, so the `SharedExecutor` mutex bottleneck never
+//! appears on the serving path and per-worker arenas stay hot across
+//! batches. Backpressure is end-to-end — slow workers fill the bounded job
+//! channel, which blocks the batcher, which fills the bounded submit
+//! queue, which turns [`Client::try_submit`] into [`ServeError::Busy`].
+
+use crate::batcher::{BatchJob, Batcher, Pending, ServeError};
+use crate::registry::{ModelRegistry, OpId};
+use crate::stats::{ServerStats, StatsSnapshot};
+use biq_matrix::{ColMatrix, Matrix};
+use biq_runtime::Executor;
+use biqgemm_core::PhaseProfile;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables for [`Server::start`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Worker threads, each with a private warmed [`Executor`].
+    pub workers: usize,
+    /// Capacity of the bounded submit queue (requests waiting for the
+    /// batcher). Full queue ⇒ [`Client::submit`] blocks,
+    /// [`Client::try_submit`] returns [`ServeError::Busy`].
+    pub queue_capacity: usize,
+    /// How long an under-filled bucket may wait for company before it is
+    /// flushed anyway. Zero serves every request immediately.
+    pub batch_window: Duration,
+    /// Packed-width cap per batch; a bucket reaching it flushes at once.
+    pub max_batch_cols: usize,
+    /// Capacity of the bounded batcher→worker job channel; the knob that
+    /// propagates worker slowness back to the submit queue.
+    pub job_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_capacity: 1024,
+            batch_window: Duration::from_micros(200),
+            max_batch_cols: 16,
+            job_capacity: 4,
+        }
+    }
+}
+
+/// Messages on the submit queue.
+enum Submission {
+    Request(Pending),
+    /// Shutdown sentinel: everything queued ahead of it is still served.
+    Shutdown,
+}
+
+/// A pending reply: wait on it to get the request's `W·X` result.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: Receiver<Result<Matrix, ServeError>>,
+}
+
+impl Ticket {
+    /// Blocks until the server answers.
+    pub fn wait(self) -> Result<Matrix, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::Canceled))
+    }
+
+    /// Non-blocking poll; `None` while the request is still in flight. A
+    /// dropped reply channel (worker loss) resolves to
+    /// [`ServeError::Canceled`], exactly like [`Ticket::wait`].
+    pub fn try_wait(&self) -> Option<Result<Matrix, ServeError>> {
+        match self.rx.try_recv() {
+            Ok(reply) => Some(reply),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServeError::Canceled)),
+        }
+    }
+}
+
+/// A cheaply cloneable submission handle.
+#[derive(Clone)]
+pub struct Client {
+    tx: SyncSender<Submission>,
+    registry: Arc<ModelRegistry>,
+    stats: Arc<ServerStats>,
+    /// The admission gate: submissions hold a read lock across the
+    /// check-and-send, [`Server::shutdown`] takes the write lock to flip it.
+    /// That ordering guarantees every accepted request is queued **before**
+    /// the shutdown sentinel, so "submit returned Ok" always means "the
+    /// drain will answer this ticket" — no straddling race.
+    accepting: Arc<RwLock<bool>>,
+}
+
+impl Client {
+    /// Validates and enqueues a request, blocking while the queue is full.
+    /// The returned [`Ticket`] resolves to `W·X` for the registered op.
+    pub fn submit(&self, op: OpId, x: ColMatrix) -> Result<Ticket, ServeError> {
+        let gate = self.accepting.read().expect("admission gate poisoned");
+        if !*gate {
+            return Err(ServeError::ShuttingDown);
+        }
+        let (pending, ticket) = self.admit(op, x)?;
+        match pending {
+            Some(p) => match self.tx.send(Submission::Request(p)) {
+                Ok(()) => {
+                    self.record_accept(op);
+                    Ok(ticket)
+                }
+                Err(_) => Err(ServeError::ShuttingDown),
+            },
+            None => Ok(ticket),
+        }
+    }
+
+    /// Like [`Client::submit`] but refusing with [`ServeError::Busy`]
+    /// instead of blocking when the queue is full — the backpressure edge.
+    pub fn try_submit(&self, op: OpId, x: ColMatrix) -> Result<Ticket, ServeError> {
+        let gate = self.accepting.read().expect("admission gate poisoned");
+        if !*gate {
+            return Err(ServeError::ShuttingDown);
+        }
+        let (pending, ticket) = self.admit(op, x)?;
+        match pending {
+            Some(p) => match self.tx.try_send(Submission::Request(p)) {
+                Ok(()) => {
+                    self.record_accept(op);
+                    Ok(ticket)
+                }
+                Err(TrySendError::Full(_)) => {
+                    self.stats.ops[op.0].rejected.fetch_add(1, Ordering::Relaxed);
+                    Err(ServeError::Busy)
+                }
+                Err(TrySendError::Disconnected(_)) => Err(ServeError::ShuttingDown),
+            },
+            None => Ok(ticket),
+        }
+    }
+
+    /// Shared validation; `Ok((None, ticket))` means the request was
+    /// answered inline (empty batch) without touching the queue.
+    fn admit(&self, op: OpId, x: ColMatrix) -> Result<(Option<Pending>, Ticket), ServeError> {
+        if op.0 >= self.registry.len() {
+            return Err(ServeError::UnknownOp);
+        }
+        let compiled = self.registry.get(op).op();
+        if x.rows() != compiled.input_size() {
+            return Err(ServeError::ShapeMismatch {
+                expected: compiled.input_size(),
+                got: x.rows(),
+            });
+        }
+        let (reply, rx) = mpsc::channel();
+        let ticket = Ticket { rx };
+        if x.cols() == 0 {
+            // Nothing to compute; answer inline so workers never see b = 0.
+            let _ = reply.send(Ok(Matrix::zeros(compiled.output_size(), 0)));
+            return Ok((None, ticket));
+        }
+        Ok((Some(Pending { op, x, reply, enqueued: Instant::now() }), ticket))
+    }
+
+    fn record_accept(&self, op: OpId) {
+        let s = &self.stats.ops[op.0];
+        s.submitted.fetch_add(1, Ordering::Relaxed);
+        s.queue_depth.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A running serving engine. Construct with [`Server::start`], stop with
+/// [`Server::shutdown`] (which drains every accepted request).
+///
+/// Dropping a `Server` without calling `shutdown` detaches its threads:
+/// they exit once every [`Client`] clone is gone and the queues drain.
+pub struct Server {
+    tx: SyncSender<Submission>,
+    registry: Arc<ModelRegistry>,
+    stats: Arc<ServerStats>,
+    accepting: Arc<RwLock<bool>>,
+    batcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    op_names: Vec<String>,
+}
+
+impl Server {
+    /// Spawns the batcher and `config.workers` worker threads; every worker
+    /// warms a private executor for every registered op (at the batcher's
+    /// packed-width cap) before serving.
+    pub fn start(registry: ModelRegistry, config: ServerConfig) -> Server {
+        let registry = Arc::new(registry);
+        let stats = Arc::new(ServerStats::with_ops(registry.len()));
+        let accepting = Arc::new(RwLock::new(true));
+        let op_names: Vec<String> = registry.iter().map(|(_, o)| o.name().to_string()).collect();
+
+        let (tx, rx) = mpsc::sync_channel::<Submission>(config.queue_capacity.max(1));
+        let (job_tx, job_rx) = mpsc::sync_channel::<BatchJob>(config.job_capacity.max(1));
+        let job_rx = Arc::new(Mutex::new(job_rx));
+
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let registry = Arc::clone(&registry);
+                let stats = Arc::clone(&stats);
+                let job_rx = Arc::clone(&job_rx);
+                let max_cols = config.max_batch_cols.max(1);
+                std::thread::Builder::new()
+                    .name(format!("biq-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&registry, &stats, &job_rx, max_cols))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+
+        let batcher = {
+            let stats = Arc::clone(&stats);
+            let num_ops = registry.len();
+            let window = config.batch_window;
+            let max_cols = config.max_batch_cols.max(1);
+            std::thread::Builder::new()
+                .name("biq-serve-batcher".to_string())
+                .spawn(move || batcher_loop(rx, job_tx, &stats, num_ops, window, max_cols))
+                .expect("spawn serve batcher")
+        };
+
+        Server { tx, registry, stats, accepting, batcher: Some(batcher), workers, op_names }
+    }
+
+    /// A new submission handle.
+    pub fn client(&self) -> Client {
+        Client {
+            tx: self.tx.clone(),
+            registry: Arc::clone(&self.registry),
+            stats: Arc::clone(&self.stats),
+            accepting: Arc::clone(&self.accepting),
+        }
+    }
+
+    /// The registry this server was started with.
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
+    }
+
+    /// Live statistics snapshot.
+    pub fn stats(&self) -> StatsSnapshot {
+        StatsSnapshot::capture(&self.stats, &self.op_names)
+    }
+
+    /// Graceful shutdown: stops accepting, serves everything already
+    /// accepted (queued in the batcher's buckets, the submit queue, or the
+    /// job channel), joins every thread, and returns the final statistics.
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        // Taking the write lock waits out every in-flight submission (each
+        // holds the read lock across its check-and-send), so once the flag
+        // flips, every accepted request is already in the FIFO — and the
+        // sentinel sent below queues behind all of them.
+        *self.accepting.write().expect("admission gate poisoned") = false;
+        let _ = self.tx.send(Submission::Shutdown);
+        if let Some(b) = self.batcher.take() {
+            let _ = b.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        StatsSnapshot::capture(&self.stats, &self.op_names)
+    }
+}
+
+fn batcher_loop(
+    rx: Receiver<Submission>,
+    job_tx: SyncSender<BatchJob>,
+    stats: &ServerStats,
+    num_ops: usize,
+    window: Duration,
+    max_cols: usize,
+) {
+    let mut batcher = Batcher::new(num_ops, window, max_cols);
+    let dispatch = |job: BatchJob| {
+        let s = &stats.ops[job.op.0];
+        s.queue_depth.fetch_sub(job.requests.len(), Ordering::Relaxed);
+        s.record_batch(job.cols);
+        // A send error means every worker is gone; requests are answered
+        // with `Canceled` by the dropped reply senders.
+        let _ = job_tx.send(job);
+    };
+    loop {
+        let now = Instant::now();
+        let msg = match batcher.next_deadline() {
+            Some(deadline) => rx.recv_timeout(deadline.saturating_duration_since(now)),
+            None => rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
+        };
+        match msg {
+            Ok(Submission::Request(p)) => {
+                let now = Instant::now();
+                if let Some(job) = batcher.push(p, now) {
+                    dispatch(job);
+                }
+            }
+            Ok(Submission::Shutdown) => {
+                // The admission gate orders every accepted request ahead of
+                // the sentinel; this drain is belt-and-braces against any
+                // future sender that bypasses the gate.
+                while let Ok(Submission::Request(p)) = rx.try_recv() {
+                    if let Some(job) = batcher.push(p, Instant::now()) {
+                        dispatch(job);
+                    }
+                }
+                break;
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                for job in batcher.flush_expired(Instant::now()) {
+                    dispatch(job);
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    for job in batcher.flush_all() {
+        dispatch(job);
+    }
+    // Dropping `job_tx` lets workers drain the channel and exit.
+}
+
+fn worker_loop(
+    registry: &ModelRegistry,
+    stats: &ServerStats,
+    jobs: &Mutex<Receiver<BatchJob>>,
+    max_cols: usize,
+) {
+    let mut exec = Executor::new();
+    for (_, reg) in registry.iter() {
+        exec.warm_batch(reg.op(), max_cols.max(reg.op().plan().batch_hint));
+    }
+    let mut xbuf: Vec<f32> = Vec::new();
+    let mut ybuf: Vec<f32> = Vec::new();
+    let mut profiled = PhaseProfile::new();
+    loop {
+        // Holding the lock while blocked in `recv` is the multi-consumer
+        // queue: exactly one idle worker waits on the channel, the rest
+        // wait on the mutex, and a job wakes exactly one of them.
+        let job = match jobs.lock() {
+            Ok(rx) => rx.recv(),
+            Err(_) => break,
+        };
+        let Ok(job) = job else { break };
+        run_job(registry, stats, &mut exec, &mut xbuf, &mut ybuf, job);
+        // Publish this worker's kernel-phase delta since the last batch.
+        let total = *exec.profile();
+        let delta = PhaseProfile {
+            build: total.build - profiled.build,
+            query: total.query - profiled.query,
+            replace: total.replace - profiled.replace,
+        };
+        profiled = total;
+        if let Ok(mut merged) = stats.profile.lock() {
+            merged.merge(&delta);
+        }
+    }
+}
+
+fn run_job(
+    registry: &ModelRegistry,
+    stats: &ServerStats,
+    exec: &mut Executor,
+    xbuf: &mut Vec<f32>,
+    ybuf: &mut Vec<f32>,
+    job: BatchJob,
+) {
+    let op = registry.get(job.op).op();
+    let (m, n, b) = (op.output_size(), op.input_size(), job.cols);
+    if ybuf.len() < m * b {
+        ybuf.resize(m * b, 0.0);
+    }
+    let y = &mut ybuf[..m * b];
+    if let [single] = job.requests.as_slice() {
+        // Lone request: run its matrix directly, no pack/scatter copies.
+        exec.run_into(op, &single.x, y);
+    } else {
+        // Pack: concatenating col-major matrices with equal row counts is
+        // plain buffer concatenation — one executor pass, one LUT build,
+        // amortised across every packed column.
+        xbuf.clear();
+        xbuf.reserve(n * b);
+        for req in &job.requests {
+            xbuf.extend_from_slice(req.x.as_slice());
+        }
+        let x = ColMatrix::from_vec(n, b, std::mem::take(xbuf));
+        exec.run_into(op, &x, y);
+        *xbuf = x.into_vec();
+    }
+    // Scatter: each request gets the row-major slice of its columns.
+    let op_stats = &stats.ops[job.op.0];
+    let mut col0 = 0usize;
+    for req in job.requests {
+        let k = req.x.cols();
+        let mut out = Matrix::zeros(m, k);
+        for i in 0..m {
+            out.row_mut(i).copy_from_slice(&y[i * b + col0..i * b + col0 + k]);
+        }
+        col0 += k;
+        let _ = req.reply.send(Ok(out));
+        op_stats.record_latency(req.enqueued.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biq_matrix::MatrixRng;
+    use biq_runtime::{BackendSpec, PlanBuilder, QuantMethod, Threading, WeightSource};
+
+    fn one_op_registry(m: usize, n: usize) -> (ModelRegistry, OpId) {
+        let mut g = MatrixRng::seed_from(7);
+        let signs = g.signs(m, n);
+        let plan = PlanBuilder::new(m, n)
+            .batch_hint(8)
+            .backend(BackendSpec::Biq { bits: 1, method: QuantMethod::Greedy })
+            .threading(Threading::Serial)
+            .build();
+        let mut reg = ModelRegistry::new();
+        let id = reg.register("op", &plan, WeightSource::Signs(&signs));
+        (reg, id)
+    }
+
+    #[test]
+    fn serves_a_single_request() {
+        let (reg, id) = one_op_registry(16, 32);
+        let server = Server::start(reg, ServerConfig::default());
+        let client = server.client();
+        let x = MatrixRng::seed_from(8).small_int_col(32, 1, 3);
+        let y = client.submit(id, x.clone()).unwrap().wait().unwrap();
+        assert_eq!(y.shape(), (16, 1));
+        let mut exec = Executor::new();
+        let y_ref = exec.run(server.registry().get(id).op(), &x);
+        assert_eq!(y.as_slice(), y_ref.as_slice());
+        let snap = server.shutdown();
+        assert_eq!(snap.ops[0].completed, 1);
+        assert_eq!(snap.ops[0].queue_depth, 0);
+    }
+
+    #[test]
+    fn rejects_bad_submissions_upfront() {
+        let (reg, id) = one_op_registry(8, 16);
+        let server = Server::start(reg, ServerConfig::default());
+        let client = server.client();
+        assert!(matches!(
+            client.submit(OpId(42), ColMatrix::zeros(16, 1)),
+            Err(ServeError::UnknownOp)
+        ));
+        match client.submit(id, ColMatrix::zeros(5, 1)) {
+            Err(ServeError::ShapeMismatch { expected: 16, got: 5 }) => {}
+            other => panic!("expected shape mismatch, got {other:?}"),
+        }
+        // Empty batches answer inline with an m×0 result.
+        let y = client.submit(id, ColMatrix::zeros(16, 0)).unwrap().wait().unwrap();
+        assert_eq!(y.shape(), (8, 0));
+        server.shutdown();
+    }
+
+    #[test]
+    fn try_wait_reports_in_flight_and_canceled_distinctly() {
+        let (tx, rx) = mpsc::channel();
+        let ticket = Ticket { rx };
+        assert!(ticket.try_wait().is_none(), "sender alive, no reply: in flight");
+        drop(tx);
+        assert_eq!(
+            ticket.try_wait(),
+            Some(Err(ServeError::Canceled)),
+            "dropped reply channel must resolve, not poll forever"
+        );
+    }
+
+    #[test]
+    fn submits_after_shutdown_are_refused() {
+        let (reg, id) = one_op_registry(8, 16);
+        let server = Server::start(reg, ServerConfig::default());
+        let client = server.client();
+        server.shutdown();
+        assert!(matches!(
+            client.submit(id, ColMatrix::zeros(16, 1)),
+            Err(ServeError::ShuttingDown)
+        ));
+    }
+}

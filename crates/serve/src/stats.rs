@@ -1,0 +1,204 @@
+//! Lock-free serving statistics: queue depth, batch-size distribution, and
+//! request latency quantiles per op, plus the merged kernel
+//! [`PhaseProfile`] across every worker.
+//!
+//! Latency and batch-size distributions are power-of-two histograms on
+//! atomics — recording from the hot path is a single `fetch_add`, and
+//! quantiles are answered from bucket counts (a p99 read as the upper edge
+//! of its bucket, i.e. within 2× of the true value, which is plenty for a
+//! serving dashboard).
+
+use biqgemm_core::PhaseProfile;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Number of power-of-two buckets (covers 1 µs .. ~2400 s).
+const BUCKETS: usize = 32;
+
+/// A power-of-two histogram over `u64` samples.
+#[derive(Debug, Default)]
+struct Pow2Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Pow2Histogram {
+    fn record(&self, value: u64) {
+        let b = (64 - value.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
+        self.buckets[b].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Upper edge of the bucket holding quantile `p` (0 when empty).
+    fn quantile(&self, p: f64) -> u64 {
+        let total = self.count.load(Ordering::Relaxed);
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((total as f64) * p.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return 1u64 << (b + 1);
+            }
+        }
+        1u64 << BUCKETS
+    }
+
+    fn mean(&self) -> f64 {
+        let c = self.count.load(Ordering::Relaxed);
+        if c == 0 {
+            0.0
+        } else {
+            self.sum.load(Ordering::Relaxed) as f64 / c as f64
+        }
+    }
+
+    #[cfg(test)]
+    fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+}
+
+/// Live counters for one registered op.
+#[derive(Debug, Default)]
+pub(crate) struct OpStats {
+    pub(crate) submitted: AtomicU64,
+    pub(crate) rejected: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    /// Requests accepted but not yet dispatched to a worker.
+    pub(crate) queue_depth: AtomicUsize,
+    pub(crate) batches: AtomicU64,
+    batch_cols: Pow2Histogram,
+    latency_us: Pow2Histogram,
+}
+
+impl OpStats {
+    pub(crate) fn record_batch(&self, cols: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batch_cols.record(cols as u64);
+    }
+
+    pub(crate) fn record_latency(&self, latency: Duration) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.latency_us.record(latency.as_micros() as u64);
+    }
+}
+
+/// The shared mutable statistics block (one per server).
+#[derive(Debug, Default)]
+pub(crate) struct ServerStats {
+    pub(crate) ops: Vec<OpStats>,
+    /// Kernel phase profile merged from every worker executor.
+    pub(crate) profile: Mutex<PhaseProfile>,
+}
+
+impl ServerStats {
+    pub(crate) fn with_ops(n: usize) -> Self {
+        Self { ops: (0..n).map(|_| OpStats::default()).collect(), profile: Mutex::default() }
+    }
+}
+
+/// Point-in-time statistics for one op.
+#[derive(Clone, Debug)]
+pub struct OpStatsSnapshot {
+    /// Registration name.
+    pub name: String,
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests refused by backpressure ([`crate::Client::try_submit`]).
+    pub rejected: u64,
+    /// Requests answered.
+    pub completed: u64,
+    /// Requests accepted but not yet dispatched to a worker.
+    pub queue_depth: usize,
+    /// Batches executed.
+    pub batches: u64,
+    /// Mean packed batch width (columns).
+    pub mean_batch_cols: f64,
+    /// Median request latency (submit → reply), bucket upper edge.
+    pub latency_p50: Duration,
+    /// 99th-percentile request latency, bucket upper edge.
+    pub latency_p99: Duration,
+}
+
+/// Point-in-time statistics for a whole server.
+#[derive(Clone, Debug)]
+pub struct StatsSnapshot {
+    /// Per-op statistics, in registration order.
+    pub ops: Vec<OpStatsSnapshot>,
+    /// Kernel build/query/replace time merged across every worker.
+    pub profile: PhaseProfile,
+}
+
+impl StatsSnapshot {
+    pub(crate) fn capture(stats: &ServerStats, names: &[String]) -> Self {
+        let ops = stats
+            .ops
+            .iter()
+            .zip(names)
+            .map(|(s, name)| OpStatsSnapshot {
+                name: name.clone(),
+                submitted: s.submitted.load(Ordering::Relaxed),
+                rejected: s.rejected.load(Ordering::Relaxed),
+                completed: s.completed.load(Ordering::Relaxed),
+                queue_depth: s.queue_depth.load(Ordering::Relaxed),
+                batches: s.batches.load(Ordering::Relaxed),
+                mean_batch_cols: s.batch_cols.mean(),
+                latency_p50: Duration::from_micros(s.latency_us.quantile(0.50)),
+                latency_p99: Duration::from_micros(s.latency_us.quantile(0.99)),
+            })
+            .collect();
+        Self { ops, profile: *stats.profile.lock().expect("stats profile poisoned") }
+    }
+
+    /// Total completed requests across every op.
+    pub fn completed(&self) -> u64 {
+        self.ops.iter().map(|o| o.completed).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let h = Pow2Histogram::default();
+        for v in [3u64, 3, 3, 3, 3, 3, 3, 3, 3, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10);
+        let p50 = h.quantile(0.5);
+        assert!((3..=8).contains(&p50), "p50 bucket edge {p50}");
+        let p99 = h.quantile(0.99);
+        assert!((1000..=2048).contains(&p99), "p99 bucket edge {p99}");
+        assert!((h.mean() - 102.7).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = Pow2Histogram::default();
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_captures_counters() {
+        let stats = ServerStats::with_ops(2);
+        stats.ops[1].submitted.fetch_add(5, Ordering::Relaxed);
+        stats.ops[1].record_batch(4);
+        stats.ops[1].record_latency(Duration::from_micros(100));
+        let snap = StatsSnapshot::capture(&stats, &["a".into(), "b".into()]);
+        assert_eq!(snap.ops[0].submitted, 0);
+        assert_eq!(snap.ops[1].submitted, 5);
+        assert_eq!(snap.ops[1].batches, 1);
+        assert_eq!(snap.ops[1].mean_batch_cols, 4.0);
+        assert!(snap.ops[1].latency_p50 >= Duration::from_micros(100));
+        assert_eq!(snap.completed(), 1);
+    }
+}
