@@ -1,0 +1,143 @@
+//! `load_bench`: artifact cold-start vs re-quantizing from fp32.
+//!
+//! The deployment claim behind `crates/artifact` (paper footnote 3: packed
+//! matrices are "loaded in advance into the system") is only worth a file
+//! format if loading the packed form is much cheaper than redoing the
+//! quantize + key-pack work from dense fp32 on every process start. This
+//! experiment pins that down on a Transformer-shaped encoder stack:
+//!
+//! * **cold start** — read the `BIQM` file from disk, validate checksums,
+//!   rebuild plans and compile every layer with zero-copy payload views
+//!   (`CompiledModel::load`, the `biq run-model` path);
+//! * **re-quantize** — greedy binary-coding quantization + key packing of
+//!   the same weight matrices from fp32 (what a process without the
+//!   artifact must do, before it can even build the same compiled ops).
+//!
+//! Writes `results/BENCH_artifact.json` (invoked by `run_all`).
+//!
+//! `cargo run --release -p biq-bench --bin load_bench [-- --quick]`
+
+use biq_bench::args;
+use biq_bench::timing::measure;
+use biq_matrix::MatrixRng;
+use biq_nn::model::CompiledModel;
+use biq_nn::transformer::{Encoder, LayerBackend};
+use biq_nn::QuantMethod;
+use biqgemm_core::{BiqConfig, BiqWeights};
+
+struct Case {
+    label: &'static str,
+    d_model: usize,
+    d_ff: usize,
+    heads: usize,
+    layers: usize,
+    bits: usize,
+}
+
+fn main() {
+    let a = args::parse();
+    let cases: &[Case] = if a.quick {
+        &[Case { label: "tiny", d_model: 64, d_ff: 128, heads: 4, layers: 1, bits: 2 }]
+    } else {
+        &[
+            Case { label: "small", d_model: 128, d_ff: 512, heads: 4, layers: 2, bits: 2 },
+            // Transformer-base-shaped layer (paper Section II-C: four n×n
+            // plus n×4n / 4n×n matrices per encoder layer).
+            Case { label: "base-ish", d_model: 512, d_ff: 2048, heads: 8, layers: 2, bits: 2 },
+        ]
+    };
+    let reps = if a.quick { 5 } else { 10 };
+
+    std::fs::create_dir_all("results").expect("create results/");
+    let mut json_rows = Vec::new();
+    println!(
+        "{:<9} {:>10} {:>12} {:>14} {:>16} {:>9}",
+        "case", "fp32 KB", "artifact KB", "cold start ms", "re-quantize ms", "speedup"
+    );
+    for c in cases {
+        let mut g = MatrixRng::seed_from(0x10ad ^ c.d_model as u64);
+        let backend = LayerBackend::Biq {
+            bits: c.bits,
+            method: QuantMethod::Greedy,
+            cfg: BiqConfig::default(),
+            parallel: false,
+        };
+        let model = CompiledModel::Transformer(Encoder::random(
+            &mut g, c.layers, c.d_model, c.d_ff, c.heads, backend,
+        ));
+        let path = std::env::temp_dir().join(format!("biq_load_bench_{}.biqmod", c.label));
+        model.save(&path).expect("write artifact");
+        let artifact_bytes = std::fs::metadata(&path).expect("stat artifact").len() as usize;
+
+        // Cold start: file read + checksum validation + plan rebuild +
+        // zero-copy compile of every layer.
+        let m_load = measure(1, reps, || CompiledModel::load(&path).expect("load artifact"));
+
+        // Re-quantize: the same weight matrices from fp32 through greedy
+        // binary coding + key packing (weight generation excluded — a real
+        // process would read dense fp32 from its own checkpoint).
+        let shapes: Vec<(usize, usize)> = {
+            let mut v = Vec::new();
+            for _ in 0..c.layers {
+                v.extend([
+                    (c.d_model, c.d_model),
+                    (c.d_model, c.d_model),
+                    (c.d_model, c.d_model),
+                    (c.d_model, c.d_model),
+                    (c.d_ff, c.d_model),
+                    (c.d_model, c.d_ff),
+                ]);
+            }
+            v
+        };
+        let dense: Vec<biq_matrix::Matrix> =
+            shapes.iter().map(|&(m, n)| g.gaussian(m, n, 0.0, 1.0)).collect();
+        let mu = BiqConfig::default().mu;
+        let m_quant = measure(1, reps, || {
+            dense
+                .iter()
+                .map(|w| {
+                    let q = biq_quant::greedy_quantize_matrix_rowwise(w, c.bits);
+                    BiqWeights::from_multibit(&q, mu)
+                })
+                .collect::<Vec<_>>()
+        });
+
+        let fp32_bytes: usize = shapes.iter().map(|&(m, n)| m * n * 4).sum();
+        let speedup = m_quant.median.as_secs_f64() / m_load.median.as_secs_f64().max(1e-12);
+        println!(
+            "{:<9} {:>10.1} {:>12.1} {:>14.3} {:>16.3} {:>8.1}x",
+            c.label,
+            fp32_bytes as f64 / 1e3,
+            artifact_bytes as f64 / 1e3,
+            m_load.median_ms(),
+            m_quant.median_ms(),
+            speedup
+        );
+        json_rows.push(format!(
+            concat!(
+                "  {{\"case\": \"{}\", \"d_model\": {}, \"d_ff\": {}, \"layers\": {}, ",
+                "\"bits\": {}, \"fp32_bytes\": {}, \"artifact_bytes\": {}, ",
+                "\"cold_start_load_ns\": {}, \"requantize_pack_ns\": {}, ",
+                "\"load_speedup_vs_requantize\": {:.1}}}"
+            ),
+            c.label,
+            c.d_model,
+            c.d_ff,
+            c.layers,
+            c.bits,
+            fp32_bytes,
+            artifact_bytes,
+            m_load.median.as_nanos(),
+            m_quant.median.as_nanos(),
+            speedup
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        assert!(speedup > 1.0, "artifact cold start must beat re-quantization ({speedup:.2}x)");
+    }
+
+    let json = format!("[\n{}\n]\n", json_rows.join(",\n"));
+    std::fs::write("results/BENCH_artifact.json", json).expect("write BENCH_artifact.json");
+    println!("-> results/BENCH_artifact.json");
+}

@@ -25,6 +25,9 @@ const EXPERIMENTS: &[&str] = &[
     "mu_sweep",
     "ablation_threads",
     "ablation_int8",
+    // Writes results/BENCH_artifact.json itself (cold-start artifact load
+    // vs re-quantize+pack from fp32).
+    "load_bench",
 ];
 
 /// One row of the JSON perf record.

@@ -31,7 +31,9 @@ use std::fmt;
 use std::fs::File;
 use std::path::Path;
 
+pub mod model_cmds;
 pub mod serve_bench;
+pub use model_cmds::{build_model, cmd_compile, cmd_inspect, cmd_run_model, CompileConfig};
 pub use serve_bench::{cmd_serve_bench, ServeBenchConfig, ServeBenchRow};
 
 /// CLI-level errors (message-oriented; the binary prints and exits 1).
@@ -142,6 +144,19 @@ pub fn cmd_info(path: &Path) -> Result<String, CliError> {
     let data = read_bytes(path)?;
     if data.len() >= 4 {
         match &data[..4] {
+            b"BIQM" => {
+                let artifact = biq_artifact::Artifact::from_bytes(data)
+                    .map_err(|e| CliError(format!("{path:?}: {e}")))?;
+                let manifest = biq_artifact::ModelManifest::decode(artifact.manifest_bytes())
+                    .map_err(|e| CliError(format!("{path:?}: {e}")))?;
+                return Ok(format!(
+                    "compiled model artifact: {} model, {} layers, {} sections \
+                     (use `biq inspect` for the full dump)",
+                    manifest.kind.name(),
+                    manifest.layers.len(),
+                    artifact.section_count()
+                ));
+            }
             b"BIQ1" => {
                 let (kind, rows, cols) =
                     mio::peek_kind(&data).map_err(|e| CliError(format!("{path:?}: {e}")))?;

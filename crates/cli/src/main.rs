@@ -1,8 +1,8 @@
 //! `biq` — the BiQGEMM deployment pipeline on files. See `biq help`.
 
 use biq_cli::{
-    cmd_gen, cmd_info, cmd_matmul, cmd_pack, cmd_quantize, cmd_serve_bench, CliError,
-    ServeBenchConfig,
+    cmd_compile, cmd_gen, cmd_info, cmd_inspect, cmd_matmul, cmd_pack, cmd_quantize, cmd_run_model,
+    cmd_serve_bench, CliError, CompileConfig, ServeBenchConfig,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -11,24 +11,38 @@ use std::time::Duration;
 const HELP: &str = "\
 biq — BiQGEMM artifact pipeline
 
-USAGE:
+MATRIX PIPELINE:
   biq gen      --rows M --cols N [--seed S] [--std V] [--col] OUT
   biq quantize --bits B [--alternating] IN OUT
   biq pack     --mu U IN OUT
   biq matmul   --weights W --input X --output Y [--parallel]
   biq info     FILE
-  biq serve-bench [--rows M] [--cols N] [--requests R] [--workers W]
-                  [--window-us U] [--max-batch B] [--gap-us G] [--quick]
-                  [--out PATH]
+
+MODEL PIPELINE (BIQM compiled-model artifacts):
+  biq compile  [--model linear|transformer|lstm|seq2seq] [--backend biq|fp32|xnor|int8]
+               [--bits B] [--seed S] [--parallel] [--d-model N] [--d-ff N]
+               [--heads H] [--layers L] [--dec-layers L] [--vocab V] OUT
+  biq run-model MODEL [--seed S] [--len L]
+  biq inspect  MODEL
+
+SERVING:
+  biq serve-bench [--model ARTIFACT] [--rows M] [--cols N] [--requests R]
+                  [--workers W] [--window-us U] [--max-batch B] [--gap-us G]
+                  [--quick] [--out PATH]
   biq help
 
 ARTIFACTS:
-  .biqm  dense matrix (row-major weights / col-major activations)
-  .biqq  multi-bit binary-coding quantized matrix
-  .biqw  packed BiQGEMM weights (key matrix + per-row scales)
+  .biqm    dense matrix (row-major weights / col-major activations)
+  .biqq    multi-bit binary-coding quantized matrix
+  .biqw    packed BiQGEMM weights (key matrix + per-row scales)
+  .biqmod  whole compiled model (BIQM: manifest + packed payload sections,
+           loaded zero-copy — compile once, ship, serve)
 
-serve-bench replays synthetic open-loop single-column traffic against the
-biq_serve batching layer, unbatched vs batched, and writes the
+compile builds a seeded model, quantizes/packs every layer once and writes
+one checksummed artifact; run-model loads it (no fp32 weights, no
+re-quantization) and runs a deterministic inference. serve-bench replays
+open-loop single-column traffic against the biq_serve batching layer —
+against a loaded artifact with --model — and writes the
 throughput/latency record (default results/BENCH_serve.json).
 ";
 
@@ -118,6 +132,67 @@ fn run() -> Result<(), CliError> {
             let path = positional_path(&args, 0, "file path")?;
             println!("{}", cmd_info(&path)?);
         }
+        "compile" => {
+            let mut cfg = CompileConfig::default();
+            if let Some(kind) = args.flag("model") {
+                cfg.kind = kind.to_string();
+            }
+            if let Some(backend) = args.flag("backend") {
+                cfg.backend = backend.to_string();
+            }
+            if args.has("bits") {
+                cfg.bits = args.usize_flag("bits")?;
+            }
+            if let Some(seed) = args.flag("seed") {
+                cfg.seed =
+                    seed.parse().map_err(|_| CliError("--seed must be an integer".into()))?;
+            }
+            cfg.parallel = args.has("parallel");
+            if args.has("d-model") {
+                cfg.d_model = args.usize_flag("d-model")?;
+            }
+            if args.has("d-ff") {
+                cfg.d_ff = args.usize_flag("d-ff")?;
+            }
+            if args.has("heads") {
+                cfg.heads = args.usize_flag("heads")?;
+            }
+            if args.has("layers") {
+                cfg.layers = args.usize_flag("layers")?;
+            }
+            if args.has("dec-layers") {
+                cfg.dec_layers = args.usize_flag("dec-layers")?;
+            }
+            if args.has("vocab") {
+                cfg.vocab = args.usize_flag("vocab")?;
+            }
+            let out = positional_path(&args, 0, "output path")?;
+            let desc = cmd_compile(&cfg, &out)?;
+            let size = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
+            println!("compiled {desc} -> {} ({size} bytes)", out.display());
+        }
+        "run-model" => {
+            let path = positional_path(&args, 0, "model path")?;
+            let seed = args.flag("seed").map_or(Ok(0u64), |s| {
+                s.parse().map_err(|_| CliError("--seed must be an integer".into()))
+            })?;
+            let len = if args.has("len") { args.usize_flag("len")? } else { 4 };
+            let (desc, out) = cmd_run_model(&path, seed, len)?;
+            let digest = biq_artifact::fnv1a64(
+                &out.iter().flat_map(|v| v.to_le_bytes()).collect::<Vec<_>>(),
+            );
+            let head: Vec<String> = out.iter().take(8).map(|v| format!("{v:.4}")).collect();
+            println!("{desc}");
+            println!(
+                "output: {} values, digest {digest:016x}, head [{}]",
+                out.len(),
+                head.join(", ")
+            );
+        }
+        "inspect" => {
+            let path = positional_path(&args, 0, "model path")?;
+            print!("{}", cmd_inspect(&path)?);
+        }
         "serve-bench" => {
             let mut cfg = ServeBenchConfig::default();
             if args.has("quick") {
@@ -144,16 +219,25 @@ fn run() -> Result<(), CliError> {
             if args.has("gap-us") {
                 cfg.gap = Duration::from_micros(args.usize_flag("gap-us")? as u64);
             }
+            let model = args.flag("model").map(PathBuf::from);
+            if model.is_some() && (args.has("rows") || args.has("cols")) {
+                return Err(CliError(
+                    "--rows/--cols conflict with --model: the replay shape comes from the \
+                     artifact's first op"
+                        .into(),
+                ));
+            }
             let out = args
                 .flag("out")
                 .map(PathBuf::from)
                 .unwrap_or_else(|| PathBuf::from("results/BENCH_serve.json"));
-            let rows = cmd_serve_bench(&cfg, &out)?;
+            let rows = cmd_serve_bench(&cfg, model.as_deref(), &out)?;
             for r in &rows {
                 println!(
-                    "{:>9}: {:.0} req/s, p50 {} us, p99 {} us, mean batch {:.2} cols \
+                    "{:>9} [{}]: {:.0} req/s, p50 {} us, p99 {} us, mean batch {:.2} cols \
                      (window {} us, cap {}, {} workers)",
                     r.mode,
+                    r.op_name,
                     r.throughput_rps,
                     r.p50_us,
                     r.p99_us,

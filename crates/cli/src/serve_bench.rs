@@ -9,9 +9,10 @@
 //! Results append to `results/BENCH_serve.json`.
 
 use crate::CliError;
+use biq_artifact::Artifact;
 use biq_matrix::{ColMatrix, MatrixRng};
 use biq_runtime::{BackendSpec, PlanBuilder, QuantMethod, Threading, WeightSource};
-use biq_serve::{ModelRegistry, Server, ServerConfig};
+use biq_serve::{ModelRegistry, OpId, Server, ServerConfig};
 use std::path::Path;
 use std::time::{Duration, Instant};
 
@@ -53,6 +54,13 @@ impl Default for ServeBenchConfig {
 pub struct ServeBenchRow {
     /// `"unbatched"` or `"batched"`.
     pub mode: &'static str,
+    /// Name of the op the replay targeted (`synthetic`, or the artifact
+    /// layer name under `--model`).
+    pub op_name: String,
+    /// Weight rows of the targeted op.
+    pub m: usize,
+    /// Weight cols of the targeted op.
+    pub n: usize,
     /// Requests served.
     pub requests: usize,
     /// Window used (µs).
@@ -72,19 +80,45 @@ pub struct ServeBenchRow {
 }
 
 /// Replays `cfg.requests` single-column queries against a fresh server in
-/// the given batching mode and reports the measured row.
-fn replay(cfg: &ServeBenchConfig, batched: bool) -> Result<ServeBenchRow, CliError> {
+/// the given batching mode and reports the measured row. With `model`,
+/// the registry boots from the artifact (no fp32 weights, no
+/// re-quantization) and the replay targets its first registered op;
+/// otherwise a synthetic 1-bit operator is registered.
+fn replay(
+    cfg: &ServeBenchConfig,
+    artifact: Option<&Artifact>,
+    batched: bool,
+) -> Result<ServeBenchRow, CliError> {
     let mut g = MatrixRng::seed_from(0x5e7e);
-    let signs = g.signs(cfg.rows, cfg.cols);
     let (window, max_cols) =
         if batched { (cfg.window, cfg.max_batch_cols) } else { (Duration::ZERO, 1) };
-    let plan = PlanBuilder::new(cfg.rows, cfg.cols)
-        .batch_hint(max_cols)
-        .backend(BackendSpec::Biq { bits: 1, method: QuantMethod::Greedy })
-        .threading(Threading::Serial)
-        .build();
     let mut registry = ModelRegistry::new();
-    let op = registry.register("serve_bench", &plan, WeightSource::Signs(&signs));
+    let (op, op_name): (OpId, String) = match artifact {
+        Some(artifact) => {
+            let (_model, ids) = registry
+                .load_artifact(artifact)
+                .map_err(|e| CliError(format!("load artifact: {e}")))?;
+            let (name, id) =
+                ids.into_iter().next().ok_or_else(|| CliError("artifact has no layers".into()))?;
+            (id, name)
+        }
+        None => {
+            let signs = g.signs(cfg.rows, cfg.cols);
+            let plan = PlanBuilder::new(cfg.rows, cfg.cols)
+                .batch_hint(max_cols)
+                .backend(BackendSpec::Biq { bits: 1, method: QuantMethod::Greedy })
+                .threading(Threading::Serial)
+                .build();
+            (
+                registry.register("serve_bench", &plan, WeightSource::Signs(&signs)),
+                "synthetic".into(),
+            )
+        }
+    };
+    let (m, n) = {
+        let r = registry.get(op);
+        (r.op().output_size(), r.op().input_size())
+    };
     let server = Server::start(
         registry,
         ServerConfig {
@@ -99,8 +133,7 @@ fn replay(cfg: &ServeBenchConfig, batched: bool) -> Result<ServeBenchRow, CliErr
 
     // Pre-generate the open-loop trace so generation cost stays out of the
     // measured makespan.
-    let trace: Vec<ColMatrix> =
-        (0..cfg.requests).map(|_| g.gaussian_col(cfg.cols, 1, 0.0, 1.0)).collect();
+    let trace: Vec<ColMatrix> = (0..cfg.requests).map(|_| g.gaussian_col(n, 1, 0.0, 1.0)).collect();
 
     let t0 = Instant::now();
     let mut tickets = Vec::with_capacity(trace.len());
@@ -118,6 +151,9 @@ fn replay(cfg: &ServeBenchConfig, batched: bool) -> Result<ServeBenchRow, CliErr
     let op_stats = &snap.ops[0];
     Ok(ServeBenchRow {
         mode: if batched { "batched" } else { "unbatched" },
+        op_name,
+        m,
+        n,
         requests: cfg.requests,
         window_us: window.as_micros(),
         max_batch_cols: max_cols,
@@ -129,20 +165,21 @@ fn replay(cfg: &ServeBenchConfig, batched: bool) -> Result<ServeBenchRow, CliErr
     })
 }
 
-fn render_json(cfg: &ServeBenchConfig, rows: &[ServeBenchRow]) -> String {
+fn render_json(rows: &[ServeBenchRow]) -> String {
     let mut out = String::from("[\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
             concat!(
-                "  {{\"mode\": \"{mode}\", \"m\": {m}, \"n\": {n}, \"b\": 1, ",
+                "  {{\"mode\": \"{mode}\", \"op\": \"{op}\", \"m\": {m}, \"n\": {n}, \"b\": 1, ",
                 "\"requests\": {req}, \"workers\": {workers}, \"window_us\": {window}, ",
                 "\"max_batch_cols\": {cap}, \"throughput_rps\": {rps:.1}, ",
                 "\"latency_p50_us\": {p50}, \"latency_p99_us\": {p99}, ",
                 "\"mean_batch_cols\": {mean:.2}}}{comma}\n"
             ),
             mode = r.mode,
-            m = cfg.rows,
-            n = cfg.cols,
+            op = r.op_name,
+            m = r.m,
+            n = r.n,
             req = r.requests,
             workers = r.workers,
             window = r.window_us,
@@ -158,19 +195,27 @@ fn render_json(cfg: &ServeBenchConfig, rows: &[ServeBenchRow]) -> String {
     out
 }
 
-/// `biq serve-bench`: runs the unbatched and batched replays, writes the
-/// JSON record, and returns the measured rows (unbatched first).
+/// `biq serve-bench`: runs the unbatched and batched replays — against a
+/// loaded model artifact when `model` is given, else a synthetic operator
+/// — writes the JSON record, and returns the measured rows (unbatched
+/// first).
 pub fn cmd_serve_bench(
     cfg: &ServeBenchConfig,
+    model: Option<&Path>,
     out_path: &Path,
 ) -> Result<Vec<ServeBenchRow>, CliError> {
-    let rows = vec![replay(cfg, false)?, replay(cfg, true)?];
+    // Open and validate the artifact once; both replays build their own
+    // registry/server from the shared, already-checksummed buffer.
+    let artifact = model
+        .map(|path| Artifact::open(path).map_err(|e| CliError(format!("{path:?}: {e}"))))
+        .transpose()?;
+    let rows = vec![replay(cfg, artifact.as_ref(), false)?, replay(cfg, artifact.as_ref(), true)?];
     if let Some(dir) = out_path.parent() {
         if !dir.as_os_str().is_empty() {
             std::fs::create_dir_all(dir)?;
         }
     }
-    std::fs::write(out_path, render_json(cfg, &rows))?;
+    std::fs::write(out_path, render_json(&rows))?;
     Ok(rows)
 }
 
@@ -192,7 +237,7 @@ mod tests {
             ..ServeBenchConfig::default()
         };
         let path = std::env::temp_dir().join("biq_serve_bench_smoke.json");
-        let rows = cmd_serve_bench(&cfg, &path).unwrap();
+        let rows = cmd_serve_bench(&cfg, None, &path).unwrap();
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].mode, "unbatched");
         assert_eq!(rows[1].mode, "batched");
@@ -201,5 +246,36 @@ mod tests {
         let json = std::fs::read_to_string(&path).unwrap();
         assert!(json.contains("\"mode\": \"batched\""), "{json}");
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn serve_bench_replays_against_a_loaded_artifact() {
+        use crate::model_cmds::{cmd_compile, CompileConfig};
+        let model_path = std::env::temp_dir().join("biq_serve_bench_model.biqmod");
+        let compile_cfg = CompileConfig {
+            kind: "lstm".into(),
+            d_model: 16, // hidden
+            d_ff: 24,    // input size
+            ..CompileConfig::default()
+        };
+        cmd_compile(&compile_cfg, &model_path).unwrap();
+        let cfg = ServeBenchConfig {
+            requests: 30,
+            workers: 2,
+            window: Duration::from_micros(100),
+            max_batch_cols: 4,
+            ..ServeBenchConfig::default()
+        };
+        let json_path = std::env::temp_dir().join("biq_serve_bench_model.json");
+        let rows = cmd_serve_bench(&cfg, Some(&model_path), &json_path).unwrap();
+        // First artifact op is lstm.w_ih: 4·hidden × input.
+        assert_eq!(rows[0].op_name, "lstm.w_ih");
+        assert_eq!((rows[0].m, rows[0].n), (64, 24));
+        assert!(rows.iter().all(|r| r.throughput_rps > 0.0));
+        let json = std::fs::read_to_string(&json_path).unwrap();
+        assert!(json.contains("\"op\": \"lstm.w_ih\""), "{json}");
+        for p in [model_path, json_path] {
+            let _ = std::fs::remove_file(p);
+        }
     }
 }

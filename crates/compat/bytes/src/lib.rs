@@ -109,10 +109,22 @@ pub trait BufMut {
 }
 
 /// An immutable, cheaply cloneable byte buffer with a read cursor.
-#[derive(Clone, Debug, Default)]
+///
+/// Views created by [`Bytes::slice`] and `clone` share one reference-counted
+/// allocation — no payload bytes are copied, matching the real crate. This
+/// is what makes zero-copy artifact loading possible: a loaded file is one
+/// `Bytes`, and every section is a `slice` into it.
+#[derive(Clone, Debug)]
 pub struct Bytes {
     data: Arc<[u8]>,
     pos: usize,
+    end: usize,
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Self { data: Arc::from(&[][..]), pos: 0, end: 0 }
+    }
 }
 
 impl Bytes {
@@ -126,16 +138,19 @@ impl Bytes {
         self.chunk().to_vec()
     }
 
-    /// A view of sub-range `range` of the unconsumed bytes (shares storage).
+    /// A view of sub-range `range` of the unconsumed bytes. Shares the
+    /// backing allocation — the returned view's pointer lies inside this
+    /// buffer's memory.
     ///
     /// # Panics
     /// Panics when the range exceeds [`Bytes::len`].
     pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
         assert!(range.start <= range.end && range.end <= self.len(), "slice out of bounds");
-        // Cursor-based view: keep the same storage, narrow to the range.
-        let mut data = self.data.to_vec();
-        data.truncate(self.pos + range.end);
-        Bytes { data: data.into(), pos: self.pos + range.start }
+        Bytes {
+            data: Arc::clone(&self.data),
+            pos: self.pos + range.start,
+            end: self.pos + range.end,
+        }
     }
 
     /// Length of the unconsumed bytes.
@@ -151,13 +166,15 @@ impl Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Self { data: v.into(), pos: 0 }
+        let end = v.len();
+        Self { data: v.into(), pos: 0, end }
     }
 }
 
 impl From<&[u8]> for Bytes {
     fn from(v: &[u8]) -> Self {
-        Self { data: v.into(), pos: 0 }
+        let end = v.len();
+        Self { data: v.into(), pos: 0, end }
     }
 }
 
@@ -165,7 +182,7 @@ impl Deref for Bytes {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.data[self.pos..]
+        &self.data[self.pos..self.end]
     }
 }
 
@@ -185,11 +202,11 @@ impl Eq for Bytes {}
 
 impl Buf for Bytes {
     fn remaining(&self) -> usize {
-        self.data.len() - self.pos
+        self.end - self.pos
     }
 
     fn chunk(&self) -> &[u8] {
-        &self.data[self.pos..]
+        &self.data[self.pos..self.end]
     }
 
     fn advance(&mut self, n: usize) {
@@ -284,6 +301,28 @@ mod tests {
     fn underflow_panics() {
         let mut b = Bytes::from(vec![1u8]);
         let _ = b.get_u64_le();
+    }
+
+    #[test]
+    fn slice_shares_storage_without_copying() {
+        let b = Bytes::from(vec![0u8; 256]);
+        let s = b.slice(64..192);
+        assert_eq!(s.len(), 128);
+        let base = b.as_ref().as_ptr() as usize;
+        let sub = s.as_ref().as_ptr() as usize;
+        assert_eq!(sub, base + 64, "slice must point into the parent allocation");
+        let nested = s.slice(8..16);
+        assert_eq!(nested.as_ref().as_ptr() as usize, base + 72);
+        assert_eq!(nested.len(), 8);
+    }
+
+    #[test]
+    fn slice_bounds_are_respected_after_advance() {
+        let mut b = Bytes::from((0u8..32).collect::<Vec<_>>());
+        b.advance(4);
+        let s = b.slice(2..6);
+        assert_eq!(s.as_ref(), &[6, 7, 8, 9]);
+        assert_eq!(s.remaining(), 4);
     }
 
     #[test]

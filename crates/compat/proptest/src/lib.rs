@@ -388,7 +388,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::{Range, RangeInclusive};
 
-    /// Acceptable size arguments for [`vec`]: a fixed size or a range.
+    /// Acceptable size arguments for [`vec()`]: a fixed size or a range.
     pub trait IntoSizeRange {
         /// `(min, max)` inclusive bounds.
         fn bounds(&self) -> (usize, usize);

@@ -134,13 +134,26 @@ pub fn biqgemm_dynamic_act_quant(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // reference results come from the deprecated one-shot shim
 mod tests {
     use super::*;
-    use crate::tiled::biqgemm_tiled;
+    use crate::arena::BiqArena;
+    use crate::tiled::biqgemm_serial_into;
     use biq_matrix::{assert_allclose, MatrixRng};
     use biq_quant::error_metrics::relative_l2;
     use biq_quant::greedy_quantize_matrix_rowwise;
+
+    /// Reference one-shot serial run (the old `biqgemm_tiled` facade).
+    fn biqgemm_tiled(
+        w: &BiqWeights,
+        x: &ColMatrix,
+        cfg: &BiqConfig,
+        profile: &mut PhaseProfile,
+    ) -> Matrix {
+        let mut y = Matrix::zeros(w.output_size(), x.cols());
+        let mut arena = BiqArena::new();
+        biqgemm_serial_into(w, x, cfg, profile, &mut arena, y.as_mut_slice());
+        y
+    }
 
     #[test]
     fn activation_quantization_round_trip_improves_with_bits() {

@@ -54,7 +54,7 @@ pub struct BiqConfig {
     pub build: LutBuildMethod,
     /// Table layout.
     pub layout: LutLayout,
-    /// Parallel schedule (used by `parallel::biqgemm_parallel`).
+    /// Parallel schedule (used by `parallel::biqgemm_parallel_arena_into`).
     pub schedule: Schedule,
     /// Use explicitly vectorised (AVX2/FMA) query primitives when the CPU
     /// supports them; `false` forces the scalar loops (ablation).

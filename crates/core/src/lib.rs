@@ -39,10 +39,10 @@
 //! [`tiled::biqgemm_serial_into`] /
 //! [`parallel::biqgemm_parallel_arena_into`] are the arena-threaded
 //! kernels every path funnels into. [`kernel::BiqGemm`] remains as a
-//! self-contained facade (one-shot arena per call); the old free functions
-//! `biqgemm_tiled` / `biqgemv_tiled` / `biqgemm_parallel` are deprecated
-//! shims over the same code path (their notes point at `biq_runtime` for
-//! repeat calls and `biq_serve` for concurrent traffic).
+//! self-contained facade (one-shot arena per call). The historical free
+//! functions `biqgemm_tiled` / `biqgemv_tiled` / `biqgemm_parallel` have
+//! been **removed** — route repeat calls through `biq_runtime::Executor`
+//! and concurrent traffic through the `biq_serve` batching layer.
 //!
 //! ## Quick start
 //!

@@ -36,7 +36,7 @@ use crate::tiled::run_tiles;
 use crate::weights::BiqWeights;
 use biq_matrix::reshape::ChunkedInput;
 use biq_matrix::view::tile_ranges;
-use biq_matrix::{ColMatrix, Matrix};
+use biq_matrix::ColMatrix;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard};
@@ -187,21 +187,6 @@ pub fn biqgemm_parallel_into(w: &BiqWeights, x: &ColMatrix, cfg: &BiqConfig, y: 
     biqgemm_parallel_arena_into(w, x, cfg, &pool, y);
 }
 
-/// Parallel BiQGEMM, dispatching on `cfg.schedule`.
-///
-/// # Panics
-/// Panics on dimension mismatch or invalid config.
-#[deprecated(
-    since = "0.1.0",
-    note = "route through biq_runtime::Executor for reusable outputs and persistent per-worker \
-            LUT arenas, or the biq_serve batching layer for concurrent serving traffic"
-)]
-pub fn biqgemm_parallel(w: &BiqWeights, x: &ColMatrix, cfg: &BiqConfig) -> Matrix {
-    let mut y = Matrix::zeros(w.output_size(), x.cols());
-    biqgemm_parallel_into(w, x, cfg, y.as_mut_slice());
-    y
-}
-
 /// Rows-per-task sizing: enough tasks for load balance, big enough blocks to
 /// amortise the replicated LUT builds.
 fn rows_per_task(m: usize) -> usize {
@@ -326,17 +311,27 @@ fn shared_lut(w: &BiqWeights, x: &ColMatrix, cfg: &BiqConfig, pool: &ParallelAre
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the deprecated shims are exercised here on purpose
 mod tests {
     use super::*;
     use crate::profile::PhaseProfile;
-    use crate::tiled::biqgemm_tiled;
-    use biq_matrix::MatrixRng;
+    use crate::tiled::biqgemm_serial_into;
+    use biq_matrix::{Matrix, MatrixRng};
     use biq_quant::greedy_quantize_matrix_rowwise;
 
     fn serial(w: &BiqWeights, x: &ColMatrix, cfg: &BiqConfig) -> Matrix {
         let mut p = PhaseProfile::new();
-        biqgemm_tiled(w, x, cfg, &mut p)
+        let mut arena = BiqArena::new();
+        let mut y = Matrix::zeros(w.output_size(), x.cols());
+        biqgemm_serial_into(w, x, cfg, &mut p, &mut arena, y.as_mut_slice());
+        y
+    }
+
+    /// Test-local one-shot harness over the pooled entry point (the old
+    /// `biqgemm_parallel` free function, now deleted from the public API).
+    fn biqgemm_parallel(w: &BiqWeights, x: &ColMatrix, cfg: &BiqConfig) -> Matrix {
+        let mut y = Matrix::zeros(w.output_size(), x.cols());
+        biqgemm_parallel_into(w, x, cfg, y.as_mut_slice());
+        y
     }
 
     #[test]

@@ -26,16 +26,17 @@ use crate::profile::PhaseProfile;
 use crate::weights::BiqWeights;
 use biq_matrix::reshape::ChunkedInput;
 use biq_matrix::view::tile_ranges;
-use biq_matrix::{ColMatrix, Matrix};
+use biq_matrix::ColMatrix;
 
 /// Serial LUT-stationary BiQGEMM into a caller-provided output buffer,
 /// using `arena` for every scratch need. `y` is a row-major `m × b` buffer;
 /// it is zeroed before accumulation. Once the arena has warmed to the
 /// workload's shape, repeat calls perform **no heap allocation**.
 ///
-/// This is the single serial code path: [`biqgemm_tiled`],
-/// [`biqgemv_tiled`], `BiqGemm::matmul` and the runtime executor all funnel
-/// here.
+/// This is the single serial code path: `BiqGemm::matmul` and the runtime
+/// executor both funnel here. (The historical one-shot free functions
+/// `biqgemm_tiled`/`biqgemv_tiled` are gone — route through
+/// `biq_runtime::Executor`, or `biq_serve` for concurrent traffic.)
 ///
 /// # Panics
 /// Panics if `x.rows() != w.input_size()`, `y.len() != m·b`, or the config
@@ -55,28 +56,6 @@ pub fn biqgemm_serial_into(
     y.fill(0.0);
     let (bank, acc) = arena.parts(w.mu(), cfg.layout, cfg.tile_batch.min(b.max(1)));
     run_tiles(w, x, cfg, profile, bank, acc, &[(0, w.key_rows())], y, 0);
-}
-
-/// Serial LUT-stationary BiQGEMM: `Y = Σ_p α_p ∘ (B_p · X)`.
-///
-/// # Panics
-/// Panics if `x.rows() != w.input_size()` or the config is invalid.
-#[deprecated(
-    since = "0.1.0",
-    note = "route through biq_runtime::Executor (or biqgemm_serial_into) so LUT arenas are \
-            reused; for concurrent traffic use the biq_serve batching layer, which amortises \
-            one LUT build across a whole request bucket"
-)]
-pub fn biqgemm_tiled(
-    w: &BiqWeights,
-    x: &ColMatrix,
-    cfg: &BiqConfig,
-    profile: &mut PhaseProfile,
-) -> Matrix {
-    let mut y = Matrix::zeros(w.output_size(), x.cols());
-    let mut arena = BiqArena::new();
-    biqgemm_serial_into(w, x, cfg, profile, &mut arena, y.as_mut_slice());
-    y
 }
 
 /// The shared tile loop. Processes the given disjoint key-row ranges
@@ -158,30 +137,27 @@ pub(crate) fn run_tiles(
     }
 }
 
-/// Convenience single-vector entry point (`b = 1` GEMV).
-#[deprecated(
-    since = "0.1.0",
-    note = "route through biq_runtime::Executor (or biqgemm_serial_into) so LUT arenas are \
-            reused; single-column GEMV traffic is exactly what biq_serve's batch window packs \
-            into shared-LUT-build batches"
-)]
-pub fn biqgemv_tiled(w: &BiqWeights, x: &[f32], cfg: &BiqConfig) -> Vec<f32> {
-    let xm = ColMatrix::from_vec(x.len(), 1, x.to_vec());
-    let mut profile = PhaseProfile::new();
-    let mut arena = BiqArena::new();
-    let mut y = vec![0.0f32; w.output_size()];
-    biqgemm_serial_into(w, &xm, cfg, &mut profile, &mut arena, &mut y);
-    y
-}
-
 #[cfg(test)]
 #[allow(clippy::needless_range_loop)] // index-style loops read clearer in reference checks
-#[allow(deprecated)] // the deprecated shims are exercised here on purpose
 mod tests {
     use super::*;
     use crate::config::LutBuildMethod;
-    use biq_matrix::{assert_allclose, MatrixRng};
+    use biq_matrix::{assert_allclose, Matrix, MatrixRng};
     use biq_quant::greedy_quantize_matrix_rowwise;
+
+    /// Test-local one-shot harness over the arena entry point (the old
+    /// `biqgemm_tiled` free function, now deleted from the public API).
+    fn biqgemm_tiled(
+        w: &BiqWeights,
+        x: &ColMatrix,
+        cfg: &BiqConfig,
+        profile: &mut PhaseProfile,
+    ) -> Matrix {
+        let mut y = Matrix::zeros(w.output_size(), x.cols());
+        let mut arena = BiqArena::new();
+        biqgemm_serial_into(w, x, cfg, profile, &mut arena, y.as_mut_slice());
+        y
+    }
 
     fn reference(w: &BiqWeights, signs_f32: &Matrix, x: &ColMatrix) -> Matrix {
         // Dense reference of the same quantized product: Σ_p α_p ∘ (B_p X)
@@ -329,13 +305,15 @@ mod tests {
     }
 
     #[test]
-    fn gemv_entry_point() {
+    fn single_column_gemv_matches_matvec() {
         let mut g = MatrixRng::seed_from(236);
         let signs = g.signs(15, 20);
         let x: Vec<f32> = (0..20).map(|i| (i as f32) - 10.0).collect();
         let w = BiqWeights::from_signs_unscaled(&signs, 8);
-        let y = biqgemv_tiled(&w, &x, &BiqConfig::default());
-        assert_eq!(y, signs.matvec(&x));
+        let xm = ColMatrix::from_vec(20, 1, x.clone());
+        let mut prof = PhaseProfile::new();
+        let y = biqgemm_tiled(&w, &xm, &BiqConfig::default(), &mut prof);
+        assert_eq!(y.as_slice(), signs.matvec(&x));
     }
 
     #[test]

@@ -7,16 +7,22 @@
 //! with β — and key row `r` contributes to output row `r mod m` with scale
 //! `stacked_scales[r]`.
 
+use biq_matrix::store::PodStore;
 use biq_matrix::SignMatrix;
 use biq_quant::packing::KeyMatrix;
 use biq_quant::MultiBitMatrix;
 
 /// Packed, scaled, multi-bit quantized weights ready for BiQGEMM.
+///
+/// Both components live in shared-capable storage: weights deserialized
+/// from a model artifact borrow the artifact buffer (keys via
+/// [`KeyMatrix::from_shared`], scales via [`BiqWeights::from_parts_store`])
+/// instead of re-allocating.
 #[derive(Clone, Debug)]
 pub struct BiqWeights {
     keys: KeyMatrix,
     /// Per-key-row scales, plane-major (`β · m` entries).
-    scales: Vec<f32>,
+    scales: PodStore<f32>,
     /// Output size `m` of the logical weight matrix.
     m: usize,
     /// Input size `n`.
@@ -31,7 +37,7 @@ impl BiqWeights {
         let (m, n) = q.shape();
         let stacked = q.stacked_signs();
         let keys = KeyMatrix::pack(&stacked, mu);
-        Self { keys, scales: q.stacked_scales(), m, n, bits: q.bits() }
+        Self { keys, scales: q.stacked_scales().into(), m, n, bits: q.bits() }
     }
 
     /// Packs a single sign plane with per-row scales (1-bit weights).
@@ -41,7 +47,7 @@ impl BiqWeights {
     pub fn from_signs(signs: &SignMatrix, scales: &[f32], mu: usize) -> Self {
         assert_eq!(scales.len(), signs.rows(), "scale length mismatch");
         let (m, n) = signs.shape();
-        Self { keys: KeyMatrix::pack(signs, mu), scales: scales.to_vec(), m, n, bits: 1 }
+        Self { keys: KeyMatrix::pack(signs, mu), scales: scales.to_vec().into(), m, n, bits: 1 }
     }
 
     /// Packs raw signs with unit scales — the pure binary `Y = B·X` setting
@@ -56,6 +62,22 @@ impl BiqWeights {
     /// Panics when the parts are inconsistent (key rows ≠ `bits·m`, scale
     /// count ≠ key rows, or key width ≠ `n`).
     pub fn from_parts(keys: KeyMatrix, scales: Vec<f32>, m: usize, n: usize, bits: usize) -> Self {
+        Self::from_parts_store(keys, scales.into(), m, n, bits)
+    }
+
+    /// [`BiqWeights::from_parts`] over shared-capable scale storage — the
+    /// zero-copy artifact loading path (pass a `PodView` converted into a
+    /// [`PodStore`]).
+    ///
+    /// # Panics
+    /// Panics under the same conditions as [`BiqWeights::from_parts`].
+    pub fn from_parts_store(
+        keys: KeyMatrix,
+        scales: PodStore<f32>,
+        m: usize,
+        n: usize,
+        bits: usize,
+    ) -> Self {
         assert_eq!(keys.rows(), bits * m, "key rows must equal bits·m");
         assert_eq!(keys.cols(), n, "key width must equal n");
         assert_eq!(scales.len(), bits * m, "scale count must equal bits·m");
@@ -113,7 +135,7 @@ impl BiqWeights {
     /// All stacked scales.
     #[inline]
     pub fn scales(&self) -> &[f32] {
-        &self.scales
+        self.scales.as_slice()
     }
 
     /// Output row that key row `r` accumulates into (`r mod m`).

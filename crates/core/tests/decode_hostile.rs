@@ -1,0 +1,55 @@
+//! Hostile-input hardening for the `BIQW` packed-weights decoder: any
+//! truncation must return an error, and arbitrary bit flips must never
+//! panic or over-read.
+
+use biq_matrix::MatrixRng;
+use biq_quant::greedy_quantize_matrix_rowwise;
+use biqgemm_core::serialize::{decode_weights, encode_weights};
+use biqgemm_core::BiqWeights;
+use bytes::Bytes;
+use proptest::prelude::*;
+
+fn sample(rows: usize, cols: usize, bits: usize, mu: usize, seed: u64) -> BiqWeights {
+    let mut g = MatrixRng::seed_from(seed);
+    let q = greedy_quantize_matrix_rowwise(&g.gaussian(rows, cols, 0.0, 1.0), bits);
+    BiqWeights::from_multibit(&q, mu)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn truncated_weights_always_error(
+        rows in 1usize..8,
+        cols in 1usize..32,
+        bits in 1usize..4,
+        mu in 1usize..=16,
+        cut_frac in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let enc = encode_weights(&sample(rows, cols, bits, mu, seed));
+        let cut = ((enc.len() as f64 * cut_frac) as usize).min(enc.len() - 1);
+        prop_assert!(decode_weights(enc.slice(0..cut)).is_err(), "cut {} decoded", cut);
+    }
+
+    #[test]
+    fn flipped_weights_never_panic_and_survivors_are_well_formed(
+        rows in 1usize..8,
+        cols in 1usize..32,
+        bits in 1usize..4,
+        mu in 1usize..=16,
+        flip_frac in 0.0f64..1.0,
+        flip_bit in 0u8..8,
+        seed in 0u64..1000,
+    ) {
+        let mut raw = encode_weights(&sample(rows, cols, bits, mu, seed)).to_vec();
+        let at = ((raw.len() as f64 * flip_frac) as usize).min(raw.len() - 1);
+        raw[at] ^= 1 << flip_bit;
+        if let Ok(w) = decode_weights(Bytes::from(raw)) {
+            // Anything that decodes must still be internally consistent.
+            prop_assert_eq!(w.key_rows(), w.bits() * w.output_size());
+            prop_assert_eq!(w.scales().len(), w.key_rows());
+            prop_assert_eq!(w.keys().cols(), w.input_size());
+        }
+    }
+}

@@ -14,13 +14,18 @@
 //! * accuracy at ≤4 bits collapses (Table I), while binary-coding degrades
 //!   gracefully — see `biq-quant::uniform` and the Table I proxy.
 
+use biq_matrix::store::PodStore;
 use biq_matrix::{ColMatrix, Matrix};
 
 /// Offline-quantized INT8 weights: row-major `i8` with one scale per row.
+///
+/// Both buffers live in shared-capable storage ([`PodStore`]), so weights
+/// deserialized from a model artifact borrow the artifact buffer instead of
+/// re-allocating.
 #[derive(Clone, Debug)]
 pub struct Int8Weights {
-    data: Vec<i8>,
-    row_scales: Vec<f32>,
+    data: PodStore<i8>,
+    row_scales: PodStore<f32>,
     rows: usize,
     cols: usize,
 }
@@ -40,6 +45,22 @@ impl Int8Weights {
                 data.push((v / scale).round().clamp(-127.0, 127.0) as i8);
             }
         }
+        Self { data: data.into(), row_scales: row_scales.into(), rows, cols }
+    }
+
+    /// Reassembles weights from deserialized parts (pass shared stores for
+    /// zero-copy artifact loading).
+    ///
+    /// # Panics
+    /// Panics when buffer lengths disagree with the shape.
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        data: PodStore<i8>,
+        row_scales: PodStore<f32>,
+    ) -> Self {
+        assert_eq!(data.len(), rows * cols, "int8 buffer length mismatch");
+        assert_eq!(row_scales.len(), rows, "row scale count mismatch");
         Self { data, row_scales, rows, cols }
     }
 
@@ -51,6 +72,16 @@ impl Int8Weights {
     /// Input size `n`.
     pub fn cols(&self) -> usize {
         self.cols
+    }
+
+    /// The row-major quantized values.
+    pub fn as_slice(&self) -> &[i8] {
+        self.data.as_slice()
+    }
+
+    /// The per-row dequantization scales.
+    pub fn row_scales(&self) -> &[f32] {
+        self.row_scales.as_slice()
     }
 
     /// Dequantizes back to fp32 (for error measurement).

@@ -17,14 +17,19 @@
 //! `β_a`) nest as in the paper's complexity expression
 //! `O(β_w · β_a · m · n/32 · b)`.
 
+use biq_matrix::store::PodStore;
 use biq_matrix::{ColMatrix, Matrix};
 use biq_quant::packing::{pack_signs_u64, PackedRowsU64};
 
 /// XNOR-ready weights: one packed sign plane per weight bit, each with
 /// per-row scales.
+///
+/// Scales and words live in shared-capable storage ([`PodStore`] /
+/// [`PackedRowsU64::from_shared`]), so planes deserialized from a model
+/// artifact borrow the artifact buffer instead of re-allocating.
 #[derive(Clone, Debug)]
 pub struct XnorWeights {
-    planes: Vec<(Vec<f32>, PackedRowsU64)>,
+    planes: Vec<(PodStore<f32>, PackedRowsU64)>,
     rows: usize,
     cols: usize,
 }
@@ -35,6 +40,15 @@ impl XnorWeights {
     /// # Panics
     /// Panics if planes are empty or disagree in shape.
     pub fn new(planes: Vec<(Vec<f32>, PackedRowsU64)>) -> Self {
+        Self::from_plane_stores(planes.into_iter().map(|(s, p)| (s.into(), p)).collect())
+    }
+
+    /// [`XnorWeights::new`] over shared-capable scale storage — the
+    /// zero-copy artifact loading path.
+    ///
+    /// # Panics
+    /// Panics if planes are empty or disagree in shape.
+    pub fn from_plane_stores(planes: Vec<(PodStore<f32>, PackedRowsU64)>) -> Self {
         assert!(!planes.is_empty(), "at least one plane required");
         let rows = planes[0].1.rows();
         let cols = planes[0].1.cols();
@@ -66,6 +80,12 @@ impl XnorWeights {
     /// Input size `n`.
     pub fn cols(&self) -> usize {
         self.cols
+    }
+
+    /// The `(per-row scales, packed signs)` planes — the payload a model
+    /// artifact serializes.
+    pub fn planes(&self) -> &[(PodStore<f32>, PackedRowsU64)] {
+        &self.planes
     }
 }
 

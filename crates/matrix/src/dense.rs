@@ -10,22 +10,28 @@
 /// Element `(i, j)` lives at `data[i * cols + j]`; row `i` is the contiguous
 /// slice `data[i*cols .. (i+1)*cols]`. Used for weights (`m × n`) and outputs
 /// (`m × b`).
+///
+/// Storage is a [`PodStore`](crate::store::PodStore): normally an owned
+/// `Vec<f32>`, but a matrix
+/// deserialized from a model artifact borrows the artifact's byte buffer
+/// instead ([`Matrix::from_shared`]). Mutation copies-on-write, so the
+/// read-only kernel paths never pay for the distinction.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
-    data: Vec<f32>,
+    data: crate::store::PodStore<f32>,
 }
 
 impl Matrix {
     /// Creates a zero-filled `rows × cols` matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self { rows, cols, data: vec![0.0; rows * cols].into() }
     }
 
     /// Creates a matrix filled with `value`.
     pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self { rows, cols, data: vec![value; rows * cols].into() }
     }
 
     /// Wraps an existing row-major buffer.
@@ -39,7 +45,28 @@ impl Matrix {
             "buffer length {} does not match {rows}x{cols}",
             data.len()
         );
-        Self { rows, cols, data }
+        Self { rows, cols, data: data.into() }
+    }
+
+    /// Wraps a zero-copy view over a loaded artifact buffer — the
+    /// deserialization path for dense fp32 payloads.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_shared(rows: usize, cols: usize, data: crate::store::PodView<f32>) -> Self {
+        assert_eq!(
+            data.as_slice().len(),
+            rows * cols,
+            "shared buffer length {} does not match {rows}x{cols}",
+            data.as_slice().len()
+        );
+        Self { rows, cols, data: data.into() }
+    }
+
+    /// True when the backing storage is a shared artifact view (no owned
+    /// allocation was made for the payload).
+    pub fn is_shared(&self) -> bool {
+        self.data.is_shared()
     }
 
     /// Builds a matrix by evaluating `f(i, j)` for every element.
@@ -50,7 +77,7 @@ impl Matrix {
                 data.push(f(i, j));
             }
         }
-        Self { rows, cols, data }
+        Self { rows, cols, data: data.into() }
     }
 
     /// The `n × n` identity.
@@ -99,7 +126,8 @@ impl Matrix {
     #[inline]
     pub fn set(&mut self, i: usize, j: usize, v: f32) {
         debug_assert!(i < self.rows && j < self.cols);
-        self.data[i * self.cols + j] = v;
+        let idx = i * self.cols + j;
+        self.data.as_mut_slice()[idx] = v;
     }
 
     /// Contiguous row `i`.
@@ -111,7 +139,8 @@ impl Matrix {
     /// Mutable contiguous row `i`.
     #[inline]
     pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
-        &mut self.data[i * self.cols..(i + 1) * self.cols]
+        let range = i * self.cols..(i + 1) * self.cols;
+        &mut self.data.as_mut_slice()[range]
     }
 
     /// The backing row-major slice.
@@ -123,12 +152,13 @@ impl Matrix {
     /// The backing row-major slice, mutably.
     #[inline]
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
-        &mut self.data
+        self.data.as_mut_slice()
     }
 
-    /// Consumes the matrix and returns its buffer.
+    /// Consumes the matrix and returns its buffer (copies only when the
+    /// matrix was a shared artifact view).
     pub fn into_vec(self) -> Vec<f32> {
-        self.data
+        self.data.into_vec()
     }
 
     /// Gathers column `j` into a fresh vector (strided read).
@@ -151,7 +181,7 @@ impl Matrix {
     /// shape without copying: a row-major `r × c` buffer is bit-identical to a
     /// column-major `c × r` buffer.
     pub fn into_col_major_transposed(self) -> ColMatrix {
-        ColMatrix { rows: self.cols, cols: self.rows, data: self.data }
+        ColMatrix { rows: self.cols, cols: self.rows, data: self.data.into_vec() }
     }
 
     /// Copies this matrix into column-major layout (same logical shape).
@@ -171,14 +201,14 @@ impl Matrix {
     /// Panics on shape mismatch.
     pub fn add_assign(&mut self, rhs: &Matrix) {
         assert_eq!(self.shape(), rhs.shape(), "shape mismatch in add_assign");
-        for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
+        for (a, b) in self.data.as_mut_slice().iter_mut().zip(rhs.data.iter()) {
             *a += *b;
         }
     }
 
     /// Scales every element in place.
     pub fn scale(&mut self, s: f32) {
-        for a in &mut self.data {
+        for a in self.data.as_mut_slice() {
             *a *= s;
         }
     }
@@ -303,7 +333,7 @@ impl ColMatrix {
     /// Reinterprets the same data as a row-major matrix of the transposed
     /// shape without copying.
     pub fn into_row_major_transposed(self) -> Matrix {
-        Matrix { rows: self.cols, cols: self.rows, data: self.data }
+        Matrix { rows: self.cols, cols: self.rows, data: self.data.into() }
     }
 
     /// Consumes the matrix, returning the backing column-major buffer

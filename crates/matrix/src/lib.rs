@@ -33,6 +33,9 @@
 //!   uniform, signs, small-integer matrices for bit-exact testing);
 //! * [`approx`] — tolerant comparison helpers shared by tests and the bench
 //!   harness;
+//! * [`store`] — owned-or-shared typed storage ([`PodStore`]/[`PodView`])
+//!   so deserialized weights can borrow a loaded artifact buffer instead of
+//!   re-allocating (zero-copy model loading);
 //! * [`io`] — versioned binary containers for every matrix type;
 //! * [`view`] / [`display`] — tile-range helpers and debug pretty-printing.
 
@@ -43,6 +46,7 @@ pub mod io;
 pub mod random;
 pub mod reshape;
 pub mod sign;
+pub mod store;
 pub mod view;
 
 pub use approx::{allclose, assert_allclose, max_abs_diff, max_rel_diff};
@@ -50,4 +54,5 @@ pub use dense::{ColMatrix, Matrix};
 pub use random::MatrixRng;
 pub use reshape::ChunkedInput;
 pub use sign::SignMatrix;
+pub use store::{Pod, PodCastError, PodStore, PodView};
 pub use view::{ColsView, RowsView};

@@ -52,6 +52,26 @@ impl MultiHeadAttention {
         self.heads
     }
 
+    /// The query projection.
+    pub fn wq(&self) -> &Linear {
+        &self.wq
+    }
+
+    /// The key projection.
+    pub fn wk(&self) -> &Linear {
+        &self.wk
+    }
+
+    /// The value projection.
+    pub fn wv(&self) -> &Linear {
+        &self.wv
+    }
+
+    /// The output projection.
+    pub fn wo(&self) -> &Linear {
+        &self.wo
+    }
+
     /// Self-attention: `attend(x, x)`.
     pub fn forward(&self, x: &ColMatrix) -> ColMatrix {
         self.attend(x, x)

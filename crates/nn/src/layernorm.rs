@@ -5,20 +5,25 @@
 //! INT8 pipelines pay 15–30% overhead converting around it — one of the
 //! motivations for weight-only binary-coding quantization.
 
+use biq_matrix::store::PodStore;
 use biq_matrix::ColMatrix;
 
 /// Learnable layer normalisation `y = γ ∘ (x − mean)/√(var + ε) + β`.
+///
+/// Parameters live in shared-capable storage ([`PodStore`]): a layer norm
+/// restored from a model artifact borrows the artifact buffer; mutation
+/// copies-on-write.
 #[derive(Clone, Debug)]
 pub struct LayerNorm {
-    gamma: Vec<f32>,
-    beta: Vec<f32>,
+    gamma: PodStore<f32>,
+    beta: PodStore<f32>,
     eps: f32,
 }
 
 impl LayerNorm {
     /// Identity-initialised (`γ = 1`, `β = 0`) norm over `dim` features.
     pub fn new(dim: usize) -> Self {
-        Self { gamma: vec![1.0; dim], beta: vec![0.0; dim], eps: 1e-5 }
+        Self { gamma: vec![1.0; dim].into(), beta: vec![0.0; dim].into(), eps: 1e-5 }
     }
 
     /// With explicit parameters.
@@ -26,6 +31,15 @@ impl LayerNorm {
     /// # Panics
     /// Panics if `gamma` and `beta` lengths differ.
     pub fn with_params(gamma: Vec<f32>, beta: Vec<f32>, eps: f32) -> Self {
+        Self::with_param_stores(gamma.into(), beta.into(), eps)
+    }
+
+    /// [`LayerNorm::with_params`] over shared-capable storage (artifact
+    /// restore path).
+    ///
+    /// # Panics
+    /// Panics if `gamma` and `beta` lengths differ.
+    pub fn with_param_stores(gamma: PodStore<f32>, beta: PodStore<f32>, eps: f32) -> Self {
         assert_eq!(gamma.len(), beta.len(), "gamma/beta length mismatch");
         Self { gamma, beta, eps }
     }
@@ -35,14 +49,29 @@ impl LayerNorm {
         self.gamma.len()
     }
 
+    /// The scale parameters γ.
+    pub fn gamma(&self) -> &[f32] {
+        &self.gamma
+    }
+
+    /// The shift parameters β.
+    pub fn beta(&self) -> &[f32] {
+        &self.beta
+    }
+
+    /// The numerical-stability epsilon.
+    pub fn eps(&self) -> f32 {
+        self.eps
+    }
+
     /// Mutable access to γ (for tests/toy training).
     pub fn gamma_mut(&mut self) -> &mut [f32] {
-        &mut self.gamma
+        self.gamma.as_mut_slice()
     }
 
     /// Mutable access to β.
     pub fn beta_mut(&mut self) -> &mut [f32] {
-        &mut self.beta
+        self.beta.as_mut_slice()
     }
 
     /// Normalises every column of `x` in place.
@@ -57,7 +86,7 @@ impl LayerNorm {
             let mean = col.iter().sum::<f32>() / d;
             let var = col.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d;
             let inv = 1.0 / (var + self.eps).sqrt();
-            for (v, (&g, &bt)) in col.iter_mut().zip(self.gamma.iter().zip(&self.beta)) {
+            for (v, (&g, &bt)) in col.iter_mut().zip(self.gamma.iter().zip(self.beta.iter())) {
                 *v = g * (*v - mean) * inv + bt;
             }
         }

@@ -30,8 +30,10 @@ pub mod embedding;
 pub mod layernorm;
 pub mod linear;
 pub mod lstm;
+pub mod model;
 pub mod pooling;
 pub mod seq2seq;
 pub mod transformer;
 
 pub use linear::{BackendKind, Linear, QuantMethod};
+pub use model::{CompiledModel, ModelBuilder};

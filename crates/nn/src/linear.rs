@@ -19,6 +19,7 @@
 //! each creates a private executor, which is correct but forgoes
 //! cross-layer arena sharing.
 
+use biq_matrix::store::PodStore;
 use biq_matrix::{ColMatrix, Matrix};
 use biq_runtime::{
     compile, BackendSpec, CompiledOp, ExecutionPlan, PlanBuilder, SharedExecutor, Threading,
@@ -61,7 +62,7 @@ impl BackendKind {
 pub struct Linear {
     op: Arc<CompiledOp>,
     exec: SharedExecutor,
-    bias: Option<Vec<f32>>,
+    bias: Option<PodStore<f32>>,
     out_features: usize,
     in_features: usize,
     kind: BackendKind,
@@ -80,14 +81,29 @@ impl Linear {
         bias: Option<Vec<f32>>,
         exec: SharedExecutor,
     ) -> Self {
-        Self::check_bias(&bias, plan.m);
         let op = compile(plan, weights);
+        Self::from_compiled_op(Arc::new(op), bias.map(PodStore::from), exec)
+    }
+
+    /// Wraps an already-compiled op (the artifact restore path: the op's
+    /// packed weights and `bias` may both borrow a loaded file buffer).
+    ///
+    /// # Panics
+    /// Panics when `bias.len() != m`.
+    pub fn from_compiled_op(
+        op: Arc<CompiledOp>,
+        bias: Option<PodStore<f32>>,
+        exec: SharedExecutor,
+    ) -> Self {
+        if let Some(b) = &bias {
+            assert_eq!(b.len(), op.output_size(), "bias length must equal out_features");
+        }
         exec.warm(&op);
         Self {
             out_features: op.output_size(),
             in_features: op.input_size(),
-            kind: BackendKind::of(&plan.spec),
-            op: Arc::new(op),
+            kind: BackendKind::of(&op.plan().spec),
+            op,
             exec,
             bias,
         }
@@ -156,10 +172,9 @@ impl Linear {
         Self::from_plan(&plan, WeightSource::Dense(weight), bias, SharedExecutor::new())
     }
 
-    fn check_bias(bias: &Option<Vec<f32>>, out: usize) {
-        if let Some(b) = bias {
-            assert_eq!(b.len(), out, "bias length must equal out_features");
-        }
+    /// The layer bias, if any.
+    pub fn bias(&self) -> Option<&[f32]> {
+        self.bias.as_deref()
     }
 
     /// Output feature count.
@@ -208,7 +223,7 @@ impl Linear {
         let mut out = y.to_col_major();
         if let Some(bias) = &self.bias {
             for j in 0..out.cols() {
-                for (v, &bv) in out.col_mut(j).iter_mut().zip(bias) {
+                for (v, &bv) in out.col_mut(j).iter_mut().zip(bias.as_slice()) {
                     *v += bv;
                 }
             }

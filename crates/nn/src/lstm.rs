@@ -87,6 +87,16 @@ impl LstmCell {
         self.hidden
     }
 
+    /// The input projection (`4h × input_size`).
+    pub fn w_ih(&self) -> &Linear {
+        &self.w_ih
+    }
+
+    /// The recurrent projection (`4h × h`).
+    pub fn w_hh(&self) -> &Linear {
+        &self.w_hh
+    }
+
     /// Input size.
     pub fn input_size(&self) -> usize {
         self.input_size

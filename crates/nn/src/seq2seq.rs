@@ -64,6 +64,24 @@ impl Seq2Seq {
         Self { embed, encoder, decoder, out_proj, specials: SpecialTokens { bos: 0, eos: 1 } }
     }
 
+    /// Assembles a model from parts (the artifact restore path).
+    ///
+    /// # Panics
+    /// Panics on width mismatches between the blocks.
+    pub fn from_parts(
+        embed: Embedding,
+        encoder: Encoder,
+        decoder: Vec<DecoderLayer>,
+        out_proj: Linear,
+        specials: SpecialTokens,
+    ) -> Self {
+        let d = embed.d_model();
+        assert_eq!(out_proj.in_features(), d, "output projection must consume d_model");
+        assert_eq!(out_proj.out_features(), embed.vocab(), "output projection must emit vocab");
+        assert!(specials.bos < embed.vocab() && specials.eos < embed.vocab(), "specials in vocab");
+        Self { embed, encoder, decoder, out_proj, specials }
+    }
+
     /// Vocabulary size.
     pub fn vocab(&self) -> usize {
         self.embed.vocab()
@@ -72,6 +90,26 @@ impl Seq2Seq {
     /// The special tokens.
     pub fn specials(&self) -> SpecialTokens {
         self.specials
+    }
+
+    /// The embedding table.
+    pub fn embed(&self) -> &Embedding {
+        &self.embed
+    }
+
+    /// The encoder stack.
+    pub fn encoder(&self) -> &Encoder {
+        &self.encoder
+    }
+
+    /// The decoder layers.
+    pub fn decoder_layers(&self) -> &[DecoderLayer] {
+        &self.decoder
+    }
+
+    /// The `vocab × d_model` output projection.
+    pub fn out_proj(&self) -> &Linear {
+        &self.out_proj
     }
 
     /// Encodes a source token sequence into the decoder memory

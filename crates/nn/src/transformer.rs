@@ -38,6 +38,8 @@ pub enum LayerBackend {
         /// Quantization bits β_w.
         bits: usize,
     },
+    /// INT8 fixed-point pipeline (dynamic activation quantization).
+    Int8,
 }
 
 impl LayerBackend {
@@ -72,6 +74,7 @@ impl LayerBackend {
             LayerBackend::Xnor { bits } => {
                 PlanBuilder::new(m, n).backend(BackendSpec::Xnor { bits }).build()
             }
+            LayerBackend::Int8 => PlanBuilder::new(m, n).backend(BackendSpec::Int8).build(),
         };
         Linear::from_plan(&plan, WeightSource::Dense(&weight), bias, exec.clone())
     }
@@ -167,6 +170,31 @@ impl EncoderLayer {
         self.attn.d_model()
     }
 
+    /// The attention block.
+    pub fn attn(&self) -> &MultiHeadAttention {
+        &self.attn
+    }
+
+    /// The first feed-forward projection (`d_ff × d_model`).
+    pub fn ff1(&self) -> &Linear {
+        &self.ff1
+    }
+
+    /// The second feed-forward projection (`d_model × d_ff`).
+    pub fn ff2(&self) -> &Linear {
+        &self.ff2
+    }
+
+    /// The post-attention layer norm.
+    pub fn ln1(&self) -> &LayerNorm {
+        &self.ln1
+    }
+
+    /// The post-feed-forward layer norm.
+    pub fn ln2(&self) -> &LayerNorm {
+        &self.ln2
+    }
+
     /// Forward over a `d_model × seq` activation matrix.
     pub fn forward(&self, x: &ColMatrix) -> ColMatrix {
         // x ← LN(x + Attn(x))
@@ -196,6 +224,66 @@ pub struct DecoderLayer {
 }
 
 impl DecoderLayer {
+    /// Assembles a decoder layer from parts.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatches between the blocks.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        self_attn: MultiHeadAttention,
+        cross_attn: MultiHeadAttention,
+        ff1: Linear,
+        ff2: Linear,
+        ln1: LayerNorm,
+        ln2: LayerNorm,
+        ln3: LayerNorm,
+    ) -> Self {
+        let d = self_attn.d_model();
+        assert_eq!(cross_attn.d_model(), d, "cross-attention width mismatch");
+        assert_eq!(ff1.in_features(), d, "ff1 input must be d_model");
+        assert_eq!(ff2.out_features(), d, "ff2 output must be d_model");
+        assert_eq!(ff1.out_features(), ff2.in_features(), "ff inner dim mismatch");
+        assert_eq!(ln1.dim(), d, "ln1 dim");
+        assert_eq!(ln2.dim(), d, "ln2 dim");
+        assert_eq!(ln3.dim(), d, "ln3 dim");
+        Self { self_attn, cross_attn, ff1, ff2, ln1, ln2, ln3 }
+    }
+
+    /// The self-attention block.
+    pub fn self_attn(&self) -> &MultiHeadAttention {
+        &self.self_attn
+    }
+
+    /// The cross-attention block.
+    pub fn cross_attn(&self) -> &MultiHeadAttention {
+        &self.cross_attn
+    }
+
+    /// The first feed-forward projection.
+    pub fn ff1(&self) -> &Linear {
+        &self.ff1
+    }
+
+    /// The second feed-forward projection.
+    pub fn ff2(&self) -> &Linear {
+        &self.ff2
+    }
+
+    /// The post-self-attention layer norm.
+    pub fn ln1(&self) -> &LayerNorm {
+        &self.ln1
+    }
+
+    /// The post-cross-attention layer norm.
+    pub fn ln2(&self) -> &LayerNorm {
+        &self.ln2
+    }
+
+    /// The post-feed-forward layer norm.
+    pub fn ln3(&self) -> &LayerNorm {
+        &self.ln3
+    }
+
     /// Randomly initialised decoder layer (private executor).
     pub fn random(
         rng: &mut MatrixRng,
@@ -301,6 +389,22 @@ impl Encoder {
                 .map(|_| EncoderLayer::random_shared(rng, d_model, d_ff, heads, backend, exec))
                 .collect(),
         }
+    }
+
+    /// Wraps an existing layer stack.
+    ///
+    /// # Panics
+    /// Panics when the stack is empty or widths disagree.
+    pub fn from_layers(layers: Vec<EncoderLayer>) -> Self {
+        assert!(!layers.is_empty(), "encoder needs at least one layer");
+        let d = layers[0].d_model();
+        assert!(layers.iter().all(|l| l.d_model() == d), "encoder width mismatch");
+        Self { layers }
+    }
+
+    /// The layer stack.
+    pub fn layers(&self) -> &[EncoderLayer] {
+        &self.layers
     }
 
     /// Number of layers.

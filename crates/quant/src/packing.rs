@@ -15,10 +15,16 @@
 //! All packers round-trip exactly against [`crate::unpack`]; property tests
 //! cover ragged widths.
 
+use biq_matrix::store::{PodStore, PodView};
 use biq_matrix::SignMatrix;
 
 /// The paper's key matrix: µ-bit row chunks of a binary weight matrix,
 /// stored one `u16` per key (µ ≤ 16).
+///
+/// Key storage is a [`PodStore`], so a key matrix deserialized from a model
+/// artifact borrows the artifact's byte buffer ([`KeyMatrix::from_shared`])
+/// instead of re-allocating — loading a packed model is a validation pass,
+/// not a copy.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct KeyMatrix {
     rows: usize,
@@ -26,7 +32,7 @@ pub struct KeyMatrix {
     cols: usize,
     mu: usize,
     chunks: usize,
-    keys: Vec<u16>,
+    keys: PodStore<u16>,
 }
 
 impl KeyMatrix {
@@ -52,7 +58,7 @@ impl KeyMatrix {
                 keys.push(key);
             }
         }
-        Self { rows, cols, mu, chunks, keys }
+        Self { rows, cols, mu, chunks, keys: keys.into() }
     }
 
     /// Rebuilds a key matrix from raw parts (deserialization path).
@@ -62,19 +68,78 @@ impl KeyMatrix {
     /// bit width — callers performing untrusted decoding should validate
     /// first (see `serialize::decode_key_matrix`).
     pub fn from_raw(rows: usize, cols: usize, mu: usize, keys: Vec<u16>) -> Self {
-        assert!((1..=16).contains(&mu), "LUT-unit µ must be in 1..=16, got {mu}");
-        assert!(cols > 0, "key matrix must have columns");
-        let chunks = cols.div_ceil(mu);
-        assert_eq!(keys.len(), rows * chunks, "key buffer length mismatch");
-        for (idx, &key) in keys.iter().enumerate() {
-            let beta = idx % chunks;
-            let len = mu.min(cols - beta * mu);
-            assert!(
-                len == 16 || key < (1u16 << len),
-                "key {key} at chunk {beta} exceeds {len} bits"
-            );
+        Self::from_store(rows, cols, mu, keys.into())
+    }
+
+    /// Rebuilds a key matrix over a zero-copy artifact view — same
+    /// validation as [`KeyMatrix::from_raw`], but the keys stay borrowed
+    /// from the loaded buffer.
+    ///
+    /// # Panics
+    /// Panics under the same conditions as [`KeyMatrix::from_raw`].
+    pub fn from_shared(rows: usize, cols: usize, mu: usize, keys: PodView<u16>) -> Self {
+        Self::from_store(rows, cols, mu, keys.into())
+    }
+
+    /// Non-panicking [`KeyMatrix::from_shared`] for untrusted input
+    /// (artifact loaders): every key is range-checked in one linear scan,
+    /// and violations come back as errors.
+    pub fn try_from_shared(
+        rows: usize,
+        cols: usize,
+        mu: usize,
+        keys: PodView<u16>,
+    ) -> Result<Self, String> {
+        Self::try_from_store(rows, cols, mu, keys.into())
+    }
+
+    fn from_store(rows: usize, cols: usize, mu: usize, keys: PodStore<u16>) -> Self {
+        Self::try_from_store(rows, cols, mu, keys).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn try_from_store(
+        rows: usize,
+        cols: usize,
+        mu: usize,
+        keys: PodStore<u16>,
+    ) -> Result<Self, String> {
+        if !(1..=16).contains(&mu) {
+            return Err(format!("LUT-unit µ must be in 1..=16, got {mu}"));
         }
-        Self { rows, cols, mu, chunks, keys }
+        if cols == 0 {
+            return Err("key matrix must have columns".into());
+        }
+        let chunks = cols.div_ceil(mu);
+        if keys.len() != rows * chunks {
+            return Err(format!(
+                "key buffer length mismatch: {} keys for {rows} rows x {chunks} chunks",
+                keys.len()
+            ));
+        }
+        // One linear scan: full chunks are `µ` bits wide, only the final
+        // chunk of each row may be ragged.
+        let last_len = cols - (chunks - 1) * mu;
+        let full_cap = if mu == 16 { u32::MAX } else { 1u32 << mu };
+        let last_cap = if last_len == 16 { u32::MAX } else { 1u32 << last_len };
+        let ks = keys.as_slice();
+        for r in 0..rows {
+            let row = &ks[r * chunks..(r + 1) * chunks];
+            for (beta, &key) in row[..chunks - 1].iter().enumerate() {
+                if (key as u32) >= full_cap {
+                    return Err(format!("key {key} at chunk {beta} exceeds {mu} bits"));
+                }
+            }
+            let key = row[chunks - 1];
+            if (key as u32) >= last_cap {
+                return Err(format!("key {key} at chunk {} exceeds {last_len} bits", chunks - 1));
+            }
+        }
+        Ok(Self { rows, cols, mu, chunks, keys })
+    }
+
+    /// True when the keys are a borrowed artifact view.
+    pub fn is_shared(&self) -> bool {
+        self.keys.is_shared()
     }
 
     /// Number of key rows (`m`, or `β·m` for stacked multi-bit weights).
@@ -124,7 +189,7 @@ impl KeyMatrix {
     /// The raw key buffer (row-major `rows × chunks`).
     #[inline]
     pub fn as_slice(&self) -> &[u16] {
-        &self.keys
+        self.keys.as_slice()
     }
 
     /// Unpacks back to a dense sign matrix (inverse of [`Self::pack`]).
@@ -150,12 +215,16 @@ macro_rules! packed_rows {
         /// Sign rows packed LSB-first into machine words (bit `i` of word `w`
         /// holds element `w·WORD_BITS + i`; `+1 ↦ 1`). Tail bits of the final
         /// word are zero.
+        ///
+        /// Word storage is a [`PodStore`], so planes deserialized from a
+        /// model artifact borrow the artifact's buffer
+        /// (`from_shared`) instead of re-allocating.
         #[derive(Clone, Debug, PartialEq, Eq)]
         pub struct $name {
             rows: usize,
             cols: usize,
             words_per_row: usize,
-            words: Vec<$word>,
+            words: PodStore<$word>,
         }
 
         impl $name {
@@ -176,7 +245,72 @@ macro_rules! packed_rows {
                         }
                     }
                 }
-                Self { rows, cols, words_per_row, words }
+                Self { rows, cols, words_per_row, words: words.into() }
+            }
+
+            /// Rebuilds packed rows from raw parts (deserialization path).
+            ///
+            /// # Panics
+            /// Panics when the buffer length disagrees with
+            /// `rows · ⌈cols/WORD_BITS⌉` or a final-word tail bit is set
+            /// (tail bits must be zero so XNOR tail masks stay exact).
+            pub fn from_raw(rows: usize, cols: usize, words: Vec<$word>) -> Self {
+                Self::from_store(rows, cols, words.into())
+            }
+
+            /// Rebuilds packed rows over a zero-copy artifact view — same
+            /// validation as `from_raw`, words stay borrowed.
+            ///
+            /// # Panics
+            /// Panics under the same conditions as `from_raw`.
+            pub fn from_shared(rows: usize, cols: usize, words: PodView<$word>) -> Self {
+                Self::from_store(rows, cols, words.into())
+            }
+
+            /// Non-panicking `from_shared` for untrusted input (artifact
+            /// loaders).
+            pub fn try_from_shared(
+                rows: usize,
+                cols: usize,
+                words: PodView<$word>,
+            ) -> Result<Self, String> {
+                Self::try_from_store(rows, cols, words.into())
+            }
+
+            fn from_store(rows: usize, cols: usize, words: PodStore<$word>) -> Self {
+                Self::try_from_store(rows, cols, words).unwrap_or_else(|e| panic!("{e}"))
+            }
+
+            fn try_from_store(
+                rows: usize,
+                cols: usize,
+                words: PodStore<$word>,
+            ) -> Result<Self, String> {
+                if cols == 0 {
+                    return Err("packed rows must have columns".into());
+                }
+                let words_per_row = cols.div_ceil(Self::WORD_BITS);
+                if words.len() != rows * words_per_row {
+                    return Err(format!(
+                        "word buffer length mismatch: {} words for {rows} rows",
+                        words.len()
+                    ));
+                }
+                let out = Self { rows, cols, words_per_row, words };
+                let tail = out.tail_mask();
+                for i in 0..rows {
+                    let last = out.row(i)[words_per_row - 1];
+                    if last & !tail != 0 {
+                        return Err(format!("tail bits of row {i} must be zero"));
+                    }
+                }
+                Ok(out)
+            }
+
+            /// The raw packed words (row-major, `words_per_row` per row).
+            #[inline]
+            pub fn as_words(&self) -> &[$word] {
+                self.words.as_slice()
             }
 
             /// Number of rows.

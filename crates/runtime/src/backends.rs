@@ -10,7 +10,7 @@
 
 use crate::arena::Arena;
 use crate::plan::{BackendSpec, ExecutionPlan, QuantMethod};
-use biq_gemm::int8::{Int8Gemm, Int8Phases};
+use biq_gemm::int8::{Int8Gemm, Int8Phases, Int8Weights};
 use biq_gemm::xnor::{xnor_gemm, XnorWeights};
 use biq_gemm::{gemm_blocked_into, gemm_naive_into, par_gemm_blocked_into};
 use biq_matrix::{ColMatrix, Matrix, SignMatrix};
@@ -41,6 +41,26 @@ pub trait GemmBackend: Send + Sync {
     /// # Panics
     /// Panics if `x.rows() != input_size()` or `y.len() != m · x.cols()`.
     fn execute(&self, x: &ColMatrix, arena: &mut Arena, profile: &mut PhaseProfile, y: &mut [f32]);
+
+    /// The packed weight operand this backend computes against — the export
+    /// hook a model artifact serializes. Round trip: feeding the returned
+    /// payload back through [`compile`] (via the matching packed
+    /// [`WeightSource`]) reproduces a bit-identical op without
+    /// re-quantizing.
+    fn payload(&self) -> PackedPayload<'_>;
+}
+
+/// A borrowed view of a backend's packed weights, one variant per kernel
+/// family's storage format.
+pub enum PackedPayload<'a> {
+    /// Dense fp32 weights (fp32 naive/blocked backends).
+    Dense(&'a Matrix),
+    /// Offline-quantized int8 weights.
+    Int8(&'a Int8Weights),
+    /// Per-bit-plane packed XNOR weights.
+    Xnor(&'a XnorWeights),
+    /// BiQGEMM key matrix + stacked scales.
+    Biq(&'a BiqWeights),
 }
 
 struct NaiveBackend {
@@ -68,6 +88,10 @@ impl GemmBackend for NaiveBackend {
         y: &mut [f32],
     ) {
         profile.time_query(|| gemm_naive_into(&self.w, x, y));
+    }
+
+    fn payload(&self) -> PackedPayload<'_> {
+        PackedPayload::Dense(&self.w)
     }
 }
 
@@ -101,6 +125,10 @@ impl GemmBackend for BlockedBackend {
                 gemm_blocked_into(&self.w, x, &mut arena.pack, y);
             }
         });
+    }
+
+    fn payload(&self) -> PackedPayload<'_> {
+        PackedPayload::Dense(&self.w)
     }
 }
 
@@ -137,6 +165,10 @@ impl GemmBackend for Int8Backend {
         profile.query += std::time::Duration::from_secs_f64(phases.kernel_s);
         y.copy_from_slice(out.as_slice());
     }
+
+    fn payload(&self) -> PackedPayload<'_> {
+        PackedPayload::Int8(self.engine.weights())
+    }
 }
 
 struct XnorBackend {
@@ -167,6 +199,10 @@ impl GemmBackend for XnorBackend {
         // path, like int8 above).
         let out = profile.time_query(|| xnor_gemm(&self.w, x));
         y.copy_from_slice(out.as_slice());
+    }
+
+    fn payload(&self) -> PackedPayload<'_> {
+        PackedPayload::Xnor(&self.w)
     }
 }
 
@@ -201,6 +237,10 @@ impl GemmBackend for BiqBackend {
             biqgemm_serial_into(&self.w, x, &self.cfg, profile, &mut arena.biq, y);
         }
     }
+
+    fn payload(&self) -> PackedPayload<'_> {
+        PackedPayload::Biq(&self.w)
+    }
 }
 
 /// Where a backend's weights come from at compile time.
@@ -215,6 +255,12 @@ pub enum WeightSource<'a> {
     /// Pre-packed BiQGEMM weights (deserialized deployments). Only valid
     /// for [`BackendSpec::Biq`]; the plan's µ must match the packing.
     Packed(BiqWeights),
+    /// Pre-packed XNOR planes (deserialized deployments). Only valid for
+    /// [`BackendSpec::Xnor`]; the plane count must match the spec's bits.
+    PackedXnor(XnorWeights),
+    /// Pre-quantized int8 weights (deserialized deployments). Only valid
+    /// for [`BackendSpec::Int8`].
+    PackedInt8(Int8Weights),
 }
 
 /// An [`ExecutionPlan`] bound to packed weights — ready for any
@@ -228,6 +274,12 @@ impl CompiledOp {
     /// The plan this op was compiled from.
     pub fn plan(&self) -> &ExecutionPlan {
         &self.plan
+    }
+
+    /// The packed weight payload of the bound backend (artifact export
+    /// hook; see [`GemmBackend::payload`]).
+    pub fn payload(&self) -> PackedPayload<'_> {
+        self.backend.payload()
     }
 
     /// Kernel-family name of the bound backend.
@@ -286,8 +338,8 @@ pub fn compile(plan: &ExecutionPlan, weights: WeightSource<'_>) -> CompiledOp {
             WeightSource::Dense(m) => (*m).clone(),
             WeightSource::Quantized(q) => q.dequantize(),
             WeightSource::Signs(s) => s.to_f32(),
-            WeightSource::Packed(_) => {
-                panic!("packed BiQGEMM weights cannot feed a dense backend")
+            WeightSource::Packed(_) | WeightSource::PackedXnor(_) | WeightSource::PackedInt8(_) => {
+                panic!("packed weights cannot feed a dense backend")
             }
         }
     };
@@ -303,19 +355,54 @@ pub fn compile(plan: &ExecutionPlan, weights: WeightSource<'_>) -> CompiledOp {
             Box::new(BlockedBackend { w, parallel: plan.parallel })
         }
         BackendSpec::Int8 => {
-            let w = dense(&weights);
-            check(w.rows(), w.cols());
-            Box::new(Int8Backend { engine: Int8Gemm::new(&w) })
+            let engine = match weights {
+                WeightSource::PackedInt8(w) => {
+                    check(w.rows(), w.cols());
+                    Int8Gemm::from_weights(w)
+                }
+                other => {
+                    let w = dense(&other);
+                    check(w.rows(), w.cols());
+                    Int8Gemm::new(&w)
+                }
+            };
+            Box::new(Int8Backend { engine })
         }
         BackendSpec::Xnor { bits } => {
-            let q = match &weights {
-                WeightSource::Quantized(q) => (*q).clone(),
-                other => quantize_dense(&dense(other), bits, QuantMethod::Greedy),
+            let w = match weights {
+                WeightSource::PackedXnor(w) => {
+                    assert_eq!(
+                        w.bits(),
+                        bits,
+                        "packed XNOR planes carry {} bits, plan expects {bits}",
+                        w.bits()
+                    );
+                    check(w.rows(), w.cols());
+                    w
+                }
+                WeightSource::Quantized(q) => {
+                    assert_eq!(
+                        q.bits(),
+                        bits,
+                        "quantized weights carry {} planes, plan expects {bits} \
+                         (a snapshot of this op would not restore)",
+                        q.bits()
+                    );
+                    check(q.shape().0, q.shape().1);
+                    XnorWeights::from_multibit(q)
+                }
+                other => {
+                    let q = quantize_dense(&dense(&other), bits, QuantMethod::Greedy);
+                    check(q.shape().0, q.shape().1);
+                    XnorWeights::from_multibit(&q)
+                }
             };
-            check(q.shape().0, q.shape().1);
-            Box::new(XnorBackend { w: XnorWeights::from_multibit(&q) })
+            Box::new(XnorBackend { w })
         }
         BackendSpec::Biq { bits, method } => {
+            // The spec's bit count must agree with what the source actually
+            // carries: an op whose plan disagreed with its payload would
+            // snapshot to an artifact that can never be restored.
             let w = match weights {
                 WeightSource::Packed(w) => {
                     assert_eq!(
@@ -325,12 +412,32 @@ pub fn compile(plan: &ExecutionPlan, weights: WeightSource<'_>) -> CompiledOp {
                         w.mu(),
                         plan.cfg.mu
                     );
+                    assert_eq!(
+                        w.bits(),
+                        bits,
+                        "packed weights carry {} bits, plan expects {bits}",
+                        w.bits()
+                    );
                     w
                 }
-                WeightSource::Quantized(q) => BiqWeights::from_multibit(q, plan.cfg.mu),
-                WeightSource::Signs(s) => BiqWeights::from_signs_unscaled(s, plan.cfg.mu),
+                WeightSource::Quantized(q) => {
+                    assert_eq!(
+                        q.bits(),
+                        bits,
+                        "quantized weights carry {} planes, plan expects {bits}",
+                        q.bits()
+                    );
+                    BiqWeights::from_multibit(q, plan.cfg.mu)
+                }
+                WeightSource::Signs(s) => {
+                    assert_eq!(bits, 1, "sign weights are 1-bit, plan expects {bits}");
+                    BiqWeights::from_signs_unscaled(s, plan.cfg.mu)
+                }
                 WeightSource::Dense(d) => {
                     BiqWeights::from_multibit(&quantize_dense(d, bits, method), plan.cfg.mu)
+                }
+                WeightSource::PackedXnor(_) | WeightSource::PackedInt8(_) => {
+                    panic!("foreign packed weights cannot feed a BiQGEMM backend")
                 }
             };
             check(w.output_size(), w.input_size());

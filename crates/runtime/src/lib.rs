@@ -58,7 +58,7 @@ pub mod executor;
 pub mod plan;
 
 pub use arena::Arena;
-pub use backends::{compile, CompiledOp, GemmBackend, WeightSource};
+pub use backends::{compile, CompiledOp, GemmBackend, PackedPayload, WeightSource};
 pub use executor::{Executor, SharedExecutor};
 pub use plan::{BackendSpec, ExecutionPlan, PlanBuilder, QuantMethod};
 

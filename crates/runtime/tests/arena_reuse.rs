@@ -161,9 +161,12 @@ fn parallel_steady_state_allocates_nothing_per_worker() {
 }
 
 #[test]
-fn deprecated_one_shot_path_allocates_every_call() {
-    // Contrast case documenting what the refactor removed: the legacy
-    // facade builds a fresh arena (bank + accumulator) per call.
+fn legacy_one_shot_facade_allocates_every_call() {
+    // Contrast case documenting what the refactor removed: the
+    // self-contained `BiqGemm` facade builds a fresh arena (bank +
+    // accumulator) per call. (The deprecated free-function shims that used
+    // to demonstrate this are deleted; the facade remains the one-shot
+    // path.)
     use biqgemm_core::{BiqConfig, BiqGemm};
     let mut g = MatrixRng::seed_from(0xab);
     let signs = g.signs(64, 128);

@@ -1,6 +1,6 @@
 //! Window/bucket/pack policy — the pure core of the serving layer.
 //!
-//! The [`Batcher`] owns no threads and does no I/O: the server's batcher
+//! The `Batcher` owns no threads and does no I/O: the server's batcher
 //! thread feeds it accepted requests and asks it what to flush, which keeps
 //! the policy unit-testable without spinning up workers.
 //!
@@ -13,7 +13,7 @@
 //! * its **oldest** request has waited `window` (time trigger, bounding the
 //!   latency cost of waiting for company).
 //!
-//! Flushing produces a [`BatchJob`]: the requests whose columns a worker
+//! Flushing produces a `BatchJob`: the requests whose columns a worker
 //! will pack side by side into one `ColMatrix`, run through a single
 //! executor pass — one LUT build amortised across every column, the
 //! paper's core win — and scatter back to per-request reply channels.

@@ -79,6 +79,29 @@ impl ModelRegistry {
         self.register_op(name, layer.compiled_op())
     }
 
+    /// Boots the registry straight from a compiled-model artifact: every
+    /// linear layer is registered under its canonical artifact name
+    /// (`enc0.attn.wq`, `lstm.w_ih`, …), with packed weights **borrowed
+    /// from the artifact buffer** — no fp32 weights and no re-quantization
+    /// in the serving process. Returns the restored model (whose layers
+    /// share the registered ops) and the `(name, id)` pairs in
+    /// registration order.
+    pub fn load_artifact(
+        &mut self,
+        artifact: &biq_artifact::Artifact,
+    ) -> Result<(biq_nn::CompiledModel, Vec<(String, OpId)>), biq_artifact::ArtifactError> {
+        let model = biq_nn::CompiledModel::from_artifact(artifact)?;
+        let ids = model
+            .named_linears()
+            .into_iter()
+            .map(|(name, layer)| {
+                let id = self.register_linear(name.clone(), layer);
+                (name, id)
+            })
+            .collect();
+        Ok((model, ids))
+    }
+
     /// The op registered under `id`.
     ///
     /// # Panics
@@ -138,5 +161,44 @@ mod tests {
         let mut reg = ModelRegistry::new();
         let id = reg.register_linear("fc", &layer);
         assert!(Arc::ptr_eq(reg.get(id).op(), &layer.compiled_op()));
+    }
+
+    #[test]
+    fn load_artifact_registers_every_linear_without_fp32_weights() {
+        use biq_nn::model::CompiledModel;
+        use biq_nn::transformer::LayerBackend;
+        let mut g = MatrixRng::seed_from(3);
+        let enc = biq_nn::transformer::Encoder::random(
+            &mut g,
+            1,
+            16,
+            32,
+            2,
+            LayerBackend::Biq {
+                bits: 2,
+                method: QuantMethod::Greedy,
+                cfg: biqgemm_core::BiqConfig::default(),
+                parallel: false,
+            },
+        );
+        let bytes = CompiledModel::Transformer(enc).snapshot();
+        let artifact = biq_artifact::Artifact::from_bytes(bytes).unwrap();
+        let mut reg = ModelRegistry::new();
+        let (model, ids) = reg.load_artifact(&artifact).unwrap();
+        assert_eq!(reg.len(), 6, "six projections per encoder layer");
+        assert_eq!(ids[0].0, "enc0.attn.wq");
+        assert_eq!(reg.lookup("enc0.ff1"), Some(ids[4].1));
+        // The registered op IS the restored model's op (shared weights).
+        let (_, layer) = &model.named_linears()[0];
+        assert!(Arc::ptr_eq(reg.get(ids[0].1).op(), &layer.compiled_op()));
+        // Loaded ops serve the same results as the in-memory layer.
+        let x = g.gaussian_col(16, 2, 0.0, 1.0);
+        let mut exec = biq_runtime::Executor::new();
+        let y = exec.run(reg.get(ids[0].1).op(), &x);
+        assert_eq!(
+            y.to_col_major().as_slice(),
+            layer.forward(&x).as_slice(),
+            "wq has no bias, so the op output is the layer output"
+        );
     }
 }

@@ -35,13 +35,7 @@ impl SmallCnn {
             backend,
         );
         let head_w = g.gaussian(10, 64, 0.0, 64f32.powf(-0.5));
-        let head = match backend {
-            LayerBackend::Fp32 { parallel } => Linear::fp32_with(head_w, None, parallel),
-            LayerBackend::Biq { bits, method, cfg, .. } => {
-                Linear::quantized(&head_w, bits, method, cfg, None)
-            }
-            LayerBackend::Xnor { bits } => Linear::xnor(&head_w, bits, None),
-        };
+        let head = backend.linear(head_w, None);
         Self { conv1, conv2, head }
     }
 

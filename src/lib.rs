@@ -10,9 +10,12 @@
 //! * [`biqgemm_core`] — the BiQGEMM lookup-table matrix-multiplication engine
 //! * [`biq_runtime`] — the plan/executor runtime unifying every GEMM path
 //!   behind reusable LUT arenas
+//! * [`biq_artifact`] — the `BIQM` compiled-model artifact container with
+//!   zero-copy loading
 //! * [`biq_nn`] — NN layers (Linear/Attention/Transformer/LSTM) with pluggable
-//!   matmul backends
+//!   matmul backends and whole-model artifact snapshot/restore
 
+pub use biq_artifact;
 pub use biq_gemm;
 pub use biq_matrix;
 pub use biq_nn;
