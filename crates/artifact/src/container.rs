@@ -34,7 +34,7 @@ use std::fmt;
 pub const MAGIC_MODEL: &[u8; 4] = b"BIQM";
 
 /// Container format version this build writes and reads.
-pub const VERSION: u16 = 1;
+pub const VERSION: u16 = 2;
 
 /// Header size; also the alignment every section offset honours.
 pub const HEADER_LEN: usize = 64;

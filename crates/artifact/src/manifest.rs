@@ -14,7 +14,7 @@
 
 use crate::container::{ArtifactError, SectionId};
 use biq_runtime::{BackendSpec, QuantMethod};
-use biqgemm_core::{BiqConfig, LutBuildMethod, LutLayout, Schedule};
+use biqgemm_core::{BiqConfig, KernelLevel, KernelRequest, LutBuildMethod, LutLayout, Schedule};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// Section `kind` tags referenced by manifests (free-form u32 namespace of
@@ -145,11 +145,19 @@ pub struct LayerManifest {
     pub batch_hint: usize,
     /// Kernel family + quantization recipe.
     pub spec: BackendSpec,
-    /// Full engine configuration (µ, tiles, layout, schedule, simd).
+    /// Full engine configuration (µ, tiles, layout, schedule, kernel
+    /// request).
     pub cfg: BiqConfig,
     /// The resolved threading decision (stored resolved so a loaded model
     /// plans identically on any machine).
     pub parallel: bool,
+    /// The kernel level the layer was **compiled** with (the plan's
+    /// resolved level). On load it is re-resolved via
+    /// [`biqgemm_core::KernelRequest::AtMost`]: the same level where the
+    /// host supports it, else the richest host level of no higher rank —
+    /// outputs stay bit-identical either way (the kernel layer's
+    /// bit-exactness contract).
+    pub kernel: KernelLevel,
     /// Optional bias section (`m` f32).
     pub bias: Option<SectionId>,
     /// Packed payload references.
@@ -248,7 +256,32 @@ fn put_cfg(buf: &mut BytesMut, cfg: &BiqConfig) {
         Schedule::RowParallel => 0,
         Schedule::SharedLut => 1,
     });
-    buf.put_u8(u8::from(cfg.simd));
+    let (req_tag, req_level) = match cfg.kernel {
+        KernelRequest::Auto => (0u8, 0u8),
+        KernelRequest::Exact(l) => (1, level_to_u8(l)),
+        KernelRequest::AtMost(l) => (2, level_to_u8(l)),
+    };
+    buf.put_u8(req_tag);
+    buf.put_u8(req_level);
+}
+
+fn level_to_u8(l: KernelLevel) -> u8 {
+    match l {
+        KernelLevel::Scalar => 0,
+        KernelLevel::Avx2 => 1,
+        KernelLevel::Avx512 => 2,
+        KernelLevel::Neon => 3,
+    }
+}
+
+fn level_from_u8(v: u8) -> Result<KernelLevel, ArtifactError> {
+    Ok(match v {
+        0 => KernelLevel::Scalar,
+        1 => KernelLevel::Avx2,
+        2 => KernelLevel::Avx512,
+        3 => KernelLevel::Neon,
+        other => return Err(bad(format!("unknown kernel level {other}"))),
+    })
 }
 
 fn put_payload(buf: &mut BytesMut, payload: &PayloadRefs) {
@@ -301,6 +334,7 @@ impl ModelManifest {
             put_spec(&mut buf, &layer.spec);
             put_cfg(&mut buf, &layer.cfg);
             buf.put_u8(u8::from(layer.parallel));
+            buf.put_u8(level_to_u8(layer.kernel));
             match layer.bias {
                 Some(id) => {
                     buf.put_u8(1);
@@ -444,10 +478,13 @@ impl Reader {
             1 => Schedule::SharedLut,
             other => return Err(bad(format!("unknown schedule {other}"))),
         };
-        let simd = match self.u8()? {
-            0 => false,
-            1 => true,
-            other => return Err(bad(format!("bad simd flag {other}"))),
+        let req_tag = self.u8()?;
+        let req_level = level_from_u8(self.u8()?)?;
+        let kernel = match req_tag {
+            0 => KernelRequest::Auto,
+            1 => KernelRequest::Exact(req_level),
+            2 => KernelRequest::AtMost(req_level),
+            other => return Err(bad(format!("unknown kernel request tag {other}"))),
         };
         if !(1..=16).contains(&mu) {
             return Err(bad(format!("µ = {mu} out of 1..=16")));
@@ -455,7 +492,7 @@ impl Reader {
         if tile_rows == 0 || tile_chunks == 0 || tile_batch == 0 {
             return Err(bad("zero tile dimension"));
         }
-        Ok(BiqConfig { mu, tile_rows, tile_chunks, tile_batch, build, layout, schedule, simd })
+        Ok(BiqConfig { mu, tile_rows, tile_chunks, tile_batch, build, layout, schedule, kernel })
     }
 
     fn payload(&mut self) -> Result<PayloadRefs, ArtifactError> {
@@ -502,13 +539,14 @@ impl Reader {
             1 => true,
             other => return Err(bad(format!("bad parallel flag {other}"))),
         };
+        let kernel = level_from_u8(self.u8()?)?;
         let bias = match self.u8()? {
             0 => None,
             1 => Some(SectionId(self.u32()?)),
             other => return Err(bad(format!("bad bias flag {other}"))),
         };
         let payload = self.payload()?;
-        Ok(LayerManifest { name, m, n, batch_hint, spec, cfg, parallel, bias, payload })
+        Ok(LayerManifest { name, m, n, batch_hint, spec, cfg, parallel, kernel, bias, payload })
     }
 }
 
@@ -533,6 +571,7 @@ mod tests {
                     spec: BackendSpec::Biq { bits: 2, method: QuantMethod::Greedy },
                     cfg: BiqConfig::default(),
                     parallel: false,
+                    kernel: KernelLevel::Avx512,
                     bias: None,
                     payload: PayloadRefs::Biq { keys: SectionId(0), scales: SectionId(1) },
                 },
@@ -544,6 +583,7 @@ mod tests {
                     spec: BackendSpec::Fp32Blocked,
                     cfg: BiqConfig::default(),
                     parallel: true,
+                    kernel: KernelLevel::Scalar,
                     bias: Some(SectionId(3)),
                     payload: PayloadRefs::Dense { dense: SectionId(2) },
                 },
@@ -564,6 +604,7 @@ mod tests {
         assert_eq!((l0.m, l0.n, l0.batch_hint), (64, 64, 4));
         assert!(matches!(l0.spec, BackendSpec::Biq { bits: 2, .. }));
         assert!(!l0.parallel);
+        assert_eq!(l0.kernel, KernelLevel::Avx512, "recorded compile level survives");
         assert!(matches!(
             l0.payload,
             PayloadRefs::Biq { keys: SectionId(0), scales: SectionId(1) }

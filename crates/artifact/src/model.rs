@@ -18,8 +18,8 @@ use biq_matrix::store::PodStore;
 use biq_matrix::Matrix;
 use biq_quant::packing::{KeyMatrix, PackedRowsU64};
 use biq_runtime::{
-    compile, BackendSpec, CompiledOp, ExecutionPlan, PackedPayload, PlanBuilder, Threading,
-    WeightSource,
+    compile, BackendSpec, CompiledOp, ExecutionPlan, KernelRequest, PackedPayload, PlanBuilder,
+    Threading, WeightSource,
 };
 use biqgemm_core::BiqWeights;
 
@@ -96,6 +96,7 @@ pub fn snapshot_layer(
         spec: plan.spec,
         cfg: plan.cfg,
         parallel: plan.parallel,
+        kernel: plan.kernel.level(),
         bias,
         payload,
     }
@@ -105,14 +106,19 @@ pub fn snapshot_layer(
 
 impl LayerManifest {
     /// Rebuilds the layer's execution plan exactly as stored: the resolved
-    /// threading decision is pinned (no machine-dependent auto choice), and
-    /// the full `BiqConfig` bypasses the planner's search.
+    /// threading decision is pinned (no machine-dependent auto choice),
+    /// the full `BiqConfig` bypasses the planner's search, and the
+    /// recorded kernel level re-resolves under the portability rule —
+    /// [`KernelRequest::AtMost`] keeps the compiled level where the host
+    /// supports it and otherwise drops to the richest host level of no
+    /// higher rank, bit-identically either way.
     pub fn plan(&self) -> ExecutionPlan {
         PlanBuilder::new(self.m, self.n)
             .batch_hint(self.batch_hint)
             .backend(self.spec)
             .config(self.cfg)
             .threading(if self.parallel { Threading::Parallel } else { Threading::Serial })
+            .kernel(KernelRequest::AtMost(self.kernel))
             .build()
     }
 }
@@ -224,6 +230,10 @@ impl LoadedWeights {
 /// Rebuilds a layer's compiled op from the artifact: plan via
 /// [`LayerManifest::plan`], weights via [`load_weights`] (zero-copy).
 pub fn compile_layer(artifact: &Artifact, lm: &LayerManifest) -> Result<CompiledOp, ArtifactError> {
+    // Pre-validate the kernel re-resolution so a bad `BIQ_KERNEL` override
+    // surfaces as a clean artifact error here instead of a panic inside
+    // `lm.plan()` (`PlanBuilder::build` panics on resolution failure).
+    KernelRequest::AtMost(lm.kernel).resolve().map_err(|e| bad(e.to_string()))?;
     let plan = lm.plan();
     let weights = load_weights(artifact, lm)?;
     Ok(compile(&plan, weights.source()))

@@ -1,0 +1,91 @@
+//! The artifact portability rule, end to end: a BIQM layer manifest
+//! records the kernel level it was **compiled** with; loading re-resolves
+//! it for the running host (`KernelRequest::AtMost`). An artifact claiming
+//! a level the host lacks — e.g. compiled on an AVX-512 box, loaded on a
+//! plain AVX2/scalar machine, or carrying a NEON level onto x86 — must
+//! load cleanly, run at the host's richest level of no higher rank, and
+//! produce **bit-identical** outputs (the kernel layer's bit-exactness
+//! contract is what makes the downgrade invisible).
+
+use biq_artifact::model::{compile_layer, snapshot_layer};
+use biq_artifact::{Artifact, ArtifactBuilder, ModelManifest};
+use biq_matrix::MatrixRng;
+use biq_runtime::{
+    compile, BackendSpec, Executor, KernelLevel, PlanBuilder, QuantMethod, Threading, WeightSource,
+};
+
+/// Builds a one-layer BIQM artifact whose manifest claims `recorded` as
+/// the compiled kernel level, plus the original op for comparison.
+fn artifact_claiming(recorded: KernelLevel) -> (Artifact, biq_runtime::CompiledOp) {
+    let mut g = MatrixRng::seed_from(9100);
+    let w = g.gaussian(24, 37, 0.0, 1.0); // ragged n (µ=8 → 5 chunks, tail 5)
+    let plan = PlanBuilder::new(24, 37)
+        .batch_hint(5)
+        .backend(BackendSpec::Biq { bits: 2, method: QuantMethod::Greedy })
+        .threading(Threading::Serial)
+        .build();
+    let op = compile(&plan, WeightSource::Dense(&w));
+    let mut builder = ArtifactBuilder::new();
+    let mut lm = snapshot_layer(&mut builder, 0, "fc", &op, None);
+    // Overwrite the recorded level, simulating a compile host with a
+    // different (possibly richer or foreign) ISA.
+    lm.kernel = recorded;
+    let manifest = ModelManifest {
+        kind: biq_artifact::ModelKind::Linear,
+        dims: vec![24, 37],
+        params: vec![],
+        layers: vec![lm],
+    };
+    let bytes = builder.finish(&manifest.encode());
+    (Artifact::from_bytes(bytes).expect("self-built artifact must validate"), op)
+}
+
+#[test]
+fn every_recorded_level_loads_and_runs_bit_identically() {
+    let mut g = MatrixRng::seed_from(9101);
+    let x = g.gaussian_col(37, 5, 0.0, 1.0);
+    let mut exec = Executor::new();
+    let mut reference: Option<Vec<f32>> = None;
+    // All four levels — including ones this host cannot run (claiming a
+    // "higher" level than the host is exactly the cross-machine scenario).
+    for recorded in KernelLevel::ALL {
+        let (artifact, original) = artifact_claiming(recorded);
+        let manifest = ModelManifest::decode(artifact.manifest_bytes()).unwrap();
+        assert_eq!(manifest.layers[0].kernel, recorded, "manifest round-trips the level");
+        let loaded = compile_layer(&artifact, &manifest.layers[0]).expect("load must succeed");
+        let resolved = loaded.plan().kernel.level();
+        assert!(resolved.is_supported(), "re-resolved level must be executable here");
+        assert!(
+            resolved.rank() <= recorded.rank() || recorded.is_supported(),
+            "downgrade never climbs above the recorded rank \
+             (recorded {recorded}, resolved {resolved})"
+        );
+        let y = exec.run(&loaded, &x);
+        let y_orig = exec.run(&original, &x);
+        assert_eq!(
+            y.as_slice(),
+            y_orig.as_slice(),
+            "loaded op (recorded {recorded}, resolved {resolved}) must match the original"
+        );
+        match &reference {
+            Some(r) => assert_eq!(
+                r.as_slice(),
+                y.as_slice(),
+                "every recorded level runs bit-identically (recorded {recorded})"
+            ),
+            None => reference = Some(y.as_slice().to_vec()),
+        }
+    }
+}
+
+#[test]
+fn supported_recorded_level_is_kept_exactly() {
+    // A level the host supports is *not* upgraded on load: an artifact
+    // deliberately compiled scalar (ablation) stays scalar.
+    let (artifact, _) = artifact_claiming(KernelLevel::Scalar);
+    let manifest = ModelManifest::decode(artifact.manifest_bytes()).unwrap();
+    let loaded = compile_layer(&artifact, &manifest.layers[0]).unwrap();
+    if std::env::var(biq_runtime::KERNEL_ENV).is_err() {
+        assert_eq!(loaded.plan().kernel.level(), KernelLevel::Scalar);
+    }
+}

@@ -43,7 +43,10 @@ fn bench_kernels(c: &mut Criterion) {
         bch.iter(|| black_box(gemm_with_unpack(black_box(&packed32), black_box(&w.x))))
     });
     group.bench_function("xnor", |bch| {
-        bch.iter(|| black_box(xnor_gemm(black_box(&xw), black_box(&w.x))))
+        bch.iter(|| {
+            let k = biqgemm_core::KernelRequest::Auto.resolve().expect("auto resolves");
+            black_box(xnor_gemm(black_box(&xw), black_box(&w.x), k))
+        })
     });
     group.finish();
 

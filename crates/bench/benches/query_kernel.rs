@@ -28,14 +28,16 @@ fn bench_query_layouts(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_simd_toggle(c: &mut Criterion) {
-    let mut group = c.benchmark_group("query_simd");
+fn bench_kernel_levels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_kernel_level");
     group.sample_size(20);
     let (m, n, b) = (2048, 1024, 32);
     let w = binary_workload(m, n, b);
-    for (name, simd) in [("avx2_dispatch", true), ("forced_scalar", false)] {
-        let engine = BiqGemm::from_signs(&w.signs, BiqConfig { simd, ..BiqConfig::default() });
-        group.bench_function(name, |bch| {
+    for level in biqgemm_core::simd::supported_levels() {
+        let cfg =
+            BiqConfig { kernel: biqgemm_core::KernelRequest::Exact(level), ..BiqConfig::default() };
+        let engine = BiqGemm::from_signs(&w.signs, cfg);
+        group.bench_function(level.name(), |bch| {
             bch.iter(|| black_box(engine.matmul(black_box(&w.x))));
         });
     }
@@ -71,5 +73,5 @@ fn bench_arena_reuse(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_query_layouts, bench_simd_toggle, bench_arena_reuse);
+criterion_group!(benches, bench_query_layouts, bench_kernel_levels, bench_arena_reuse);
 criterion_main!(benches);

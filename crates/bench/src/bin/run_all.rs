@@ -8,7 +8,12 @@
 use biq_bench::args::{self, with_pool};
 use biq_bench::timing::{auto_reps, measure};
 use biq_bench::workloads::binary_workload;
-use biq_runtime::{compile, BackendSpec, Executor, PlanBuilder, QuantMethod, WeightSource};
+use biq_runtime::{
+    compile, BackendSpec, Executor, KernelLevel, KernelRequest, PlanBuilder, QuantMethod,
+    Threading, WeightSource,
+};
+use biqgemm_core::layout::LutBank;
+use biqgemm_core::{BiqConfig, LutBuildMethod, LutLayout, PhaseProfile};
 use std::io::Write as _;
 use std::path::Path;
 use std::process::Command;
@@ -90,6 +95,98 @@ fn bench_workload(m: usize, n: usize, b: usize, threads: Option<usize>) -> Bench
         biqgemm_ns: m_biq.median.as_nanos(),
         blocked_fp32_ns: m_fp.median.as_nanos(),
     }
+}
+
+/// One row of the per-kernel-level record (`BENCH_simd.json`).
+struct SimdRow {
+    m: usize,
+    n: usize,
+    b: usize,
+    level: KernelLevel,
+    /// Median of the full serial BiQGEMM pass (query-dominated — the fused
+    /// lookup-accumulate kernel under test).
+    query_ns: u128,
+    /// Median of one KeyMajor DP bank build at the config's tile shape.
+    lut_build_ns: u128,
+}
+
+/// Times the fused query kernel and the LUT build at every kernel level
+/// the host supports, identical `BiqConfig::default()` tiles throughout —
+/// the only variable is the pinned level.
+fn bench_simd_levels() -> (Vec<SimdRow>, KernelLevel) {
+    let auto_level = KernelRequest::Auto.resolve().expect("auto always resolves").level();
+    let mut rows = Vec::new();
+    for &(m, n, b) in &[(512usize, 512usize, 1usize), (512, 512, 8), (2048, 1024, 1)] {
+        let w = binary_workload(m, n, b);
+        for level in biqgemm_core::simd::supported_levels() {
+            let cfg = BiqConfig { kernel: KernelRequest::Exact(level), ..BiqConfig::default() };
+            let plan = PlanBuilder::new(m, n)
+                .batch_hint(b)
+                .backend(BackendSpec::Biq { bits: 1, method: QuantMethod::Greedy })
+                .threading(Threading::Serial)
+                .config(cfg)
+                .build();
+            let op = compile(&plan, WeightSource::Signs(&w.signs));
+            let mut exec = Executor::warmed_for(&op);
+            let mut y = vec![0.0f32; m * b];
+            let reps =
+                auto_reps(Duration::from_millis(120), 3, 20, || exec.run_into(&op, &w.x, &mut y));
+            let m_query = measure(1, reps, || exec.run_into(&op, &w.x, &mut y));
+
+            let kernel = plan.kernel;
+            let input = biq_matrix::reshape::ChunkedInput::new(&w.x, cfg.mu);
+            let nc = cfg.tile_chunks.min(input.num_chunks());
+            let nb = cfg.tile_batch.min(b);
+            let mut bank = LutBank::new(cfg.mu, LutLayout::KeyMajor);
+            bank.reserve(nc, nb);
+            let mut prof = PhaseProfile::new();
+            let m_build = measure(1, reps.max(20), || {
+                bank.build(
+                    &input,
+                    0,
+                    nc,
+                    0,
+                    nb,
+                    LutBuildMethod::DynamicProgramming,
+                    &mut prof,
+                    kernel,
+                )
+            });
+            rows.push(SimdRow {
+                m,
+                n,
+                b,
+                level,
+                query_ns: m_query.median.as_nanos(),
+                lut_build_ns: m_build.median.as_nanos(),
+            });
+        }
+    }
+    (rows, auto_level)
+}
+
+fn write_simd_json(rows: &[SimdRow], auto_level: KernelLevel, path: &str) -> std::io::Result<()> {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "  {{\"workload\": \"m={m} n={n} b={b}\", \"m\": {m}, \"n\": {n}, \"b\": {b}, ",
+                "\"level\": \"{level}\", \"auto_picked\": \"{auto}\", \"is_auto_level\": {is_auto}, ",
+                "\"query_median_ns\": {query}, \"lut_build_median_ns\": {build}}}{comma}\n"
+            ),
+            m = r.m,
+            n = r.n,
+            b = r.b,
+            level = r.level.name(),
+            auto = auto_level.name(),
+            is_auto = r.level == auto_level,
+            query = r.query_ns,
+            build = r.lut_build_ns,
+            comma = if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("]\n");
+    std::fs::write(path, out)
 }
 
 fn write_bench_json(rows: &[BenchRow], path: &str) -> std::io::Result<()> {
@@ -177,6 +274,29 @@ fn main() {
             r.biqgemm_ns,
             r.blocked_fp32_ns,
             r.speedup()
+        );
+    }
+
+    // Per-kernel-level record: the fused query kernel and the DP LUT build
+    // at every level the host supports (scalar vs avx2 vs avx512 / neon),
+    // plus which level Auto picked — results are bit-identical across
+    // levels, so this sweep is pure speed.
+    print!("running simd level sweep ... ");
+    std::io::stdout().flush().ok();
+    let (simd_rows, auto_level) = bench_simd_levels();
+    let simd_path = "results/BENCH_simd.json";
+    write_simd_json(&simd_rows, auto_level, simd_path).expect("write BENCH_simd.json");
+    println!("ok -> {simd_path} (auto = {auto_level})");
+    for r in &simd_rows {
+        println!(
+            "  m={} n={} b={} [{}{}]: query {} ns, lut build {} ns",
+            r.m,
+            r.n,
+            r.b,
+            r.level.name(),
+            if r.level == auto_level { " = auto" } else { "" },
+            r.query_ns,
+            r.lut_build_ns
         );
     }
 

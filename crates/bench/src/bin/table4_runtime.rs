@@ -47,6 +47,7 @@ fn run(a: &biq_bench::args::CommonArgs, sizes: &[usize], batches: &[usize]) {
         "BiQ/kGpu speedup",
     ]);
     for &n in sizes {
+        let xnor_kernel = biqgemm_core::KernelRequest::Auto.resolve().expect("auto resolves");
         for &b in batches {
             let w = binary_workload(n, n, b);
             let dense = w.signs.to_f32();
@@ -57,7 +58,7 @@ fn run(a: &biq_bench::args::CommonArgs, sizes: &[usize], batches: &[usize]) {
             let m_biq = measure(1, reps, || engine.matmul_parallel(&w.x));
             let m_kgpu = measure(1, reps, || par_gemm_naive(&dense, &w.x));
             let m_cublas = measure(1, reps, || par_gemm_blocked(&dense, &w.x));
-            let m_xnor = measure(1, reps, || xnor_gemm(&xw, &w.x));
+            let m_xnor = measure(1, reps, || xnor_gemm(&xw, &w.x, xnor_kernel));
             t.row(&[
                 format!("{n}x{n}"),
                 b.to_string(),

@@ -25,7 +25,7 @@ use biq_runtime::{
     compile, BackendSpec, Executor, PlanBuilder, QuantMethod, Threading, WeightSource,
 };
 use biqgemm_core::serialize as wser;
-use biqgemm_core::BiqConfig;
+use biqgemm_core::{BiqConfig, KernelLevel, KernelRequest, KERNEL_ENV};
 use bytes::Bytes;
 use std::fmt;
 use std::fs::File;
@@ -52,6 +52,36 @@ impl From<std::io::Error> for CliError {
     fn from(e: std::io::Error) -> Self {
         CliError(format!("io error: {e}"))
     }
+}
+
+/// `--kernel {auto,scalar,avx2,avx512,neon}`: validates the level against
+/// the running host, then plumbs it through the `BIQ_KERNEL` environment
+/// variable so **every** plan built afterwards in this process (matmul,
+/// serve-bench workers, artifact loads) resolves to it. Errors clearly
+/// when the host lacks the requested ISA.
+pub fn set_kernel_flag(value: &str) -> Result<(), CliError> {
+    let request = match value.to_ascii_lowercase().as_str() {
+        "auto" => KernelRequest::Auto,
+        other => KernelRequest::Exact(KernelLevel::parse(other).ok_or_else(|| {
+            CliError(format!(
+                "--kernel '{other}' is not a kernel level \
+                 (expected auto | scalar | avx2 | avx512 | neon)"
+            ))
+        })?),
+    };
+    // Validate before pinning the env var; `Exact` resolution performs the
+    // host-support check and its error message names the host's best level.
+    request.resolve().map_err(|e| CliError(e.to_string()))?;
+    std::env::set_var(KERNEL_ENV, value.to_ascii_lowercase());
+    Ok(())
+}
+
+/// Validates an inherited `BIQ_KERNEL` value (if any) before any command
+/// builds a plan, so a typo'd or host-unsupported override is a clean
+/// `error:` line instead of a panic inside `PlanBuilder::build`.
+pub fn validate_kernel_env() -> Result<(), CliError> {
+    KernelRequest::Auto.resolve().map_err(|e| CliError(e.to_string()))?;
+    Ok(())
 }
 
 fn read_bytes(path: &Path) -> Result<Bytes, CliError> {

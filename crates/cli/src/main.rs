@@ -16,6 +16,7 @@ MATRIX PIPELINE:
   biq quantize --bits B [--alternating] IN OUT
   biq pack     --mu U IN OUT
   biq matmul   --weights W --input X --output Y [--parallel]
+               [--kernel auto|scalar|avx2|avx512|neon]
   biq info     FILE
 
 MODEL PIPELINE (BIQM compiled-model artifacts):
@@ -28,8 +29,14 @@ MODEL PIPELINE (BIQM compiled-model artifacts):
 SERVING:
   biq serve-bench [--model ARTIFACT] [--rows M] [--cols N] [--requests R]
                   [--workers W] [--window-us U] [--max-batch B] [--gap-us G]
-                  [--quick] [--out PATH]
+                  [--kernel auto|scalar|avx2|avx512|neon] [--quick] [--out PATH]
   biq help
+
+KERNEL LEVELS:
+  --kernel pins the SIMD kernel level for every plan the command builds
+  (plumbed through the BIQ_KERNEL env var, which works on every command);
+  'auto' (default) picks the host's best level. All levels are bit-exact,
+  so forcing one changes speed, never results. Unsupported levels error.
 
 ARTIFACTS:
   .biqm    dense matrix (row-major weights / col-major activations)
@@ -92,6 +99,10 @@ fn run() -> Result<(), CliError> {
         println!("{HELP}");
         return Ok(());
     };
+    // Surface a bad BIQ_KERNEL value as a clean CLI error up front, before
+    // any command builds a plan (plan building panics on resolution
+    // failure by design — the CLI is the recoverable boundary).
+    biq_cli::validate_kernel_env()?;
     let args = Args::parse(&raw[1..]);
     match cmd.as_str() {
         "gen" => {
@@ -122,6 +133,9 @@ fn run() -> Result<(), CliError> {
             println!("packed {} -> {} (µ = {mu})", input.display(), out.display());
         }
         "matmul" => {
+            if let Some(k) = args.flag("kernel") {
+                biq_cli::set_kernel_flag(k)?;
+            }
             let weights = flag_path(&args, "weights")?;
             let input = flag_path(&args, "input")?;
             let output = flag_path(&args, "output")?;
@@ -194,6 +208,9 @@ fn run() -> Result<(), CliError> {
             print!("{}", cmd_inspect(&path)?);
         }
         "serve-bench" => {
+            if let Some(k) = args.flag("kernel") {
+                biq_cli::set_kernel_flag(k)?;
+            }
             let mut cfg = ServeBenchConfig::default();
             if args.has("quick") {
                 cfg.requests = 400;
@@ -235,7 +252,7 @@ fn run() -> Result<(), CliError> {
             for r in &rows {
                 println!(
                     "{:>9} [{}]: {:.0} req/s, p50 {} us, p99 {} us, mean batch {:.2} cols \
-                     (window {} us, cap {}, {} workers)",
+                     (window {} us, cap {}, {} workers, kernel {})",
                     r.mode,
                     r.op_name,
                     r.throughput_rps,
@@ -244,7 +261,8 @@ fn run() -> Result<(), CliError> {
                     r.mean_batch_cols,
                     r.window_us,
                     r.max_batch_cols,
-                    r.workers
+                    r.workers,
+                    r.kernel
                 );
             }
             let speedup = rows[1].throughput_rps / rows[0].throughput_rps.max(1e-9);

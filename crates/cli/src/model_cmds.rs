@@ -181,14 +181,26 @@ pub fn cmd_inspect(path: &Path) -> Result<String, CliError> {
     }
     out.push_str("layers:\n");
     for l in &manifest.layers {
+        // The compiled kernel level next to what it re-resolves to here:
+        // the artifact runs bit-identically either way.
+        let resolved = biq_runtime::KernelRequest::AtMost(l.kernel)
+            .resolve()
+            .map(|k| k.level())
+            .map_err(|e| CliError(format!("{path:?}: {e}")))?;
+        let kernel = if resolved == l.kernel {
+            format!("kernel={}", l.kernel.name())
+        } else {
+            format!("kernel={}→{}", l.kernel.name(), resolved.name())
+        };
         out.push_str(&format!(
-            "  {:<16} {:>5}x{:<5} {:?} µ={} batch_hint={}{}{}\n",
+            "  {:<16} {:>5}x{:<5} {:?} µ={} batch_hint={} {}{}{}\n",
             l.name,
             l.m,
             l.n,
             l.spec,
             l.cfg.mu,
             l.batch_hint,
+            kernel,
             if l.parallel { " parallel" } else { "" },
             if l.bias.is_some() { " +bias" } else { "" },
         ));

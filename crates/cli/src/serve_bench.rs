@@ -77,6 +77,8 @@ pub struct ServeBenchRow {
     pub p99_us: u128,
     /// Mean packed batch width the batcher achieved.
     pub mean_batch_cols: f64,
+    /// The kernel level the op's plan pinned (stable lowercase name).
+    pub kernel: &'static str,
 }
 
 /// Replays `cfg.requests` single-column queries against a fresh server in
@@ -149,6 +151,7 @@ fn replay(
     let makespan = t0.elapsed();
     let snap = server.shutdown();
     let op_stats = &snap.ops[0];
+    let kernel = op_stats.kernel.name();
     Ok(ServeBenchRow {
         mode: if batched { "batched" } else { "unbatched" },
         op_name,
@@ -162,6 +165,7 @@ fn replay(
         p50_us: op_stats.latency_p50.as_micros(),
         p99_us: op_stats.latency_p99.as_micros(),
         mean_batch_cols: op_stats.mean_batch_cols,
+        kernel,
     })
 }
 
@@ -172,7 +176,8 @@ fn render_json(rows: &[ServeBenchRow]) -> String {
             concat!(
                 "  {{\"mode\": \"{mode}\", \"op\": \"{op}\", \"m\": {m}, \"n\": {n}, \"b\": 1, ",
                 "\"requests\": {req}, \"workers\": {workers}, \"window_us\": {window}, ",
-                "\"max_batch_cols\": {cap}, \"throughput_rps\": {rps:.1}, ",
+                "\"max_batch_cols\": {cap}, \"kernel\": \"{kernel}\", ",
+                "\"throughput_rps\": {rps:.1}, ",
                 "\"latency_p50_us\": {p50}, \"latency_p99_us\": {p99}, ",
                 "\"mean_batch_cols\": {mean:.2}}}{comma}\n"
             ),
@@ -184,6 +189,7 @@ fn render_json(rows: &[ServeBenchRow]) -> String {
             workers = r.workers,
             window = r.window_us,
             cap = r.max_batch_cols,
+            kernel = r.kernel,
             rps = r.throughput_rps,
             p50 = r.p50_us,
             p99 = r.p99_us,

@@ -108,8 +108,11 @@ pub fn biqgemm_quantized_activations(
     // only the first plane pays any allocation.
     let mut arena = BiqArena::new();
     let mut partial = vec![0.0f32; m * b];
+    // Plan-time resolution for this one-shot path (errors surface as the
+    // kernel layer's message, like `BiqGemm` construction).
+    let kernel = cfg.kernel.resolve().unwrap_or_else(|e| panic!("{e}"));
     for (gammas, signs) in xq.planes() {
-        biqgemm_serial_into(w, signs, cfg, &mut profile, &mut arena, &mut partial);
+        biqgemm_serial_into(w, signs, cfg, kernel, &mut profile, &mut arena, &mut partial);
         for i in 0..m {
             let prow = &partial[i * b..(i + 1) * b];
             let yrow = y.row_mut(i);
@@ -151,7 +154,15 @@ mod tests {
     ) -> Matrix {
         let mut y = Matrix::zeros(w.output_size(), x.cols());
         let mut arena = BiqArena::new();
-        biqgemm_serial_into(w, x, cfg, profile, &mut arena, y.as_mut_slice());
+        biqgemm_serial_into(
+            w,
+            x,
+            cfg,
+            cfg.kernel.resolve().unwrap(),
+            profile,
+            &mut arena,
+            y.as_mut_slice(),
+        );
         y
     }
 

@@ -1,12 +1,13 @@
 //! Reusable execution scratch for BiQGEMM — the allocation-free query path.
 //!
-//! Every BiQGEMM call needs three pieces of transient state: a [`LutBank`]
-//! holding the live lookup tables of the current tile, a per-row batch
-//! accumulator, and (inside the bank) the DP step vectors of Algorithm 1.
-//! The seed kernels allocated all three per call; a [`BiqArena`] owns them
-//! across calls so the steady state of repeated small-batch inference — the
-//! paper's target regime, where per-call allocation is measurable — touches
-//! the heap only when a *larger* shape than ever seen arrives.
+//! Every BiQGEMM call needs transient state: a [`LutBank`] holding the
+//! live lookup tables of the current tile and (inside the bank) the DP
+//! step vectors of Algorithm 1. The seed kernels allocated these per call;
+//! a [`BiqArena`] owns them across calls so the steady state of repeated
+//! small-batch inference — the paper's target regime, where per-call
+//! allocation is measurable — touches the heap only when a *larger* shape
+//! than ever seen arrives. (The per-row batch accumulator the seed also
+//! carried is gone: the fused query kernel accumulates in registers.)
 //!
 //! The arena is keyed by `(µ, layout)`: a bank built for one key width or
 //! physical layout cannot be reinterpreted under another, so changing either
@@ -27,7 +28,6 @@ pub struct BiqArena {
     bank: Option<LutBank>,
     bank_mu: usize,
     bank_layout: LutLayout,
-    acc: Vec<f32>,
 }
 
 impl Default for BiqArena {
@@ -39,35 +39,25 @@ impl Default for BiqArena {
 impl BiqArena {
     /// An empty arena; buffers are created on first use.
     pub fn new() -> Self {
-        Self { bank: None, bank_mu: 0, bank_layout: LutLayout::KeyMajor, acc: Vec::new() }
+        Self { bank: None, bank_mu: 0, bank_layout: LutLayout::KeyMajor }
     }
 
     /// Pre-sizes every buffer for a serial run of `cfg` at batch `b`, so
     /// even the *first* kernel call at that shape is allocation-free.
     pub fn reserve(&mut self, cfg: &crate::config::BiqConfig, b: usize) {
         let nb = cfg.tile_batch.min(b.max(1));
-        let (bank, _) = self.parts(cfg.mu, cfg.layout, nb);
-        bank.reserve(cfg.tile_chunks, nb);
+        self.bank(cfg.mu, cfg.layout).reserve(cfg.tile_chunks, nb);
     }
 
-    /// Mutable access to the bank and accumulator for one kernel run,
-    /// (re)creating the bank when `(µ, layout)` differ from the cached key
-    /// and growing the accumulator to at least `acc_len`.
-    pub fn parts(
-        &mut self,
-        mu: usize,
-        layout: LutLayout,
-        acc_len: usize,
-    ) -> (&mut LutBank, &mut [f32]) {
+    /// Mutable access to the bank for one kernel run, (re)creating it when
+    /// `(µ, layout)` differ from the cached key.
+    pub fn bank(&mut self, mu: usize, layout: LutLayout) -> &mut LutBank {
         if self.bank.is_none() || self.bank_mu != mu || self.bank_layout != layout {
             self.bank = Some(LutBank::new(mu, layout));
             self.bank_mu = mu;
             self.bank_layout = layout;
         }
-        if self.acc.len() < acc_len {
-            self.acc.resize(acc_len, 0.0);
-        }
-        (self.bank.as_mut().expect("bank just ensured"), &mut self.acc[..acc_len])
+        self.bank.as_mut().expect("bank just ensured")
     }
 
     /// Bytes of lookup-table data currently resident in the bank.
@@ -83,13 +73,9 @@ mod tests {
     #[test]
     fn bank_is_cached_across_same_key_calls() {
         let mut a = BiqArena::new();
-        {
-            let (bank, acc) = a.parts(4, LutLayout::KeyMajor, 8);
-            assert_eq!(bank.layout(), LutLayout::KeyMajor);
-            assert_eq!(acc.len(), 8);
-        }
+        assert_eq!(a.bank(4, LutLayout::KeyMajor).layout(), LutLayout::KeyMajor);
         let before = a.bank.as_ref().map(|b| b as *const LutBank as usize);
-        let _ = a.parts(4, LutLayout::KeyMajor, 4);
+        let _ = a.bank(4, LutLayout::KeyMajor);
         let after = a.bank.as_ref().map(|b| b as *const LutBank as usize);
         assert_eq!(before, after, "same (µ, layout) must not rebuild the bank");
     }
@@ -97,22 +83,8 @@ mod tests {
     #[test]
     fn key_change_rebuilds_bank() {
         let mut a = BiqArena::new();
-        let _ = a.parts(4, LutLayout::KeyMajor, 1);
-        {
-            let (bank, _) = a.parts(8, LutLayout::KeyMajor, 1);
-            assert_eq!(bank.layout(), LutLayout::KeyMajor);
-        }
-        let (bank, _) = a.parts(8, LutLayout::BatchMajor, 1);
-        assert_eq!(bank.layout(), LutLayout::BatchMajor);
-    }
-
-    #[test]
-    fn accumulator_grows_monotonically() {
-        let mut a = BiqArena::new();
-        let (_, acc) = a.parts(4, LutLayout::KeyMajor, 16);
-        assert_eq!(acc.len(), 16);
-        let (_, acc) = a.parts(4, LutLayout::KeyMajor, 4);
-        assert_eq!(acc.len(), 4, "view is sized to the request");
-        assert!(a.acc.len() >= 16, "backing store never shrinks");
+        let _ = a.bank(4, LutLayout::KeyMajor);
+        assert_eq!(a.bank(8, LutLayout::KeyMajor).layout(), LutLayout::KeyMajor);
+        assert_eq!(a.bank(8, LutLayout::BatchMajor).layout(), LutLayout::BatchMajor);
     }
 }

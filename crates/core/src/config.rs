@@ -1,5 +1,7 @@
 //! Runtime configuration of the BiQGEMM engine.
 
+use crate::simd::KernelRequest;
+
 /// How lookup tables are filled.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum LutBuildMethod {
@@ -56,9 +58,14 @@ pub struct BiqConfig {
     pub layout: LutLayout,
     /// Parallel schedule (used by `parallel::biqgemm_parallel_arena_into`).
     pub schedule: Schedule,
-    /// Use explicitly vectorised (AVX2/FMA) query primitives when the CPU
-    /// supports them; `false` forces the scalar loops (ablation).
-    pub simd: bool,
+    /// Which kernel level to run the hot loops at. This is a *request*
+    /// (the successor of the old `simd: bool` toggle): plan builders
+    /// resolve it exactly once into a pinned
+    /// [`crate::simd::ResolvedKernel`]; the kernels themselves take the
+    /// resolved level and never probe CPU features. `Auto` (the default)
+    /// resolves to the host's best level, `Exact(KernelLevel::Scalar)` is
+    /// the old `simd: false` ablation.
+    pub kernel: KernelRequest,
 }
 
 impl Default for BiqConfig {
@@ -74,7 +81,7 @@ impl Default for BiqConfig {
             build: LutBuildMethod::DynamicProgramming,
             layout: LutLayout::KeyMajor,
             schedule: Schedule::RowParallel,
-            simd: true,
+            kernel: KernelRequest::Auto,
         }
     }
 }
@@ -113,6 +120,7 @@ mod tests {
         assert_eq!(c.mu, 8);
         assert_eq!(c.build, LutBuildMethod::DynamicProgramming);
         assert_eq!(c.layout, LutLayout::KeyMajor);
+        assert_eq!(c.kernel, KernelRequest::Auto);
         c.validate();
     }
 

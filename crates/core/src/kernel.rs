@@ -10,40 +10,58 @@ use crate::arena::BiqArena;
 use crate::config::BiqConfig;
 use crate::parallel::biqgemm_parallel_into;
 use crate::profile::PhaseProfile;
+use crate::simd::ResolvedKernel;
 use crate::tiled::biqgemm_serial_into;
 use crate::weights::BiqWeights;
 use biq_matrix::{ColMatrix, Matrix, SignMatrix};
 use biq_quant::MultiBitMatrix;
 
-/// A ready-to-run BiQGEMM operator for one weight matrix.
+/// A ready-to-run BiQGEMM operator for one weight matrix. The config's
+/// [`crate::simd::KernelRequest`] is resolved **once**, here at
+/// construction; every matmul runs at the pinned level.
 #[derive(Clone, Debug)]
 pub struct BiqGemm {
     weights: BiqWeights,
     cfg: BiqConfig,
+    kernel: ResolvedKernel,
 }
 
 impl BiqGemm {
     /// Packs multi-bit quantized weights under `cfg` (keys use `cfg.mu`).
+    ///
+    /// # Panics
+    /// Panics when the config is invalid or `cfg.kernel` requests a level
+    /// this host cannot execute.
     pub fn new(quant: &MultiBitMatrix, cfg: BiqConfig) -> Self {
         cfg.validate();
-        Self { weights: BiqWeights::from_multibit(quant, cfg.mu), cfg }
+        Self { weights: BiqWeights::from_multibit(quant, cfg.mu), kernel: resolve(&cfg), cfg }
     }
 
     /// Packs a raw sign matrix with unit scales (the paper's runtime
     /// experiments: pure binary `Y = B·X`).
+    ///
+    /// # Panics
+    /// As for [`BiqGemm::new`].
     pub fn from_signs(signs: &SignMatrix, cfg: BiqConfig) -> Self {
         cfg.validate();
-        Self { weights: BiqWeights::from_signs_unscaled(signs, cfg.mu), cfg }
+        Self { weights: BiqWeights::from_signs_unscaled(signs, cfg.mu), kernel: resolve(&cfg), cfg }
     }
 
     /// Wraps pre-packed weights.
     ///
     /// # Panics
-    /// Panics if the weights were packed with a different µ than `cfg.mu`.
+    /// Panics if the weights were packed with a different µ than `cfg.mu`,
+    /// or `cfg.kernel` requests a level this host cannot execute.
     pub fn from_weights(weights: BiqWeights, cfg: BiqConfig) -> Self {
         cfg.validate();
         assert_eq!(weights.mu(), cfg.mu, "weights were packed with a different µ");
-        Self { weights, cfg }
+        Self { weights, kernel: resolve(&cfg), cfg }
+    }
+
+    /// The kernel level every matmul of this engine runs at (resolved from
+    /// `cfg.kernel` at construction).
+    pub fn kernel(&self) -> ResolvedKernel {
+        self.kernel
     }
 
     /// The packed weights.
@@ -80,7 +98,15 @@ impl BiqGemm {
     pub fn matmul_profiled(&self, x: &ColMatrix, profile: &mut PhaseProfile) -> Matrix {
         let mut y = Matrix::zeros(self.weights.output_size(), x.cols());
         let mut arena = BiqArena::new();
-        biqgemm_serial_into(&self.weights, x, &self.cfg, profile, &mut arena, y.as_mut_slice());
+        biqgemm_serial_into(
+            &self.weights,
+            x,
+            &self.cfg,
+            self.kernel,
+            profile,
+            &mut arena,
+            y.as_mut_slice(),
+        );
         y
     }
 
@@ -93,14 +119,14 @@ impl BiqGemm {
         arena: &mut BiqArena,
         y: &mut [f32],
     ) {
-        biqgemm_serial_into(&self.weights, x, &self.cfg, profile, arena, y);
+        biqgemm_serial_into(&self.weights, x, &self.cfg, self.kernel, profile, arena, y);
     }
 
     /// Multi-threaded matmul on the ambient rayon pool, using
     /// `cfg.schedule`.
     pub fn matmul_parallel(&self, x: &ColMatrix) -> Matrix {
         let mut y = Matrix::zeros(self.weights.output_size(), x.cols());
-        biqgemm_parallel_into(&self.weights, x, &self.cfg, y.as_mut_slice());
+        biqgemm_parallel_into(&self.weights, x, &self.cfg, self.kernel, y.as_mut_slice());
         y
     }
 
@@ -109,6 +135,13 @@ impl BiqGemm {
         let xm = ColMatrix::from_vec(x.len(), 1, x.to_vec());
         self.matmul(&xm).into_vec()
     }
+}
+
+/// Plan-time resolution for the facade: errors are surfaced as panics with
+/// the kernel layer's message (the planned runtime path pre-validates via
+/// `biq_runtime::PlanBuilder` instead).
+fn resolve(cfg: &BiqConfig) -> ResolvedKernel {
+    cfg.kernel.resolve().unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]

@@ -15,8 +15,9 @@
 //!   place with zero scatter, but queries for `b > 1` gather.
 
 use crate::config::{LutBuildMethod, LutLayout};
-use crate::lut::{build_lut_bruteforce, build_lut_dp};
+use crate::lut::{build_lut_bruteforce, build_lut_dp_level};
 use crate::profile::PhaseProfile;
+use crate::simd::{self, ResolvedKernel};
 use biq_matrix::reshape::ChunkedInput;
 
 /// A reusable bank of lookup tables for one (chunk-tile × batch-tile).
@@ -81,7 +82,8 @@ impl LutBank {
 
     /// Builds tables for chunks `[chunk_start, chunk_start + num_chunks)` ×
     /// batch columns `[batch_start, batch_start + nb)` of `input`,
-    /// overwriting the bank. Build arithmetic is charged to `profile.build`;
+    /// overwriting the bank, with DP arithmetic running at the resolved
+    /// kernel level `k`. Build arithmetic is charged to `profile.build`;
     /// the KeyMajor scatter is charged to `profile.replace`.
     #[allow(clippy::too_many_arguments)]
     pub fn build(
@@ -93,6 +95,7 @@ impl LutBank {
         nb: usize,
         method: LutBuildMethod,
         profile: &mut PhaseProfile,
+        k: ResolvedKernel,
     ) {
         debug_assert!(chunk_start + num_chunks <= input.num_chunks());
         debug_assert!(batch_start + nb <= input.batch());
@@ -110,10 +113,22 @@ impl LutBank {
                         let len = 1usize << sub.len();
                         let off = (c * nb + a) * self.table;
                         let dst = &mut self.data[off..off + len];
-                        profile.time_build(|| fill_table(method, sub, dst));
+                        profile.time_build(|| fill_table(method, sub, dst, k));
                     }
                 }
                 LutLayout::KeyMajor => match method {
+                    // With one live batch column the KeyMajor and
+                    // BatchMajor layouts coincide (entry (c, key) at
+                    // c·2^µ + key), so the contiguous single-table DP
+                    // build applies directly — no per-row 1-lane vector
+                    // calls.
+                    LutBuildMethod::DynamicProgramming if nb == 1 => {
+                        let sub = input.chunk(batch_start, chunk_start + c);
+                        let len = 1usize << sub.len();
+                        let off = c * self.table;
+                        let dst = &mut self.data[off..off + len];
+                        profile.time_build(|| build_lut_dp_level(sub, dst, k));
+                    }
                     LutBuildMethod::DynamicProgramming => {
                         self.build_key_major_batched(
                             input,
@@ -122,6 +137,7 @@ impl LutBank {
                             batch_start,
                             nb,
                             profile,
+                            k,
                         );
                     }
                     LutBuildMethod::Gemm => {
@@ -132,7 +148,7 @@ impl LutBank {
                             let sub = input.chunk(batch_start + a, chunk_start + c);
                             let len = 1usize << sub.len();
                             let scratch = &mut self.scratch[..len];
-                            profile.time_build(|| fill_table(method, sub, scratch));
+                            profile.time_build(|| fill_table(method, sub, scratch, k));
                             let base = c * self.table * nb + a;
                             let data = &mut self.data;
                             let scratch = &self.scratch[..len];
@@ -162,6 +178,7 @@ impl LutBank {
         batch_start: usize,
         nb: usize,
         profile: &mut PhaseProfile,
+        k: ResolvedKernel,
     ) {
         let l = input.chunk(batch_start, chunk_start + c).len();
         debug_assert!(l >= 1);
@@ -187,29 +204,22 @@ impl LutBank {
                 }
             }
         });
-        // DP fill (build): vector adds over contiguous nb-rows.
+        // DP fill (build): vector adds over contiguous nb-rows at the
+        // resolved kernel level — one dispatch per DP level / per mirror,
+        // so call overhead never scales with 2^µ.
         let seg = &mut data[seg_base..seg_base + entries * nb];
         profile.time_build(|| {
             for t in 0..l - 1 {
                 let rows = 1usize << t;
                 let (lo, hi) = seg.split_at_mut(rows * nb);
                 let step = &steps[t * nb..t * nb + nb];
-                for (dst, src) in hi[..rows * nb].chunks_exact_mut(nb).zip(lo.chunks_exact(nb)) {
-                    for ((d, &s), &st) in dst.iter_mut().zip(src).zip(step) {
-                        *d = s + st;
-                    }
-                }
+                simd::dp_step_add_rows(&mut hi[..rows * nb], lo, step, k);
             }
             // Mirror: upper-half row r (global index 2^{l−1}+r) is the
             // negation of lower-half row 2^{l−1}−1−r.
             let half = 1usize << (l - 1);
             let (lo, hi) = seg.split_at_mut(half * nb);
-            for (r, dst) in hi.chunks_exact_mut(nb).enumerate() {
-                let src = &lo[(half - 1 - r) * nb..(half - r) * nb];
-                for (d, &s) in dst.iter_mut().zip(src) {
-                    *d = -s;
-                }
-            }
+            simd::negate_rows_reversed(hi, lo, nb, k);
         });
     }
 
@@ -271,6 +281,21 @@ impl LutBank {
         (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
     }
 
+    /// Fused Algorithm 2 query for one key row (KeyMajor):
+    /// `y[a] += scale · Σ_ci entry_vec(ci, keys[ci])[a]`, accumulated in
+    /// registers at the resolved kernel level — see
+    /// [`crate::simd::lut_query_fused`].
+    ///
+    /// # Panics
+    /// Panics (or debug-panics) on a BatchMajor bank, a key row longer
+    /// than the resident chunks, or `y` shorter than the resident batch.
+    #[inline]
+    pub fn query_fused(&self, keys: &[u16], scale: f32, y: &mut [f32], k: ResolvedKernel) {
+        debug_assert_eq!(self.layout, LutLayout::KeyMajor);
+        debug_assert!(keys.len() <= self.num_chunks);
+        simd::lut_query_fused(y, scale, &self.data, self.table, self.nb, keys, k);
+    }
+
     /// Bytes of live table data.
     pub fn resident_bytes(&self) -> usize {
         self.num_chunks * self.table * self.nb * 4
@@ -281,6 +306,7 @@ impl LutBank {
 /// KeyMajor layout — shared by [`LutBank`] and the parallel SharedLut
 /// builder. `seg` must span `2^µ · nb` floats; `steps` is caller scratch
 /// (resized as needed).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn fill_chunk_key_major_dp(
     seg: &mut [f32],
     steps: &mut Vec<f32>,
@@ -288,9 +314,17 @@ pub(crate) fn fill_chunk_key_major_dp(
     chunk: usize,
     batch_start: usize,
     nb: usize,
+    k: ResolvedKernel,
 ) {
     let l = input.chunk(batch_start, chunk).len();
     let entries = 1usize << l;
+    if nb == 1 {
+        // Single live batch column: the layout degenerates to one
+        // contiguous table — build it directly.
+        let sub = input.chunk(batch_start, chunk);
+        build_lut_dp_level(sub, &mut seg[..entries], k);
+        return;
+    }
     if steps.len() < l.max(1) * nb {
         steps.resize(l.max(1) * nb, 0.0);
     }
@@ -310,26 +344,17 @@ pub(crate) fn fill_chunk_key_major_dp(
         let rows = 1usize << t;
         let (lo, hi) = seg.split_at_mut(rows * nb);
         let step = &steps[t * nb..t * nb + nb];
-        for (dst, src) in hi[..rows * nb].chunks_exact_mut(nb).zip(lo.chunks_exact(nb)) {
-            for ((d, &s), &st) in dst.iter_mut().zip(src).zip(step) {
-                *d = s + st;
-            }
-        }
+        simd::dp_step_add_rows(&mut hi[..rows * nb], lo, step, k);
     }
     let half = 1usize << (l - 1);
     let (lo, hi) = seg.split_at_mut(half * nb);
-    for (r, dst) in hi.chunks_exact_mut(nb).enumerate() {
-        let src = &lo[(half - 1 - r) * nb..(half - r) * nb];
-        for (d, &s) in dst.iter_mut().zip(src) {
-            *d = -s;
-        }
-    }
+    simd::negate_rows_reversed(hi, lo, nb, k);
 }
 
 #[inline]
-fn fill_table(method: LutBuildMethod, sub: &[f32], dst: &mut [f32]) {
+fn fill_table(method: LutBuildMethod, sub: &[f32], dst: &mut [f32], k: ResolvedKernel) {
     match method {
-        LutBuildMethod::DynamicProgramming => build_lut_dp(sub, dst),
+        LutBuildMethod::DynamicProgramming => build_lut_dp_level(sub, dst, k),
         LutBuildMethod::Gemm => build_lut_bruteforce(sub, dst),
     }
 }
@@ -338,7 +363,12 @@ fn fill_table(method: LutBuildMethod, sub: &[f32], dst: &mut [f32]) {
 mod tests {
     use super::*;
     use crate::mmu::key_dot;
+    use crate::simd::KernelRequest;
     use biq_matrix::{ColMatrix, MatrixRng};
+
+    fn sk() -> ResolvedKernel {
+        ResolvedKernel::scalar()
+    }
 
     fn check_bank_contents(
         bank: &LutBank,
@@ -373,7 +403,7 @@ mod tests {
         for layout in [LutLayout::KeyMajor, LutLayout::BatchMajor] {
             let mut bank = LutBank::new(4, layout);
             let mut prof = PhaseProfile::new();
-            bank.build(&input, 0, 5, 0, 5, LutBuildMethod::DynamicProgramming, &mut prof);
+            bank.build(&input, 0, 5, 0, 5, LutBuildMethod::DynamicProgramming, &mut prof, sk());
             check_bank_contents(&bank, &input, 0, 0);
         }
     }
@@ -385,7 +415,7 @@ mod tests {
         let input = ChunkedInput::new(&x, 4); // 6 chunks
         let mut bank = LutBank::new(4, LutLayout::KeyMajor);
         let mut prof = PhaseProfile::new();
-        bank.build(&input, 2, 3, 5, 2, LutBuildMethod::DynamicProgramming, &mut prof);
+        bank.build(&input, 2, 3, 5, 2, LutBuildMethod::DynamicProgramming, &mut prof, sk());
         assert_eq!(bank.num_chunks(), 3);
         assert_eq!(bank.batch(), 2);
         check_bank_contents(&bank, &input, 2, 5);
@@ -399,7 +429,7 @@ mod tests {
         for layout in [LutLayout::KeyMajor, LutLayout::BatchMajor] {
             let mut bank = LutBank::new(4, layout);
             let mut prof = PhaseProfile::new();
-            bank.build(&input, 0, 3, 0, 3, LutBuildMethod::DynamicProgramming, &mut prof);
+            bank.build(&input, 0, 3, 0, 3, LutBuildMethod::DynamicProgramming, &mut prof, sk());
             check_bank_contents(&bank, &input, 0, 0);
         }
     }
@@ -412,8 +442,8 @@ mod tests {
         let mut dp = LutBank::new(4, LutLayout::KeyMajor);
         let mut bf = LutBank::new(4, LutLayout::KeyMajor);
         let mut prof = PhaseProfile::new();
-        dp.build(&input, 0, 4, 0, 4, LutBuildMethod::DynamicProgramming, &mut prof);
-        bf.build(&input, 0, 4, 0, 4, LutBuildMethod::Gemm, &mut prof);
+        dp.build(&input, 0, 4, 0, 4, LutBuildMethod::DynamicProgramming, &mut prof, sk());
+        bf.build(&input, 0, 4, 0, 4, LutBuildMethod::Gemm, &mut prof, sk());
         for c in 0..4 {
             for k in 0..16u16 {
                 assert_eq!(dp.entry_vec(c, k), bf.entry_vec(c, k));
@@ -428,11 +458,11 @@ mod tests {
         let input = ChunkedInput::new(&x, 8);
         let mut prof_km = PhaseProfile::new();
         let mut km = LutBank::new(8, LutLayout::KeyMajor);
-        km.build(&input, 0, 8, 0, 16, LutBuildMethod::DynamicProgramming, &mut prof_km);
+        km.build(&input, 0, 8, 0, 16, LutBuildMethod::DynamicProgramming, &mut prof_km, sk());
         assert!(prof_km.replace > std::time::Duration::ZERO);
         let mut prof_bm = PhaseProfile::new();
         let mut bm = LutBank::new(8, LutLayout::BatchMajor);
-        bm.build(&input, 0, 8, 0, 16, LutBuildMethod::DynamicProgramming, &mut prof_bm);
+        bm.build(&input, 0, 8, 0, 16, LutBuildMethod::DynamicProgramming, &mut prof_bm, sk());
         assert_eq!(prof_bm.replace, std::time::Duration::ZERO);
     }
 
@@ -443,11 +473,44 @@ mod tests {
         let input = ChunkedInput::new(&x, 8);
         let mut bank = LutBank::new(8, LutLayout::BatchMajor);
         let mut prof = PhaseProfile::new();
-        bank.build(&input, 0, 4, 0, 4, LutBuildMethod::DynamicProgramming, &mut prof);
+        bank.build(&input, 0, 4, 0, 4, LutBuildMethod::DynamicProgramming, &mut prof, sk());
         check_bank_contents(&bank, &input, 0, 0);
         // Rebuild a smaller region; stale data beyond it must not matter.
-        bank.build(&input, 1, 2, 1, 2, LutBuildMethod::DynamicProgramming, &mut prof);
+        bank.build(&input, 1, 2, 1, 2, LutBuildMethod::DynamicProgramming, &mut prof, sk());
         check_bank_contents(&bank, &input, 1, 1);
+    }
+
+    #[test]
+    fn builds_bit_exact_across_levels_and_fused_query_matches_entries() {
+        let mut g = MatrixRng::seed_from(226);
+        let x = g.gaussian_col(26, 7, 0.0, 1.0); // µ=4 → 6 full chunks + ragged
+        let input = ChunkedInput::new(&x, 4);
+        let mut prof = PhaseProfile::new();
+        let mut reference = LutBank::new(4, LutLayout::KeyMajor);
+        reference.build(&input, 0, 7, 0, 7, LutBuildMethod::DynamicProgramming, &mut prof, sk());
+        let keys: Vec<u16> = (0..7u16).map(|c| (c * 3) % 16).collect();
+        let mut y_ref = vec![0.0f32; 7];
+        reference.query_fused(&keys, 1.25, &mut y_ref, sk());
+        for level in crate::simd::supported_levels() {
+            let k = KernelRequest::Exact(level).resolve().unwrap();
+            let mut bank = LutBank::new(4, LutLayout::KeyMajor);
+            bank.build(&input, 0, 7, 0, 7, LutBuildMethod::DynamicProgramming, &mut prof, k);
+            for c in 0..7 {
+                for key in 0..16u16 {
+                    let sub = input.chunk(0, c);
+                    if (key as usize) < (1usize << sub.len()) {
+                        assert_eq!(
+                            bank.entry_vec(c, key),
+                            reference.entry_vec(c, key),
+                            "level={level} chunk={c} key={key}"
+                        );
+                    }
+                }
+            }
+            let mut y = vec![0.0f32; 7];
+            bank.query_fused(&keys, 1.25, &mut y, k);
+            assert_eq!(y, y_ref, "level={level}");
+        }
     }
 
     #[test]
@@ -456,7 +519,7 @@ mod tests {
         let input = ChunkedInput::new(&x, 4);
         let mut bank = LutBank::new(4, LutLayout::KeyMajor);
         let mut prof = PhaseProfile::new();
-        bank.build(&input, 0, 4, 0, 2, LutBuildMethod::DynamicProgramming, &mut prof);
+        bank.build(&input, 0, 4, 0, 2, LutBuildMethod::DynamicProgramming, &mut prof, sk());
         assert_eq!(bank.resident_bytes(), 4 * 16 * 2 * 4);
     }
 }

@@ -33,16 +33,29 @@
 //! The preferred entry point is **`biq_runtime::Executor`**: build an
 //! `ExecutionPlan` (a thin layer over [`planner`]), `compile` it against
 //! weights, and run it against a reusable arena. Within this crate,
-//! [`arena::BiqArena`] owns the reusable scratch (LUT bank, batch
-//! accumulator, DP step vectors), [`parallel::ParallelArena`] pools
-//! per-worker copies of it for the rayon drivers, and
-//! [`tiled::biqgemm_serial_into`] /
+//! [`arena::BiqArena`] owns the reusable scratch (LUT bank with its DP
+//! step vectors), [`parallel::ParallelArena`] pools per-worker copies of
+//! it for the rayon drivers, and [`tiled::biqgemm_serial_into`] /
 //! [`parallel::biqgemm_parallel_arena_into`] are the arena-threaded
 //! kernels every path funnels into. [`kernel::BiqGemm`] remains as a
 //! self-contained facade (one-shot arena per call). The historical free
 //! functions `biqgemm_tiled` / `biqgemv_tiled` / `biqgemm_parallel` have
 //! been **removed** — route repeat calls through `biq_runtime::Executor`
 //! and concurrent traffic through the `biq_serve` batching layer.
+//!
+//! ## Kernel levels
+//!
+//! The hot loops are implemented at multiple ISA levels — scalar, AVX2,
+//! AVX-512, NEON — behind the [`simd`] kernel layer. A
+//! [`config::BiqConfig`] carries a [`simd::KernelRequest`] (the successor
+//! of the old `simd: bool` flag; `BiqConfig::simd = false` is now
+//! `kernel: KernelRequest::Exact(KernelLevel::Scalar)`), which plan
+//! builders resolve **once** into a pinned [`simd::ResolvedKernel`]; the
+//! kernels take the resolved level as an argument and never probe CPU
+//! features. All levels are bit-exact against scalar, which is what lets a
+//! `BIQM` artifact compiled on one machine re-resolve and reproduce
+//! identical outputs on any other — see the [`simd`] module docs for the
+//! resolution rules, the `BIQ_KERNEL` override, and how to add an ISA.
 //!
 //! ## Quick start
 //!
@@ -82,4 +95,5 @@ pub use config::{BiqConfig, LutBuildMethod, LutLayout, Schedule};
 pub use kernel::BiqGemm;
 pub use parallel::ParallelArena;
 pub use profile::PhaseProfile;
+pub use simd::{KernelError, KernelLevel, KernelRequest, ResolvedKernel, KERNEL_ENV};
 pub use weights::BiqWeights;

@@ -19,13 +19,26 @@
 //! than the `2^µ · µ` GEMM construction.
 
 use crate::mmu::key_dot;
+use crate::simd::{self, ResolvedKernel};
 
 /// Builds the lookup table for `x` into `out` using Algorithm 1 (dynamic
-/// programming). `out.len()` must be `2^x.len()`.
+/// programming), scalar loops. `out.len()` must be `2^x.len()`.
 ///
 /// # Panics
 /// Panics if `x` is empty, longer than 16, or `out` has the wrong length.
 pub fn build_lut_dp(x: &[f32], out: &mut [f32]) {
+    build_lut_dp_level(x, out, ResolvedKernel::scalar());
+}
+
+/// [`build_lut_dp`] at a resolved kernel level: the single-flip recurrence
+/// (`q[2^t + j] = q[j] + 2·x_{L−1−t}`) runs as a vectorised broadcast-add
+/// over each `2^t`-entry half, giving the µ-wide DP build the same
+/// dispatch the query kernel has. Every level computes identical values
+/// (elementwise adds, no reassociation) — bit-exact against scalar.
+///
+/// # Panics
+/// Panics if `x` is empty, longer than 16, or `out` has the wrong length.
+pub fn build_lut_dp_level(x: &[f32], out: &mut [f32], k: ResolvedKernel) {
     let l = x.len();
     assert!((1..=16).contains(&l), "sub-vector length must be in 1..=16");
     assert_eq!(out.len(), 1usize << l, "output must have 2^L entries");
@@ -39,11 +52,10 @@ pub fn build_lut_dp(x: &[f32], out: &mut [f32]) {
     for t in 0..l - 1 {
         let step = 2.0 * x[l - 1 - t];
         let (lo, hi) = out.split_at_mut(1 << t);
-        for (dst, &src) in hi[..1 << t].iter_mut().zip(lo.iter()) {
-            *dst = src + step;
-        }
+        simd::broadcast_add(&mut hi[..1 << t], &lo[..1 << t], step, k);
     }
-    // Mirror: complementing every sign negates the sum.
+    // Mirror: complementing every sign negates the sum (reversed access,
+    // bandwidth-bound — left to the scalar loop on every level).
     let half = 1usize << (l - 1);
     for i in 1..=half {
         out[(1 << l) - i] = -out[i - 1];
@@ -191,6 +203,22 @@ mod tests {
         // Eq. 6 counts ≈ 2^µ + µ − 1 ops per table.
         for l in 1..=12 {
             assert_eq!(dp_op_count(l), (1 << l) + l - 2);
+        }
+    }
+
+    #[test]
+    fn dp_levels_bit_exact_against_scalar() {
+        let mut g = MatrixRng::seed_from(205);
+        for l in [1usize, 2, 5, 8, 11] {
+            let x = g.gaussian_vec(l);
+            let mut scalar = vec![0.0f32; 1 << l];
+            build_lut_dp(&x, &mut scalar);
+            for level in crate::simd::supported_levels() {
+                let k = crate::simd::KernelRequest::Exact(level).resolve().unwrap();
+                let mut got = vec![0.0f32; 1 << l];
+                build_lut_dp_level(&x, &mut got, k);
+                assert_eq!(scalar, got, "L={l} level={level}");
+            }
         }
     }
 

@@ -32,6 +32,7 @@
 use crate::arena::BiqArena;
 use crate::config::{BiqConfig, LutLayout, Schedule};
 use crate::profile::PhaseProfile;
+use crate::simd::{self, ResolvedKernel};
 use crate::tiled::run_tiles;
 use crate::weights::BiqWeights;
 use biq_matrix::reshape::ChunkedInput;
@@ -50,8 +51,6 @@ pub(crate) struct WorkerScratch {
     pub(crate) ranges: Vec<(usize, usize)>,
     /// DP step scratch for the SharedLut KeyMajor build phase.
     pub(crate) steps: Vec<f32>,
-    /// Query accumulator for the SharedLut query phase.
-    pub(crate) acc: Vec<f32>,
 }
 
 /// A pool of per-worker scratch for the parallel BiQGEMM drivers.
@@ -107,9 +106,6 @@ impl ParallelArena {
             if s.steps.len() < cfg.mu * nb {
                 s.steps.resize(cfg.mu * nb, 0.0);
             }
-            if s.acc.len() < nb {
-                s.acc.resize(nb, 0.0);
-            }
         }
         if cfg.schedule == Schedule::SharedLut {
             let needed = cfg.tile_chunks * (1usize << cfg.mu) * nb;
@@ -150,8 +146,10 @@ impl Default for ParallelArena {
 }
 
 /// Parallel BiQGEMM into a caller-provided row-major `m × b` buffer,
-/// dispatching on `cfg.schedule` and drawing all per-task scratch from
-/// `pool`. `y` is zeroed before accumulation.
+/// dispatching on `cfg.schedule`, running the hot loops at the resolved
+/// level `kernel` (pinned by the caller's plan — no feature probing here),
+/// and drawing all per-task scratch from `pool`. `y` is zeroed before
+/// accumulation.
 ///
 /// This is the steady-state serving path: with a persistent pool (the
 /// runtime executor's arena embeds one) repeat runs at a warmed shape reuse
@@ -163,6 +161,7 @@ pub fn biqgemm_parallel_arena_into(
     w: &BiqWeights,
     x: &ColMatrix,
     cfg: &BiqConfig,
+    kernel: ResolvedKernel,
     pool: &ParallelArena,
     y: &mut [f32],
 ) {
@@ -171,8 +170,8 @@ pub fn biqgemm_parallel_arena_into(
     assert_eq!(y.len(), w.output_size() * x.cols(), "output buffer must hold m·b floats");
     y.fill(0.0);
     match cfg.schedule {
-        Schedule::RowParallel => row_parallel(w, x, cfg, pool, y),
-        Schedule::SharedLut => shared_lut(w, x, cfg, pool, y),
+        Schedule::RowParallel => row_parallel(w, x, cfg, kernel, pool, y),
+        Schedule::SharedLut => shared_lut(w, x, cfg, kernel, pool, y),
     }
 }
 
@@ -182,9 +181,15 @@ pub fn biqgemm_parallel_arena_into(
 ///
 /// # Panics
 /// Panics on dimension mismatch, `y.len() != m·b`, or invalid config.
-pub fn biqgemm_parallel_into(w: &BiqWeights, x: &ColMatrix, cfg: &BiqConfig, y: &mut [f32]) {
+pub fn biqgemm_parallel_into(
+    w: &BiqWeights,
+    x: &ColMatrix,
+    cfg: &BiqConfig,
+    kernel: ResolvedKernel,
+    y: &mut [f32],
+) {
     let pool = ParallelArena::with_current_threads();
-    biqgemm_parallel_arena_into(w, x, cfg, &pool, y);
+    biqgemm_parallel_arena_into(w, x, cfg, kernel, &pool, y);
 }
 
 /// Rows-per-task sizing: enough tasks for load balance, big enough blocks to
@@ -198,6 +203,7 @@ fn row_parallel(
     w: &BiqWeights,
     x: &ColMatrix,
     cfg: &BiqConfig,
+    kernel: ResolvedKernel,
     pool: &ParallelArena,
     y: &mut [f32],
 ) {
@@ -216,12 +222,19 @@ fn row_parallel(
         // Key rows for this block: every plane's copy of [row0, row0+rows).
         ranges.clear();
         ranges.extend((0..bits).map(|p| (p * m + row0, p * m + row0 + rows)));
-        let (bank, acc) = arena.parts(w.mu(), cfg.layout, cfg.tile_batch.min(b));
-        run_tiles(w, x, cfg, &mut profile, bank, acc, ranges, yblock, row0);
+        let bank = arena.bank(w.mu(), cfg.layout);
+        run_tiles(w, x, cfg, kernel, &mut profile, bank, ranges, yblock, row0);
     });
 }
 
-fn shared_lut(w: &BiqWeights, x: &ColMatrix, cfg: &BiqConfig, pool: &ParallelArena, y: &mut [f32]) {
+fn shared_lut(
+    w: &BiqWeights,
+    x: &ColMatrix,
+    cfg: &BiqConfig,
+    kernel: ResolvedKernel,
+    pool: &ParallelArena,
+    y: &mut [f32],
+) {
     let (m, b) = (w.output_size(), x.cols());
     if b == 0 {
         return;
@@ -255,28 +268,27 @@ fn shared_lut(w: &BiqWeights, x: &ColMatrix, cfg: &BiqConfig, pool: &ParallelAre
                         c0 + c,
                         b0,
                         nb,
+                        kernel,
                     );
                 }
                 LutLayout::BatchMajor => {
                     for a in 0..nb {
                         let sub = input.chunk(b0 + a, c0 + c);
                         let len = 1usize << sub.len();
-                        crate::lut::build_lut_dp(sub, &mut seg[a * table..a * table + len]);
+                        crate::lut::build_lut_dp_level(
+                            sub,
+                            &mut seg[a * table..a * table + len],
+                            kernel,
+                        );
                     }
                 }
             });
-            // Phase 2: query in parallel over disjoint output-row blocks.
+            // Phase 2: query in parallel over disjoint output-row blocks,
+            // fused lookup-accumulate at the pinned kernel level.
             let bank = &bank[..];
-            let level =
-                if cfg.simd { crate::simd::detect() } else { crate::simd::SimdLevel::Scalar };
             y.par_chunks_mut(rpt * b).enumerate().for_each(|(t, yblock)| {
                 let row0 = t * rpt;
                 let rows = yblock.len() / b;
-                let mut slot = pool.checkout();
-                if slot.acc.len() < nb {
-                    slot.acc.resize(nb, 0.0);
-                }
-                let acc = &mut slot.acc[..nb];
                 for p in 0..w.bits() {
                     for r in p * m + row0..p * m + row0 + rows {
                         let scale = w.scale(r);
@@ -285,12 +297,15 @@ fn shared_lut(w: &BiqWeights, x: &ColMatrix, cfg: &BiqConfig, pool: &ParallelAre
                         let krow = &keys.key_row(r)[c0..c0 + nc];
                         match cfg.layout {
                             LutLayout::KeyMajor => {
-                                acc.fill(0.0);
-                                for (ci, &key) in krow.iter().enumerate() {
-                                    let off = (ci * table + key as usize) * nb;
-                                    crate::simd::add_assign(acc, &bank[off..off + nb], level);
-                                }
-                                crate::simd::axpy(&mut yblock[yoff..yoff + nb], scale, acc, level);
+                                simd::lut_query_fused(
+                                    &mut yblock[yoff..yoff + nb],
+                                    scale,
+                                    bank,
+                                    table,
+                                    nb,
+                                    krow,
+                                    kernel,
+                                );
                             }
                             LutLayout::BatchMajor => {
                                 let yrow = &mut yblock[yoff..yoff + nb];
@@ -318,11 +333,15 @@ mod tests {
     use biq_matrix::{Matrix, MatrixRng};
     use biq_quant::greedy_quantize_matrix_rowwise;
 
+    fn kernel_of(cfg: &BiqConfig) -> ResolvedKernel {
+        cfg.kernel.resolve().expect("test kernel request must resolve")
+    }
+
     fn serial(w: &BiqWeights, x: &ColMatrix, cfg: &BiqConfig) -> Matrix {
         let mut p = PhaseProfile::new();
         let mut arena = BiqArena::new();
         let mut y = Matrix::zeros(w.output_size(), x.cols());
-        biqgemm_serial_into(w, x, cfg, &mut p, &mut arena, y.as_mut_slice());
+        biqgemm_serial_into(w, x, cfg, kernel_of(cfg), &mut p, &mut arena, y.as_mut_slice());
         y
     }
 
@@ -330,7 +349,7 @@ mod tests {
     /// `biqgemm_parallel` free function, now deleted from the public API).
     fn biqgemm_parallel(w: &BiqWeights, x: &ColMatrix, cfg: &BiqConfig) -> Matrix {
         let mut y = Matrix::zeros(w.output_size(), x.cols());
-        biqgemm_parallel_into(w, x, cfg, y.as_mut_slice());
+        biqgemm_parallel_into(w, x, cfg, kernel_of(cfg), y.as_mut_slice());
         y
     }
 
@@ -440,7 +459,7 @@ mod tests {
             };
             pool.reserve(&cfg, w.bits(), x.cols());
             let mut y = vec![0.0f32; 48 * 5];
-            biqgemm_parallel_arena_into(&w, &x, &cfg, &pool, &mut y);
+            biqgemm_parallel_arena_into(&w, &x, &cfg, kernel_of(&cfg), &pool, &mut y);
             assert_eq!(y, serial(&w, &x, &cfg).as_slice(), "{schedule:?}");
         }
         assert!(pool.resident_lut_bytes() > 0, "row-parallel banks stay resident");
@@ -462,7 +481,7 @@ mod tests {
             ..BiqConfig::default()
         };
         let mut y = vec![0.0f32; 128 * 3];
-        biqgemm_parallel_arena_into(&w, &x, &cfg, &pool, &mut y);
+        biqgemm_parallel_arena_into(&w, &x, &cfg, kernel_of(&cfg), &pool, &mut y);
         assert_eq!(y, serial(&w, &x, &cfg).as_slice());
     }
 }

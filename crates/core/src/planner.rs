@@ -49,8 +49,6 @@ pub struct ScratchSpec {
     pub lut_bank_floats: usize,
     /// Algorithm 1 step vectors: `µ · min(tile_batch, b)`.
     pub dp_steps_floats: usize,
-    /// Per-row batch accumulator: `min(tile_batch, b)`.
-    pub acc_floats: usize,
     /// Single-table build scratch (`2^µ`, GEMM build method only).
     pub table_scratch_floats: usize,
 }
@@ -58,18 +56,18 @@ pub struct ScratchSpec {
 impl ScratchSpec {
     /// Total scratch bytes.
     pub fn total_bytes(&self) -> usize {
-        (self.lut_bank_floats + self.dp_steps_floats + self.acc_floats + self.table_scratch_floats)
-            * 4
+        (self.lut_bank_floats + self.dp_steps_floats + self.table_scratch_floats) * 4
     }
 }
 
 /// Computes the scratch a serial run of `cfg` needs at batch `b`.
 pub fn scratch_spec(cfg: &BiqConfig, b: usize) -> ScratchSpec {
     let nb = cfg.tile_batch.min(b.max(1));
+    // The query phase itself needs no separate accumulator: the fused
+    // kernel (`simd::lut_query_fused`) accumulates in registers.
     ScratchSpec {
         lut_bank_floats: cfg.tile_chunks * (1usize << cfg.mu) * nb,
         dp_steps_floats: cfg.mu * nb,
-        acc_floats: nb,
         table_scratch_floats: 1usize << cfg.mu,
     }
 }
@@ -184,9 +182,8 @@ mod runtime_planning_tests {
         let s = scratch_spec(&cfg, 3); // batch smaller than the tile
         assert_eq!(s.lut_bank_floats, 4 * 256 * 3);
         assert_eq!(s.dp_steps_floats, 8 * 3);
-        assert_eq!(s.acc_floats, 3);
         assert_eq!(s.table_scratch_floats, 256);
-        assert_eq!(s.total_bytes(), (4 * 256 * 3 + 24 + 3 + 256) * 4);
+        assert_eq!(s.total_bytes(), (4 * 256 * 3 + 24 + 256) * 4);
     }
 
     #[test]

@@ -1,75 +1,482 @@
-//! Explicitly vectorised primitives for the query kernel, with runtime
-//! feature dispatch.
+//! The kernel layer: ISA levels, plan-time resolution, and the vectorised
+//! primitives of the query/build hot loops.
 //!
-//! The two hot loops of Algorithm 2 under the Fig. 6 layout are
+//! ## Levels, requests, resolution
 //!
-//! * `acc[·] += q[·]` — accumulating a looked-up batch vector, and
-//! * `y[·] += α · acc[·]` — applying the per-row scale (an axpy),
+//! A [`KernelLevel`] names one implementation tier of the hot loops —
+//! portable scalar, AVX2+FMA, AVX-512 (F/BW/DQ/VL), or NEON. Code never
+//! dispatches on a bare level: callers resolve a [`KernelRequest`] **once
+//! at plan time** into a [`ResolvedKernel`], a witness type whose only
+//! constructors check host support. After resolution, a non-native level is
+//! *unrepresentable* — the per-call `detect()` probes and the silent
+//! "AVX2-on-aarch64 means scalar" remapping of the old `simd: bool` flag
+//! are gone; an impossible level inside the dispatcher is a hard
+//! `unreachable!`, not a quiet fallback.
 //!
-//! both over short contiguous `f32` runs (the batch tile). rustc
-//! auto-vectorises the scalar forms well at `opt-level=3`, but explicit
-//! AVX2/FMA paths (a) guarantee vectorisation independent of surrounding
-//! control flow and (b) let the `simd` config toggle be *measured* rather
-//! than assumed (see the `query_kernel` criterion bench). On non-x86 targets
-//! everything falls back to the scalar path.
+//! Resolution order for [`KernelRequest::Auto`] (what plans use unless the
+//! caller pins a level):
 //!
-//! Safety: the `unsafe` blocks are confined to this module; every intrinsic
-//! path is dispatched behind `is_x86_feature_detected!` and checked against
-//! the scalar implementation bit-exactly by unit and property tests (both
-//! paths perform the same operations in the same order, so results are
-//! identical, not merely close).
+//! 1. the `BIQ_KERNEL` environment variable, when set (`scalar` | `avx2` |
+//!    `avx512` | `neon`) — the CI/test override and what the CLI's
+//!    `--kernel` flag plumbs through. An unsupported name is a clear
+//!    error, never a downgrade;
+//! 2. otherwise [`host_best`], the richest ISA the host offers.
+//!
+//! [`KernelRequest::Exact`] demands one level (error when the host lacks
+//! it); [`KernelRequest::AtMost`] is the **artifact portability rule**: a
+//! `BIQM` artifact records the level each layer was compiled with, and the
+//! loader re-resolves it as "the recorded level if supported, else the
+//! richest host level of no higher rank" — so an artifact compiled on an
+//! AVX-512 box loads on a plain AVX2 or scalar machine and, because every
+//! level performs identical operations in identical order (no FMA
+//! contraction anywhere), produces **bit-identical** results there.
+//!
+//! ## Primitives
+//!
+//! The exported operations cover the workspace's hot loops:
+//!
+//! * [`lut_query_fused`] — the fused lookup-accumulate of Algorithm 2
+//!   under the Fig. 6 layout: for one key row, gather each chunk's
+//!   contiguous batch vector, accumulate in registers, and apply the
+//!   per-row scale in the same pass (no accumulator buffer round-trip);
+//! * [`dp_step_add_rows`] / [`negate_rows_reversed`] — the µ-wide vector adds and the mirror
+//!   negation of the batched Algorithm 1 LUT build (KeyMajor layout);
+//! * [`broadcast_add`] — the scalar-step DP recurrence of the single-table
+//!   build (BatchMajor / GEMV path);
+//! * [`add_assign`] / [`axpy`] — the original elementwise primitives, kept
+//!   for callers outside the fused path.
+//!
+//! ## Bit-exactness contract
+//!
+//! Every level of every primitive performs the same floating-point
+//! operations in the same per-element order as the scalar form, and no
+//! path contracts multiply-add into FMA. Property tests
+//! (`tests/kernel_levels.rs` here, in `biq_gemm`, and in `biq_runtime`)
+//! assert bit-exact equality of every supported level against scalar
+//! across random shapes, µ values and ragged tails.
+//!
+//! ## Adding a new ISA
+//!
+//! 1. add the variant to [`KernelLevel`] (`name`/`parse`/`rank`), teach
+//!    [`KernelLevel::is_supported`] and [`host_best`] to detect it;
+//! 2. implement the primitives in a `#[cfg(target_arch = …)]` submodule,
+//!    preserving the per-element operation order (no FMA), and add the
+//!    cfg-gated arms to the `dispatch!` macro uses;
+//! 3. extend the manifest codec in `biq_artifact` (one new level byte) and
+//!    the CLI `--kernel` parser — rank ordering decides what the artifact
+//!    loader falls back to on hosts without the new ISA;
+//! 4. the per-level property suites pick the level up automatically from
+//!    [`supported_levels`].
+//!
+//! Safety: `unsafe` is confined to this module; every intrinsic body is
+//! reachable only through a [`ResolvedKernel`] constructed after a host
+//! support check.
 
-/// Which instruction set the dispatcher selected.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum SimdLevel {
+use std::fmt;
+
+/// Environment variable forcing the kernel level (`scalar` | `avx2` |
+/// `avx512` | `neon`). Consulted by [`KernelRequest::resolve`] for `Auto`
+/// and `AtMost` requests; explicit `Exact` requests (e.g. the per-level
+/// property tests) are not overridden. The CLI's `--kernel` flag plumbs
+/// through this variable so one switch reaches every plan in the process.
+pub const KERNEL_ENV: &str = "BIQ_KERNEL";
+
+/// One implementation tier of the hot-loop kernels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum KernelLevel {
     /// Portable scalar loops (auto-vectorised by LLVM where possible).
     Scalar,
-    /// AVX2 + FMA intrinsics.
+    /// AVX2 + FMA feature set, 8-lane `f32` vectors (FMA is *detected* but
+    /// never used for contraction — see the bit-exactness contract).
     Avx2,
+    /// AVX-512 F/BW/DQ/VL feature set, 16-lane `f32` vectors.
+    Avx512,
+    /// AArch64 NEON, 4-lane `f32` vectors (baseline on aarch64).
+    Neon,
 }
 
-/// Detects the best available level once per call site (cheap: the feature
-/// check is a cached atomic load).
-#[inline]
-pub fn detect() -> SimdLevel {
-    #[cfg(target_arch = "x86_64")]
-    {
-        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
-        {
-            return SimdLevel::Avx2;
+impl KernelLevel {
+    /// Every level the enum can express, in rank order per family.
+    pub const ALL: [KernelLevel; 4] =
+        [KernelLevel::Scalar, KernelLevel::Avx2, KernelLevel::Neon, KernelLevel::Avx512];
+
+    /// Stable lowercase name (CLI flag values, stats, JSON records).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelLevel::Scalar => "scalar",
+            KernelLevel::Avx2 => "avx2",
+            KernelLevel::Avx512 => "avx512",
+            KernelLevel::Neon => "neon",
         }
     }
-    SimdLevel::Scalar
+
+    /// Parses a [`KernelLevel::name`] back (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "scalar" => Some(KernelLevel::Scalar),
+            "avx2" => Some(KernelLevel::Avx2),
+            "avx512" => Some(KernelLevel::Avx512),
+            "neon" => Some(KernelLevel::Neon),
+            _ => None,
+        }
+    }
+
+    /// Cross-family width rank, the fallback ordering the artifact loader
+    /// uses: an artifact recorded at rank `r` re-resolves to the richest
+    /// host level of rank ≤ `r` when the exact ISA is absent.
+    pub fn rank(self) -> u8 {
+        match self {
+            KernelLevel::Scalar => 0,
+            KernelLevel::Avx2 | KernelLevel::Neon => 1,
+            KernelLevel::Avx512 => 2,
+        }
+    }
+
+    /// Whether the running host can execute this level.
+    pub fn is_supported(self) -> bool {
+        match self {
+            KernelLevel::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            KernelLevel::Avx2 => {
+                std::arch::is_x86_feature_detected!("avx2")
+                    && std::arch::is_x86_feature_detected!("fma")
+            }
+            // The Avx512 tier is a superset of the Avx2 tier (true of every
+            // AVX-512F part): its kernels handle sub-16-lane remainders
+            // with 256-bit ops inline.
+            #[cfg(target_arch = "x86_64")]
+            KernelLevel::Avx512 => {
+                KernelLevel::Avx2.is_supported()
+                    && std::arch::is_x86_feature_detected!("avx512f")
+                    && std::arch::is_x86_feature_detected!("avx512bw")
+                    && std::arch::is_x86_feature_detected!("avx512dq")
+                    && std::arch::is_x86_feature_detected!("avx512vl")
+            }
+            // NEON is architecturally mandatory on aarch64.
+            #[cfg(target_arch = "aarch64")]
+            KernelLevel::Neon => true,
+            #[cfg(not(target_arch = "x86_64"))]
+            KernelLevel::Avx2 | KernelLevel::Avx512 => false,
+            #[cfg(not(target_arch = "aarch64"))]
+            KernelLevel::Neon => false,
+        }
+    }
 }
+
+impl fmt::Display for KernelLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The richest level the running host supports.
+pub fn host_best() -> KernelLevel {
+    let mut best = KernelLevel::Scalar;
+    for l in KernelLevel::ALL {
+        if l.is_supported() && l.rank() > best.rank() {
+            best = l;
+        }
+    }
+    best
+}
+
+/// Every level the running host supports, rank-ascending — what the
+/// per-level property tests and the `BENCH_simd` sweep enumerate.
+pub fn supported_levels() -> Vec<KernelLevel> {
+    let mut levels: Vec<KernelLevel> =
+        KernelLevel::ALL.into_iter().filter(|l| l.is_supported()).collect();
+    levels.sort_by_key(|l| l.rank());
+    levels
+}
+
+/// What a plan asks the kernel layer for. Resolved exactly once, at plan
+/// build time, into a [`ResolvedKernel`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum KernelRequest {
+    /// `BIQ_KERNEL` override when set, else [`host_best`].
+    #[default]
+    Auto,
+    /// Exactly this level; resolution errors when the host lacks it.
+    Exact(KernelLevel),
+    /// The recorded level if supported, else the richest host level of no
+    /// higher [`KernelLevel::rank`] — the artifact re-resolution rule.
+    /// `BIQ_KERNEL`, when set, still wins (so a forced-scalar CI run loads
+    /// artifacts scalar too).
+    AtMost(KernelLevel),
+}
+
+impl KernelRequest {
+    /// Resolves the request against the running host (and the
+    /// [`KERNEL_ENV`] override). This is the **only** place feature
+    /// detection happens; the result is pinned into the execution plan and
+    /// hot loops dispatch on it without further probing.
+    ///
+    /// # Errors
+    /// A clear [`KernelError`] when the requested (or env-forced) level is
+    /// not supported by this host, or the env value is not a level name.
+    pub fn resolve(self) -> Result<ResolvedKernel, KernelError> {
+        let env = env_override()?;
+        let level = match (self, env) {
+            // Explicit exact requests (per-level tests, benches) are not
+            // overridden — they must mean what they say or fail.
+            (KernelRequest::Exact(l), _) => require_supported(l, "requested")?,
+            (KernelRequest::Auto, Some(forced)) | (KernelRequest::AtMost(_), Some(forced)) => {
+                forced
+            }
+            (KernelRequest::Auto, None) => host_best(),
+            (KernelRequest::AtMost(l), None) => clamp_to_host(l),
+        };
+        Ok(ResolvedKernel(level))
+    }
+}
+
+impl fmt::Display for KernelRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelRequest::Auto => f.write_str("auto"),
+            KernelRequest::Exact(l) => write!(f, "{l}"),
+            KernelRequest::AtMost(l) => write!(f, "at-most-{l}"),
+        }
+    }
+}
+
+/// A kernel level *proven* executable on this host: the only constructors
+/// are [`KernelRequest::resolve`] (which checks support) and the always-
+/// valid [`ResolvedKernel::scalar`]. Holding one is the licence the
+/// dispatchers rely on — no per-call feature probing, and no representable
+/// foreign level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResolvedKernel(KernelLevel);
+
+impl ResolvedKernel {
+    /// The portable level, valid on every host.
+    pub fn scalar() -> Self {
+        Self(KernelLevel::Scalar)
+    }
+
+    /// The richest host level (no request, no env override — prefer
+    /// [`KernelRequest::resolve`] on planned paths).
+    pub fn host_best() -> Self {
+        Self(host_best())
+    }
+
+    /// The resolved level.
+    pub fn level(self) -> KernelLevel {
+        self.0
+    }
+}
+
+impl fmt::Display for ResolvedKernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// A kernel request that cannot be satisfied on this host.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KernelError(String);
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+fn require_supported(l: KernelLevel, what: &str) -> Result<KernelLevel, KernelError> {
+    if l.is_supported() {
+        Ok(l)
+    } else {
+        Err(KernelError(format!(
+            "kernel level '{l}' was {what} but this host does not support it \
+             (host best: '{}')",
+            host_best()
+        )))
+    }
+}
+
+fn env_override() -> Result<Option<KernelLevel>, KernelError> {
+    match std::env::var(KERNEL_ENV) {
+        Ok(v) if !v.is_empty() && v != "auto" => {
+            let level = KernelLevel::parse(&v).ok_or_else(|| {
+                KernelError(format!(
+                    "{KERNEL_ENV}='{v}' is not a kernel level \
+                     (expected scalar | avx2 | avx512 | neon | auto)"
+                ))
+            })?;
+            Ok(Some(require_supported(level, &format!("forced via {KERNEL_ENV}"))?))
+        }
+        _ => Ok(None),
+    }
+}
+
+/// The richest supported level of rank ≤ `l.rank()` (scalar at worst).
+fn clamp_to_host(l: KernelLevel) -> KernelLevel {
+    if l.is_supported() {
+        return l;
+    }
+    let mut best = KernelLevel::Scalar;
+    for cand in KernelLevel::ALL {
+        if cand.is_supported() && cand.rank() <= l.rank() && cand.rank() > best.rank() {
+            best = cand;
+        }
+    }
+    best
+}
+
+// ------------------------------------------------------------- dispatch
+
+/// Dispatch on a resolved level. Arms for foreign architectures are not
+/// compiled; hitting the wildcard would mean a [`ResolvedKernel`] invariant
+/// violation, which is a bug — hence `unreachable!`, never a silent scalar
+/// remap.
+macro_rules! dispatch {
+    ($k:expr, $scalar:expr, $avx2:expr, $avx512:expr, $neon:expr) => {
+        match $k.level() {
+            KernelLevel::Scalar => $scalar,
+            #[cfg(target_arch = "x86_64")]
+            KernelLevel::Avx2 => unsafe { $avx2 },
+            #[cfg(target_arch = "x86_64")]
+            KernelLevel::Avx512 => unsafe { $avx512 },
+            #[cfg(target_arch = "aarch64")]
+            KernelLevel::Neon => unsafe { $neon },
+            #[allow(unreachable_patterns)]
+            other => unreachable!("kernel level {other:?} resolved on a foreign architecture"),
+        }
+    };
+}
+
+// ------------------------------------------------------------ primitives
 
 /// `acc[i] += src[i]` for equal-length slices.
 ///
 /// # Panics
 /// Debug-panics on length mismatch.
 #[inline]
-pub fn add_assign(acc: &mut [f32], src: &[f32], level: SimdLevel) {
+pub fn add_assign(acc: &mut [f32], src: &[f32], k: ResolvedKernel) {
     debug_assert_eq!(acc.len(), src.len());
-    match level {
-        SimdLevel::Scalar => add_assign_scalar(acc, src),
-        #[cfg(target_arch = "x86_64")]
-        SimdLevel::Avx2 => unsafe { avx::add_assign(acc, src) },
-        #[cfg(not(target_arch = "x86_64"))]
-        SimdLevel::Avx2 => add_assign_scalar(acc, src),
-    }
+    dispatch!(
+        k,
+        add_assign_scalar(acc, src),
+        avx2::add_assign(acc, src),
+        avx512::add_assign(acc, src),
+        neon::add_assign(acc, src)
+    )
 }
 
-/// `y[i] += a * x[i]` for equal-length slices.
+/// `y[i] += a * x[i]` for equal-length slices. Multiply and add round
+/// separately on every level (no FMA), so all levels agree bit for bit.
 #[inline]
-pub fn axpy(y: &mut [f32], a: f32, x: &[f32], level: SimdLevel) {
+pub fn axpy(y: &mut [f32], a: f32, x: &[f32], k: ResolvedKernel) {
     debug_assert_eq!(y.len(), x.len());
-    match level {
-        SimdLevel::Scalar => axpy_scalar(y, a, x),
-        #[cfg(target_arch = "x86_64")]
-        SimdLevel::Avx2 => unsafe { avx::axpy(y, a, x) },
-        #[cfg(not(target_arch = "x86_64"))]
-        SimdLevel::Avx2 => axpy_scalar(y, a, x),
-    }
+    dispatch!(
+        k,
+        axpy_scalar(y, a, x),
+        avx2::axpy(y, a, x),
+        avx512::axpy(y, a, x),
+        neon::axpy(y, a, x)
+    )
 }
+
+/// The µ-wide DP step of the batched Algorithm 1 build (KeyMajor layout)
+/// over a whole half-table block: `dst[r·nb + a] = src[r·nb + a] +
+/// step[a]` for every row `r` — **one** dispatch per DP level, so the
+/// call overhead never scales with `2^µ`.
+///
+/// # Panics
+/// Debug-panics when `dst`/`src` lengths differ or are not a multiple of
+/// `step.len()`.
+#[inline]
+pub fn dp_step_add_rows(dst: &mut [f32], src: &[f32], step: &[f32], k: ResolvedKernel) {
+    debug_assert_eq!(dst.len(), src.len());
+    debug_assert!(!step.is_empty() && dst.len().is_multiple_of(step.len()));
+    dispatch!(
+        k,
+        dp_step_add_rows_scalar(dst, src, step),
+        avx2::dp_step_add_rows(dst, src, step),
+        avx512::dp_step_add_rows(dst, src, step),
+        neon::dp_step_add_rows(dst, src, step)
+    )
+}
+
+/// The mirror half of the batched Algorithm 1 build: `dst` row `r` is the
+/// negation of `src` row `rows − 1 − r` (rows of `nb` floats) — one
+/// dispatch per chunk.
+///
+/// # Panics
+/// Debug-panics when the lengths differ or are not a multiple of `nb`.
+#[inline]
+pub fn negate_rows_reversed(dst: &mut [f32], src: &[f32], nb: usize, k: ResolvedKernel) {
+    debug_assert_eq!(dst.len(), src.len());
+    debug_assert!(nb > 0 && dst.len().is_multiple_of(nb));
+    dispatch!(
+        k,
+        negate_rows_reversed_scalar(dst, src, nb),
+        avx2::negate_rows_reversed(dst, src, nb),
+        avx512::negate_rows_reversed(dst, src, nb),
+        neon::negate_rows_reversed(dst, src, nb)
+    )
+}
+
+/// `dst[i] = src[i] + step` (the scalar-step DP recurrence of the
+/// single-table build).
+///
+/// # Panics
+/// Debug-panics on length mismatch.
+#[inline]
+pub fn broadcast_add(dst: &mut [f32], src: &[f32], step: f32, k: ResolvedKernel) {
+    debug_assert_eq!(dst.len(), src.len());
+    dispatch!(
+        k,
+        broadcast_add_scalar(dst, src, step),
+        avx2::broadcast_add(dst, src, step),
+        avx512::broadcast_add(dst, src, step),
+        neon::broadcast_add(dst, src, step)
+    )
+}
+
+/// The fused query kernel of Algorithm 2 (KeyMajor layout): for one key
+/// row, accumulate the looked-up batch vectors of every chunk in registers
+/// and apply the per-row scale in the same pass —
+/// `y[a] += scale · Σ_ci bank[(ci·table + keys[ci])·nb + a]`.
+///
+/// `bank` is a KeyMajor tile base: chunk `ci`'s table starts at
+/// `ci · table · nb`, each of its `table = 2^µ` entries is a contiguous
+/// `nb`-float batch vector. Every level sums chunks in ascending `ci`
+/// order per batch lane and rounds the final multiply-add in two steps, so
+/// all levels agree bit for bit.
+///
+/// # Panics
+/// Panics when `y.len() < nb`, the bank is too short for the key row, or a
+/// key exceeds the table (the packed-key invariant re-checked cheaply).
+#[inline]
+pub fn lut_query_fused(
+    y: &mut [f32],
+    scale: f32,
+    bank: &[f32],
+    table: usize,
+    nb: usize,
+    keys: &[u16],
+    k: ResolvedKernel,
+) {
+    assert!(y.len() >= nb, "output row shorter than the batch tile");
+    assert!(bank.len() >= keys.len() * table * nb, "bank shorter than the key row needs");
+    // Packed keys are validated at construction/load; re-check the max
+    // cheaply so the unsafe gathers below stay in bounds even on misuse.
+    let max_key = keys.iter().fold(0u16, |m, &v| m.max(v));
+    assert!(keys.is_empty() || (max_key as usize) < table, "key {max_key} out of table");
+    let y = &mut y[..nb];
+    dispatch!(
+        k,
+        lut_query_fused_scalar(y, scale, bank, table, nb, keys),
+        avx2::lut_query_fused(y, scale, bank, table, nb, keys),
+        avx512::lut_query_fused(y, scale, bank, table, nb, keys),
+        neon::lut_query_fused(y, scale, bank, table, nb, keys)
+    )
+}
+
+// --------------------------------------------------------- scalar bodies
 
 #[inline]
 fn add_assign_scalar(acc: &mut [f32], src: &[f32]) {
@@ -85,13 +492,77 @@ fn axpy_scalar(y: &mut [f32], a: f32, x: &[f32]) {
     }
 }
 
+#[inline]
+fn dp_step_add_rows_scalar(dst: &mut [f32], src: &[f32], step: &[f32]) {
+    let nb = step.len();
+    for (drow, srow) in dst.chunks_exact_mut(nb).zip(src.chunks_exact(nb)) {
+        for ((d, &sv), &st) in drow.iter_mut().zip(srow).zip(step) {
+            *d = sv + st;
+        }
+    }
+}
+
+#[inline]
+fn negate_rows_reversed_scalar(dst: &mut [f32], src: &[f32], nb: usize) {
+    let rows = dst.len() / nb;
+    for (r, drow) in dst.chunks_exact_mut(nb).enumerate() {
+        let srow = &src[(rows - 1 - r) * nb..(rows - r) * nb];
+        for (d, &sv) in drow.iter_mut().zip(srow) {
+            *d = -sv;
+        }
+    }
+}
+
+#[inline]
+fn broadcast_add_scalar(dst: &mut [f32], src: &[f32], step: f32) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = s + step;
+    }
+}
+
+/// Segment width of the scalar fused kernel. Matching the AVX2 lane count
+/// keeps the loop auto-vectorisable; per-lane accumulation order (ascending
+/// chunk index) is what bit-exactness depends on, and that is identical
+/// for any segment width.
+const SCALAR_SEG: usize = 8;
+
+/// `nb` is the bank's batch stride; the lanes processed are `y.len()`
+/// (callers pass a suffix of the batch tile for ragged tails, with `bank`
+/// pre-offset by the same lane index).
+fn lut_query_fused_scalar(
+    y: &mut [f32],
+    scale: f32,
+    bank: &[f32],
+    table: usize,
+    nb: usize,
+    keys: &[u16],
+) {
+    let lanes = y.len();
+    let mut a0 = 0;
+    while a0 < lanes {
+        let w = SCALAR_SEG.min(lanes - a0);
+        let mut acc = [0.0f32; SCALAR_SEG];
+        for (ci, &key) in keys.iter().enumerate() {
+            let off = (ci * table + key as usize) * nb + a0;
+            for (av, &bv) in acc[..w].iter_mut().zip(&bank[off..off + w]) {
+                *av += bv;
+            }
+        }
+        for (yv, &av) in y[a0..a0 + w].iter_mut().zip(&acc[..w]) {
+            *yv += scale * av;
+        }
+        a0 += w;
+    }
+}
+
+// ------------------------------------------------------------ AVX2 bodies
+
 #[cfg(target_arch = "x86_64")]
-mod avx {
-    #[cfg(target_arch = "x86_64")]
+mod avx2 {
     use std::arch::x86_64::*;
 
     /// # Safety
-    /// Caller must ensure AVX2 is available and `acc.len() == src.len()`.
+    /// AVX2 must be available; slice lengths as checked by the dispatcher.
     #[target_feature(enable = "avx2")]
     pub unsafe fn add_assign(acc: &mut [f32], src: &[f32]) {
         let n = acc.len();
@@ -112,23 +583,497 @@ mod avx {
     }
 
     /// # Safety
-    /// Caller must ensure AVX2+FMA are available and `y.len() == x.len()`.
-    #[target_feature(enable = "avx2", enable = "fma")]
+    /// AVX2 must be available; slice lengths as checked by the dispatcher.
+    #[target_feature(enable = "avx2")]
     pub unsafe fn axpy(y: &mut [f32], a: f32, x: &[f32]) {
         let n = y.len();
         let mut i = 0;
-        // SAFETY: as above.
+        // SAFETY: as above. Multiply and add round separately (no FMA) so
+        // the result matches scalar bit for bit.
         unsafe {
             let av = _mm256_set1_ps(a);
             while i + 8 <= n {
                 let yv = _mm256_loadu_ps(y.as_ptr().add(i));
                 let xv = _mm256_loadu_ps(x.as_ptr().add(i));
-                _mm256_storeu_ps(y.as_mut_ptr().add(i), _mm256_fmadd_ps(av, xv, yv));
+                let prod = _mm256_mul_ps(av, xv);
+                _mm256_storeu_ps(y.as_mut_ptr().add(i), _mm256_add_ps(yv, prod));
                 i += 8;
             }
         }
         for k in i..n {
             y[k] += a * x[k];
+        }
+    }
+
+    /// # Safety
+    /// AVX2 must be available; lengths as checked by the dispatcher.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dp_step_add_rows(dst: &mut [f32], src: &[f32], step: &[f32]) {
+        let nb = step.len();
+        let rows = dst.len() / nb;
+        // SAFETY: every access stays inside the equal-length `dst`/`src`
+        // blocks (`rows · nb` floats) and the `nb`-float step row.
+        unsafe {
+            for r in 0..rows {
+                let base = r * nb;
+                let mut a0 = 0;
+                while a0 + 8 <= nb {
+                    let sv = _mm256_loadu_ps(src.as_ptr().add(base + a0));
+                    let st = _mm256_loadu_ps(step.as_ptr().add(a0));
+                    _mm256_storeu_ps(dst.as_mut_ptr().add(base + a0), _mm256_add_ps(sv, st));
+                    a0 += 8;
+                }
+                for a in a0..nb {
+                    dst[base + a] = src[base + a] + step[a];
+                }
+            }
+        }
+    }
+
+    /// # Safety
+    /// AVX2 must be available; lengths as checked by the dispatcher.
+    /// Negation is a sign-bit flip, identical to scalar `-x` for every
+    /// input including NaN payloads.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn negate_rows_reversed(dst: &mut [f32], src: &[f32], nb: usize) {
+        let rows = dst.len() / nb;
+        // SAFETY: row index arithmetic stays inside the equal-length
+        // blocks.
+        unsafe {
+            let sign = _mm256_set1_ps(-0.0);
+            for r in 0..rows {
+                let dbase = r * nb;
+                let sbase = (rows - 1 - r) * nb;
+                let mut a0 = 0;
+                while a0 + 8 <= nb {
+                    let sv = _mm256_loadu_ps(src.as_ptr().add(sbase + a0));
+                    _mm256_storeu_ps(dst.as_mut_ptr().add(dbase + a0), _mm256_xor_ps(sv, sign));
+                    a0 += 8;
+                }
+                for a in a0..nb {
+                    dst[dbase + a] = -src[sbase + a];
+                }
+            }
+        }
+    }
+
+    /// # Safety
+    /// AVX2 must be available; slice lengths as checked by the dispatcher.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn broadcast_add(dst: &mut [f32], src: &[f32], step: f32) {
+        let n = dst.len();
+        let mut i = 0;
+        // SAFETY: bounds as above.
+        unsafe {
+            let sv = _mm256_set1_ps(step);
+            while i + 8 <= n {
+                let s = _mm256_loadu_ps(src.as_ptr().add(i));
+                _mm256_storeu_ps(dst.as_mut_ptr().add(i), _mm256_add_ps(s, sv));
+                i += 8;
+            }
+        }
+        for k in i..n {
+            dst[k] = src[k] + step;
+        }
+    }
+
+    /// # Safety
+    /// AVX2 must be available; `y.len() == nb`, the bank spans every
+    /// `(chunk, key)` entry, and keys are `< table` (asserted by the
+    /// dispatcher).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn lut_query_fused(
+        y: &mut [f32],
+        scale: f32,
+        bank: &[f32],
+        table: usize,
+        nb: usize,
+        keys: &[u16],
+    ) {
+        let lanes = y.len();
+        let mut a0 = 0;
+        // SAFETY: every gather reads `(ci·table + key)·nb + a0 .. +8` with
+        // `key < table` and `ci < keys.len()`, which the dispatcher checked
+        // against `bank.len()`; `a0 + 8 <= lanes ≤ nb` bounds the lane
+        // offset (for ragged tails the caller pre-offsets `bank` and hands
+        // a suffix of `y`).
+        unsafe {
+            let sv = _mm256_set1_ps(scale);
+            while a0 + 8 <= lanes {
+                let mut acc = _mm256_setzero_ps();
+                for (ci, &key) in keys.iter().enumerate() {
+                    let p = bank.as_ptr().add((ci * table + key as usize) * nb + a0);
+                    acc = _mm256_add_ps(acc, _mm256_loadu_ps(p));
+                }
+                let yv = _mm256_loadu_ps(y.as_ptr().add(a0));
+                let prod = _mm256_mul_ps(sv, acc);
+                _mm256_storeu_ps(y.as_mut_ptr().add(a0), _mm256_add_ps(yv, prod));
+                a0 += 8;
+            }
+        }
+        if a0 < lanes {
+            super::lut_query_fused_scalar(&mut y[a0..], scale, &bank[a0..], table, nb, keys);
+        }
+    }
+}
+
+// ---------------------------------------------------------- AVX-512 bodies
+
+#[cfg(target_arch = "x86_64")]
+mod avx512 {
+    use std::arch::x86_64::*;
+
+    // Every body also enables AVX2: the Avx512 level requires the Avx2
+    // tier (see `KernelLevel::is_supported`), so sub-16-lane remainders
+    // run 8-wide inline instead of falling all the way to scalar.
+
+    /// # Safety
+    /// AVX-512F + AVX2 must be available; slice lengths as checked by the
+    /// dispatcher.
+    #[target_feature(enable = "avx512f", enable = "avx2")]
+    pub unsafe fn add_assign(acc: &mut [f32], src: &[f32]) {
+        let n = acc.len();
+        let mut i = 0;
+        // SAFETY: loads/stores stay within the equal-length slices.
+        unsafe {
+            while i + 16 <= n {
+                let a = _mm512_loadu_ps(acc.as_ptr().add(i));
+                let s = _mm512_loadu_ps(src.as_ptr().add(i));
+                _mm512_storeu_ps(acc.as_mut_ptr().add(i), _mm512_add_ps(a, s));
+                i += 16;
+            }
+            while i + 8 <= n {
+                let a = _mm256_loadu_ps(acc.as_ptr().add(i));
+                let s = _mm256_loadu_ps(src.as_ptr().add(i));
+                _mm256_storeu_ps(acc.as_mut_ptr().add(i), _mm256_add_ps(a, s));
+                i += 8;
+            }
+        }
+        for k in i..n {
+            acc[k] += src[k];
+        }
+    }
+
+    /// # Safety
+    /// AVX-512F + AVX2 must be available; slice lengths as checked by the
+    /// dispatcher.
+    #[target_feature(enable = "avx512f", enable = "avx2")]
+    pub unsafe fn axpy(y: &mut [f32], a: f32, x: &[f32]) {
+        let n = y.len();
+        let mut i = 0;
+        // SAFETY: as above; separate multiply/add rounding (no FMA).
+        unsafe {
+            let av = _mm512_set1_ps(a);
+            while i + 16 <= n {
+                let yv = _mm512_loadu_ps(y.as_ptr().add(i));
+                let xv = _mm512_loadu_ps(x.as_ptr().add(i));
+                let prod = _mm512_mul_ps(av, xv);
+                _mm512_storeu_ps(y.as_mut_ptr().add(i), _mm512_add_ps(yv, prod));
+                i += 16;
+            }
+            let av = _mm256_set1_ps(a);
+            while i + 8 <= n {
+                let yv = _mm256_loadu_ps(y.as_ptr().add(i));
+                let xv = _mm256_loadu_ps(x.as_ptr().add(i));
+                let prod = _mm256_mul_ps(av, xv);
+                _mm256_storeu_ps(y.as_mut_ptr().add(i), _mm256_add_ps(yv, prod));
+                i += 8;
+            }
+        }
+        for k in i..n {
+            y[k] += a * x[k];
+        }
+    }
+
+    /// # Safety
+    /// AVX-512F + AVX2 must be available; lengths as checked by the
+    /// dispatcher.
+    #[target_feature(enable = "avx512f", enable = "avx2")]
+    pub unsafe fn dp_step_add_rows(dst: &mut [f32], src: &[f32], step: &[f32]) {
+        let nb = step.len();
+        let rows = dst.len() / nb;
+        // SAFETY: every access stays inside the equal-length blocks and
+        // the `nb`-float step row.
+        unsafe {
+            for r in 0..rows {
+                let base = r * nb;
+                let mut a0 = 0;
+                while a0 + 16 <= nb {
+                    let sv = _mm512_loadu_ps(src.as_ptr().add(base + a0));
+                    let st = _mm512_loadu_ps(step.as_ptr().add(a0));
+                    _mm512_storeu_ps(dst.as_mut_ptr().add(base + a0), _mm512_add_ps(sv, st));
+                    a0 += 16;
+                }
+                while a0 + 8 <= nb {
+                    let sv = _mm256_loadu_ps(src.as_ptr().add(base + a0));
+                    let st = _mm256_loadu_ps(step.as_ptr().add(a0));
+                    _mm256_storeu_ps(dst.as_mut_ptr().add(base + a0), _mm256_add_ps(sv, st));
+                    a0 += 8;
+                }
+                for a in a0..nb {
+                    dst[base + a] = src[base + a] + step[a];
+                }
+            }
+        }
+    }
+
+    /// # Safety
+    /// AVX-512F/DQ + AVX2 must be available; lengths as checked by the
+    /// dispatcher.
+    #[target_feature(enable = "avx512f", enable = "avx512dq", enable = "avx2")]
+    pub unsafe fn negate_rows_reversed(dst: &mut [f32], src: &[f32], nb: usize) {
+        let rows = dst.len() / nb;
+        // SAFETY: row index arithmetic stays inside the equal-length
+        // blocks (`_mm512_xor_ps` is AVX-512DQ).
+        unsafe {
+            let sign512 = _mm512_set1_ps(-0.0);
+            let sign256 = _mm256_set1_ps(-0.0);
+            for r in 0..rows {
+                let dbase = r * nb;
+                let sbase = (rows - 1 - r) * nb;
+                let mut a0 = 0;
+                while a0 + 16 <= nb {
+                    let sv = _mm512_loadu_ps(src.as_ptr().add(sbase + a0));
+                    _mm512_storeu_ps(dst.as_mut_ptr().add(dbase + a0), _mm512_xor_ps(sv, sign512));
+                    a0 += 16;
+                }
+                while a0 + 8 <= nb {
+                    let sv = _mm256_loadu_ps(src.as_ptr().add(sbase + a0));
+                    _mm256_storeu_ps(dst.as_mut_ptr().add(dbase + a0), _mm256_xor_ps(sv, sign256));
+                    a0 += 8;
+                }
+                for a in a0..nb {
+                    dst[dbase + a] = -src[sbase + a];
+                }
+            }
+        }
+    }
+
+    /// # Safety
+    /// AVX-512F + AVX2 must be available; slice lengths as checked by the
+    /// dispatcher.
+    #[target_feature(enable = "avx512f", enable = "avx2")]
+    pub unsafe fn broadcast_add(dst: &mut [f32], src: &[f32], step: f32) {
+        let n = dst.len();
+        let mut i = 0;
+        // SAFETY: bounds as above.
+        unsafe {
+            let sv512 = _mm512_set1_ps(step);
+            while i + 16 <= n {
+                let s = _mm512_loadu_ps(src.as_ptr().add(i));
+                _mm512_storeu_ps(dst.as_mut_ptr().add(i), _mm512_add_ps(s, sv512));
+                i += 16;
+            }
+            let sv256 = _mm256_set1_ps(step);
+            while i + 8 <= n {
+                let s = _mm256_loadu_ps(src.as_ptr().add(i));
+                _mm256_storeu_ps(dst.as_mut_ptr().add(i), _mm256_add_ps(s, sv256));
+                i += 8;
+            }
+        }
+        for k in i..n {
+            dst[k] = src[k] + step;
+        }
+    }
+
+    /// # Safety
+    /// AVX-512F + AVX2 must be available; bounds as documented on the
+    /// AVX2 body.
+    #[target_feature(enable = "avx512f", enable = "avx2")]
+    pub unsafe fn lut_query_fused(
+        y: &mut [f32],
+        scale: f32,
+        bank: &[f32],
+        table: usize,
+        nb: usize,
+        keys: &[u16],
+    ) {
+        let lanes = y.len();
+        let mut a0 = 0;
+        // SAFETY: gathers bounded exactly as in the AVX2 body, 16 then 8
+        // lanes per step.
+        unsafe {
+            let sv512 = _mm512_set1_ps(scale);
+            while a0 + 16 <= lanes {
+                let mut acc = _mm512_setzero_ps();
+                for (ci, &key) in keys.iter().enumerate() {
+                    let p = bank.as_ptr().add((ci * table + key as usize) * nb + a0);
+                    acc = _mm512_add_ps(acc, _mm512_loadu_ps(p));
+                }
+                let yv = _mm512_loadu_ps(y.as_ptr().add(a0));
+                let prod = _mm512_mul_ps(sv512, acc);
+                _mm512_storeu_ps(y.as_mut_ptr().add(a0), _mm512_add_ps(yv, prod));
+                a0 += 16;
+            }
+            let sv256 = _mm256_set1_ps(scale);
+            while a0 + 8 <= lanes {
+                let mut acc = _mm256_setzero_ps();
+                for (ci, &key) in keys.iter().enumerate() {
+                    let p = bank.as_ptr().add((ci * table + key as usize) * nb + a0);
+                    acc = _mm256_add_ps(acc, _mm256_loadu_ps(p));
+                }
+                let yv = _mm256_loadu_ps(y.as_ptr().add(a0));
+                let prod = _mm256_mul_ps(sv256, acc);
+                _mm256_storeu_ps(y.as_mut_ptr().add(a0), _mm256_add_ps(yv, prod));
+                a0 += 8;
+            }
+        }
+        if a0 < lanes {
+            super::lut_query_fused_scalar(&mut y[a0..], scale, &bank[a0..], table, nb, keys);
+        }
+    }
+}
+
+// ------------------------------------------------------------ NEON bodies
+
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    use std::arch::aarch64::*;
+
+    /// # Safety
+    /// NEON is baseline on aarch64; slice lengths as checked by the
+    /// dispatcher.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn add_assign(acc: &mut [f32], src: &[f32]) {
+        let n = acc.len();
+        let mut i = 0;
+        // SAFETY: loads/stores stay within the equal-length slices.
+        unsafe {
+            while i + 4 <= n {
+                let a = vld1q_f32(acc.as_ptr().add(i));
+                let s = vld1q_f32(src.as_ptr().add(i));
+                vst1q_f32(acc.as_mut_ptr().add(i), vaddq_f32(a, s));
+                i += 4;
+            }
+        }
+        for k in i..n {
+            acc[k] += src[k];
+        }
+    }
+
+    /// # Safety
+    /// NEON is baseline on aarch64; slice lengths as checked by the
+    /// dispatcher.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn axpy(y: &mut [f32], a: f32, x: &[f32]) {
+        let n = y.len();
+        let mut i = 0;
+        // SAFETY: as above; separate multiply/add rounding (no FMA).
+        unsafe {
+            let av = vdupq_n_f32(a);
+            while i + 4 <= n {
+                let yv = vld1q_f32(y.as_ptr().add(i));
+                let xv = vld1q_f32(x.as_ptr().add(i));
+                let prod = vmulq_f32(av, xv);
+                vst1q_f32(y.as_mut_ptr().add(i), vaddq_f32(yv, prod));
+                i += 4;
+            }
+        }
+        for k in i..n {
+            y[k] += a * x[k];
+        }
+    }
+
+    /// # Safety
+    /// NEON is baseline on aarch64; lengths as checked by the dispatcher.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn dp_step_add_rows(dst: &mut [f32], src: &[f32], step: &[f32]) {
+        let nb = step.len();
+        let rows = dst.len() / nb;
+        // SAFETY: every access stays inside the equal-length blocks and
+        // the `nb`-float step row.
+        unsafe {
+            for r in 0..rows {
+                let base = r * nb;
+                let mut a0 = 0;
+                while a0 + 4 <= nb {
+                    let sv = vld1q_f32(src.as_ptr().add(base + a0));
+                    let st = vld1q_f32(step.as_ptr().add(a0));
+                    vst1q_f32(dst.as_mut_ptr().add(base + a0), vaddq_f32(sv, st));
+                    a0 += 4;
+                }
+                for a in a0..nb {
+                    dst[base + a] = src[base + a] + step[a];
+                }
+            }
+        }
+    }
+
+    /// # Safety
+    /// NEON is baseline on aarch64; lengths as checked by the dispatcher.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn negate_rows_reversed(dst: &mut [f32], src: &[f32], nb: usize) {
+        let rows = dst.len() / nb;
+        // SAFETY: row index arithmetic stays inside the equal-length
+        // blocks.
+        unsafe {
+            for r in 0..rows {
+                let dbase = r * nb;
+                let sbase = (rows - 1 - r) * nb;
+                let mut a0 = 0;
+                while a0 + 4 <= nb {
+                    let sv = vld1q_f32(src.as_ptr().add(sbase + a0));
+                    vst1q_f32(dst.as_mut_ptr().add(dbase + a0), vnegq_f32(sv));
+                    a0 += 4;
+                }
+                for a in a0..nb {
+                    dst[dbase + a] = -src[sbase + a];
+                }
+            }
+        }
+    }
+
+    /// # Safety
+    /// NEON is baseline on aarch64; slice lengths as checked by the
+    /// dispatcher.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn broadcast_add(dst: &mut [f32], src: &[f32], step: f32) {
+        let n = dst.len();
+        let mut i = 0;
+        // SAFETY: bounds as above.
+        unsafe {
+            let sv = vdupq_n_f32(step);
+            while i + 4 <= n {
+                let s = vld1q_f32(src.as_ptr().add(i));
+                vst1q_f32(dst.as_mut_ptr().add(i), vaddq_f32(s, sv));
+                i += 4;
+            }
+        }
+        for k in i..n {
+            dst[k] = src[k] + step;
+        }
+    }
+
+    /// # Safety
+    /// NEON is baseline on aarch64; bounds as documented on the AVX2 body.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn lut_query_fused(
+        y: &mut [f32],
+        scale: f32,
+        bank: &[f32],
+        table: usize,
+        nb: usize,
+        keys: &[u16],
+    ) {
+        let lanes = y.len();
+        let mut a0 = 0;
+        // SAFETY: gathers bounded exactly as in the AVX2 body, 4 lanes.
+        unsafe {
+            let sv = vdupq_n_f32(scale);
+            while a0 + 4 <= lanes {
+                let mut acc = vdupq_n_f32(0.0);
+                for (ci, &key) in keys.iter().enumerate() {
+                    let p = bank.as_ptr().add((ci * table + key as usize) * nb + a0);
+                    acc = vaddq_f32(acc, vld1q_f32(p));
+                }
+                let yv = vld1q_f32(y.as_ptr().add(a0));
+                let prod = vmulq_f32(sv, acc);
+                vst1q_f32(y.as_mut_ptr().add(a0), vaddq_f32(yv, prod));
+                a0 += 4;
+            }
+        }
+        if a0 < lanes {
+            super::lut_query_fused_scalar(&mut y[a0..], scale, &bank[a0..], table, nb, keys);
         }
     }
 }
@@ -143,53 +1088,172 @@ mod tests {
         (g.gaussian_vec(len), g.gaussian_vec(len))
     }
 
-    #[test]
-    fn detect_returns_some_level() {
-        // On this CI host we at least get Scalar; on x86_64 with AVX2 the
-        // accelerated level. Either way dispatch must be usable.
-        let level = detect();
-        let (mut a, b) = vectors(17, 1);
-        add_assign(&mut a, &b, level);
-    }
+    const LENS: [usize; 10] = [0, 1, 3, 4, 7, 8, 9, 16, 31, 100];
 
     #[test]
-    fn add_assign_matches_scalar_for_all_lengths() {
-        let level = detect();
-        for len in [0usize, 1, 7, 8, 9, 31, 32, 100] {
-            let (a0, b) = vectors(len, 100 + len as u64);
-            let mut scalar = a0.clone();
-            add_assign_scalar(&mut scalar, &b);
-            let mut dispatched = a0.clone();
-            add_assign(&mut dispatched, &b, level);
-            assert_eq!(scalar, dispatched, "len = {len}");
+    fn host_best_is_supported_and_resolvable() {
+        let best = host_best();
+        assert!(best.is_supported());
+        let k = KernelRequest::Auto.resolve().expect("auto always resolves");
+        // No env override in-process here ⇒ Auto lands on host best.
+        if std::env::var(KERNEL_ENV).is_err() {
+            assert_eq!(k.level(), best);
         }
     }
 
     #[test]
-    fn axpy_matches_scalar_for_all_lengths() {
-        let level = detect();
-        for len in [0usize, 1, 7, 8, 9, 33, 64] {
-            let (y0, x) = vectors(len, 200 + len as u64);
-            let a = 1.37f32;
-            let mut scalar = y0.clone();
-            axpy_scalar(&mut scalar, a, &x);
-            let mut dispatched = y0.clone();
-            axpy(&mut dispatched, a, &x, level);
-            // FMA contracts the multiply-add; allow 1 ulp-ish slack only on
-            // the fused path, exact on scalar fallback.
-            for (s, d) in scalar.iter().zip(&dispatched) {
-                assert!((s - d).abs() <= 1e-6 * (1.0 + s.abs()), "len={len}: {s} vs {d}");
+    fn supported_levels_starts_at_scalar_and_ends_at_best() {
+        let levels = supported_levels();
+        assert_eq!(levels[0], KernelLevel::Scalar);
+        assert_eq!(*levels.last().unwrap(), host_best());
+    }
+
+    #[test]
+    fn exact_unsupported_level_errors_clearly() {
+        // At least one of the four levels is foreign to any single host.
+        let foreign = KernelLevel::ALL.into_iter().find(|l| !l.is_supported());
+        if let Some(l) = foreign {
+            let err = KernelRequest::Exact(l).resolve().unwrap_err();
+            assert!(err.to_string().contains(l.name()), "{err}");
+            assert!(err.to_string().contains("host"), "{err}");
+        }
+    }
+
+    #[test]
+    fn at_most_clamps_by_rank() {
+        for l in KernelLevel::ALL {
+            let k = KernelRequest::AtMost(l).resolve().expect("AtMost never errors without env");
+            assert!(k.level().is_supported());
+            assert!(k.level().rank() <= l.rank().max(host_best().rank()));
+            if l.is_supported() && std::env::var(KERNEL_ENV).is_err() {
+                assert_eq!(k.level(), l, "supported levels are kept exactly");
             }
         }
     }
 
     #[test]
-    fn forced_scalar_is_exact() {
-        let (y0, x) = vectors(50, 300);
-        let mut a = y0.clone();
-        let mut b = y0.clone();
-        axpy(&mut a, -0.5, &x, SimdLevel::Scalar);
-        axpy_scalar(&mut b, -0.5, &x);
-        assert_eq!(a, b);
+    fn names_round_trip() {
+        for l in KernelLevel::ALL {
+            assert_eq!(KernelLevel::parse(l.name()), Some(l));
+        }
+        assert_eq!(KernelLevel::parse("AVX512"), Some(KernelLevel::Avx512));
+        assert_eq!(KernelLevel::parse("sse9"), None);
+    }
+
+    #[test]
+    fn add_assign_bit_exact_across_levels() {
+        for k in supported_levels() {
+            let k = KernelRequest::Exact(k).resolve().unwrap();
+            for len in LENS {
+                let (a0, b) = vectors(len, 100 + len as u64);
+                let mut scalar = a0.clone();
+                add_assign_scalar(&mut scalar, &b);
+                let mut got = a0.clone();
+                add_assign(&mut got, &b, k);
+                assert_eq!(scalar, got, "{k} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_bit_exact_across_levels() {
+        // No FMA anywhere ⇒ exact equality, not tolerance.
+        for k in supported_levels() {
+            let k = KernelRequest::Exact(k).resolve().unwrap();
+            for len in LENS {
+                let (y0, x) = vectors(len, 200 + len as u64);
+                let mut scalar = y0.clone();
+                axpy_scalar(&mut scalar, 1.37, &x);
+                let mut got = y0.clone();
+                axpy(&mut got, 1.37, &x, k);
+                assert_eq!(scalar, got, "{k} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_primitives_bit_exact_across_levels() {
+        let mut g = MatrixRng::seed_from(39);
+        for k in supported_levels() {
+            let k = KernelRequest::Exact(k).resolve().unwrap();
+            // Row blocks: every nb straddling the 4/8/16 lane widths.
+            for &(rows, nb) in
+                &[(1usize, 1usize), (4, 3), (8, 8), (7, 9), (16, 16), (3, 33), (5, 20)]
+            {
+                let src = g.gaussian_vec(rows * nb);
+                let step = g.gaussian_vec(nb);
+                let mut want = vec![0.0f32; rows * nb];
+                dp_step_add_rows_scalar(&mut want, &src, &step);
+                let mut got = vec![0.0f32; rows * nb];
+                dp_step_add_rows(&mut got, &src, &step, k);
+                assert_eq!(want, got, "{k} add rows={rows} nb={nb}");
+
+                negate_rows_reversed_scalar(&mut want, &src, nb);
+                negate_rows_reversed(&mut got, &src, nb, k);
+                assert_eq!(want, got, "{k} negate rows={rows} nb={nb}");
+            }
+            for len in LENS {
+                let (a, b) = vectors(len, 300 + len as u64);
+                let mut want = a.clone();
+                broadcast_add_scalar(&mut want, &b, 0.625);
+                let mut got = a.clone();
+                broadcast_add(&mut got, &b, 0.625, k);
+                assert_eq!(want, got, "{k} broadcast len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_query_bit_exact_across_levels_and_ragged_widths() {
+        let mut g = MatrixRng::seed_from(40);
+        for &(chunks, mu, nb) in
+            &[(1usize, 2usize, 1usize), (3, 4, 5), (7, 4, 8), (5, 6, 9), (9, 8, 16), (4, 8, 33)]
+        {
+            let table = 1usize << mu;
+            let bank = g.gaussian_vec(chunks * table * nb);
+            let keys: Vec<u16> = (0..chunks).map(|c| ((c * 37 + 11) % table) as u16).collect();
+            let y0 = g.gaussian_vec(nb);
+            let mut want = y0.clone();
+            lut_query_fused_scalar(&mut want, -0.75, &bank, table, nb, &keys);
+            for k in supported_levels() {
+                let k = KernelRequest::Exact(k).resolve().unwrap();
+                let mut got = y0.clone();
+                lut_query_fused(&mut got, -0.75, &bank, table, nb, &keys, k);
+                assert_eq!(want, got, "{k} chunks={chunks} µ={mu} nb={nb}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_query_matches_unfused_composition() {
+        // The fused kernel must equal acc-buffer + axpy done per lane in
+        // the same chunk order (what the pre-refactor kernel computed
+        // scalar-side).
+        let mut g = MatrixRng::seed_from(41);
+        let (chunks, table, nb) = (6usize, 16usize, 11usize);
+        let bank = g.gaussian_vec(chunks * table * nb);
+        let keys: Vec<u16> = (0..chunks).map(|c| ((c * 5 + 3) % table) as u16).collect();
+        let mut want = g.gaussian_vec(nb);
+        let mut got = want.clone();
+        let mut acc = vec![0.0f32; nb];
+        for (ci, &key) in keys.iter().enumerate() {
+            let off = (ci * table + key as usize) * nb;
+            for (a, &b) in acc.iter_mut().zip(&bank[off..off + nb]) {
+                *a += b;
+            }
+        }
+        for (yv, &a) in want.iter_mut().zip(&acc) {
+            *yv += 2.5 * a;
+        }
+        lut_query_fused(&mut got, 2.5, &bank, table, nb, &keys, ResolvedKernel::scalar());
+        assert_eq!(want, got);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of table")]
+    fn fused_query_rejects_oversized_key() {
+        let bank = vec![0.0f32; 16];
+        let mut y = vec![0.0f32; 2];
+        lut_query_fused(&mut y, 1.0, &bank, 4, 2, &[9], ResolvedKernel::scalar());
     }
 }

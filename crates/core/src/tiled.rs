@@ -23,15 +23,18 @@ use crate::arena::BiqArena;
 use crate::config::{BiqConfig, LutLayout};
 use crate::layout::LutBank;
 use crate::profile::PhaseProfile;
+use crate::simd::ResolvedKernel;
 use crate::weights::BiqWeights;
 use biq_matrix::reshape::ChunkedInput;
 use biq_matrix::view::tile_ranges;
 use biq_matrix::ColMatrix;
 
 /// Serial LUT-stationary BiQGEMM into a caller-provided output buffer,
-/// using `arena` for every scratch need. `y` is a row-major `m × b` buffer;
-/// it is zeroed before accumulation. Once the arena has warmed to the
-/// workload's shape, repeat calls perform **no heap allocation**.
+/// using `arena` for every scratch need and running the build/query hot
+/// loops at the resolved level `kernel` (pinned by the caller's plan — no
+/// feature probing happens here). `y` is a row-major `m × b` buffer; it is
+/// zeroed before accumulation. Once the arena has warmed to the workload's
+/// shape, repeat calls perform **no heap allocation**.
 ///
 /// This is the single serial code path: `BiqGemm::matmul` and the runtime
 /// executor both funnel here. (The historical one-shot free functions
@@ -45,6 +48,7 @@ pub fn biqgemm_serial_into(
     w: &BiqWeights,
     x: &ColMatrix,
     cfg: &BiqConfig,
+    kernel: ResolvedKernel,
     profile: &mut PhaseProfile,
     arena: &mut BiqArena,
     y: &mut [f32],
@@ -54,8 +58,8 @@ pub fn biqgemm_serial_into(
     let (m, b) = (w.output_size(), x.cols());
     assert_eq!(y.len(), m * b, "output buffer must hold m·b floats");
     y.fill(0.0);
-    let (bank, acc) = arena.parts(w.mu(), cfg.layout, cfg.tile_batch.min(b.max(1)));
-    run_tiles(w, x, cfg, profile, bank, acc, &[(0, w.key_rows())], y, 0);
+    let bank = arena.bank(w.mu(), cfg.layout);
+    run_tiles(w, x, cfg, kernel, profile, bank, &[(0, w.key_rows())], y, 0);
 }
 
 /// The shared tile loop. Processes the given disjoint key-row ranges
@@ -70,9 +74,9 @@ pub(crate) fn run_tiles(
     w: &BiqWeights,
     x: &ColMatrix,
     cfg: &BiqConfig,
+    kernel: ResolvedKernel,
     profile: &mut PhaseProfile,
     bank: &mut LutBank,
-    acc: &mut [f32],
     key_row_ranges: &[(usize, usize)],
     y: &mut [f32],
     y_row0: usize,
@@ -85,10 +89,9 @@ pub(crate) fn run_tiles(
     let chunks = w.chunks();
     let keys = w.keys();
     let m = w.output_size();
-    let level = if cfg.simd { crate::simd::detect() } else { crate::simd::SimdLevel::Scalar };
     for (b0, nb) in tile_ranges(b, cfg.tile_batch) {
         for (c0, nc) in tile_ranges(chunks, cfg.tile_chunks) {
-            bank.build(&input, c0, nc, b0, nb, cfg.build, profile);
+            bank.build(&input, c0, nc, b0, nb, cfg.build, profile, kernel);
             profile.time_query(|| {
                 for &(kr_start, kr_end) in key_row_ranges {
                     for (r0, nr) in tile_ranges(kr_end - kr_start, cfg.tile_rows) {
@@ -107,16 +110,10 @@ pub(crate) fn run_tiles(
                             }
                             match cfg.layout {
                                 LutLayout::KeyMajor => {
-                                    let acc = &mut acc[..nb];
-                                    acc.fill(0.0);
-                                    for (ci, &key) in krow.iter().enumerate() {
-                                        crate::simd::add_assign(
-                                            acc,
-                                            bank.entry_vec(ci, key),
-                                            level,
-                                        );
-                                    }
-                                    crate::simd::axpy(&mut y[yoff..yoff + nb], scale, acc, level);
+                                    // Fused lookup-accumulate at the pinned
+                                    // level: register accumulation across the
+                                    // tile's chunks, scale applied in-pass.
+                                    bank.query_fused(krow, scale, &mut y[yoff..yoff + nb], kernel);
                                 }
                                 LutLayout::BatchMajor => {
                                     let yrow = &mut y[yoff..yoff + nb];
@@ -155,7 +152,8 @@ mod tests {
     ) -> Matrix {
         let mut y = Matrix::zeros(w.output_size(), x.cols());
         let mut arena = BiqArena::new();
-        biqgemm_serial_into(w, x, cfg, profile, &mut arena, y.as_mut_slice());
+        let kernel = cfg.kernel.resolve().expect("test kernel request must resolve");
+        biqgemm_serial_into(w, x, cfg, kernel, profile, &mut arena, y.as_mut_slice());
         y
     }
 

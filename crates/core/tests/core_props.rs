@@ -53,7 +53,15 @@ proptest! {
         let xdq = xq.dequantize();
         let mut y_deq = vec![0.0f32; w.output_size() * xdq.cols()];
         let mut arena = biqgemm_core::BiqArena::new();
-        biqgemm_core::tiled::biqgemm_serial_into(&w, &xdq, &cfg, &mut p, &mut arena, &mut y_deq);
+        biqgemm_core::tiled::biqgemm_serial_into(
+            &w,
+            &xdq,
+            &cfg,
+            cfg.kernel.resolve().unwrap(),
+            &mut p,
+            &mut arena,
+            &mut y_deq,
+        );
         for (a, bv) in y_eq3.as_slice().iter().zip(&y_deq) {
             prop_assert!((a - bv).abs() <= 1e-3 * (1.0 + bv.abs()), "{} vs {}", a, bv);
         }

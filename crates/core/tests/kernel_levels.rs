@@ -1,0 +1,166 @@
+//! Per-level bit-exactness of the BiQGEMM kernels: every kernel level the
+//! host can run must produce **exactly** the scalar level's output — for
+//! the serial path, both parallel schedules, both layouts, multi-bit
+//! weights, and ragged shapes (`n % µ ≠ 0`, batch widths that are not a
+//! multiple of any vector width). This is the contract that makes the
+//! plan-pinned level a pure performance knob and lets BIQM artifacts
+//! re-resolve levels across machines without changing results.
+
+use biq_matrix::{ColMatrix, MatrixRng};
+use biq_quant::greedy_quantize_matrix_rowwise;
+use biqgemm_core::parallel::biqgemm_parallel_into;
+use biqgemm_core::simd::supported_levels;
+use biqgemm_core::tiled::biqgemm_serial_into;
+use biqgemm_core::{
+    BiqArena, BiqConfig, BiqWeights, KernelLevel, KernelRequest, LutLayout, PhaseProfile,
+    ResolvedKernel, Schedule,
+};
+use proptest::prelude::*;
+
+fn exact(level: KernelLevel) -> ResolvedKernel {
+    KernelRequest::Exact(level).resolve().expect("supported level must resolve")
+}
+
+fn serial(w: &BiqWeights, x: &ColMatrix, cfg: &BiqConfig, k: ResolvedKernel) -> Vec<f32> {
+    let mut profile = PhaseProfile::new();
+    let mut arena = BiqArena::new();
+    let mut y = vec![0.0f32; w.output_size() * x.cols()];
+    biqgemm_serial_into(w, x, cfg, k, &mut profile, &mut arena, &mut y);
+    y
+}
+
+fn parallel(w: &BiqWeights, x: &ColMatrix, cfg: &BiqConfig, k: ResolvedKernel) -> Vec<f32> {
+    let mut y = vec![0.0f32; w.output_size() * x.cols()];
+    biqgemm_parallel_into(w, x, cfg, k, &mut y);
+    y
+}
+
+/// The shape grid every level is checked on: ragged `n % µ ≠ 0`, batch
+/// widths straddling the 4/8/16-lane vector widths (and their remainders),
+/// µ from tiny to the paper's 8, multi-bit planes.
+const CASES: &[(usize, usize, usize, usize, usize)] = &[
+    // (m, n, b, mu, bits)
+    (8, 16, 1, 4, 1),
+    (16, 24, 3, 4, 2),
+    (33, 40, 5, 8, 1),
+    (7, 10, 2, 4, 3),
+    (64, 64, 9, 8, 1),
+    (5, 3, 2, 8, 1), // n < µ: single ragged chunk
+    (30, 50, 7, 4, 2),
+    (40, 37, 13, 8, 1), // ragged n, batch 13 (8 + 5 tail, 13 < 16)
+    (24, 48, 17, 6, 2), // batch 17 (16 + 1 tail)
+    (48, 31, 33, 5, 1), // batch 33 (2×16 + 1, also 4×8 + 1)
+];
+
+#[test]
+fn serial_levels_bit_exact_vs_scalar_across_shapes() {
+    let mut g = MatrixRng::seed_from(7001);
+    let levels = supported_levels();
+    for &(m, n, b, mu, bits) in CASES {
+        let wf = g.gaussian(m, n, 0.0, 1.0);
+        let q = greedy_quantize_matrix_rowwise(&wf, bits);
+        let w = BiqWeights::from_multibit(&q, mu);
+        let x = g.gaussian_col(n, b, 0.0, 1.0);
+        for layout in [LutLayout::KeyMajor, LutLayout::BatchMajor] {
+            let cfg = BiqConfig {
+                mu,
+                tile_rows: 8,
+                tile_chunks: 3,
+                tile_batch: 5,
+                layout,
+                ..BiqConfig::default()
+            };
+            let want = serial(&w, &x, &cfg, ResolvedKernel::scalar());
+            for &level in &levels {
+                let got = serial(&w, &x, &cfg, exact(level));
+                assert_eq!(
+                    want, got,
+                    "(m,n,b,µ,bits)=({m},{n},{b},{mu},{bits}) layout={layout:?} level={level}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_levels_bit_exact_vs_scalar_serial() {
+    let mut g = MatrixRng::seed_from(7002);
+    let levels = supported_levels();
+    for &(m, n, b, mu, bits) in CASES {
+        let wf = g.gaussian(m, n, 0.0, 1.0);
+        let q = greedy_quantize_matrix_rowwise(&wf, bits);
+        let w = BiqWeights::from_multibit(&q, mu);
+        let x = g.gaussian_col(n, b, 0.0, 1.0);
+        for schedule in [Schedule::RowParallel, Schedule::SharedLut] {
+            let cfg = BiqConfig {
+                mu,
+                tile_rows: 4,
+                tile_chunks: 2,
+                tile_batch: 6,
+                schedule,
+                ..BiqConfig::default()
+            };
+            let want = serial(&w, &x, &cfg, ResolvedKernel::scalar());
+            for &level in &levels {
+                let got = parallel(&w, &x, &cfg, exact(level));
+                assert_eq!(
+                    want, got,
+                    "(m,n,b,µ,bits)=({m},{n},{b},{mu},{bits}) {schedule:?} level={level}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random shapes/µ/tiles: every supported level equals scalar exactly,
+    /// serial and row-parallel.
+    #[test]
+    fn random_shapes_all_levels_bit_exact(
+        m in 1usize..48,
+        n in 1usize..70,
+        b in 1usize..24,
+        mu in 1usize..=9,
+        bits in 1usize..=3,
+        tile_rows in 1usize..12,
+        tile_chunks in 1usize..5,
+        tile_batch in 1usize..9,
+        seed in 0u64..1_000_000,
+    ) {
+        let mu = mu.min(n.max(1)).clamp(1, 16);
+        let mut g = MatrixRng::seed_from(seed);
+        let wf = g.small_int_matrix(m, n, 2);
+        let q = greedy_quantize_matrix_rowwise(&wf, bits);
+        let w = BiqWeights::from_multibit(&q, mu);
+        let x = g.gaussian_col(n, b, 0.0, 1.0);
+        let cfg = BiqConfig { mu, tile_rows, tile_chunks, tile_batch, ..BiqConfig::default() };
+        let want = serial(&w, &x, &cfg, ResolvedKernel::scalar());
+        for level in supported_levels() {
+            let k = exact(level);
+            prop_assert_eq!(&serial(&w, &x, &cfg, k), &want, "serial level={}", level);
+            prop_assert_eq!(&parallel(&w, &x, &cfg, k), &want, "parallel level={}", level);
+        }
+    }
+}
+
+#[test]
+fn facade_pins_level_from_config() {
+    use biqgemm_core::BiqGemm;
+    let mut g = MatrixRng::seed_from(7003);
+    let signs = g.signs(20, 33);
+    let x = g.gaussian_col(33, 6, 0.0, 1.0);
+    let mut outputs = Vec::new();
+    for level in supported_levels() {
+        let engine = BiqGemm::from_signs(
+            &signs,
+            BiqConfig { kernel: KernelRequest::Exact(level), ..BiqConfig::default() },
+        );
+        assert_eq!(engine.kernel().level(), level);
+        outputs.push(engine.matmul(&x));
+    }
+    for o in &outputs[1..] {
+        assert_eq!(o.as_slice(), outputs[0].as_slice(), "levels agree through the facade");
+    }
+}

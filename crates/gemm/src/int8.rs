@@ -14,8 +14,10 @@
 //! * accuracy at ≤4 bits collapses (Table I), while binary-coding degrades
 //!   gracefully — see `biq-quant::uniform` and the Table I proxy.
 
+use crate::xnor::dot_i8;
 use biq_matrix::store::PodStore;
 use biq_matrix::{ColMatrix, Matrix};
+use biqgemm_core::ResolvedKernel;
 
 /// Offline-quantized INT8 weights: row-major `i8` with one scale per row.
 ///
@@ -140,12 +142,29 @@ impl Int8Gemm {
         &self.weights
     }
 
-    /// `Y ≈ W·X` through the fixed-point pipeline; phase timings are added
-    /// to `phases`.
+    /// [`Int8Gemm::forward_level`] at the scalar kernel level (ablation
+    /// binaries and error-measurement paths; planned execution goes
+    /// through the runtime, which pins the level).
     ///
     /// # Panics
     /// Panics if `x.rows() != weights.cols()`.
     pub fn forward(&self, x: &ColMatrix, phases: &mut Int8Phases) -> Matrix {
+        self.forward_level(x, phases, ResolvedKernel::scalar())
+    }
+
+    /// `Y ≈ W·X` through the fixed-point pipeline; phase timings are added
+    /// to `phases`. The `i8×i8 → i32` reduction runs at the resolved
+    /// kernel level `k` (integer arithmetic — every level is exactly
+    /// equal).
+    ///
+    /// # Panics
+    /// Panics if `x.rows() != weights.cols()`.
+    pub fn forward_level(
+        &self,
+        x: &ColMatrix,
+        phases: &mut Int8Phases,
+        k: ResolvedKernel,
+    ) -> Matrix {
         assert_eq!(x.rows(), self.weights.cols, "inner dimension mismatch");
         let (m, n, b) = (self.weights.rows, self.weights.cols, x.cols());
         // Phase 1 (conversion): dynamic symmetric per-column activation
@@ -171,11 +190,7 @@ impl Int8Gemm {
             let wrow = self.weights.row(i);
             for alpha in 0..b {
                 let xcol = &xq[alpha * n..(alpha + 1) * n];
-                let mut s = 0i32;
-                for (&a, &v) in wrow.iter().zip(xcol) {
-                    s += a as i32 * v as i32;
-                }
-                acc[i * b + alpha] = s;
+                acc[i * b + alpha] = dot_i8(wrow, xcol, k);
             }
         }
         phases.kernel_s += t1.elapsed().as_secs_f64();
@@ -240,6 +255,23 @@ mod tests {
         let y_ref = gemm_naive(&w, &x);
         for (a, b) in y.as_slice().iter().zip(y_ref.as_slice()) {
             assert!((a - b).abs() <= 1e-2 * b.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn forward_levels_exactly_equal_scalar() {
+        let mut g = MatrixRng::seed_from(902);
+        for n in [1usize, 31, 32, 33, 64, 65, 130] {
+            let w = g.gaussian(9, n, 0.0, 1.0);
+            let x = g.gaussian_col(n, 3, 0.0, 1.0);
+            let engine = Int8Gemm::new(&w);
+            let mut ph = Int8Phases::default();
+            let want = engine.forward(&x, &mut ph);
+            for level in biqgemm_core::simd::supported_levels() {
+                let k = biqgemm_core::KernelRequest::Exact(level).resolve().unwrap();
+                let got = engine.forward_level(&x, &mut ph, k);
+                assert_eq!(want.as_slice(), got.as_slice(), "n={n} level={level}");
+            }
         }
     }
 

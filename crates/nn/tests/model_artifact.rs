@@ -191,6 +191,7 @@ fn hostile_huge_dimensions_error_instead_of_overflowing() {
         spec: BackendSpec::Fp32Blocked,
         cfg: BiqConfig::default(),
         parallel: false,
+        kernel: biqgemm_core::KernelLevel::Scalar,
         bias: None,
         payload: PayloadRefs::Dense { dense },
     };

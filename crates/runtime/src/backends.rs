@@ -18,7 +18,7 @@ use biq_quant::alternating::alternating_quantize_matrix_rowwise;
 use biq_quant::{greedy_quantize_matrix_rowwise, MultiBitMatrix};
 use biqgemm_core::parallel::biqgemm_parallel_arena_into;
 use biqgemm_core::tiled::biqgemm_serial_into;
-use biqgemm_core::{BiqConfig, BiqWeights, PhaseProfile};
+use biqgemm_core::{BiqConfig, BiqWeights, PhaseProfile, ResolvedKernel};
 
 /// A matmul kernel family bound to one weight operand.
 ///
@@ -134,6 +134,7 @@ impl GemmBackend for BlockedBackend {
 
 struct Int8Backend {
     engine: Int8Gemm,
+    kernel: ResolvedKernel,
 }
 
 impl GemmBackend for Int8Backend {
@@ -160,7 +161,7 @@ impl GemmBackend for Int8Backend {
         // a comparison baseline, not a serving path; its conversion phase is
         // charged to `replace` (data-movement), the kernel to `query`.
         let mut phases = Int8Phases::default();
-        let out = self.engine.forward(x, &mut phases);
+        let out = self.engine.forward_level(x, &mut phases, self.kernel);
         profile.replace += std::time::Duration::from_secs_f64(phases.conversion_s);
         profile.query += std::time::Duration::from_secs_f64(phases.kernel_s);
         y.copy_from_slice(out.as_slice());
@@ -173,6 +174,7 @@ impl GemmBackend for Int8Backend {
 
 struct XnorBackend {
     w: XnorWeights,
+    kernel: ResolvedKernel,
 }
 
 impl GemmBackend for XnorBackend {
@@ -197,7 +199,7 @@ impl GemmBackend for XnorBackend {
     ) {
         // Dynamic activation binarisation allocates internally (baseline
         // path, like int8 above).
-        let out = profile.time_query(|| xnor_gemm(&self.w, x));
+        let out = profile.time_query(|| xnor_gemm(&self.w, x, self.kernel));
         y.copy_from_slice(out.as_slice());
     }
 
@@ -209,6 +211,7 @@ impl GemmBackend for XnorBackend {
 struct BiqBackend {
     w: BiqWeights,
     cfg: BiqConfig,
+    kernel: ResolvedKernel,
     parallel: bool,
 }
 
@@ -232,9 +235,11 @@ impl GemmBackend for BiqBackend {
     fn execute(&self, x: &ColMatrix, arena: &mut Arena, profile: &mut PhaseProfile, y: &mut [f32]) {
         if self.parallel {
             let pool = arena.par_pool();
-            profile.time_query(|| biqgemm_parallel_arena_into(&self.w, x, &self.cfg, pool, y));
+            profile.time_query(|| {
+                biqgemm_parallel_arena_into(&self.w, x, &self.cfg, self.kernel, pool, y)
+            });
         } else {
-            biqgemm_serial_into(&self.w, x, &self.cfg, profile, &mut arena.biq, y);
+            biqgemm_serial_into(&self.w, x, &self.cfg, self.kernel, profile, &mut arena.biq, y);
         }
     }
 
@@ -366,7 +371,7 @@ pub fn compile(plan: &ExecutionPlan, weights: WeightSource<'_>) -> CompiledOp {
                     Int8Gemm::new(&w)
                 }
             };
-            Box::new(Int8Backend { engine })
+            Box::new(Int8Backend { engine, kernel: plan.kernel })
         }
         BackendSpec::Xnor { bits } => {
             let w = match weights {
@@ -397,7 +402,7 @@ pub fn compile(plan: &ExecutionPlan, weights: WeightSource<'_>) -> CompiledOp {
                     XnorWeights::from_multibit(&q)
                 }
             };
-            Box::new(XnorBackend { w })
+            Box::new(XnorBackend { w, kernel: plan.kernel })
         }
         BackendSpec::Biq { bits, method } => {
             // The spec's bit count must agree with what the source actually
@@ -441,7 +446,7 @@ pub fn compile(plan: &ExecutionPlan, weights: WeightSource<'_>) -> CompiledOp {
                 }
             };
             check(w.output_size(), w.input_size());
-            Box::new(BiqBackend { w, cfg: plan.cfg, parallel: plan.parallel })
+            Box::new(BiqBackend { w, cfg: plan.cfg, kernel: plan.kernel, parallel: plan.parallel })
         }
     };
     CompiledOp { plan: *plan, backend }

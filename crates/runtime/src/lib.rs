@@ -62,6 +62,7 @@ pub use backends::{compile, CompiledOp, GemmBackend, PackedPayload, WeightSource
 pub use executor::{Executor, SharedExecutor};
 pub use plan::{BackendSpec, ExecutionPlan, PlanBuilder, QuantMethod};
 
-// The planner vocabulary the plans are built from, re-exported so callers
-// need not depend on biqgemm_core directly.
+// The planner and kernel-layer vocabulary the plans are built from,
+// re-exported so callers need not depend on biqgemm_core directly.
 pub use biqgemm_core::planner::{ScratchSpec, Threading, SMALL_BATCH_SERIAL_MAX};
+pub use biqgemm_core::{KernelError, KernelLevel, KernelRequest, ResolvedKernel, KERNEL_ENV};

@@ -11,7 +11,7 @@ use biqgemm_core::planner::{
     plan as plan_cfg, recommend_parallel, scratch_spec, ScratchSpec, Threading,
     DEFAULT_LUT_BUDGET_BYTES,
 };
-use biqgemm_core::BiqConfig;
+use biqgemm_core::{BiqConfig, KernelRequest, ResolvedKernel};
 
 /// Weight quantization recipe for BiQGEMM backends (mirrors the paper's two
 /// binary-coding heuristics).
@@ -69,6 +69,12 @@ pub struct ExecutionPlan {
     /// The resolved decision: `true` runs the rayon drivers, `false` the
     /// serial arena path.
     pub parallel: bool,
+    /// The kernel level every hot loop of this plan runs at — resolved
+    /// exactly once here at plan build (from the builder's request /
+    /// `cfg.kernel` / the `BIQ_KERNEL` override) and pinned; compiled ops
+    /// carry it, the BIQM manifest records it, and no kernel re-probes
+    /// CPU features at run time.
+    pub kernel: ResolvedKernel,
     /// Record of the scratch-buffer sizes a serial run needs — capacity
     /// planning / introspection. `Executor::warm` provisions from the
     /// config and debug-asserts it agrees with this record.
@@ -93,6 +99,7 @@ pub struct PlanBuilder {
     lut_budget: usize,
     threads: Option<usize>,
     cfg_override: Option<BiqConfig>,
+    kernel: Option<KernelRequest>,
 }
 
 impl PlanBuilder {
@@ -113,6 +120,7 @@ impl PlanBuilder {
             lut_budget: DEFAULT_LUT_BUDGET_BYTES,
             threads: None,
             cfg_override: None,
+            kernel: None,
         }
     }
 
@@ -155,15 +163,34 @@ impl PlanBuilder {
         self
     }
 
+    /// Kernel-level request (default: the config's `kernel` field, i.e.
+    /// [`KernelRequest::Auto`] unless a config override says otherwise).
+    /// Resolution happens once, in [`PlanBuilder::build`].
+    pub fn kernel(mut self, request: KernelRequest) -> Self {
+        self.kernel = Some(request);
+        self
+    }
+
     /// Resolves the plan.
+    ///
+    /// # Panics
+    /// Panics on an invalid config override, or — with the kernel layer's
+    /// message — when the kernel request (or a `BIQ_KERNEL` override)
+    /// names a level this host cannot execute. Callers that want a
+    /// recoverable error validate the request with
+    /// [`KernelRequest::resolve`] first (the CLI does).
     pub fn build(self) -> ExecutionPlan {
-        let cfg = match self.cfg_override {
+        let mut cfg = match self.cfg_override {
             Some(cfg) => {
                 cfg.validate();
                 cfg
             }
             None => plan_cfg(self.m, self.n, self.batch_hint, self.lut_budget),
         };
+        if let Some(request) = self.kernel {
+            cfg.kernel = request;
+        }
+        let kernel = cfg.kernel.resolve().unwrap_or_else(|e| panic!("{e}"));
         let threads = self
             .threads
             .unwrap_or_else(|| std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1));
@@ -180,6 +207,7 @@ impl PlanBuilder {
             cfg,
             threading: self.threading,
             parallel,
+            kernel,
             scratch: scratch_spec(&cfg, self.batch_hint),
         }
     }
@@ -196,6 +224,18 @@ mod tests {
         assert_eq!(p.cfg.mu, 8, "paper's empirical µ for paper-sized shapes");
         assert!(p.parallel, "large batch on many workers should parallelise");
         assert!(p.lut_tile_bytes() <= DEFAULT_LUT_BUDGET_BYTES);
+        assert!(p.kernel.level().is_supported(), "resolved level must be executable");
+    }
+
+    #[test]
+    fn kernel_request_is_resolved_and_pinned() {
+        use biqgemm_core::KernelLevel;
+        let p = PlanBuilder::new(64, 64).kernel(KernelRequest::Exact(KernelLevel::Scalar)).build();
+        assert_eq!(p.kernel.level(), KernelLevel::Scalar);
+        assert_eq!(p.cfg.kernel, KernelRequest::Exact(KernelLevel::Scalar));
+        // Auto pins the host's best level at build time (absent BIQ_KERNEL).
+        let auto = PlanBuilder::new(64, 64).build();
+        assert!(auto.kernel.level().is_supported());
     }
 
     #[test]

@@ -1,0 +1,57 @@
+//! The `BIQ_KERNEL` environment override — kept in its **own** integration
+//! binary (one `#[test]`) because env vars are process-global: the cases
+//! run sequentially here and no other test in this process resolves
+//! kernels concurrently.
+
+use biq_runtime::{BackendSpec, KernelLevel, KernelRequest, PlanBuilder, QuantMethod, KERNEL_ENV};
+
+#[test]
+fn biq_kernel_env_forces_auto_and_atmost_but_not_exact() {
+    // 1. Forcing scalar pins every Auto-resolved plan to scalar.
+    std::env::set_var(KERNEL_ENV, "scalar");
+    let plan = PlanBuilder::new(64, 64)
+        .backend(BackendSpec::Biq { bits: 1, method: QuantMethod::Greedy })
+        .build();
+    assert_eq!(plan.kernel.level(), KernelLevel::Scalar, "env forces Auto");
+
+    // ... and AtMost requests (the artifact-load path), so a forced-scalar
+    // CI run loads artifacts scalar too.
+    let at_most = KernelRequest::AtMost(biqgemm_core::simd::host_best()).resolve().unwrap();
+    assert_eq!(at_most.level(), KernelLevel::Scalar, "env forces AtMost");
+
+    // 2. Explicit Exact requests are NOT overridden — the per-level
+    // property tests must mean what they say even under a forced env.
+    let best = biqgemm_core::simd::host_best();
+    let exact = KernelRequest::Exact(best).resolve().unwrap();
+    assert_eq!(exact.level(), best, "Exact ignores the env override");
+
+    // 3. An env value naming an unsupported level errors clearly instead
+    // of downgrading. Every host lacks at least one of the four levels.
+    if let Some(foreign) = KernelLevel::ALL.into_iter().find(|l| !l.is_supported()) {
+        std::env::set_var(KERNEL_ENV, foreign.name());
+        let err = KernelRequest::Auto.resolve().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains(KERNEL_ENV), "error names the env var: {msg}");
+        assert!(msg.contains(foreign.name()), "error names the level: {msg}");
+    }
+
+    // 4. Garbage values error with the accepted vocabulary.
+    std::env::set_var(KERNEL_ENV, "sse9");
+    let err = KernelRequest::Auto.resolve().unwrap_err();
+    assert!(err.to_string().contains("scalar | avx2 | avx512 | neon"), "{err}");
+
+    // 5. 'auto' and empty mean no override.
+    std::env::set_var(KERNEL_ENV, "auto");
+    assert_eq!(
+        KernelRequest::Auto.resolve().unwrap().level(),
+        biqgemm_core::simd::host_best(),
+        "'auto' is a no-op override"
+    );
+
+    std::env::remove_var(KERNEL_ENV);
+    assert_eq!(
+        KernelRequest::Auto.resolve().unwrap().level(),
+        biqgemm_core::simd::host_best(),
+        "unset env resolves to host best"
+    );
+}

@@ -193,7 +193,9 @@ pub struct Server {
     accepting: Arc<RwLock<bool>>,
     batcher: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
-    op_names: Vec<String>,
+    /// Per-op `(name, pinned kernel level)` in registration order, captured
+    /// at startup for stats snapshots.
+    op_meta: Vec<(String, biqgemm_core::KernelLevel)>,
 }
 
 impl Server {
@@ -204,7 +206,10 @@ impl Server {
         let registry = Arc::new(registry);
         let stats = Arc::new(ServerStats::with_ops(registry.len()));
         let accepting = Arc::new(RwLock::new(true));
-        let op_names: Vec<String> = registry.iter().map(|(_, o)| o.name().to_string()).collect();
+        let op_meta: Vec<(String, biqgemm_core::KernelLevel)> = registry
+            .iter()
+            .map(|(_, o)| (o.name().to_string(), o.op().plan().kernel.level()))
+            .collect();
 
         let (tx, rx) = mpsc::sync_channel::<Submission>(config.queue_capacity.max(1));
         let (job_tx, job_rx) = mpsc::sync_channel::<BatchJob>(config.job_capacity.max(1));
@@ -234,7 +239,7 @@ impl Server {
                 .expect("spawn serve batcher")
         };
 
-        Server { tx, registry, stats, accepting, batcher: Some(batcher), workers, op_names }
+        Server { tx, registry, stats, accepting, batcher: Some(batcher), workers, op_meta }
     }
 
     /// A new submission handle.
@@ -254,7 +259,7 @@ impl Server {
 
     /// Live statistics snapshot.
     pub fn stats(&self) -> StatsSnapshot {
-        StatsSnapshot::capture(&self.stats, &self.op_names)
+        StatsSnapshot::capture(&self.stats, &self.op_meta)
     }
 
     /// Graceful shutdown: stops accepting, serves everything already
@@ -273,7 +278,7 @@ impl Server {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
-        StatsSnapshot::capture(&self.stats, &self.op_names)
+        StatsSnapshot::capture(&self.stats, &self.op_meta)
     }
 }
 

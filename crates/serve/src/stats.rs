@@ -8,7 +8,7 @@
 //! of its bucket, i.e. within 2× of the true value, which is plenty for a
 //! serving dashboard).
 
-use biqgemm_core::PhaseProfile;
+use biqgemm_core::{KernelLevel, PhaseProfile};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
@@ -108,6 +108,9 @@ impl ServerStats {
 pub struct OpStatsSnapshot {
     /// Registration name.
     pub name: String,
+    /// The kernel level the op's plan pinned — what every batch of this op
+    /// executes at on this host.
+    pub kernel: KernelLevel,
     /// Requests accepted into the queue.
     pub submitted: u64,
     /// Requests refused by backpressure ([`crate::Client::try_submit`]).
@@ -136,13 +139,14 @@ pub struct StatsSnapshot {
 }
 
 impl StatsSnapshot {
-    pub(crate) fn capture(stats: &ServerStats, names: &[String]) -> Self {
+    pub(crate) fn capture(stats: &ServerStats, meta: &[(String, KernelLevel)]) -> Self {
         let ops = stats
             .ops
             .iter()
-            .zip(names)
-            .map(|(s, name)| OpStatsSnapshot {
+            .zip(meta)
+            .map(|(s, (name, kernel))| OpStatsSnapshot {
                 name: name.clone(),
+                kernel: *kernel,
                 submitted: s.submitted.load(Ordering::Relaxed),
                 rejected: s.rejected.load(Ordering::Relaxed),
                 completed: s.completed.load(Ordering::Relaxed),
@@ -193,8 +197,12 @@ mod tests {
         stats.ops[1].submitted.fetch_add(5, Ordering::Relaxed);
         stats.ops[1].record_batch(4);
         stats.ops[1].record_latency(Duration::from_micros(100));
-        let snap = StatsSnapshot::capture(&stats, &["a".into(), "b".into()]);
+        let meta =
+            vec![("a".into(), KernelLevel::Scalar), ("b".into(), biqgemm_core::simd::host_best())];
+        let snap = StatsSnapshot::capture(&stats, &meta);
         assert_eq!(snap.ops[0].submitted, 0);
+        assert_eq!(snap.ops[0].kernel, KernelLevel::Scalar);
+        assert_eq!(snap.ops[1].kernel, biqgemm_core::simd::host_best());
         assert_eq!(snap.ops[1].submitted, 5);
         assert_eq!(snap.ops[1].batches, 1);
         assert_eq!(snap.ops[1].mean_batch_cols, 4.0);
