@@ -327,6 +327,32 @@ fn main() {
         }
     }
 
+    // Network record: the `biq` binary's net-bench replays the same
+    // single-column traffic in-process and through a loopback TCP round
+    // trip (`serve::net`), so the wire tax is measured, not guessed.
+    print!("running net-bench ... ");
+    std::io::stdout().flush().ok();
+    let mut net_args: Vec<String> =
+        vec!["net-bench".into(), "--out".into(), "results/BENCH_net.json".into()];
+    if a.quick {
+        net_args.push("--quick".into());
+    }
+    match Command::new(exe_dir.join("biq")).args(&net_args).output() {
+        Ok(o) if o.status.success() => {
+            println!("ok -> results/BENCH_net.json");
+            print!("{}", String::from_utf8_lossy(&o.stdout));
+        }
+        Ok(o) => {
+            failures += 1;
+            println!("FAILED (exit {:?})", o.status.code());
+            eprintln!("{}", String::from_utf8_lossy(&o.stderr));
+        }
+        Err(e) => {
+            failures += 1;
+            println!("FAILED to launch: {e} (build with `cargo build --release -p biq_cli` first)");
+        }
+    }
+
     if failures > 0 {
         std::process::exit(1);
     }

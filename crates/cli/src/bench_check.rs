@@ -1,0 +1,662 @@
+//! `biq bench check`: the CI perf-regression gate.
+//!
+//! PRs 1–5 each left a machine-readable perf record under `results/`
+//! (`BENCH_biqgemm.json`, `BENCH_serve.json`, `BENCH_net.json`). Until now
+//! those were write-only trajectory markers; this command turns them into
+//! an enforced baseline: it re-measures each comparable row **fresh, in
+//! quick mode, on the current machine** and fails when a fresh median
+//! regresses past a configurable tolerance.
+//!
+//! What is compared (medians and throughputs only — latency quantiles are
+//! far too noisy for a gate):
+//!
+//! * `biqgemm:<workload>` — the query-kernel median (`biqgemm_median_ns`)
+//!   per workload row, re-measured on the identical seeded workload;
+//! * `serve:<mode>` — batched/unbatched serving throughput
+//!   (`throughput_rps`), re-replayed at the row's window/cap/workers;
+//! * `net:<mode>` — in-process vs remote loopback throughput.
+//!
+//! Noisy rows opt out with `--skip <substring>` (matched against the row
+//! key, e.g. `--skip serve:unbatched` or `--skip net:`). Missing baseline
+//! files are skipped silently — the gate only checks what is committed.
+
+use crate::net_cmds::{cmd_net_bench, NetBenchConfig};
+use crate::serve_bench::{cmd_serve_bench, ServeBenchConfig};
+use crate::CliError;
+use biq_bench::timing::{auto_reps, measure};
+use biq_bench::workloads::binary_workload;
+use biq_runtime::{compile, BackendSpec, Executor, PlanBuilder, QuantMethod, WeightSource};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+// ------------------------------------------------------------------- json
+
+/// A minimal JSON reader for the flat records the bench writers emit.
+/// Hand-rolled because the workspace is offline (no serde): recursive
+/// descent with a depth cap, full UTF-8 strings, f64 numbers.
+mod json {
+    /// A parsed JSON value.
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// Any number (f64 precision is plenty for bench records).
+        Num(f64),
+        /// A string.
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object, in source order.
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Object field lookup.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// The value as a number, if it is one.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        /// The value as a string, if it is one.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+    }
+
+    const MAX_DEPTH: usize = 32;
+
+    struct Parser<'a> {
+        s: &'a [u8],
+        at: usize,
+    }
+
+    /// Parses one JSON document (trailing whitespace allowed, trailing
+    /// tokens are an error).
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let mut p = Parser { s: text.as_bytes(), at: 0 };
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.at != p.s.len() {
+            return Err(format!("trailing bytes at offset {}", p.at));
+        }
+        Ok(v)
+    }
+
+    impl<'a> Parser<'a> {
+        fn skip_ws(&mut self) {
+            while self.at < self.s.len() && self.s[self.at].is_ascii_whitespace() {
+                self.at += 1;
+            }
+        }
+
+        fn peek(&mut self) -> Result<u8, String> {
+            self.skip_ws();
+            self.s.get(self.at).copied().ok_or_else(|| "unexpected end".into())
+        }
+
+        fn eat(&mut self, c: u8) -> Result<(), String> {
+            if self.peek()? == c {
+                self.at += 1;
+                Ok(())
+            } else {
+                Err(format!("expected '{}' at offset {}", c as char, self.at))
+            }
+        }
+
+        fn lit(&mut self, word: &str, v: Value) -> Result<Value, String> {
+            if self.s[self.at..].starts_with(word.as_bytes()) {
+                self.at += word.len();
+                Ok(v)
+            } else {
+                Err(format!("bad literal at offset {}", self.at))
+            }
+        }
+
+        fn value(&mut self, depth: usize) -> Result<Value, String> {
+            if depth > MAX_DEPTH {
+                return Err("nesting too deep".into());
+            }
+            match self.peek()? {
+                b'n' => self.lit("null", Value::Null),
+                b't' => self.lit("true", Value::Bool(true)),
+                b'f' => self.lit("false", Value::Bool(false)),
+                b'"' => Ok(Value::Str(self.string()?)),
+                b'[' => {
+                    self.eat(b'[')?;
+                    let mut items = Vec::new();
+                    if self.peek()? == b']' {
+                        self.at += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    loop {
+                        items.push(self.value(depth + 1)?);
+                        match self.peek()? {
+                            b',' => self.at += 1,
+                            b']' => {
+                                self.at += 1;
+                                return Ok(Value::Arr(items));
+                            }
+                            c => return Err(format!("expected ',' or ']', got '{}'", c as char)),
+                        }
+                    }
+                }
+                b'{' => {
+                    self.eat(b'{')?;
+                    let mut fields = Vec::new();
+                    if self.peek()? == b'}' {
+                        self.at += 1;
+                        return Ok(Value::Obj(fields));
+                    }
+                    loop {
+                        self.skip_ws();
+                        let key = self.string()?;
+                        self.eat(b':')?;
+                        fields.push((key, self.value(depth + 1)?));
+                        match self.peek()? {
+                            b',' => self.at += 1,
+                            b'}' => {
+                                self.at += 1;
+                                return Ok(Value::Obj(fields));
+                            }
+                            c => return Err(format!("expected ',' or '}}', got '{}'", c as char)),
+                        }
+                    }
+                }
+                _ => self.number(),
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.eat(b'"')?;
+            let mut out = String::new();
+            loop {
+                let c = *self.s.get(self.at).ok_or("unterminated string")?;
+                self.at += 1;
+                match c {
+                    b'"' => return Ok(out),
+                    b'\\' => {
+                        let esc = *self.s.get(self.at).ok_or("unterminated escape")?;
+                        self.at += 1;
+                        match esc {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'n' => out.push('\n'),
+                            b't' => out.push('\t'),
+                            b'r' => out.push('\r'),
+                            other => {
+                                return Err(format!("unsupported escape '\\{}'", other as char))
+                            }
+                        }
+                    }
+                    _ => {
+                        // Multi-byte UTF-8: copy the raw byte; the input is
+                        // a &str so sequences are already valid.
+                        let start = self.at - 1;
+                        let mut end = self.at;
+                        while end < self.s.len() && c >= 0x80 && self.s[end] & 0xc0 == 0x80 {
+                            end += 1;
+                        }
+                        out.push_str(
+                            std::str::from_utf8(&self.s[start..end])
+                                .map_err(|_| "invalid utf-8 in string".to_string())?,
+                        );
+                        self.at = end;
+                    }
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            self.skip_ws();
+            let start = self.at;
+            while self.at < self.s.len()
+                && matches!(self.s[self.at], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                self.at += 1;
+            }
+            let raw = std::str::from_utf8(&self.s[start..self.at])
+                .map_err(|_| "invalid number".to_string())?;
+            raw.parse::<f64>().map(Value::Num).map_err(|_| format!("bad number '{raw}'"))
+        }
+    }
+}
+
+pub use json::Value as JsonValue;
+
+/// Parses one of the bench record files into its row objects.
+pub fn parse_rows(text: &str) -> Result<Vec<JsonValue>, CliError> {
+    match json::parse(text).map_err(CliError)? {
+        JsonValue::Arr(rows) => Ok(rows),
+        _ => Err(CliError("bench record is not a JSON array".into())),
+    }
+}
+
+// ------------------------------------------------------------------ gate
+
+/// Whether a metric regresses by going up or by going down.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Time-like metrics (ns): fresh/baseline over tolerance fails.
+    LowerIsBetter,
+    /// Throughput-like metrics (req/s): baseline/fresh over tolerance fails.
+    HigherIsBetter,
+}
+
+/// One comparable baseline row.
+#[derive(Clone, Debug)]
+pub struct GateRow {
+    /// Stable row key (`biqgemm:m=512 n=512 b=1`, `serve:batched`, …).
+    pub key: String,
+    /// Committed value.
+    pub baseline: f64,
+    /// Freshly measured value.
+    pub fresh: f64,
+    /// Which way regression points.
+    pub direction: Direction,
+}
+
+impl GateRow {
+    /// The regression factor: > 1 means the fresh run is worse; compare
+    /// against the tolerance.
+    pub fn regression(&self) -> f64 {
+        match self.direction {
+            Direction::LowerIsBetter => self.fresh / self.baseline.max(f64::MIN_POSITIVE),
+            Direction::HigherIsBetter => self.baseline / self.fresh.max(f64::MIN_POSITIVE),
+        }
+    }
+}
+
+/// The verdict for one row.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GateStatus {
+    /// Within tolerance.
+    Ok,
+    /// Regressed past tolerance.
+    Regressed,
+    /// Opted out via `--skip`.
+    Skipped,
+}
+
+/// Pure verdict step, separated from measurement so it unit-tests without
+/// running benches.
+pub fn judge(rows: &[GateRow], tolerance: f64, skips: &[String]) -> Vec<(GateRow, GateStatus)> {
+    rows.iter()
+        .map(|r| {
+            let status = if skips.iter().any(|s| r.key.contains(s.as_str())) {
+                GateStatus::Skipped
+            } else if r.regression() > tolerance {
+                GateStatus::Regressed
+            } else {
+                GateStatus::Ok
+            };
+            (r.clone(), status)
+        })
+        .collect()
+}
+
+/// Parameters of one `biq bench check` run.
+#[derive(Clone, Debug)]
+pub struct BenchCheckConfig {
+    /// Directory holding the committed `BENCH_*.json` baselines.
+    pub dir: PathBuf,
+    /// Maximum tolerated regression factor (fresh vs baseline median).
+    pub tolerance: f64,
+    /// Row-key substrings to skip (noisy rows opt out here).
+    pub skips: Vec<String>,
+    /// Requests per serving replay (quick mode).
+    pub requests: usize,
+}
+
+impl Default for BenchCheckConfig {
+    fn default() -> Self {
+        Self { dir: PathBuf::from("results"), tolerance: 1.5, skips: Vec::new(), requests: 400 }
+    }
+}
+
+fn row_f64(row: &JsonValue, key: &str, file: &str) -> Result<f64, CliError> {
+    row.get(key)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| CliError(format!("{file}: row missing numeric '{key}'")))
+}
+
+fn row_str<'v>(row: &'v JsonValue, key: &str, file: &str) -> Result<&'v str, CliError> {
+    row.get(key)
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| CliError(format!("{file}: row missing string '{key}'")))
+}
+
+/// Fresh median of the planned BiQGEMM pass on the identical seeded
+/// workload `run_all` measured (same `binary_workload` seeds).
+fn fresh_query_ns(m: usize, n: usize, b: usize) -> u128 {
+    let w = binary_workload(m, n, b);
+    let plan = PlanBuilder::new(m, n)
+        .batch_hint(b)
+        .backend(BackendSpec::Biq { bits: 1, method: QuantMethod::Greedy })
+        .build();
+    let op = compile(&plan, WeightSource::Signs(&w.signs));
+    let mut exec = Executor::warmed_for(&op);
+    let mut y = vec![0.0f32; m * b];
+    let reps = auto_reps(Duration::from_millis(80), 3, 20, || exec.run_into(&op, &w.x, &mut y));
+    measure(1, reps, || exec.run_into(&op, &w.x, &mut y)).median.as_nanos()
+}
+
+fn gate_biqgemm(path: &Path, rows: &mut Vec<GateRow>) -> Result<(), CliError> {
+    let text = std::fs::read_to_string(path)?;
+    for row in parse_rows(&text)? {
+        let workload = row_str(&row, "workload", "BENCH_biqgemm.json")?.to_string();
+        let baseline = row_f64(&row, "biqgemm_median_ns", "BENCH_biqgemm.json")?;
+        let (m, n, b) = (
+            row_f64(&row, "m", "BENCH_biqgemm.json")? as usize,
+            row_f64(&row, "n", "BENCH_biqgemm.json")? as usize,
+            row_f64(&row, "b", "BENCH_biqgemm.json")? as usize,
+        );
+        let fresh = fresh_query_ns(m, n, b) as f64;
+        rows.push(GateRow {
+            key: format!("biqgemm:{workload}"),
+            baseline,
+            fresh,
+            direction: Direction::LowerIsBetter,
+        });
+    }
+    Ok(())
+}
+
+/// All rows of a record must share the replay parameters named in `keys`
+/// (one fresh measurement serves the whole file).
+fn require_homogeneous(rows: &[JsonValue], keys: &[&str], file: &str) -> Result<(), CliError> {
+    for key in keys {
+        let mut values = rows.iter().map(|r| row_f64(r, key, file));
+        let Some(first) = values.next().transpose()? else { continue };
+        for v in values {
+            if v? != first {
+                return Err(CliError(format!(
+                    "{file}: rows disagree on '{key}' — the gate replays one workload shape \
+                     per record; split heterogeneous shapes into separate files"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn gate_serve(
+    path: &Path,
+    cfg: &BenchCheckConfig,
+    rows: &mut Vec<GateRow>,
+) -> Result<(), CliError> {
+    let text = std::fs::read_to_string(path)?;
+    let baseline_rows = parse_rows(&text)?;
+    // The two modes come from one config, so all rows must agree on the
+    // workload shape — one fresh replay serves every row. A file with
+    // heterogeneous rows would otherwise be silently judged against a
+    // replay of only the last row's shape; refuse it instead.
+    let mut bench = ServeBenchConfig { requests: cfg.requests, ..ServeBenchConfig::default() };
+    require_homogeneous(&baseline_rows, &["m", "n", "workers"], "BENCH_serve.json")?;
+    // Window/cap legitimately differ *between* modes (unbatched pins 0/1),
+    // but rows of one mode must agree — a window sweep committed as one
+    // file would otherwise be judged against a single replay.
+    for mode in ["unbatched", "batched"] {
+        let subset: Vec<JsonValue> = baseline_rows
+            .iter()
+            .filter(|r| r.get("mode").and_then(JsonValue::as_str) == Some(mode))
+            .cloned()
+            .collect();
+        require_homogeneous(&subset, &["window_us", "max_batch_cols"], "BENCH_serve.json")?;
+    }
+    for row in &baseline_rows {
+        let mode = row_str(row, "mode", "BENCH_serve.json")?;
+        bench.rows = row_f64(row, "m", "BENCH_serve.json")? as usize;
+        bench.cols = row_f64(row, "n", "BENCH_serve.json")? as usize;
+        bench.workers = row_f64(row, "workers", "BENCH_serve.json")? as usize;
+        if mode == "batched" {
+            bench.window =
+                Duration::from_micros(row_f64(row, "window_us", "BENCH_serve.json")? as u64);
+            bench.max_batch_cols = row_f64(row, "max_batch_cols", "BENCH_serve.json")? as usize;
+        }
+    }
+    let out =
+        std::env::temp_dir().join(format!("biq_bench_check_serve_{}.json", std::process::id()));
+    let fresh = cmd_serve_bench(&bench, None, &out)?;
+    let _ = std::fs::remove_file(&out);
+    for row in &baseline_rows {
+        let mode = row_str(row, "mode", "BENCH_serve.json")?;
+        let baseline = row_f64(row, "throughput_rps", "BENCH_serve.json")?;
+        let Some(f) = fresh.iter().find(|f| f.mode == mode) else { continue };
+        rows.push(GateRow {
+            key: format!("serve:{mode}"),
+            baseline,
+            fresh: f.throughput_rps,
+            direction: Direction::HigherIsBetter,
+        });
+    }
+    Ok(())
+}
+
+fn gate_net(path: &Path, cfg: &BenchCheckConfig, rows: &mut Vec<GateRow>) -> Result<(), CliError> {
+    let text = std::fs::read_to_string(path)?;
+    let baseline_rows = parse_rows(&text)?;
+    let mut bench = NetBenchConfig { requests: cfg.requests, ..NetBenchConfig::default() };
+    require_homogeneous(
+        &baseline_rows,
+        &["m", "n", "workers", "concurrency", "window_us", "max_batch_cols"],
+        "BENCH_net.json",
+    )?;
+    for row in &baseline_rows {
+        bench.rows = row_f64(row, "m", "BENCH_net.json")? as usize;
+        bench.cols = row_f64(row, "n", "BENCH_net.json")? as usize;
+        bench.workers = row_f64(row, "workers", "BENCH_net.json")? as usize;
+        bench.concurrency = row_f64(row, "concurrency", "BENCH_net.json")? as usize;
+        bench.window = Duration::from_micros(row_f64(row, "window_us", "BENCH_net.json")? as u64);
+        bench.max_batch_cols = row_f64(row, "max_batch_cols", "BENCH_net.json")? as usize;
+    }
+    let out = std::env::temp_dir().join(format!("biq_bench_check_net_{}.json", std::process::id()));
+    let fresh = cmd_net_bench(&bench, &out)?;
+    let _ = std::fs::remove_file(&out);
+    for row in &baseline_rows {
+        let mode = row_str(row, "mode", "BENCH_net.json")?;
+        let baseline = row_f64(row, "throughput_rps", "BENCH_net.json")?;
+        let Some(f) = fresh.iter().find(|f| f.mode == mode) else { continue };
+        rows.push(GateRow {
+            key: format!("net:{mode}"),
+            baseline,
+            fresh: f.throughput_rps,
+            direction: Direction::HigherIsBetter,
+        });
+    }
+    Ok(())
+}
+
+/// `biq bench check`: re-measures every comparable committed baseline row
+/// and returns the per-row verdicts (the caller prints and decides the
+/// exit code). Missing baseline files are skipped; an empty result set is
+/// an error (the gate must gate something).
+pub fn cmd_bench_check(cfg: &BenchCheckConfig) -> Result<Vec<(GateRow, GateStatus)>, CliError> {
+    let mut rows = Vec::new();
+    let biqgemm = cfg.dir.join("BENCH_biqgemm.json");
+    if biqgemm.exists() {
+        gate_biqgemm(&biqgemm, &mut rows)?;
+    }
+    let serve = cfg.dir.join("BENCH_serve.json");
+    if serve.exists() {
+        gate_serve(&serve, cfg, &mut rows)?;
+    }
+    let net = cfg.dir.join("BENCH_net.json");
+    if net.exists() {
+        gate_net(&net, cfg, &mut rows)?;
+    }
+    if rows.is_empty() {
+        return Err(CliError(format!(
+            "no comparable baselines under {:?} (expected BENCH_biqgemm.json / \
+             BENCH_serve.json / BENCH_net.json)",
+            cfg.dir
+        )));
+    }
+    Ok(judge(&rows, cfg.tolerance, &cfg.skips))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_parses_the_committed_record_shape() {
+        let text = r#"[
+          {"workload": "m=512 n=512 b=1", "m": 512, "n": 512, "b": 1,
+           "backend": "biqgemm", "biqgemm_median_ns": 30811,
+           "blocked_fp32_median_ns": 39537, "speedup_vs_blocked_fp32": 1.283}
+        ]"#;
+        let rows = parse_rows(text).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("m").unwrap().as_f64(), Some(512.0));
+        assert_eq!(rows[0].get("workload").unwrap().as_str(), Some("m=512 n=512 b=1"));
+        assert_eq!(rows[0].get("speedup_vs_blocked_fp32").unwrap().as_f64(), Some(1.283));
+    }
+
+    #[test]
+    fn json_rejects_garbage_and_truncation() {
+        for bad in ["", "[", "[{]", "{\"a\": }", "[1,2,]", "[1] trailing", "nope", "[1e]"] {
+            assert!(json::parse(bad).is_err(), "{bad:?} parsed");
+        }
+        // Deep nesting is capped, not stack-overflowed.
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert!(json::parse(&deep).is_err());
+    }
+
+    #[test]
+    fn json_handles_nesting_escapes_and_literals() {
+        let v = json::parse(r#"{"a": [1, -2.5e3, true, false, null], "b": "x\n\"y\""}"#).unwrap();
+        let arr = match v.get("a").unwrap() {
+            JsonValue::Arr(items) => items,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(arr[1].as_f64(), Some(-2500.0));
+        assert_eq!(arr[2], JsonValue::Bool(true));
+        assert_eq!(arr[4], JsonValue::Null);
+        assert_eq!(v.get("b").unwrap().as_str(), Some("x\n\"y\""));
+    }
+
+    #[test]
+    fn judge_flags_regressions_in_both_directions() {
+        let rows = vec![
+            GateRow {
+                key: "biqgemm:fast".into(),
+                baseline: 100.0,
+                fresh: 120.0,
+                direction: Direction::LowerIsBetter,
+            },
+            GateRow {
+                key: "biqgemm:slow".into(),
+                baseline: 100.0,
+                fresh: 200.0,
+                direction: Direction::LowerIsBetter,
+            },
+            GateRow {
+                key: "serve:batched".into(),
+                baseline: 50_000.0,
+                fresh: 20_000.0,
+                direction: Direction::HigherIsBetter,
+            },
+            GateRow {
+                key: "serve:unbatched".into(),
+                baseline: 50_000.0,
+                fresh: 10.0,
+                direction: Direction::HigherIsBetter,
+            },
+        ];
+        let verdicts = judge(&rows, 1.5, &["serve:unbatched".into()]);
+        assert_eq!(verdicts[0].1, GateStatus::Ok, "1.2x is inside 1.5x");
+        assert_eq!(verdicts[1].1, GateStatus::Regressed, "2.0x time is out");
+        assert_eq!(verdicts[2].1, GateStatus::Regressed, "2.5x throughput drop is out");
+        assert_eq!(verdicts[3].1, GateStatus::Skipped, "opted out");
+        assert!((verdicts[1].0.regression() - 2.0).abs() < 1e-9);
+        assert!((verdicts[2].0.regression() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn check_runs_end_to_end_against_a_tiny_baseline_dir() {
+        // A self-consistent micro-baseline: measure once, write it as the
+        // committed record, then the gate must pass at a lax tolerance.
+        let dir = std::env::temp_dir().join(format!("biq_gate_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ns = fresh_query_ns(32, 32, 1);
+        std::fs::write(
+            dir.join("BENCH_biqgemm.json"),
+            format!(
+                "[\n  {{\"workload\": \"m=32 n=32 b=1\", \"m\": 32, \"n\": 32, \"b\": 1, \
+                 \"biqgemm_median_ns\": {ns}}}\n]\n"
+            ),
+        )
+        .unwrap();
+        let cfg = BenchCheckConfig {
+            dir: dir.clone(),
+            tolerance: 25.0, // debug-build jitter is huge; the wiring is under test
+            ..BenchCheckConfig::default()
+        };
+        let verdicts = cmd_bench_check(&cfg).unwrap();
+        assert_eq!(verdicts.len(), 1);
+        assert_eq!(verdicts[0].0.key, "biqgemm:m=32 n=32 b=1");
+        assert_eq!(verdicts[0].1, GateStatus::Ok);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn heterogeneous_serve_rows_are_refused_not_mismeasured() {
+        let dir = std::env::temp_dir().join(format!("biq_gate_hetero_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("BENCH_serve.json"),
+            r#"[
+              {"mode": "unbatched", "m": 512, "n": 512, "workers": 2,
+               "window_us": 0, "max_batch_cols": 1, "throughput_rps": 1000.0},
+              {"mode": "batched", "m": 1024, "n": 512, "workers": 2,
+               "window_us": 200, "max_batch_cols": 16, "throughput_rps": 3000.0}
+            ]"#,
+        )
+        .unwrap();
+        let cfg = BenchCheckConfig { dir: dir.clone(), ..BenchCheckConfig::default() };
+        let err = cmd_bench_check(&cfg).unwrap_err();
+        assert!(err.0.contains("disagree on 'm'"), "{err}");
+
+        // A window sweep committed as one file (two batched rows at
+        // different windows) must also be refused, while the legitimate
+        // unbatched/batched window difference stays allowed.
+        std::fs::write(
+            dir.join("BENCH_serve.json"),
+            r#"[
+              {"mode": "batched", "m": 512, "n": 512, "workers": 2,
+               "window_us": 100, "max_batch_cols": 16, "throughput_rps": 3000.0},
+              {"mode": "batched", "m": 512, "n": 512, "workers": 2,
+               "window_us": 1000, "max_batch_cols": 16, "throughput_rps": 2000.0}
+            ]"#,
+        )
+        .unwrap();
+        let err = cmd_bench_check(&cfg).unwrap_err();
+        assert!(err.0.contains("disagree on 'window_us'"), "{err}");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn check_errors_when_nothing_is_committed() {
+        let dir = std::env::temp_dir().join(format!("biq_gate_empty_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg = BenchCheckConfig { dir: dir.clone(), ..BenchCheckConfig::default() };
+        assert!(cmd_bench_check(&cfg).is_err());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

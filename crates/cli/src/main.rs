@@ -1,8 +1,10 @@
 //! `biq` — the BiQGEMM deployment pipeline on files. See `biq help`.
 
 use biq_cli::{
-    cmd_compile, cmd_gen, cmd_info, cmd_inspect, cmd_matmul, cmd_pack, cmd_quantize, cmd_run_model,
-    cmd_serve_bench, CliError, CompileConfig, ServeBenchConfig,
+    cmd_bench_check, cmd_compile, cmd_gen, cmd_info, cmd_inspect, cmd_load_client, cmd_matmul,
+    cmd_net_bench, cmd_pack, cmd_quantize, cmd_run_model, cmd_serve, cmd_serve_bench,
+    BenchCheckConfig, CliError, CompileConfig, DaemonConfig, GateStatus, LoadClientConfig,
+    NetBenchConfig, ServeBenchConfig,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -30,6 +32,17 @@ SERVING:
   biq serve-bench [--model ARTIFACT] [--rows M] [--cols N] [--requests R]
                   [--workers W] [--window-us U] [--max-batch B] [--gap-us G]
                   [--kernel auto|scalar|avx2|avx512|neon] [--quick] [--out PATH]
+  biq serve       --model ARTIFACT --addr HOST:PORT [--workers W]
+                  [--window-us U] [--max-batch B] [--queue-cap Q]
+                  [--kernel auto|scalar|avx2|avx512|neon]
+  biq load-client --addr HOST:PORT [--op NAME] [--requests R]
+                  [--concurrency C] [--seed S] [--pipeline P]
+  biq net-bench   [--requests R] [--workers W] [--concurrency C]
+                  [--window-us U] [--max-batch B] [--quick] [--out PATH]
+
+CI GATE:
+  biq bench check [--dir results] [--tolerance T] [--skip SUBSTR]...
+                  [--requests R]
   biq help
 
 KERNEL LEVELS:
@@ -51,6 +64,17 @@ re-quantization) and runs a deterministic inference. serve-bench replays
 open-loop single-column traffic against the biq_serve batching layer —
 against a loaded artifact with --model — and writes the
 throughput/latency record (default results/BENCH_serve.json).
+
+serve is the network daemon: it loads a BIQM artifact, registers every
+linear op, and answers BIQP frames (length-prefixed, checksummed — spec in
+crates/serve/README.md) until SIGINT or stdin EOF, then drains and prints
+the final stats as JSON. load-client replays seeded single-column traffic
+over N connections and prints throughput/p50/p99 plus a response digest;
+for a linear artifact the digest equals `biq run-model --seed S --len R`'s
+exactly (the wire and the batcher are both bit-transparent). net-bench
+measures the wire tax over loopback (default results/BENCH_net.json), and
+`bench check` re-measures the committed results/BENCH_*.json baselines
+fresh and fails on >tolerance regressions (the CI perf gate).
 ";
 
 struct Args {
@@ -79,6 +103,11 @@ impl Args {
 
     fn flag(&self, name: &str) -> Option<&str> {
         self.flags.iter().find(|(n, _)| n == name).and_then(|(_, v)| v.as_deref())
+    }
+
+    /// Every value of a repeatable flag (e.g. `--skip a --skip b`).
+    fn flag_values(&self, name: &str) -> Vec<String> {
+        self.flags.iter().filter(|(n, _)| n == name).filter_map(|(_, v)| v.clone()).collect()
     }
 
     fn has(&self, name: &str) -> bool {
@@ -267,6 +296,161 @@ fn run() -> Result<(), CliError> {
             }
             let speedup = rows[1].throughput_rps / rows[0].throughput_rps.max(1e-9);
             println!("batched/unbatched throughput: {speedup:.2}x -> {}", out.display());
+        }
+        "serve" => {
+            if let Some(k) = args.flag("kernel") {
+                biq_cli::set_kernel_flag(k)?;
+            }
+            let model = flag_path(&args, "model")?;
+            let addr = args.flag("addr").ok_or_else(|| CliError("missing --addr".into()))?;
+            let mut cfg = DaemonConfig::default();
+            if args.has("workers") {
+                cfg.workers = args.usize_flag("workers")?.max(1);
+            }
+            if args.has("window-us") {
+                cfg.window = Duration::from_micros(args.usize_flag("window-us")? as u64);
+            }
+            if args.has("max-batch") {
+                cfg.max_batch_cols = args.usize_flag("max-batch")?.max(1);
+            }
+            if args.has("queue-cap") {
+                cfg.queue_capacity = args.usize_flag("queue-cap")?.max(1);
+            }
+            cmd_serve(&model, addr, &cfg)?;
+        }
+        "load-client" => {
+            let mut cfg = LoadClientConfig {
+                addr: args
+                    .flag("addr")
+                    .ok_or_else(|| CliError("missing --addr".into()))?
+                    .to_string(),
+                op: args.flag("op").map(str::to_string),
+                ..LoadClientConfig::default()
+            };
+            if args.has("requests") {
+                cfg.requests = args.usize_flag("requests")?.max(1);
+            }
+            if args.has("concurrency") {
+                cfg.concurrency = args.usize_flag("concurrency")?.max(1);
+            }
+            if args.has("pipeline") {
+                cfg.pipeline = args.usize_flag("pipeline")?.max(1);
+            }
+            if let Some(seed) = args.flag("seed") {
+                cfg.seed =
+                    seed.parse().map_err(|_| CliError("--seed must be an integer".into()))?;
+            }
+            let r = cmd_load_client(&cfg)?;
+            println!(
+                "{} requests against [{}] ({}x{}) over {} connections: {:.0} req/s, \
+                 p50 {} us, p99 {} us, {} busy retries",
+                r.requests,
+                r.op,
+                r.m,
+                r.n,
+                r.concurrency,
+                r.throughput_rps,
+                r.p50_us,
+                r.p99_us,
+                r.busy_retries
+            );
+            println!("output: {} values, digest {:016x}", r.m * r.requests, r.digest);
+        }
+        "net-bench" => {
+            let mut cfg = NetBenchConfig::default();
+            if args.has("quick") {
+                cfg.requests = 400;
+            }
+            if args.has("requests") {
+                cfg.requests = args.usize_flag("requests")?.max(1);
+            }
+            if args.has("workers") {
+                cfg.workers = args.usize_flag("workers")?.max(1);
+            }
+            if args.has("concurrency") {
+                cfg.concurrency = args.usize_flag("concurrency")?.max(1);
+            }
+            if args.has("window-us") {
+                cfg.window = Duration::from_micros(args.usize_flag("window-us")? as u64);
+            }
+            if args.has("max-batch") {
+                cfg.max_batch_cols = args.usize_flag("max-batch")?.max(1);
+            }
+            let out = args
+                .flag("out")
+                .map(PathBuf::from)
+                .unwrap_or_else(|| PathBuf::from("results/BENCH_net.json"));
+            let rows = cmd_net_bench(&cfg, &out)?;
+            for r in &rows {
+                println!(
+                    "{:>10}: {:.0} req/s, p50 {} us, p99 {} us ({} requests, {} workers, \
+                     {} submitters, kernel {})",
+                    r.mode,
+                    r.throughput_rps,
+                    r.p50_us,
+                    r.p99_us,
+                    r.requests,
+                    r.workers,
+                    r.concurrency,
+                    r.kernel
+                );
+            }
+            let tax = rows[0].throughput_rps / rows[1].throughput_rps.max(1e-9);
+            println!("wire tax (in-process/remote throughput): {tax:.2}x -> {}", out.display());
+        }
+        "bench" => {
+            match args.positional.first().map(String::as_str) {
+                Some("check") => {}
+                other => {
+                    return Err(CliError(format!(
+                        "unknown bench subcommand {other:?} (expected 'check')"
+                    )))
+                }
+            }
+            let mut cfg = BenchCheckConfig::default();
+            if let Some(dir) = args.flag("dir") {
+                cfg.dir = PathBuf::from(dir);
+            }
+            if let Some(tol) = args.flag("tolerance") {
+                cfg.tolerance =
+                    tol.parse().map_err(|_| CliError("--tolerance must be a number".into()))?;
+                if cfg.tolerance.is_nan() || cfg.tolerance < 1.0 {
+                    return Err(CliError("--tolerance must be >= 1.0".into()));
+                }
+            }
+            cfg.skips = args.flag_values("skip");
+            if args.has("requests") {
+                cfg.requests = args.usize_flag("requests")?.max(1);
+            }
+            let verdicts = cmd_bench_check(&cfg)?;
+            let mut regressed = 0usize;
+            for (row, status) in &verdicts {
+                let label = match status {
+                    GateStatus::Ok => "ok        ",
+                    GateStatus::Regressed => "REGRESSED ",
+                    GateStatus::Skipped => "skipped   ",
+                };
+                println!(
+                    "{label} {key:<28} baseline {base:>12.1}  fresh {fresh:>12.1}  \
+                     regression {reg:.2}x (tolerance {tol:.2}x)",
+                    key = row.key,
+                    base = row.baseline,
+                    fresh = row.fresh,
+                    reg = row.regression(),
+                    tol = cfg.tolerance,
+                );
+                if *status == GateStatus::Regressed {
+                    regressed += 1;
+                }
+            }
+            if regressed > 0 {
+                return Err(CliError(format!(
+                    "{regressed} row(s) regressed past {:.2}x — rerun locally, and if the \
+                     change is intentional regenerate the baselines with run_all",
+                    cfg.tolerance
+                )));
+            }
+            println!("perf gate passed: {} row(s) within {:.2}x", verdicts.len(), cfg.tolerance);
         }
         "help" | "--help" | "-h" => println!("{HELP}"),
         other => return Err(CliError(format!("unknown command '{other}'\n\n{HELP}"))),

@@ -1,0 +1,751 @@
+//! `biq serve` / `biq load-client` / `biq net-bench`: the serving layer on
+//! the wire.
+//!
+//! `serve` is the daemon: load a `BIQM` artifact, register every linear op,
+//! and answer `BIQP` frames on a TCP address until SIGINT or stdin EOF,
+//! then drain and dump the final [`StatsSnapshot`] as JSON on stdout.
+//! `load-client` is the matching open-loop load generator: N connections
+//! replaying seeded single-column traffic, reporting throughput/p50/p99
+//! and an order-stable digest of every response. `net-bench` runs both
+//! ends over loopback and records the wire tax against an in-process
+//! replay of the same traffic (`results/BENCH_net.json`).
+//!
+//! **Digest parity.** For a `linear` artifact, `run_seeded(seed, len)`
+//! generates `X = gaussian_col(n, len)` and flattens `W·X` column-major.
+//! `load-client --seed S --requests len` generates the identical `X`,
+//! submits its columns as `len` independent requests, and concatenates the
+//! replies in column order — so its digest equals `biq run-model`'s for
+//! the same artifact and seed, on any backend, at any concurrency, under
+//! any `BIQ_KERNEL` level (batch packing and kernel levels are both
+//! bit-exact). The CI daemon smoke asserts exactly this.
+
+use crate::CliError;
+use biq_artifact::{fnv1a64, Artifact};
+use biq_matrix::{ColMatrix, MatrixRng};
+use biq_runtime::{BackendSpec, PlanBuilder, QuantMethod, Threading, WeightSource};
+use biq_serve::net::{NetClient, NetServer, Outcome, RejectCode};
+use biq_serve::{ModelRegistry, OpId, Server, ServerConfig, StatsSnapshot};
+use std::collections::{HashMap, VecDeque};
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// Tunables shared by the daemon and the loopback bench server.
+#[derive(Clone, Copy, Debug)]
+pub struct DaemonConfig {
+    /// Worker threads of the inner batch server.
+    pub workers: usize,
+    /// Batch window.
+    pub window: Duration,
+    /// Packed-width cap per batch.
+    pub max_batch_cols: usize,
+    /// Submit-queue capacity (full ⇒ `Busy` reject frames).
+    pub queue_capacity: usize,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            window: Duration::from_micros(200),
+            max_batch_cols: 16,
+            queue_capacity: 1024,
+        }
+    }
+}
+
+impl DaemonConfig {
+    fn server_config(&self) -> ServerConfig {
+        ServerConfig {
+            workers: self.workers,
+            queue_capacity: self.queue_capacity,
+            batch_window: self.window,
+            max_batch_cols: self.max_batch_cols,
+            job_capacity: (self.workers * 2).max(2),
+        }
+    }
+}
+
+/// Loads a `BIQM` artifact, registers every linear op, and binds the TCP
+/// front-end. Returns the running server and the registered `(name, id)`
+/// pairs. The daemon loop around it lives in [`cmd_serve`]; tests drive
+/// this directly.
+pub fn start_daemon(
+    model: &Path,
+    addr: &str,
+    cfg: &DaemonConfig,
+) -> Result<(NetServer, Vec<(String, OpId)>), CliError> {
+    let artifact = Artifact::open(model).map_err(|e| CliError(format!("{model:?}: {e}")))?;
+    let mut registry = ModelRegistry::new();
+    let (_model, ids) =
+        registry.load_artifact(&artifact).map_err(|e| CliError(format!("{model:?}: {e}")))?;
+    if ids.is_empty() {
+        return Err(CliError(format!("{model:?}: artifact has no linear ops to serve")));
+    }
+    let server = Server::start(registry, cfg.server_config());
+    let net = NetServer::bind(addr, server).map_err(|e| CliError(format!("bind {addr}: {e}")))?;
+    Ok((net, ids))
+}
+
+/// `biq serve`: the daemon. Serves until SIGINT or stdin EOF, then drains
+/// every accepted request and prints the final stats snapshot as JSON on
+/// stdout (status lines go to stderr so stdout stays machine-readable).
+pub fn cmd_serve(model: &Path, addr: &str, cfg: &DaemonConfig) -> Result<(), CliError> {
+    let (net, ids) = start_daemon(model, addr, cfg)?;
+    eprintln!(
+        "serving {} ops from {} at {} ({} workers, window {} us, max batch {})",
+        ids.len(),
+        model.display(),
+        net.local_addr(),
+        cfg.workers,
+        cfg.window.as_micros(),
+        cfg.max_batch_cols,
+    );
+    for (name, _) in &ids {
+        eprintln!("  op {name}");
+    }
+    wait_for_shutdown();
+    eprintln!("shutting down: draining accepted requests");
+    let stats = net.shutdown();
+    println!("{}", render_stats_json(&stats));
+    Ok(())
+}
+
+/// Blocks until stdin reaches EOF or SIGINT arrives (unix).
+fn wait_for_shutdown() {
+    use std::io::Read;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    sigint::install();
+    let eof = Arc::new(AtomicBool::new(false));
+    {
+        let eof = Arc::clone(&eof);
+        // Detached watcher: consume stdin until EOF. If SIGINT wins the
+        // race the process exits and takes this thread with it.
+        std::thread::spawn(move || {
+            let mut buf = [0u8; 256];
+            let mut stdin = std::io::stdin();
+            loop {
+                match stdin.read(&mut buf) {
+                    Ok(0) => break,
+                    Ok(_) => {}
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => break,
+                }
+            }
+            eof.store(true, Ordering::SeqCst);
+        });
+    }
+    while !eof.load(std::sync::atomic::Ordering::SeqCst) && !sigint::fired() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[cfg(unix)]
+mod sigint {
+    //! Minimal std-only SIGINT latch: the handler only stores an atomic
+    //! flag (async-signal-safe), the daemon loop polls it.
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static FIRED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn handler(_signum: i32) {
+        FIRED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        // SAFETY: registers an async-signal-safe handler (a single atomic
+        // store) for SIGINT via the libc `signal` symbol.
+        unsafe {
+            signal(SIGINT, handler);
+        }
+    }
+
+    pub fn fired() -> bool {
+        FIRED.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sigint {
+    pub fn install() {}
+    pub fn fired() -> bool {
+        false
+    }
+}
+
+/// Renders a [`StatsSnapshot`] as the daemon's final JSON report.
+pub fn render_stats_json(stats: &StatsSnapshot) -> String {
+    let mut out = String::from("{\n  \"ops\": [\n");
+    for (i, op) in stats.ops.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\"name\": \"{name}\", \"kernel\": \"{kernel}\", ",
+                "\"submitted\": {sub}, \"completed\": {done}, \"rejected\": {rej}, ",
+                "\"batches\": {batches}, \"mean_batch_cols\": {mean:.2}, ",
+                "\"latency_p50_us\": {p50}, \"latency_p99_us\": {p99}}}{comma}\n"
+            ),
+            name = op.name,
+            kernel = op.kernel.name(),
+            sub = op.submitted,
+            done = op.completed,
+            rej = op.rejected,
+            batches = op.batches,
+            mean = op.mean_batch_cols,
+            p50 = op.latency_p50.as_micros(),
+            p99 = op.latency_p99.as_micros(),
+            comma = if i + 1 == stats.ops.len() { "" } else { "," },
+        ));
+    }
+    out.push_str(&format!(
+        concat!(
+            "  ],\n  \"profile\": {{\"build_ns\": {build}, \"query_ns\": {query}, ",
+            "\"replace_ns\": {replace}}}\n}}"
+        ),
+        build = stats.profile.build.as_nanos(),
+        query = stats.profile.query.as_nanos(),
+        replace = stats.profile.replace.as_nanos(),
+    ));
+    out
+}
+
+// ------------------------------------------------------------ load client
+
+/// Parameters of one `biq load-client` run.
+#[derive(Clone, Debug)]
+pub struct LoadClientConfig {
+    /// Daemon address (`host:port`).
+    pub addr: String,
+    /// Op to target; `None` targets the first op the server lists.
+    pub op: Option<String>,
+    /// Single-column requests to send (also the seeded input's width —
+    /// matches `run-model --len` for digest parity).
+    pub requests: usize,
+    /// Concurrent connections.
+    pub concurrency: usize,
+    /// Input seed (matches `run-model --seed` for digest parity).
+    pub seed: u64,
+    /// Connection attempts before giving up (100 ms apart) — lets the
+    /// client start before the daemon finishes binding.
+    pub connect_attempts: usize,
+    /// In-flight requests per connection.
+    pub pipeline: usize,
+}
+
+impl Default for LoadClientConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:8790".into(),
+            op: None,
+            requests: 200,
+            concurrency: 4,
+            seed: 0,
+            connect_attempts: 50,
+            pipeline: 32,
+        }
+    }
+}
+
+/// Measured outcome of one load run.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// The targeted op.
+    pub op: String,
+    /// Its output size.
+    pub m: usize,
+    /// Its input size.
+    pub n: usize,
+    /// Requests answered (every one, exactly once).
+    pub requests: usize,
+    /// Connections used.
+    pub concurrency: usize,
+    /// First send → last reply.
+    pub makespan: Duration,
+    /// Requests per second over the makespan.
+    pub throughput_rps: f64,
+    /// Median send→reply latency (µs, exact over all requests).
+    pub p50_us: u64,
+    /// 99th-percentile send→reply latency (µs).
+    pub p99_us: u64,
+    /// `Busy` reject frames absorbed by retrying.
+    pub busy_retries: u64,
+    /// `fnv1a64` over every reply concatenated in request (column) order —
+    /// equals `run-model`'s digest for linear artifacts.
+    pub digest: u64,
+}
+
+fn connect_retry(addr: &str, attempts: usize) -> Result<NetClient, CliError> {
+    let mut last = None;
+    for _ in 0..attempts.max(1) {
+        match NetClient::connect(addr) {
+            Ok(c) => return Ok(c),
+            Err(e) => {
+                last = Some(e);
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    }
+    Err(CliError(format!("connect {addr}: {}", last.expect("at least one attempt"))))
+}
+
+/// One connection's share of the replay: pipelined sends with `Busy`
+/// retry. Returns `(column, reply)` pairs, per-request latencies (µs), and
+/// the busy-retry count.
+#[allow(clippy::type_complexity)]
+fn run_connection(
+    addr: &str,
+    op: &str,
+    x: &ColMatrix,
+    cols: std::ops::Range<usize>,
+    pipeline: usize,
+) -> Result<(Vec<(usize, Vec<f32>)>, Vec<u64>, u64), CliError> {
+    let mut client =
+        NetClient::connect(addr).map_err(|e| CliError(format!("connect {addr}: {e}")))?;
+    let mut pending: VecDeque<usize> = cols.collect();
+    let mut inflight: HashMap<u64, (usize, Instant)> = HashMap::new();
+    let mut results = Vec::with_capacity(pending.len());
+    let mut latencies = Vec::with_capacity(pending.len());
+    let mut busy = 0u64;
+    let window = pipeline.max(1);
+    while !(pending.is_empty() && inflight.is_empty()) {
+        while inflight.len() < window {
+            let Some(idx) = pending.pop_front() else { break };
+            let xcol = ColMatrix::from_vec(x.rows(), 1, x.col(idx).to_vec());
+            let id = client.send(op, &xcol).map_err(|e| CliError(format!("send: {e}")))?;
+            inflight.insert(id, (idx, Instant::now()));
+        }
+        let (id, outcome) = client.recv().map_err(|e| CliError(format!("recv: {e}")))?;
+        let (idx, t0) = inflight
+            .remove(&id)
+            .ok_or_else(|| CliError(format!("reply for unknown request {id}")))?;
+        match outcome {
+            Outcome::Reply(y) => {
+                latencies.push(t0.elapsed().as_micros() as u64);
+                results.push((idx, y.as_slice().to_vec()));
+            }
+            Outcome::Rejected { code: RejectCode::Busy, .. } => {
+                // The backpressure edge: requeue and let the server breathe
+                // when nothing else is in flight.
+                busy += 1;
+                pending.push_back(idx);
+                if inflight.is_empty() {
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            }
+            Outcome::Rejected { code, msg } => {
+                return Err(CliError(format!("request {idx} rejected ({code}): {msg}")));
+            }
+        }
+    }
+    Ok((results, latencies, busy))
+}
+
+/// `biq load-client`: replays `requests` seeded single-column queries over
+/// `concurrency` connections and reports throughput, latency quantiles,
+/// and the order-stable response digest.
+pub fn cmd_load_client(cfg: &LoadClientConfig) -> Result<LoadReport, CliError> {
+    // Probe connection: wait for the daemon, fetch the op table.
+    let mut probe = connect_retry(&cfg.addr, cfg.connect_attempts)?;
+    let ops = probe.list_ops().map_err(|e| CliError(format!("list ops: {e}")))?;
+    drop(probe);
+    let info = match &cfg.op {
+        Some(name) => ops.iter().find(|o| &o.name == name).ok_or_else(|| {
+            let known: Vec<&str> = ops.iter().map(|o| o.name.as_str()).collect();
+            CliError(format!("server has no op '{name}' (ops: {})", known.join(", ")))
+        })?,
+        None => ops.first().ok_or_else(|| CliError("server lists no ops".into()))?,
+    };
+    let (op_name, m, n) = (info.name.clone(), info.m as usize, info.n as usize);
+    let requests = cfg.requests.max(1);
+    let concurrency = cfg.concurrency.clamp(1, requests);
+
+    // The identical input `run_seeded` would build for a linear model:
+    // digest parity comes from this line.
+    let x = MatrixRng::seed_from(cfg.seed).gaussian_col(n, requests, 0.0, 1.0);
+
+    let t0 = Instant::now();
+    let per = requests / concurrency;
+    let extra = requests % concurrency;
+    let shares = std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(concurrency);
+        let mut start = 0usize;
+        for c in 0..concurrency {
+            let take = per + usize::from(c < extra);
+            let range = start..start + take;
+            start += take;
+            let (addr, op, x) = (&cfg.addr, op_name.as_str(), &x);
+            let pipeline = cfg.pipeline;
+            handles.push(s.spawn(move || run_connection(addr, op, x, range, pipeline)));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load connection panicked"))
+            .collect::<Result<Vec<_>, CliError>>()
+    })?;
+    let makespan = t0.elapsed();
+
+    let mut replies: Vec<Option<Vec<f32>>> = vec![None; requests];
+    let mut latencies = Vec::with_capacity(requests);
+    let mut busy_retries = 0u64;
+    for (results, lats, busy) in shares {
+        for (idx, y) in results {
+            if replies[idx].replace(y).is_some() {
+                return Err(CliError(format!("request {idx} answered twice")));
+            }
+        }
+        latencies.extend(lats);
+        busy_retries += busy;
+    }
+    let mut flat = Vec::with_capacity(m * requests);
+    for (idx, y) in replies.into_iter().enumerate() {
+        let y = y.ok_or_else(|| CliError(format!("request {idx} never answered")))?;
+        flat.extend_from_slice(&y);
+    }
+    let digest = fnv1a64(&flat.iter().flat_map(|v| v.to_le_bytes()).collect::<Vec<u8>>());
+    latencies.sort_unstable();
+    let quantile = |p: f64| -> u64 {
+        let rank = ((latencies.len() as f64 * p).ceil() as usize).clamp(1, latencies.len());
+        latencies[rank - 1]
+    };
+    Ok(LoadReport {
+        op: op_name,
+        m,
+        n,
+        requests,
+        concurrency,
+        makespan,
+        throughput_rps: requests as f64 / makespan.as_secs_f64().max(1e-9),
+        p50_us: quantile(0.50),
+        p99_us: quantile(0.99),
+        busy_retries,
+        digest,
+    })
+}
+
+// -------------------------------------------------------------- net bench
+
+/// Parameters of one `biq net-bench` run.
+#[derive(Clone, Copy, Debug)]
+pub struct NetBenchConfig {
+    /// Weight rows `m`.
+    pub rows: usize,
+    /// Weight cols `n`.
+    pub cols: usize,
+    /// Single-column requests per mode.
+    pub requests: usize,
+    /// Worker threads of the batch server.
+    pub workers: usize,
+    /// Submitter threads (in-process) / connections (remote).
+    pub concurrency: usize,
+    /// Batch window.
+    pub window: Duration,
+    /// Packed-width cap.
+    pub max_batch_cols: usize,
+    /// In-flight requests per submitter/connection.
+    pub pipeline: usize,
+}
+
+impl Default for NetBenchConfig {
+    fn default() -> Self {
+        Self {
+            rows: 512,
+            cols: 512,
+            requests: 2000,
+            workers: 2,
+            concurrency: 4,
+            window: Duration::from_micros(200),
+            max_batch_cols: 16,
+            pipeline: 32,
+        }
+    }
+}
+
+/// Measured outcome of one net-bench mode.
+#[derive(Clone, Debug)]
+pub struct NetBenchRow {
+    /// `"in-process"` or `"remote"`.
+    pub mode: &'static str,
+    /// Weight rows.
+    pub m: usize,
+    /// Weight cols.
+    pub n: usize,
+    /// Requests served.
+    pub requests: usize,
+    /// Worker threads.
+    pub workers: usize,
+    /// Submitters / connections.
+    pub concurrency: usize,
+    /// Window (µs).
+    pub window_us: u128,
+    /// Packed-width cap.
+    pub max_batch_cols: usize,
+    /// The kernel level the op pinned.
+    pub kernel: &'static str,
+    /// Requests per second over the makespan.
+    pub throughput_rps: f64,
+    /// Median send→reply latency (µs).
+    pub p50_us: u64,
+    /// 99th-percentile send→reply latency (µs).
+    pub p99_us: u64,
+}
+
+fn bench_registry(cfg: &NetBenchConfig) -> (ModelRegistry, OpId) {
+    let mut g = MatrixRng::seed_from(0x5e7e);
+    let signs = g.signs(cfg.rows, cfg.cols);
+    let plan = PlanBuilder::new(cfg.rows, cfg.cols)
+        .batch_hint(cfg.max_batch_cols)
+        .backend(BackendSpec::Biq { bits: 1, method: QuantMethod::Greedy })
+        .threading(Threading::Serial)
+        .build();
+    let mut registry = ModelRegistry::new();
+    let id = registry.register("synthetic", &plan, WeightSource::Signs(&signs));
+    (registry, id)
+}
+
+fn daemon_config(cfg: &NetBenchConfig) -> DaemonConfig {
+    DaemonConfig {
+        workers: cfg.workers,
+        window: cfg.window,
+        max_batch_cols: cfg.max_batch_cols,
+        queue_capacity: cfg.requests.max(16),
+    }
+}
+
+/// In-process replay with the same traffic shape as the remote run: the
+/// trace is split across `concurrency` submitter threads, each keeping at
+/// most `pipeline` tickets in flight (FIFO wait — the same head-of-line
+/// discipline a pipelining connection has), so the remote row differs only
+/// by the wire.
+fn replay_in_process(cfg: &NetBenchConfig) -> Result<NetBenchRow, CliError> {
+    let (registry, id) = bench_registry(cfg);
+    let server = Server::start(registry, daemon_config(cfg).server_config());
+    let kernel = server.registry().get(id).op().plan().kernel.level().name();
+    let client = server.client();
+    let n = cfg.cols;
+    let x = MatrixRng::seed_from(1).gaussian_col(n, cfg.requests, 0.0, 1.0);
+    let concurrency = cfg.concurrency.clamp(1, cfg.requests);
+    let per = cfg.requests / concurrency;
+    let extra = cfg.requests % concurrency;
+    let t0 = Instant::now();
+    let all_latencies: Vec<Vec<u64>> = std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(concurrency);
+        let mut start = 0usize;
+        for c in 0..concurrency {
+            let take = per + usize::from(c < extra);
+            let range = start..start + take;
+            start += take;
+            let (client, x) = (client.clone(), &x);
+            let pipeline = cfg.pipeline.max(1);
+            handles.push(s.spawn(move || -> Result<Vec<u64>, CliError> {
+                let mut lats = Vec::with_capacity(range.len());
+                let mut inflight: VecDeque<(Instant, biq_serve::Ticket)> = VecDeque::new();
+                for idx in range {
+                    if inflight.len() == pipeline {
+                        let (sent, ticket) = inflight.pop_front().expect("non-empty");
+                        ticket.wait().map_err(|e| CliError(format!("request failed: {e}")))?;
+                        lats.push(sent.elapsed().as_micros() as u64);
+                    }
+                    let xcol = ColMatrix::from_vec(x.rows(), 1, x.col(idx).to_vec());
+                    let ticket = client
+                        .submit(id, xcol)
+                        .map_err(|e| CliError(format!("submit failed: {e}")))?;
+                    inflight.push_back((Instant::now(), ticket));
+                }
+                for (sent, ticket) in inflight {
+                    ticket.wait().map_err(|e| CliError(format!("request failed: {e}")))?;
+                    lats.push(sent.elapsed().as_micros() as u64);
+                }
+                Ok(lats)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("submitter panicked"))
+            .collect::<Result<Vec<_>, CliError>>()
+    })?;
+    let makespan = t0.elapsed();
+    server.shutdown();
+    let mut latencies: Vec<u64> = all_latencies.into_iter().flatten().collect();
+    latencies.sort_unstable();
+    let quantile = |p: f64| -> u64 {
+        let rank = ((latencies.len() as f64 * p).ceil() as usize).clamp(1, latencies.len());
+        latencies[rank - 1]
+    };
+    Ok(NetBenchRow {
+        mode: "in-process",
+        m: cfg.rows,
+        n,
+        requests: cfg.requests,
+        workers: cfg.workers,
+        concurrency,
+        window_us: cfg.window.as_micros(),
+        max_batch_cols: cfg.max_batch_cols,
+        kernel,
+        throughput_rps: cfg.requests as f64 / makespan.as_secs_f64().max(1e-9),
+        p50_us: quantile(0.50),
+        p99_us: quantile(0.99),
+    })
+}
+
+/// Loopback replay of the same trace through a real `NetServer`.
+fn replay_remote(cfg: &NetBenchConfig) -> Result<NetBenchRow, CliError> {
+    let (registry, id) = bench_registry(cfg);
+    let server = Server::start(registry, daemon_config(cfg).server_config());
+    let kernel = server.registry().get(id).op().plan().kernel.level().name();
+    let net = NetServer::bind("127.0.0.1:0", server)
+        .map_err(|e| CliError(format!("bind loopback: {e}")))?;
+    let addr = net.local_addr().to_string();
+    let report = cmd_load_client(&LoadClientConfig {
+        addr,
+        op: Some("synthetic".into()),
+        requests: cfg.requests,
+        concurrency: cfg.concurrency,
+        seed: 1,
+        connect_attempts: 10,
+        pipeline: cfg.pipeline,
+    })?;
+    net.shutdown();
+    Ok(NetBenchRow {
+        mode: "remote",
+        m: cfg.rows,
+        n: cfg.cols,
+        requests: report.requests,
+        workers: cfg.workers,
+        concurrency: report.concurrency,
+        window_us: cfg.window.as_micros(),
+        max_batch_cols: cfg.max_batch_cols,
+        kernel,
+        throughput_rps: report.throughput_rps,
+        p50_us: report.p50_us,
+        p99_us: report.p99_us,
+    })
+}
+
+fn render_net_json(rows: &[NetBenchRow]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "  {{\"mode\": \"{mode}\", \"op\": \"synthetic\", \"m\": {m}, \"n\": {n}, ",
+                "\"b\": 1, \"requests\": {req}, \"workers\": {workers}, ",
+                "\"concurrency\": {conc}, \"window_us\": {window}, ",
+                "\"max_batch_cols\": {cap}, \"kernel\": \"{kernel}\", ",
+                "\"throughput_rps\": {rps:.1}, \"latency_p50_us\": {p50}, ",
+                "\"latency_p99_us\": {p99}}}{comma}\n"
+            ),
+            mode = r.mode,
+            m = r.m,
+            n = r.n,
+            req = r.requests,
+            workers = r.workers,
+            conc = r.concurrency,
+            window = r.window_us,
+            cap = r.max_batch_cols,
+            kernel = r.kernel,
+            rps = r.throughput_rps,
+            p50 = r.p50_us,
+            p99 = r.p99_us,
+            comma = if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// `biq net-bench`: measures the wire tax — the same single-column replay
+/// against the same batch server, in-process vs through a loopback TCP
+/// round trip — and writes the JSON record (in-process row first).
+pub fn cmd_net_bench(cfg: &NetBenchConfig, out_path: &Path) -> Result<Vec<NetBenchRow>, CliError> {
+    let rows = vec![replay_in_process(cfg)?, replay_remote(cfg)?];
+    if let Some(dir) = out_path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(out_path, render_net_json(&rows))?;
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model_cmds::{cmd_compile, cmd_run_model, CompileConfig};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("biq_cli_net_{name}"))
+    }
+
+    #[test]
+    fn load_client_digest_matches_run_model_for_linear_artifacts() {
+        let path = tmp("digest.biqmod");
+        let cfg = CompileConfig {
+            kind: "linear".into(),
+            d_model: 24,
+            d_ff: 32,
+            ..CompileConfig::default()
+        };
+        cmd_compile(&cfg, &path).unwrap();
+        let (net, ids) = start_daemon(&path, "127.0.0.1:0", &DaemonConfig::default()).unwrap();
+        assert_eq!(ids[0].0, "linear");
+        let report = cmd_load_client(&LoadClientConfig {
+            addr: net.local_addr().to_string(),
+            op: Some("linear".into()),
+            requests: 60,
+            concurrency: 3,
+            seed: 9,
+            ..LoadClientConfig::default()
+        })
+        .unwrap();
+        let (_, reference) = cmd_run_model(&path, 9, 60).unwrap();
+        let ref_digest =
+            fnv1a64(&reference.iter().flat_map(|v| v.to_le_bytes()).collect::<Vec<u8>>());
+        assert_eq!(report.digest, ref_digest, "wire replay must be bit-identical to run-model");
+        assert_eq!(report.requests, 60);
+        assert_eq!((report.m, report.n), (24, 32));
+        let stats = net.shutdown();
+        assert_eq!(stats.completed(), 60);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn net_bench_smoke_writes_both_modes() {
+        let cfg = NetBenchConfig {
+            rows: 32,
+            cols: 32,
+            requests: 24,
+            workers: 1,
+            concurrency: 2,
+            ..NetBenchConfig::default()
+        };
+        let path = tmp("bench.json");
+        let rows = cmd_net_bench(&cfg, &path).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].mode, "in-process");
+        assert_eq!(rows[1].mode, "remote");
+        assert!(rows.iter().all(|r| r.throughput_rps > 0.0));
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"mode\": \"remote\""), "{json}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn stats_json_is_shaped() {
+        let path = tmp("stats.biqmod");
+        let cfg = CompileConfig {
+            kind: "linear".into(),
+            d_model: 8,
+            d_ff: 12,
+            ..CompileConfig::default()
+        };
+        cmd_compile(&cfg, &path).unwrap();
+        let (net, _) = start_daemon(&path, "127.0.0.1:0", &DaemonConfig::default()).unwrap();
+        let json = render_stats_json(&net.shutdown());
+        assert!(json.contains("\"name\": \"linear\""), "{json}");
+        assert!(json.contains("\"profile\""), "{json}");
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -253,7 +253,12 @@ impl LutBank {
 
     /// Single-batch gather: with `nb == 1` both layouts store entry
     /// `(chunk c, key)` at `c·2^µ + key`; sums the entries selected by one
-    /// key row. Two-way unrolled so the independent gathers pipeline.
+    /// key row in **strictly ascending chunk order** — the same per-lane
+    /// accumulation order as [`LutBank::query_fused`], so a column packed
+    /// into a width-1 batch tile rounds bit-for-bit like one packed into
+    /// any wider tile (batch-packing invariance; `batch_invariance.rs`
+    /// pins it). An unrolled multi-accumulator tree was measurably faster
+    /// here but broke that invariance on real-valued inputs.
     ///
     /// # Panics
     /// Debug-panics unless exactly one batch column is resident.
@@ -263,22 +268,11 @@ impl LutBank {
         debug_assert!(keys.len() <= self.num_chunks);
         let table = self.table;
         let data = &self.data[..self.num_chunks * table];
-        let mut acc = [0.0f32; 4];
-        let mut it = keys.chunks_exact(4);
-        let mut c = 0;
-        for quad in &mut it {
-            acc[0] += data[c * table + quad[0] as usize];
-            acc[1] += data[(c + 1) * table + quad[1] as usize];
-            acc[2] += data[(c + 2) * table + quad[2] as usize];
-            acc[3] += data[(c + 3) * table + quad[3] as usize];
-            c += 4;
+        let mut acc = 0.0f32;
+        for (c, &k) in keys.iter().enumerate() {
+            acc += data[c * table + k as usize];
         }
-        let mut tail = 0.0f32;
-        for &k in it.remainder() {
-            tail += data[c * table + k as usize];
-            c += 1;
-        }
-        (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+        acc
     }
 
     /// Fused Algorithm 2 query for one key row (KeyMajor):

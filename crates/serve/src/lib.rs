@@ -27,7 +27,10 @@
 //!   reply channels;
 //! * [`Server::stats`] reports per-op queue depth, batch-width
 //!   distribution, p50/p99 latency, and the merged kernel
-//!   [`biqgemm_core::PhaseProfile`] across workers.
+//!   [`biqgemm_core::PhaseProfile`] across workers;
+//! * [`net::NetServer`] puts all of the above on the wire: a std-only TCP
+//!   front-end speaking the checksummed `BIQP` frame protocol, bridging
+//!   remote connections into the same batching pipeline ([`net`]).
 //!
 //! Packing is exact, not approximate: every kernel family in the
 //! workspace treats batch columns independently (BiQGEMM builds per-column
@@ -62,11 +65,13 @@
 //! ```
 
 pub mod batcher;
+pub mod net;
 pub mod registry;
 pub mod server;
 pub mod stats;
 
 pub use batcher::ServeError;
+pub use net::{NetClient, NetServer};
 pub use registry::{ModelRegistry, OpId, RegisteredOp};
 pub use server::{Client, Server, ServerConfig, Ticket};
 pub use stats::{OpStatsSnapshot, StatsSnapshot};

@@ -1,0 +1,183 @@
+//! A std-only blocking `BIQP` client with optional pipelining.
+//!
+//! One [`NetClient`] owns one TCP connection. The simple path is
+//! [`NetClient::request`] (send one, wait for its answer); load
+//! generators use [`NetClient::send`] / [`NetClient::recv`] to keep many
+//! requests in flight on the same connection — the server answers a
+//! connection's requests in submission order, correlated by `req_id`.
+
+use crate::net::wire::{self, Message, OpInfo, RejectCode, WireError};
+use biq_matrix::{ColMatrix, Matrix};
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+
+/// Client-side errors.
+#[derive(Debug)]
+pub enum NetError {
+    /// Transport or codec failure (the connection is unusable).
+    Wire(WireError),
+    /// The server answered with a reject frame; `Busy` is retryable.
+    Rejected {
+        /// The request's correlation id.
+        req_id: u64,
+        /// Why.
+        code: RejectCode,
+        /// Server-side detail.
+        msg: String,
+    },
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Wire(e) => write!(f, "{e}"),
+            NetError::Rejected { code, msg, .. } => write!(f, "rejected ({code}): {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> Self {
+        NetError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Wire(WireError::Io(e))
+    }
+}
+
+/// What [`NetClient::recv`] resolves a pipelined request to.
+#[derive(Debug)]
+pub enum Outcome {
+    /// The request's `m × cols` row-major result.
+    Reply(Matrix),
+    /// The request was refused; [`RejectCode::Busy`] is retryable.
+    Rejected {
+        /// Why.
+        code: RejectCode,
+        /// Server-side detail.
+        msg: String,
+    },
+}
+
+/// One connection to a [`crate::net::NetServer`].
+pub struct NetClient {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl NetClient {
+    /// Connects to a serving daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<NetClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(NetClient { stream, next_id: 1 })
+    }
+
+    /// The peer address.
+    pub fn peer_addr(&self) -> std::io::Result<SocketAddr> {
+        self.stream.peer_addr()
+    }
+
+    /// Asks the server for its op table.
+    pub fn list_ops(&mut self) -> Result<Vec<OpInfo>, NetError> {
+        self.write_frame(&Message::ListOps)?;
+        match wire::read_message(&mut self.stream)? {
+            Message::OpList(ops) => Ok(ops),
+            Message::Reject { req_id, code, msg } => Err(NetError::Rejected { req_id, code, msg }),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Sends a request without waiting; returns its `req_id`. Answers
+    /// arrive in submission order via [`NetClient::recv`]. Inputs beyond
+    /// the wire caps ([`wire::MAX_ROWS`]/[`wire::MAX_COLS`], op names
+    /// beyond [`wire::MAX_NAME`]) error here instead of panicking in the
+    /// encoder.
+    pub fn send(&mut self, op: &str, x: &ColMatrix) -> Result<u64, NetError> {
+        if x.rows() > wire::MAX_ROWS || x.cols() > wire::MAX_COLS {
+            return Err(NetError::Wire(WireError::Malformed(format!(
+                "request shape {}x{} exceeds the wire caps ({}x{})",
+                x.rows(),
+                x.cols(),
+                wire::MAX_ROWS,
+                wire::MAX_COLS,
+            ))));
+        }
+        // Both dimensions can be under their caps while the payload blows
+        // the frame budget; the fixed body overhead (req_id + name-length
+        // + rows + cols = 16 bytes) plus the name rides along.
+        let body = x.rows().saturating_mul(x.cols()).saturating_mul(4) + op.len() + 16;
+        if body > wire::MAX_BODY {
+            return Err(NetError::Wire(WireError::Malformed(format!(
+                "request payload of {body} bytes exceeds the {} byte frame cap; \
+                 send fewer columns",
+                wire::MAX_BODY,
+            ))));
+        }
+        if op.len() > wire::MAX_NAME {
+            return Err(NetError::Wire(WireError::Malformed(format!(
+                "op name of {} bytes exceeds the wire cap ({})",
+                op.len(),
+                wire::MAX_NAME,
+            ))));
+        }
+        let req_id = self.next_id;
+        self.next_id += 1;
+        self.write_frame(&Message::Request {
+            req_id,
+            op: op.to_string(),
+            rows: x.rows() as u32,
+            cols: x.cols() as u16,
+            data: x.as_slice().to_vec(),
+        })?;
+        Ok(req_id)
+    }
+
+    /// Receives the next answer frame: `(req_id, outcome)`.
+    pub fn recv(&mut self) -> Result<(u64, Outcome), NetError> {
+        match wire::read_message(&mut self.stream)? {
+            Message::Reply { req_id, rows, cols, data } => {
+                Ok((req_id, Outcome::Reply(Matrix::from_vec(rows as usize, cols as usize, data))))
+            }
+            Message::Reject { req_id, code, msg } => Ok((req_id, Outcome::Rejected { code, msg })),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// One blocking round trip: the op's `W·X` for this request.
+    pub fn request(&mut self, op: &str, x: &ColMatrix) -> Result<Matrix, NetError> {
+        let sent = self.send(op, x)?;
+        let (req_id, outcome) = self.recv()?;
+        if req_id != sent {
+            return Err(NetError::Wire(WireError::Malformed(format!(
+                "answer for request {req_id}, expected {sent}"
+            ))));
+        }
+        match outcome {
+            Outcome::Reply(y) => Ok(y),
+            Outcome::Rejected { code, msg } => Err(NetError::Rejected { req_id, code, msg }),
+        }
+    }
+
+    fn write_frame(&mut self, msg: &Message) -> Result<(), NetError> {
+        let frame = wire::encode(msg);
+        self.stream.write_all(&frame)?;
+        Ok(())
+    }
+}
+
+fn unexpected(msg: &Message) -> NetError {
+    let kind = match msg {
+        Message::Request { .. } => "request",
+        Message::Reply { .. } => "reply",
+        Message::Reject { .. } => "reject",
+        Message::ListOps => "list-ops",
+        Message::OpList(_) => "op-list",
+    };
+    NetError::Wire(WireError::Malformed(format!("unexpected {kind} frame from server")))
+}

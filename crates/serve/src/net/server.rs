@@ -1,0 +1,338 @@
+//! The TCP front-end: an acceptor thread plus per-connection reader/writer
+//! threads that bridge `BIQP` frames into [`crate::Client`] tickets.
+//!
+//! ```text
+//!  TcpListener ──► acceptor thread ──► per connection:
+//!                                        reader thread ── read frame
+//!                                        │   Request ─► Client::try_submit
+//!                                        │     Ok(ticket)  ─► writer queue
+//!                                        │     Err(Busy…)  ─► reject frame
+//!                                        │   ListOps ─► op table frame
+//!                                        └► writer thread ── Ticket::wait → reply frame
+//! ```
+//!
+//! Everything the in-process serving layer guarantees applies to remote
+//! traffic unchanged, because the bridge is a plain [`crate::Client`]:
+//! batching packs frames from different connections into one executor
+//! pass, backpressure surfaces as an explicit `Busy` reject frame
+//! (retryable), and [`NetServer::shutdown`] drains every accepted request
+//! before the final [`StatsSnapshot`] is captured.
+//!
+//! Malformed frames follow the codec's contract: the connection gets a
+//! best-effort `Reject(code = Malformed)` frame and is then closed —
+//! corrupt input never takes the server down (`net_hostile` pins this).
+
+use crate::net::wire::{self, Message, OpInfo, RejectCode, WireError};
+use crate::server::{Client, Server, Ticket};
+use crate::stats::StatsSnapshot;
+use crate::ServeError;
+use biq_matrix::ColMatrix;
+use std::io::{BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often the (non-blocking) acceptor polls for the stop flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// What a reader hands its connection's writer thread.
+enum WriterMsg {
+    /// Wait the ticket, then write the reply (or a `Canceled` reject).
+    Reply { req_id: u64, ticket: Ticket },
+    /// Write a reject frame.
+    Reject { req_id: u64, code: RejectCode, msg: String },
+    /// Write the op table.
+    Ops,
+}
+
+/// One live connection: the stream handle (for shutdown) and the reader
+/// thread (which joins its own writer before exiting).
+struct Conn {
+    stream: TcpStream,
+    reader: JoinHandle<()>,
+}
+
+/// A running TCP front-end over a [`Server`]. Construct with
+/// [`NetServer::bind`], stop with [`NetServer::shutdown`].
+pub struct NetServer {
+    server: Option<Server>,
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<Conn>>>,
+}
+
+impl NetServer {
+    /// Binds `addr` (use port 0 for an ephemeral port — see
+    /// [`NetServer::local_addr`]) and starts accepting connections that
+    /// submit into `server`'s batching pipeline.
+    pub fn bind(addr: impl ToSocketAddrs, server: Server) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns = Arc::new(Mutex::new(Vec::new()));
+        // The op table is immutable after Server::start; snapshot it once
+        // and share it with every connection.
+        let ops: Arc<Vec<OpInfo>> = Arc::new(
+            server
+                .registry()
+                .iter()
+                .map(|(_, o)| OpInfo {
+                    name: o.name().to_string(),
+                    m: o.op().output_size() as u32,
+                    n: o.op().input_size() as u32,
+                })
+                .collect(),
+        );
+        let client = server.client();
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("biq-net-acceptor".to_string())
+                .spawn(move || acceptor_loop(listener, &stop, &conns, &client, &ops))
+                .expect("spawn net acceptor")
+        };
+        Ok(NetServer { server: Some(server), local_addr, stop, acceptor: Some(acceptor), conns })
+    }
+
+    /// The bound address (the actual port when bound with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Live statistics of the inner server.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.server.as_ref().expect("server present until shutdown").stats()
+    }
+
+    /// Graceful shutdown: stops accepting new connections, half-closes
+    /// every connection's read side (in-flight requests keep their reply
+    /// path), waits for readers/writers to drain, then drains the inner
+    /// [`Server`] and returns the final statistics.
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        self.stop_net();
+        self.server.take().expect("server present until shutdown").shutdown()
+    }
+
+    /// Network-side teardown, shared by `shutdown` and `Drop`.
+    fn stop_net(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        let conns = std::mem::take(&mut *self.conns.lock().expect("conn list poisoned"));
+        for conn in &conns {
+            // Half-close: the reader sees EOF and stops accepting frames;
+            // the writer still flushes every queued reply first.
+            let _ = conn.stream.shutdown(Shutdown::Read);
+        }
+        for conn in conns {
+            let _ = conn.reader.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        // `shutdown` already tore the network down; a dropped NetServer
+        // still stops its threads (the inner Server's own Drop contract
+        // then applies).
+        if self.server.is_some() {
+            self.stop_net();
+        }
+    }
+}
+
+fn acceptor_loop(
+    listener: TcpListener,
+    stop: &AtomicBool,
+    conns: &Mutex<Vec<Conn>>,
+    client: &Client,
+    ops: &Arc<Vec<OpInfo>>,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Blocking I/O per connection; the listener alone stays
+                // non-blocking for the stop poll.
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                // Reply frames are latency-critical and already batched at
+                // the application layer — never let Nagle hold one back
+                // for a delayed ACK.
+                let _ = stream.set_nodelay(true);
+                let client = client.clone();
+                let ops = Arc::clone(ops);
+                let Ok(read_half) = stream.try_clone() else { continue };
+                let reader = std::thread::Builder::new()
+                    .name("biq-net-conn".to_string())
+                    .spawn(move || connection_loop(read_half, &client, &ops))
+                    .expect("spawn net connection");
+                let mut guard = conns.lock().expect("conn list poisoned");
+                // Reap finished connections so the list doesn't grow with
+                // every client that ever connected.
+                guard.retain(|c| !c.reader.is_finished());
+                guard.push(Conn { stream, reader });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                // Idle beat: reap finished connections so their fds and
+                // join handles don't linger until the next accept.
+                if let Ok(mut guard) = conns.lock() {
+                    guard.retain(|c| !c.reader.is_finished());
+                }
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+    // Dropping the listener closes the accept socket.
+}
+
+/// Reader side of one connection. Owns the writer thread: spawns it,
+/// feeds it, and joins it before returning (so `NetServer::shutdown`
+/// joining the reader implies the writer has flushed).
+fn connection_loop(stream: TcpStream, client: &Client, ops: &Arc<Vec<OpInfo>>) {
+    let Ok(write_half) = stream.try_clone() else { return };
+    let (tx, rx) = mpsc::channel::<WriterMsg>();
+    let ops_for_writer = Arc::clone(ops);
+    let writer = std::thread::Builder::new()
+        .name("biq-net-writer".to_string())
+        .spawn(move || writer_loop(write_half, &rx, &ops_for_writer))
+        .expect("spawn net writer");
+
+    let mut read = stream;
+    loop {
+        match wire::read_message(&mut read) {
+            Ok(Message::Request { req_id, op, rows, cols, data }) => {
+                handle_request(client, &tx, req_id, &op, rows, cols, data);
+            }
+            Ok(Message::ListOps) => {
+                if tx.send(WriterMsg::Ops).is_err() {
+                    break;
+                }
+            }
+            Ok(_) => {
+                // Server-to-client kinds arriving at the server violate
+                // the protocol just like garbage bytes do.
+                let _ = tx.send(WriterMsg::Reject {
+                    req_id: 0,
+                    code: RejectCode::Malformed,
+                    msg: "unexpected server-to-client frame".into(),
+                });
+                break;
+            }
+            Err(WireError::Closed) => break,
+            Err(WireError::Io(_)) => break,
+            Err(WireError::Malformed(m)) => {
+                // Best-effort error report, then close: a peer that sends
+                // garbage cannot be resynchronized mid-stream.
+                let mut m = m;
+                m.truncate(wire::MAX_MSG);
+                let _ =
+                    tx.send(WriterMsg::Reject { req_id: 0, code: RejectCode::Malformed, msg: m });
+                break;
+            }
+        }
+    }
+    let _ = read.shutdown(Shutdown::Read);
+    // Closing the channel lets the writer drain queued replies and exit;
+    // joining it here makes connection teardown single-step for callers.
+    drop(tx);
+    let _ = writer.join();
+    // Full shutdown once the writer has flushed: the acceptor still holds
+    // a clone of this socket (for NetServer::shutdown), so dropping our
+    // halves alone would never FIN the peer.
+    let _ = read.shutdown(Shutdown::Both);
+}
+
+fn handle_request(
+    client: &Client,
+    tx: &Sender<WriterMsg>,
+    req_id: u64,
+    op_name: &str,
+    rows: u32,
+    cols: u16,
+    data: Vec<f32>,
+) {
+    let Some(op) = client.registry().lookup(op_name) else {
+        let _ = tx.send(WriterMsg::Reject {
+            req_id,
+            code: RejectCode::UnknownOp,
+            msg: format!("no op named '{op_name}'"),
+        });
+        return;
+    };
+    // The reply must be encodable too: a request can satisfy every decode
+    // cap while `m × cols` blows the frame budget (large-`m` ops). Reject
+    // up front — the writer's encode asserts must stay unreachable.
+    let m = client.registry().get(op).op().output_size();
+    let reply_values = m.saturating_mul(cols as usize);
+    if m > wire::MAX_ROWS || reply_values.saturating_mul(4) + wire::HEADER_LEN > wire::MAX_BODY {
+        let _ = tx.send(WriterMsg::Reject {
+            req_id,
+            code: RejectCode::ShapeMismatch,
+            msg: format!("reply {m}x{cols} exceeds the frame caps; send fewer columns"),
+        });
+        return;
+    }
+    let x = ColMatrix::from_vec(rows as usize, cols as usize, data);
+    // `try_submit` (not `submit`): a full queue must become an explicit
+    // Busy frame, not a reader thread blocked on the submit queue.
+    let msg = match client.try_submit(op, x) {
+        Ok(ticket) => WriterMsg::Reply { req_id, ticket },
+        Err(e) => WriterMsg::Reject { req_id, code: reject_code(&e), msg: e.to_string() },
+    };
+    let _ = tx.send(msg);
+}
+
+/// Maps a serving error onto its wire code.
+fn reject_code(e: &ServeError) -> RejectCode {
+    match e {
+        ServeError::Busy => RejectCode::Busy,
+        ServeError::ShuttingDown => RejectCode::ShuttingDown,
+        ServeError::UnknownOp => RejectCode::UnknownOp,
+        ServeError::ShapeMismatch { .. } => RejectCode::ShapeMismatch,
+        ServeError::Canceled => RejectCode::Canceled,
+    }
+}
+
+/// Writer side of one connection: serializes every outbound frame. Ticket
+/// waits happen here, off the reader, so a connection can pipeline many
+/// requests; replies go out in submission order (FIFO per connection,
+/// which keeps the stream deterministic for a pipelining client).
+fn writer_loop(stream: TcpStream, rx: &Receiver<WriterMsg>, ops: &[OpInfo]) {
+    let mut w = BufWriter::new(stream);
+    // After a write error the peer is gone: keep draining tickets (their
+    // results must not dam up the worker replies) but stop writing.
+    let mut broken = false;
+    while let Ok(msg) = rx.recv() {
+        let frame = match msg {
+            WriterMsg::Reply { req_id, ticket } => match ticket.wait() {
+                Ok(y) => wire::encode(&Message::Reply {
+                    req_id,
+                    rows: y.rows() as u32,
+                    cols: y.cols() as u16,
+                    data: y.as_slice().to_vec(),
+                }),
+                Err(e) => wire::encode(&Message::Reject {
+                    req_id,
+                    code: reject_code(&e),
+                    msg: e.to_string(),
+                }),
+            },
+            WriterMsg::Reject { req_id, code, msg } => {
+                wire::encode(&Message::Reject { req_id, code, msg })
+            }
+            WriterMsg::Ops => wire::encode(&Message::OpList(ops.to_vec())),
+        };
+        if !broken {
+            broken = w.write_all(&frame).and_then(|()| w.flush()).is_err();
+        }
+    }
+}

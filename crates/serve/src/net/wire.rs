@@ -1,0 +1,594 @@
+//! The `BIQP` wire codec — pure frame encoding/decoding, no sockets.
+//!
+//! One frame per message, little-endian throughout:
+//!
+//! ```text
+//! offset size  field
+//!      0    4  magic     "BIQP"
+//!      4    1  version   1
+//!      5    1  kind      message discriminant (see [`Message`])
+//!      6    2  reserved  must be zero
+//!      8    4  body_len  bytes after the header (≤ MAX_BODY)
+//!     12    4  checksum  fnv1a64(body) folded hi32 ^ lo32
+//!     16    …  body      kind-specific, must be consumed exactly
+//! ```
+//!
+//! Decoding follows the artifact crate's discipline: every read checks the
+//! remaining length, every count is capped **before** any allocation, the
+//! body must tile exactly (trailing bytes are an error), nonzero reserved
+//! fields are errors, and the checksum is verified before the body is
+//! parsed — a corrupt frame is always [`WireError::Malformed`], never a
+//! panic or an over-allocation.
+
+use biq_artifact::fnv1a64;
+use std::io::Read;
+
+/// Frame magic.
+pub const MAGIC: [u8; 4] = *b"BIQP";
+/// Protocol version this codec speaks.
+pub const WIRE_VERSION: u8 = 1;
+/// Fixed frame-header size in bytes.
+pub const HEADER_LEN: usize = 16;
+/// Cap on `body_len`: nothing is allocated past this (16 MiB).
+pub const MAX_BODY: usize = 1 << 24;
+/// Cap on an op-name length in bytes.
+pub const MAX_NAME: usize = 256;
+/// Cap on request/reply columns per frame.
+pub const MAX_COLS: usize = 4096;
+/// Cap on request/reply rows per frame.
+pub const MAX_ROWS: usize = 1 << 20;
+/// Cap on a reject-message length in bytes.
+pub const MAX_MSG: usize = 1024;
+/// Cap on ops listed in one `OpList` frame.
+pub const MAX_OPS: usize = 4096;
+
+/// Why a request was refused (the wire image of
+/// [`crate::ServeError`], plus `Malformed` for protocol errors).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectCode {
+    /// The server's bounded queue is full — retry later.
+    Busy,
+    /// The server is draining and no longer accepts requests.
+    ShuttingDown,
+    /// The named op is not registered.
+    UnknownOp,
+    /// The payload's row count disagrees with the op's input size.
+    ShapeMismatch,
+    /// The server dropped the request without answering.
+    Canceled,
+    /// The frame itself was invalid; the connection closes after this.
+    Malformed,
+}
+
+impl RejectCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            RejectCode::Busy => 1,
+            RejectCode::ShuttingDown => 2,
+            RejectCode::UnknownOp => 3,
+            RejectCode::ShapeMismatch => 4,
+            RejectCode::Canceled => 5,
+            RejectCode::Malformed => 6,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, WireError> {
+        Ok(match v {
+            1 => RejectCode::Busy,
+            2 => RejectCode::ShuttingDown,
+            3 => RejectCode::UnknownOp,
+            4 => RejectCode::ShapeMismatch,
+            5 => RejectCode::Canceled,
+            6 => RejectCode::Malformed,
+            other => return Err(malformed(format!("unknown reject code {other}"))),
+        })
+    }
+
+    /// Stable lowercase name (reporting).
+    pub fn name(self) -> &'static str {
+        match self {
+            RejectCode::Busy => "busy",
+            RejectCode::ShuttingDown => "shutting-down",
+            RejectCode::UnknownOp => "unknown-op",
+            RejectCode::ShapeMismatch => "shape-mismatch",
+            RejectCode::Canceled => "canceled",
+            RejectCode::Malformed => "malformed",
+        }
+    }
+}
+
+impl std::fmt::Display for RejectCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One op row in an [`Message::OpList`] frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OpInfo {
+    /// Registration name.
+    pub name: String,
+    /// Output rows `m`.
+    pub m: u32,
+    /// Input rows `n` (what a request payload must have).
+    pub n: u32,
+}
+
+/// Every message the protocol carries, client→server and server→client.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Message {
+    /// Client→server: run `op` on an `rows × cols` column-major fp32
+    /// payload. `req_id` is echoed in the matching reply/reject and is the
+    /// client's to choose (pipelining key).
+    Request {
+        /// Client-chosen correlation id.
+        req_id: u64,
+        /// Registered op name.
+        op: String,
+        /// Payload rows (the op's input size).
+        rows: u32,
+        /// Payload columns.
+        cols: u16,
+        /// Column-major fp32 payload, `rows × cols` values.
+        data: Vec<f32>,
+    },
+    /// Server→client: the `m × cols` row-major result of a request.
+    Reply {
+        /// The request's correlation id.
+        req_id: u64,
+        /// Result rows (the op's output size `m`).
+        rows: u32,
+        /// Result columns (the request's column count).
+        cols: u16,
+        /// Row-major fp32 result, `rows × cols` values.
+        data: Vec<f32>,
+    },
+    /// Server→client: the request was refused; `Busy` is the backpressure
+    /// edge and is retryable.
+    Reject {
+        /// The request's correlation id (0 when no frame could be parsed).
+        req_id: u64,
+        /// Why.
+        code: RejectCode,
+        /// Human-readable detail.
+        msg: String,
+    },
+    /// Client→server: ask for the op table.
+    ListOps,
+    /// Server→client: the registered ops, in registration order.
+    OpList(Vec<OpInfo>),
+}
+
+impl Message {
+    fn kind(&self) -> u8 {
+        match self {
+            Message::Request { .. } => 1,
+            Message::Reply { .. } => 2,
+            Message::Reject { .. } => 3,
+            Message::ListOps => 4,
+            Message::OpList(_) => 5,
+        }
+    }
+}
+
+/// Decode/IO errors of the wire layer.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying stream failed.
+    Io(std::io::Error),
+    /// The peer closed the stream cleanly at a frame boundary.
+    Closed,
+    /// The bytes violate the protocol; the connection must close.
+    Malformed(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "io error: {e}"),
+            WireError::Closed => write!(f, "connection closed"),
+            WireError::Malformed(m) => write!(f, "malformed frame: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+fn malformed(msg: impl Into<String>) -> WireError {
+    WireError::Malformed(msg.into())
+}
+
+/// `fnv1a64` folded to the header's 32-bit checksum field.
+pub fn fold_checksum(body: &[u8]) -> u32 {
+    let h = fnv1a64(body);
+    (h >> 32) as u32 ^ h as u32
+}
+
+// ---------------------------------------------------------------- encoding
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+    fn f32s(&mut self, vs: &[f32]) {
+        for v in vs {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+/// Encodes one message as a complete frame (header + body).
+///
+/// # Panics
+/// Panics when the message violates its own caps (name/msg/payload too
+/// large, `data.len() != rows·cols`) — encoders construct messages, so a
+/// violation is a local bug, not remote input.
+pub fn encode(msg: &Message) -> Vec<u8> {
+    let mut w = Writer { buf: Vec::new() };
+    match msg {
+        Message::Request { req_id, op, rows, cols, data } => {
+            assert!(op.len() <= MAX_NAME, "op name over cap");
+            assert!((*rows as usize) <= MAX_ROWS && (*cols as usize) <= MAX_COLS);
+            assert_eq!(data.len(), *rows as usize * *cols as usize, "payload shape");
+            w.u64(*req_id);
+            w.u16(op.len() as u16);
+            w.bytes(op.as_bytes());
+            w.u32(*rows);
+            w.u16(*cols);
+            w.f32s(data);
+        }
+        Message::Reply { req_id, rows, cols, data } => {
+            assert!((*rows as usize) <= MAX_ROWS && (*cols as usize) <= MAX_COLS);
+            assert_eq!(data.len(), *rows as usize * *cols as usize, "payload shape");
+            w.u64(*req_id);
+            w.u32(*rows);
+            w.u16(*cols);
+            w.f32s(data);
+        }
+        Message::Reject { req_id, code, msg } => {
+            assert!(msg.len() <= MAX_MSG, "reject message over cap");
+            w.u64(*req_id);
+            w.u8(code.to_u8());
+            w.u16(msg.len() as u16);
+            w.bytes(msg.as_bytes());
+        }
+        Message::ListOps => {}
+        Message::OpList(ops) => {
+            assert!(ops.len() <= MAX_OPS, "op list over cap");
+            w.u16(ops.len() as u16);
+            for op in ops {
+                assert!(op.name.len() <= MAX_NAME, "op name over cap");
+                w.u16(op.name.len() as u16);
+                w.bytes(op.name.as_bytes());
+                w.u32(op.m);
+                w.u32(op.n);
+            }
+        }
+    }
+    let body = w.buf;
+    assert!(body.len() <= MAX_BODY, "body over cap");
+    let mut frame = Vec::with_capacity(HEADER_LEN + body.len());
+    frame.extend_from_slice(&MAGIC);
+    frame.push(WIRE_VERSION);
+    frame.push(msg.kind());
+    frame.extend_from_slice(&0u16.to_le_bytes());
+    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&fold_checksum(&body).to_le_bytes());
+    frame.extend_from_slice(&body);
+    frame
+}
+
+// ---------------------------------------------------------------- decoding
+
+/// A bounds-checked cursor over a frame body.
+struct Reader<'a> {
+    body: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], WireError> {
+        let end = self.at.checked_add(n).ok_or_else(|| malformed(format!("{what}: overflow")))?;
+        if end > self.body.len() {
+            return Err(malformed(format!(
+                "{what}: needs {n} bytes, {} remain",
+                self.body.len() - self.at
+            )));
+        }
+        let s = &self.body[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, WireError> {
+        Ok(self.take(1, what)?[0])
+    }
+    fn u16(&mut self, what: &str) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().expect("2 bytes")))
+    }
+    fn u32(&mut self, what: &str) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().expect("4 bytes")))
+    }
+    fn u64(&mut self, what: &str) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
+    }
+
+    fn string(&mut self, len: usize, cap: usize, what: &str) -> Result<String, WireError> {
+        if len > cap {
+            return Err(malformed(format!("{what}: length {len} over cap {cap}")));
+        }
+        let raw = self.take(len, what)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| malformed(format!("{what}: not utf-8")))
+    }
+
+    /// `count` f32 values; the count is validated against the remaining
+    /// body length **before** allocating.
+    fn f32s(&mut self, count: usize, what: &str) -> Result<Vec<f32>, WireError> {
+        let bytes =
+            count.checked_mul(4).ok_or_else(|| malformed(format!("{what}: count overflow")))?;
+        if self.at + bytes > self.body.len() {
+            return Err(malformed(format!(
+                "{what}: {count} values need {bytes} bytes, {} remain",
+                self.body.len() - self.at
+            )));
+        }
+        let raw = self.take(bytes, what)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect())
+    }
+
+    fn finish(self, what: &str) -> Result<(), WireError> {
+        if self.at != self.body.len() {
+            return Err(malformed(format!(
+                "{what}: {} trailing body bytes",
+                self.body.len() - self.at
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Validates a 16-byte header; returns `(kind, body_len, checksum)`.
+fn parse_header(h: &[u8; HEADER_LEN]) -> Result<(u8, usize, u32), WireError> {
+    if h[0..4] != MAGIC {
+        return Err(malformed("bad magic"));
+    }
+    if h[4] != WIRE_VERSION {
+        return Err(malformed(format!("unsupported version {}", h[4])));
+    }
+    let kind = h[5];
+    if h[6] != 0 || h[7] != 0 {
+        return Err(malformed("nonzero reserved field"));
+    }
+    let body_len = u32::from_le_bytes(h[8..12].try_into().expect("4 bytes")) as usize;
+    if body_len > MAX_BODY {
+        return Err(malformed(format!("body length {body_len} over cap {MAX_BODY}")));
+    }
+    let checksum = u32::from_le_bytes(h[12..16].try_into().expect("4 bytes"));
+    Ok((kind, body_len, checksum))
+}
+
+/// Parses a checksum-verified body of the given kind.
+fn parse_body(kind: u8, body: &[u8]) -> Result<Message, WireError> {
+    let mut r = Reader { body, at: 0 };
+    let msg = match kind {
+        1 => {
+            let req_id = r.u64("request id")?;
+            let name_len = r.u16("op name length")? as usize;
+            let op = r.string(name_len, MAX_NAME, "op name")?;
+            let rows = r.u32("rows")?;
+            let cols = r.u16("cols")?;
+            if rows as usize > MAX_ROWS {
+                return Err(malformed(format!("rows {rows} over cap {MAX_ROWS}")));
+            }
+            if cols as usize > MAX_COLS {
+                return Err(malformed(format!("cols {cols} over cap {MAX_COLS}")));
+            }
+            let data = r.f32s(rows as usize * cols as usize, "request payload")?;
+            Message::Request { req_id, op, rows, cols, data }
+        }
+        2 => {
+            let req_id = r.u64("reply id")?;
+            let rows = r.u32("rows")?;
+            let cols = r.u16("cols")?;
+            if rows as usize > MAX_ROWS {
+                return Err(malformed(format!("rows {rows} over cap {MAX_ROWS}")));
+            }
+            if cols as usize > MAX_COLS {
+                return Err(malformed(format!("cols {cols} over cap {MAX_COLS}")));
+            }
+            let data = r.f32s(rows as usize * cols as usize, "reply payload")?;
+            Message::Reply { req_id, rows, cols, data }
+        }
+        3 => {
+            let req_id = r.u64("reject id")?;
+            let code = RejectCode::from_u8(r.u8("reject code")?)?;
+            let msg_len = r.u16("reject message length")? as usize;
+            let msg = r.string(msg_len, MAX_MSG, "reject message")?;
+            Message::Reject { req_id, code, msg }
+        }
+        4 => Message::ListOps,
+        5 => {
+            let count = r.u16("op count")? as usize;
+            if count > MAX_OPS {
+                return Err(malformed(format!("op count {count} over cap {MAX_OPS}")));
+            }
+            // Each entry is ≥ 10 bytes; cap the allocation by what the body
+            // can actually hold before reserving.
+            if count * 10 > body.len() {
+                return Err(malformed(format!("op count {count} exceeds body")));
+            }
+            let mut ops = Vec::with_capacity(count);
+            for _ in 0..count {
+                let name_len = r.u16("op name length")? as usize;
+                let name = r.string(name_len, MAX_NAME, "op name")?;
+                let m = r.u32("op m")?;
+                let n = r.u32("op n")?;
+                ops.push(OpInfo { name, m, n });
+            }
+            Message::OpList(ops)
+        }
+        other => return Err(malformed(format!("unknown frame kind {other}"))),
+    };
+    r.finish("frame body")?;
+    Ok(msg)
+}
+
+/// Decodes one frame from a byte buffer; returns the message and the bytes
+/// consumed. Pure — this is what the hostile-input proptests hammer.
+pub fn decode(bytes: &[u8]) -> Result<(Message, usize), WireError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(malformed(format!("{} header bytes, need {HEADER_LEN}", bytes.len())));
+    }
+    let header: &[u8; HEADER_LEN] = bytes[..HEADER_LEN].try_into().expect("16 bytes");
+    let (kind, body_len, checksum) = parse_header(header)?;
+    if bytes.len() < HEADER_LEN + body_len {
+        return Err(malformed(format!(
+            "body needs {body_len} bytes, {} remain",
+            bytes.len() - HEADER_LEN
+        )));
+    }
+    let body = &bytes[HEADER_LEN..HEADER_LEN + body_len];
+    if fold_checksum(body) != checksum {
+        return Err(malformed("checksum mismatch"));
+    }
+    Ok((parse_body(kind, body)?, HEADER_LEN + body_len))
+}
+
+/// Reads exactly one frame from a stream. A clean EOF **at a frame
+/// boundary** is [`WireError::Closed`]; EOF mid-frame is `Malformed`. The
+/// body buffer is only allocated after the header's cap check.
+pub fn read_message(r: &mut impl Read) -> Result<Message, WireError> {
+    let mut header = [0u8; HEADER_LEN];
+    let mut got = 0usize;
+    while got < HEADER_LEN {
+        match r.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Err(WireError::Closed),
+            Ok(0) => return Err(malformed(format!("eof after {got} header bytes"))),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    let (kind, body_len, checksum) = parse_header(&header)?;
+    let mut body = vec![0u8; body_len];
+    r.read_exact(&mut body).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            malformed("eof inside frame body")
+        } else {
+            WireError::Io(e)
+        }
+    })?;
+    if fold_checksum(&body) != checksum {
+        return Err(malformed("checksum mismatch"));
+    }
+    parse_body(kind, &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_request() -> Message {
+        Message::Request {
+            req_id: 7,
+            op: "linear".into(),
+            rows: 3,
+            cols: 2,
+            data: vec![1.0, -2.5, 0.0, 4.0, 5.5, -6.25],
+        }
+    }
+
+    #[test]
+    fn every_message_kind_round_trips() {
+        let msgs = [
+            sample_request(),
+            Message::Reply { req_id: 9, rows: 2, cols: 1, data: vec![0.5, -0.5] },
+            Message::Reject { req_id: 3, code: RejectCode::Busy, msg: "queue full".into() },
+            Message::ListOps,
+            Message::OpList(vec![
+                OpInfo { name: "a".into(), m: 4, n: 8 },
+                OpInfo { name: "b.c".into(), m: 16, n: 2 },
+            ]),
+        ];
+        for msg in msgs {
+            let frame = encode(&msg);
+            let (back, used) = decode(&frame).unwrap();
+            assert_eq!(back, msg);
+            assert_eq!(used, frame.len());
+            // Stream path agrees with the buffer path.
+            let mut cursor = std::io::Cursor::new(frame);
+            assert_eq!(read_message(&mut cursor).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn clean_eof_is_closed_mid_frame_is_malformed() {
+        let mut empty = std::io::Cursor::new(Vec::<u8>::new());
+        assert!(matches!(read_message(&mut empty), Err(WireError::Closed)));
+        let frame = encode(&sample_request());
+        let mut cut = std::io::Cursor::new(frame[..10].to_vec());
+        assert!(matches!(read_message(&mut cut), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn body_flip_fails_the_checksum() {
+        let mut frame = encode(&sample_request());
+        let at = HEADER_LEN + 3;
+        frame[at] ^= 0x40;
+        match decode(&frame) {
+            Err(WireError::Malformed(m)) => assert!(m.contains("checksum"), "{m}"),
+            other => panic!("flip decoded: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_header_length_errors_before_allocating() {
+        let mut frame = encode(&Message::ListOps);
+        frame[8..12].copy_from_slice(&(MAX_BODY as u32 + 1).to_le_bytes());
+        assert!(matches!(decode(&frame), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn payload_count_must_tile_the_body_exactly() {
+        // Hand-build a request body whose rows·cols disagrees with the
+        // payload bytes actually present.
+        let msg = sample_request();
+        let mut frame = encode(&msg);
+        // rows lives right after req_id(8) + name_len(2) + "linear"(6).
+        let rows_at = HEADER_LEN + 16;
+        frame[rows_at..rows_at + 4].copy_from_slice(&100u32.to_le_bytes());
+        // Re-stamp the checksum so only the count validation can object.
+        let body_len = frame.len() - HEADER_LEN;
+        let sum = fold_checksum(&frame[HEADER_LEN..HEADER_LEN + body_len]);
+        frame[12..16].copy_from_slice(&sum.to_le_bytes());
+        match decode(&frame) {
+            Err(WireError::Malformed(m)) => assert!(m.contains("payload"), "{m}"),
+            other => panic!("bad count decoded: {other:?}"),
+        }
+    }
+}

@@ -174,6 +174,12 @@ impl Client {
         Ok((Some(Pending { op, x, reply, enqueued: Instant::now() }), ticket))
     }
 
+    /// The registry this client submits against (op lookup by name — the
+    /// wire front-end resolves frame op names through this).
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
+    }
+
     fn record_accept(&self, op: OpId) {
         let s = &self.stats.ops[op.0];
         s.submitted.fetch_add(1, Ordering::Relaxed);

@@ -1,0 +1,266 @@
+//! The wire-layer correctness property: a request that crosses a real TCP
+//! socket — framed, checksummed, bridged into the batcher, packed with
+//! frames from **other connections**, and framed back — is bit-identical
+//! to a direct [`Executor::run`] of the same column. Concurrent
+//! connections, pipelining, and mixed backend families included.
+//!
+//! Input domains follow the packing-invariance contract: BiQGEMM (pinned
+//! by `core/tests/batch_invariance.rs`), int8, and xnor are bit-identical
+//! across batch packings on **arbitrary real inputs**, so those families
+//! are driven with Gaussian traffic. Fp32-blocked packs value-exactly on
+//! the small-integer domain (its width-1 GEMV microkernel rounds
+//! differently from the batched kernel on arbitrary reals), so the
+//! mixed-family test uses small-int columns, like `serve_equivalence`.
+
+use biq_matrix::{ColMatrix, MatrixRng};
+use biq_runtime::{
+    compile, BackendSpec, CompiledOp, Executor, PlanBuilder, QuantMethod, Threading, WeightSource,
+};
+use biq_serve::net::{NetClient, NetError, NetServer, Outcome, RejectCode};
+use biq_serve::{ModelRegistry, Server, ServerConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Mixed-backend op set: every kernel family the workspace serves.
+fn build_ops(seed: u64) -> (ModelRegistry, Vec<(String, Arc<CompiledOp>)>) {
+    let mut g = MatrixRng::seed_from(seed);
+    let mut reg = ModelRegistry::new();
+    let mut ops = Vec::new();
+    let specs: [(usize, usize, BackendSpec); 4] = [
+        (24, 32, BackendSpec::Biq { bits: 2, method: QuantMethod::Greedy }),
+        (16, 24, BackendSpec::Fp32Blocked),
+        (12, 20, BackendSpec::Int8),
+        (20, 16, BackendSpec::Xnor { bits: 2 }),
+    ];
+    for (i, (m, n, spec)) in specs.into_iter().enumerate() {
+        let w = g.small_int_matrix(m, n, 2);
+        let plan =
+            PlanBuilder::new(m, n).batch_hint(4).backend(spec).threading(Threading::Serial).build();
+        let compiled = Arc::new(compile(&plan, WeightSource::Dense(&w)));
+        let name = format!("op{i}");
+        reg.register_op(name.clone(), Arc::clone(&compiled));
+        ops.push((name, compiled));
+    }
+    (reg, ops)
+}
+
+fn start_net(seed: u64) -> (NetServer, Vec<(String, Arc<CompiledOp>)>) {
+    let (reg, ops) = build_ops(seed);
+    let server = Server::start(
+        reg,
+        ServerConfig {
+            workers: 2,
+            batch_window: Duration::from_micros(300),
+            max_batch_cols: 6,
+            ..ServerConfig::default()
+        },
+    );
+    let net = NetServer::bind("127.0.0.1:0", server).expect("bind loopback");
+    (net, ops)
+}
+
+#[test]
+fn single_connection_round_trip_is_bit_identical() {
+    let (net, ops) = start_net(11);
+    let addr = net.local_addr();
+    let mut client = NetClient::connect(addr).unwrap();
+    let mut g = MatrixRng::seed_from(99);
+    let mut exec = Executor::new();
+    for (name, op) in &ops {
+        for cols in [1usize, 3] {
+            // Small-int columns: exact arithmetic for every family, so the
+            // mixed set (including fp32) must reproduce direct runs.
+            let x = g.small_int_col(op.input_size(), cols, 3);
+            let y = client.request(name, &x).unwrap();
+            let y_ref = exec.run(op, &x);
+            assert_eq!(y.shape(), (op.output_size(), cols));
+            assert_eq!(y.as_slice(), y_ref.as_slice(), "{name} cols={cols} over the wire");
+        }
+    }
+    let stats = net.shutdown();
+    assert_eq!(stats.completed(), ops.len() as u64 * 2);
+}
+
+#[test]
+fn concurrent_pipelining_connections_match_direct_execution() {
+    let (net, ops) = start_net(23);
+    let addr = net.local_addr();
+    let clients = 4usize;
+    let per_client = 25usize;
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            let ops = &ops;
+            s.spawn(move || {
+                let mut client = NetClient::connect(addr).expect("connect");
+                let mut g = MatrixRng::seed_from(1000 + c as u64);
+                let mut exec = Executor::new();
+                // Pipeline in bursts of 5 so frames from the 4 connections
+                // really do share batcher buckets. Small-int columns: the
+                // op set includes fp32-blocked (exact on this domain only).
+                for burst in 0..per_client / 5 {
+                    let mut sent = Vec::new();
+                    for k in 0..5 {
+                        let (name, op) = &ops[(burst + k + c) % ops.len()];
+                        let x = g.small_int_col(op.input_size(), 1, 3);
+                        let id = client.send(name, &x).expect("send");
+                        sent.push((id, name.clone(), x));
+                    }
+                    for (id, name, x) in sent {
+                        let (got_id, outcome) = client.recv().expect("recv");
+                        assert_eq!(got_id, id, "per-connection replies are FIFO");
+                        let (_, op) = ops.iter().find(|(n, _)| *n == name).unwrap();
+                        match outcome {
+                            Outcome::Reply(y) => {
+                                let y_ref = exec.run(op, &x);
+                                assert_eq!(
+                                    y.as_slice(),
+                                    y_ref.as_slice(),
+                                    "conn {c} {name}: wire result differs from direct run"
+                                );
+                            }
+                            Outcome::Rejected { code, msg } => {
+                                panic!("conn {c} {name} rejected ({code}): {msg}")
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let stats = net.shutdown();
+    assert_eq!(stats.completed(), (clients * per_client) as u64);
+    assert_eq!(stats.ops.iter().map(|o| o.rejected).sum::<u64>(), 0);
+}
+
+#[test]
+fn packing_invariant_families_are_bit_identical_on_gaussian_traffic() {
+    // BiQGEMM / int8 / xnor answer identically however the batcher packs
+    // them, on arbitrary real inputs — the serving guarantee remote
+    // clients (and the CI digest smoke) rely on.
+    let mut g = MatrixRng::seed_from(71);
+    let mut reg = ModelRegistry::new();
+    let specs: [(usize, usize, BackendSpec); 3] = [
+        (24, 32, BackendSpec::Biq { bits: 2, method: QuantMethod::Greedy }),
+        (12, 20, BackendSpec::Int8),
+        (20, 16, BackendSpec::Xnor { bits: 2 }),
+    ];
+    let mut ops = Vec::new();
+    for (i, (m, n, spec)) in specs.into_iter().enumerate() {
+        let w = g.gaussian(m, n, 0.0, 1.0);
+        let plan =
+            PlanBuilder::new(m, n).batch_hint(4).backend(spec).threading(Threading::Serial).build();
+        let compiled = Arc::new(compile(&plan, WeightSource::Dense(&w)));
+        let name = format!("op{i}");
+        reg.register_op(name.clone(), Arc::clone(&compiled));
+        ops.push((name, compiled));
+    }
+    let server = Server::start(
+        reg,
+        ServerConfig {
+            workers: 2,
+            batch_window: Duration::from_micros(400),
+            max_batch_cols: 7, // odd cap: exercises ragged tile widths
+            ..ServerConfig::default()
+        },
+    );
+    let net = NetServer::bind("127.0.0.1:0", server).expect("bind loopback");
+    let addr = net.local_addr();
+    std::thread::scope(|s| {
+        for c in 0..3usize {
+            let ops = &ops;
+            s.spawn(move || {
+                let mut client = NetClient::connect(addr).expect("connect");
+                let mut g = MatrixRng::seed_from(9000 + c as u64);
+                let mut exec = Executor::new();
+                for round in 0..30 {
+                    let (name, op) = &ops[(round + c) % ops.len()];
+                    let x = g.gaussian_col(op.input_size(), 1, 0.0, 1.0);
+                    let y = client.request(name, &x).expect("request");
+                    let y_ref = exec.run(op, &x);
+                    assert_eq!(
+                        y.as_slice(),
+                        y_ref.as_slice(),
+                        "conn {c} {name}: packed gaussian request drifted from direct run"
+                    );
+                }
+            });
+        }
+    });
+    let stats = net.shutdown();
+    assert_eq!(stats.completed(), 90);
+}
+
+#[test]
+fn unknown_op_and_shape_mismatch_reject_without_killing_the_connection() {
+    let (net, ops) = start_net(37);
+    let mut client = NetClient::connect(net.local_addr()).unwrap();
+    // Unknown op name.
+    match client.request("no_such_op", &ColMatrix::zeros(8, 1)) {
+        Err(NetError::Rejected { code: RejectCode::UnknownOp, .. }) => {}
+        other => panic!("expected unknown-op reject, got {other:?}"),
+    }
+    // Wrong row count for a real op.
+    let (name, op) = &ops[0];
+    match client.request(name, &ColMatrix::zeros(op.input_size() + 1, 1)) {
+        Err(NetError::Rejected { code: RejectCode::ShapeMismatch, .. }) => {}
+        other => panic!("expected shape-mismatch reject, got {other:?}"),
+    }
+    // The same connection still serves valid requests afterwards.
+    let x = MatrixRng::seed_from(5).gaussian_col(op.input_size(), 1, 0.0, 1.0);
+    let y = client.request(name, &x).unwrap();
+    let y_ref = Executor::new().run(op, &x);
+    assert_eq!(y.as_slice(), y_ref.as_slice());
+    net.shutdown();
+}
+
+#[test]
+fn list_ops_reports_the_registry_in_order() {
+    let (net, ops) = start_net(41);
+    let mut client = NetClient::connect(net.local_addr()).unwrap();
+    let listed = client.list_ops().unwrap();
+    assert_eq!(listed.len(), ops.len());
+    for (info, (name, op)) in listed.iter().zip(&ops) {
+        assert_eq!(&info.name, name);
+        assert_eq!(info.m as usize, op.output_size());
+        assert_eq!(info.n as usize, op.input_size());
+    }
+    net.shutdown();
+}
+
+#[test]
+fn shutdown_flushes_pipelined_replies_then_closes() {
+    let (net, ops) = start_net(53);
+    let mut client = NetClient::connect(net.local_addr()).unwrap();
+    let (name, op) = &ops[0];
+    let mut g = MatrixRng::seed_from(7);
+    let k = 12usize;
+    let mut sent = Vec::new();
+    for _ in 0..k {
+        let x = g.gaussian_col(op.input_size(), 1, 0.0, 1.0);
+        let id = client.send(name, &x).unwrap();
+        sent.push((id, x));
+    }
+    // Wait until the reader thread has accepted every frame (submission is
+    // counted at try_submit time); only then is the drain obligated to
+    // answer all of them.
+    let t0 = std::time::Instant::now();
+    while net.stats().ops.iter().map(|o| o.submitted).sum::<u64>() < k as u64 {
+        assert!(t0.elapsed() < Duration::from_secs(5), "server never accepted all requests");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    // Shutdown drains: every accepted request is answered and flushed
+    // before the writer exits, so all replies are readable afterwards.
+    let stats = net.shutdown();
+    assert_eq!(stats.completed(), k as u64);
+    let mut exec = Executor::new();
+    for (id, x) in sent {
+        let (got, outcome) = client.recv().unwrap();
+        assert_eq!(got, id);
+        match outcome {
+            Outcome::Reply(y) => assert_eq!(y.as_slice(), exec.run(op, &x).as_slice()),
+            Outcome::Rejected { code, msg } => panic!("drained request rejected ({code}): {msg}"),
+        }
+    }
+    // After the drain the server side is gone: the next read sees EOF.
+    assert!(client.recv().is_err());
+}

@@ -1,0 +1,269 @@
+//! Hostile-input hardening for the `BIQP` wire codec, in the style of the
+//! artifact/quant `decode_hostile` suites: every truncation errors, every
+//! body bit-flip fails the checksum, oversized counts error before any
+//! allocation, garbage never panics — and a live [`NetServer`] fed garbage
+//! closes that connection while continuing to serve well-formed clients.
+
+use biq_matrix::{ColMatrix, MatrixRng};
+use biq_runtime::{compile, BackendSpec, PlanBuilder, QuantMethod, WeightSource};
+use biq_serve::net::wire::{self, Message, OpInfo, RejectCode, WireError};
+use biq_serve::net::{NetClient, NetServer};
+use biq_serve::{ModelRegistry, Server, ServerConfig};
+use proptest::prelude::*;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Name pool for generated messages (the compat proptest shim has no
+/// regex string strategy).
+const NAMES: [&str; 6] = ["linear", "enc0.attn.wq", "lstm.w_ih", "op", "a", "out_proj"];
+
+/// Deterministic message zoo driven by a proptest seed.
+fn arb_message() -> impl Strategy<Value = Message> {
+    let request = (any::<u64>(), 0usize..NAMES.len(), 1u32..9, 1u16..5, 0u64..1000).prop_map(
+        |(req_id, name, rows, cols, seed)| {
+            let mut g = MatrixRng::seed_from(seed);
+            let data =
+                (0..rows as usize * cols as usize).map(|_| g.uniform_f32(-4.0, 4.0)).collect();
+            Message::Request { req_id, op: NAMES[name].to_string(), rows, cols, data }
+        },
+    );
+    let reply = (any::<u64>(), 1u32..9, 1u16..5).prop_map(|(req_id, rows, cols)| Message::Reply {
+        req_id,
+        rows,
+        cols,
+        data: vec![0.25; rows as usize * cols as usize],
+    });
+    let reject = (any::<u64>(), 0usize..6, 0usize..NAMES.len()).prop_map(|(req_id, code, msg)| {
+        let codes = [
+            RejectCode::Busy,
+            RejectCode::ShuttingDown,
+            RejectCode::UnknownOp,
+            RejectCode::ShapeMismatch,
+            RejectCode::Canceled,
+            RejectCode::Malformed,
+        ];
+        Message::Reject { req_id, code: codes[code], msg: NAMES[msg].to_string() }
+    });
+    let oplist = proptest::collection::vec(
+        (0usize..NAMES.len(), any::<u32>(), any::<u32>()).prop_map(|(name, m, n)| OpInfo {
+            name: NAMES[name].to_string(),
+            m,
+            n,
+        }),
+        0..5,
+    )
+    .prop_map(Message::OpList);
+    prop_oneof![request, reply, reject, Just(Message::ListOps), oplist]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_message_round_trips(msg in arb_message()) {
+        let frame = wire::encode(&msg);
+        let (back, used) = wire::decode(&frame).unwrap();
+        prop_assert_eq!(&back, &msg);
+        prop_assert_eq!(used, frame.len());
+    }
+
+    #[test]
+    fn truncated_frames_always_error(msg in arb_message(), cut_frac in 0.0f64..1.0) {
+        let frame = wire::encode(&msg);
+        let cut = ((frame.len() as f64 * cut_frac) as usize).min(frame.len() - 1);
+        prop_assert!(wire::decode(&frame[..cut]).is_err(), "cut {} decoded", cut);
+        // The stream path agrees: mid-frame EOF is Malformed, empty is Closed.
+        let mut cursor = std::io::Cursor::new(frame[..cut].to_vec());
+        match wire::read_message(&mut cursor) {
+            Err(WireError::Closed) => prop_assert_eq!(cut, 0, "Closed only at a frame boundary"),
+            Err(_) => {}
+            Ok(m) => panic!("cut {cut} decoded {m:?}"),
+        }
+    }
+
+    #[test]
+    fn flipped_frames_never_panic(
+        msg in arb_message(),
+        flip_frac in 0.0f64..1.0,
+        flip_bit in 0u8..8,
+    ) {
+        let mut frame = wire::encode(&msg);
+        let at = ((frame.len() as f64 * flip_frac) as usize).min(frame.len() - 1);
+        frame[at] ^= 1 << flip_bit;
+        // Must terminate with Ok or Err — never panic, never over-allocate.
+        let _ = wire::decode(&frame);
+    }
+
+    #[test]
+    fn body_flips_always_fail_the_checksum(
+        msg in arb_message(),
+        flip_frac in 0.0f64..1.0,
+        flip_bit in 0u8..8,
+    ) {
+        let mut frame = wire::encode(&msg);
+        if frame.len() > wire::HEADER_LEN { // ListOps has no body to flip
+            let span = frame.len() - wire::HEADER_LEN;
+            let at = wire::HEADER_LEN + ((span as f64 * flip_frac) as usize).min(span - 1);
+            frame[at] ^= 1 << flip_bit;
+            prop_assert!(wire::decode(&frame).is_err(), "body flip at {} decoded", at);
+        }
+    }
+
+    #[test]
+    fn garbage_magic_always_errors(prefix in proptest::collection::vec(any::<u8>(), 16..64)) {
+        if prefix[0..4] != wire::MAGIC {
+            prop_assert!(wire::decode(&prefix).is_err());
+        }
+    }
+}
+
+#[test]
+fn oversized_counts_error_instead_of_allocating() {
+    // body_len over cap: rejected straight from the header.
+    let mut frame = wire::encode(&Message::ListOps);
+    frame[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(wire::decode(&frame), Err(WireError::Malformed(_))));
+
+    // A request claiming MAX_ROWS×MAX_COLS values with a tiny body: the
+    // payload count check fires before any buffer is reserved.
+    let mut body = Vec::new();
+    body.extend_from_slice(&1u64.to_le_bytes());
+    body.extend_from_slice(&2u16.to_le_bytes());
+    body.extend_from_slice(b"op");
+    body.extend_from_slice(&(wire::MAX_ROWS as u32).to_le_bytes());
+    body.extend_from_slice(&(wire::MAX_COLS as u16).to_le_bytes());
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&wire::MAGIC);
+    frame.push(wire::WIRE_VERSION);
+    frame.push(1); // Request
+    frame.extend_from_slice(&0u16.to_le_bytes());
+    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&wire::fold_checksum(&body).to_le_bytes());
+    frame.extend_from_slice(&body);
+    match wire::decode(&frame) {
+        Err(WireError::Malformed(m)) => assert!(m.contains("payload"), "{m}"),
+        other => panic!("oversized count decoded: {other:?}"),
+    }
+
+    // An op list whose count can't fit the body errors on the same guard.
+    let body = 4096u16.to_le_bytes().to_vec();
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&wire::MAGIC);
+    frame.push(wire::WIRE_VERSION);
+    frame.push(5); // OpList
+    frame.extend_from_slice(&0u16.to_le_bytes());
+    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&wire::fold_checksum(&body).to_le_bytes());
+    frame.extend_from_slice(&body);
+    match wire::decode(&frame) {
+        Err(WireError::Malformed(m)) => assert!(m.contains("count"), "{m}"),
+        other => panic!("oversized op count decoded: {other:?}"),
+    }
+}
+
+#[test]
+fn unencodable_reply_is_rejected_up_front_not_panicked_in_the_writer() {
+    // A request can satisfy every decode cap while the op's output blows
+    // the frame budget: m=8192 × cols=512 × 4 B = exactly MAX_BODY, so
+    // with the header it cannot be encoded. The server must answer with a
+    // shape-mismatch reject — never hit the encoder asserts.
+    let mut g = MatrixRng::seed_from(9);
+    let signs = g.signs(8192, 16);
+    let plan = PlanBuilder::new(8192, 16)
+        .batch_hint(1)
+        .backend(BackendSpec::Biq { bits: 1, method: QuantMethod::Greedy })
+        .build();
+    let mut reg = ModelRegistry::new();
+    reg.register_op("wide", std::sync::Arc::new(compile(&plan, WeightSource::Signs(&signs))));
+    let server = Server::start(reg, ServerConfig::default());
+    let net = NetServer::bind("127.0.0.1:0", server).unwrap();
+    let mut client = NetClient::connect(net.local_addr()).unwrap();
+    match client.request("wide", &ColMatrix::zeros(16, 512)) {
+        Err(biq_serve::net::NetError::Rejected {
+            code: RejectCode::ShapeMismatch, msg, ..
+        }) => {
+            assert!(msg.contains("frame caps"), "{msg}");
+        }
+        other => panic!("expected a frame-caps reject, got {other:?}"),
+    }
+    // The connection survives and narrower requests still work.
+    let y = client.request("wide", &ColMatrix::zeros(16, 1)).unwrap();
+    assert_eq!(y.shape(), (8192, 1));
+    net.shutdown();
+}
+
+#[test]
+fn client_send_errors_on_oversized_inputs_instead_of_panicking() {
+    let (net, _x, _y) = start_one_op_server();
+    let mut client = NetClient::connect(net.local_addr()).unwrap();
+    // Over MAX_COLS: must be a clean error, not a truncating cast.
+    let wide = ColMatrix::zeros(24, wire::MAX_COLS + 1);
+    assert!(client.send("op", &wide).is_err(), "cols over cap must error");
+    // Over MAX_NAME.
+    let x = ColMatrix::zeros(24, 1);
+    assert!(client.send(&"n".repeat(wire::MAX_NAME + 1), &x).is_err());
+    // Within both per-dimension caps but over the frame body budget
+    // (2^20 × 8 × 4 B = 32 MiB > MAX_BODY): clean error, no encoder panic.
+    let huge = ColMatrix::zeros(wire::MAX_ROWS, 8);
+    assert!(client.send("op", &huge).is_err(), "over-budget payload must error");
+    // The connection is still usable for valid requests.
+    assert!(client.request("op", &x).is_ok());
+    net.shutdown();
+}
+
+fn start_one_op_server() -> (NetServer, ColMatrix, Vec<f32>) {
+    let mut g = MatrixRng::seed_from(3);
+    let signs = g.signs(16, 24);
+    let plan = PlanBuilder::new(16, 24)
+        .batch_hint(4)
+        .backend(BackendSpec::Biq { bits: 1, method: QuantMethod::Greedy })
+        .build();
+    let op = compile(&plan, WeightSource::Signs(&signs));
+    let x = g.gaussian_col(24, 1, 0.0, 1.0);
+    let y_ref = biq_runtime::Executor::new().run(&op, &x).as_slice().to_vec();
+    let mut reg = ModelRegistry::new();
+    reg.register_op("op", std::sync::Arc::new(op));
+    let server = Server::start(reg, ServerConfig::default());
+    (NetServer::bind("127.0.0.1:0", server).unwrap(), x, y_ref)
+}
+
+#[test]
+fn garbage_on_the_socket_closes_that_connection_but_not_the_server() {
+    let (net, x, y_ref) = start_one_op_server();
+    let addr = net.local_addr();
+
+    // Connection 1: raw garbage. The server answers with a Malformed
+    // reject (best effort) and closes; it must not crash or hang.
+    let mut bad = TcpStream::connect(addr).unwrap();
+    bad.write_all(b"GET / HTTP/1.1\r\n\r\n___not_biqp___").unwrap();
+    let mut buf = Vec::new();
+    bad.read_to_end(&mut buf).unwrap(); // EOF proves the server closed it
+    if !buf.is_empty() {
+        match wire::decode(&buf) {
+            Ok((Message::Reject { code, .. }, _)) => assert_eq!(code, RejectCode::Malformed),
+            other => panic!("expected a malformed-reject frame, got {other:?}"),
+        }
+    }
+
+    // Connection 2: a frame with a corrupted body — same fate.
+    let mut flipped = TcpStream::connect(addr).unwrap();
+    let mut frame = wire::encode(&Message::Request {
+        req_id: 1,
+        op: "op".into(),
+        rows: 24,
+        cols: 1,
+        data: x.as_slice().to_vec(),
+    });
+    let last = frame.len() - 1;
+    frame[last] ^= 0x01;
+    flipped.write_all(&frame).unwrap();
+    let mut buf = Vec::new();
+    flipped.read_to_end(&mut buf).unwrap();
+
+    // A well-formed client still gets bit-identical service afterwards.
+    let mut good = NetClient::connect(addr).unwrap();
+    let y = good.request("op", &x).unwrap();
+    assert_eq!(y.as_slice(), y_ref.as_slice());
+    let stats = net.shutdown();
+    assert_eq!(stats.completed(), 1, "only the well-formed request was served");
+}
