@@ -73,5 +73,48 @@ fn bench_arena_reuse(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_query_layouts, bench_kernel_levels, bench_arena_reuse);
+/// The b = 1 serving path in isolation: `lut_gather` — the vectorized
+/// width-1 query realising the canonical 8-partial accumulation tree —
+/// per kernel level, over a full output column's worth of key rows
+/// (m rows × n/µ chunks, the inner loop `layout.rs` runs for width-1
+/// tiles). The end-to-end b = 1 numbers live in `arena_reuse` and
+/// `BENCH_simd.json`; this group isolates the gather body itself.
+fn bench_width1_gather(c: &mut Criterion) {
+    use biqgemm_core::simd::{lut_gather, supported_levels};
+    let mut group = c.benchmark_group("width1_gather");
+    group.sample_size(20);
+    let (m, n, mu) = (512usize, 512usize, 8usize);
+    let chunks = n / mu;
+    let table = 1usize << mu;
+    // One width-1 bank (chunk c's table at bank[c*table..][..table]) and a
+    // deterministic key row per output row — no Criterion-visible setup in
+    // the timed body.
+    let bank: Vec<f32> = (0..chunks * table)
+        .map(|i| ((i as u32).wrapping_mul(2654435761) >> 8) as f32 / 1e7 - 0.8)
+        .collect();
+    let keys: Vec<u16> = (0..m * chunks)
+        .map(|i| ((i as u32).wrapping_mul(40503) as usize >> 4) as u16 % table as u16)
+        .collect();
+    for level in supported_levels() {
+        let k = biqgemm_core::KernelRequest::Exact(level).resolve().expect("supported");
+        group.bench_function(level.name(), |bch| {
+            bch.iter(|| {
+                let mut acc = 0.0f32;
+                for row in keys.chunks_exact(chunks) {
+                    acc += lut_gather(black_box(&bank), table, row, k);
+                }
+                black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_query_layouts,
+    bench_kernel_levels,
+    bench_arena_reuse,
+    bench_width1_gather
+);
 criterion_main!(benches);

@@ -72,6 +72,49 @@ pub fn auto_reps<T>(
     n.clamp(min_reps, max_reps)
 }
 
+/// Median time of a fixed host-speed canary: a serially-dependent scalar
+/// multiply–add chain whose work never changes across commits. Because the
+/// workload is a latency-bound dependency chain, it cannot vectorise or
+/// reorder, so its runtime tracks only the host's current effective speed
+/// (frequency, steal time, co-tenant load). The ratio of the value measured
+/// at gate time to the value recorded next to the committed baselines is
+/// pure machine drift — `biq bench check` divides it out so a loaded or
+/// throttled host does not read as a code regression.
+///
+/// Median of several short passes (a few ms total): representative of the
+/// window, not of the single quietest instant.
+pub fn host_canary_ns() -> u128 {
+    canary_median(7)
+}
+
+/// A quicker [`host_canary_ns`] (median of 3 passes, a few ms): for
+/// bracketing individual gate measurements, where the canary must sample
+/// the *same moment* as the measurement it excuses — a burst of co-tenant
+/// load lasts seconds, so a nearby sample correlates and a run-level
+/// sample does not.
+pub fn host_canary_quick_ns() -> u128 {
+    canary_median(3)
+}
+
+fn canary_median(passes: usize) -> u128 {
+    fn pass() -> u128 {
+        // ~400k serial f32 mul+add pairs: bounded (growth factor over the
+        // whole chain is < 1.05), never denormal, and the loop-carried
+        // dependency defeats both vectorisation and reassociation.
+        let mut acc = 0.618_034_f32;
+        let t0 = Instant::now();
+        for _ in 0..400_000 {
+            acc = std::hint::black_box(acc) * 1.000_000_1 + 0.000_000_07;
+        }
+        std::hint::black_box(acc);
+        t0.elapsed().as_nanos()
+    }
+    pass(); // warmup
+    let mut times: Vec<u128> = (0..passes.max(1)).map(|_| pass()).collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -90,6 +133,11 @@ mod tests {
             std::thread::sleep(Duration::from_millis(10))
         });
         assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn host_canary_is_positive() {
+        assert!(host_canary_ns() > 0);
     }
 
     #[test]

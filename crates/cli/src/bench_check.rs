@@ -12,6 +12,13 @@
 //!
 //! * `biqgemm:<workload>` — the query-kernel median (`biqgemm_median_ns`)
 //!   per workload row, re-measured on the identical seeded workload;
+//! * `simd:<workload> <level>` — the **b = 1** query median per pinned
+//!   kernel level (`query_median_ns` from `BENCH_simd.json`); this is the
+//!   single-column serving latency the canonical-tree gather path exists
+//!   for, gated level by level so a regression in one body (say the AVX2
+//!   gather) cannot hide behind a faster Auto pick. Rows for levels this
+//!   host cannot run (a NEON baseline on x86) are skipped, as are b > 1
+//!   rows (those are covered by the `biqgemm:` workloads);
 //! * `serve:<mode>` — batched/unbatched serving throughput
 //!   (`throughput_rps`), re-replayed at the row's window/cap/workers;
 //! * `net:<mode>` — in-process vs remote loopback throughput.
@@ -19,13 +26,30 @@
 //! Noisy rows opt out with `--skip <substring>` (matched against the row
 //! key, e.g. `--skip serve:unbatched` or `--skip net:`). Missing baseline
 //! files are skipped silently — the gate only checks what is committed.
+//!
+//! **Host-drift normalization.** On shared or virtualised hosts the same
+//! binary can measure 2x apart minutes apart (co-tenant load, frequency,
+//! steal time), and the bursts are shorter than a gate run — a run-level
+//! correction misses the rows a burst actually hit. When
+//! `BENCH_host.json` is committed, the gate brackets **each fresh
+//! measurement** with quick samples of the identical fixed canary
+//! workload ([`host_canary_quick_ns`]), takes the worse bracket as that
+//! moment's host speed, and divides the drift vs the committed canary out
+//! of that row's fresh value before judging — a loaded machine is not a
+//! code regression. The factor is clamped at ≥ 1 (a faster host never
+//! loosens the gate in the other direction) and large per-row factors are
+//! printed, so a pass that leaned on drift is visible in the log.
 
 use crate::net_cmds::{cmd_net_bench, NetBenchConfig};
 use crate::serve_bench::{cmd_serve_bench, ServeBenchConfig};
 use crate::CliError;
-use biq_bench::timing::{auto_reps, measure};
+use biq_bench::timing::{auto_reps, host_canary_quick_ns, measure};
 use biq_bench::workloads::binary_workload;
-use biq_runtime::{compile, BackendSpec, Executor, PlanBuilder, QuantMethod, WeightSource};
+use biq_runtime::{
+    compile, BackendSpec, Executor, KernelLevel, KernelRequest, PlanBuilder, QuantMethod,
+    Threading, WeightSource,
+};
+use biqgemm_core::BiqConfig;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
@@ -293,6 +317,26 @@ pub enum GateStatus {
     Skipped,
 }
 
+/// The host-drift factor: how much slower the machine is right now than
+/// it was when the baselines were recorded, per the fixed canary workload.
+/// Clamped below at 1.0 — a *faster* host never tightens the gate (its
+/// fresh values are already flattered), only a slower one is excused.
+pub fn drift_factor(fresh_canary: f64, baseline_canary: f64) -> f64 {
+    (fresh_canary / baseline_canary.max(f64::MIN_POSITIVE)).max(1.0)
+}
+
+/// Divides pure machine drift out of the fresh measurements: time-like
+/// rows get faster by `drift`, throughput-like rows get proportionally
+/// higher. After this, `GateRow::regression` compares code against code.
+pub fn normalize_for_drift(rows: &mut [GateRow], drift: f64) {
+    for r in rows {
+        match r.direction {
+            Direction::LowerIsBetter => r.fresh /= drift,
+            Direction::HigherIsBetter => r.fresh *= drift,
+        }
+    }
+}
+
 /// Pure verdict step, separated from measurement so it unit-tests without
 /// running benches.
 pub fn judge(rows: &[GateRow], tolerance: f64, skips: &[String]) -> Vec<(GateRow, GateStatus)> {
@@ -342,7 +386,10 @@ fn row_str<'v>(row: &'v JsonValue, key: &str, file: &str) -> Result<&'v str, Cli
 }
 
 /// Fresh median of the planned BiQGEMM pass on the identical seeded
-/// workload `run_all` measured (same `binary_workload` seeds).
+/// workload `run_all` measured (same `binary_workload` seeds). Taken as
+/// the best of two measurement passes: the gate's job is to catch code
+/// regressions, and the min-of-medians discards one-sided scheduler noise
+/// (a busy neighbour can only ever make a pass slower, never faster).
 fn fresh_query_ns(m: usize, n: usize, b: usize) -> u128 {
     let w = binary_workload(m, n, b);
     let plan = PlanBuilder::new(m, n)
@@ -353,10 +400,41 @@ fn fresh_query_ns(m: usize, n: usize, b: usize) -> u128 {
     let mut exec = Executor::warmed_for(&op);
     let mut y = vec![0.0f32; m * b];
     let reps = auto_reps(Duration::from_millis(80), 3, 20, || exec.run_into(&op, &w.x, &mut y));
-    measure(1, reps, || exec.run_into(&op, &w.x, &mut y)).median.as_nanos()
+    (0..2)
+        .map(|_| measure(1, reps, || exec.run_into(&op, &w.x, &mut y)).median.as_nanos())
+        .min()
+        .expect("two passes")
 }
 
-fn gate_biqgemm(path: &Path, rows: &mut Vec<GateRow>) -> Result<(), CliError> {
+/// Runs one fresh measurement bracketed by quick canary samples: returns
+/// the measured value and the drift factor (≥ 1) of the *worse* bracket
+/// vs the committed canary. The worse side stands for the window because
+/// a load burst that overlaps the measurement must overlap at least one
+/// bracket, and a burst that hit neither did not hit the measurement
+/// either (bursts outlast these few-hundred-ms windows).
+fn with_drift<T>(canary_baseline: Option<f64>, f: impl FnOnce() -> T) -> (T, f64) {
+    let Some(base) = canary_baseline else {
+        return (f(), 1.0);
+    };
+    let before = host_canary_quick_ns() as f64;
+    let value = f();
+    let after = host_canary_quick_ns() as f64;
+    (value, drift_factor(before.max(after), base))
+}
+
+/// Normalizes freshly measured rows by a bracketing drift factor and
+/// reports when the factor is large enough to matter.
+fn push_normalized(rows: &mut Vec<GateRow>, mut fresh_rows: Vec<GateRow>, drift: f64) {
+    normalize_for_drift(&mut fresh_rows, drift);
+    if drift >= 1.15 {
+        for r in &fresh_rows {
+            println!("note: {key} measured under {drift:.2}x host drift — normalized", key = r.key);
+        }
+    }
+    rows.append(&mut fresh_rows);
+}
+
+fn gate_biqgemm(path: &Path, canary: Option<f64>, rows: &mut Vec<GateRow>) -> Result<(), CliError> {
     let text = std::fs::read_to_string(path)?;
     for row in parse_rows(&text)? {
         let workload = row_str(&row, "workload", "BENCH_biqgemm.json")?.to_string();
@@ -366,13 +444,72 @@ fn gate_biqgemm(path: &Path, rows: &mut Vec<GateRow>) -> Result<(), CliError> {
             row_f64(&row, "n", "BENCH_biqgemm.json")? as usize,
             row_f64(&row, "b", "BENCH_biqgemm.json")? as usize,
         );
-        let fresh = fresh_query_ns(m, n, b) as f64;
-        rows.push(GateRow {
+        let (fresh, drift) = with_drift(canary, || fresh_query_ns(m, n, b) as f64);
+        let fresh_row = GateRow {
             key: format!("biqgemm:{workload}"),
             baseline,
             fresh,
             direction: Direction::LowerIsBetter,
-        });
+        };
+        push_normalized(rows, vec![fresh_row], drift);
+    }
+    Ok(())
+}
+
+/// Fresh b = 1 query median with the kernel level pinned — the same
+/// serial-threaded construction `run_all`'s simd sweep uses, so the
+/// committed `query_median_ns` is directly comparable.
+fn fresh_level_query_ns(m: usize, n: usize, level: KernelLevel) -> u128 {
+    let w = binary_workload(m, n, 1);
+    let cfg = BiqConfig { kernel: KernelRequest::Exact(level), ..BiqConfig::default() };
+    let plan = PlanBuilder::new(m, n)
+        .batch_hint(1)
+        .backend(BackendSpec::Biq { bits: 1, method: QuantMethod::Greedy })
+        .threading(Threading::Serial)
+        .config(cfg)
+        .build();
+    let op = compile(&plan, WeightSource::Signs(&w.signs));
+    let mut exec = Executor::warmed_for(&op);
+    let mut y = vec![0.0f32; m];
+    let reps = auto_reps(Duration::from_millis(80), 3, 20, || exec.run_into(&op, &w.x, &mut y));
+    // Best of two passes, same rationale as `fresh_query_ns`.
+    (0..2)
+        .map(|_| measure(1, reps, || exec.run_into(&op, &w.x, &mut y)).median.as_nanos())
+        .min()
+        .expect("two passes")
+}
+
+/// Gates the `BENCH_simd.json` b = 1 rows: single-column query latency per
+/// pinned kernel level. Levels the host cannot run are skipped (baselines
+/// travel between machines); b > 1 rows are left to the `biqgemm:` gate.
+fn gate_simd(path: &Path, canary: Option<f64>, rows: &mut Vec<GateRow>) -> Result<(), CliError> {
+    let text = std::fs::read_to_string(path)?;
+    for row in parse_rows(&text)? {
+        let b = row_f64(&row, "b", "BENCH_simd.json")? as usize;
+        if b != 1 {
+            continue;
+        }
+        let level_name = row_str(&row, "level", "BENCH_simd.json")?;
+        let Some(level) = KernelLevel::parse(level_name) else {
+            return Err(CliError(format!("BENCH_simd.json: unknown kernel level '{level_name}'")));
+        };
+        if !level.is_supported() {
+            continue;
+        }
+        let workload = row_str(&row, "workload", "BENCH_simd.json")?.to_string();
+        let baseline = row_f64(&row, "query_median_ns", "BENCH_simd.json")?;
+        let (m, n) = (
+            row_f64(&row, "m", "BENCH_simd.json")? as usize,
+            row_f64(&row, "n", "BENCH_simd.json")? as usize,
+        );
+        let (fresh, drift) = with_drift(canary, || fresh_level_query_ns(m, n, level) as f64);
+        let fresh_row = GateRow {
+            key: format!("simd:{workload} {level_name}"),
+            baseline,
+            fresh,
+            direction: Direction::LowerIsBetter,
+        };
+        push_normalized(rows, vec![fresh_row], drift);
     }
     Ok(())
 }
@@ -398,6 +535,7 @@ fn require_homogeneous(rows: &[JsonValue], keys: &[&str], file: &str) -> Result<
 fn gate_serve(
     path: &Path,
     cfg: &BenchCheckConfig,
+    canary: Option<f64>,
     rows: &mut Vec<GateRow>,
 ) -> Result<(), CliError> {
     let text = std::fs::read_to_string(path)?;
@@ -432,23 +570,31 @@ fn gate_serve(
     }
     let out =
         std::env::temp_dir().join(format!("biq_bench_check_serve_{}.json", std::process::id()));
-    let fresh = cmd_serve_bench(&bench, None, &out)?;
+    let (fresh, drift) = with_drift(canary, || cmd_serve_bench(&bench, None, &out));
+    let fresh = fresh?;
     let _ = std::fs::remove_file(&out);
+    let mut fresh_rows = Vec::new();
     for row in &baseline_rows {
         let mode = row_str(row, "mode", "BENCH_serve.json")?;
         let baseline = row_f64(row, "throughput_rps", "BENCH_serve.json")?;
         let Some(f) = fresh.iter().find(|f| f.mode == mode) else { continue };
-        rows.push(GateRow {
+        fresh_rows.push(GateRow {
             key: format!("serve:{mode}"),
             baseline,
             fresh: f.throughput_rps,
             direction: Direction::HigherIsBetter,
         });
     }
+    push_normalized(rows, fresh_rows, drift);
     Ok(())
 }
 
-fn gate_net(path: &Path, cfg: &BenchCheckConfig, rows: &mut Vec<GateRow>) -> Result<(), CliError> {
+fn gate_net(
+    path: &Path,
+    cfg: &BenchCheckConfig,
+    canary: Option<f64>,
+    rows: &mut Vec<GateRow>,
+) -> Result<(), CliError> {
     let text = std::fs::read_to_string(path)?;
     let baseline_rows = parse_rows(&text)?;
     let mut bench = NetBenchConfig { requests: cfg.requests, ..NetBenchConfig::default() };
@@ -466,44 +612,71 @@ fn gate_net(path: &Path, cfg: &BenchCheckConfig, rows: &mut Vec<GateRow>) -> Res
         bench.max_batch_cols = row_f64(row, "max_batch_cols", "BENCH_net.json")? as usize;
     }
     let out = std::env::temp_dir().join(format!("biq_bench_check_net_{}.json", std::process::id()));
-    let fresh = cmd_net_bench(&bench, &out)?;
+    let (fresh, drift) = with_drift(canary, || cmd_net_bench(&bench, &out));
+    let fresh = fresh?;
     let _ = std::fs::remove_file(&out);
+    let mut fresh_rows = Vec::new();
     for row in &baseline_rows {
         let mode = row_str(row, "mode", "BENCH_net.json")?;
         let baseline = row_f64(row, "throughput_rps", "BENCH_net.json")?;
         let Some(f) = fresh.iter().find(|f| f.mode == mode) else { continue };
-        rows.push(GateRow {
+        fresh_rows.push(GateRow {
             key: format!("net:{mode}"),
             baseline,
             fresh: f.throughput_rps,
             direction: Direction::HigherIsBetter,
         });
     }
+    push_normalized(rows, fresh_rows, drift);
     Ok(())
+}
+
+/// Reads the committed canary median from `BENCH_host.json`.
+fn read_canary_ns(path: &Path) -> Result<f64, CliError> {
+    let text = std::fs::read_to_string(path)?;
+    let rows = parse_rows(&text)?;
+    let row = rows.first().ok_or_else(|| CliError("BENCH_host.json: empty record".into()))?;
+    row_f64(row, "canary_ns", "BENCH_host.json")
 }
 
 /// `biq bench check`: re-measures every comparable committed baseline row
 /// and returns the per-row verdicts (the caller prints and decides the
 /// exit code). Missing baseline files are skipped; an empty result set is
-/// an error (the gate must gate something).
+/// an error (the gate must gate something). With `BENCH_host.json`
+/// committed, every fresh measurement is bracketed by host-speed canary
+/// samples and its row is drift-normalized (module docs).
 pub fn cmd_bench_check(cfg: &BenchCheckConfig) -> Result<Vec<(GateRow, GateStatus)>, CliError> {
+    let host = cfg.dir.join("BENCH_host.json");
+    let canary = if host.exists() {
+        let baseline = read_canary_ns(&host)?;
+        println!(
+            "host canary baseline {baseline:.0} ns — per-measurement drift normalization active"
+        );
+        Some(baseline)
+    } else {
+        None
+    };
     let mut rows = Vec::new();
     let biqgemm = cfg.dir.join("BENCH_biqgemm.json");
     if biqgemm.exists() {
-        gate_biqgemm(&biqgemm, &mut rows)?;
+        gate_biqgemm(&biqgemm, canary, &mut rows)?;
+    }
+    let simd = cfg.dir.join("BENCH_simd.json");
+    if simd.exists() {
+        gate_simd(&simd, canary, &mut rows)?;
     }
     let serve = cfg.dir.join("BENCH_serve.json");
     if serve.exists() {
-        gate_serve(&serve, cfg, &mut rows)?;
+        gate_serve(&serve, cfg, canary, &mut rows)?;
     }
     let net = cfg.dir.join("BENCH_net.json");
     if net.exists() {
-        gate_net(&net, cfg, &mut rows)?;
+        gate_net(&net, cfg, canary, &mut rows)?;
     }
     if rows.is_empty() {
         return Err(CliError(format!(
             "no comparable baselines under {:?} (expected BENCH_biqgemm.json / \
-             BENCH_serve.json / BENCH_net.json)",
+             BENCH_simd.json / BENCH_serve.json / BENCH_net.json)",
             cfg.dir
         )));
     }
@@ -589,6 +762,37 @@ mod tests {
     }
 
     #[test]
+    fn drift_normalization_excuses_slow_hosts_but_not_fast_ones() {
+        // Host measured 2x slower than at baseline time: excused in full.
+        assert!((drift_factor(2_000_000.0, 1_000_000.0) - 2.0).abs() < 1e-9);
+        // Host faster than at baseline time: clamped — no extra strictness
+        // (and no leniency) in either direction.
+        assert!((drift_factor(500_000.0, 1_000_000.0) - 1.0).abs() < 1e-9);
+        let mut rows = vec![
+            GateRow {
+                key: "biqgemm:time".into(),
+                baseline: 100.0,
+                fresh: 190.0,
+                direction: Direction::LowerIsBetter,
+            },
+            GateRow {
+                key: "serve:thru".into(),
+                baseline: 50_000.0,
+                fresh: 26_000.0,
+                direction: Direction::HigherIsBetter,
+            },
+        ];
+        // Both rows look regressed raw; at 2x host drift both are machine
+        // noise, and the normalized rows pass the default tolerance.
+        normalize_for_drift(&mut rows, 2.0);
+        assert!((rows[0].fresh - 95.0).abs() < 1e-9, "time-like: divided by drift");
+        assert!((rows[1].fresh - 52_000.0).abs() < 1e-9, "throughput-like: multiplied");
+        let verdicts = judge(&rows, 1.5, &[]);
+        assert_eq!(verdicts[0].1, GateStatus::Ok);
+        assert_eq!(verdicts[1].1, GateStatus::Ok);
+    }
+
+    #[test]
     fn check_runs_end_to_end_against_a_tiny_baseline_dir() {
         // A self-consistent micro-baseline: measure once, write it as the
         // committed record, then the gate must pass at a lax tolerance.
@@ -612,6 +816,51 @@ mod tests {
         assert_eq!(verdicts.len(), 1);
         assert_eq!(verdicts[0].0.key, "biqgemm:m=32 n=32 b=1");
         assert_eq!(verdicts[0].1, GateStatus::Ok);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn simd_gate_checks_b1_rows_per_level_and_skips_foreign_ones() {
+        let dir = std::env::temp_dir().join(format!("biq_gate_simd_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Self-consistent scalar row, a row for a level this host cannot
+        // run (opposite ISA family), and a b = 8 row that the simd gate
+        // must leave to the biqgemm gate.
+        let ns = fresh_level_query_ns(32, 32, KernelLevel::Scalar);
+        let foreign =
+            if KernelLevel::Neon.is_supported() { KernelLevel::Avx2 } else { KernelLevel::Neon };
+        std::fs::write(
+            dir.join("BENCH_simd.json"),
+            format!(
+                "[\n  {{\"workload\": \"m=32 n=32 b=1\", \"m\": 32, \"n\": 32, \"b\": 1, \
+                 \"level\": \"scalar\", \"query_median_ns\": {ns}}},\n  \
+                 {{\"workload\": \"m=32 n=32 b=1\", \"m\": 32, \"n\": 32, \"b\": 1, \
+                 \"level\": \"{}\", \"query_median_ns\": 1}},\n  \
+                 {{\"workload\": \"m=32 n=32 b=8\", \"m\": 32, \"n\": 32, \"b\": 8, \
+                 \"level\": \"scalar\", \"query_median_ns\": 1}}\n]\n",
+                foreign.name()
+            ),
+        )
+        .unwrap();
+        let cfg = BenchCheckConfig {
+            dir: dir.clone(),
+            tolerance: 25.0, // debug-build jitter; the row selection is under test
+            ..BenchCheckConfig::default()
+        };
+        let verdicts = cmd_bench_check(&cfg).unwrap();
+        assert_eq!(verdicts.len(), 1, "foreign-level and b=8 rows must not gate");
+        assert_eq!(verdicts[0].0.key, "simd:m=32 n=32 b=1 scalar");
+        assert_eq!(verdicts[0].1, GateStatus::Ok);
+
+        // An unknown level name is a corrupt baseline, not a skip.
+        std::fs::write(
+            dir.join("BENCH_simd.json"),
+            r#"[{"workload": "m=32 n=32 b=1", "m": 32, "n": 32, "b": 1,
+                 "level": "sse9", "query_median_ns": 1}]"#,
+        )
+        .unwrap();
+        let err = cmd_bench_check(&cfg).unwrap_err();
+        assert!(err.0.contains("unknown kernel level"), "{err}");
         let _ = std::fs::remove_dir_all(dir);
     }
 

@@ -31,10 +31,11 @@ MODEL PIPELINE (BIQM compiled-model artifacts):
 SERVING:
   biq serve-bench [--model ARTIFACT] [--rows M] [--cols N] [--requests R]
                   [--workers W] [--window-us U] [--max-batch B] [--gap-us G]
-                  [--kernel auto|scalar|avx2|avx512|neon] [--quick] [--out PATH]
+                  [--pin-workers] [--kernel auto|scalar|avx2|avx512|neon]
+                  [--quick] [--out PATH]
   biq serve       --model ARTIFACT --addr HOST:PORT [--workers W]
                   [--window-us U] [--max-batch B] [--queue-cap Q]
-                  [--kernel auto|scalar|avx2|avx512|neon]
+                  [--pin-workers] [--kernel auto|scalar|avx2|avx512|neon]
   biq load-client --addr HOST:PORT [--op NAME] [--requests R]
                   [--concurrency C] [--seed S] [--pipeline P]
   biq net-bench   [--requests R] [--workers W] [--concurrency C]
@@ -265,6 +266,7 @@ fn run() -> Result<(), CliError> {
             if args.has("gap-us") {
                 cfg.gap = Duration::from_micros(args.usize_flag("gap-us")? as u64);
             }
+            cfg.pin_workers = args.has("pin-workers");
             let model = args.flag("model").map(PathBuf::from);
             if model.is_some() && (args.has("rows") || args.has("cols")) {
                 return Err(CliError(
@@ -316,6 +318,7 @@ fn run() -> Result<(), CliError> {
             if args.has("queue-cap") {
                 cfg.queue_capacity = args.usize_flag("queue-cap")?.max(1);
             }
+            cfg.pin_workers = args.has("pin-workers");
             cmd_serve(&model, addr, &cfg)?;
         }
         "load-client" => {

@@ -187,11 +187,20 @@ pub fn cmd_inspect(path: &Path) -> Result<String, CliError> {
             .resolve()
             .map(|k| k.level())
             .map_err(|e| CliError(format!("{path:?}: {e}")))?;
-        let kernel = if resolved == l.kernel {
+        let mut kernel = if resolved == l.kernel {
             format!("kernel={}", l.kernel.name())
         } else {
             format!("kernel={}→{}", l.kernel.name(), resolved.name())
         };
+        // When the layer runs a level below this host's best, say why if
+        // the plan-time shape heuristic explains it (Auto's b=1 clamp).
+        if let Some((clamped, why)) =
+            biqgemm_core::planner::auto_width1_clamp(l.batch_hint, biqgemm_core::host_best())
+        {
+            if resolved == clamped {
+                kernel.push_str(&format!(" ({why})"));
+            }
+        }
         out.push_str(&format!(
             "  {:<16} {:>5}x{:<5} {:?} µ={} batch_hint={} {}{}{}\n",
             l.name,

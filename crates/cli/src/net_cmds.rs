@@ -40,6 +40,8 @@ pub struct DaemonConfig {
     pub max_batch_cols: usize,
     /// Submit-queue capacity (full ⇒ `Busy` reject frames).
     pub queue_capacity: usize,
+    /// Pin worker `i` to core `i % cpu_count()` (`--pin-workers`).
+    pub pin_workers: bool,
 }
 
 impl Default for DaemonConfig {
@@ -49,6 +51,7 @@ impl Default for DaemonConfig {
             window: Duration::from_micros(200),
             max_batch_cols: 16,
             queue_capacity: 1024,
+            pin_workers: false,
         }
     }
 }
@@ -61,6 +64,7 @@ impl DaemonConfig {
             batch_window: self.window,
             max_batch_cols: self.max_batch_cols,
             job_capacity: (self.workers * 2).max(2),
+            pin_workers: self.pin_workers,
         }
     }
 }
@@ -92,11 +96,12 @@ pub fn start_daemon(
 pub fn cmd_serve(model: &Path, addr: &str, cfg: &DaemonConfig) -> Result<(), CliError> {
     let (net, ids) = start_daemon(model, addr, cfg)?;
     eprintln!(
-        "serving {} ops from {} at {} ({} workers, window {} us, max batch {})",
+        "serving {} ops from {} at {} ({} workers{}, window {} us, max batch {})",
         ids.len(),
         model.display(),
         net.local_addr(),
         cfg.workers,
+        if cfg.pin_workers { ", pinned" } else { "" },
         cfg.window.as_micros(),
         cfg.max_batch_cols,
     );
@@ -512,6 +517,7 @@ fn daemon_config(cfg: &NetBenchConfig) -> DaemonConfig {
         window: cfg.window,
         max_batch_cols: cfg.max_batch_cols,
         queue_capacity: cfg.requests.max(16),
+        pin_workers: false,
     }
 }
 

@@ -33,6 +33,8 @@ pub struct ServeBenchConfig {
     pub max_batch_cols: usize,
     /// Pause between submissions (0 = saturate).
     pub gap: Duration,
+    /// Pin worker threads to cores (`--pin-workers`).
+    pub pin_workers: bool,
 }
 
 impl Default for ServeBenchConfig {
@@ -45,6 +47,7 @@ impl Default for ServeBenchConfig {
             window: Duration::from_micros(200),
             max_batch_cols: 16,
             gap: Duration::ZERO,
+            pin_workers: false,
         }
     }
 }
@@ -129,6 +132,7 @@ fn replay(
             max_batch_cols: max_cols,
             queue_capacity: cfg.requests.max(16),
             job_capacity: (cfg.workers * 2).max(2),
+            pin_workers: cfg.pin_workers,
         },
     );
     let client = server.client();

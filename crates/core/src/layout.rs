@@ -105,6 +105,25 @@ impl LutBank {
         if self.data.len() < needed {
             self.data.resize(needed, 0.0);
         }
+        // GEMV fast path: with one live batch column the KeyMajor and
+        // BatchMajor layouts coincide (entry (c, key) at c·2^µ + key), so
+        // every chunk is a contiguous single-table DP build. One timing
+        // scope around the whole loop — clock reads per *tile*, not per
+        // chunk, which matters for small-µ banks on virtualised hosts
+        // where each `Instant::now()` is a paravirtual clock read.
+        if nb == 1 && method == LutBuildMethod::DynamicProgramming {
+            let table = self.table;
+            let data = &mut self.data;
+            profile.time_build(|| {
+                for c in 0..num_chunks {
+                    let sub = input.chunk(batch_start, chunk_start + c);
+                    let len = 1usize << sub.len();
+                    let off = c * table;
+                    build_lut_dp_level(sub, &mut data[off..off + len], k);
+                }
+            });
+            return;
+        }
         for c in 0..num_chunks {
             match self.layout {
                 LutLayout::BatchMajor => {
@@ -117,18 +136,8 @@ impl LutBank {
                     }
                 }
                 LutLayout::KeyMajor => match method {
-                    // With one live batch column the KeyMajor and
-                    // BatchMajor layouts coincide (entry (c, key) at
-                    // c·2^µ + key), so the contiguous single-table DP
-                    // build applies directly — no per-row 1-lane vector
-                    // calls.
-                    LutBuildMethod::DynamicProgramming if nb == 1 => {
-                        let sub = input.chunk(batch_start, chunk_start + c);
-                        let len = 1usize << sub.len();
-                        let off = c * self.table;
-                        let dst = &mut self.data[off..off + len];
-                        profile.time_build(|| build_lut_dp_level(sub, dst, k));
-                    }
+                    // nb == 1 DP was handled by the contiguous fast path
+                    // above; here nb ≥ 2.
                     LutBuildMethod::DynamicProgramming => {
                         self.build_key_major_batched(
                             input,
@@ -253,26 +262,59 @@ impl LutBank {
 
     /// Single-batch gather: with `nb == 1` both layouts store entry
     /// `(chunk c, key)` at `c·2^µ + key`; sums the entries selected by one
-    /// key row in **strictly ascending chunk order** — the same per-lane
-    /// accumulation order as [`LutBank::query_fused`], so a column packed
-    /// into a width-1 batch tile rounds bit-for-bit like one packed into
-    /// any wider tile (batch-packing invariance; `batch_invariance.rs`
-    /// pins it). An unrolled multi-accumulator tree was measurably faster
-    /// here but broke that invariance on real-valued inputs.
+    /// key row in the **canonical accumulation-tree order** at the
+    /// resolved kernel level `k` — see [`crate::simd::lut_gather`]. That
+    /// is the same per-lane order as [`LutBank::query_fused`], so a column
+    /// packed into a width-1 batch tile rounds bit-for-bit like one packed
+    /// into any wider tile (batch-packing invariance;
+    /// `batch_invariance.rs` pins it) — and because the tree *is* the
+    /// natural SIMD shape, the b = 1 path is fast again instead of paying
+    /// for that invariance with a sequential chain.
     ///
     /// # Panics
     /// Debug-panics unless exactly one batch column is resident.
     #[inline]
-    pub fn gather_scalar(&self, keys: &[u16]) -> f32 {
+    pub fn gather(&self, keys: &[u16], k: ResolvedKernel) -> f32 {
         debug_assert_eq!(self.nb, 1);
         debug_assert!(keys.len() <= self.num_chunks);
-        let table = self.table;
-        let data = &self.data[..self.num_chunks * table];
-        let mut acc = 0.0f32;
-        for (c, &k) in keys.iter().enumerate() {
-            acc += data[c * table + k as usize];
-        }
-        acc
+        simd::lut_gather(&self.data[..self.num_chunks * self.table], self.table, keys, k)
+    }
+
+    /// Row-batched single-batch gather: for each row `i` of the key slab,
+    /// `y[i · y_stride] += scales[i] · gather(row_i)` — row for row the
+    /// identical canonical-tree sum as [`LutBank::gather`], but dispatched
+    /// and validated once per row tile instead of once per output row,
+    /// with consecutive rows' gathers interleaved on x86. This is the
+    /// b = 1 serving hot loop; see [`crate::simd::lut_gather_rows`].
+    ///
+    /// # Panics
+    /// Debug-panics unless exactly one batch column is resident; panics on
+    /// slab/output geometry mismatches per the kernel dispatcher.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    pub fn gather_rows(
+        &self,
+        keys: &[u16],
+        key_stride: usize,
+        nc: usize,
+        scales: &[f32],
+        y: &mut [f32],
+        y_stride: usize,
+        k: ResolvedKernel,
+    ) {
+        debug_assert_eq!(self.nb, 1);
+        debug_assert!(nc <= self.num_chunks);
+        simd::lut_gather_rows(
+            y,
+            y_stride,
+            scales,
+            &self.data[..self.num_chunks * self.table],
+            self.table,
+            keys,
+            key_stride,
+            nc,
+            k,
+        );
     }
 
     /// Fused Algorithm 2 query for one key row (KeyMajor):

@@ -95,5 +95,5 @@ pub use config::{BiqConfig, LutBuildMethod, LutLayout, Schedule};
 pub use kernel::BiqGemm;
 pub use parallel::ParallelArena;
 pub use profile::PhaseProfile;
-pub use simd::{KernelError, KernelLevel, KernelRequest, ResolvedKernel, KERNEL_ENV};
+pub use simd::{host_best, KernelError, KernelLevel, KernelRequest, ResolvedKernel, KERNEL_ENV};
 pub use weights::BiqWeights;

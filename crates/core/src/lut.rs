@@ -54,12 +54,13 @@ pub fn build_lut_dp_level(x: &[f32], out: &mut [f32], k: ResolvedKernel) {
         let (lo, hi) = out.split_at_mut(1 << t);
         simd::broadcast_add(&mut hi[..1 << t], &lo[..1 << t], step, k);
     }
-    // Mirror: complementing every sign negates the sum (reversed access,
-    // bandwidth-bound — left to the scalar loop on every level).
+    // Mirror: complementing every sign negates the sum. Entry `2^L − i`
+    // is `−out[i − 1]`, i.e. the upper half is the reversed negated lower
+    // half — a vectorised sign-flip at the resolved level (negation and
+    // lane permutes move bits untouched, so this stays bit-exact).
     let half = 1usize << (l - 1);
-    for i in 1..=half {
-        out[(1 << l) - i] = -out[i - 1];
-    }
+    let (lo, hi) = out.split_at_mut(half);
+    simd::negate_rows_reversed(hi, lo, 1, k);
 }
 
 /// Brute-force table construction (`q[k] = ⟨pattern(k), x⟩` one dot product

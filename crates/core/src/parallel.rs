@@ -295,6 +295,13 @@ fn shared_lut(
                         let out_row = r % m;
                         let yoff = (out_row - row0) * b + b0;
                         let krow = &keys.key_row(r)[c0..c0 + nc];
+                        if nb == 1 {
+                            // Width-1 tile: both layouts coincide, and the
+                            // canonical-order gather is the fast (and
+                            // bit-identical) form of the fused query.
+                            yblock[yoff] += scale * simd::lut_gather(bank, table, krow, kernel);
+                            continue;
+                        }
                         match cfg.layout {
                             LutLayout::KeyMajor => {
                                 simd::lut_query_fused(
@@ -308,13 +315,16 @@ fn shared_lut(
                                 );
                             }
                             LutLayout::BatchMajor => {
+                                // Per-element gather in the canonical tree
+                                // order, matching the fused kernel bit for
+                                // bit.
                                 let yrow = &mut yblock[yoff..yoff + nb];
                                 for (a, yv) in yrow.iter_mut().enumerate() {
-                                    let mut s = 0.0f32;
+                                    let mut s = simd::TreeAccumulator::new();
                                     for (ci, &key) in krow.iter().enumerate() {
-                                        s += bank[(ci * nb + a) * table + key as usize];
+                                        s.push(bank[(ci * nb + a) * table + key as usize]);
                                     }
-                                    *yv += scale * s;
+                                    *yv += scale * s.finish();
                                 }
                             }
                         }

@@ -14,6 +14,7 @@
 
 use crate::complexity::optimal_mu;
 use crate::config::{BiqConfig, Schedule};
+use crate::simd::KernelLevel;
 
 /// Default LUT budget: half of a typical 1 MiB L2.
 pub const DEFAULT_LUT_BUDGET_BYTES: usize = 512 * 1024;
@@ -89,6 +90,34 @@ pub fn choose_schedule(m: usize, mu: usize) -> Schedule {
         Schedule::RowParallel
     } else {
         Schedule::SharedLut
+    }
+}
+
+/// Shape-aware refinement of an `Auto` kernel pick: at `batch_hint == 1`
+/// the query runs the width-1 gather ([`crate::simd::lut_gather`]), whose
+/// canonical accumulation tree is [`crate::simd::ACC_TREE_WIDTH`] = 8 lanes
+/// wide — exactly one 256-bit register. 512-bit gathers buy nothing there
+/// (the AVX-512 arm already delegates to the 256-bit body), while the wider
+/// unit costs frequency headroom on many parts, so `BENCH_simd` shows
+/// AVX-512 level-neutral-or-worse at b = 1. Returns the level Auto should
+/// pin instead, with a stable human-readable reason, or `None` to keep the
+/// host-best pick.
+///
+/// Callers apply this only to [`crate::KernelRequest::Auto`] with no
+/// [`crate::simd::KERNEL_ENV`] override in force ([`crate::simd::env_override_active`]);
+/// `Exact`/`AtMost` requests and forced levels must mean what they say.
+pub fn auto_width1_clamp(
+    batch_hint: usize,
+    picked: KernelLevel,
+) -> Option<(KernelLevel, &'static str)> {
+    if batch_hint == 1 && picked == KernelLevel::Avx512 && KernelLevel::Avx2.is_supported() {
+        Some((
+            KernelLevel::Avx2,
+            "b=1 gather path: the 8-lane canonical tree fills one 256-bit register, \
+             so avx512 is level-neutral-or-worse at width 1; auto picks avx2",
+        ))
+    } else {
+        None
     }
 }
 
@@ -198,5 +227,23 @@ mod runtime_planning_tests {
     fn schedule_follows_query_vs_build_balance() {
         assert_eq!(choose_schedule(4096, 8), Schedule::RowParallel);
         assert_eq!(choose_schedule(100, 8), Schedule::SharedLut);
+    }
+
+    #[test]
+    fn width1_clamp_demotes_only_avx512_at_batch_one() {
+        // The clamp targets exactly (b = 1, avx512): batched shapes keep
+        // the host-best pick, and the other levels are never touched.
+        match auto_width1_clamp(1, KernelLevel::Avx512) {
+            Some((lvl, why)) if KernelLevel::Avx2.is_supported() => {
+                assert_eq!(lvl, KernelLevel::Avx2);
+                assert!(why.contains("b=1"), "{why}");
+            }
+            Some(_) => panic!("clamp must not fire when avx2 is unsupported"),
+            None => assert!(!KernelLevel::Avx2.is_supported()),
+        }
+        assert_eq!(auto_width1_clamp(2, KernelLevel::Avx512), None);
+        assert_eq!(auto_width1_clamp(1, KernelLevel::Avx2), None);
+        assert_eq!(auto_width1_clamp(1, KernelLevel::Scalar), None);
+        assert_eq!(auto_width1_clamp(1, KernelLevel::Neon), None);
     }
 }

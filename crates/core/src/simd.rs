@@ -39,6 +39,9 @@
 //!   under the Fig. 6 layout: for one key row, gather each chunk's
 //!   contiguous batch vector, accumulate in registers, and apply the
 //!   per-row scale in the same pass (no accumulator buffer round-trip);
+//! * [`lut_gather`] — the width-1 form of the same query: strided loads of
+//!   `bank[c·2^µ + keys[c]]` into vector lanes (a hardware gather on
+//!   AVX2/AVX-512), the latency path of the paper's b = 1 serving regime;
 //! * [`dp_step_add_rows`] / [`negate_rows_reversed`] — the µ-wide vector adds and the mirror
 //!   negation of the batched Algorithm 1 LUT build (KeyMajor layout);
 //! * [`broadcast_add`] — the scalar-step DP recurrence of the single-table
@@ -46,22 +49,57 @@
 //! * [`add_assign`] / [`axpy`] — the original elementwise primitives, kept
 //!   for callers outside the fused path.
 //!
-//! ## Bit-exactness contract
+//! ## Bit-exactness and the canonical accumulation order
 //!
 //! Every level of every primitive performs the same floating-point
 //! operations in the same per-element order as the scalar form, and no
-//! path contracts multiply-add into FMA. Property tests
-//! (`tests/kernel_levels.rs` here, in `biq_gemm`, and in `biq_runtime`)
-//! assert bit-exact equality of every supported level against scalar
-//! across random shapes, µ values and ragged tails.
+//! path contracts multiply-add into FMA.
+//!
+//! For the chunk-accumulation kernels ([`lut_query_fused`],
+//! [`lut_gather`]) the specified per-element order is the **canonical
+//! accumulation tree**, chosen so the natural SIMD shape *is* the
+//! contract rather than a pessimisation of it:
+//!
+//! * each output element keeps [`ACC_TREE_WIDTH`] = 8 partial sums; the
+//!   looked-up value of chunk `ci` is added to partial `ci % 8`, so the
+//!   values within one residue class accumulate in ascending chunk order;
+//! * the partials then fold in one fixed pairwise tree:
+//!   `p[i] += p[i+4]` for `i = 0..4`, then `p[i] += p[i+2]` for
+//!   `i = 0..2`, then `p[0] += p[1]`; `p[0]` is the sum.
+//!
+//! That is exactly the register shape of an 8-lane strided gather over
+//! chunks (lane `j` ends up holding partial `j`, and the fold is the
+//! standard horizontal-add ladder), and the batched fused kernels keep 8
+//! accumulator *vectors* per lane group so every batch lane sees the same
+//! per-element order. Scalar bodies emulate the tree with an 8-slot
+//! array; [`TreeAccumulator`] is the reference implementation for
+//! accumulation loops outside these dispatchers (e.g. the BatchMajor
+//! per-element query). Because scalar, every SIMD level, the width-1
+//! gather and the batched kernel all realise this one order, cross-level
+//! bit-exactness **and** batch-packing invariance (a column rounds
+//! identically however it is packed into batch tiles) hold by
+//! construction instead of by forcing the slow sequential order
+//! everywhere.
+//!
+//! History: through PR 5 the contract was a strictly sequential
+//! ascending-chunk sum, which made b = 1 latency pay for invariance; PR 6
+//! redefined the canonical order as the tree above — an intentional,
+//! documented bit-level change, re-pinned by the regenerated golden
+//! suites. Property tests (`tests/kernel_levels.rs` and
+//! `tests/batch_invariance.rs` here, plus suites in `biq_gemm` and
+//! `biq_runtime`) assert bit-exact equality of every supported level
+//! against scalar across random shapes, µ values and ragged tails.
 //!
 //! ## Adding a new ISA
 //!
 //! 1. add the variant to [`KernelLevel`] (`name`/`parse`/`rank`), teach
 //!    [`KernelLevel::is_supported`] and [`host_best`] to detect it;
 //! 2. implement the primitives in a `#[cfg(target_arch = …)]` submodule,
-//!    preserving the per-element operation order (no FMA), and add the
-//!    cfg-gated arms to the `dispatch!` macro uses;
+//!    preserving the per-element operation order — for [`lut_query_fused`]
+//!    and [`lut_gather`] that means the canonical accumulation tree above
+//!    (delegate to the scalar emulation first, vectorise after), never FMA
+//!    contraction — and add the cfg-gated arms to the `dispatch!` macro
+//!    uses;
 //! 3. extend the manifest codec in `biq_artifact` (one new level byte) and
 //!    the CLI `--kernel` parser — rank ordering decides what the artifact
 //!    loader falls back to on hosts without the new ISA;
@@ -296,6 +334,13 @@ fn require_supported(l: KernelLevel, what: &str) -> Result<KernelLevel, KernelEr
     }
 }
 
+/// Whether a [`KERNEL_ENV`] override is in force (set, non-empty, and not
+/// `auto`). Plan-time heuristics consult this to stand down: a forced level
+/// must reach every plan untouched, including shape-aware Auto refinements.
+pub fn env_override_active() -> bool {
+    matches!(std::env::var(KERNEL_ENV), Ok(v) if !v.is_empty() && v != "auto")
+}
+
 fn env_override() -> Result<Option<KernelLevel>, KernelError> {
     match std::env::var(KERNEL_ENV) {
         Ok(v) if !v.is_empty() && v != "auto" => {
@@ -443,9 +488,10 @@ pub fn broadcast_add(dst: &mut [f32], src: &[f32], step: f32, k: ResolvedKernel)
 ///
 /// `bank` is a KeyMajor tile base: chunk `ci`'s table starts at
 /// `ci · table · nb`, each of its `table = 2^µ` entries is a contiguous
-/// `nb`-float batch vector. Every level sums chunks in ascending `ci`
-/// order per batch lane and rounds the final multiply-add in two steps, so
-/// all levels agree bit for bit.
+/// `nb`-float batch vector. Every level accumulates each batch lane in the
+/// canonical tree order (see the module docs) and rounds the final
+/// multiply-add in two steps, so all levels — and [`lut_gather`] at
+/// `nb == 1` — agree bit for bit.
 ///
 /// # Panics
 /// Panics when `y.len() < nb`, the bank is too short for the key row, or a
@@ -473,6 +519,93 @@ pub fn lut_query_fused(
         avx2::lut_query_fused(y, scale, bank, table, nb, keys),
         avx512::lut_query_fused(y, scale, bank, table, nb, keys),
         neon::lut_query_fused(y, scale, bank, table, nb, keys)
+    )
+}
+
+/// The width-1 query kernel: `Σ_ci bank[ci·table + keys[ci]]` in the
+/// canonical accumulation-tree order (see the module docs) — the b = 1
+/// latency path, where the KeyMajor and BatchMajor layouts coincide.
+///
+/// On AVX2/AVX-512 the strided lookups become one hardware gather per 8
+/// chunks (the AVX-512 arm runs the 256-bit body: the canonical tree is 8
+/// lanes wide, so 512-bit gathers buy nothing at width 1); NEON runs the
+/// scalar emulation. All levels — and [`lut_query_fused`] at `nb == 1` —
+/// agree bit for bit.
+///
+/// # Panics
+/// Panics when the bank is too short for the key row or a key exceeds the
+/// table.
+#[inline]
+pub fn lut_gather(bank: &[f32], table: usize, keys: &[u16], k: ResolvedKernel) -> f32 {
+    assert!(bank.len() >= keys.len() * table, "bank shorter than the key row needs");
+    let max_key = keys.iter().fold(0u16, |m, &v| m.max(v));
+    assert!(keys.is_empty() || (max_key as usize) < table, "key {max_key} out of table");
+    // The x86 gather computes entry offsets in i32 lanes.
+    #[cfg(target_arch = "x86_64")]
+    assert!(bank.len() <= i32::MAX as usize, "bank exceeds the 32-bit gather index range");
+    dispatch!(
+        k,
+        lut_gather_scalar(bank, table, keys),
+        avx2::lut_gather(bank, table, keys),
+        // 8 tree lanes ⇒ the 256-bit body is already the canonical shape.
+        avx2::lut_gather(bank, table, keys),
+        neon::lut_gather(bank, table, keys)
+    )
+}
+
+/// Row-batched width-1 gather: for each row `i` of the key slab,
+/// `y[i · y_stride] += scales[i] · Σ bank[c·2^µ + keys_i[c]]`, each row
+/// summed in exactly [`lut_gather`]'s canonical tree order — the results
+/// are bit-identical to calling it row by row. Batching moves the level
+/// dispatch, the validation scan, and the gather set-up out of the
+/// per-output-row loop (the b = 1 tile loop calls this once per row tile
+/// instead of once per row), and lets the x86 body interleave two rows'
+/// gathers: the gather unit's latency is the width-1 bottleneck, and
+/// consecutive rows are independent chains.
+///
+/// `keys` is a row-major slab: row `i` occupies
+/// `keys[i · key_stride ..][.. nc]` (`key_stride ≥ nc` — callers hand a
+/// window of the packed key matrix, whose stride is the full chunk count).
+///
+/// # Panics
+/// Panics when a slice is too short for the described geometry or a key
+/// exceeds the table.
+#[allow(clippy::too_many_arguments)]
+pub fn lut_gather_rows(
+    y: &mut [f32],
+    y_stride: usize,
+    scales: &[f32],
+    bank: &[f32],
+    table: usize,
+    keys: &[u16],
+    key_stride: usize,
+    nc: usize,
+    k: ResolvedKernel,
+) {
+    let nr = scales.len();
+    if nr == 0 {
+        return;
+    }
+    assert!(y_stride != 0, "y_stride must be positive");
+    assert!(key_stride >= nc, "key slab stride shorter than the row width");
+    assert!(y.len() > (nr - 1) * y_stride, "output shorter than the row count needs");
+    assert!(keys.len() >= (nr - 1) * key_stride + nc, "key slab shorter than the rows need");
+    assert!(bank.len() >= nc * table, "bank shorter than the key rows need");
+    let mut max_key = 0u16;
+    for row in keys.chunks(key_stride).take(nr) {
+        max_key = row[..nc].iter().fold(max_key, |mk, &v| mk.max(v));
+    }
+    assert!(nc == 0 || (max_key as usize) < table, "key {max_key} out of table");
+    // The x86 gather computes entry offsets in i32 lanes.
+    #[cfg(target_arch = "x86_64")]
+    assert!(bank.len() <= i32::MAX as usize, "bank exceeds the 32-bit gather index range");
+    dispatch!(
+        k,
+        lut_gather_rows_scalar(y, y_stride, scales, bank, table, keys, key_stride, nc),
+        avx2::lut_gather_rows(y, y_stride, scales, bank, table, keys, key_stride, nc),
+        // 8 tree lanes ⇒ the 256-bit body is already the canonical shape.
+        avx2::lut_gather_rows(y, y_stride, scales, bank, table, keys, key_stride, nc),
+        neon::lut_gather_rows(y, y_stride, scales, bank, table, keys, key_stride, nc)
     )
 }
 
@@ -520,15 +653,110 @@ fn broadcast_add_scalar(dst: &mut [f32], src: &[f32], step: f32) {
     }
 }
 
+/// Width of the canonical accumulation tree: the number of partial sums
+/// each output element carries through the chunk loop (module docs,
+/// "Bit-exactness and the canonical accumulation order"). Matches the
+/// 8-lane gather/accumulator shape of the AVX2 bodies; every other level
+/// emulates exactly this width.
+pub const ACC_TREE_WIDTH: usize = 8;
+
+/// Chunks of software-prefetch lookahead in the x86 query loops: while
+/// the chunk group at `ci` accumulates, the LUT entries of chunks
+/// `ci + PREFETCH_CHUNKS ..` are requested into L1 — the keys are known
+/// ahead of time, so the access pattern is perfectly predictable to us
+/// and perfectly opaque to the hardware prefetcher.
+#[cfg(target_arch = "x86_64")]
+const PREFETCH_CHUNKS: usize = 16;
+
+/// The fixed pairwise fold of the canonical accumulation tree:
+/// `p[i] += p[i+4]`, then `p[i] += p[i+2]`, then `p[0] += p[1]` — the
+/// horizontal-add ladder of an 8-lane vector, written out so scalar code
+/// rounds identically to the SIMD reductions.
+#[inline]
+fn tree_reduce8(mut p: [f32; ACC_TREE_WIDTH]) -> f32 {
+    p[0] += p[4];
+    p[1] += p[5];
+    p[2] += p[6];
+    p[3] += p[7];
+    p[0] += p[2];
+    p[1] += p[3];
+    p[0] + p[1]
+}
+
+/// Reference implementation of the canonical accumulation order: feed it
+/// values in ascending chunk order via [`TreeAccumulator::push`] and
+/// [`TreeAccumulator::finish`] folds the partials in the fixed tree.
+/// Accumulation loops that cannot route through [`lut_query_fused`] /
+/// [`lut_gather`] (e.g. the BatchMajor per-element query) use this to
+/// round bit-identically to them.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TreeAccumulator {
+    partials: [f32; ACC_TREE_WIDTH],
+    count: usize,
+}
+
+impl TreeAccumulator {
+    /// An empty accumulator (sum of nothing is `0.0`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds the value of the next chunk (chunk index = number of prior
+    /// pushes) to its residue-class partial.
+    #[inline]
+    pub fn push(&mut self, v: f32) {
+        self.partials[self.count % ACC_TREE_WIDTH] += v;
+        self.count += 1;
+    }
+
+    /// Folds the partials in the canonical tree order.
+    #[inline]
+    pub fn finish(self) -> f32 {
+        tree_reduce8(self.partials)
+    }
+}
+
+/// Scalar emulation of the width-1 gather: 8 residue-class partials, then
+/// the canonical fold. Also the NEON body (no hardware gather there).
+fn lut_gather_scalar(bank: &[f32], table: usize, keys: &[u16]) -> f32 {
+    let mut p = [0.0f32; ACC_TREE_WIDTH];
+    for (c, &key) in keys.iter().enumerate() {
+        p[c % ACC_TREE_WIDTH] += bank[c * table + key as usize];
+    }
+    tree_reduce8(p)
+}
+
+/// Row loop over [`lut_gather_scalar`] — per row exactly its sum, so the
+/// batched entry point changes no bits at the scalar level either. Also
+/// the NEON body.
+#[allow(clippy::too_many_arguments)]
+fn lut_gather_rows_scalar(
+    y: &mut [f32],
+    y_stride: usize,
+    scales: &[f32],
+    bank: &[f32],
+    table: usize,
+    keys: &[u16],
+    key_stride: usize,
+    nc: usize,
+) {
+    for (i, &scale) in scales.iter().enumerate() {
+        let row = &keys[i * key_stride..i * key_stride + nc];
+        y[i * y_stride] += scale * lut_gather_scalar(bank, table, row);
+    }
+}
+
 /// Segment width of the scalar fused kernel. Matching the AVX2 lane count
-/// keeps the loop auto-vectorisable; per-lane accumulation order (ascending
-/// chunk index) is what bit-exactness depends on, and that is identical
-/// for any segment width.
+/// keeps the loop auto-vectorisable; per-lane accumulation order (the
+/// canonical tree over chunks) is what bit-exactness depends on, and that
+/// is identical for any segment width.
 const SCALAR_SEG: usize = 8;
 
 /// `nb` is the bank's batch stride; the lanes processed are `y.len()`
 /// (callers pass a suffix of the batch tile for ragged tails, with `bank`
-/// pre-offset by the same lane index).
+/// pre-offset by the same lane index). Each lane keeps
+/// [`ACC_TREE_WIDTH`] partials indexed by `ci % 8` and folds them in the
+/// canonical tree — the exact per-lane order of the vector bodies.
 fn lut_query_fused_scalar(
     y: &mut [f32],
     scale: f32,
@@ -541,14 +769,23 @@ fn lut_query_fused_scalar(
     let mut a0 = 0;
     while a0 < lanes {
         let w = SCALAR_SEG.min(lanes - a0);
-        let mut acc = [0.0f32; SCALAR_SEG];
+        let mut acc = [[0.0f32; SCALAR_SEG]; ACC_TREE_WIDTH];
         for (ci, &key) in keys.iter().enumerate() {
             let off = (ci * table + key as usize) * nb + a0;
-            for (av, &bv) in acc[..w].iter_mut().zip(&bank[off..off + w]) {
+            let part = &mut acc[ci % ACC_TREE_WIDTH];
+            for (av, &bv) in part[..w].iter_mut().zip(&bank[off..off + w]) {
                 *av += bv;
             }
         }
-        for (yv, &av) in y[a0..a0 + w].iter_mut().zip(&acc[..w]) {
+        for step in [4usize, 2, 1] {
+            for j in 0..step {
+                let (lo, hi) = acc.split_at_mut(j + step);
+                for (av, &bv) in lo[j][..w].iter_mut().zip(&hi[0][..w]) {
+                    *av += bv;
+                }
+            }
+        }
+        for (yv, &av) in y[a0..a0 + w].iter_mut().zip(&acc[0][..w]) {
             *yv += scale * av;
         }
         a0 += w;
@@ -641,6 +878,25 @@ mod avx2 {
         // blocks.
         unsafe {
             let sign = _mm256_set1_ps(-0.0);
+            if nb == 1 {
+                // Width-1 mirror: reverse inside the vector instead of
+                // degrading to 1-lane rows. Negation is a sign-bit XOR and
+                // the permute moves bits untouched, so this is bit-exact
+                // against the scalar body.
+                let n = rows;
+                let rev = _mm256_setr_epi32(7, 6, 5, 4, 3, 2, 1, 0);
+                let mut i = 0;
+                while i + 8 <= n {
+                    let sv = _mm256_loadu_ps(src.as_ptr().add(n - 8 - i));
+                    let r = _mm256_permutevar8x32_ps(sv, rev);
+                    _mm256_storeu_ps(dst.as_mut_ptr().add(i), _mm256_xor_ps(r, sign));
+                    i += 8;
+                }
+                for j in i..n {
+                    dst[j] = -src[n - 1 - j];
+                }
+                return;
+            }
             for r in 0..rows {
                 let dbase = r * nb;
                 let sbase = (rows - 1 - r) * nb;
@@ -691,28 +947,224 @@ mod avx2 {
         keys: &[u16],
     ) {
         let lanes = y.len();
+        let klen = keys.len();
         let mut a0 = 0;
-        // SAFETY: every gather reads `(ci·table + key)·nb + a0 .. +8` with
+        // SAFETY: every load reads `(ci·table + key)·nb + a0 .. +8` with
         // `key < table` and `ci < keys.len()`, which the dispatcher checked
         // against `bank.len()`; `a0 + 8 <= lanes ≤ nb` bounds the lane
         // offset (for ragged tails the caller pre-offsets `bank` and hands
-        // a suffix of `y`).
+        // a suffix of `y`). Prefetches only dereference in-bounds entries.
         unsafe {
             let sv = _mm256_set1_ps(scale);
             while a0 + 8 <= lanes {
-                let mut acc = _mm256_setzero_ps();
-                for (ci, &key) in keys.iter().enumerate() {
-                    let p = bank.as_ptr().add((ci * table + key as usize) * nb + a0);
-                    acc = _mm256_add_ps(acc, _mm256_loadu_ps(p));
+                // Canonical tree: 8 accumulator vectors, chunk ci lands in
+                // accumulator ci % 8, folded in the fixed pairwise order —
+                // per lane this is exactly the scalar emulation's order.
+                let mut acc0 = _mm256_setzero_ps();
+                let mut acc1 = _mm256_setzero_ps();
+                let mut acc2 = _mm256_setzero_ps();
+                let mut acc3 = _mm256_setzero_ps();
+                let mut acc4 = _mm256_setzero_ps();
+                let mut acc5 = _mm256_setzero_ps();
+                let mut acc6 = _mm256_setzero_ps();
+                let mut acc7 = _mm256_setzero_ps();
+                let base = bank.as_ptr();
+                let ent =
+                    |ci: usize| base.add((ci * table + *keys.get_unchecked(ci) as usize) * nb + a0);
+                let mut ci = 0;
+                while ci + 8 <= klen {
+                    if ci + super::PREFETCH_CHUNKS + 8 <= klen {
+                        for j in 0..8 {
+                            let c = ci + super::PREFETCH_CHUNKS + j;
+                            _mm_prefetch::<_MM_HINT_T0>(ent(c) as *const i8);
+                        }
+                    }
+                    acc0 = _mm256_add_ps(acc0, _mm256_loadu_ps(ent(ci)));
+                    acc1 = _mm256_add_ps(acc1, _mm256_loadu_ps(ent(ci + 1)));
+                    acc2 = _mm256_add_ps(acc2, _mm256_loadu_ps(ent(ci + 2)));
+                    acc3 = _mm256_add_ps(acc3, _mm256_loadu_ps(ent(ci + 3)));
+                    acc4 = _mm256_add_ps(acc4, _mm256_loadu_ps(ent(ci + 4)));
+                    acc5 = _mm256_add_ps(acc5, _mm256_loadu_ps(ent(ci + 5)));
+                    acc6 = _mm256_add_ps(acc6, _mm256_loadu_ps(ent(ci + 6)));
+                    acc7 = _mm256_add_ps(acc7, _mm256_loadu_ps(ent(ci + 7)));
+                    ci += 8;
                 }
+                while ci < klen {
+                    let v = _mm256_loadu_ps(ent(ci));
+                    match ci % 8 {
+                        0 => acc0 = _mm256_add_ps(acc0, v),
+                        1 => acc1 = _mm256_add_ps(acc1, v),
+                        2 => acc2 = _mm256_add_ps(acc2, v),
+                        3 => acc3 = _mm256_add_ps(acc3, v),
+                        4 => acc4 = _mm256_add_ps(acc4, v),
+                        5 => acc5 = _mm256_add_ps(acc5, v),
+                        6 => acc6 = _mm256_add_ps(acc6, v),
+                        _ => acc7 = _mm256_add_ps(acc7, v),
+                    }
+                    ci += 1;
+                }
+                acc0 = _mm256_add_ps(acc0, acc4);
+                acc1 = _mm256_add_ps(acc1, acc5);
+                acc2 = _mm256_add_ps(acc2, acc6);
+                acc3 = _mm256_add_ps(acc3, acc7);
+                acc0 = _mm256_add_ps(acc0, acc2);
+                acc1 = _mm256_add_ps(acc1, acc3);
+                acc0 = _mm256_add_ps(acc0, acc1);
                 let yv = _mm256_loadu_ps(y.as_ptr().add(a0));
-                let prod = _mm256_mul_ps(sv, acc);
+                let prod = _mm256_mul_ps(sv, acc0);
                 _mm256_storeu_ps(y.as_mut_ptr().add(a0), _mm256_add_ps(yv, prod));
                 a0 += 8;
             }
         }
         if a0 < lanes {
             super::lut_query_fused_scalar(&mut y[a0..], scale, &bank[a0..], table, nb, keys);
+        }
+    }
+
+    /// Width-1 canonical gather: one `vgatherdps` per 8 chunks pulls
+    /// `bank[c·table + keys[c]]` into lanes, so lane `j` accumulates
+    /// residue class `j` — the register layout *is* the canonical tree.
+    /// The ragged chunk tail spills the partials and finishes scalar (a
+    /// masked gather would add `+0.0` to idle lanes, which is not
+    /// bit-transparent when a partial is `-0.0`).
+    ///
+    /// # Safety
+    /// AVX2 must be available; the bank spans every `(chunk, key)` entry,
+    /// keys are `< table`, and `bank.len() ≤ i32::MAX` (asserted by the
+    /// dispatcher).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn lut_gather(bank: &[f32], table: usize, keys: &[u16]) -> f32 {
+        let klen = keys.len();
+        let mut p = [0.0f32; super::ACC_TREE_WIDTH];
+        let mut ci = 0;
+        // SAFETY: every gathered/prefetched index is `c·table + keys[c]`
+        // with `keys[c] < table` and `c < klen`, in bounds per the
+        // dispatcher's bank-length check and representable in i32 lanes
+        // per its range check; the 128-bit key load reads `keys[ci..ci+8]`
+        // under the loop bound.
+        unsafe {
+            if ci + 8 <= klen {
+                let base = bank.as_ptr();
+                // Entry offset = ci·table + lane·table + key: broadcast,
+                // lane-index multiple, and zero-extended u16 keys.
+                let lane_t = _mm256_mullo_epi32(
+                    _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7),
+                    _mm256_set1_epi32(table as i32),
+                );
+                let mut acc = _mm256_setzero_ps();
+                while ci + 8 <= klen {
+                    if ci + super::PREFETCH_CHUNKS + 8 <= klen {
+                        for j in 0..8 {
+                            let c = ci + super::PREFETCH_CHUNKS + j;
+                            let off = c * table + *keys.get_unchecked(c) as usize;
+                            _mm_prefetch::<_MM_HINT_T0>(base.add(off) as *const i8);
+                        }
+                    }
+                    let kv = _mm256_cvtepu16_epi32(_mm_loadu_si128(
+                        keys.as_ptr().add(ci) as *const __m128i
+                    ));
+                    let idx = _mm256_add_epi32(
+                        _mm256_add_epi32(_mm256_set1_epi32((ci * table) as i32), lane_t),
+                        kv,
+                    );
+                    acc = _mm256_add_ps(acc, _mm256_i32gather_ps::<4>(base, idx));
+                    ci += 8;
+                }
+                _mm256_storeu_ps(p.as_mut_ptr(), acc);
+            }
+        }
+        for c in ci..klen {
+            p[c % super::ACC_TREE_WIDTH] += bank[c * table + keys[c] as usize];
+        }
+        super::tree_reduce8(p)
+    }
+
+    /// Row-batched width-1 gather: each row runs [`lut_gather`]'s
+    /// canonical 8-lane loop verbatim, and full row *pairs* run their two
+    /// (independent) gather chains interleaved in one loop so they hide
+    /// each other's latency — the gather unit, not the adds, bounds the
+    /// b = 1 query. Entry prefetch keeps the single-row body's lookahead,
+    /// issued for both rows of the pair.
+    ///
+    /// # Safety
+    /// AVX2 must be available; slab/output geometry, key ranges, and
+    /// `bank.len() ≤ i32::MAX` as asserted by the dispatcher.
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn lut_gather_rows(
+        y: &mut [f32],
+        y_stride: usize,
+        scales: &[f32],
+        bank: &[f32],
+        table: usize,
+        keys: &[u16],
+        key_stride: usize,
+        nc: usize,
+    ) {
+        let nr = scales.len();
+        let base = bank.as_ptr();
+        let mut i = 0;
+        // SAFETY: the dispatcher asserted the slab/output geometry; every
+        // gathered or prefetched offset is `c·table + key` with
+        // `key < table` and `c < nc`, in bounds per its bank-length check
+        // and representable in i32 lanes per its range check; 128-bit key
+        // loads read `row[ci..ci+8]` under the loop bound.
+        unsafe {
+            if nc >= 8 {
+                let lane_t = _mm256_mullo_epi32(
+                    _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7),
+                    _mm256_set1_epi32(table as i32),
+                );
+                while i + 2 <= nr {
+                    let ka = keys.as_ptr().add(i * key_stride);
+                    let kb = keys.as_ptr().add((i + 1) * key_stride);
+                    let mut acc_a = _mm256_setzero_ps();
+                    let mut acc_b = _mm256_setzero_ps();
+                    let mut ci = 0;
+                    while ci + 8 <= nc {
+                        if ci + super::PREFETCH_CHUNKS + 8 <= nc {
+                            for j in 0..8 {
+                                let c = ci + super::PREFETCH_CHUNKS + j;
+                                let off_a = c * table + *ka.add(c) as usize;
+                                let off_b = c * table + *kb.add(c) as usize;
+                                _mm_prefetch::<_MM_HINT_T0>(base.add(off_a) as *const i8);
+                                _mm_prefetch::<_MM_HINT_T0>(base.add(off_b) as *const i8);
+                            }
+                        }
+                        let ct = _mm256_add_epi32(_mm256_set1_epi32((ci * table) as i32), lane_t);
+                        let kva =
+                            _mm256_cvtepu16_epi32(_mm_loadu_si128(ka.add(ci) as *const __m128i));
+                        let kvb =
+                            _mm256_cvtepu16_epi32(_mm_loadu_si128(kb.add(ci) as *const __m128i));
+                        let ga = _mm256_i32gather_ps::<4>(base, _mm256_add_epi32(ct, kva));
+                        let gb = _mm256_i32gather_ps::<4>(base, _mm256_add_epi32(ct, kvb));
+                        acc_a = _mm256_add_ps(acc_a, ga);
+                        acc_b = _mm256_add_ps(acc_b, gb);
+                        ci += 8;
+                    }
+                    let mut pa = [0.0f32; super::ACC_TREE_WIDTH];
+                    let mut pb = [0.0f32; super::ACC_TREE_WIDTH];
+                    _mm256_storeu_ps(pa.as_mut_ptr(), acc_a);
+                    _mm256_storeu_ps(pb.as_mut_ptr(), acc_b);
+                    for c in ci..nc {
+                        pa[c % super::ACC_TREE_WIDTH] += *base.add(c * table + *ka.add(c) as usize);
+                        pb[c % super::ACC_TREE_WIDTH] += *base.add(c * table + *kb.add(c) as usize);
+                    }
+                    *y.get_unchecked_mut(i * y_stride) +=
+                        *scales.get_unchecked(i) * super::tree_reduce8(pa);
+                    *y.get_unchecked_mut((i + 1) * y_stride) +=
+                        *scales.get_unchecked(i + 1) * super::tree_reduce8(pb);
+                    i += 2;
+                }
+            }
+            // Odd last row, or nc < 8 (no full vector group): the
+            // single-row body already realises those cases canonically.
+            while i < nr {
+                let row = std::slice::from_raw_parts(keys.as_ptr().add(i * key_stride), nc);
+                *y.get_unchecked_mut(i * y_stride) +=
+                    *scales.get_unchecked(i) * lut_gather(bank, table, row);
+                i += 1;
+            }
         }
     }
 }
@@ -828,6 +1280,23 @@ mod avx512 {
         unsafe {
             let sign512 = _mm512_set1_ps(-0.0);
             let sign256 = _mm256_set1_ps(-0.0);
+            if nb == 1 {
+                // Width-1 mirror, reversed inside the vector (see the AVX2
+                // body) — permute + sign XOR, bit-exact against scalar.
+                let n = rows;
+                let rev = _mm512_setr_epi32(15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0);
+                let mut i = 0;
+                while i + 16 <= n {
+                    let sv = _mm512_loadu_ps(src.as_ptr().add(n - 16 - i));
+                    let r = _mm512_permutexvar_ps(rev, sv);
+                    _mm512_storeu_ps(dst.as_mut_ptr().add(i), _mm512_xor_ps(r, sign512));
+                    i += 16;
+                }
+                for j in i..n {
+                    dst[j] = -src[n - 1 - j];
+                }
+                return;
+            }
             for r in 0..rows {
                 let dbase = r * nb;
                 let sbase = (rows - 1 - r) * nb;
@@ -878,7 +1347,8 @@ mod avx512 {
 
     /// # Safety
     /// AVX-512F + AVX2 must be available; bounds as documented on the
-    /// AVX2 body.
+    /// AVX2 body. Both lane widths accumulate in the canonical tree (8
+    /// accumulator vectors, fixed fold), so every lane matches scalar.
     #[target_feature(enable = "avx512f", enable = "avx2")]
     pub unsafe fn lut_query_fused(
         y: &mut [f32],
@@ -889,37 +1359,77 @@ mod avx512 {
         keys: &[u16],
     ) {
         let lanes = y.len();
+        let klen = keys.len();
         let mut a0 = 0;
-        // SAFETY: gathers bounded exactly as in the AVX2 body, 16 then 8
-        // lanes per step.
+        // SAFETY: loads bounded exactly as in the AVX2 body, 16 then 8
+        // lanes per step; prefetches only dereference in-bounds entries.
         unsafe {
             let sv512 = _mm512_set1_ps(scale);
             while a0 + 16 <= lanes {
-                let mut acc = _mm512_setzero_ps();
-                for (ci, &key) in keys.iter().enumerate() {
-                    let p = bank.as_ptr().add((ci * table + key as usize) * nb + a0);
-                    acc = _mm512_add_ps(acc, _mm512_loadu_ps(p));
+                let mut acc0 = _mm512_setzero_ps();
+                let mut acc1 = _mm512_setzero_ps();
+                let mut acc2 = _mm512_setzero_ps();
+                let mut acc3 = _mm512_setzero_ps();
+                let mut acc4 = _mm512_setzero_ps();
+                let mut acc5 = _mm512_setzero_ps();
+                let mut acc6 = _mm512_setzero_ps();
+                let mut acc7 = _mm512_setzero_ps();
+                let base = bank.as_ptr();
+                let ent =
+                    |ci: usize| base.add((ci * table + *keys.get_unchecked(ci) as usize) * nb + a0);
+                let mut ci = 0;
+                while ci + 8 <= klen {
+                    if ci + super::PREFETCH_CHUNKS + 8 <= klen {
+                        for j in 0..8 {
+                            let c = ci + super::PREFETCH_CHUNKS + j;
+                            _mm_prefetch::<_MM_HINT_T0>(ent(c) as *const i8);
+                        }
+                    }
+                    acc0 = _mm512_add_ps(acc0, _mm512_loadu_ps(ent(ci)));
+                    acc1 = _mm512_add_ps(acc1, _mm512_loadu_ps(ent(ci + 1)));
+                    acc2 = _mm512_add_ps(acc2, _mm512_loadu_ps(ent(ci + 2)));
+                    acc3 = _mm512_add_ps(acc3, _mm512_loadu_ps(ent(ci + 3)));
+                    acc4 = _mm512_add_ps(acc4, _mm512_loadu_ps(ent(ci + 4)));
+                    acc5 = _mm512_add_ps(acc5, _mm512_loadu_ps(ent(ci + 5)));
+                    acc6 = _mm512_add_ps(acc6, _mm512_loadu_ps(ent(ci + 6)));
+                    acc7 = _mm512_add_ps(acc7, _mm512_loadu_ps(ent(ci + 7)));
+                    ci += 8;
                 }
+                while ci < klen {
+                    let v = _mm512_loadu_ps(ent(ci));
+                    match ci % 8 {
+                        0 => acc0 = _mm512_add_ps(acc0, v),
+                        1 => acc1 = _mm512_add_ps(acc1, v),
+                        2 => acc2 = _mm512_add_ps(acc2, v),
+                        3 => acc3 = _mm512_add_ps(acc3, v),
+                        4 => acc4 = _mm512_add_ps(acc4, v),
+                        5 => acc5 = _mm512_add_ps(acc5, v),
+                        6 => acc6 = _mm512_add_ps(acc6, v),
+                        _ => acc7 = _mm512_add_ps(acc7, v),
+                    }
+                    ci += 1;
+                }
+                acc0 = _mm512_add_ps(acc0, acc4);
+                acc1 = _mm512_add_ps(acc1, acc5);
+                acc2 = _mm512_add_ps(acc2, acc6);
+                acc3 = _mm512_add_ps(acc3, acc7);
+                acc0 = _mm512_add_ps(acc0, acc2);
+                acc1 = _mm512_add_ps(acc1, acc3);
+                acc0 = _mm512_add_ps(acc0, acc1);
                 let yv = _mm512_loadu_ps(y.as_ptr().add(a0));
-                let prod = _mm512_mul_ps(sv512, acc);
+                let prod = _mm512_mul_ps(sv512, acc0);
                 _mm512_storeu_ps(y.as_mut_ptr().add(a0), _mm512_add_ps(yv, prod));
                 a0 += 16;
             }
-            let sv256 = _mm256_set1_ps(scale);
-            while a0 + 8 <= lanes {
-                let mut acc = _mm256_setzero_ps();
-                for (ci, &key) in keys.iter().enumerate() {
-                    let p = bank.as_ptr().add((ci * table + key as usize) * nb + a0);
-                    acc = _mm256_add_ps(acc, _mm256_loadu_ps(p));
-                }
-                let yv = _mm256_loadu_ps(y.as_ptr().add(a0));
-                let prod = _mm256_mul_ps(sv256, acc);
-                _mm256_storeu_ps(y.as_mut_ptr().add(a0), _mm256_add_ps(yv, prod));
-                a0 += 8;
-            }
         }
         if a0 < lanes {
-            super::lut_query_fused_scalar(&mut y[a0..], scale, &bank[a0..], table, nb, keys);
+            // Sub-16-lane remainder: the AVX2 body (8-lane groups + scalar
+            // tail) realises the same canonical order.
+            // SAFETY: AVX2 is part of this level's feature set; bounds
+            // shrink with the lane offset exactly as for the scalar tail.
+            unsafe {
+                super::avx2::lut_query_fused(&mut y[a0..], scale, &bank[a0..], table, nb, keys);
+            }
         }
     }
 }
@@ -1007,6 +1517,23 @@ mod neon {
         // SAFETY: row index arithmetic stays inside the equal-length
         // blocks.
         unsafe {
+            if nb == 1 {
+                // Width-1 mirror, reversed inside the vector (see the AVX2
+                // body): vrev64 swaps within each half, vext swaps halves.
+                let n = rows;
+                let mut i = 0;
+                while i + 4 <= n {
+                    let sv = vld1q_f32(src.as_ptr().add(n - 4 - i));
+                    let half_rev = vrev64q_f32(sv);
+                    let r = vextq_f32::<2>(half_rev, half_rev);
+                    vst1q_f32(dst.as_mut_ptr().add(i), vnegq_f32(r));
+                    i += 4;
+                }
+                for j in i..n {
+                    dst[j] = -src[n - 1 - j];
+                }
+                return;
+            }
             for r in 0..rows {
                 let dbase = r * nb;
                 let sbase = (rows - 1 - r) * nb;
@@ -1046,6 +1573,8 @@ mod neon {
 
     /// # Safety
     /// NEON is baseline on aarch64; bounds as documented on the AVX2 body.
+    /// 4-lane groups with 8 accumulator vectors realise the canonical
+    /// tree per lane.
     #[target_feature(enable = "neon")]
     pub unsafe fn lut_query_fused(
         y: &mut [f32],
@@ -1056,18 +1585,58 @@ mod neon {
         keys: &[u16],
     ) {
         let lanes = y.len();
+        let klen = keys.len();
         let mut a0 = 0;
-        // SAFETY: gathers bounded exactly as in the AVX2 body, 4 lanes.
+        // SAFETY: loads bounded exactly as in the AVX2 body, 4 lanes.
         unsafe {
             let sv = vdupq_n_f32(scale);
             while a0 + 4 <= lanes {
-                let mut acc = vdupq_n_f32(0.0);
-                for (ci, &key) in keys.iter().enumerate() {
-                    let p = bank.as_ptr().add((ci * table + key as usize) * nb + a0);
-                    acc = vaddq_f32(acc, vld1q_f32(p));
+                let mut acc0 = vdupq_n_f32(0.0);
+                let mut acc1 = vdupq_n_f32(0.0);
+                let mut acc2 = vdupq_n_f32(0.0);
+                let mut acc3 = vdupq_n_f32(0.0);
+                let mut acc4 = vdupq_n_f32(0.0);
+                let mut acc5 = vdupq_n_f32(0.0);
+                let mut acc6 = vdupq_n_f32(0.0);
+                let mut acc7 = vdupq_n_f32(0.0);
+                let base = bank.as_ptr();
+                let ent =
+                    |ci: usize| base.add((ci * table + *keys.get_unchecked(ci) as usize) * nb + a0);
+                let mut ci = 0;
+                while ci + 8 <= klen {
+                    acc0 = vaddq_f32(acc0, vld1q_f32(ent(ci)));
+                    acc1 = vaddq_f32(acc1, vld1q_f32(ent(ci + 1)));
+                    acc2 = vaddq_f32(acc2, vld1q_f32(ent(ci + 2)));
+                    acc3 = vaddq_f32(acc3, vld1q_f32(ent(ci + 3)));
+                    acc4 = vaddq_f32(acc4, vld1q_f32(ent(ci + 4)));
+                    acc5 = vaddq_f32(acc5, vld1q_f32(ent(ci + 5)));
+                    acc6 = vaddq_f32(acc6, vld1q_f32(ent(ci + 6)));
+                    acc7 = vaddq_f32(acc7, vld1q_f32(ent(ci + 7)));
+                    ci += 8;
                 }
+                while ci < klen {
+                    let v = vld1q_f32(ent(ci));
+                    match ci % 8 {
+                        0 => acc0 = vaddq_f32(acc0, v),
+                        1 => acc1 = vaddq_f32(acc1, v),
+                        2 => acc2 = vaddq_f32(acc2, v),
+                        3 => acc3 = vaddq_f32(acc3, v),
+                        4 => acc4 = vaddq_f32(acc4, v),
+                        5 => acc5 = vaddq_f32(acc5, v),
+                        6 => acc6 = vaddq_f32(acc6, v),
+                        _ => acc7 = vaddq_f32(acc7, v),
+                    }
+                    ci += 1;
+                }
+                acc0 = vaddq_f32(acc0, acc4);
+                acc1 = vaddq_f32(acc1, acc5);
+                acc2 = vaddq_f32(acc2, acc6);
+                acc3 = vaddq_f32(acc3, acc7);
+                acc0 = vaddq_f32(acc0, acc2);
+                acc1 = vaddq_f32(acc1, acc3);
+                acc0 = vaddq_f32(acc0, acc1);
                 let yv = vld1q_f32(y.as_ptr().add(a0));
-                let prod = vmulq_f32(sv, acc);
+                let prod = vmulq_f32(sv, acc0);
                 vst1q_f32(y.as_mut_ptr().add(a0), vaddq_f32(yv, prod));
                 a0 += 4;
             }
@@ -1075,6 +1644,39 @@ mod neon {
         if a0 < lanes {
             super::lut_query_fused_scalar(&mut y[a0..], scale, &bank[a0..], table, nb, keys);
         }
+    }
+
+    /// Width-1 canonical gather. NEON has no hardware gather, and the
+    /// strided loads defeat its load-pair idioms, so this runs the scalar
+    /// emulation — bit-identical by construction, and the canonical order
+    /// costs aarch64 nothing it was winning before.
+    ///
+    /// # Safety
+    /// NEON is baseline on aarch64; bounds as checked by the dispatcher.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn lut_gather(bank: &[f32], table: usize, keys: &[u16]) -> f32 {
+        super::lut_gather_scalar(bank, table, keys)
+    }
+
+    /// Row-batched width-1 gather: the scalar row loop (see
+    /// [`lut_gather`] for why NEON does not vectorise this body); the
+    /// batching still amortises dispatch and validation per row tile.
+    ///
+    /// # Safety
+    /// NEON is baseline on aarch64; geometry as checked by the dispatcher.
+    #[target_feature(enable = "neon")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn lut_gather_rows(
+        y: &mut [f32],
+        y_stride: usize,
+        scales: &[f32],
+        bank: &[f32],
+        table: usize,
+        keys: &[u16],
+        key_stride: usize,
+        nc: usize,
+    ) {
+        super::lut_gather_rows_scalar(y, y_stride, scales, bank, table, keys, key_stride, nc)
     }
 }
 
@@ -1225,28 +1827,65 @@ mod tests {
     }
 
     #[test]
-    fn fused_query_matches_unfused_composition() {
-        // The fused kernel must equal acc-buffer + axpy done per lane in
-        // the same chunk order (what the pre-refactor kernel computed
-        // scalar-side).
+    fn fused_query_matches_canonical_tree_composition() {
+        // The fused kernel must equal, per lane, a TreeAccumulator fed the
+        // looked-up values in ascending chunk order, then a two-step
+        // multiply-add — the canonical order written out longhand.
         let mut g = MatrixRng::seed_from(41);
-        let (chunks, table, nb) = (6usize, 16usize, 11usize);
-        let bank = g.gaussian_vec(chunks * table * nb);
-        let keys: Vec<u16> = (0..chunks).map(|c| ((c * 5 + 3) % table) as u16).collect();
-        let mut want = g.gaussian_vec(nb);
-        let mut got = want.clone();
-        let mut acc = vec![0.0f32; nb];
-        for (ci, &key) in keys.iter().enumerate() {
-            let off = (ci * table + key as usize) * nb;
-            for (a, &b) in acc.iter_mut().zip(&bank[off..off + nb]) {
-                *a += b;
+        for chunks in [1usize, 6, 8, 9, 19] {
+            let (table, nb) = (16usize, 11usize);
+            let bank = g.gaussian_vec(chunks * table * nb);
+            let keys: Vec<u16> = (0..chunks).map(|c| ((c * 5 + 3) % table) as u16).collect();
+            let mut want = g.gaussian_vec(nb);
+            let mut got = want.clone();
+            for (a, yv) in want.iter_mut().enumerate() {
+                let mut acc = TreeAccumulator::new();
+                for (ci, &key) in keys.iter().enumerate() {
+                    acc.push(bank[(ci * table + key as usize) * nb + a]);
+                }
+                *yv += 2.5 * acc.finish();
+            }
+            lut_query_fused(&mut got, 2.5, &bank, table, nb, &keys, ResolvedKernel::scalar());
+            assert_eq!(want, got, "chunks={chunks}");
+        }
+    }
+
+    #[test]
+    fn gather_bit_exact_across_levels_and_matches_fused_width1() {
+        // Every level's gather must agree with scalar AND with the fused
+        // kernel run at nb == 1 (scale 1 onto a zero output is exact), on
+        // ragged chunk counts straddling the 8-chunk group width.
+        let mut g = MatrixRng::seed_from(42);
+        for &(chunks, mu) in
+            &[(1usize, 2usize), (3, 4), (7, 4), (8, 4), (9, 6), (16, 8), (23, 8), (40, 3)]
+        {
+            let table = 1usize << mu;
+            let bank = g.gaussian_vec(chunks * table);
+            let keys: Vec<u16> = (0..chunks).map(|c| ((c * 37 + 11) % table) as u16).collect();
+            let want = lut_gather_scalar(&bank, table, &keys);
+            for level in supported_levels() {
+                let k = KernelRequest::Exact(level).resolve().unwrap();
+                let got = lut_gather(&bank, table, &keys, k);
+                assert_eq!(want.to_bits(), got.to_bits(), "{level} chunks={chunks} µ={mu}");
+                let mut y = [0.0f32];
+                lut_query_fused(&mut y, 1.0, &bank, table, 1, &keys, k);
+                assert_eq!(want.to_bits(), y[0].to_bits(), "fused@1 {level} chunks={chunks}");
             }
         }
-        for (yv, &a) in want.iter_mut().zip(&acc) {
-            *yv += 2.5 * a;
+    }
+
+    #[test]
+    fn tree_accumulator_is_the_reference_order() {
+        let mut g = MatrixRng::seed_from(43);
+        let (chunks, mu) = (21usize, 4usize);
+        let table = 1usize << mu;
+        let bank = g.gaussian_vec(chunks * table);
+        let keys: Vec<u16> = (0..chunks).map(|c| ((c * 7 + 2) % table) as u16).collect();
+        let mut acc = TreeAccumulator::new();
+        for (c, &key) in keys.iter().enumerate() {
+            acc.push(bank[c * table + key as usize]);
         }
-        lut_query_fused(&mut got, 2.5, &bank, table, nb, &keys, ResolvedKernel::scalar());
-        assert_eq!(want, got);
+        assert_eq!(acc.finish().to_bits(), lut_gather_scalar(&bank, table, &keys).to_bits());
     }
 
     #[test]
@@ -1255,5 +1894,12 @@ mod tests {
         let bank = vec![0.0f32; 16];
         let mut y = vec![0.0f32; 2];
         lut_query_fused(&mut y, 1.0, &bank, 4, 2, &[9], ResolvedKernel::scalar());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of table")]
+    fn gather_rejects_oversized_key() {
+        let bank = vec![0.0f32; 8];
+        lut_gather(&bank, 4, &[5, 1], ResolvedKernel::scalar());
     }
 }

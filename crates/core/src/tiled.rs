@@ -23,7 +23,7 @@ use crate::arena::BiqArena;
 use crate::config::{BiqConfig, LutLayout};
 use crate::layout::LutBank;
 use crate::profile::PhaseProfile;
-use crate::simd::ResolvedKernel;
+use crate::simd::{ResolvedKernel, TreeAccumulator};
 use crate::weights::BiqWeights;
 use biq_matrix::reshape::ChunkedInput;
 use biq_matrix::view::tile_ranges;
@@ -95,19 +95,45 @@ pub(crate) fn run_tiles(
             profile.time_query(|| {
                 for &(kr_start, kr_end) in key_row_ranges {
                     for (r0, nr) in tile_ranges(kr_end - kr_start, cfg.tile_rows) {
+                        if nb == 1 {
+                            // GEMV fast path: with one live batch column the
+                            // two layouts coincide (entry (c, key) lives at
+                            // c·2^µ + key) and the canonical-order gather runs
+                            // row-batched at the pinned level — dispatch and
+                            // validation once per row tile, consecutive rows'
+                            // gathers interleaved. Key rows map to output rows
+                            // mod m (bit planes), so a tile is split where the
+                            // output row index wraps.
+                            let keys_all = keys.as_slice();
+                            let stride = keys.chunks();
+                            let mut r = kr_start + r0;
+                            let tile_end = kr_start + r0 + nr;
+                            while r < tile_end {
+                                let run_end = tile_end.min((r / m + 1) * m);
+                                let out_row = r % m;
+                                debug_assert!(out_row >= y_row0);
+                                let yoff = (out_row - y_row0) * b + b0;
+                                let slab =
+                                    &keys_all[r * stride + c0..(run_end - 1) * stride + c0 + nc];
+                                bank.gather_rows(
+                                    slab,
+                                    stride,
+                                    nc,
+                                    &w.scales()[r..run_end],
+                                    &mut y[yoff..],
+                                    b,
+                                    kernel,
+                                );
+                                r = run_end;
+                            }
+                            continue;
+                        }
                         for r in kr_start + r0..kr_start + r0 + nr {
                             let scale = w.scale(r);
                             let out_row = r % m;
                             debug_assert!(out_row >= y_row0);
                             let yoff = (out_row - y_row0) * b + b0;
                             let krow = &keys.key_row(r)[c0..c0 + nc];
-                            if nb == 1 {
-                                // GEMV fast path: with one live batch column the
-                                // two layouts coincide (entry (c, key) lives at
-                                // c·2^µ + key); gather scalars directly.
-                                y[yoff] += scale * bank.gather_scalar(krow);
-                                continue;
-                            }
                             match cfg.layout {
                                 LutLayout::KeyMajor => {
                                     // Fused lookup-accumulate at the pinned
@@ -116,13 +142,16 @@ pub(crate) fn run_tiles(
                                     bank.query_fused(krow, scale, &mut y[yoff..yoff + nb], kernel);
                                 }
                                 LutLayout::BatchMajor => {
+                                    // Per-element gather; the canonical tree
+                                    // keeps it bit-identical to the KeyMajor
+                                    // fused kernel (`both_layouts_agree`).
                                     let yrow = &mut y[yoff..yoff + nb];
                                     for (a, yv) in yrow.iter_mut().enumerate() {
-                                        let mut s = 0.0f32;
+                                        let mut s = TreeAccumulator::new();
                                         for (ci, &key) in krow.iter().enumerate() {
-                                            s += bank.entry(ci, a, key);
+                                            s.push(bank.entry(ci, a, key));
                                         }
-                                        *yv += scale * s;
+                                        *yv += scale * s.finish();
                                     }
                                 }
                             }

@@ -7,10 +7,12 @@
 //! This is the kernel-level contract the serving layer's batcher stands
 //! on: `biq_serve` packs single-column requests into whatever width the
 //! window yields, so a request's bits would otherwise depend on traffic
-//! timing. The invariant holds because every accumulation that crosses
-//! chunk boundaries runs in strictly ascending chunk order per lane —
-//! `gather_scalar` (width-1 tiles), `lut_query_fused` (wider tiles), and
-//! both parallel schedules share that order.
+//! timing. The invariant holds **by construction**: every accumulation
+//! that crosses chunk boundaries realises the one canonical order — the
+//! fixed 8-partial tree specified in `core::simd` (`partials[ci % 8]`,
+//! pairwise fold) — whether it runs as `lut_gather`'s vector lanes
+//! (width-1 tiles), `lut_query_fused`'s register columns (wider tiles),
+//! `TreeAccumulator` (BatchMajor loops), or either parallel schedule.
 
 use biq_matrix::{ColMatrix, MatrixRng};
 use biq_quant::greedy_quantize_matrix_rowwise;
@@ -73,17 +75,21 @@ fn any_slicing_matches_the_full_batch_bit_for_bit() {
 
 #[test]
 fn invariance_holds_at_every_supported_kernel_level() {
+    // b = 12: every slicing width 1..=10 leaves a ragged tail somewhere
+    // (5, 7, 8, 9, 10 don't divide 12), so each level's gather, fused,
+    // and tail paths all get exercised against the same wide run.
     for level in supported_levels() {
         let cfg = BiqConfig { kernel: KernelRequest::Exact(level), ..BiqConfig::default() };
-        check_widths(24, 32, 9, 2, &cfg);
+        check_widths(24, 32, 12, 2, &cfg);
     }
 }
 
 #[test]
 fn width_one_matches_both_parallel_schedules() {
     // The serial width-1 gather path and both parallel schedules must
-    // agree on real-valued inputs (SharedLut always runs the fused lane
-    // path, so this pins gather_scalar's accumulation order).
+    // agree on real-valued inputs: whichever body answers — the vectorized
+    // `lut_gather`, the fused lane path, or a parallel driver — it
+    // realises the same canonical accumulation tree.
     let (m, n) = (48, 64);
     let mut g = MatrixRng::seed_from(77);
     let w = BiqWeights::from_multibit(

@@ -115,6 +115,90 @@ fn parallel_levels_bit_exact_vs_scalar_serial() {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
+    /// The width-1 contract: across random shapes/µ — including chunk
+    /// counts with ragged `% 8` tails — the vectorized gather equals the
+    /// fused kernel at `nb = 1` bit for bit, at every supported level.
+    /// This is what lets `layout.rs` route width-1 tiles through
+    /// `lut_gather` while the batcher packs the same column into fused
+    /// runs: both realise the canonical accumulation tree.
+    #[test]
+    fn gather_equals_fused_at_width_one(
+        chunks in 1usize..40,
+        mu in 1usize..=8,
+        seed in 0u64..1_000_000,
+    ) {
+        use biqgemm_core::simd::{lut_gather, lut_query_fused};
+        let table = 1usize << mu;
+        let mut g = MatrixRng::seed_from(seed ^ 0xa11);
+        // A width-1 bank: chunk c's table occupies bank[c*table..][..table].
+        let bank: Vec<f32> =
+            g.gaussian(1, chunks * table, 0.0, 1.0).as_slice().to_vec();
+        let keys: Vec<u16> =
+            (0..chunks).map(|c| ((seed >> (c % 13)) as usize % table) as u16).collect();
+        let scale = 1.0f32;
+        let scalar = lut_gather(&bank, table, &keys, ResolvedKernel::scalar());
+        for level in supported_levels() {
+            let k = exact(level);
+            let gathered = lut_gather(&bank, table, &keys, k);
+            prop_assert_eq!(
+                gathered.to_bits(), scalar.to_bits(),
+                "gather level={} vs scalar (chunks={}, mu={})", level, chunks, mu
+            );
+            let mut fused = [0.0f32];
+            lut_query_fused(&mut fused, scale, &bank, table, 1, &keys, k);
+            prop_assert_eq!(
+                fused[0].to_bits(), gathered.to_bits(),
+                "fused@nb=1 level={} vs gather (chunks={}, mu={})", level, chunks, mu
+            );
+        }
+    }
+
+    /// The row-batched gather is the per-row gather, bit for bit: for any
+    /// slab geometry (stride > width, strided outputs, odd row counts that
+    /// leave an unpaired row, ragged `% 8` chunk tails), at every level,
+    /// `lut_gather_rows` accumulates exactly what a per-row
+    /// `y += scale · lut_gather(row)` loop would. This is what lets the
+    /// width-1 tile loop batch whole row tiles into one dispatch.
+    #[test]
+    fn gather_rows_equals_per_row_gather(
+        rows in 1usize..12,
+        chunks in 1usize..24,
+        extra_stride in 0usize..5,
+        y_stride in 1usize..4,
+        mu in 1usize..=8,
+        seed in 0u64..1_000_000,
+    ) {
+        use biqgemm_core::simd::{lut_gather, lut_gather_rows};
+        let table = 1usize << mu;
+        let stride = chunks + extra_stride;
+        let mut g = MatrixRng::seed_from(seed ^ 0xb0b);
+        let bank: Vec<f32> = g.gaussian(1, chunks * table, 0.0, 1.0).as_slice().to_vec();
+        let keys: Vec<u16> = (0..(rows - 1) * stride + chunks)
+            .map(|i| ((seed >> (i % 17)) as usize % table) as u16)
+            .collect();
+        let scales: Vec<f32> = g.gaussian(1, rows, 0.0, 1.0).as_slice().to_vec();
+        let y_init: Vec<f32> = g.gaussian(1, (rows - 1) * y_stride + 1, 0.0, 1.0)
+            .as_slice()
+            .to_vec();
+        for level in supported_levels() {
+            let k = exact(level);
+            let mut want = y_init.clone();
+            for (i, &scale) in scales.iter().enumerate() {
+                want[i * y_stride] +=
+                    scale * lut_gather(&bank, table, &keys[i * stride..i * stride + chunks], k);
+            }
+            let mut got = y_init.clone();
+            lut_gather_rows(&mut got, y_stride, &scales, &bank, table, &keys, stride, chunks, k);
+            let wb: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+            let gb: Vec<u32> = got.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(
+                gb, wb,
+                "level={} rows={} chunks={} stride={} y_stride={}",
+                level, rows, chunks, stride, y_stride
+            );
+        }
+    }
+
     /// Random shapes/µ/tiles: every supported level equals scalar exactly,
     /// serial and row-parallel.
     #[test]

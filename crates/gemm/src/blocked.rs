@@ -13,9 +13,15 @@
 //!    autovectorises (the slice-of-known-length pattern recommended by the
 //!    perf-book's bounds-check chapter).
 //!
-//! For `b == 1` the axpy formulation degenerates, so [`gemv_blocked`] uses a
-//! multi-accumulator dot-product kernel instead; [`gemm_blocked`] dispatches
-//! automatically.
+//! For `b == 1` the axpy formulation degenerates, so [`gemv_blocked`] runs a
+//! row-interleaved dot-product kernel instead; [`gemm_blocked`] dispatches
+//! automatically. The GEMV accumulates each output element in plain
+//! ascending-`k` order — the exact per-element order of the batched kernel
+//! (which adds into `y[i]` once per `k`, ascending, across `KC` blocks) —
+//! so the fp32-blocked family is packing-invariant: batching a column with
+//! others, or serving it alone, produces bit-identical results. ILP comes
+//! from interleaving `MR` independent row sums, never from splitting one
+//! row's sum across accumulators.
 
 use biq_matrix::{ColMatrix, Matrix};
 
@@ -46,9 +52,7 @@ pub fn gemm_blocked_into(w: &Matrix, x: &ColMatrix, pack: &mut Vec<f32>, y: &mut
     let (m, b) = (w.rows(), x.cols());
     assert_eq!(y.len(), m * b, "output buffer must hold m·b floats");
     if b == 1 {
-        for (i, yv) in y.iter_mut().enumerate() {
-            *yv = dot8(w.row(i), x.col(0));
-        }
+        gemv_rows_into(w, x.col(0), 0, y);
         return;
     }
     pack_input_row_major_into(x, pack);
@@ -143,33 +147,55 @@ pub(crate) fn gemm_blocked_packed(
     }
 }
 
-/// Multi-accumulator dot-product GEMV (`b == 1` fast path).
+/// Row-interleaved GEMV (`b == 1` fast path).
 ///
 /// # Panics
 /// Panics if `x.len() != w.cols()`.
 pub fn gemv_blocked(w: &Matrix, x: &[f32]) -> Vec<f32> {
     assert_eq!(x.len(), w.cols(), "gemv dimension mismatch");
-    (0..w.rows()).map(|i| dot8(w.row(i), x)).collect()
+    let mut y = vec![0.0f32; w.rows()];
+    gemv_rows_into(w, x, 0, &mut y);
+    y
 }
 
-/// Dot product with 8 independent accumulators so the FP adds pipeline.
-#[inline]
-pub(crate) fn dot8(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let chunks = a.len() / 8;
-    let mut acc = [0.0f32; 8];
-    let (a8, atail) = a.split_at(chunks * 8);
-    let (b8, btail) = b.split_at(chunks * 8);
-    for (ca, cb) in a8.chunks_exact(8).zip(b8.chunks_exact(8)) {
-        for l in 0..8 {
-            acc[l] += ca[l] * cb[l];
+/// The width-1 kernel over rows `[row_start, row_start + y.len())` of `W`:
+/// each output element is a plain ascending-`k` sequential sum — the exact
+/// per-element accumulation order of [`gemm_blocked_packed`], which is what
+/// makes the fp32-blocked family packing-invariant — with `MR` independent
+/// row sums interleaved so the FP adds pipeline across rows instead of
+/// within one (order-preserving ILP). Exposed so the rayon driver can hand
+/// disjoint row blocks to threads.
+pub(crate) fn gemv_rows_into(w: &Matrix, x: &[f32], row_start: usize, y: &mut [f32]) {
+    debug_assert_eq!(x.len(), w.cols());
+    debug_assert!(row_start + y.len() <= w.rows());
+    let rows = y.len();
+    let mut i = 0;
+    while i + MR <= rows {
+        let w0 = w.row(row_start + i);
+        let w1 = w.row(row_start + i + 1);
+        let w2 = w.row(row_start + i + 2);
+        let w3 = w.row(row_start + i + 3);
+        let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        for ((((&xv, &a0), &a1), &a2), &a3) in x.iter().zip(w0).zip(w1).zip(w2).zip(w3) {
+            s0 += a0 * xv;
+            s1 += a1 * xv;
+            s2 += a2 * xv;
+            s3 += a3 * xv;
         }
+        y[i] = s0;
+        y[i + 1] = s1;
+        y[i + 2] = s2;
+        y[i + 3] = s3;
+        i += MR;
     }
-    let mut s = (acc[0] + acc[4]) + (acc[1] + acc[5]) + (acc[2] + acc[6]) + (acc[3] + acc[7]);
-    for (x, y) in atail.iter().zip(btail) {
-        s += x * y;
+    while i < rows {
+        let mut s = 0.0f32;
+        for (&a, &xv) in w.row(row_start + i).iter().zip(x) {
+            s += a * xv;
+        }
+        y[i] = s;
+        i += 1;
     }
-    s
 }
 
 #[cfg(test)]
@@ -240,10 +266,46 @@ mod tests {
     }
 
     #[test]
-    fn dot8_matches_plain_dot() {
-        let a: Vec<f32> = (0..100).map(|i| (i as f32) * 0.5 - 20.0).collect();
-        let b: Vec<f32> = (0..100).map(|i| ((i * 3) % 11) as f32 - 5.0).collect();
-        let plain: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
-        assert!((dot8(&a, &b) - plain).abs() < 1e-2);
+    fn gemv_is_the_plain_sequential_dot_bit_for_bit() {
+        // The width-1 contract: every output element is an ascending-k
+        // sequential sum, exactly. Gaussian data so accumulation-order
+        // differences would actually show up in the bits.
+        let mut g = MatrixRng::seed_from(65);
+        for &(m, n) in &[(1usize, 9usize), (3, 100), (6, 31), (11, 257)] {
+            let w = g.gaussian(m, n, 0.0, 1.0);
+            let x = g.gaussian_col(n, 1, 0.0, 1.0);
+            let y = gemv_blocked(&w, x.col(0));
+            for (i, yv) in y.iter().enumerate() {
+                let mut s = 0.0f32;
+                for (a, xv) in w.row(i).iter().zip(x.col(0)) {
+                    s += a * xv;
+                }
+                assert_eq!(yv.to_bits(), s.to_bits(), "row {i} of {m}x{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn packing_a_column_never_changes_its_bits() {
+        // The fp32-blocked family is packing-invariant on gaussian data:
+        // column j of a batched run equals the column served alone,
+        // bit-identically — the property the serve batcher relies on.
+        let mut g = MatrixRng::seed_from(66);
+        for &(m, n, b) in &[(5usize, 7usize, 3usize), (16, 300, 5), (33, 65, 12)] {
+            let w = g.gaussian(m, n, 0.0, 1.0);
+            let x = g.gaussian_col(n, b, 0.0, 1.0);
+            let batched = gemm_blocked(&w, &x);
+            for j in 0..b {
+                let alone = ColMatrix::from_vec(n, 1, x.col(j).to_vec());
+                let y = gemm_blocked(&w, &alone);
+                for i in 0..m {
+                    assert_eq!(
+                        batched.row(i)[j].to_bits(),
+                        y.row(i)[0].to_bits(),
+                        "({m},{n},{b}) col {j} row {i}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -152,9 +152,7 @@ fn par_gemv_into(w: &Matrix, x: &[f32], y: &mut [f32]) {
     let rows_per_task = rows_per_task(m);
     y.par_chunks_mut(rows_per_task).enumerate().for_each(|(t, yblock)| {
         let row0 = t * rows_per_task;
-        for (r, yv) in yblock.iter_mut().enumerate() {
-            *yv = crate::blocked::dot8(w.row(row0 + r), x);
-        }
+        crate::blocked::gemv_rows_into(w, x, row0, yblock);
     });
 }
 

@@ -8,9 +8,10 @@
 //! models build their plans once and re-run them every forward pass.
 
 use biqgemm_core::planner::{
-    plan as plan_cfg, recommend_parallel, scratch_spec, ScratchSpec, Threading,
+    auto_width1_clamp, plan as plan_cfg, recommend_parallel, scratch_spec, ScratchSpec, Threading,
     DEFAULT_LUT_BUDGET_BYTES,
 };
+use biqgemm_core::simd::env_override_active;
 use biqgemm_core::{BiqConfig, KernelRequest, ResolvedKernel};
 
 /// Weight quantization recipe for BiQGEMM backends (mirrors the paper's two
@@ -74,7 +75,19 @@ pub struct ExecutionPlan {
     /// `cfg.kernel` / the `BIQ_KERNEL` override) and pinned; compiled ops
     /// carry it, the BIQM manifest records it, and no kernel re-probes
     /// CPU features at run time.
+    ///
+    /// `Auto` resolution is shape-aware: after picking the host's richest
+    /// level it applies [`auto_width1_clamp`] — at `batch_hint == 1` the
+    /// query is the width-1 gather, whose 8-lane canonical accumulation
+    /// tree fills one 256-bit register, so an AVX-512 pick is
+    /// level-neutral-or-worse there and Auto pins AVX2 instead. The clamp
+    /// never fires for `Exact`/`AtMost` requests or under a `BIQ_KERNEL`
+    /// override, and [`ExecutionPlan::kernel_reason`] records when it did.
     pub kernel: ResolvedKernel,
+    /// Why `Auto` resolution deviated from the host-best level, when it
+    /// did (`None` for explicit requests, forced levels, and the plain
+    /// host-best pick). Surfaced by `biq inspect`.
+    pub kernel_reason: Option<&'static str>,
     /// Record of the scratch-buffer sizes a serial run needs — capacity
     /// planning / introspection. `Executor::warm` provisions from the
     /// config and debug-asserts it agrees with this record.
@@ -190,7 +203,16 @@ impl PlanBuilder {
         if let Some(request) = self.kernel {
             cfg.kernel = request;
         }
-        let kernel = cfg.kernel.resolve().unwrap_or_else(|e| panic!("{e}"));
+        let mut kernel = cfg.kernel.resolve().unwrap_or_else(|e| panic!("{e}"));
+        let mut kernel_reason = None;
+        if cfg.kernel == KernelRequest::Auto && !env_override_active() {
+            if let Some((clamped, why)) = auto_width1_clamp(self.batch_hint, kernel.level()) {
+                // Exact(clamped) re-resolves through the only checked
+                // constructor; the clamp already verified host support.
+                kernel = KernelRequest::Exact(clamped).resolve().unwrap_or_else(|e| panic!("{e}"));
+                kernel_reason = Some(why);
+            }
+        }
         let threads = self
             .threads
             .unwrap_or_else(|| std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1));
@@ -208,6 +230,7 @@ impl PlanBuilder {
             threading: self.threading,
             parallel,
             kernel,
+            kernel_reason,
             scratch: scratch_spec(&cfg, self.batch_hint),
         }
     }
@@ -236,6 +259,41 @@ mod tests {
         // Auto pins the host's best level at build time (absent BIQ_KERNEL).
         let auto = PlanBuilder::new(64, 64).build();
         assert!(auto.kernel.level().is_supported());
+    }
+
+    #[test]
+    fn auto_is_shape_aware_at_batch_one() {
+        use biqgemm_core::{host_best, KernelLevel};
+        // No BIQ_KERNEL in the test environment ⇒ Auto starts from
+        // host_best and may clamp. The assertions branch on the host so
+        // the test is meaningful on AVX-512, AVX2, NEON, and scalar boxes.
+        if env_override_active() {
+            return; // forced level: the clamp must stand down (covered below anyway)
+        }
+        let b1 = PlanBuilder::new(512, 512).batch_hint(1).build();
+        let b8 = PlanBuilder::new(512, 512).batch_hint(8).build();
+        assert_eq!(b8.kernel.level(), host_best());
+        assert_eq!(b8.kernel_reason, None, "batched Auto keeps host best");
+        if host_best() == KernelLevel::Avx512 {
+            assert_eq!(b1.kernel.level(), KernelLevel::Avx2);
+            assert!(b1.kernel_reason.is_some(), "the demotion must be explained");
+        } else {
+            assert_eq!(b1.kernel.level(), host_best());
+            assert_eq!(b1.kernel_reason, None);
+        }
+        // Explicit requests are never second-guessed.
+        let exact = PlanBuilder::new(512, 512)
+            .batch_hint(1)
+            .kernel(KernelRequest::Exact(host_best()))
+            .build();
+        assert_eq!(exact.kernel.level(), host_best());
+        assert_eq!(exact.kernel_reason, None);
+        let at_most = PlanBuilder::new(512, 512)
+            .batch_hint(1)
+            .kernel(KernelRequest::AtMost(host_best()))
+            .build();
+        assert_eq!(at_most.kernel.level(), host_best());
+        assert_eq!(at_most.kernel_reason, None);
     }
 
     #[test]

@@ -64,6 +64,7 @@
 //! assert_eq!(stats.completed(), 1);
 //! ```
 
+pub mod affinity;
 pub mod batcher;
 pub mod net;
 pub mod registry;

@@ -47,6 +47,11 @@ pub struct ServerConfig {
     /// Capacity of the bounded batcher→worker job channel; the knob that
     /// propagates worker slowness back to the submit queue.
     pub job_capacity: usize,
+    /// Pin worker `i` to core `i % cpu_count()` (Linux `sched_setaffinity`)
+    /// before its executor warm-up, so first-touch arena pages land on the
+    /// core that will serve from them. Best effort: a failed pin degrades to
+    /// an unpinned worker. Off by default (`--pin-workers` opts in).
+    pub pin_workers: bool,
 }
 
 impl Default for ServerConfig {
@@ -57,6 +62,7 @@ impl Default for ServerConfig {
             batch_window: Duration::from_micros(200),
             max_batch_cols: 16,
             job_capacity: 4,
+            pin_workers: false,
         }
     }
 }
@@ -221,15 +227,17 @@ impl Server {
         let (job_tx, job_rx) = mpsc::sync_channel::<BatchJob>(config.job_capacity.max(1));
         let job_rx = Arc::new(Mutex::new(job_rx));
 
+        let cpus = crate::affinity::cpu_count();
         let workers = (0..config.workers.max(1))
             .map(|i| {
                 let registry = Arc::clone(&registry);
                 let stats = Arc::clone(&stats);
                 let job_rx = Arc::clone(&job_rx);
                 let max_cols = config.max_batch_cols.max(1);
+                let pin_to = config.pin_workers.then_some(i % cpus);
                 std::thread::Builder::new()
                     .name(format!("biq-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&registry, &stats, &job_rx, max_cols))
+                    .spawn(move || worker_loop(&registry, &stats, &job_rx, max_cols, pin_to))
                     .expect("spawn serve worker")
             })
             .collect();
@@ -348,7 +356,13 @@ fn worker_loop(
     stats: &ServerStats,
     jobs: &Mutex<Receiver<BatchJob>>,
     max_cols: usize,
+    pin_to: Option<usize>,
 ) {
+    // Pin BEFORE warming: the warm-up below first-touches every arena page,
+    // and pinning first makes those faults land on the serving core's node.
+    if let Some(cpu) = pin_to {
+        crate::affinity::pin_current_thread(cpu);
+    }
     let mut exec = Executor::new();
     for (_, reg) in registry.iter() {
         exec.warm_batch(reg.op(), max_cols.max(reg.op().plan().batch_hint));
@@ -458,6 +472,24 @@ mod tests {
         let snap = server.shutdown();
         assert_eq!(snap.ops[0].completed, 1);
         assert_eq!(snap.ops[0].queue_depth, 0);
+    }
+
+    #[test]
+    fn pinned_workers_serve_identically() {
+        // Pinning is a placement hint, never a semantic change: the same
+        // request answered by a pinned worker is bit-identical to the
+        // executor's direct answer, and a failed pin degrades silently.
+        let (reg, id) = one_op_registry(16, 32);
+        let config = ServerConfig { workers: 3, pin_workers: true, ..ServerConfig::default() };
+        let server = Server::start(reg, config);
+        let client = server.client();
+        let x = MatrixRng::seed_from(9).gaussian_col(32, 1, 0.0, 1.0);
+        let y = client.submit(id, x.clone()).unwrap().wait().unwrap();
+        let mut exec = Executor::new();
+        let y_ref = exec.run(server.registry().get(id).op(), &x);
+        assert_eq!(y.as_slice(), y_ref.as_slice());
+        let snap = server.shutdown();
+        assert_eq!(snap.ops[0].completed, 1);
     }
 
     #[test]

@@ -4,13 +4,13 @@
 //! to a direct [`Executor::run`] of the same column. Concurrent
 //! connections, pipelining, and mixed backend families included.
 //!
-//! Input domains follow the packing-invariance contract: BiQGEMM (pinned
-//! by `core/tests/batch_invariance.rs`), int8, and xnor are bit-identical
-//! across batch packings on **arbitrary real inputs**, so those families
-//! are driven with Gaussian traffic. Fp32-blocked packs value-exactly on
-//! the small-integer domain (its width-1 GEMV microkernel rounds
-//! differently from the batched kernel on arbitrary reals), so the
-//! mixed-family test uses small-int columns, like `serve_equivalence`.
+//! Every family is driven with **Gaussian traffic**: the packing-invariance
+//! contract now covers them all on arbitrary real inputs — BiQGEMM through
+//! the canonical accumulation tree (pinned by
+//! `core/tests/batch_invariance.rs`), fp32-blocked through its ascending-k
+//! GEMV (same per-element order as its batched kernel), and int8/xnor
+//! through per-column activation quantization. The historical small-int
+//! workaround for fp32-blocked is gone.
 
 use biq_matrix::{ColMatrix, MatrixRng};
 use biq_runtime::{
@@ -68,9 +68,9 @@ fn single_connection_round_trip_is_bit_identical() {
     let mut exec = Executor::new();
     for (name, op) in &ops {
         for cols in [1usize, 3] {
-            // Small-int columns: exact arithmetic for every family, so the
-            // mixed set (including fp32) must reproduce direct runs.
-            let x = g.small_int_col(op.input_size(), cols, 3);
+            // Gaussian columns: every family in the mixed set (including
+            // fp32-blocked) is packing-invariant on arbitrary reals.
+            let x = g.gaussian_col(op.input_size(), cols, 0.0, 1.0);
             let y = client.request(name, &x).unwrap();
             let y_ref = exec.run(op, &x);
             assert_eq!(y.shape(), (op.output_size(), cols));
@@ -95,13 +95,13 @@ fn concurrent_pipelining_connections_match_direct_execution() {
                 let mut g = MatrixRng::seed_from(1000 + c as u64);
                 let mut exec = Executor::new();
                 // Pipeline in bursts of 5 so frames from the 4 connections
-                // really do share batcher buckets. Small-int columns: the
-                // op set includes fp32-blocked (exact on this domain only).
+                // really do share batcher buckets, on gaussian traffic —
+                // packing must not change a bit for any family.
                 for burst in 0..per_client / 5 {
                     let mut sent = Vec::new();
                     for k in 0..5 {
                         let (name, op) = &ops[(burst + k + c) % ops.len()];
-                        let x = g.small_int_col(op.input_size(), 1, 3);
+                        let x = g.gaussian_col(op.input_size(), 1, 0.0, 1.0);
                         let id = client.send(name, &x).expect("send");
                         sent.push((id, name.clone(), x));
                     }
@@ -134,13 +134,15 @@ fn concurrent_pipelining_connections_match_direct_execution() {
 
 #[test]
 fn packing_invariant_families_are_bit_identical_on_gaussian_traffic() {
-    // BiQGEMM / int8 / xnor answer identically however the batcher packs
-    // them, on arbitrary real inputs — the serving guarantee remote
-    // clients (and the CI digest smoke) rely on.
+    // Every family answers identically however the batcher packs it, on
+    // arbitrary real inputs — the serving guarantee remote clients (and
+    // the CI digest smoke) rely on. Fp32-blocked joined the set when its
+    // width-1 GEMV adopted the batched kernel's per-element order.
     let mut g = MatrixRng::seed_from(71);
     let mut reg = ModelRegistry::new();
-    let specs: [(usize, usize, BackendSpec); 3] = [
+    let specs: [(usize, usize, BackendSpec); 4] = [
         (24, 32, BackendSpec::Biq { bits: 2, method: QuantMethod::Greedy }),
+        (16, 24, BackendSpec::Fp32Blocked),
         (12, 20, BackendSpec::Int8),
         (20, 16, BackendSpec::Xnor { bits: 2 }),
     ];
