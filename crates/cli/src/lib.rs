@@ -35,13 +35,15 @@ pub mod bench_check;
 pub mod model_cmds;
 pub mod net_cmds;
 pub mod serve_bench;
+pub mod stats_cmd;
 pub use bench_check::{cmd_bench_check, BenchCheckConfig, GateStatus};
 pub use model_cmds::{build_model, cmd_compile, cmd_inspect, cmd_run_model, CompileConfig};
 pub use net_cmds::{
     cmd_load_client, cmd_net_bench, cmd_serve, DaemonConfig, LoadClientConfig, LoadReport,
-    NetBenchConfig, NetBenchRow,
+    NetBenchConfig, NetBenchRow, ServeOptions,
 };
 pub use serve_bench::{cmd_serve_bench, ServeBenchConfig, ServeBenchRow};
+pub use stats_cmd::{cmd_stats, StatsConfig, StatsFormat};
 
 /// CLI-level errors (message-oriented; the binary prints and exits 1).
 #[derive(Debug)]

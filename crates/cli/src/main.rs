@@ -2,9 +2,9 @@
 
 use biq_cli::{
     cmd_bench_check, cmd_compile, cmd_gen, cmd_info, cmd_inspect, cmd_load_client, cmd_matmul,
-    cmd_net_bench, cmd_pack, cmd_quantize, cmd_run_model, cmd_serve, cmd_serve_bench,
+    cmd_net_bench, cmd_pack, cmd_quantize, cmd_run_model, cmd_serve, cmd_serve_bench, cmd_stats,
     BenchCheckConfig, CliError, CompileConfig, DaemonConfig, GateStatus, LoadClientConfig,
-    NetBenchConfig, ServeBenchConfig,
+    NetBenchConfig, ServeBenchConfig, ServeOptions, StatsConfig, StatsFormat,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -36,8 +36,10 @@ SERVING:
   biq serve       --model ARTIFACT --addr HOST:PORT [--workers W]
                   [--window-us U] [--max-batch B] [--queue-cap Q]
                   [--pin-workers] [--kernel auto|scalar|avx2|avx512|neon]
+                  [--stats-every SECS] [--trace-out PATH]
   biq load-client --addr HOST:PORT [--op NAME] [--requests R]
                   [--concurrency C] [--seed S] [--pipeline P]
+  biq stats       --addr HOST:PORT [--prometheus | --json] [--watch SECS]
   biq net-bench   [--requests R] [--workers W] [--concurrency C]
                   [--window-us U] [--max-batch B] [--quick] [--out PATH]
 
@@ -69,8 +71,15 @@ throughput/latency record (default results/BENCH_serve.json).
 serve is the network daemon: it loads a BIQM artifact, registers every
 linear op, and answers BIQP frames (length-prefixed, checksummed — spec in
 crates/serve/README.md) until SIGINT or stdin EOF, then drains and prints
-the final stats as JSON. load-client replays seeded single-column traffic
-over N connections and prints throughput/p50/p99 plus a response digest;
+the final stats as JSON. --stats-every prints a one-line metrics summary
+on stderr that often; --trace-out records always-on spans (net, batcher,
+workers, kernel phases) and writes Chrome trace-event JSON at shutdown
+(load it at ui.perfetto.dev). stats queries a live daemon's counters over
+the BIQP Stats admin verb and prints Prometheus text (default) or JSON,
+optionally re-polling every --watch seconds — the daemon answers from its
+registry without touching a worker. load-client replays seeded
+single-column traffic over N connections and prints throughput/p50/p99
+plus a response digest;
 for a linear artifact the digest equals `biq run-model --seed S --len R`'s
 exactly (the wire and the batcher are both bit-transparent). net-bench
 measures the wire tax over loopback (default results/BENCH_net.json), and
@@ -319,7 +328,13 @@ fn run() -> Result<(), CliError> {
                 cfg.queue_capacity = args.usize_flag("queue-cap")?.max(1);
             }
             cfg.pin_workers = args.has("pin-workers");
-            cmd_serve(&model, addr, &cfg)?;
+            let mut opts = ServeOptions::default();
+            if args.has("stats-every") {
+                opts.stats_every =
+                    Some(Duration::from_secs(args.usize_flag("stats-every")?.max(1) as u64));
+            }
+            opts.trace_out = args.flag("trace-out").map(PathBuf::from);
+            cmd_serve(&model, addr, &cfg, &opts)?;
         }
         "load-client" => {
             let mut cfg = LoadClientConfig {
@@ -345,12 +360,13 @@ fn run() -> Result<(), CliError> {
             }
             let r = cmd_load_client(&cfg)?;
             println!(
-                "{} requests against [{}] ({}x{}) over {} connections: {:.0} req/s, \
-                 p50 {} us, p99 {} us, {} busy retries",
+                "{} requests against [{}] ({}x{}, kernel {}) over {} connections: \
+                 {:.0} req/s, p50 {} us, p99 {} us, {} busy retries",
                 r.requests,
                 r.op,
                 r.m,
                 r.n,
+                r.kernel.as_deref().unwrap_or("unknown"),
                 r.concurrency,
                 r.throughput_rps,
                 r.p50_us,
@@ -358,6 +374,25 @@ fn run() -> Result<(), CliError> {
                 r.busy_retries
             );
             println!("output: {} values, digest {:016x}", r.m * r.requests, r.digest);
+        }
+        "stats" => {
+            let mut cfg = StatsConfig {
+                addr: args
+                    .flag("addr")
+                    .ok_or_else(|| CliError("missing --addr".into()))?
+                    .to_string(),
+                ..StatsConfig::default()
+            };
+            if args.has("prometheus") && args.has("json") {
+                return Err(CliError("--prometheus and --json are mutually exclusive".into()));
+            }
+            if args.has("json") {
+                cfg.format = StatsFormat::Json;
+            }
+            if args.has("watch") {
+                cfg.watch = Some(Duration::from_secs(args.usize_flag("watch")?.max(1) as u64));
+            }
+            cmd_stats(&cfg)?;
         }
         "net-bench" => {
             let mut cfg = NetBenchConfig::default();

@@ -90,10 +90,29 @@ pub fn start_daemon(
     Ok((net, ids))
 }
 
+/// Daemon-side observability switches (`biq serve` flags beyond the
+/// batching tunables).
+#[derive(Clone, Debug, Default)]
+pub struct ServeOptions {
+    /// Print a one-line metrics JSON summary on stderr every this often.
+    pub stats_every: Option<Duration>,
+    /// Record trace spans for the daemon's lifetime and write a Chrome
+    /// trace-event JSON file here at shutdown.
+    pub trace_out: Option<std::path::PathBuf>,
+}
+
 /// `biq serve`: the daemon. Serves until SIGINT or stdin EOF, then drains
 /// every accepted request and prints the final stats snapshot as JSON on
 /// stdout (status lines go to stderr so stdout stays machine-readable).
-pub fn cmd_serve(model: &Path, addr: &str, cfg: &DaemonConfig) -> Result<(), CliError> {
+pub fn cmd_serve(
+    model: &Path,
+    addr: &str,
+    cfg: &DaemonConfig,
+    opts: &ServeOptions,
+) -> Result<(), CliError> {
+    if opts.trace_out.is_some() {
+        biq_obs::set_tracing(true);
+    }
     let (net, ids) = start_daemon(model, addr, cfg)?;
     eprintln!(
         "serving {} ops from {} at {} ({} workers{}, window {} us, max batch {})",
@@ -108,15 +127,78 @@ pub fn cmd_serve(model: &Path, addr: &str, cfg: &DaemonConfig) -> Result<(), Cli
     for (name, _) in &ids {
         eprintln!("  op {name}");
     }
-    wait_for_shutdown();
+    // The periodic stats line reads the same hub snapshot the `Stats`
+    // wire verb answers from, so both views always agree.
+    let mut last_stats = Instant::now();
+    wait_for_shutdown(|| {
+        if let Some(every) = opts.stats_every {
+            if last_stats.elapsed() >= every {
+                last_stats = Instant::now();
+                eprintln!("{}", render_stats_line(&net.metrics()));
+            }
+        }
+    });
     eprintln!("shutting down: draining accepted requests");
     let stats = net.shutdown();
     println!("{}", render_stats_json(&stats));
+    if let Some(path) = &opts.trace_out {
+        let dump = biq_obs::trace::drain();
+        std::fs::write(path, biq_obs::trace::chrome_trace_json(&dump))
+            .map_err(|e| CliError(format!("write {}: {e}", path.display())))?;
+        eprintln!(
+            "trace: {} events written to {}{}",
+            dump.events.len(),
+            path.display(),
+            if dump.dropped > 0 {
+                format!(" ({} dropped by ring overwrite)", dump.dropped)
+            } else {
+                String::new()
+            },
+        );
+    }
     Ok(())
 }
 
-/// Blocks until stdin reaches EOF or SIGINT arrives (unix).
-fn wait_for_shutdown() {
+/// One line of counter totals for `--stats-every` — a compact summary of
+/// the full [`biq_obs::MetricsSnapshot`] (the same data `biq stats`
+/// renders in full).
+pub fn render_stats_line(metrics: &biq_obs::MetricsSnapshot) -> String {
+    let gauge_total = |name: &str| -> i64 {
+        metrics
+            .samples
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| match s.value {
+                biq_obs::MetricValue::Gauge(v) => v,
+                _ => 0,
+            })
+            .sum()
+    };
+    format!(
+        concat!(
+            "{{\"submitted\": {}, \"completed\": {}, \"rejected\": {}, ",
+            "\"queue_depth\": {}, \"batches\": {}, \"connections_open\": {}, ",
+            "\"frames_in\": {}, \"bytes_in\": {}, \"frames_out\": {}, \"bytes_out\": {}, ",
+            "\"busy_rejects\": {}, \"checksum_failures\": {}}}"
+        ),
+        metrics.counter_total("biq_serve_submitted_total"),
+        metrics.counter_total("biq_serve_completed_total"),
+        metrics.counter_total("biq_serve_rejected_total"),
+        gauge_total("biq_serve_queue_depth"),
+        metrics.counter_total("biq_serve_batches_total"),
+        gauge_total("biq_net_connections_open"),
+        metrics.counter_total("biq_net_frames_in_total"),
+        metrics.counter_total("biq_net_bytes_in_total"),
+        metrics.counter_total("biq_net_frames_out_total"),
+        metrics.counter_total("biq_net_bytes_out_total"),
+        metrics.counter_total("biq_net_busy_rejects_total"),
+        metrics.counter_total("biq_net_checksum_failures_total"),
+    )
+}
+
+/// Blocks until stdin reaches EOF or SIGINT arrives (unix), invoking
+/// `on_tick` once per 50 ms poll beat (the `--stats-every` hook).
+fn wait_for_shutdown(mut on_tick: impl FnMut()) {
     use std::io::Read;
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Arc;
@@ -143,6 +225,7 @@ fn wait_for_shutdown() {
     }
     while !eof.load(std::sync::atomic::Ordering::SeqCst) && !sigint::fired() {
         std::thread::sleep(Duration::from_millis(50));
+        on_tick();
     }
 }
 
@@ -281,6 +364,10 @@ pub struct LoadReport {
     /// `fnv1a64` over every reply concatenated in request (column) order —
     /// equals `run-model`'s digest for linear artifacts.
     pub digest: u64,
+    /// The kernel level the server resolved for this op (from its
+    /// `biq_op_info` stats sample; `None` when the daemon predates the
+    /// `Stats` verb).
+    pub kernel: Option<String>,
 }
 
 fn connect_retry(addr: &str, attempts: usize) -> Result<NetClient, CliError> {
@@ -410,6 +497,14 @@ pub fn cmd_load_client(cfg: &LoadClientConfig) -> Result<LoadReport, CliError> {
         let y = y.ok_or_else(|| CliError(format!("request {idx} never answered")))?;
         flat.extend_from_slice(&y);
     }
+    // One `Stats` round trip to learn which kernel level actually served
+    // the run. Best-effort: an older daemon closes the connection instead.
+    let kernel =
+        NetClient::connect(&cfg.addr).ok().and_then(|mut c| c.stats().ok()).and_then(|samples| {
+            let metrics = biq_obs::MetricsSnapshot { samples };
+            let info = metrics.find("biq_op_info", "op", &op_name)?;
+            Some(info.label("kernel")?.to_string())
+        });
     let digest = fnv1a64(&flat.iter().flat_map(|v| v.to_le_bytes()).collect::<Vec<u8>>());
     latencies.sort_unstable();
     let quantile = |p: f64| -> u64 {
@@ -428,6 +523,7 @@ pub fn cmd_load_client(cfg: &LoadClientConfig) -> Result<LoadReport, CliError> {
         p99_us: quantile(0.99),
         busy_retries,
         digest,
+        kernel,
     })
 }
 
@@ -712,6 +808,7 @@ mod tests {
         assert_eq!(report.digest, ref_digest, "wire replay must be bit-identical to run-model");
         assert_eq!(report.requests, 60);
         assert_eq!((report.m, report.n), (24, 32));
+        assert!(report.kernel.is_some(), "load-client must resolve the op's kernel via Stats");
         let stats = net.shutdown();
         assert_eq!(stats.completed(), 60);
         let _ = std::fs::remove_file(path);

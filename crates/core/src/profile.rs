@@ -76,6 +76,18 @@ impl PhaseProfile {
         self.query += other.query;
         self.replace += other.replace;
     }
+
+    /// Component-wise `self - earlier`, saturating at zero. Profiles only
+    /// accumulate, so against a genuinely earlier reading of the same
+    /// profile this is the exact per-interval delta — what serving workers
+    /// publish per batch and what the trace bridge turns into phase spans.
+    pub fn delta_since(&self, earlier: &PhaseProfile) -> PhaseProfile {
+        PhaseProfile {
+            build: self.build.saturating_sub(earlier.build),
+            query: self.query.saturating_sub(earlier.query),
+            replace: self.replace.saturating_sub(earlier.replace),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -108,6 +120,22 @@ mod tests {
         assert_eq!(v, 42);
         assert!(p.build >= Duration::from_millis(1));
         assert_eq!(p.query, Duration::ZERO);
+    }
+
+    #[test]
+    fn delta_since_is_componentwise_and_saturating() {
+        let mut earlier = PhaseProfile::new();
+        earlier.build = Duration::from_millis(2);
+        earlier.query = Duration::from_millis(5);
+        let mut later = earlier;
+        later.build += Duration::from_millis(3);
+        later.replace += Duration::from_millis(1);
+        let d = later.delta_since(&earlier);
+        assert_eq!(d.build, Duration::from_millis(3));
+        assert_eq!(d.query, Duration::ZERO);
+        assert_eq!(d.replace, Duration::from_millis(1));
+        // Saturates instead of panicking if readings are ever swapped.
+        assert_eq!(earlier.delta_since(&later).build, Duration::ZERO);
     }
 
     #[test]

@@ -1,0 +1,35 @@
+//! # biq_obs — the live observability substrate
+//!
+//! Everything a running `biq serve` daemon exposes about itself flows
+//! through this crate: a lock-free [`Registry`] of named counters, gauges,
+//! and power-of-two histograms with mergeable [`MetricsSnapshot`]s and a
+//! Prometheus text-format renderer ([`metrics`]), plus a cheap always-on
+//! span layer — [`span!`] RAII guards writing fixed-size events into
+//! per-thread ring buffers, exported as Chrome trace-event JSON loadable
+//! in Perfetto ([`trace`]).
+//!
+//! Std-only and dependency-free, like the `crates/compat` shims: the build
+//! environment is offline, so the usual `prometheus`/`tracing` crates are
+//! hand-rolled down to exactly what the serving layer needs.
+//!
+//! ## Cost model (why the hot path doesn't notice)
+//!
+//! * Recording a counter or histogram sample is one or two relaxed
+//!   `fetch_add`s — no locks, no allocation. Handles are `Arc`'d atomics
+//!   cloned out of the registry once at startup.
+//! * A [`span!`] whose tracing is disabled (the default) costs **one
+//!   relaxed atomic load** — no clock read. This matters on this repo's
+//!   reference VM, where `Instant::now()` under a paravirtual clock costs
+//!   ~11µs; spans therefore guard every clock read behind the enable flag
+//!   and sit only on coarse per-batch/per-request scopes, never per-chunk.
+//! * Snapshots and exports read the same atomics the recorders write;
+//!   nothing ever stops a worker to be observed.
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{
+    Counter, Gauge, HistogramSnapshot, MetricValue, MetricsSnapshot, Pow2Histogram, Registry,
+    Sample, BUCKETS,
+};
+pub use trace::{set_tracing, tracing_enabled, SpanGuard, TraceDump, TraceEvent};

@@ -1,0 +1,722 @@
+//! The metrics registry: named counters, gauges, and power-of-two
+//! histograms with lock-free recording, mergeable snapshots, and a
+//! Prometheus text-format renderer.
+//!
+//! Registration (cold: server startup) takes a mutex; the handles it
+//! returns are `Arc`'d atomics, so recording (hot: every request) is pure
+//! `fetch_add`/`store` with relaxed ordering. Snapshots read the same
+//! atomics — observation never blocks a recorder.
+//!
+//! ## Histogram quantile accuracy
+//!
+//! [`Pow2Histogram`] buckets a sample `v` by `floor(log2(max(v, 1)))`, so
+//! bucket `b` covers `[2^b, 2^(b+1))` (bucket 0 also absorbs 0, bucket 31
+//! is open-ended). A quantile is reported as the **geometric midpoint** of
+//! its bucket, `round(2^b · √2)`, which is within a factor of `√2 ≈ 1.41`
+//! of the true value in either direction. (An earlier revision reported
+//! the bucket's raw upper edge, `2^(b+1)` — biased high by up to 2×;
+//! `quantile_reports_geometric_midpoint` pins the fix.)
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of power-of-two histogram buckets (covers 1 .. 2^31, with the
+/// last bucket open-ended; in microseconds that is 1 µs .. ~36 min).
+pub const BUCKETS: usize = 32;
+
+/// A monotonically increasing `u64` counter handle. Cloning shares the
+/// underlying atomic.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed gauge handle (queue depths, open-connection counts). Cloning
+/// shares the underlying atomic.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `d` (negative to decrease).
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A power-of-two histogram over `u64` samples. Recording is two relaxed
+/// `fetch_add`s; the sample count is derived from the buckets at snapshot
+/// time, so a snapshot's `count` always equals the sum of its buckets (no
+/// torn count/bucket pairs — the concurrent-recorder property test pins
+/// this).
+#[derive(Debug, Default)]
+pub struct Pow2Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+}
+
+/// Bucket index for a sample: `floor(log2(max(v, 1)))`, clamped to the
+/// open-ended last bucket.
+#[inline]
+fn bucket_of(value: u64) -> usize {
+    (64 - value.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1)
+}
+
+impl Pow2Histogram {
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the bucket counts and sum.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (b, a) in buckets.iter_mut().zip(&self.buckets) {
+            *b = a.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot { buckets, sum: self.sum.load(Ordering::Relaxed) }
+    }
+
+    /// Quantile `p` of the live histogram (see [`HistogramSnapshot::quantile`]).
+    pub fn quantile(&self, p: f64) -> u64 {
+        self.snapshot().quantile(p)
+    }
+
+    /// Mean of the live histogram (exact — the sum is tracked separately).
+    pub fn mean(&self) -> f64 {
+        self.snapshot().mean()
+    }
+}
+
+/// A plain-data copy of a [`Pow2Histogram`] — what snapshots carry and the
+/// wire encodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Count per power-of-two bucket; bucket `b` covers `[2^b, 2^(b+1))`.
+    pub buckets: [u64; BUCKETS],
+    /// Sum of every recorded sample (exact).
+    pub sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self { buckets: [0; BUCKETS], sum: 0 }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total recorded samples (always equals the bucket sum by
+    /// construction).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Quantile `p` as the **geometric midpoint** of the bucket holding
+    /// rank `ceil(count · p)`: `round(2^b · √2)` for bucket `b` (bucket 0,
+    /// holding 0 and 1, reports 1). The estimate is within a factor of
+    /// `√2` of the exact quantile for in-range samples; the last bucket is
+    /// open-ended, so values ≥ 2^31 are under-reported. Returns 0 when
+    /// empty.
+    pub fn quantile(&self, p: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((total as f64) * p.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return if b == 0 {
+                    1
+                } else {
+                    ((1u64 << b) as f64 * std::f64::consts::SQRT_2).round() as u64
+                };
+            }
+        }
+        unreachable!("rank is clamped to the total bucket count")
+    }
+
+    /// Exact mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let c = self.count();
+        if c == 0 {
+            0.0
+        } else {
+            self.sum as f64 / c as f64
+        }
+    }
+
+    /// Adds another snapshot's buckets and sum into this one.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.sum += other.sum;
+    }
+}
+
+/// The value a [`Sample`] carries.
+// The histogram variant dominates the size (32 buckets + sum inline) —
+// samples only exist on the cold snapshot path, so inline beats boxing.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic count.
+    Counter(u64),
+    /// Point-in-time signed level.
+    Gauge(i64),
+    /// Bucketed distribution.
+    Histogram(HistogramSnapshot),
+}
+
+impl MetricValue {
+    /// Stable lowercase kind name (also the Prometheus `# TYPE`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// One named, labeled metric value in a snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    /// Metric name (`biq_serve_completed_total` style).
+    pub name: String,
+    /// Label pairs, in registration order.
+    pub labels: Vec<(String, String)>,
+    /// The value.
+    pub value: MetricValue,
+}
+
+impl Sample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Arc<Pow2Histogram>),
+}
+
+impl Instrument {
+    fn sample(&self) -> MetricValue {
+        match self {
+            Instrument::Counter(c) => MetricValue::Counter(c.get()),
+            Instrument::Gauge(g) => MetricValue::Gauge(g.get()),
+            Instrument::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+        }
+    }
+}
+
+/// A registry of named instruments. Registration is mutex-guarded (cold
+/// path — server startup); the returned handles record lock-free.
+/// Registering the same `(name, labels)` twice returns the **same**
+/// underlying instrument, so independent components can share a metric.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<Vec<Entry>>,
+}
+
+/// One registered instrument: name, label pairs, live handle.
+type Entry = (String, Vec<(String, String)>, Instrument);
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn register<T: Clone>(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Instrument,
+        get: impl Fn(&Instrument) -> Option<T>,
+    ) -> T {
+        let labels: Vec<(String, String)> =
+            labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        if let Some((_, _, ins)) = inner.iter().find(|(n, l, _)| n == name && *l == labels) {
+            return get(ins).unwrap_or_else(|| {
+                panic!("metric '{name}' re-registered as a different instrument kind")
+            });
+        }
+        let ins = make();
+        let handle = get(&ins).expect("freshly made instrument matches its own kind");
+        inner.push((name.to_string(), labels, ins));
+        handle
+    }
+
+    /// Registers (or retrieves) a counter.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        self.register(
+            name,
+            labels,
+            || Instrument::Counter(Counter::default()),
+            |i| match i {
+                Instrument::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// Registers (or retrieves) a gauge.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        self.register(
+            name,
+            labels,
+            || Instrument::Gauge(Gauge::default()),
+            |i| match i {
+                Instrument::Gauge(g) => Some(g.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// Registers (or retrieves) a power-of-two histogram.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Pow2Histogram> {
+        self.register(
+            name,
+            labels,
+            || Instrument::Histogram(Arc::new(Pow2Histogram::default())),
+            |i| match i {
+                Instrument::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+        )
+    }
+
+    /// A point-in-time snapshot of every registered instrument, in
+    /// registration order.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        MetricsSnapshot {
+            samples: inner
+                .iter()
+                .map(|(name, labels, ins)| Sample {
+                    name: name.clone(),
+                    labels: labels.clone(),
+                    value: ins.sample(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time set of [`Sample`]s — what the `Stats` wire verb
+/// carries, what merges across replicas, and what renders to Prometheus
+/// text or JSON.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Every sample, in registration order.
+    pub samples: Vec<Sample>,
+}
+
+impl MetricsSnapshot {
+    /// Merges `other` into `self` by `(name, labels)`: counters and gauges
+    /// add, histograms merge bucket-wise; unmatched samples append. Merging
+    /// N disjoint recorders' snapshots equals one shared recorder's
+    /// snapshot (merge == sum — the concurrency property test pins this).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for s in &other.samples {
+            match self
+                .samples
+                .iter_mut()
+                .find(|mine| mine.name == s.name && mine.labels == s.labels)
+            {
+                Some(mine) => match (&mut mine.value, &s.value) {
+                    (MetricValue::Counter(a), MetricValue::Counter(b)) => *a += b,
+                    (MetricValue::Gauge(a), MetricValue::Gauge(b)) => *a += b,
+                    (MetricValue::Histogram(a), MetricValue::Histogram(b)) => a.merge(b),
+                    _ => {} // kind clash across snapshots: keep ours
+                },
+                None => self.samples.push(s.clone()),
+            }
+        }
+    }
+
+    /// Sum of every counter sample named `name` across all label sets.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.samples
+            .iter()
+            .filter(|s| s.name == name)
+            .filter_map(|s| match s.value {
+                MetricValue::Counter(v) => Some(v),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// The first sample named `name` whose labels include `(key, value)`.
+    pub fn find(&self, name: &str, key: &str, value: &str) -> Option<&Sample> {
+        self.samples.iter().find(|s| s.name == name && s.label(key) == Some(value))
+    }
+
+    /// Prometheus text exposition format: one `# TYPE` line per metric
+    /// name (first occurrence), histograms expanded to cumulative
+    /// `_bucket{le=…}` series plus `_sum`/`_count`.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut typed: Vec<&str> = Vec::new();
+        for s in &self.samples {
+            if !typed.contains(&s.name.as_str()) {
+                typed.push(&s.name);
+                out.push_str(&format!("# TYPE {} {}\n", s.name, s.value.kind()));
+            }
+            match &s.value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("{}{} {v}\n", s.name, render_labels(&s.labels, None)));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!("{}{} {v}\n", s.name, render_labels(&s.labels, None)));
+                }
+                MetricValue::Histogram(h) => {
+                    let mut cum = 0u64;
+                    for (b, &n) in h.buckets.iter().enumerate() {
+                        cum += n;
+                        // Samples are integers, so bucket b's inclusive
+                        // upper edge is 2^(b+1) - 1; the open-ended last
+                        // bucket is +Inf.
+                        let le = if b == BUCKETS - 1 {
+                            "+Inf".to_string()
+                        } else {
+                            ((1u64 << (b + 1)) - 1).to_string()
+                        };
+                        out.push_str(&format!(
+                            "{}_bucket{} {cum}\n",
+                            s.name,
+                            render_labels(&s.labels, Some(&le)),
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{}_sum{} {}\n",
+                        s.name,
+                        render_labels(&s.labels, None),
+                        h.sum
+                    ));
+                    out.push_str(&format!(
+                        "{}_count{} {cum}\n",
+                        s.name,
+                        render_labels(&s.labels, None),
+                        cum = h.count()
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Compact JSON rendering (`biq stats --json`): an object with a
+    /// `metrics` array; histograms report count/sum/mean/p50/p99 plus
+    /// their non-empty buckets as `[inclusive_upper_edge, count]` pairs.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"metrics\": [");
+        for (i, s) in self.samples.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{{\"name\": \"{}\", \"labels\": {{", escape_json(&s.name)));
+            for (j, (k, v)) in s.labels.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("\"{}\": \"{}\"", escape_json(k), escape_json(v)));
+            }
+            out.push_str("}, ");
+            match &s.value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("\"type\": \"counter\", \"value\": {v}}}"));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!("\"type\": \"gauge\", \"value\": {v}}}"));
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!(
+                        "\"type\": \"histogram\", \"count\": {}, \"sum\": {}, \
+                         \"mean\": {:.2}, \"p50\": {}, \"p99\": {}, \"buckets\": [",
+                        h.count(),
+                        h.sum,
+                        h.mean(),
+                        h.quantile(0.50),
+                        h.quantile(0.99),
+                    ));
+                    let mut first = true;
+                    for (b, &n) in h.buckets.iter().enumerate() {
+                        if n == 0 {
+                            continue;
+                        }
+                        if !first {
+                            out.push_str(", ");
+                        }
+                        first = false;
+                        let edge = if b == BUCKETS - 1 { u64::MAX } else { (1u64 << (b + 1)) - 1 };
+                        out.push_str(&format!("[{edge}, {n}]"));
+                    }
+                    out.push_str("]}");
+                }
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// `{k="v",…}` with values escaped, optionally with a trailing `le`
+/// label; empty string when there are no labels at all.
+fn render_labels(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{k}=\"{}\"", escape_label(v)));
+    }
+    if let Some(le) = le {
+        if !labels.is_empty() {
+            out.push(',');
+        }
+        out.push_str(&format!("le=\"{le}\""));
+    }
+    out.push('}');
+    out
+}
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Minimal JSON string escaping (our names/labels are printable ASCII,
+/// but op names come from artifacts — never emit a raw quote or control
+/// byte).
+pub(crate) fn escape_json(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_reports_geometric_midpoint() {
+        // 10 samples of 3 (bucket 1 = [2,4)) and one of 1000 (bucket 9 =
+        // [512,1024)). Exact p50 is 3; the midpoint estimate is
+        // round(2·√2) = 3 — not the old upper edge 4. Exact p99 is 1000;
+        // the estimate is round(512·√2) = 724, within √2 of exact.
+        let h = Pow2Histogram::default();
+        for _ in 0..10 {
+            h.record(3);
+        }
+        h.record(1000);
+        assert_eq!(h.quantile(0.50), 3);
+        let p99 = h.quantile(0.99);
+        assert_eq!(p99, 724);
+        assert!((p99 as f64) >= 1000.0 / std::f64::consts::SQRT_2);
+        assert!((p99 as f64) <= 1000.0 * std::f64::consts::SQRT_2);
+    }
+
+    #[test]
+    fn quantile_error_is_bounded_by_sqrt2_on_known_distributions() {
+        // Uniform 1..=4096 and a geometric-ish heavy tail: the estimate
+        // must stay within √2 of the exact quantile at every probed p.
+        let uniform: Vec<u64> = (1..=4096).collect();
+        let tail: Vec<u64> = (0..1200).map(|i| 1 + (i as u64 % 13) * (1 << (i % 10))).collect();
+        for samples in [&uniform, &tail] {
+            let h = Pow2Histogram::default();
+            for &v in samples.iter() {
+                h.record(v);
+            }
+            let mut sorted = samples.to_vec();
+            sorted.sort_unstable();
+            for p in [0.10, 0.25, 0.50, 0.90, 0.99] {
+                let rank = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len());
+                let exact = sorted[rank - 1] as f64;
+                let est = h.quantile(p) as f64;
+                let ratio = if est > exact { est / exact } else { exact / est };
+                assert!(
+                    ratio <= std::f64::consts::SQRT_2 + 1e-9,
+                    "p{p}: exact {exact}, estimate {est}, ratio {ratio}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_handles_edges() {
+        let h = Pow2Histogram::default();
+        assert_eq!(h.quantile(0.99), 0, "empty histogram reports 0");
+        assert_eq!(h.mean(), 0.0);
+        h.record(0);
+        h.record(1);
+        assert_eq!(h.quantile(0.5), 1, "bucket 0 reports 1");
+        // The open-ended last bucket still answers something sane.
+        let big = Pow2Histogram::default();
+        big.record(u64::MAX);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        assert!(big.quantile(0.5) >= 1u64 << (BUCKETS - 1));
+    }
+
+    #[test]
+    fn snapshot_count_equals_bucket_sum_and_mean_is_exact() {
+        let h = Pow2Histogram::default();
+        for v in [1u64, 5, 9, 100, 7] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.sum, 122);
+        assert!((s.mean() - 24.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn registry_handles_share_and_snapshot() {
+        let reg = Registry::new();
+        let c1 = reg.counter("biq_test_total", &[("op", "a")]);
+        let c2 = reg.counter("biq_test_total", &[("op", "a")]);
+        let cb = reg.counter("biq_test_total", &[("op", "b")]);
+        c1.inc();
+        c2.add(2);
+        cb.add(10);
+        let g = reg.gauge("biq_test_depth", &[]);
+        g.set(4);
+        g.add(-1);
+        let h = reg.histogram("biq_test_lat", &[("op", "a")]);
+        h.record(8);
+        let snap = reg.snapshot();
+        assert_eq!(snap.samples.len(), 4);
+        assert_eq!(snap.find("biq_test_total", "op", "a").unwrap().value, MetricValue::Counter(3));
+        assert_eq!(snap.counter_total("biq_test_total"), 13);
+        assert_eq!(snap.samples[2].value, MetricValue::Gauge(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "different instrument kind")]
+    fn registry_rejects_kind_clash() {
+        let reg = Registry::new();
+        let _ = reg.counter("biq_clash", &[]);
+        let _ = reg.gauge("biq_clash", &[]);
+    }
+
+    #[test]
+    fn merge_adds_by_key_and_appends_unknown() {
+        let mut a = MetricsSnapshot {
+            samples: vec![Sample {
+                name: "c".into(),
+                labels: vec![("op".into(), "x".into())],
+                value: MetricValue::Counter(5),
+            }],
+        };
+        let mut hist = HistogramSnapshot::default();
+        hist.buckets[3] = 2;
+        hist.sum = 20;
+        let b = MetricsSnapshot {
+            samples: vec![
+                Sample {
+                    name: "c".into(),
+                    labels: vec![("op".into(), "x".into())],
+                    value: MetricValue::Counter(7),
+                },
+                Sample { name: "h".into(), labels: vec![], value: MetricValue::Histogram(hist) },
+            ],
+        };
+        a.merge(&b);
+        assert_eq!(a.samples.len(), 2);
+        assert_eq!(a.samples[0].value, MetricValue::Counter(12));
+        a.merge(&b);
+        match &a.samples[1].value {
+            MetricValue::Histogram(h) => {
+                assert_eq!(h.count(), 4);
+                assert_eq!(h.sum, 40);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prometheus_rendering_is_well_formed() {
+        let reg = Registry::new();
+        reg.counter("biq_req_total", &[("op", "lin\"ear")]).add(3);
+        reg.gauge("biq_depth", &[]).set(-2);
+        let h = reg.histogram("biq_lat_us", &[("op", "a")]);
+        h.record(3);
+        h.record(100);
+        let text = reg.snapshot().render_prometheus();
+        assert!(text.contains("# TYPE biq_req_total counter\n"), "{text}");
+        assert!(text.contains("biq_req_total{op=\"lin\\\"ear\"} 3\n"), "{text}");
+        assert!(text.contains("# TYPE biq_depth gauge\n"), "{text}");
+        assert!(text.contains("biq_depth -2\n"), "{text}");
+        assert!(text.contains("# TYPE biq_lat_us histogram\n"), "{text}");
+        assert!(text.contains("biq_lat_us_bucket{op=\"a\",le=\"3\"} 1\n"), "{text}");
+        assert!(text.contains("biq_lat_us_bucket{op=\"a\",le=\"+Inf\"} 2\n"), "{text}");
+        assert!(text.contains("biq_lat_us_sum{op=\"a\"} 103\n"), "{text}");
+        assert!(text.contains("biq_lat_us_count{op=\"a\"} 2\n"), "{text}");
+        // One # TYPE line per name, even with several label sets.
+        reg.counter("biq_req_total", &[("op", "b")]).inc();
+        let text = reg.snapshot().render_prometheus();
+        assert_eq!(text.matches("# TYPE biq_req_total").count(), 1, "{text}");
+    }
+
+    #[test]
+    fn json_rendering_is_shaped() {
+        let reg = Registry::new();
+        reg.counter("biq_c", &[("op", "a")]).add(2);
+        reg.histogram("biq_h", &[]).record(9);
+        let json = reg.snapshot().render_json();
+        assert!(json.starts_with("{\"metrics\": ["), "{json}");
+        assert!(json.contains("\"type\": \"counter\", \"value\": 2"), "{json}");
+        assert!(json.contains("\"type\": \"histogram\", \"count\": 1"), "{json}");
+        assert!(json.contains("\"buckets\": [[15, 1]]"), "{json}");
+    }
+}

@@ -1,0 +1,197 @@
+//! Golden-format test: the Chrome trace exporter must emit valid JSON in
+//! the trace-event format Perfetto / `chrome://tracing` load — an array of
+//! complete ("ph":"X") events with string names and numeric microsecond
+//! timestamps. Validated with a hand-rolled parser so the contract is the
+//! byte format itself, not a serializer round trip.
+//!
+//! Everything lives in one `#[test]` because the trace layer is global
+//! per process (enable flag + rings); a single entry point keeps the
+//! drained event set deterministic.
+
+use biq_obs::{span, trace};
+use std::collections::BTreeMap;
+
+/// The JSON value subset the exporter emits.
+#[derive(Debug, PartialEq)]
+enum Json {
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(BTreeMap<String, Json>),
+}
+
+/// Minimal strict JSON parser for the exporter's output (numbers,
+/// strings with escapes, arrays, flat objects). Errors on anything else.
+fn parse_json(s: &str) -> Result<Json, String> {
+    let bytes = s.as_bytes();
+    let mut at = 0usize;
+    let v = parse_value(bytes, &mut at)?;
+    skip_ws(bytes, &mut at);
+    if at != bytes.len() {
+        return Err(format!("trailing bytes at {at}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], at: &mut usize) {
+    while *at < b.len() && (b[*at] as char).is_ascii_whitespace() {
+        *at += 1;
+    }
+}
+
+fn parse_value(b: &[u8], at: &mut usize) -> Result<Json, String> {
+    skip_ws(b, at);
+    match b.get(*at) {
+        Some(b'[') => {
+            *at += 1;
+            let mut items = Vec::new();
+            loop {
+                skip_ws(b, at);
+                if b.get(*at) == Some(&b']') {
+                    *at += 1;
+                    return Ok(Json::Array(items));
+                }
+                if !items.is_empty() {
+                    if b.get(*at) != Some(&b',') {
+                        return Err(format!("expected ',' in array at {at}"));
+                    }
+                    *at += 1;
+                }
+                items.push(parse_value(b, at)?);
+            }
+        }
+        Some(b'{') => {
+            *at += 1;
+            let mut map = BTreeMap::new();
+            loop {
+                skip_ws(b, at);
+                if b.get(*at) == Some(&b'}') {
+                    *at += 1;
+                    return Ok(Json::Object(map));
+                }
+                if !map.is_empty() {
+                    if b.get(*at) != Some(&b',') {
+                        return Err(format!("expected ',' in object at {at}"));
+                    }
+                    *at += 1;
+                    skip_ws(b, at);
+                }
+                let Json::String(key) = parse_value(b, at)? else {
+                    return Err(format!("object key must be a string at {at}"));
+                };
+                skip_ws(b, at);
+                if b.get(*at) != Some(&b':') {
+                    return Err(format!("expected ':' at {at}"));
+                }
+                *at += 1;
+                map.insert(key, parse_value(b, at)?);
+            }
+        }
+        Some(b'"') => {
+            *at += 1;
+            let mut out = String::new();
+            loop {
+                match b.get(*at) {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        *at += 1;
+                        return Ok(Json::String(out));
+                    }
+                    Some(b'\\') => {
+                        *at += 1;
+                        match b.get(*at) {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'u') => {
+                                let hex = std::str::from_utf8(&b[*at + 1..*at + 5])
+                                    .map_err(|_| "bad \\u escape")?;
+                                let code =
+                                    u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                                out.push(char::from_u32(code).ok_or("bad \\u escape")?);
+                                *at += 4;
+                            }
+                            other => return Err(format!("unsupported escape {other:?}")),
+                        }
+                        *at += 1;
+                    }
+                    Some(&c) => {
+                        out.push(c as char);
+                        *at += 1;
+                    }
+                }
+            }
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            let start = *at;
+            *at += 1;
+            while *at < b.len() && matches!(b[*at], b'0'..=b'9' | b'.' | b'e' | b'E' | b'-' | b'+')
+            {
+                *at += 1;
+            }
+            std::str::from_utf8(&b[start..*at])
+                .ok()
+                .and_then(|t| t.parse().ok())
+                .map(Json::Number)
+                .ok_or_else(|| format!("bad number at {start}"))
+        }
+        other => Err(format!("unexpected {other:?} at {at}")),
+    }
+}
+
+#[test]
+fn exported_trace_is_valid_chrome_trace_event_json() {
+    trace::set_tracing(true);
+    // Spans from this thread plus a second thread, plus a bridged event —
+    // the three emission paths the serving daemon uses.
+    {
+        let _outer = span!("test.outer");
+        let _inner = span!("test.inner");
+    }
+    std::thread::spawn(|| {
+        let _s = span!("test.worker");
+    })
+    .join()
+    .unwrap();
+    trace::emit("kernel.build", 1_000, 2_500);
+    trace::set_tracing(false);
+
+    let dump = trace::drain();
+    assert!(dump.events.len() >= 4, "expected all spans drained, got {:?}", dump.events);
+    let json = trace::chrome_trace_json(&dump);
+
+    let Json::Array(events) = parse_json(&json).expect("exporter must emit valid JSON") else {
+        panic!("trace-event format is a top-level array");
+    };
+    assert_eq!(events.len(), dump.events.len());
+    let mut names = Vec::new();
+    let mut tids = Vec::new();
+    for ev in &events {
+        let Json::Object(fields) = ev else { panic!("each event is an object") };
+        // The complete-event schema Perfetto requires.
+        let Some(Json::String(name)) = fields.get("name") else { panic!("string name") };
+        assert_eq!(fields.get("cat"), Some(&Json::String("biq".into())));
+        assert_eq!(fields.get("ph"), Some(&Json::String("X".into())));
+        assert_eq!(fields.get("pid"), Some(&Json::Number(1.0)));
+        let Some(Json::Number(ts)) = fields.get("ts") else { panic!("numeric ts") };
+        let Some(Json::Number(dur)) = fields.get("dur") else { panic!("numeric dur") };
+        let Some(Json::Number(tid)) = fields.get("tid") else { panic!("numeric tid") };
+        assert!(*ts >= 0.0 && *dur >= 0.0, "non-negative microseconds");
+        names.push(name.clone());
+        tids.push(*tid as u64);
+    }
+    for expected in ["test.outer", "test.inner", "test.worker", "kernel.build"] {
+        assert!(names.iter().any(|n| n == expected), "missing event {expected} in {names:?}");
+    }
+    // The spawned thread's span must carry a different tid lane.
+    let worker_tid = tids[names.iter().position(|n| n == "test.worker").unwrap()];
+    let outer_tid = tids[names.iter().position(|n| n == "test.outer").unwrap()];
+    assert_ne!(worker_tid, outer_tid, "threads must land in distinct trace lanes");
+
+    // The bridged event is exact: 1000 ns start = 1 µs, 2500 ns = 2.5 µs.
+    let k = names.iter().position(|n| n == "kernel.build").unwrap();
+    let Json::Object(fields) = &events[k] else { unreachable!() };
+    assert_eq!(fields.get("ts"), Some(&Json::Number(1.0)));
+    assert_eq!(fields.get("dur"), Some(&Json::Number(2.5)));
+}

@@ -87,6 +87,9 @@ impl Executor {
         assert_eq!(x.rows(), op.input_size(), "inner dimension mismatch");
         assert_eq!(y.len(), op.output_size() * x.cols(), "output buffer must hold m·b floats");
         self.runs += 1;
+        // One span per executor pass, not per phase — disabled tracing
+        // costs a single relaxed load here.
+        let _span = biq_obs::span!("exec.run");
         op.backend().execute(x, &mut self.arena, &mut self.profile, y);
     }
 

@@ -75,4 +75,4 @@ pub use batcher::ServeError;
 pub use net::{NetClient, NetServer};
 pub use registry::{ModelRegistry, OpId, RegisteredOp};
 pub use server::{Client, Server, ServerConfig, Ticket};
-pub use stats::{OpStatsSnapshot, StatsSnapshot};
+pub use stats::{OpMeta, OpStatsSnapshot, StatsSnapshot};

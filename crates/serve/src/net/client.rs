@@ -83,6 +83,18 @@ impl NetClient {
         self.stream.peer_addr()
     }
 
+    /// Asks the server for a live metrics snapshot (the `Stats` admin
+    /// verb). Answered from the daemon's counters without touching a
+    /// worker, so it is safe to poll while a load test is in flight.
+    pub fn stats(&mut self) -> Result<Vec<biq_obs::Sample>, NetError> {
+        self.write_frame(&Message::Stats)?;
+        match wire::read_message(&mut self.stream)? {
+            Message::StatsReply(samples) => Ok(samples),
+            Message::Reject { req_id, code, msg } => Err(NetError::Rejected { req_id, code, msg }),
+            other => Err(unexpected(&other)),
+        }
+    }
+
     /// Asks the server for its op table.
     pub fn list_ops(&mut self) -> Result<Vec<OpInfo>, NetError> {
         self.write_frame(&Message::ListOps)?;
@@ -178,6 +190,8 @@ fn unexpected(msg: &Message) -> NetError {
         Message::Reject { .. } => "reject",
         Message::ListOps => "list-ops",
         Message::OpList(_) => "op-list",
+        Message::Stats => "stats",
+        Message::StatsReply(_) => "stats-reply",
     };
     NetError::Wire(WireError::Malformed(format!("unexpected {kind} frame from server")))
 }

@@ -23,11 +23,12 @@
 //! corrupt input never takes the server down (`net_hostile` pins this).
 
 use crate::net::wire::{self, Message, OpInfo, RejectCode, WireError};
-use crate::server::{Client, Server, Ticket};
+use crate::server::{Client, Server, StatsHandle, Ticket};
 use crate::stats::StatsSnapshot;
 use crate::ServeError;
 use biq_matrix::ColMatrix;
-use std::io::{BufWriter, Write};
+use biq_obs::{span, Counter, Gauge, MetricsSnapshot, Registry};
+use std::io::{BufWriter, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
@@ -38,6 +39,74 @@ use std::time::Duration;
 /// How often the (non-blocking) acceptor polls for the stop flag.
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
 
+/// Transport-layer counters, one set per [`NetServer`]. Every update is a
+/// relaxed atomic op on a reader/writer thread — nothing here touches a
+/// worker or takes a lock on the hot path.
+pub(crate) struct NetMetrics {
+    registry: Registry,
+    frames_in: Counter,
+    frames_out: Counter,
+    bytes_in: Counter,
+    bytes_out: Counter,
+    checksum_failures: Counter,
+    malformed: Counter,
+    busy_rejects: Counter,
+    connections_opened: Counter,
+    connections_open: Gauge,
+    stats_queries: Counter,
+}
+
+impl NetMetrics {
+    fn new() -> Self {
+        let registry = Registry::new();
+        NetMetrics {
+            frames_in: registry.counter("biq_net_frames_in_total", &[]),
+            frames_out: registry.counter("biq_net_frames_out_total", &[]),
+            bytes_in: registry.counter("biq_net_bytes_in_total", &[]),
+            bytes_out: registry.counter("biq_net_bytes_out_total", &[]),
+            checksum_failures: registry.counter("biq_net_checksum_failures_total", &[]),
+            malformed: registry.counter("biq_net_malformed_total", &[]),
+            busy_rejects: registry.counter("biq_net_busy_rejects_total", &[]),
+            connections_opened: registry.counter("biq_net_connections_opened_total", &[]),
+            connections_open: registry.gauge("biq_net_connections_open", &[]),
+            stats_queries: registry.counter("biq_net_stats_queries_total", &[]),
+            registry,
+        }
+    }
+}
+
+/// Everything a `Stats` frame is answered from: the serving layer's
+/// counters (via [`StatsHandle`]) merged with the transport counters.
+/// Shared by every connection; snapshotting reads atomics only.
+pub(crate) struct MetricsHub {
+    serve: StatsHandle,
+    net: NetMetrics,
+}
+
+impl MetricsHub {
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        let mut m = self.serve.metrics();
+        m.merge(&self.net.registry.snapshot());
+        m
+    }
+}
+
+/// A [`Read`] adapter that charges every byte pulled off the socket to a
+/// counter — how `biq_net_bytes_in_total` sees partial frames and garbage,
+/// not just well-formed messages.
+struct CountingRead<R> {
+    inner: R,
+    counter: Counter,
+}
+
+impl<R: Read> Read for CountingRead<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.counter.add(n as u64);
+        Ok(n)
+    }
+}
+
 /// What a reader hands its connection's writer thread.
 enum WriterMsg {
     /// Wait the ticket, then write the reply (or a `Canceled` reject).
@@ -46,6 +115,8 @@ enum WriterMsg {
     Reject { req_id: u64, code: RejectCode, msg: String },
     /// Write the op table.
     Ops,
+    /// Write a metrics snapshot (the `Stats` admin verb).
+    Stats,
 }
 
 /// One live connection: the stream handle (for shutdown) and the reader
@@ -63,6 +134,7 @@ pub struct NetServer {
     stop: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
     conns: Arc<Mutex<Vec<Conn>>>,
+    hub: Arc<MetricsHub>,
 }
 
 impl NetServer {
@@ -89,15 +161,24 @@ impl NetServer {
                 .collect(),
         );
         let client = server.client();
+        let hub = Arc::new(MetricsHub { serve: server.stats_handle(), net: NetMetrics::new() });
         let acceptor = {
             let stop = Arc::clone(&stop);
             let conns = Arc::clone(&conns);
+            let hub = Arc::clone(&hub);
             std::thread::Builder::new()
                 .name("biq-net-acceptor".to_string())
-                .spawn(move || acceptor_loop(listener, &stop, &conns, &client, &ops))
+                .spawn(move || acceptor_loop(listener, &stop, &conns, &client, &ops, &hub))
                 .expect("spawn net acceptor")
         };
-        Ok(NetServer { server: Some(server), local_addr, stop, acceptor: Some(acceptor), conns })
+        Ok(NetServer {
+            server: Some(server),
+            local_addr,
+            stop,
+            acceptor: Some(acceptor),
+            conns,
+            hub,
+        })
     }
 
     /// The bound address (the actual port when bound with port 0).
@@ -108,6 +189,12 @@ impl NetServer {
     /// Live statistics of the inner server.
     pub fn stats(&self) -> StatsSnapshot {
         self.server.as_ref().expect("server present until shutdown").stats()
+    }
+
+    /// Live metric samples: the serving layer's counters merged with the
+    /// transport counters — exactly what a `Stats` frame is answered with.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.hub.snapshot()
     }
 
     /// Graceful shutdown: stops accepting new connections, half-closes
@@ -154,6 +241,7 @@ fn acceptor_loop(
     conns: &Mutex<Vec<Conn>>,
     client: &Client,
     ops: &Arc<Vec<OpInfo>>,
+    hub: &Arc<MetricsHub>,
 ) {
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
@@ -169,10 +257,11 @@ fn acceptor_loop(
                 let _ = stream.set_nodelay(true);
                 let client = client.clone();
                 let ops = Arc::clone(ops);
+                let hub = Arc::clone(hub);
                 let Ok(read_half) = stream.try_clone() else { continue };
                 let reader = std::thread::Builder::new()
                     .name("biq-net-conn".to_string())
-                    .spawn(move || connection_loop(read_half, &client, &ops))
+                    .spawn(move || connection_loop(read_half, &client, &ops, &hub))
                     .expect("spawn net connection");
                 let mut guard = conns.lock().expect("conn list poisoned");
                 // Reap finished connections so the list doesn't grow with
@@ -197,29 +286,48 @@ fn acceptor_loop(
 /// Reader side of one connection. Owns the writer thread: spawns it,
 /// feeds it, and joins it before returning (so `NetServer::shutdown`
 /// joining the reader implies the writer has flushed).
-fn connection_loop(stream: TcpStream, client: &Client, ops: &Arc<Vec<OpInfo>>) {
+fn connection_loop(
+    stream: TcpStream,
+    client: &Client,
+    ops: &Arc<Vec<OpInfo>>,
+    hub: &Arc<MetricsHub>,
+) {
     let Ok(write_half) = stream.try_clone() else { return };
+    hub.net.connections_opened.inc();
+    hub.net.connections_open.add(1);
     let (tx, rx) = mpsc::channel::<WriterMsg>();
     let ops_for_writer = Arc::clone(ops);
+    let hub_for_writer = Arc::clone(hub);
     let writer = std::thread::Builder::new()
         .name("biq-net-writer".to_string())
-        .spawn(move || writer_loop(write_half, &rx, &ops_for_writer))
+        .spawn(move || writer_loop(write_half, &rx, &ops_for_writer, &hub_for_writer))
         .expect("spawn net writer");
 
-    let mut read = stream;
+    let mut read = CountingRead { inner: stream, counter: hub.net.bytes_in.clone() };
     loop {
         match wire::read_message(&mut read) {
             Ok(Message::Request { req_id, op, rows, cols, data }) => {
+                hub.net.frames_in.inc();
                 handle_request(client, &tx, req_id, &op, rows, cols, data);
             }
             Ok(Message::ListOps) => {
+                hub.net.frames_in.inc();
                 if tx.send(WriterMsg::Ops).is_err() {
+                    break;
+                }
+            }
+            Ok(Message::Stats) => {
+                hub.net.frames_in.inc();
+                hub.net.stats_queries.inc();
+                if tx.send(WriterMsg::Stats).is_err() {
                     break;
                 }
             }
             Ok(_) => {
                 // Server-to-client kinds arriving at the server violate
                 // the protocol just like garbage bytes do.
+                hub.net.frames_in.inc();
+                hub.net.malformed.inc();
                 let _ = tx.send(WriterMsg::Reject {
                     req_id: 0,
                     code: RejectCode::Malformed,
@@ -229,10 +337,14 @@ fn connection_loop(stream: TcpStream, client: &Client, ops: &Arc<Vec<OpInfo>>) {
             }
             Err(WireError::Closed) => break,
             Err(WireError::Io(_)) => break,
-            Err(WireError::Malformed(m)) => {
+            Err(e @ WireError::Malformed(_)) => {
+                hub.net.malformed.inc();
+                if e.is_checksum_mismatch() {
+                    hub.net.checksum_failures.inc();
+                }
+                let WireError::Malformed(mut m) = e else { unreachable!() };
                 // Best-effort error report, then close: a peer that sends
                 // garbage cannot be resynchronized mid-stream.
-                let mut m = m;
                 m.truncate(wire::MAX_MSG);
                 let _ =
                     tx.send(WriterMsg::Reject { req_id: 0, code: RejectCode::Malformed, msg: m });
@@ -240,7 +352,7 @@ fn connection_loop(stream: TcpStream, client: &Client, ops: &Arc<Vec<OpInfo>>) {
             }
         }
     }
-    let _ = read.shutdown(Shutdown::Read);
+    let _ = read.inner.shutdown(Shutdown::Read);
     // Closing the channel lets the writer drain queued replies and exit;
     // joining it here makes connection teardown single-step for callers.
     drop(tx);
@@ -248,7 +360,8 @@ fn connection_loop(stream: TcpStream, client: &Client, ops: &Arc<Vec<OpInfo>>) {
     // Full shutdown once the writer has flushed: the acceptor still holds
     // a clone of this socket (for NetServer::shutdown), so dropping our
     // halves alone would never FIN the peer.
-    let _ = read.shutdown(Shutdown::Both);
+    let _ = read.inner.shutdown(Shutdown::Both);
+    hub.net.connections_open.add(-1);
 }
 
 fn handle_request(
@@ -260,6 +373,7 @@ fn handle_request(
     cols: u16,
     data: Vec<f32>,
 ) {
+    let _span = span!("net.request");
     let Some(op) = client.registry().lookup(op_name) else {
         let _ = tx.send(WriterMsg::Reject {
             req_id,
@@ -306,33 +420,57 @@ fn reject_code(e: &ServeError) -> RejectCode {
 /// waits happen here, off the reader, so a connection can pipeline many
 /// requests; replies go out in submission order (FIFO per connection,
 /// which keeps the stream deterministic for a pipelining client).
-fn writer_loop(stream: TcpStream, rx: &Receiver<WriterMsg>, ops: &[OpInfo]) {
+fn writer_loop(stream: TcpStream, rx: &Receiver<WriterMsg>, ops: &[OpInfo], hub: &MetricsHub) {
     let mut w = BufWriter::new(stream);
     // After a write error the peer is gone: keep draining tickets (their
     // results must not dam up the worker replies) but stop writing.
     let mut broken = false;
     while let Ok(msg) = rx.recv() {
         let frame = match msg {
-            WriterMsg::Reply { req_id, ticket } => match ticket.wait() {
-                Ok(y) => wire::encode(&Message::Reply {
-                    req_id,
-                    rows: y.rows() as u32,
-                    cols: y.cols() as u16,
-                    data: y.as_slice().to_vec(),
-                }),
-                Err(e) => wire::encode(&Message::Reject {
-                    req_id,
-                    code: reject_code(&e),
-                    msg: e.to_string(),
-                }),
-            },
+            WriterMsg::Reply { req_id, ticket } => {
+                let waited = {
+                    let _span = span!("net.ticket_wait");
+                    ticket.wait()
+                };
+                match waited {
+                    Ok(y) => wire::encode(&Message::Reply {
+                        req_id,
+                        rows: y.rows() as u32,
+                        cols: y.cols() as u16,
+                        data: y.as_slice().to_vec(),
+                    }),
+                    Err(e) => {
+                        let code = reject_code(&e);
+                        if code == RejectCode::Busy {
+                            hub.net.busy_rejects.inc();
+                        }
+                        wire::encode(&Message::Reject { req_id, code, msg: e.to_string() })
+                    }
+                }
+            }
             WriterMsg::Reject { req_id, code, msg } => {
+                if code == RejectCode::Busy {
+                    hub.net.busy_rejects.inc();
+                }
                 wire::encode(&Message::Reject { req_id, code, msg })
             }
             WriterMsg::Ops => wire::encode(&Message::OpList(ops.to_vec())),
+            WriterMsg::Stats => {
+                // Answered from counters alone — no worker, no submit
+                // queue. Truncation below the wire cap is defensive; the
+                // sample count is ~10 per op plus a fixed transport set.
+                let mut samples = hub.snapshot().samples;
+                samples.truncate(wire::MAX_SAMPLES);
+                wire::encode(&Message::StatsReply(samples))
+            }
         };
         if !broken {
+            let _span = span!("net.write");
             broken = w.write_all(&frame).and_then(|()| w.flush()).is_err();
+            if !broken {
+                hub.net.frames_out.inc();
+                hub.net.bytes_out.add(frame.len() as u64);
+            }
         }
     }
 }

@@ -21,6 +21,7 @@
 //! panic or an over-allocation.
 
 use biq_artifact::fnv1a64;
+use biq_obs::{HistogramSnapshot, MetricValue, Sample, BUCKETS};
 use std::io::Read;
 
 /// Frame magic.
@@ -41,6 +42,20 @@ pub const MAX_ROWS: usize = 1 << 20;
 pub const MAX_MSG: usize = 1024;
 /// Cap on ops listed in one `OpList` frame.
 pub const MAX_OPS: usize = 4096;
+/// Cap on samples carried by one `StatsReply` frame.
+pub const MAX_SAMPLES: usize = 2048;
+/// Cap on a metric-name length in bytes.
+pub const MAX_METRIC_NAME: usize = 160;
+/// Cap on labels per stats sample.
+pub const MAX_LABELS: usize = 8;
+/// Cap on a label-key length in bytes.
+pub const MAX_LABEL_KEY: usize = 64;
+/// Cap on a label-value length in bytes.
+pub const MAX_LABEL_VALUE: usize = 128;
+/// `StatsReply` body schema version this codec speaks. The body carries
+/// its own version byte (separate from the frame header's) so the stats
+/// schema can evolve without a protocol bump.
+pub const STATS_VERSION: u8 = 1;
 
 /// Why a request was refused (the wire image of
 /// [`crate::ServeError`], plus `Malformed` for protocol errors).
@@ -157,6 +172,12 @@ pub enum Message {
     ListOps,
     /// Server→client: the registered ops, in registration order.
     OpList(Vec<OpInfo>),
+    /// Client→server: ask for a live metrics snapshot (admin verb, empty
+    /// body). Answered from counters the reader thread can reach — never
+    /// by touching a worker.
+    Stats,
+    /// Server→client: the metric samples behind [`Message::Stats`].
+    StatsReply(Vec<Sample>),
 }
 
 impl Message {
@@ -167,6 +188,8 @@ impl Message {
             Message::Reject { .. } => 3,
             Message::ListOps => 4,
             Message::OpList(_) => 5,
+            Message::Stats => 6,
+            Message::StatsReply(_) => 7,
         }
     }
 }
@@ -189,6 +212,15 @@ impl std::fmt::Display for WireError {
             WireError::Closed => write!(f, "connection closed"),
             WireError::Malformed(m) => write!(f, "malformed frame: {m}"),
         }
+    }
+}
+
+impl WireError {
+    /// True when the failure was specifically a body-checksum mismatch —
+    /// the one malformed-frame class that indicates corruption in transit
+    /// rather than a broken peer, so the net layer counts it separately.
+    pub fn is_checksum_mismatch(&self) -> bool {
+        matches!(self, WireError::Malformed(m) if m == "checksum mismatch")
     }
 }
 
@@ -284,6 +316,42 @@ pub fn encode(msg: &Message) -> Vec<u8> {
                 w.bytes(op.name.as_bytes());
                 w.u32(op.m);
                 w.u32(op.n);
+            }
+        }
+        Message::Stats => {}
+        Message::StatsReply(samples) => {
+            assert!(samples.len() <= MAX_SAMPLES, "sample list over cap");
+            w.u8(STATS_VERSION);
+            w.u16(samples.len() as u16);
+            for s in samples {
+                assert!(s.name.len() <= MAX_METRIC_NAME, "metric name over cap");
+                assert!(s.labels.len() <= MAX_LABELS, "label list over cap");
+                w.u8(match s.value {
+                    MetricValue::Counter(_) => 1,
+                    MetricValue::Gauge(_) => 2,
+                    MetricValue::Histogram(_) => 3,
+                });
+                w.u16(s.name.len() as u16);
+                w.bytes(s.name.as_bytes());
+                w.u8(s.labels.len() as u8);
+                for (k, v) in &s.labels {
+                    assert!(k.len() <= MAX_LABEL_KEY, "label key over cap");
+                    assert!(v.len() <= MAX_LABEL_VALUE, "label value over cap");
+                    w.u8(k.len() as u8);
+                    w.bytes(k.as_bytes());
+                    w.u8(v.len() as u8);
+                    w.bytes(v.as_bytes());
+                }
+                match &s.value {
+                    MetricValue::Counter(v) => w.u64(*v),
+                    MetricValue::Gauge(v) => w.u64(*v as u64),
+                    MetricValue::Histogram(h) => {
+                        for b in h.buckets {
+                            w.u64(b);
+                        }
+                        w.u64(h.sum);
+                    }
+                }
             }
         }
     }
@@ -452,6 +520,58 @@ fn parse_body(kind: u8, body: &[u8]) -> Result<Message, WireError> {
             }
             Message::OpList(ops)
         }
+        6 => Message::Stats,
+        7 => {
+            let version = r.u8("stats version")?;
+            if version != STATS_VERSION {
+                return Err(malformed(format!("unsupported stats version {version}")));
+            }
+            let count = r.u16("sample count")? as usize;
+            if count > MAX_SAMPLES {
+                return Err(malformed(format!("sample count {count} over cap {MAX_SAMPLES}")));
+            }
+            // Each sample is ≥ 12 bytes (kind + name length + label count +
+            // an 8-byte value); cap the allocation by what the body can
+            // actually hold before reserving.
+            if count * 12 > body.len() {
+                return Err(malformed(format!("sample count {count} exceeds body")));
+            }
+            let mut samples = Vec::with_capacity(count);
+            for _ in 0..count {
+                let sample_kind = r.u8("sample kind")?;
+                let name_len = r.u16("metric name length")? as usize;
+                let name = r.string(name_len, MAX_METRIC_NAME, "metric name")?;
+                let label_count = r.u8("label count")? as usize;
+                if label_count > MAX_LABELS {
+                    return Err(malformed(format!(
+                        "label count {label_count} over cap {MAX_LABELS}"
+                    )));
+                }
+                let mut labels = Vec::with_capacity(label_count);
+                for _ in 0..label_count {
+                    let klen = r.u8("label key length")? as usize;
+                    let key = r.string(klen, MAX_LABEL_KEY, "label key")?;
+                    let vlen = r.u8("label value length")? as usize;
+                    let value = r.string(vlen, MAX_LABEL_VALUE, "label value")?;
+                    labels.push((key, value));
+                }
+                let value = match sample_kind {
+                    1 => MetricValue::Counter(r.u64("counter value")?),
+                    2 => MetricValue::Gauge(r.u64("gauge value")? as i64),
+                    3 => {
+                        let mut buckets = [0u64; BUCKETS];
+                        for b in buckets.iter_mut() {
+                            *b = r.u64("histogram bucket")?;
+                        }
+                        let sum = r.u64("histogram sum")?;
+                        MetricValue::Histogram(HistogramSnapshot { buckets, sum })
+                    }
+                    other => return Err(malformed(format!("unknown sample kind {other}"))),
+                };
+                samples.push(Sample { name, labels, value });
+            }
+            Message::StatsReply(samples)
+        }
         other => return Err(malformed(format!("unknown frame kind {other}"))),
     };
     r.finish("frame body")?;
@@ -534,6 +654,30 @@ mod tests {
                 OpInfo { name: "a".into(), m: 4, n: 8 },
                 OpInfo { name: "b.c".into(), m: 16, n: 2 },
             ]),
+            Message::Stats,
+            Message::StatsReply(vec![
+                Sample {
+                    name: "biq_serve_completed_total".into(),
+                    labels: vec![("op".into(), "linear".into())],
+                    value: MetricValue::Counter(42),
+                },
+                Sample {
+                    name: "biq_serve_queue_depth".into(),
+                    labels: vec![("op".into(), "linear".into())],
+                    value: MetricValue::Gauge(-3),
+                },
+                Sample {
+                    name: "biq_serve_latency_us".into(),
+                    labels: Vec::new(),
+                    value: MetricValue::Histogram({
+                        let mut h = HistogramSnapshot::default();
+                        h.buckets[0] = 1;
+                        h.buckets[31] = 7;
+                        h.sum = u64::MAX;
+                        h
+                    }),
+                },
+            ]),
         ];
         for msg in msgs {
             let frame = encode(&msg);
@@ -571,6 +715,48 @@ mod tests {
         let mut frame = encode(&Message::ListOps);
         frame[8..12].copy_from_slice(&(MAX_BODY as u32 + 1).to_le_bytes());
         assert!(matches!(decode(&frame), Err(WireError::Malformed(_))));
+    }
+
+    /// Re-stamps a frame's checksum after the body was edited so only the
+    /// body validation under test can object.
+    fn restamp(frame: &mut [u8]) {
+        let sum = fold_checksum(&frame[HEADER_LEN..]);
+        frame[12..16].copy_from_slice(&sum.to_le_bytes());
+    }
+
+    #[test]
+    fn stats_reply_rejects_bad_version_and_inflated_counts() {
+        let msg = Message::StatsReply(vec![Sample {
+            name: "x".into(),
+            labels: Vec::new(),
+            value: MetricValue::Counter(1),
+        }]);
+        // Unknown stats schema version.
+        let mut frame = encode(&msg);
+        frame[HEADER_LEN] = 9;
+        restamp(&mut frame);
+        match decode(&frame) {
+            Err(WireError::Malformed(m)) => assert!(m.contains("stats version"), "{m}"),
+            other => panic!("bad version decoded: {other:?}"),
+        }
+        // A sample count the body cannot hold must fail before allocating.
+        let mut frame = encode(&msg);
+        frame[HEADER_LEN + 1..HEADER_LEN + 3].copy_from_slice(&2000u16.to_le_bytes());
+        restamp(&mut frame);
+        match decode(&frame) {
+            Err(WireError::Malformed(m)) => assert!(m.contains("sample count"), "{m}"),
+            other => panic!("inflated count decoded: {other:?}"),
+        }
+        // Trailing garbage after the last sample is an error.
+        let mut frame = encode(&msg);
+        frame.push(0);
+        let len = (frame.len() - HEADER_LEN) as u32;
+        frame[8..12].copy_from_slice(&len.to_le_bytes());
+        restamp(&mut frame);
+        match decode(&frame) {
+            Err(WireError::Malformed(m)) => assert!(m.contains("trailing"), "{m}"),
+            other => panic!("trailing bytes decoded: {other:?}"),
+        }
     }
 
     #[test]

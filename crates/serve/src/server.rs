@@ -20,8 +20,9 @@
 
 use crate::batcher::{BatchJob, Batcher, Pending, ServeError};
 use crate::registry::{ModelRegistry, OpId};
-use crate::stats::{ServerStats, StatsSnapshot};
+use crate::stats::{OpMeta, ServerStats, StatsSnapshot};
 use biq_matrix::{ColMatrix, Matrix};
+use biq_obs::MetricsSnapshot;
 use biq_runtime::Executor;
 use biqgemm_core::PhaseProfile;
 use std::sync::atomic::Ordering;
@@ -205,9 +206,25 @@ pub struct Server {
     accepting: Arc<RwLock<bool>>,
     batcher: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
-    /// Per-op `(name, pinned kernel level)` in registration order, captured
-    /// at startup for stats snapshots.
-    op_meta: Vec<(String, biqgemm_core::KernelLevel)>,
+    /// Per-op identity (name, kernel level, dims) in registration order,
+    /// captured at startup for stats snapshots.
+    op_meta: Arc<Vec<OpMeta>>,
+}
+
+/// A cheap handle onto a server's statistics block — what the net layer
+/// answers `Stats` frames from without touching the [`Server`] itself
+/// (reads are atomics only; no worker is ever involved).
+#[derive(Clone)]
+pub(crate) struct StatsHandle {
+    stats: Arc<ServerStats>,
+    op_meta: Arc<Vec<OpMeta>>,
+}
+
+impl StatsHandle {
+    /// The serving layer's live metric samples.
+    pub(crate) fn metrics(&self) -> MetricsSnapshot {
+        self.stats.metrics(&self.op_meta)
+    }
 }
 
 impl Server {
@@ -218,10 +235,17 @@ impl Server {
         let registry = Arc::new(registry);
         let stats = Arc::new(ServerStats::with_ops(registry.len()));
         let accepting = Arc::new(RwLock::new(true));
-        let op_meta: Vec<(String, biqgemm_core::KernelLevel)> = registry
-            .iter()
-            .map(|(_, o)| (o.name().to_string(), o.op().plan().kernel.level()))
-            .collect();
+        let op_meta: Arc<Vec<OpMeta>> = Arc::new(
+            registry
+                .iter()
+                .map(|(_, o)| OpMeta {
+                    name: o.name().to_string(),
+                    kernel: o.op().plan().kernel.level(),
+                    m: o.op().output_size(),
+                    n: o.op().input_size(),
+                })
+                .collect(),
+        );
 
         let (tx, rx) = mpsc::sync_channel::<Submission>(config.queue_capacity.max(1));
         let (job_tx, job_rx) = mpsc::sync_channel::<BatchJob>(config.job_capacity.max(1));
@@ -276,6 +300,17 @@ impl Server {
         StatsSnapshot::capture(&self.stats, &self.op_meta)
     }
 
+    /// Live metric samples ([`biq_obs`] form — what the net layer's
+    /// `Stats` verb and the Prometheus renderer consume).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.stats.metrics(&self.op_meta)
+    }
+
+    /// A handle that can capture metrics after `self` moves elsewhere.
+    pub(crate) fn stats_handle(&self) -> StatsHandle {
+        StatsHandle { stats: Arc::clone(&self.stats), op_meta: Arc::clone(&self.op_meta) }
+    }
+
     /// Graceful shutdown: stops accepting, serves everything already
     /// accepted (queued in the batcher's buckets, the submit queue, or the
     /// job channel), joins every thread, and returns the final statistics.
@@ -309,6 +344,15 @@ fn batcher_loop(
         let s = &stats.ops[job.op.0];
         s.queue_depth.fetch_sub(job.requests.len(), Ordering::Relaxed);
         s.record_batch(job.cols);
+        // Trace the batcher window as a span from the oldest request's
+        // enqueue to this dispatch (the time batching "charged" the batch).
+        if biq_obs::trace::tracing_enabled() {
+            if let Some(earliest) = job.requests.iter().map(|r| r.enqueued).min() {
+                let start = biq_obs::trace::instant_ns(earliest);
+                let dur = biq_obs::trace::now_ns().saturating_sub(start);
+                biq_obs::trace::emit("serve.batch_window", start, dur);
+            }
+        }
         // A send error means every worker is gone; requests are answered
         // with `Canceled` by the dropped reply senders.
         let _ = job_tx.send(job);
@@ -379,17 +423,39 @@ fn worker_loop(
             Err(_) => break,
         };
         let Ok(job) = job else { break };
-        run_job(registry, stats, &mut exec, &mut xbuf, &mut ybuf, job);
+        // One clock read per batch when tracing (the PR 6 lesson: never
+        // per-chunk); the kernel-phase child spans below are bridged from
+        // the profile delta, not re-timed.
+        let batch_start = biq_obs::trace::tracing_enabled().then(biq_obs::trace::now_ns);
+        {
+            let _span = biq_obs::span!("serve.batch");
+            run_job(registry, stats, &mut exec, &mut xbuf, &mut ybuf, job);
+        }
         // Publish this worker's kernel-phase delta since the last batch.
         let total = *exec.profile();
-        let delta = PhaseProfile {
-            build: total.build - profiled.build,
-            query: total.query - profiled.query,
-            replace: total.replace - profiled.replace,
-        };
+        let delta = total.delta_since(&profiled);
         profiled = total;
         if let Ok(mut merged) = stats.profile.lock() {
             merged.merge(&delta);
+        }
+        // Bridge the delta into the trace as sequential child events of
+        // this batch: build, then query, then replace — the phases run in
+        // that order inside the kernel, so laying them head-to-tail from
+        // the batch start reconstructs the timeline without extra clock
+        // reads inside the kernel.
+        if let Some(t0) = batch_start {
+            let mut at = t0;
+            for (name, d) in [
+                ("kernel.build", delta.build),
+                ("kernel.query", delta.query),
+                ("kernel.replace", delta.replace),
+            ] {
+                let ns = d.as_nanos() as u64;
+                if ns > 0 {
+                    biq_obs::trace::emit(name, at, ns);
+                    at += ns;
+                }
+            }
         }
     }
 }

@@ -2,66 +2,34 @@
 //! request latency quantiles per op, plus the merged kernel
 //! [`PhaseProfile`] across every worker.
 //!
-//! Latency and batch-size distributions are power-of-two histograms on
-//! atomics — recording from the hot path is a single `fetch_add`, and
-//! quantiles are answered from bucket counts (a p99 read as the upper edge
-//! of its bucket, i.e. within 2× of the true value, which is plenty for a
-//! serving dashboard).
+//! Latency and batch-size distributions are [`biq_obs::Pow2Histogram`]s —
+//! recording from the hot path is two relaxed `fetch_add`s, and quantiles
+//! are answered from bucket counts as the geometric midpoint of the
+//! holding bucket (within √2 of exact, see `biq_obs::metrics`).
+//!
+//! Two read paths share these atomics: `StatsSnapshot::capture` (the
+//! daemon's JSON report, `--stats-every` lines) and
+//! `ServerStats::metrics` (the sample list behind the `BIQP` `Stats`
+//! admin verb and the Prometheus renderer). Neither touches a worker.
 
+use biq_obs::{MetricValue, MetricsSnapshot, Pow2Histogram, Sample};
 use biqgemm_core::{KernelLevel, PhaseProfile};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
-/// Number of power-of-two buckets (covers 1 µs .. ~2400 s).
-const BUCKETS: usize = 32;
-
-/// A power-of-two histogram over `u64` samples.
-#[derive(Debug, Default)]
-struct Pow2Histogram {
-    buckets: [AtomicU64; BUCKETS],
-    count: AtomicU64,
-    sum: AtomicU64,
-}
-
-impl Pow2Histogram {
-    fn record(&self, value: u64) {
-        let b = (64 - value.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
-        self.buckets[b].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(value, Ordering::Relaxed);
-    }
-
-    /// Upper edge of the bucket holding quantile `p` (0 when empty).
-    fn quantile(&self, p: f64) -> u64 {
-        let total = self.count.load(Ordering::Relaxed);
-        if total == 0 {
-            return 0;
-        }
-        let rank = ((total as f64) * p.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (b, bucket) in self.buckets.iter().enumerate() {
-            seen += bucket.load(Ordering::Relaxed);
-            if seen >= rank {
-                return 1u64 << (b + 1);
-            }
-        }
-        1u64 << BUCKETS
-    }
-
-    fn mean(&self) -> f64 {
-        let c = self.count.load(Ordering::Relaxed);
-        if c == 0 {
-            0.0
-        } else {
-            self.sum.load(Ordering::Relaxed) as f64 / c as f64
-        }
-    }
-
-    #[cfg(test)]
-    fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
+/// Per-op identity captured at server startup: everything a snapshot
+/// reports that isn't a live counter.
+#[derive(Clone, Debug)]
+pub struct OpMeta {
+    /// Registration name.
+    pub name: String,
+    /// The kernel level the op's plan pinned.
+    pub kernel: KernelLevel,
+    /// Output rows `m`.
+    pub m: usize,
+    /// Input rows `n`.
+    pub n: usize,
 }
 
 /// Live counters for one registered op.
@@ -97,9 +65,81 @@ pub(crate) struct ServerStats {
     pub(crate) profile: Mutex<PhaseProfile>,
 }
 
+fn counter(name: &str, op: &str, v: u64) -> Sample {
+    Sample {
+        name: name.to_string(),
+        labels: vec![("op".to_string(), op.to_string())],
+        value: MetricValue::Counter(v),
+    }
+}
+
 impl ServerStats {
     pub(crate) fn with_ops(n: usize) -> Self {
         Self { ops: (0..n).map(|_| OpStats::default()).collect(), profile: Mutex::default() }
+    }
+
+    /// The serving layer's sample list — per-op counters/gauges, batch and
+    /// latency histograms, an identity `biq_op_info` gauge carrying the
+    /// pinned kernel level and dims as labels, and the merged kernel phase
+    /// profile as nanosecond counters. Reads only atomics (plus the
+    /// profile mutex no worker holds across a batch) — never a worker.
+    pub(crate) fn metrics(&self, meta: &[OpMeta]) -> MetricsSnapshot {
+        let mut samples = Vec::with_capacity(self.ops.len() * 8 + 3);
+        for (s, m) in self.ops.iter().zip(meta) {
+            let op = m.name.as_str();
+            samples.push(counter(
+                "biq_serve_submitted_total",
+                op,
+                s.submitted.load(Ordering::Relaxed),
+            ));
+            samples.push(counter(
+                "biq_serve_rejected_total",
+                op,
+                s.rejected.load(Ordering::Relaxed),
+            ));
+            samples.push(counter(
+                "biq_serve_completed_total",
+                op,
+                s.completed.load(Ordering::Relaxed),
+            ));
+            samples.push(Sample {
+                name: "biq_serve_queue_depth".to_string(),
+                labels: vec![("op".to_string(), op.to_string())],
+                value: MetricValue::Gauge(s.queue_depth.load(Ordering::Relaxed) as i64),
+            });
+            samples.push(counter("biq_serve_batches_total", op, s.batches.load(Ordering::Relaxed)));
+            samples.push(Sample {
+                name: "biq_serve_batch_cols".to_string(),
+                labels: vec![("op".to_string(), op.to_string())],
+                value: MetricValue::Histogram(s.batch_cols.snapshot()),
+            });
+            samples.push(Sample {
+                name: "biq_serve_latency_us".to_string(),
+                labels: vec![("op".to_string(), op.to_string())],
+                value: MetricValue::Histogram(s.latency_us.snapshot()),
+            });
+            samples.push(Sample {
+                name: "biq_op_info".to_string(),
+                labels: vec![
+                    ("op".to_string(), op.to_string()),
+                    ("kernel".to_string(), m.kernel.name().to_string()),
+                    ("m".to_string(), m.m.to_string()),
+                    ("n".to_string(), m.n.to_string()),
+                ],
+                value: MetricValue::Gauge(1),
+            });
+        }
+        let profile = *self.profile.lock().expect("stats profile poisoned");
+        for (phase, d) in
+            [("build", profile.build), ("query", profile.query), ("replace", profile.replace)]
+        {
+            samples.push(Sample {
+                name: format!("biq_kernel_{phase}_ns_total"),
+                labels: Vec::new(),
+                value: MetricValue::Counter(d.as_nanos() as u64),
+            });
+        }
+        MetricsSnapshot { samples }
     }
 }
 
@@ -111,6 +151,10 @@ pub struct OpStatsSnapshot {
     /// The kernel level the op's plan pinned — what every batch of this op
     /// executes at on this host.
     pub kernel: KernelLevel,
+    /// Output rows `m`.
+    pub m: usize,
+    /// Input rows `n`.
+    pub n: usize,
     /// Requests accepted into the queue.
     pub submitted: u64,
     /// Requests refused by backpressure ([`crate::Client::try_submit`]).
@@ -123,9 +167,10 @@ pub struct OpStatsSnapshot {
     pub batches: u64,
     /// Mean packed batch width (columns).
     pub mean_batch_cols: f64,
-    /// Median request latency (submit → reply), bucket upper edge.
+    /// Median request latency (submit → reply), geometric bucket midpoint
+    /// (within √2 of exact).
     pub latency_p50: Duration,
-    /// 99th-percentile request latency, bucket upper edge.
+    /// 99th-percentile request latency, geometric bucket midpoint.
     pub latency_p99: Duration,
 }
 
@@ -139,14 +184,16 @@ pub struct StatsSnapshot {
 }
 
 impl StatsSnapshot {
-    pub(crate) fn capture(stats: &ServerStats, meta: &[(String, KernelLevel)]) -> Self {
+    pub(crate) fn capture(stats: &ServerStats, meta: &[OpMeta]) -> Self {
         let ops = stats
             .ops
             .iter()
             .zip(meta)
-            .map(|(s, (name, kernel))| OpStatsSnapshot {
-                name: name.clone(),
-                kernel: *kernel,
+            .map(|(s, meta)| OpStatsSnapshot {
+                name: meta.name.clone(),
+                kernel: meta.kernel,
+                m: meta.m,
+                n: meta.n,
                 submitted: s.submitted.load(Ordering::Relaxed),
                 rejected: s.rejected.load(Ordering::Relaxed),
                 completed: s.completed.load(Ordering::Relaxed),
@@ -170,25 +217,11 @@ impl StatsSnapshot {
 mod tests {
     use super::*;
 
-    #[test]
-    fn histogram_quantiles_bracket_samples() {
-        let h = Pow2Histogram::default();
-        for v in [3u64, 3, 3, 3, 3, 3, 3, 3, 3, 1000] {
-            h.record(v);
-        }
-        assert_eq!(h.count(), 10);
-        let p50 = h.quantile(0.5);
-        assert!((3..=8).contains(&p50), "p50 bucket edge {p50}");
-        let p99 = h.quantile(0.99);
-        assert!((1000..=2048).contains(&p99), "p99 bucket edge {p99}");
-        assert!((h.mean() - 102.7).abs() < 1.0);
-    }
-
-    #[test]
-    fn empty_histogram_reports_zero() {
-        let h = Pow2Histogram::default();
-        assert_eq!(h.quantile(0.99), 0);
-        assert_eq!(h.mean(), 0.0);
+    fn test_meta() -> Vec<OpMeta> {
+        vec![
+            OpMeta { name: "a".into(), kernel: KernelLevel::Scalar, m: 4, n: 8 },
+            OpMeta { name: "b".into(), kernel: biqgemm_core::simd::host_best(), m: 16, n: 32 },
+        ]
     }
 
     #[test]
@@ -197,16 +230,44 @@ mod tests {
         stats.ops[1].submitted.fetch_add(5, Ordering::Relaxed);
         stats.ops[1].record_batch(4);
         stats.ops[1].record_latency(Duration::from_micros(100));
-        let meta =
-            vec![("a".into(), KernelLevel::Scalar), ("b".into(), biqgemm_core::simd::host_best())];
-        let snap = StatsSnapshot::capture(&stats, &meta);
+        let snap = StatsSnapshot::capture(&stats, &test_meta());
         assert_eq!(snap.ops[0].submitted, 0);
         assert_eq!(snap.ops[0].kernel, KernelLevel::Scalar);
         assert_eq!(snap.ops[1].kernel, biqgemm_core::simd::host_best());
+        assert_eq!((snap.ops[1].m, snap.ops[1].n), (16, 32));
         assert_eq!(snap.ops[1].submitted, 5);
         assert_eq!(snap.ops[1].batches, 1);
         assert_eq!(snap.ops[1].mean_batch_cols, 4.0);
-        assert!(snap.ops[1].latency_p50 >= Duration::from_micros(100));
+        // 100µs lands in bucket [64,128); the geometric midpoint estimate
+        // is within √2 of the exact sample.
+        let p50 = snap.ops[1].latency_p50.as_micros() as u64;
+        assert!((71..=142).contains(&p50), "p50 midpoint {p50}");
         assert_eq!(snap.completed(), 1);
+    }
+
+    #[test]
+    fn metrics_mirror_the_snapshot_and_carry_identity() {
+        let stats = ServerStats::with_ops(2);
+        stats.ops[0].submitted.fetch_add(3, Ordering::Relaxed);
+        stats.ops[0].record_latency(Duration::from_micros(50));
+        stats.ops[1].rejected.fetch_add(2, Ordering::Relaxed);
+        stats.profile.lock().unwrap().build = Duration::from_nanos(1234);
+        let meta = test_meta();
+        let metrics = stats.metrics(&meta);
+        assert_eq!(metrics.counter_total("biq_serve_submitted_total"), 3);
+        assert_eq!(metrics.counter_total("biq_serve_rejected_total"), 2);
+        assert_eq!(metrics.counter_total("biq_serve_completed_total"), 1);
+        assert_eq!(metrics.counter_total("biq_kernel_build_ns_total"), 1234);
+        let info = metrics.find("biq_op_info", "op", "b").expect("op b identity");
+        assert_eq!(info.label("kernel"), Some(biqgemm_core::simd::host_best().name()));
+        assert_eq!(info.label("m"), Some("16"));
+        assert_eq!(info.label("n"), Some("32"));
+        // The sample list renders to parseable Prometheus text.
+        let text = metrics.render_prometheus();
+        assert!(text.contains("biq_serve_completed_total{op=\"a\"} 1\n"), "{text}");
+        assert!(text.contains("# TYPE biq_serve_latency_us histogram\n"), "{text}");
+        // Counter totals agree between the two read paths.
+        let snap = StatsSnapshot::capture(&stats, &meta);
+        assert_eq!(snap.completed(), metrics.counter_total("biq_serve_completed_total"));
     }
 }

@@ -5,6 +5,7 @@
 //! closes that connection while continuing to serve well-formed clients.
 
 use biq_matrix::{ColMatrix, MatrixRng};
+use biq_obs::{HistogramSnapshot, MetricValue, Sample, BUCKETS};
 use biq_runtime::{compile, BackendSpec, PlanBuilder, QuantMethod, WeightSource};
 use biq_serve::net::wire::{self, Message, OpInfo, RejectCode, WireError};
 use biq_serve::net::{NetClient, NetServer};
@@ -53,7 +54,42 @@ fn arb_message() -> impl Strategy<Value = Message> {
         0..5,
     )
     .prop_map(Message::OpList);
-    prop_oneof![request, reply, reject, Just(Message::ListOps), oplist]
+    let stats_reply = proptest::collection::vec(arb_sample(), 0..5).prop_map(Message::StatsReply);
+    prop_oneof![
+        request,
+        reply,
+        reject,
+        Just(Message::ListOps),
+        oplist,
+        Just(Message::Stats),
+        stats_reply,
+    ]
+}
+
+/// Deterministic stats samples covering all three value kinds.
+fn arb_sample() -> impl Strategy<Value = Sample> {
+    let histogram = (proptest::collection::vec(any::<u64>(), BUCKETS), any::<u64>()).prop_map(
+        |(counts, sum)| {
+            let mut buckets = [0u64; BUCKETS];
+            buckets.copy_from_slice(&counts);
+            MetricValue::Histogram(HistogramSnapshot { buckets, sum })
+        },
+    );
+    let value = prop_oneof![
+        any::<u64>().prop_map(MetricValue::Counter),
+        any::<i64>().prop_map(MetricValue::Gauge),
+        histogram,
+    ];
+    let labels = proptest::collection::vec(
+        (0usize..NAMES.len(), 0usize..NAMES.len())
+            .prop_map(|(k, v)| (NAMES[k].to_string(), NAMES[v].to_string())),
+        0..3,
+    );
+    (0usize..NAMES.len(), labels, value).prop_map(|(name, labels, value)| Sample {
+        name: NAMES[name].to_string(),
+        labels,
+        value,
+    })
 }
 
 proptest! {
