@@ -36,6 +36,7 @@ pub mod model_cmds;
 pub mod net_cmds;
 pub mod serve_bench;
 pub mod stats_cmd;
+pub mod top_cmd;
 pub use bench_check::{cmd_bench_check, BenchCheckConfig, GateStatus};
 pub use model_cmds::{build_model, cmd_compile, cmd_inspect, cmd_run_model, CompileConfig};
 pub use net_cmds::{
@@ -44,6 +45,7 @@ pub use net_cmds::{
 };
 pub use serve_bench::{cmd_serve_bench, ServeBenchConfig, ServeBenchRow};
 pub use stats_cmd::{cmd_stats, StatsConfig, StatsFormat};
+pub use top_cmd::{cmd_top, TopConfig};
 
 /// CLI-level errors (message-oriented; the binary prints and exits 1).
 #[derive(Debug)]

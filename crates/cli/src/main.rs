@@ -3,8 +3,8 @@
 use biq_cli::{
     cmd_bench_check, cmd_compile, cmd_gen, cmd_info, cmd_inspect, cmd_load_client, cmd_matmul,
     cmd_net_bench, cmd_pack, cmd_quantize, cmd_run_model, cmd_serve, cmd_serve_bench, cmd_stats,
-    BenchCheckConfig, CliError, CompileConfig, DaemonConfig, GateStatus, LoadClientConfig,
-    NetBenchConfig, ServeBenchConfig, ServeOptions, StatsConfig, StatsFormat,
+    cmd_top, BenchCheckConfig, CliError, CompileConfig, DaemonConfig, GateStatus, LoadClientConfig,
+    NetBenchConfig, ServeBenchConfig, ServeOptions, StatsConfig, StatsFormat, TopConfig,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -40,6 +40,7 @@ SERVING:
   biq load-client --addr HOST:PORT [--op NAME] [--requests R]
                   [--concurrency C] [--seed S] [--pipeline P]
   biq stats       --addr HOST:PORT [--prometheus | --json] [--watch SECS]
+  biq top         --addr HOST:PORT [--once] [--interval SECS]
   biq net-bench   [--requests R] [--workers W] [--concurrency C]
                   [--window-us U] [--max-batch B] [--quick] [--out PATH]
 
@@ -71,13 +72,18 @@ throughput/latency record (default results/BENCH_serve.json).
 serve is the network daemon: it loads a BIQM artifact, registers every
 linear op, and answers BIQP frames (length-prefixed, checksummed — spec in
 crates/serve/README.md) until SIGINT or stdin EOF, then drains and prints
-the final stats as JSON. --stats-every prints a one-line metrics summary
-on stderr that often; --trace-out records always-on spans (net, batcher,
-workers, kernel phases) and writes Chrome trace-event JSON at shutdown
-(load it at ui.perfetto.dev). stats queries a live daemon's counters over
-the BIQP Stats admin verb and prints Prometheus text (default) or JSON,
-optionally re-polling every --watch seconds — the daemon answers from its
-registry without touching a worker. load-client replays seeded
+the final stats as JSON. --stats-every prints a one-line metrics summary on
+stderr that often (stderr by design: stdout stays reserved for the final
+machine-readable JSON report); --trace-out records always-on spans (net,
+batcher, workers, kernel phases) and writes Chrome trace-event JSON at
+shutdown (load it at ui.perfetto.dev). stats queries a live daemon's
+counters over the BIQP Stats admin verb and prints Prometheus text
+(default) or JSON; --watch re-polls every that many seconds and prints
+true per-interval delta rates (first round primes the baseline). top is
+the live dashboard over the History/SlowLog admin verbs: per-op req/s
+with sparkline history, windowed p50/p99, and the slowest requests broken
+down by lifecycle phase (queue/window/exec/ticket/write); --once prints a
+single plain snapshot for scripts and CI. load-client replays seeded
 single-column traffic over N connections and prints throughput/p50/p99
 plus a response digest;
 for a linear artifact the digest equals `biq run-model --seed S --len R`'s
@@ -393,6 +399,20 @@ fn run() -> Result<(), CliError> {
                 cfg.watch = Some(Duration::from_secs(args.usize_flag("watch")?.max(1) as u64));
             }
             cmd_stats(&cfg)?;
+        }
+        "top" => {
+            let mut cfg = TopConfig {
+                addr: args
+                    .flag("addr")
+                    .ok_or_else(|| CliError("missing --addr".into()))?
+                    .to_string(),
+                ..TopConfig::default()
+            };
+            cfg.once = args.has("once");
+            if args.has("interval") {
+                cfg.interval = Duration::from_secs(args.usize_flag("interval")?.max(1) as u64);
+            }
+            cmd_top(&cfg)?;
         }
         "net-bench" => {
             let mut cfg = NetBenchConfig::default();

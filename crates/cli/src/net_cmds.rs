@@ -130,7 +130,18 @@ pub fn cmd_serve(
     // The periodic stats line reads the same hub snapshot the `Stats`
     // wire verb answers from, so both views always agree.
     let mut last_stats = Instant::now();
+    // Housekeeping beat: feed the rolling time-series the `History` verb
+    // and `biq top` answer from, one point per second. Prime the delta
+    // baseline now, at zero traffic — otherwise requests served before
+    // the first beat would vanish into the baseline snapshot and the
+    // first interval would under-report.
+    net.sample_series();
+    let mut last_sample = Instant::now();
     wait_for_shutdown(|| {
+        if last_sample.elapsed() >= Duration::from_secs(1) {
+            last_sample = Instant::now();
+            net.sample_series();
+        }
         if let Some(every) = opts.stats_every {
             if last_stats.elapsed() >= every {
                 last_stats = Instant::now();

@@ -4,13 +4,15 @@
 //! The daemon answers from its counter registry without touching a worker
 //! or the submit queue, so polling mid-load (CI does, every few seconds)
 //! never perturbs the traffic being measured. `--watch <secs>` re-queries
-//! on a fresh connection each round until interrupted — a zero-dependency
-//! stand-in for a scrape loop.
+//! on a fresh connection each round until interrupted and prints **true
+//! per-interval rates** — each round is the delta between consecutive
+//! snapshots ([`MetricsSnapshot::delta_since`], the same path the
+//! daemon's `History` series ring uses), not lifetime aggregates.
 
 use crate::CliError;
-use biq_obs::MetricsSnapshot;
+use biq_obs::{op_points, MetricsSnapshot, OpPoint};
 use biq_serve::net::NetClient;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Output shape of `biq stats`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -73,16 +75,63 @@ pub fn render_stats(metrics: &MetricsSnapshot, format: StatsFormat) -> String {
     }
 }
 
-/// `biq stats`: print one snapshot, or loop under `--watch`.
+/// One `--watch` round as a rate table: per-op requests/s, windowed
+/// latency quantiles, queue depth, and rejects over the interval.
+pub fn render_watch_round(ops: &[OpPoint], interval_ns: u64) -> String {
+    let mut out = format!(
+        "interval {:.1}s\n{:<12} {:>8} {:>9} {:>9} {:>6} {:>7} {:>5}\n",
+        interval_ns as f64 / 1e9,
+        "OP",
+        "REQ/S",
+        "P50_US",
+        "P99_US",
+        "QUEUE",
+        "BATCH",
+        "REJ"
+    );
+    for op in ops {
+        out.push_str(&format!(
+            "{:<12} {:>8.1} {:>9} {:>9} {:>6} {:>7.2} {:>5}\n",
+            op.op,
+            op.rate(interval_ns),
+            op.p50_us,
+            op.p99_us,
+            op.queue_depth,
+            op.batch_cols_x100 as f64 / 100.0,
+            op.rejected,
+        ));
+    }
+    out
+}
+
+/// `biq stats`: print one snapshot, or loop under `--watch` printing
+/// per-interval delta rates (the first round only primes the baseline).
 pub fn cmd_stats(cfg: &StatsConfig) -> Result<(), CliError> {
-    loop {
+    let Some(every) = cfg.watch else {
         let metrics = fetch_stats(&cfg.addr, cfg.connect_attempts)?;
         print!("{}", render_stats(&metrics, cfg.format));
-        let Some(every) = cfg.watch else { break };
-        println!();
+        return Ok(());
+    };
+    let mut prev: Option<(MetricsSnapshot, Instant)> = None;
+    loop {
+        let metrics = fetch_stats(&cfg.addr, cfg.connect_attempts)?;
+        let now = Instant::now();
+        match &prev {
+            Some((p, t)) => {
+                let delta = metrics.delta_since(p);
+                let interval_ns = now.duration_since(*t).as_nanos() as u64;
+                print!("{}", render_watch_round(&op_points(&delta), interval_ns));
+                println!();
+            }
+            None => eprintln!(
+                "watching {} every {:.0}s (rates are per-interval deltas; first round primes)",
+                cfg.addr,
+                every.as_secs_f64()
+            ),
+        }
+        prev = Some((metrics, now));
         std::thread::sleep(every);
     }
-    Ok(())
 }
 
 #[cfg(test)]

@@ -1,0 +1,136 @@
+//! `biq top`: a live terminal dashboard over a running daemon's `History`
+//! and `SlowLog` admin verbs — per-op request rates with sparkline
+//! history, windowed latency quantiles, and the slowest requests with
+//! their phase breakdowns.
+//!
+//! The rendering itself is [`biq_obs::render_dashboard`] (pure strings);
+//! this module only fetches the two payloads and drives the refresh. In
+//! live mode each frame starts with an ANSI clear; `--once` prints a
+//! single plain-text snapshot and exits, which is what the CI smoke greps
+//! (no TTY required).
+
+use crate::CliError;
+use biq_obs::render_dashboard;
+use biq_serve::net::NetClient;
+use std::io::Write;
+use std::time::Duration;
+
+/// Parameters of one `biq top` invocation.
+#[derive(Clone, Debug)]
+pub struct TopConfig {
+    /// Daemon address (`host:port`).
+    pub addr: String,
+    /// Print one snapshot and exit instead of refreshing.
+    pub once: bool,
+    /// Refresh period in live mode.
+    pub interval: Duration,
+    /// Connection attempts before giving up (100 ms apart).
+    pub connect_attempts: usize,
+}
+
+impl Default for TopConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:8790".into(),
+            once: false,
+            interval: Duration::from_secs(1),
+            connect_attempts: 10,
+        }
+    }
+}
+
+/// One dashboard frame: fetches the daemon's retained time-series and
+/// slow log over a connected client and renders them.
+pub fn fetch_frame(client: &mut NetClient, title: &str) -> Result<String, CliError> {
+    let points = client.history(0).map_err(|e| CliError(format!("history query: {e}")))?;
+    let slow = client.slow_log(0).map_err(|e| CliError(format!("slow-log query: {e}")))?;
+    Ok(render_dashboard(title, &points, &slow))
+}
+
+fn connect_retry(addr: &str, attempts: usize) -> Result<NetClient, CliError> {
+    let mut last = None;
+    for _ in 0..attempts.max(1) {
+        match NetClient::connect(addr) {
+            Ok(c) => return Ok(c),
+            Err(e) => {
+                last = Some(e);
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    }
+    Err(CliError(format!("connect {addr}: {}", last.expect("at least one attempt"))))
+}
+
+/// `biq top`: print one snapshot (`--once`) or refresh until the
+/// connection drops or the process is interrupted.
+pub fn cmd_top(cfg: &TopConfig) -> Result<(), CliError> {
+    let mut client = connect_retry(&cfg.addr, cfg.connect_attempts)?;
+    loop {
+        let frame = fetch_frame(&mut client, &cfg.addr)?;
+        if cfg.once {
+            print!("{frame}");
+            return Ok(());
+        }
+        // Clear + home, then the frame: a flicker-free enough refresh
+        // without pulling in a terminal library.
+        print!("\x1b[2J\x1b[H{frame}");
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(cfg.interval);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model_cmds::{cmd_compile, CompileConfig};
+    use crate::net_cmds::{cmd_load_client, start_daemon, DaemonConfig, LoadClientConfig};
+
+    /// The full `biq top --once` path against a live daemon: drive load,
+    /// sample the series ring (as the daemon loop does each second), and
+    /// check the dashboard carries a nonzero rate row and a slow-log row
+    /// whose phases sum to its end-to-end latency.
+    #[test]
+    fn top_once_renders_live_rates_and_slow_log() {
+        let path = std::env::temp_dir().join("biq_cli_top_once.biqmod");
+        let cfg = CompileConfig {
+            kind: "linear".into(),
+            d_model: 16,
+            d_ff: 24,
+            ..CompileConfig::default()
+        };
+        cmd_compile(&cfg, &path).unwrap();
+        let (net, _ids) = start_daemon(&path, "127.0.0.1:0", &DaemonConfig::default()).unwrap();
+        let addr = net.local_addr().to_string();
+        net.sample_series(); // prime the delta baseline
+        cmd_load_client(&LoadClientConfig {
+            addr: addr.clone(),
+            requests: 30,
+            concurrency: 2,
+            ..LoadClientConfig::default()
+        })
+        .unwrap();
+        net.sample_series(); // close the interval covering the load
+
+        let mut client = NetClient::connect(&addr).unwrap();
+        let frame = fetch_frame(&mut client, &addr).unwrap();
+        // Per-op row: op name in column 1, nonzero windowed rate in
+        // column 2 — the exact contract the CI smoke greps.
+        let op_row = frame.lines().find(|l| l.starts_with("linear")).expect("op row");
+        let rate: f64 = op_row.split_whitespace().nth(1).unwrap().parse().unwrap();
+        assert!(rate > 0.0, "windowed rate must be nonzero: {op_row}");
+        // Slow row: `#<req_id>` then the op name.
+        let slow_row = frame.lines().find(|l| l.starts_with('#')).expect("slow row");
+        assert_eq!(slow_row.split_whitespace().nth(1), Some("linear"));
+
+        // The wire-carried records keep the phase-sum invariant.
+        let hits = client.slow_log(0).unwrap();
+        assert!(!hits.is_empty());
+        for hit in &hits {
+            assert_eq!(hit.rec.phase_sum(), hit.rec.total_ns, "{hit:?}");
+            assert!(hit.rec.req_id > 0, "wire requests carry their req_id: {hit:?}");
+            assert!(hit.rec.write_ns + hit.rec.ticket_ns > 0, "writer phases stamped: {hit:?}");
+        }
+        net.shutdown();
+        let _ = std::fs::remove_file(path);
+    }
+}

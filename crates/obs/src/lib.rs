@@ -25,11 +25,30 @@
 //! * Snapshots and exports read the same atomics the recorders write;
 //!   nothing ever stops a worker to be observed.
 
+//! ## Tail attribution & exemplars
+//!
+//! Aggregates explain means; tails need witnesses. The [`record`] module
+//! captures a fixed-size [`RequestRecord`] per completed request — a
+//! phase breakdown (queue / batch window / exec / ticket / write) built
+//! from clock stamps the serving layer already takes — into a lock-free
+//! ring plus a slowest-N reservoir, and the [`series`] module keeps a
+//! rolling ring of per-interval delta snapshots so rates are windowed
+//! truths instead of lifetime averages. [`render`] turns both into the
+//! `biq top` terminal dashboard.
+
 pub mod metrics;
+pub mod record;
+pub mod render;
+pub mod series;
 pub mod trace;
 
 pub use metrics::{
     Counter, Gauge, HistogramSnapshot, MetricValue, MetricsSnapshot, Pow2Histogram, Registry,
     Sample, BUCKETS,
 };
-pub use trace::{set_tracing, tracing_enabled, SpanGuard, TraceDump, TraceEvent};
+pub use record::{RecordRing, RecordSink, RequestRecord, SlowHit, SlowLog, PHASES};
+pub use render::{phase_bar, render_dashboard, sparkline};
+pub use series::{op_points, OpPoint, SeriesPoint, SeriesRing};
+pub use trace::{
+    set_tracing, tracing_enabled, RingHealth, SpanGuard, TraceDump, TraceEvent, TraceHealth,
+};

@@ -184,6 +184,18 @@ impl HistogramSnapshot {
         }
         self.sum += other.sum;
     }
+
+    /// Bucket-wise difference `self − prev`, saturating at zero — the
+    /// distribution of samples recorded *between* two cumulative
+    /// snapshots of the same histogram.
+    pub fn saturating_sub(&self, prev: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut out = *self;
+        for (a, b) in out.buckets.iter_mut().zip(&prev.buckets) {
+            *a = a.saturating_sub(*b);
+        }
+        out.sum = out.sum.saturating_sub(prev.sum);
+        out
+    }
 }
 
 /// The value a [`Sample`] carries.
@@ -370,6 +382,39 @@ impl MetricsSnapshot {
                 None => self.samples.push(s.clone()),
             }
         }
+    }
+
+    /// The per-interval delta `self − prev` by `(name, labels)`: counters
+    /// and histograms subtract (saturating at zero, so a restarted
+    /// recorder reads as quiet rather than wrapping), gauges keep `self`'s
+    /// current level, and samples absent from `prev` pass through whole.
+    /// Samples only in `prev` are dropped — the interval view describes
+    /// what exists *now*. This is the one shared definition of "rate" used
+    /// by both the daemon's history ring and `biq stats --watch`.
+    pub fn delta_since(&self, prev: &MetricsSnapshot) -> MetricsSnapshot {
+        let samples = self
+            .samples
+            .iter()
+            .map(|s| {
+                let old = prev
+                    .samples
+                    .iter()
+                    .find(|p| p.name == s.name && p.labels == s.labels)
+                    .map(|p| &p.value);
+                let value = match (&s.value, old) {
+                    (MetricValue::Counter(a), Some(MetricValue::Counter(b))) => {
+                        MetricValue::Counter(a.saturating_sub(*b))
+                    }
+                    (MetricValue::Histogram(a), Some(MetricValue::Histogram(b))) => {
+                        MetricValue::Histogram(a.saturating_sub(b))
+                    }
+                    // Gauges are levels (and kind clashes keep ours).
+                    (v, _) => v.clone(),
+                };
+                Sample { name: s.name.clone(), labels: s.labels.clone(), value }
+            })
+            .collect();
+        MetricsSnapshot { samples }
     }
 
     /// Sum of every counter sample named `name` across all label sets.

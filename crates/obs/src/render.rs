@@ -1,0 +1,260 @@
+//! Terminal rendering for the `biq top` dashboard: sparklines, phase
+//! bars, and the full per-op/slowest-request layout.
+//!
+//! Pure string builders over [`SeriesPoint`]s and [`SlowHit`]s — no
+//! terminal control here beyond plain text, so the same renderer backs
+//! the live refreshing view (the CLI adds the ANSI clear) and the
+//! `--once` non-TTY snapshot mode that CI greps. Layout contract the
+//! smoke test relies on: each per-op row starts with the op name in
+//! column 1, each slow-log row starts with `#<req_id>` and carries the op
+//! name in column 2.
+
+use crate::record::{SlowHit, PHASES};
+use crate::series::SeriesPoint;
+
+/// Unicode block characters, shortest to tallest.
+const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// One character per value, scaled to the series maximum (a flat-zero
+/// series renders as all-minimum bars). Empty input renders empty.
+pub fn sparkline(values: &[f64]) -> String {
+    let max = values.iter().cloned().fold(0.0f64, f64::max);
+    values
+        .iter()
+        .map(|&v| {
+            if max <= 0.0 || v <= 0.0 {
+                BARS[0]
+            } else {
+                let idx = (v / max * (BARS.len() - 1) as f64).round() as usize;
+                BARS[idx.min(BARS.len() - 1)]
+            }
+        })
+        .collect()
+}
+
+/// A proportional phase bar of `width` characters: one letter per phase
+/// (`q`ueue, `w`indow/batching, `e`xec, `t`icket, `s`ocket-write), each
+/// phase's run length proportional to its share of the total. A nonzero
+/// phase too small for a full cell still gets one cell, so nothing that
+/// actually happened disappears from the picture.
+pub fn phase_bar(phases: &[u64; 5], width: usize) -> String {
+    const LETTERS: [char; 5] = ['q', 'w', 'e', 't', 's'];
+    let total: u64 = phases.iter().sum();
+    if total == 0 || width == 0 {
+        return "·".repeat(width.max(1));
+    }
+    // Largest-remainder apportionment with a 1-cell floor for nonzero
+    // phases; trim overflow from the largest allocation.
+    let mut cells: Vec<usize> = phases
+        .iter()
+        .map(|&p| {
+            if p == 0 {
+                0
+            } else {
+                (((p as f64 / total as f64) * width as f64).round() as usize).max(1)
+            }
+        })
+        .collect();
+    while cells.iter().sum::<usize>() > width.max(phases.iter().filter(|&&p| p > 0).count()) {
+        let i = (0..5).max_by_key(|&i| cells[i]).expect("five phases");
+        cells[i] -= 1;
+    }
+    cells.iter().zip(LETTERS).flat_map(|(&n, c)| std::iter::repeat_n(c, n)).collect()
+}
+
+/// Per-op activity aggregated over a whole history window.
+struct OpWindow {
+    op: String,
+    completed: u64,
+    rejected: u64,
+    /// Latest interval's queue depth (a level).
+    queue_depth: u64,
+    /// Batch-width mean weighted by per-interval batch counts, ×100.
+    batch_cols_x100: u64,
+    /// Latency quantiles from the most recent interval that completed
+    /// anything (per-interval quantiles don't merge).
+    p50_us: u64,
+    p99_us: u64,
+    /// Per-interval completion rates, oldest first (sparkline fodder).
+    rates: Vec<f64>,
+}
+
+fn aggregate(points: &[SeriesPoint]) -> Vec<OpWindow> {
+    let mut out: Vec<OpWindow> = Vec::new();
+    for (i, point) in points.iter().enumerate() {
+        for op in &point.ops {
+            let w = match out.iter_mut().find(|w| w.op == op.op) {
+                Some(w) => w,
+                None => {
+                    out.push(OpWindow {
+                        op: op.op.clone(),
+                        completed: 0,
+                        rejected: 0,
+                        queue_depth: 0,
+                        batch_cols_x100: 0,
+                        p50_us: 0,
+                        p99_us: 0,
+                        // An op first seen mid-window was idle before it.
+                        rates: vec![0.0; i],
+                    });
+                    out.last_mut().expect("just pushed")
+                }
+            };
+            w.completed += op.completed;
+            w.rejected += op.rejected;
+            w.queue_depth = op.queue_depth;
+            if op.batches > 0 {
+                w.batch_cols_x100 = op.batch_cols_x100;
+            }
+            if op.completed > 0 {
+                w.p50_us = op.p50_us;
+                w.p99_us = op.p99_us;
+            }
+            w.rates.push(op.rate(point.interval_ns));
+        }
+    }
+    out
+}
+
+/// Renders the full dashboard: a header, a per-op rate table with
+/// sparkline history, and the slowest-request table with phase
+/// breakdowns. `title` names the daemon (typically its address).
+pub fn render_dashboard(title: &str, points: &[SeriesPoint], slow: &[SlowHit]) -> String {
+    let window_ns: u64 = points.iter().map(|p| p.interval_ns).sum();
+    let mut out = format!(
+        "biq top — {title} — {} samples, window {:.1}s\n\n",
+        points.len(),
+        window_ns as f64 / 1e9,
+    );
+    out.push_str(&format!(
+        "{:<12} {:>8} {:>9} {:>9} {:>6} {:>7} {:>5}  HISTORY\n",
+        "OP", "REQ/S", "P50_US", "P99_US", "QUEUE", "BATCH", "REJ"
+    ));
+    let windows = aggregate(points);
+    if windows.is_empty() {
+        out.push_str("(no samples yet)\n");
+    }
+    for w in &windows {
+        let rate = if window_ns == 0 { 0.0 } else { w.completed as f64 / (window_ns as f64 / 1e9) };
+        out.push_str(&format!(
+            "{:<12} {:>8.1} {:>9} {:>9} {:>6} {:>7.2} {:>5}  {}\n",
+            w.op,
+            rate,
+            w.p50_us,
+            w.p99_us,
+            w.queue_depth,
+            w.batch_cols_x100 as f64 / 100.0,
+            w.rejected,
+            sparkline(&w.rates),
+        ));
+    }
+    out.push_str(&format!(
+        "\n{:<10} {:<12} {:>5} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}  PHASES ({})\n",
+        "SLOWEST",
+        "OP",
+        "COLS",
+        "TOTAL_US",
+        "QUEUE_US",
+        "WIN_US",
+        "EXEC_US",
+        "TICKET_US",
+        "WRITE_US",
+        PHASES.join("/"),
+    ));
+    if slow.is_empty() {
+        out.push_str("(no requests captured yet)\n");
+    }
+    for hit in slow {
+        let r = &hit.rec;
+        let us = |ns: u64| ns / 1_000;
+        out.push_str(&format!(
+            "#{:<9} {:<12} {:>5} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}  [{}]\n",
+            r.req_id,
+            hit.op,
+            r.cols,
+            us(r.total_ns),
+            us(r.queue_ns),
+            us(r.window_ns),
+            us(r.exec_ns),
+            us(r.ticket_ns),
+            us(r.write_ns),
+            phase_bar(&r.phases(), 24),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RequestRecord;
+    use crate::series::OpPoint;
+
+    #[test]
+    fn sparkline_scales_to_max() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[0.0, 0.0]), "▁▁");
+        let s = sparkline(&[0.0, 4.0, 8.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.ends_with('█'), "{s}");
+        assert!(s.starts_with('▁'), "max-relative scaling: {s}");
+    }
+
+    #[test]
+    fn phase_bar_is_proportional_and_total_width() {
+        let bar = phase_bar(&[50, 0, 50, 0, 0], 10);
+        assert_eq!(bar, "qqqqqeeeee");
+        let empty = phase_bar(&[0; 5], 6);
+        assert_eq!(empty, "······");
+        // A tiny nonzero phase still shows up.
+        let tiny = phase_bar(&[1, 0, 997, 1, 1], 8);
+        assert!(tiny.contains('q') && tiny.contains('t') && tiny.contains('s'), "{tiny}");
+        assert!(tiny.chars().count() >= 8, "{tiny}");
+    }
+
+    fn point(t_ms: u64, completed: u64, p99: u64) -> SeriesPoint {
+        SeriesPoint {
+            t_ms,
+            interval_ns: 1_000_000_000,
+            ops: vec![OpPoint {
+                op: "linear".into(),
+                submitted: completed,
+                completed,
+                rejected: 0,
+                queue_depth: 3,
+                batches: completed / 2,
+                batch_cols_x100: 250,
+                p50_us: 120,
+                p99_us: p99,
+            }],
+        }
+    }
+
+    #[test]
+    fn dashboard_rows_follow_the_grep_contract() {
+        let points = [point(1_000, 0, 0), point(2_000, 40, 900)];
+        let slow = [SlowHit {
+            op: "linear".into(),
+            rec: RequestRecord::from_timeline(17, 0, 2, 0, 1_000, 301_000, 5_301_000, 0, 0),
+        }];
+        let text = render_dashboard("127.0.0.1:1", &points, &slow);
+        // Per-op row: op name in column 1, windowed rate in column 2.
+        let op_row = text.lines().find(|l| l.starts_with("linear")).expect("op row");
+        let rate: f64 = op_row.split_whitespace().nth(1).unwrap().parse().unwrap();
+        assert!((rate - 20.0).abs() < 0.1, "40 completed over 2s: {op_row}");
+        assert!(op_row.contains('█'), "sparkline present: {op_row}");
+        // Slow row: #req_id then op name.
+        let slow_row = text.lines().find(|l| l.starts_with("#17")).expect("slow row");
+        assert_eq!(slow_row.split_whitespace().nth(1), Some("linear"));
+        assert!(slow_row.contains("5301"), "total µs: {slow_row}");
+        // Quantiles come from the latest active interval.
+        assert!(op_row.contains("900"), "{op_row}");
+    }
+
+    #[test]
+    fn dashboard_handles_empty_inputs() {
+        let text = render_dashboard("x", &[], &[]);
+        assert!(text.contains("(no samples yet)"));
+        assert!(text.contains("(no requests captured yet)"));
+    }
+}

@@ -1,0 +1,281 @@
+//! Rolling time-series of per-interval serving rates.
+//!
+//! Cumulative counters answer "how much ever"; operators ask "how much
+//! *now*". This module turns consecutive [`MetricsSnapshot`]s into
+//! per-interval deltas ([`MetricsSnapshot::delta_since`]) and distills the
+//! `biq_serve_*` convention into one [`SeriesPoint`] per sampling tick —
+//! true windowed rates and quantiles, not lifetime aggregates. The daemon
+//! keeps a bounded [`SeriesRing`] of these points (the `History` wire
+//! verb's payload), and `biq stats --watch` shares the same delta path so
+//! the two read paths can never disagree about what "rate" means.
+
+use crate::metrics::{MetricValue, MetricsSnapshot};
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// One op's activity over a single sampling interval. All fields are
+/// plain `u64`s so the wire layout stays fixed-width; `batch_cols_x100`
+/// is the mean packed batch width in hundredths of a column.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OpPoint {
+    /// Op registration name.
+    pub op: String,
+    /// Requests admitted during the interval.
+    pub submitted: u64,
+    /// Requests answered during the interval.
+    pub completed: u64,
+    /// Requests refused by backpressure during the interval.
+    pub rejected: u64,
+    /// Queue depth at the end of the interval (a level, not a delta).
+    pub queue_depth: u64,
+    /// Batches executed during the interval.
+    pub batches: u64,
+    /// Mean batch width over the interval, fixed-point ×100.
+    pub batch_cols_x100: u64,
+    /// Median latency of requests completed *in this interval*, µs.
+    pub p50_us: u64,
+    /// 99th-percentile latency of this interval's requests, µs.
+    pub p99_us: u64,
+}
+
+impl OpPoint {
+    /// Completed requests per second given the interval length.
+    pub fn rate(&self, interval_ns: u64) -> f64 {
+        if interval_ns == 0 {
+            0.0
+        } else {
+            self.completed as f64 / (interval_ns as f64 / 1e9)
+        }
+    }
+}
+
+/// One sampling tick: when it was taken, how long the interval was, and
+/// every op's activity within it.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SeriesPoint {
+    /// Sample time, milliseconds since the process trace epoch.
+    pub t_ms: u64,
+    /// Length of the interval this point covers, nanoseconds.
+    pub interval_ns: u64,
+    /// Per-op activity, in registration order.
+    pub ops: Vec<OpPoint>,
+}
+
+/// Distills a **delta** snapshot (see [`MetricsSnapshot::delta_since`])
+/// into per-op points, keyed on the `biq_serve_*` metric conventions. Ops
+/// are discovered from `biq_serve_submitted_total` samples, in order.
+pub fn op_points(delta: &MetricsSnapshot) -> Vec<OpPoint> {
+    let counter = |name: &str, op: &str| -> u64 {
+        match delta.find(name, "op", op).map(|s| &s.value) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    };
+    delta
+        .samples
+        .iter()
+        .filter(|s| s.name == "biq_serve_submitted_total")
+        .filter_map(|s| s.label("op"))
+        .map(|op| {
+            let queue_depth = match delta.find("biq_serve_queue_depth", "op", op).map(|s| &s.value)
+            {
+                Some(MetricValue::Gauge(v)) => (*v).max(0) as u64,
+                _ => 0,
+            };
+            let (batch_cols_x100, _) = histogram_stats(delta, "biq_serve_batch_cols", op);
+            let (p50_us, p99_us) =
+                match delta.find("biq_serve_latency_us", "op", op).map(|s| &s.value) {
+                    Some(MetricValue::Histogram(h)) => (h.quantile(0.50), h.quantile(0.99)),
+                    _ => (0, 0),
+                };
+            OpPoint {
+                op: op.to_string(),
+                submitted: counter("biq_serve_submitted_total", op),
+                completed: counter("biq_serve_completed_total", op),
+                rejected: counter("biq_serve_rejected_total", op),
+                queue_depth,
+                batches: counter("biq_serve_batches_total", op),
+                batch_cols_x100,
+                p50_us,
+                p99_us,
+            }
+        })
+        .collect()
+}
+
+/// `(mean × 100, count)` of a labeled histogram sample, 0 when absent.
+fn histogram_stats(snap: &MetricsSnapshot, name: &str, op: &str) -> (u64, u64) {
+    match snap.find(name, "op", op).map(|s| &s.value) {
+        Some(MetricValue::Histogram(h)) => ((h.mean() * 100.0).round() as u64, h.count()),
+        _ => (0, 0),
+    }
+}
+
+struct SeriesInner {
+    /// The previous cumulative snapshot and its sample time, once primed.
+    prev: Option<(MetricsSnapshot, u64)>,
+    points: VecDeque<SeriesPoint>,
+}
+
+/// A bounded ring of [`SeriesPoint`]s fed by periodic cumulative
+/// snapshots. The first call primes the baseline; each later call pushes
+/// the delta since the previous one. Mutex-guarded — sampling runs on the
+/// daemon's housekeeping tick (~1 Hz), never on a request path.
+pub struct SeriesRing {
+    cap: usize,
+    inner: Mutex<SeriesInner>,
+}
+
+impl SeriesRing {
+    /// A ring keeping the most recent `cap` points (`cap` ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        SeriesRing {
+            cap: cap.max(1),
+            inner: Mutex::new(SeriesInner { prev: None, points: VecDeque::new() }),
+        }
+    }
+
+    /// Feeds one cumulative snapshot taken at `t_ms` (milliseconds since
+    /// the trace epoch). Returns the point pushed, or `None` on the
+    /// priming call (no interval to delta over yet).
+    pub fn sample(&self, snap: &MetricsSnapshot, t_ms: u64) -> Option<SeriesPoint> {
+        let mut inner = self.inner.lock().expect("series ring poisoned");
+        let point = match &inner.prev {
+            Some((prev, prev_ms)) => {
+                let delta = snap.delta_since(prev);
+                let point = SeriesPoint {
+                    t_ms,
+                    interval_ns: t_ms.saturating_sub(*prev_ms) * 1_000_000,
+                    ops: op_points(&delta),
+                };
+                if inner.points.len() == self.cap {
+                    inner.points.pop_front();
+                }
+                inner.points.push_back(point.clone());
+                Some(point)
+            }
+            None => None,
+        };
+        inner.prev = Some((snap.clone(), t_ms));
+        point
+    }
+
+    /// The most recent `max` points, oldest first (0 = all retained).
+    pub fn recent(&self, max: usize) -> Vec<SeriesPoint> {
+        let inner = self.inner.lock().expect("series ring poisoned");
+        let max = if max == 0 { inner.points.len() } else { max };
+        let skip = inner.points.len().saturating_sub(max);
+        inner.points.iter().skip(skip).cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{Pow2Histogram, Sample};
+
+    fn serve_snapshot(completed: u64, latencies_us: &[u64], depth: i64) -> MetricsSnapshot {
+        let lat = Pow2Histogram::default();
+        for &v in latencies_us {
+            lat.record(v);
+        }
+        let cols = Pow2Histogram::default();
+        cols.record(4);
+        let op = |name: &str, v: MetricValue| Sample {
+            name: name.into(),
+            labels: vec![("op".into(), "linear".into())],
+            value: v,
+        };
+        MetricsSnapshot {
+            samples: vec![
+                op("biq_serve_submitted_total", MetricValue::Counter(completed + 1)),
+                op("biq_serve_completed_total", MetricValue::Counter(completed)),
+                op("biq_serve_rejected_total", MetricValue::Counter(1)),
+                op("biq_serve_queue_depth", MetricValue::Gauge(depth)),
+                op("biq_serve_batches_total", MetricValue::Counter(completed / 2)),
+                op("biq_serve_batch_cols", MetricValue::Histogram(cols.snapshot())),
+                op("biq_serve_latency_us", MetricValue::Histogram(lat.snapshot())),
+            ],
+        }
+    }
+
+    #[test]
+    fn op_points_read_the_serve_convention() {
+        let prev = serve_snapshot(10, &[100; 10], 2);
+        let cur = serve_snapshot(30, &[100; 10], 5); // +20 completed, 0 new latency
+        let delta = cur.delta_since(&prev);
+        let pts = op_points(&delta);
+        assert_eq!(pts.len(), 1);
+        let p = &pts[0];
+        assert_eq!(p.op, "linear");
+        assert_eq!(p.completed, 20);
+        assert_eq!(p.submitted, 20);
+        assert_eq!(p.rejected, 0, "rejected unchanged across the interval");
+        assert_eq!(p.queue_depth, 5, "gauge reports the current level");
+        assert_eq!(p.p50_us, 0, "no samples landed in this interval");
+        assert!((p.rate(2_000_000_000) - 10.0).abs() < 1e-9, "20 completed over 2s");
+    }
+
+    #[test]
+    fn interval_quantiles_are_windowed_not_lifetime() {
+        // Lifetime: 100 fast + 10 slow. Interval: only the 10 slow ones.
+        let mut fast = vec![10u64; 100];
+        let prev = serve_snapshot(100, &fast, 0);
+        fast.extend([5_000u64; 10]);
+        let cur = serve_snapshot(110, &fast, 0);
+        let pts = op_points(&cur.delta_since(&prev));
+        // The windowed p50 reflects only the slow requests (geometric
+        // midpoint of the [4096, 8192) bucket), not the fast lifetime mass.
+        assert!(pts[0].p50_us > 4_000, "windowed p50 {}", pts[0].p50_us);
+    }
+
+    #[test]
+    fn ring_primes_then_deltas_and_bounds() {
+        let ring = SeriesRing::new(3);
+        assert!(ring.sample(&serve_snapshot(0, &[], 0), 1_000).is_none(), "priming call");
+        for i in 1..=5u64 {
+            let p = ring.sample(&serve_snapshot(i * 10, &[], 0), 1_000 + i * 1_000).unwrap();
+            assert_eq!(p.ops[0].completed, 10);
+            assert_eq!(p.interval_ns, 1_000_000_000);
+        }
+        let pts = ring.recent(0);
+        assert_eq!(pts.len(), 3, "capacity bound");
+        assert_eq!(pts[0].t_ms, 4_000, "oldest retained");
+        assert_eq!(ring.recent(1).len(), 1);
+        assert_eq!(ring.recent(1)[0].t_ms, 6_000, "max trims from the old end");
+    }
+
+    #[test]
+    fn delta_since_subtracts_counters_and_histograms() {
+        let prev = serve_snapshot(10, &[50, 50], 1);
+        let cur = serve_snapshot(25, &[50, 50, 800], 4);
+        let d = cur.delta_since(&prev);
+        assert_eq!(d.counter_total("biq_serve_completed_total"), 15);
+        match &d.find("biq_serve_latency_us", "op", "linear").unwrap().value {
+            MetricValue::Histogram(h) => {
+                assert_eq!(h.count(), 1, "one new latency sample");
+                assert_eq!(h.sum, 800);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        match d.find("biq_serve_queue_depth", "op", "linear").unwrap().value {
+            MetricValue::Gauge(g) => assert_eq!(g, 4, "gauges keep the current level"),
+            ref other => panic!("expected gauge, got {other:?}"),
+        }
+        // A sample present only in the newer snapshot passes through whole.
+        let mut cur2 = cur.clone();
+        cur2.samples.push(Sample {
+            name: "biq_new_total".into(),
+            labels: vec![],
+            value: MetricValue::Counter(7),
+        });
+        assert_eq!(cur2.delta_since(&prev).counter_total("biq_new_total"), 7);
+        // Counter regression (restart) saturates at zero instead of wrapping.
+        let d_rev = prev.delta_since(&cur);
+        assert_eq!(d_rev.counter_total("biq_serve_completed_total"), 0);
+        match &d_rev.find("biq_serve_latency_us", "op", "linear").unwrap().value {
+            MetricValue::Histogram(h) => assert_eq!((h.count(), h.sum), (0, 0)),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+}

@@ -251,6 +251,78 @@ pub fn drain() -> TraceDump {
     dump
 }
 
+// ----------------------------------------------------------------- health
+
+/// Drop count for one thread's ring.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RingHealth {
+    /// Stable display id of the owning thread.
+    pub tid: u64,
+    /// Events lost to ring overwrite since startup.
+    pub dropped: u64,
+}
+
+/// Observability of the observability: whether tracing is on and how many
+/// events each ring has overwritten. A nonzero drop count means a trace
+/// dump is missing history — the CI smoke asserts zero under load.
+#[derive(Clone, Debug, Default)]
+pub struct TraceHealth {
+    /// Whether spans currently record.
+    pub enabled: bool,
+    /// Per-thread ring drop counts, in ring-registration order.
+    pub rings: Vec<RingHealth>,
+}
+
+impl TraceHealth {
+    /// Total events dropped across every ring.
+    pub fn dropped_total(&self) -> u64 {
+        self.rings.iter().map(|r| r.dropped).sum()
+    }
+
+    /// The health as metric samples, mergeable into any
+    /// [`crate::MetricsSnapshot`]: a `biq_trace_enabled` gauge, a
+    /// `biq_trace_rings` gauge, and one `biq_trace_ring_dropped{tid=…}`
+    /// counter per ring.
+    pub fn samples(&self) -> Vec<crate::metrics::Sample> {
+        use crate::metrics::{MetricValue, Sample};
+        let mut out = vec![
+            Sample {
+                name: "biq_trace_enabled".to_string(),
+                labels: Vec::new(),
+                value: MetricValue::Gauge(self.enabled as i64),
+            },
+            Sample {
+                name: "biq_trace_rings".to_string(),
+                labels: Vec::new(),
+                value: MetricValue::Gauge(self.rings.len() as i64),
+            },
+        ];
+        for r in &self.rings {
+            out.push(Sample {
+                name: "biq_trace_ring_dropped".to_string(),
+                labels: vec![("tid".to_string(), r.tid.to_string())],
+                value: MetricValue::Counter(r.dropped),
+            });
+        }
+        out
+    }
+}
+
+/// Reads the trace subsystem's own health: cheap (the registration-list
+/// mutex plus one acquire load per ring), safe to call live.
+pub fn health() -> TraceHealth {
+    let rings = rings()
+        .lock()
+        .expect("trace ring list poisoned")
+        .iter()
+        .map(|ring| RingHealth {
+            tid: ring.tid,
+            dropped: ring.head.load(Ordering::Acquire).saturating_sub(RING_CAP as u64),
+        })
+        .collect();
+    TraceHealth { enabled: tracing_enabled(), rings }
+}
+
 /// Renders a dump as Chrome trace-event JSON (the "complete event"
 /// `"ph": "X"` form): an array of objects with `name`/`cat`/`ph`/`ts`/
 /// `dur`/`pid`/`tid`, timestamps in **microseconds** since the trace
@@ -323,6 +395,30 @@ mod tests {
         let tids: std::collections::HashSet<u64> =
             dump.events.iter().filter(|e| e.name == "test.threaded").map(|e| e.tid).collect();
         assert_eq!(tids.len(), 3, "each thread owns a ring: {dump:?}");
+    }
+
+    #[test]
+    fn health_reports_rings_and_enabled_flag() {
+        set_tracing(true);
+        emit("test.health", 1, 1); // ensure this thread's ring exists
+        let h = health();
+        assert!(h.enabled);
+        assert!(!h.rings.is_empty());
+        set_tracing(false);
+        let h = health();
+        assert!(!h.enabled);
+        let samples = h.samples();
+        let enabled = samples.iter().find(|s| s.name == "biq_trace_enabled").unwrap();
+        assert_eq!(enabled.value, crate::metrics::MetricValue::Gauge(0));
+        // One labeled drop counter per ring, all zero in a test process
+        // that never wrote RING_CAP events from one thread.
+        let dropped: Vec<_> =
+            samples.iter().filter(|s| s.name == "biq_trace_ring_dropped").collect();
+        assert_eq!(dropped.len(), h.rings.len());
+        assert!(dropped.iter().all(|s| s.label("tid").is_some()));
+        let mut snap = crate::MetricsSnapshot::default();
+        snap.merge(&crate::MetricsSnapshot { samples });
+        assert_eq!(snap.counter_total("biq_trace_ring_dropped"), h.dropped_total());
     }
 
     #[test]

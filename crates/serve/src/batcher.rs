@@ -59,13 +59,50 @@ impl std::fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
+/// Lifecycle stamps a worker hands back with each reply: everything known
+/// up to "outputs ready", as nanoseconds since the trace epoch. The net
+/// writer extends the timeline with its own ticket/write stamps and turns
+/// the whole thing into a [`biq_obs::RequestRecord`]; in-process requests
+/// are recorded at the worker with the last two phases zero. Built from
+/// clock reads the serving path already takes — stamping adds arithmetic,
+/// never an extra `Instant::now()`.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct Lap {
+    /// Op registration index.
+    pub(crate) op: u32,
+    /// This request's column count.
+    pub(crate) cols: u32,
+    /// Admission (submit or frame decode).
+    pub(crate) enqueued_ns: u64,
+    /// Picked up by the batcher thread.
+    pub(crate) pushed_ns: u64,
+    /// Bucket flushed to the worker channel.
+    pub(crate) dispatched_ns: u64,
+    /// Outputs computed, reply about to be sent.
+    pub(crate) done_ns: u64,
+}
+
+/// A successful reply: the result plus its lifecycle stamps.
+#[derive(Debug)]
+pub(crate) struct Answer {
+    pub(crate) matrix: Matrix,
+    pub(crate) lap: Lap,
+}
+
 /// One accepted inference request, waiting in a bucket.
 #[derive(Debug)]
 pub(crate) struct Pending {
     pub(crate) op: OpId,
     pub(crate) x: ColMatrix,
-    pub(crate) reply: mpsc::Sender<Result<Matrix, ServeError>>,
+    pub(crate) reply: mpsc::Sender<Result<Answer, ServeError>>,
     pub(crate) enqueued: Instant,
+    /// When the batcher picked the request off the submit queue (restamped
+    /// by [`Batcher::push`] from the clock read the loop already took).
+    pub(crate) pushed: Instant,
+    /// When `true`, the request came over the wire and the net writer
+    /// finalizes its lifecycle record (adding ticket/write phases); the
+    /// worker must not record it, or it would be counted twice.
+    pub(crate) deferred: bool,
 }
 
 /// A flushed bucket: requests a worker packs into one executor pass.
@@ -75,6 +112,8 @@ pub(crate) struct BatchJob {
     pub(crate) requests: Vec<Pending>,
     /// Total packed width (sum of request column counts).
     pub(crate) cols: usize,
+    /// When the bucket flushed toward a worker (the window phase's end).
+    pub(crate) dispatched: Instant,
 }
 
 /// One op's open bucket.
@@ -104,12 +143,14 @@ impl Batcher {
     /// single-request job (it cannot gain from waiting and must not stall
     /// the bucket).
     pub(crate) fn push(&mut self, p: Pending, now: Instant) -> Option<BatchJob> {
+        let mut p = p;
+        p.pushed = now; // queue wait ends here; window wait begins
         let op = p.op;
         let cols = p.x.cols();
         let slot = &mut self.buckets[op.0];
         match slot {
             None if cols >= self.max_cols => {
-                return Some(BatchJob { op, cols, requests: vec![p] });
+                return Some(BatchJob { op, cols, requests: vec![p], dispatched: now });
             }
             None => {
                 *slot = Some(Bucket { requests: vec![p], cols, opened: now });
@@ -120,7 +161,7 @@ impl Batcher {
             }
         }
         if slot.as_ref().is_some_and(|b| b.cols >= self.max_cols) {
-            self.take(op)
+            self.take(op, now)
         } else {
             None
         }
@@ -141,12 +182,12 @@ impl Batcher {
             .filter(|(_, b)| b.as_ref().is_some_and(|b| b.opened + window <= now))
             .map(|(i, _)| OpId(i))
             .collect();
-        expired.into_iter().filter_map(|op| self.take(op)).collect()
+        expired.into_iter().filter_map(|op| self.take(op, now)).collect()
     }
 
     /// Flushes everything (shutdown drain).
-    pub(crate) fn flush_all(&mut self) -> Vec<BatchJob> {
-        (0..self.buckets.len()).filter_map(|i| self.take(OpId(i))).collect()
+    pub(crate) fn flush_all(&mut self, now: Instant) -> Vec<BatchJob> {
+        (0..self.buckets.len()).filter_map(|i| self.take(OpId(i), now)).collect()
     }
 
     /// Requests currently waiting in open buckets.
@@ -155,8 +196,13 @@ impl Batcher {
         self.buckets.iter().flatten().map(|b| b.requests.len()).sum()
     }
 
-    fn take(&mut self, op: OpId) -> Option<BatchJob> {
-        self.buckets[op.0].take().map(|b| BatchJob { op, requests: b.requests, cols: b.cols })
+    fn take(&mut self, op: OpId, now: Instant) -> Option<BatchJob> {
+        self.buckets[op.0].take().map(|b| BatchJob {
+            op,
+            requests: b.requests,
+            cols: b.cols,
+            dispatched: now,
+        })
     }
 }
 
@@ -168,9 +214,17 @@ mod tests {
         op: usize,
         cols: usize,
         now: Instant,
-    ) -> (Pending, mpsc::Receiver<Result<Matrix, ServeError>>) {
+    ) -> (Pending, mpsc::Receiver<Result<Answer, ServeError>>) {
         let (tx, rx) = mpsc::channel();
-        (Pending { op: OpId(op), x: ColMatrix::zeros(4, cols), reply: tx, enqueued: now }, rx)
+        let p = Pending {
+            op: OpId(op),
+            x: ColMatrix::zeros(4, cols),
+            reply: tx,
+            enqueued: now,
+            pushed: now,
+            deferred: false,
+        };
+        (p, rx)
     }
 
     #[test]
@@ -225,6 +279,22 @@ mod tests {
     }
 
     #[test]
+    fn push_restamps_pickup_and_jobs_carry_dispatch_time() {
+        let t0 = Instant::now();
+        let later = t0 + Duration::from_millis(2);
+        let mut b = Batcher::new(1, Duration::from_millis(10), 2);
+        let (p, _rx0) = pending(0, 1, t0);
+        assert!(b.push(p, later).is_none());
+        let (p2, _rx1) = pending(0, 1, t0);
+        let job = b.push(p2, later).expect("size trigger");
+        assert_eq!(job.dispatched, later, "dispatch stamp is the triggering clock read");
+        assert!(
+            job.requests.iter().all(|r| r.pushed == later && r.enqueued == t0),
+            "queue wait ends at batcher pickup, admission stamp survives"
+        );
+    }
+
+    #[test]
     fn flush_all_drains_every_bucket() {
         let now = Instant::now();
         let mut b = Batcher::new(3, Duration::from_secs(1), 64);
@@ -234,7 +304,7 @@ mod tests {
             rxs.push(rx);
             assert!(b.push(p, now).is_none());
         }
-        let jobs = b.flush_all();
+        let jobs = b.flush_all(now);
         assert_eq!(jobs.len(), 3);
         assert_eq!(jobs.iter().map(|j| j.requests.len()).sum::<usize>(), 4);
         assert_eq!(b.pending(), 0);

@@ -95,6 +95,31 @@ impl NetClient {
         }
     }
 
+    /// Asks the server for its rolling per-interval time-series (the
+    /// `History` admin verb): one point per sampling tick, oldest first.
+    /// `max_points == 0` asks for every retained point. Answered from the
+    /// daemon's series ring without touching a worker.
+    pub fn history(&mut self, max_points: u16) -> Result<Vec<biq_obs::SeriesPoint>, NetError> {
+        self.write_frame(&Message::History { max_points })?;
+        match wire::read_message(&mut self.stream)? {
+            Message::HistoryReply(points) => Ok(points),
+            Message::Reject { req_id, code, msg } => Err(NetError::Rejected { req_id, code, msg }),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Asks the server for its slowest-request records (the `SlowLog`
+    /// admin verb), slowest first, each with its full phase breakdown.
+    /// `max == 0` asks for the whole reservoir.
+    pub fn slow_log(&mut self, max: u16) -> Result<Vec<biq_obs::SlowHit>, NetError> {
+        self.write_frame(&Message::SlowLog { max })?;
+        match wire::read_message(&mut self.stream)? {
+            Message::SlowLogReply(hits) => Ok(hits),
+            Message::Reject { req_id, code, msg } => Err(NetError::Rejected { req_id, code, msg }),
+            other => Err(unexpected(&other)),
+        }
+    }
+
     /// Asks the server for its op table.
     pub fn list_ops(&mut self) -> Result<Vec<OpInfo>, NetError> {
         self.write_frame(&Message::ListOps)?;
@@ -192,6 +217,10 @@ fn unexpected(msg: &Message) -> NetError {
         Message::OpList(_) => "op-list",
         Message::Stats => "stats",
         Message::StatsReply(_) => "stats-reply",
+        Message::History { .. } => "history",
+        Message::HistoryReply(_) => "history-reply",
+        Message::SlowLog { .. } => "slow-log",
+        Message::SlowLogReply(_) => "slow-log-reply",
     };
     NetError::Wire(WireError::Malformed(format!("unexpected {kind} frame from server")))
 }

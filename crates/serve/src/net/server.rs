@@ -27,17 +27,21 @@ use crate::server::{Client, Server, StatsHandle, Ticket};
 use crate::stats::StatsSnapshot;
 use crate::ServeError;
 use biq_matrix::ColMatrix;
-use biq_obs::{span, Counter, Gauge, MetricsSnapshot, Registry};
+use biq_obs::{span, Counter, Gauge, MetricsSnapshot, Registry, RequestRecord, SeriesRing};
 use std::io::{BufWriter, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How often the (non-blocking) acceptor polls for the stop flag.
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Time-series points the daemon retains (at the CLI's ~1 Hz sampling
+/// tick, two minutes of history) — under the wire's `MAX_POINTS` cap.
+const HISTORY_POINTS: usize = 120;
 
 /// Transport-layer counters, one set per [`NetServer`]. Every update is a
 /// relaxed atomic op on a reader/writer thread — nothing here touches a
@@ -54,6 +58,8 @@ pub(crate) struct NetMetrics {
     connections_opened: Counter,
     connections_open: Gauge,
     stats_queries: Counter,
+    history_queries: Counter,
+    slowlog_queries: Counter,
 }
 
 impl NetMetrics {
@@ -70,6 +76,8 @@ impl NetMetrics {
             connections_opened: registry.counter("biq_net_connections_opened_total", &[]),
             connections_open: registry.gauge("biq_net_connections_open", &[]),
             stats_queries: registry.counter("biq_net_stats_queries_total", &[]),
+            history_queries: registry.counter("biq_net_history_queries_total", &[]),
+            slowlog_queries: registry.counter("biq_net_slowlog_queries_total", &[]),
             registry,
         }
     }
@@ -81,12 +89,20 @@ impl NetMetrics {
 pub(crate) struct MetricsHub {
     serve: StatsHandle,
     net: NetMetrics,
+    /// Rolling per-interval time-series (the `History` verb's payload),
+    /// fed by [`NetServer::sample_series`] on the daemon's housekeeping
+    /// tick.
+    series: SeriesRing,
 }
 
 impl MetricsHub {
     pub(crate) fn snapshot(&self) -> MetricsSnapshot {
         let mut m = self.serve.metrics();
         m.merge(&self.net.registry.snapshot());
+        // Observability of the observability: trace-ring drop counts and
+        // the enabled flag ride along with every snapshot, so the CI smoke
+        // can assert drops stayed zero under load.
+        m.samples.extend(biq_obs::trace::health().samples());
         m
     }
 }
@@ -117,6 +133,16 @@ enum WriterMsg {
     Ops,
     /// Write a metrics snapshot (the `Stats` admin verb).
     Stats,
+    /// Write the rolling time-series (the `History` admin verb).
+    History {
+        /// Newest points wanted (0 = every retained point).
+        max: u16,
+    },
+    /// Write the slowest-request records (the `SlowLog` admin verb).
+    SlowLog {
+        /// Entries wanted (0 = the whole reservoir).
+        max: u16,
+    },
 }
 
 /// One live connection: the stream handle (for shutdown) and the reader
@@ -161,7 +187,11 @@ impl NetServer {
                 .collect(),
         );
         let client = server.client();
-        let hub = Arc::new(MetricsHub { serve: server.stats_handle(), net: NetMetrics::new() });
+        let hub = Arc::new(MetricsHub {
+            serve: server.stats_handle(),
+            net: NetMetrics::new(),
+            series: SeriesRing::new(HISTORY_POINTS),
+        });
         let acceptor = {
             let stop = Arc::clone(&stop);
             let conns = Arc::clone(&conns);
@@ -195,6 +225,15 @@ impl NetServer {
     /// transport counters — exactly what a `Stats` frame is answered with.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.hub.snapshot()
+    }
+
+    /// Feeds one tick into the rolling time-series the `History` admin
+    /// verb answers from. Call periodically (the daemon's housekeeping
+    /// beat, ~1 Hz); the first call primes the delta baseline. Reads
+    /// atomics only — never a worker.
+    pub fn sample_series(&self) {
+        let t_ms = biq_obs::trace::now_ns() / 1_000_000;
+        self.hub.series.sample(&self.hub.snapshot(), t_ms);
     }
 
     /// Graceful shutdown: stops accepting new connections, half-closes
@@ -323,6 +362,20 @@ fn connection_loop(
                     break;
                 }
             }
+            Ok(Message::History { max_points }) => {
+                hub.net.frames_in.inc();
+                hub.net.history_queries.inc();
+                if tx.send(WriterMsg::History { max: max_points }).is_err() {
+                    break;
+                }
+            }
+            Ok(Message::SlowLog { max }) => {
+                hub.net.frames_in.inc();
+                hub.net.slowlog_queries.inc();
+                if tx.send(WriterMsg::SlowLog { max }).is_err() {
+                    break;
+                }
+            }
             Ok(_) => {
                 // Server-to-client kinds arriving at the server violate
                 // the protocol just like garbage bytes do.
@@ -374,6 +427,10 @@ fn handle_request(
     data: Vec<f32>,
 ) {
     let _span = span!("net.request");
+    // The request's admission stamp: taken once here (where `try_submit`
+    // used to read the clock internally — same read count) so the queue
+    // phase starts at frame decode, not after validation.
+    let t0 = Instant::now();
     let Some(op) = client.registry().lookup(op_name) else {
         let _ = tx.send(WriterMsg::Reject {
             req_id,
@@ -396,9 +453,11 @@ fn handle_request(
         return;
     }
     let x = ColMatrix::from_vec(rows as usize, cols as usize, data);
-    // `try_submit` (not `submit`): a full queue must become an explicit
-    // Busy frame, not a reader thread blocked on the submit queue.
-    let msg = match client.try_submit(op, x) {
+    // `try_submit_stamped` (not `submit`): a full queue must become an
+    // explicit Busy frame, not a reader thread blocked on the submit
+    // queue — and the admission stamp defers lifecycle recording to the
+    // writer, which owns the last two phases.
+    let msg = match client.try_submit_stamped(op, x, t0) {
         Ok(ticket) => WriterMsg::Reply { req_id, ticket },
         Err(e) => WriterMsg::Reject { req_id, code: reject_code(&e), msg: e.to_string() },
     };
@@ -426,25 +485,34 @@ fn writer_loop(stream: TcpStream, rx: &Receiver<WriterMsg>, ops: &[OpInfo], hub:
     // results must not dam up the worker replies) but stop writing.
     let mut broken = false;
     while let Ok(msg) = rx.recv() {
-        let frame = match msg {
+        // Replies carry their lifecycle stamps; the record is finalized
+        // only after the frame actually reaches the socket.
+        let (frame, reply_lap) = match msg {
             WriterMsg::Reply { req_id, ticket } => {
                 let waited = {
                     let _span = span!("net.ticket_wait");
-                    ticket.wait()
+                    ticket.wait_full()
                 };
+                // First of the two clock reads attribution adds on this
+                // thread (socket-bound, off the kernel hot path): the
+                // ticket phase ends here.
+                let wait_end = Instant::now();
                 match waited {
-                    Ok(y) => wire::encode(&Message::Reply {
-                        req_id,
-                        rows: y.rows() as u32,
-                        cols: y.cols() as u16,
-                        data: y.as_slice().to_vec(),
-                    }),
+                    Ok(a) => (
+                        wire::encode(&Message::Reply {
+                            req_id,
+                            rows: a.matrix.rows() as u32,
+                            cols: a.matrix.cols() as u16,
+                            data: a.matrix.as_slice().to_vec(),
+                        }),
+                        Some((req_id, a.lap, wait_end)),
+                    ),
                     Err(e) => {
                         let code = reject_code(&e);
                         if code == RejectCode::Busy {
                             hub.net.busy_rejects.inc();
                         }
-                        wire::encode(&Message::Reject { req_id, code, msg: e.to_string() })
+                        (wire::encode(&Message::Reject { req_id, code, msg: e.to_string() }), None)
                     }
                 }
             }
@@ -452,16 +520,25 @@ fn writer_loop(stream: TcpStream, rx: &Receiver<WriterMsg>, ops: &[OpInfo], hub:
                 if code == RejectCode::Busy {
                     hub.net.busy_rejects.inc();
                 }
-                wire::encode(&Message::Reject { req_id, code, msg })
+                (wire::encode(&Message::Reject { req_id, code, msg }), None)
             }
-            WriterMsg::Ops => wire::encode(&Message::OpList(ops.to_vec())),
+            WriterMsg::Ops => (wire::encode(&Message::OpList(ops.to_vec())), None),
             WriterMsg::Stats => {
                 // Answered from counters alone — no worker, no submit
                 // queue. Truncation below the wire cap is defensive; the
                 // sample count is ~10 per op plus a fixed transport set.
                 let mut samples = hub.snapshot().samples;
                 samples.truncate(wire::MAX_SAMPLES);
-                wire::encode(&Message::StatsReply(samples))
+                (wire::encode(&Message::StatsReply(samples)), None)
+            }
+            WriterMsg::History { max } => {
+                let n =
+                    if max == 0 { wire::MAX_POINTS } else { (max as usize).min(wire::MAX_POINTS) };
+                (wire::encode(&Message::HistoryReply(hub.series.recent(n))), None)
+            }
+            WriterMsg::SlowLog { max } => {
+                let n = if max == 0 { wire::MAX_SLOW } else { (max as usize).min(wire::MAX_SLOW) };
+                (wire::encode(&Message::SlowLogReply(hub.serve.slow_hits(n))), None)
             }
         };
         if !broken {
@@ -470,6 +547,22 @@ fn writer_loop(stream: TcpStream, rx: &Receiver<WriterMsg>, ops: &[OpInfo], hub:
             if !broken {
                 hub.net.frames_out.inc();
                 hub.net.bytes_out.add(frame.len() as u64);
+                if let Some((req_id, lap, wait_end)) = reply_lap {
+                    // Second added clock read: the write phase ends when
+                    // the reply is flushed, closing the record's timeline.
+                    let write_end = Instant::now();
+                    hub.serve.sink().record(&RequestRecord::from_timeline(
+                        req_id,
+                        lap.op,
+                        lap.cols,
+                        lap.enqueued_ns,
+                        lap.pushed_ns,
+                        lap.dispatched_ns,
+                        lap.done_ns,
+                        biq_obs::trace::instant_ns(wait_end),
+                        biq_obs::trace::instant_ns(write_end),
+                    ));
+                }
             }
         }
     }

@@ -21,7 +21,9 @@
 //! panic or an over-allocation.
 
 use biq_artifact::fnv1a64;
-use biq_obs::{HistogramSnapshot, MetricValue, Sample, BUCKETS};
+use biq_obs::{
+    HistogramSnapshot, MetricValue, OpPoint, RequestRecord, Sample, SeriesPoint, SlowHit, BUCKETS,
+};
 use std::io::Read;
 
 /// Frame magic.
@@ -56,6 +58,16 @@ pub const MAX_LABEL_VALUE: usize = 128;
 /// its own version byte (separate from the frame header's) so the stats
 /// schema can evolve without a protocol bump.
 pub const STATS_VERSION: u8 = 1;
+/// Cap on time-series points carried by one `HistoryReply` frame.
+pub const MAX_POINTS: usize = 512;
+/// Cap on per-op rows within one history point.
+pub const MAX_POINT_OPS: usize = 256;
+/// Cap on slow-request entries carried by one `SlowLogReply` frame.
+pub const MAX_SLOW: usize = 256;
+/// `HistoryReply` body schema version (own byte, like `STATS_VERSION`).
+pub const HISTORY_VERSION: u8 = 1;
+/// `SlowLogReply` body schema version (own byte, like `STATS_VERSION`).
+pub const SLOWLOG_VERSION: u8 = 1;
 
 /// Why a request was refused (the wire image of
 /// [`crate::ServeError`], plus `Malformed` for protocol errors).
@@ -178,6 +190,23 @@ pub enum Message {
     Stats,
     /// Server→client: the metric samples behind [`Message::Stats`].
     StatsReply(Vec<Sample>),
+    /// Client→server: ask for the daemon's rolling per-interval
+    /// time-series (admin verb). `max_points == 0` means "all retained".
+    History {
+        /// Newest points wanted (0 = every retained point).
+        max_points: u16,
+    },
+    /// Server→client: the retained series points, oldest first.
+    HistoryReply(Vec<SeriesPoint>),
+    /// Client→server: ask for the slowest-request records (admin verb).
+    /// `max == 0` means "the whole reservoir".
+    SlowLog {
+        /// Entries wanted (0 = the whole reservoir).
+        max: u16,
+    },
+    /// Server→client: the slowest requests seen, slowest first, each with
+    /// its full phase breakdown.
+    SlowLogReply(Vec<SlowHit>),
 }
 
 impl Message {
@@ -190,6 +219,10 @@ impl Message {
             Message::OpList(_) => 5,
             Message::Stats => 6,
             Message::StatsReply(_) => 7,
+            Message::History { .. } => 8,
+            Message::HistoryReply(_) => 9,
+            Message::SlowLog { .. } => 10,
+            Message::SlowLogReply(_) => 11,
         }
     }
 }
@@ -352,6 +385,57 @@ pub fn encode(msg: &Message) -> Vec<u8> {
                         w.u64(h.sum);
                     }
                 }
+            }
+        }
+        Message::History { max_points } => {
+            w.u16(*max_points);
+        }
+        Message::HistoryReply(points) => {
+            assert!(points.len() <= MAX_POINTS, "point list over cap");
+            w.u8(HISTORY_VERSION);
+            w.u16(points.len() as u16);
+            for p in points {
+                assert!(p.ops.len() <= MAX_POINT_OPS, "op rows over cap");
+                w.u64(p.t_ms);
+                w.u64(p.interval_ns);
+                w.u16(p.ops.len() as u16);
+                for op in &p.ops {
+                    assert!(op.op.len() <= MAX_NAME, "op name over cap");
+                    w.u16(op.op.len() as u16);
+                    w.bytes(op.op.as_bytes());
+                    w.u64(op.submitted);
+                    w.u64(op.completed);
+                    w.u64(op.rejected);
+                    w.u64(op.queue_depth);
+                    w.u64(op.batches);
+                    w.u64(op.batch_cols_x100);
+                    w.u64(op.p50_us);
+                    w.u64(op.p99_us);
+                }
+            }
+        }
+        Message::SlowLog { max } => {
+            w.u16(*max);
+        }
+        Message::SlowLogReply(hits) => {
+            assert!(hits.len() <= MAX_SLOW, "slow list over cap");
+            w.u8(SLOWLOG_VERSION);
+            w.u16(hits.len() as u16);
+            for hit in hits {
+                assert!(hit.op.len() <= MAX_NAME, "op name over cap");
+                w.u16(hit.op.len() as u16);
+                w.bytes(hit.op.as_bytes());
+                let r = &hit.rec;
+                w.u64(r.req_id);
+                w.u32(r.op);
+                w.u32(r.cols);
+                w.u64(r.start_ns);
+                w.u64(r.total_ns);
+                w.u64(r.queue_ns);
+                w.u64(r.window_ns);
+                w.u64(r.exec_ns);
+                w.u64(r.ticket_ns);
+                w.u64(r.write_ns);
             }
         }
     }
@@ -572,6 +656,93 @@ fn parse_body(kind: u8, body: &[u8]) -> Result<Message, WireError> {
             }
             Message::StatsReply(samples)
         }
+        8 => Message::History { max_points: r.u16("history max")? },
+        9 => {
+            let version = r.u8("history version")?;
+            if version != HISTORY_VERSION {
+                return Err(malformed(format!("unsupported history version {version}")));
+            }
+            let count = r.u16("point count")? as usize;
+            if count > MAX_POINTS {
+                return Err(malformed(format!("point count {count} over cap {MAX_POINTS}")));
+            }
+            // Each point is ≥ 18 bytes (two u64 stamps + an op count); cap
+            // the allocation by what the body can actually hold.
+            if count * 18 > body.len() {
+                return Err(malformed(format!("point count {count} exceeds body")));
+            }
+            let mut points = Vec::with_capacity(count);
+            for _ in 0..count {
+                let t_ms = r.u64("point time")?;
+                let interval_ns = r.u64("point interval")?;
+                let op_count = r.u16("op row count")? as usize;
+                if op_count > MAX_POINT_OPS {
+                    return Err(malformed(format!(
+                        "op row count {op_count} over cap {MAX_POINT_OPS}"
+                    )));
+                }
+                // Each op row is ≥ 66 bytes (name length + eight u64s);
+                // validate against the bytes actually left.
+                if op_count * 66 > body.len() - r.at {
+                    return Err(malformed(format!("op row count {op_count} exceeds body")));
+                }
+                let mut ops = Vec::with_capacity(op_count);
+                for _ in 0..op_count {
+                    let name_len = r.u16("op name length")? as usize;
+                    let op = r.string(name_len, MAX_NAME, "op name")?;
+                    ops.push(OpPoint {
+                        op,
+                        submitted: r.u64("submitted")?,
+                        completed: r.u64("completed")?,
+                        rejected: r.u64("rejected")?,
+                        queue_depth: r.u64("queue depth")?,
+                        batches: r.u64("batches")?,
+                        batch_cols_x100: r.u64("batch cols")?,
+                        p50_us: r.u64("p50")?,
+                        p99_us: r.u64("p99")?,
+                    });
+                }
+                points.push(SeriesPoint { t_ms, interval_ns, ops });
+            }
+            Message::HistoryReply(points)
+        }
+        10 => Message::SlowLog { max: r.u16("slowlog max")? },
+        11 => {
+            let version = r.u8("slowlog version")?;
+            if version != SLOWLOG_VERSION {
+                return Err(malformed(format!("unsupported slowlog version {version}")));
+            }
+            let count = r.u16("slow entry count")? as usize;
+            if count > MAX_SLOW {
+                return Err(malformed(format!("slow entry count {count} over cap {MAX_SLOW}")));
+            }
+            // Each entry is ≥ 74 bytes (name length + the fixed record);
+            // cap the allocation by what the body can actually hold.
+            if count * 74 > body.len() {
+                return Err(malformed(format!("slow entry count {count} exceeds body")));
+            }
+            let mut hits = Vec::with_capacity(count);
+            for _ in 0..count {
+                let name_len = r.u16("op name length")? as usize;
+                let op_name = r.string(name_len, MAX_NAME, "op name")?;
+                hits.push(SlowHit {
+                    op: op_name,
+                    rec: RequestRecord {
+                        req_id: r.u64("req id")?,
+                        op: r.u32("op index")?,
+                        cols: r.u32("cols")?,
+                        start_ns: r.u64("start")?,
+                        total_ns: r.u64("total")?,
+                        queue_ns: r.u64("queue phase")?,
+                        window_ns: r.u64("window phase")?,
+                        exec_ns: r.u64("exec phase")?,
+                        ticket_ns: r.u64("ticket phase")?,
+                        write_ns: r.u64("write phase")?,
+                    },
+                });
+            }
+            Message::SlowLogReply(hits)
+        }
         other => return Err(malformed(format!("unknown frame kind {other}"))),
     };
     r.finish("frame body")?;
@@ -678,6 +849,32 @@ mod tests {
                     }),
                 },
             ]),
+            Message::History { max_points: 60 },
+            Message::HistoryReply(vec![
+                SeriesPoint { t_ms: 1_000, interval_ns: 1_000_000_000, ops: Vec::new() },
+                SeriesPoint {
+                    t_ms: 2_000,
+                    interval_ns: 999_555_000,
+                    ops: vec![OpPoint {
+                        op: "linear".into(),
+                        submitted: 41,
+                        completed: 40,
+                        rejected: 1,
+                        queue_depth: 3,
+                        batches: 10,
+                        batch_cols_x100: 412,
+                        p50_us: 120,
+                        p99_us: 900,
+                    }],
+                },
+            ]),
+            Message::SlowLog { max: 8 },
+            Message::SlowLogReply(vec![SlowHit {
+                op: "linear".into(),
+                rec: RequestRecord::from_timeline(
+                    17, 0, 2, 1_000, 2_000, 300_000, 5_000_000, 5_100_000, 5_301_000,
+                ),
+            }]),
         ];
         for msg in msgs {
             let frame = encode(&msg);
@@ -748,6 +945,84 @@ mod tests {
             other => panic!("inflated count decoded: {other:?}"),
         }
         // Trailing garbage after the last sample is an error.
+        let mut frame = encode(&msg);
+        frame.push(0);
+        let len = (frame.len() - HEADER_LEN) as u32;
+        frame[8..12].copy_from_slice(&len.to_le_bytes());
+        restamp(&mut frame);
+        match decode(&frame) {
+            Err(WireError::Malformed(m)) => assert!(m.contains("trailing"), "{m}"),
+            other => panic!("trailing bytes decoded: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn history_reply_rejects_bad_version_and_inflated_counts() {
+        let msg = Message::HistoryReply(vec![SeriesPoint {
+            t_ms: 5,
+            interval_ns: 7,
+            ops: vec![OpPoint { op: "x".into(), completed: 1, ..OpPoint::default() }],
+        }]);
+        // Unknown history schema version.
+        let mut frame = encode(&msg);
+        frame[HEADER_LEN] = 9;
+        restamp(&mut frame);
+        match decode(&frame) {
+            Err(WireError::Malformed(m)) => assert!(m.contains("history version"), "{m}"),
+            other => panic!("bad version decoded: {other:?}"),
+        }
+        // A point count the body cannot hold must fail before allocating.
+        let mut frame = encode(&msg);
+        frame[HEADER_LEN + 1..HEADER_LEN + 3].copy_from_slice(&500u16.to_le_bytes());
+        restamp(&mut frame);
+        match decode(&frame) {
+            Err(WireError::Malformed(m)) => assert!(m.contains("point count"), "{m}"),
+            other => panic!("inflated point count decoded: {other:?}"),
+        }
+        // Same for the nested per-point op-row count.
+        let mut frame = encode(&msg);
+        let ops_at = HEADER_LEN + 3 + 16; // version + count + t_ms + interval_ns
+        frame[ops_at..ops_at + 2].copy_from_slice(&200u16.to_le_bytes());
+        restamp(&mut frame);
+        match decode(&frame) {
+            Err(WireError::Malformed(m)) => assert!(m.contains("op row count"), "{m}"),
+            other => panic!("inflated op count decoded: {other:?}"),
+        }
+        // Trailing garbage after the last point is an error.
+        let mut frame = encode(&msg);
+        frame.push(0);
+        let len = (frame.len() - HEADER_LEN) as u32;
+        frame[8..12].copy_from_slice(&len.to_le_bytes());
+        restamp(&mut frame);
+        match decode(&frame) {
+            Err(WireError::Malformed(m)) => assert!(m.contains("trailing"), "{m}"),
+            other => panic!("trailing bytes decoded: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn slowlog_reply_rejects_bad_version_and_inflated_counts() {
+        let msg = Message::SlowLogReply(vec![SlowHit {
+            op: "x".into(),
+            rec: RequestRecord::from_timeline(1, 0, 1, 0, 1, 2, 3, 4, 5),
+        }]);
+        // Unknown slowlog schema version.
+        let mut frame = encode(&msg);
+        frame[HEADER_LEN] = 9;
+        restamp(&mut frame);
+        match decode(&frame) {
+            Err(WireError::Malformed(m)) => assert!(m.contains("slowlog version"), "{m}"),
+            other => panic!("bad version decoded: {other:?}"),
+        }
+        // An entry count the body cannot hold must fail before allocating.
+        let mut frame = encode(&msg);
+        frame[HEADER_LEN + 1..HEADER_LEN + 3].copy_from_slice(&200u16.to_le_bytes());
+        restamp(&mut frame);
+        match decode(&frame) {
+            Err(WireError::Malformed(m)) => assert!(m.contains("slow entry count"), "{m}"),
+            other => panic!("inflated count decoded: {other:?}"),
+        }
+        // Trailing garbage after the last entry is an error.
         let mut frame = encode(&msg);
         frame.push(0);
         let len = (frame.len() - HEADER_LEN) as u32;

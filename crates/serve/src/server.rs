@@ -18,11 +18,11 @@
 //! channel, which blocks the batcher, which fills the bounded submit
 //! queue, which turns [`Client::try_submit`] into [`ServeError::Busy`].
 
-use crate::batcher::{BatchJob, Batcher, Pending, ServeError};
+use crate::batcher::{Answer, BatchJob, Batcher, Lap, Pending, ServeError};
 use crate::registry::{ModelRegistry, OpId};
 use crate::stats::{OpMeta, ServerStats, StatsSnapshot};
 use biq_matrix::{ColMatrix, Matrix};
-use biq_obs::MetricsSnapshot;
+use biq_obs::{MetricsSnapshot, RequestRecord, SlowHit};
 use biq_runtime::Executor;
 use biqgemm_core::PhaseProfile;
 use std::sync::atomic::Ordering;
@@ -78,12 +78,19 @@ enum Submission {
 /// A pending reply: wait on it to get the request's `W·X` result.
 #[derive(Debug)]
 pub struct Ticket {
-    rx: Receiver<Result<Matrix, ServeError>>,
+    rx: Receiver<Result<Answer, ServeError>>,
 }
 
 impl Ticket {
     /// Blocks until the server answers.
     pub fn wait(self) -> Result<Matrix, ServeError> {
+        self.wait_full().map(|a| a.matrix)
+    }
+
+    /// Like [`Ticket::wait`] but keeping the lifecycle stamps that ride
+    /// with the reply — the net writer finalizes them into a
+    /// [`RequestRecord`] after its own ticket/write phases.
+    pub(crate) fn wait_full(self) -> Result<Answer, ServeError> {
         self.rx.recv().unwrap_or(Err(ServeError::Canceled))
     }
 
@@ -92,7 +99,7 @@ impl Ticket {
     /// [`ServeError::Canceled`], exactly like [`Ticket::wait`].
     pub fn try_wait(&self) -> Option<Result<Matrix, ServeError>> {
         match self.rx.try_recv() {
-            Ok(reply) => Some(reply),
+            Ok(reply) => Some(reply.map(|a| a.matrix)),
             Err(mpsc::TryRecvError::Empty) => None,
             Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServeError::Canceled)),
         }
@@ -121,7 +128,7 @@ impl Client {
         if !*gate {
             return Err(ServeError::ShuttingDown);
         }
-        let (pending, ticket) = self.admit(op, x)?;
+        let (pending, ticket) = self.admit(op, x, Instant::now(), false)?;
         match pending {
             Some(p) => match self.tx.send(Submission::Request(p)) {
                 Ok(()) => {
@@ -137,11 +144,34 @@ impl Client {
     /// Like [`Client::submit`] but refusing with [`ServeError::Busy`]
     /// instead of blocking when the queue is full — the backpressure edge.
     pub fn try_submit(&self, op: OpId, x: ColMatrix) -> Result<Ticket, ServeError> {
+        self.try_submit_inner(op, x, Instant::now(), false)
+    }
+
+    /// [`Client::try_submit`] with an admission stamp the caller already
+    /// took (the net front-end stamps at frame decode, so a request's
+    /// recorded queue wait includes the submit hop) and the lifecycle
+    /// record deferred to the net writer.
+    pub(crate) fn try_submit_stamped(
+        &self,
+        op: OpId,
+        x: ColMatrix,
+        enqueued: Instant,
+    ) -> Result<Ticket, ServeError> {
+        self.try_submit_inner(op, x, enqueued, true)
+    }
+
+    fn try_submit_inner(
+        &self,
+        op: OpId,
+        x: ColMatrix,
+        enqueued: Instant,
+        deferred: bool,
+    ) -> Result<Ticket, ServeError> {
         let gate = self.accepting.read().expect("admission gate poisoned");
         if !*gate {
             return Err(ServeError::ShuttingDown);
         }
-        let (pending, ticket) = self.admit(op, x)?;
+        let (pending, ticket) = self.admit(op, x, enqueued, deferred)?;
         match pending {
             Some(p) => match self.tx.try_send(Submission::Request(p)) {
                 Ok(()) => {
@@ -160,7 +190,13 @@ impl Client {
 
     /// Shared validation; `Ok((None, ticket))` means the request was
     /// answered inline (empty batch) without touching the queue.
-    fn admit(&self, op: OpId, x: ColMatrix) -> Result<(Option<Pending>, Ticket), ServeError> {
+    fn admit(
+        &self,
+        op: OpId,
+        x: ColMatrix,
+        enqueued: Instant,
+        deferred: bool,
+    ) -> Result<(Option<Pending>, Ticket), ServeError> {
         if op.0 >= self.registry.len() {
             return Err(ServeError::UnknownOp);
         }
@@ -175,10 +211,12 @@ impl Client {
         let ticket = Ticket { rx };
         if x.cols() == 0 {
             // Nothing to compute; answer inline so workers never see b = 0.
-            let _ = reply.send(Ok(Matrix::zeros(compiled.output_size(), 0)));
+            let zero = Matrix::zeros(compiled.output_size(), 0);
+            let _ = reply.send(Ok(Answer { matrix: zero, lap: Lap::default() }));
             return Ok((None, ticket));
         }
-        Ok((Some(Pending { op, x, reply, enqueued: Instant::now() }), ticket))
+        let p = Pending { op, x, reply, enqueued, pushed: enqueued, deferred };
+        Ok((Some(p), ticket))
     }
 
     /// The registry this client submits against (op lookup by name — the
@@ -224,6 +262,27 @@ impl StatsHandle {
     /// The serving layer's live metric samples.
     pub(crate) fn metrics(&self) -> MetricsSnapshot {
         self.stats.metrics(&self.op_meta)
+    }
+
+    /// The slowest captured requests, op indices resolved to names —
+    /// what the `SlowLog` wire verb answers with.
+    pub(crate) fn slow_hits(&self, max: usize) -> Vec<SlowHit> {
+        self.stats
+            .sink
+            .slow
+            .slowest(max)
+            .into_iter()
+            .map(|rec| SlowHit { op: self.op_name(rec.op), rec })
+            .collect()
+    }
+
+    /// The per-server record sink (the net writer records into it).
+    pub(crate) fn sink(&self) -> &biq_obs::RecordSink {
+        &self.stats.sink
+    }
+
+    fn op_name(&self, op: u32) -> String {
+        self.op_meta.get(op as usize).map(|m| m.name.clone()).unwrap_or_else(|| format!("op{op}"))
     }
 }
 
@@ -345,12 +404,14 @@ fn batcher_loop(
         s.queue_depth.fetch_sub(job.requests.len(), Ordering::Relaxed);
         s.record_batch(job.cols);
         // Trace the batcher window as a span from the oldest request's
-        // enqueue to this dispatch (the time batching "charged" the batch).
+        // enqueue to this dispatch (the time batching "charged" the
+        // batch), reusing the dispatch stamp instead of re-reading the
+        // clock.
         if biq_obs::trace::tracing_enabled() {
             if let Some(earliest) = job.requests.iter().map(|r| r.enqueued).min() {
                 let start = biq_obs::trace::instant_ns(earliest);
-                let dur = biq_obs::trace::now_ns().saturating_sub(start);
-                biq_obs::trace::emit("serve.batch_window", start, dur);
+                let end = biq_obs::trace::instant_ns(job.dispatched);
+                biq_obs::trace::emit("serve.batch_window", start, end.saturating_sub(start));
             }
         }
         // A send error means every worker is gone; requests are answered
@@ -389,7 +450,8 @@ fn batcher_loop(
             Err(RecvTimeoutError::Disconnected) => break,
         }
     }
-    for job in batcher.flush_all() {
+    // Shutdown drain: one cold clock read stamps whatever still flushes.
+    for job in batcher.flush_all(Instant::now()) {
         dispatch(job);
     }
     // Dropping `job_tx` lets workers drain the channel and exit.
@@ -490,8 +552,14 @@ fn run_job(
         exec.run_into(op, &x, y);
         *xbuf = x.into_vec();
     }
-    // Scatter: each request gets the row-major slice of its columns.
+    // Scatter: each request gets the row-major slice of its columns. One
+    // hoisted clock read stamps the whole batch "done" — strictly fewer
+    // reads than the per-request `elapsed()` this replaces — and feeds
+    // both the latency histogram and each request's lifecycle record.
     let op_stats = &stats.ops[job.op.0];
+    let done = Instant::now();
+    let done_ns = biq_obs::trace::instant_ns(done);
+    let dispatched_ns = biq_obs::trace::instant_ns(job.dispatched);
     let mut col0 = 0usize;
     for req in job.requests {
         let k = req.x.cols();
@@ -500,8 +568,31 @@ fn run_job(
             out.row_mut(i).copy_from_slice(&y[i * b + col0..i * b + col0 + k]);
         }
         col0 += k;
-        let _ = req.reply.send(Ok(out));
-        op_stats.record_latency(req.enqueued.elapsed());
+        op_stats.record_latency(done.saturating_duration_since(req.enqueued));
+        let lap = Lap {
+            op: job.op.0 as u32,
+            cols: k as u32,
+            enqueued_ns: biq_obs::trace::instant_ns(req.enqueued),
+            pushed_ns: biq_obs::trace::instant_ns(req.pushed),
+            dispatched_ns,
+            done_ns,
+        };
+        if !req.deferred {
+            // In-process request: its lifecycle ends here (no ticket/write
+            // phases); wire requests are recorded by the net writer instead.
+            stats.sink.record(&RequestRecord::from_timeline(
+                0,
+                lap.op,
+                lap.cols,
+                lap.enqueued_ns,
+                lap.pushed_ns,
+                lap.dispatched_ns,
+                lap.done_ns,
+                lap.done_ns,
+                lap.done_ns,
+            ));
+        }
+        let _ = req.reply.send(Ok(Answer { matrix: out, lap }));
     }
 }
 
@@ -588,6 +679,31 @@ mod tests {
             Some(Err(ServeError::Canceled)),
             "dropped reply channel must resolve, not poll forever"
         );
+    }
+
+    #[test]
+    fn completed_requests_leave_lifecycle_records() {
+        let (reg, id) = one_op_registry(8, 16);
+        let server = Server::start(reg, ServerConfig::default());
+        let client = server.client();
+        for _ in 0..3 {
+            let x = MatrixRng::seed_from(5).small_int_col(16, 2, 3);
+            client.submit(id, x).unwrap().wait().unwrap();
+        }
+        let handle = server.stats_handle();
+        let recent = handle.sink().ring.recent(16);
+        assert_eq!(recent.len(), 3, "every completed request is captured");
+        for r in &recent {
+            assert_eq!(r.phase_sum(), r.total_ns, "phases telescope to the total");
+            assert_eq!(r.cols, 2);
+            assert_eq!(r.req_id, 0, "in-process requests carry no wire id");
+            assert_eq!((r.ticket_ns, r.write_ns), (0, 0), "no net phases in-process");
+        }
+        let hits = handle.slow_hits(8);
+        assert_eq!(hits.len(), 3);
+        assert_eq!(hits[0].op, "op", "slow hits resolve the op name");
+        assert!(hits[0].rec.total_ns >= hits[2].rec.total_ns, "slowest first");
+        server.shutdown();
     }
 
     #[test]

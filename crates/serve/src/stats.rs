@@ -12,7 +12,7 @@
 //! `ServerStats::metrics` (the sample list behind the `BIQP` `Stats`
 //! admin verb and the Prometheus renderer). Neither touches a worker.
 
-use biq_obs::{MetricValue, MetricsSnapshot, Pow2Histogram, Sample};
+use biq_obs::{MetricValue, MetricsSnapshot, Pow2Histogram, RecordSink, Sample};
 use biqgemm_core::{KernelLevel, PhaseProfile};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -63,6 +63,9 @@ pub(crate) struct ServerStats {
     pub(crate) ops: Vec<OpStats>,
     /// Kernel phase profile merged from every worker executor.
     pub(crate) profile: Mutex<PhaseProfile>,
+    /// Per-request lifecycle records: recent-traffic ring + slowest-N
+    /// reservoir (the `SlowLog` verb's store).
+    pub(crate) sink: RecordSink,
 }
 
 fn counter(name: &str, op: &str, v: u64) -> Sample {
@@ -75,7 +78,11 @@ fn counter(name: &str, op: &str, v: u64) -> Sample {
 
 impl ServerStats {
     pub(crate) fn with_ops(n: usize) -> Self {
-        Self { ops: (0..n).map(|_| OpStats::default()).collect(), profile: Mutex::default() }
+        Self {
+            ops: (0..n).map(|_| OpStats::default()).collect(),
+            profile: Mutex::default(),
+            sink: RecordSink::default(),
+        }
     }
 
     /// The serving layer's sample list — per-op counters/gauges, batch and

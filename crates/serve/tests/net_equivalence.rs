@@ -216,6 +216,45 @@ fn unknown_op_and_shape_mismatch_reject_without_killing_the_connection() {
 }
 
 #[test]
+fn history_and_slow_log_attribute_live_wire_traffic() {
+    let (net, ops) = start_net(67);
+    let addr = net.local_addr();
+    net.sample_series(); // prime the series ring's delta baseline
+    let mut client = NetClient::connect(addr).unwrap();
+    let mut g = MatrixRng::seed_from(13);
+    let (name, op) = &ops[0];
+    for _ in 0..20 {
+        let x = g.gaussian_col(op.input_size(), 1, 0.0, 1.0);
+        client.request(name, &x).unwrap();
+    }
+    net.sample_series(); // close the interval covering the burst
+
+    // History: the retained interval accounts for every completion, and a
+    // bounded query honors its cap.
+    let points = client.history(0).unwrap();
+    assert!(!points.is_empty(), "one closed interval must be retained");
+    let completed: u64 = points.iter().flat_map(|p| &p.ops).map(|o| o.completed).sum();
+    assert_eq!(completed, 20, "series ring must cover the burst");
+    assert!(client.history(1).unwrap().len() <= 1);
+
+    // SlowLog: every exemplar names the loaded op, carries its wire
+    // req_id, and partitions its latency exactly — slowest first.
+    let hits = client.slow_log(0).unwrap();
+    assert!(!hits.is_empty() && hits.len() <= 20, "{} exemplars", hits.len());
+    for hit in &hits {
+        assert_eq!(&hit.op, name);
+        assert!(hit.rec.req_id > 0, "wire requests carry their req_id: {hit:?}");
+        assert!(hit.rec.total_ns > 0);
+        assert_eq!(hit.rec.phase_sum(), hit.rec.total_ns, "{hit:?}");
+    }
+    for w in hits.windows(2) {
+        assert!(w[0].rec.total_ns >= w[1].rec.total_ns, "slow log must be sorted");
+    }
+    assert!(client.slow_log(1).unwrap().len() == 1);
+    net.shutdown();
+}
+
+#[test]
 fn list_ops_reports_the_registry_in_order() {
     let (net, ops) = start_net(41);
     let mut client = NetClient::connect(net.local_addr()).unwrap();

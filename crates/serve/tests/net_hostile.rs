@@ -5,7 +5,9 @@
 //! closes that connection while continuing to serve well-formed clients.
 
 use biq_matrix::{ColMatrix, MatrixRng};
-use biq_obs::{HistogramSnapshot, MetricValue, Sample, BUCKETS};
+use biq_obs::{
+    HistogramSnapshot, MetricValue, OpPoint, RequestRecord, Sample, SeriesPoint, SlowHit, BUCKETS,
+};
 use biq_runtime::{compile, BackendSpec, PlanBuilder, QuantMethod, WeightSource};
 use biq_serve::net::wire::{self, Message, OpInfo, RejectCode, WireError};
 use biq_serve::net::{NetClient, NetServer};
@@ -55,6 +57,12 @@ fn arb_message() -> impl Strategy<Value = Message> {
     )
     .prop_map(Message::OpList);
     let stats_reply = proptest::collection::vec(arb_sample(), 0..5).prop_map(Message::StatsReply);
+    let history = any::<u16>().prop_map(|max_points| Message::History { max_points });
+    let history_reply =
+        proptest::collection::vec(arb_series_point(), 0..4).prop_map(Message::HistoryReply);
+    let slow_log = any::<u16>().prop_map(|max| Message::SlowLog { max });
+    let slow_log_reply =
+        proptest::collection::vec(arb_slow_hit(), 0..4).prop_map(Message::SlowLogReply);
     prop_oneof![
         request,
         reply,
@@ -63,7 +71,55 @@ fn arb_message() -> impl Strategy<Value = Message> {
         oplist,
         Just(Message::Stats),
         stats_reply,
+        history,
+        history_reply,
+        slow_log,
+        slow_log_reply,
     ]
+}
+
+/// One attribution time-series point with arbitrary per-op rows.
+fn arb_series_point() -> impl Strategy<Value = SeriesPoint> {
+    let op = (
+        0usize..NAMES.len(),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+    )
+        .prop_map(|(name, a, b)| OpPoint {
+            op: NAMES[name].to_string(),
+            submitted: a.0,
+            completed: a.1,
+            rejected: a.2,
+            queue_depth: a.3,
+            batches: b.0,
+            batch_cols_x100: b.1,
+            p50_us: b.2,
+            p99_us: b.3,
+        });
+    (any::<u64>(), any::<u64>(), proptest::collection::vec(op, 0..3))
+        .prop_map(|(t_ms, interval_ns, ops)| SeriesPoint { t_ms, interval_ns, ops })
+}
+
+/// One slow-log exemplar built through the telescoping constructor so the
+/// phase-sum invariant holds on every generated record.
+fn arb_slow_hit() -> impl Strategy<Value = SlowHit> {
+    (
+        0usize..NAMES.len(),
+        any::<u64>(),
+        any::<u32>(),
+        1u32..2048,
+        proptest::collection::vec(0u64..1_000_000_000, 6),
+    )
+        .prop_map(|(name, req_id, op, cols, mut stamps)| {
+            stamps.sort_unstable();
+            SlowHit {
+                op: NAMES[name].to_string(),
+                rec: RequestRecord::from_timeline(
+                    req_id, op, cols, stamps[0], stamps[1], stamps[2], stamps[3], stamps[4],
+                    stamps[5],
+                ),
+            }
+        })
 }
 
 /// Deterministic stats samples covering all three value kinds.
@@ -142,6 +198,27 @@ proptest! {
             let at = wire::HEADER_LEN + ((span as f64 * flip_frac) as usize).min(span - 1);
             frame[at] ^= 1 << flip_bit;
             prop_assert!(wire::decode(&frame).is_err(), "body flip at {} decoded", at);
+        }
+    }
+
+    #[test]
+    fn slow_log_phase_sums_survive_the_wire(
+        hits in proptest::collection::vec(arb_slow_hit(), 1..8),
+    ) {
+        // Telescoping phases partition the end-to-end latency exactly
+        // (tolerance zero), and the wire carries that invariant intact.
+        for hit in &hits {
+            prop_assert_eq!(hit.rec.phase_sum(), hit.rec.total_ns);
+        }
+        let frame = wire::encode(&Message::SlowLogReply(hits.clone()));
+        match wire::decode(&frame).unwrap().0 {
+            Message::SlowLogReply(decoded) => {
+                for hit in &decoded {
+                    prop_assert_eq!(hit.rec.phase_sum(), hit.rec.total_ns);
+                }
+                prop_assert_eq!(decoded, hits);
+            }
+            other => panic!("wrong kind back: {other:?}"),
         }
     }
 
