@@ -612,22 +612,82 @@ fn gate_net(
         bench.max_batch_cols = row_f64(row, "max_batch_cols", "BENCH_net.json")? as usize;
     }
     let out = std::env::temp_dir().join(format!("biq_bench_check_net_{}.json", std::process::id()));
-    let (fresh, drift) = with_drift(canary, || cmd_net_bench(&bench, &out));
-    let fresh = fresh?;
+    // The gate re-measures the canonical pair only: committed sweep rows
+    // (mode "sweep", idle-connection scaling) are trajectory markers, far
+    // too machine-shaped to gate, and find no fresh counterpart below.
+    // One 400-request replay's throughput swings ±35% under co-tenant
+    // load on a 1-vCPU host — survivable for drift-normalized absolute
+    // rows, fatal for a ratio. The pair is replayed three times and every
+    // net verdict is a median.
+    const NET_GATE_RUNS: usize = 3;
+    let (runs, drift) = with_drift(canary, || -> Result<Vec<_>, CliError> {
+        (0..NET_GATE_RUNS).map(|_| cmd_net_bench(&bench, &[], &out)).collect()
+    });
+    let runs = runs?;
     let _ = std::fs::remove_file(&out);
+    let median = |mut v: Vec<f64>| -> Option<f64> {
+        if v.is_empty() {
+            return None;
+        }
+        v.sort_by(f64::total_cmp);
+        Some(v[v.len() / 2])
+    };
+    let fresh_for = |mode: &str| -> Option<f64> {
+        median(
+            runs.iter()
+                .filter_map(|run| run.iter().find(|f| f.mode == mode))
+                .map(|f| f.throughput_rps)
+                .collect(),
+        )
+    };
     let mut fresh_rows = Vec::new();
     for row in &baseline_rows {
         let mode = row_str(row, "mode", "BENCH_net.json")?;
         let baseline = row_f64(row, "throughput_rps", "BENCH_net.json")?;
-        let Some(f) = fresh.iter().find(|f| f.mode == mode) else { continue };
+        let Some(fresh) = fresh_for(mode) else { continue };
         fresh_rows.push(GateRow {
             key: format!("net:{mode}"),
             baseline,
-            fresh: f.throughput_rps,
+            fresh,
             direction: Direction::HigherIsBetter,
         });
     }
     push_normalized(rows, fresh_rows, drift);
+    // The wire tax itself — in-process ÷ remote throughput — is gated as
+    // a ratio: each run's tax divides that run's host drift out of both
+    // sides, and the median over runs rejects the one replay that caught
+    // a co-tenant burst on a single leg.
+    let tax = |in_proc: Option<f64>, remote: Option<f64>| -> Option<f64> {
+        Some(in_proc? / remote?.max(f64::MIN_POSITIVE))
+    };
+    let find_rps = |set: &[(&str, f64)], mode: &str| -> Option<f64> {
+        set.iter().find(|(m, _)| *m == mode).map(|(_, v)| *v)
+    };
+    let baseline_set: Vec<(&str, f64)> = baseline_rows
+        .iter()
+        .filter_map(|r| {
+            let mode = r.get("mode")?.as_str()?;
+            Some((mode, r.get("throughput_rps")?.as_f64()?))
+        })
+        .collect();
+    let base_tax = tax(find_rps(&baseline_set, "in-process"), find_rps(&baseline_set, "remote"));
+    let fresh_tax = median(
+        runs.iter()
+            .filter_map(|run| {
+                let set: Vec<(&str, f64)> =
+                    run.iter().map(|f| (f.mode, f.throughput_rps)).collect();
+                tax(find_rps(&set, "in-process"), find_rps(&set, "remote"))
+            })
+            .collect(),
+    );
+    if let (Some(base_tax), Some(fresh_tax)) = (base_tax, fresh_tax) {
+        rows.push(GateRow {
+            key: "net:wire-tax".into(),
+            baseline: base_tax,
+            fresh: fresh_tax,
+            direction: Direction::LowerIsBetter,
+        });
+    }
     Ok(())
 }
 

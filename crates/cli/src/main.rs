@@ -35,14 +35,16 @@ SERVING:
                   [--quick] [--out PATH]
   biq serve       --model ARTIFACT --addr HOST:PORT [--workers W]
                   [--window-us U] [--max-batch B] [--queue-cap Q]
-                  [--pin-workers] [--kernel auto|scalar|avx2|avx512|neon]
+                  [--pin-workers] [--io-threads N]
+                  [--kernel auto|scalar|avx2|avx512|neon]
                   [--stats-every SECS] [--trace-out PATH]
   biq load-client --addr HOST:PORT [--op NAME] [--requests R]
                   [--concurrency C] [--seed S] [--pipeline P]
   biq stats       --addr HOST:PORT [--prometheus | --json] [--watch SECS]
   biq top         --addr HOST:PORT [--once] [--interval SECS]
   biq net-bench   [--requests R] [--workers W] [--concurrency C]
-                  [--window-us U] [--max-batch B] [--quick] [--out PATH]
+                  [--window-us U] [--max-batch B] [--quick]
+                  [--connections N,N,...] [--out PATH]
 
 CI GATE:
   biq bench check [--dir results] [--tolerance T] [--skip SUBSTR]...
@@ -88,9 +90,13 @@ single-column traffic over N connections and prints throughput/p50/p99
 plus a response digest;
 for a linear artifact the digest equals `biq run-model --seed S --len R`'s
 exactly (the wire and the batcher are both bit-transparent). net-bench
-measures the wire tax over loopback (default results/BENCH_net.json), and
-`bench check` re-measures the committed results/BENCH_*.json baselines
-fresh and fails on >tolerance regressions (the CI perf gate).
+measures the wire tax over loopback (default results/BENCH_net.json);
+--connections adds sweep rows that re-run the remote replay while that
+many extra idle connections are held open (the reactor's C10k probe —
+every held connection is checked alive afterwards; points past the fd
+limit are skipped with a note). `bench check` re-measures the committed
+results/BENCH_*.json baselines fresh and fails on >tolerance regressions
+(the CI perf gate), including the in-process/remote wire-tax ratio.
 ";
 
 struct Args {
@@ -334,6 +340,9 @@ fn run() -> Result<(), CliError> {
                 cfg.queue_capacity = args.usize_flag("queue-cap")?.max(1);
             }
             cfg.pin_workers = args.has("pin-workers");
+            if args.has("io-threads") {
+                cfg.io_threads = args.usize_flag("io-threads")?.max(1);
+            }
             let mut opts = ServeOptions::default();
             if args.has("stats-every") {
                 opts.stats_every =
@@ -434,15 +443,31 @@ fn run() -> Result<(), CliError> {
             if args.has("max-batch") {
                 cfg.max_batch_cols = args.usize_flag("max-batch")?.max(1);
             }
+            let sweep: Vec<usize> = match args.flag("connections") {
+                Some(list) => list
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| {
+                        s.trim().parse::<usize>().map_err(|_| {
+                            CliError("--connections takes a comma list of integers".into())
+                        })
+                    })
+                    .collect::<Result<_, _>>()?,
+                None => Vec::new(),
+            };
             let out = args
                 .flag("out")
                 .map(PathBuf::from)
                 .unwrap_or_else(|| PathBuf::from("results/BENCH_net.json"));
-            let rows = cmd_net_bench(&cfg, &out)?;
+            let rows = cmd_net_bench(&cfg, &sweep, &out)?;
             for r in &rows {
+                let idle = match r.connections {
+                    Some(c) => format!(", {c} idle conns held"),
+                    None => String::new(),
+                };
                 println!(
                     "{:>10}: {:.0} req/s, p50 {} us, p99 {} us ({} requests, {} workers, \
-                     {} submitters, kernel {})",
+                     {} submitters, kernel {}{idle})",
                     r.mode,
                     r.throughput_rps,
                     r.p50_us,

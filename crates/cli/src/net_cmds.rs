@@ -23,7 +23,7 @@ use crate::CliError;
 use biq_artifact::{fnv1a64, Artifact};
 use biq_matrix::{ColMatrix, MatrixRng};
 use biq_runtime::{BackendSpec, PlanBuilder, QuantMethod, Threading, WeightSource};
-use biq_serve::net::{NetClient, NetServer, Outcome, RejectCode};
+use biq_serve::net::{NetClient, NetConfig, NetServer, Outcome, RejectCode};
 use biq_serve::{ModelRegistry, OpId, Server, ServerConfig, StatsSnapshot};
 use std::collections::{HashMap, VecDeque};
 use std::path::Path;
@@ -42,6 +42,8 @@ pub struct DaemonConfig {
     pub queue_capacity: usize,
     /// Pin worker `i` to core `i % cpu_count()` (`--pin-workers`).
     pub pin_workers: bool,
+    /// Reactor I/O threads of the TCP front-end (`--io-threads`).
+    pub io_threads: usize,
 }
 
 impl Default for DaemonConfig {
@@ -52,6 +54,7 @@ impl Default for DaemonConfig {
             max_batch_cols: 16,
             queue_capacity: 1024,
             pin_workers: false,
+            io_threads: NetConfig::default().io_threads,
         }
     }
 }
@@ -86,7 +89,9 @@ pub fn start_daemon(
         return Err(CliError(format!("{model:?}: artifact has no linear ops to serve")));
     }
     let server = Server::start(registry, cfg.server_config());
-    let net = NetServer::bind(addr, server).map_err(|e| CliError(format!("bind {addr}: {e}")))?;
+    let net_cfg = NetConfig { io_threads: cfg.io_threads, ..NetConfig::default() };
+    let net = NetServer::bind_with(addr, server, net_cfg)
+        .map_err(|e| CliError(format!("bind {addr}: {e}")))?;
     Ok((net, ids))
 }
 
@@ -115,7 +120,7 @@ pub fn cmd_serve(
     }
     let (net, ids) = start_daemon(model, addr, cfg)?;
     eprintln!(
-        "serving {} ops from {} at {} ({} workers{}, window {} us, max batch {})",
+        "serving {} ops from {} at {} ({} workers{}, window {} us, max batch {}, {} io threads)",
         ids.len(),
         model.display(),
         net.local_addr(),
@@ -123,6 +128,7 @@ pub fn cmd_serve(
         if cfg.pin_workers { ", pinned" } else { "" },
         cfg.window.as_micros(),
         cfg.max_batch_cols,
+        cfg.io_threads,
     );
     for (name, _) in &ids {
         eprintln!("  op {name}");
@@ -603,6 +609,36 @@ pub struct NetBenchRow {
     pub p50_us: u64,
     /// 99th-percentile send→reply latency (µs).
     pub p99_us: u64,
+    /// Idle connections held open during the replay (`"sweep"` rows only;
+    /// `None` for the canonical in-process/remote pair).
+    pub connections: Option<usize>,
+}
+
+/// The process's open-file soft limit (`RLIMIT_NOFILE`), if knowable —
+/// the connection sweep refuses points that would exhaust it.
+pub fn nofile_limit() -> Option<u64> {
+    #[cfg(unix)]
+    {
+        #[repr(C)]
+        struct Rlimit {
+            cur: u64,
+            max: u64,
+        }
+        extern "C" {
+            fn getrlimit(resource: i32, rlim: *mut Rlimit) -> i32;
+        }
+        const RLIMIT_NOFILE: i32 = 7;
+        let mut lim = Rlimit { cur: 0, max: 0 };
+        // SAFETY: plain struct out-param, checked return.
+        if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } == 0 {
+            return Some(lim.cur);
+        }
+        None
+    }
+    #[cfg(not(unix))]
+    {
+        None
+    }
 }
 
 fn bench_registry(cfg: &NetBenchConfig) -> (ModelRegistry, OpId) {
@@ -625,6 +661,7 @@ fn daemon_config(cfg: &NetBenchConfig) -> DaemonConfig {
         max_batch_cols: cfg.max_batch_cols,
         queue_capacity: cfg.requests.max(16),
         pin_workers: false,
+        io_threads: NetConfig::default().io_threads,
     }
 }
 
@@ -701,6 +738,7 @@ fn replay_in_process(cfg: &NetBenchConfig) -> Result<NetBenchRow, CliError> {
         throughput_rps: cfg.requests as f64 / makespan.as_secs_f64().max(1e-9),
         p50_us: quantile(0.50),
         p99_us: quantile(0.99),
+        connections: None,
     })
 }
 
@@ -735,12 +773,105 @@ fn replay_remote(cfg: &NetBenchConfig) -> Result<NetBenchRow, CliError> {
         throughput_rps: report.throughput_rps,
         p50_us: report.p50_us,
         p99_us: report.p99_us,
+        connections: None,
+    })
+}
+
+/// One connection-sweep point: the standard remote replay measured while
+/// `idle` extra connections are held open against the same daemon — the
+/// C10k probe. Under the reactor, held-open idle sockets are registered
+/// fds, so live throughput should barely move as `idle` grows; the old
+/// thread-per-connection design paid two parked threads each. After the
+/// replay, every idle connection is probed for liveness (a dropped one
+/// reads EOF) — holding the herd is part of the contract, not a side
+/// effect.
+fn replay_remote_idle(cfg: &NetBenchConfig, idle: usize) -> Result<NetBenchRow, CliError> {
+    let (registry, id) = bench_registry(cfg);
+    let server = Server::start(registry, daemon_config(cfg).server_config());
+    let kernel = server.registry().get(id).op().plan().kernel.level().name();
+    let net = NetServer::bind("127.0.0.1:0", server)
+        .map_err(|e| CliError(format!("bind loopback: {e}")))?;
+    let addr = net.local_addr();
+    let held: Vec<std::net::TcpStream> = (0..idle)
+        .map(|i| {
+            std::net::TcpStream::connect(addr)
+                .map_err(|e| CliError(format!("idle connection {i}/{idle}: {e}")))
+        })
+        .collect::<Result<_, _>>()?;
+    // Let the accept/register burst drain before measuring: the row claims
+    // a replay with the herd *held*, which is the reactor's steady state —
+    // thousands of epoll registrations time-sharing the core with the load
+    // would measure the storm instead.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let open: i64 = net
+            .metrics()
+            .samples
+            .iter()
+            .filter(|s| s.name == "biq_net_connections_open")
+            .filter_map(|s| match s.value {
+                biq_obs::MetricValue::Gauge(g) => Some(g),
+                _ => None,
+            })
+            .sum();
+        if open >= idle as i64 {
+            break;
+        }
+        if std::time::Instant::now() > deadline {
+            return Err(CliError(format!("only {open} of {idle} idle connections registered")));
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let report = cmd_load_client(&LoadClientConfig {
+        addr: addr.to_string(),
+        op: Some("synthetic".into()),
+        requests: cfg.requests,
+        concurrency: cfg.concurrency,
+        seed: 1,
+        connect_attempts: 10,
+        pipeline: cfg.pipeline,
+    })?;
+    // The idle-hold probe: every held connection must still be alive —
+    // nonblocking read sees no data (WouldBlock), never EOF or reset.
+    for (i, conn) in held.iter().enumerate() {
+        conn.set_nonblocking(true).map_err(|e| CliError(format!("probe {i}: {e}")))?;
+        let mut probe = [0u8; 1];
+        use std::io::Read;
+        match (&mut &*conn).read(&mut probe) {
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+            Ok(0) => return Err(CliError(format!("idle connection {i} was dropped (EOF)"))),
+            Ok(_) => return Err(CliError(format!("idle connection {i} received stray bytes"))),
+            Err(e) => return Err(CliError(format!("idle connection {i} errored: {e}"))),
+        }
+    }
+    drop(held);
+    net.shutdown();
+    Ok(NetBenchRow {
+        mode: "sweep",
+        m: cfg.rows,
+        n: cfg.cols,
+        requests: report.requests,
+        workers: cfg.workers,
+        concurrency: report.concurrency,
+        window_us: cfg.window.as_micros(),
+        max_batch_cols: cfg.max_batch_cols,
+        kernel,
+        throughput_rps: report.throughput_rps,
+        p50_us: report.p50_us,
+        p99_us: report.p99_us,
+        connections: Some(idle),
     })
 }
 
 fn render_net_json(rows: &[NetBenchRow]) -> String {
     let mut out = String::from("[\n");
     for (i, r) in rows.iter().enumerate() {
+        // Sweep rows carry their extra key after the shared shape keys, so
+        // the canonical pair (always first) keeps the committed key set.
+        let connections = match r.connections {
+            Some(c) => format!(", \"connections\": {c}"),
+            None => String::new(),
+        };
         out.push_str(&format!(
             concat!(
                 "  {{\"mode\": \"{mode}\", \"op\": \"synthetic\", \"m\": {m}, \"n\": {n}, ",
@@ -748,9 +879,10 @@ fn render_net_json(rows: &[NetBenchRow]) -> String {
                 "\"concurrency\": {conc}, \"window_us\": {window}, ",
                 "\"max_batch_cols\": {cap}, \"kernel\": \"{kernel}\", ",
                 "\"throughput_rps\": {rps:.1}, \"latency_p50_us\": {p50}, ",
-                "\"latency_p99_us\": {p99}}}{comma}\n"
+                "\"latency_p99_us\": {p99}{connections}}}{comma}\n"
             ),
             mode = r.mode,
+            connections = connections,
             m = r.m,
             n = r.n,
             req = r.requests,
@@ -771,9 +903,32 @@ fn render_net_json(rows: &[NetBenchRow]) -> String {
 
 /// `biq net-bench`: measures the wire tax — the same single-column replay
 /// against the same batch server, in-process vs through a loopback TCP
-/// round trip — and writes the JSON record (in-process row first).
-pub fn cmd_net_bench(cfg: &NetBenchConfig, out_path: &Path) -> Result<Vec<NetBenchRow>, CliError> {
-    let rows = vec![replay_in_process(cfg)?, replay_remote(cfg)?];
+/// round trip — and writes the JSON record (in-process row first, remote
+/// second, then one `"sweep"` row per requested idle-connection count).
+/// Sweep points that would exhaust the open-file limit are skipped with a
+/// note instead of failing the run.
+pub fn cmd_net_bench(
+    cfg: &NetBenchConfig,
+    sweep: &[usize],
+    out_path: &Path,
+) -> Result<Vec<NetBenchRow>, CliError> {
+    let mut rows = vec![replay_in_process(cfg)?, replay_remote(cfg)?];
+    for &idle in sweep {
+        // Both ends of every socket live in this process: each idle
+        // connection costs two fds, each active one two more, plus the
+        // listener, stdio, and headroom for everything else.
+        let need = (idle + cfg.concurrency) as u64 * 2 + 64;
+        if let Some(limit) = nofile_limit() {
+            if need > limit {
+                eprintln!(
+                    "note: skipping sweep point connections={idle} \
+                     (needs ~{need} fds, RLIMIT_NOFILE is {limit})"
+                );
+                continue;
+            }
+        }
+        rows.push(replay_remote_idle(cfg, idle)?);
+    }
     if let Some(dir) = out_path.parent() {
         if !dir.as_os_str().is_empty() {
             std::fs::create_dir_all(dir)?;
@@ -836,13 +991,19 @@ mod tests {
             ..NetBenchConfig::default()
         };
         let path = tmp("bench.json");
-        let rows = cmd_net_bench(&cfg, &path).unwrap();
-        assert_eq!(rows.len(), 2);
+        let rows = cmd_net_bench(&cfg, &[8], &path).unwrap();
+        assert_eq!(rows.len(), 3);
         assert_eq!(rows[0].mode, "in-process");
         assert_eq!(rows[1].mode, "remote");
+        assert_eq!((rows[2].mode, rows[2].connections), ("sweep", Some(8)));
         assert!(rows.iter().all(|r| r.throughput_rps > 0.0));
         let json = std::fs::read_to_string(&path).unwrap();
         assert!(json.contains("\"mode\": \"remote\""), "{json}");
+        assert!(json.contains("\"connections\": 8"), "{json}");
+        // The canonical pair keeps the committed key set: no sweep-only
+        // keys on the first row (the gate's homogeneity check reads it).
+        let first_row_end = json.find("},").unwrap();
+        assert!(!json[..first_row_end].contains("connections"), "{json}");
         let _ = std::fs::remove_file(path);
     }
 

@@ -10,7 +10,7 @@
 //! (no TTY required).
 
 use crate::CliError;
-use biq_obs::render_dashboard;
+use biq_obs::{render_dashboard, MetricValue, MetricsSnapshot};
 use biq_serve::net::NetClient;
 use std::io::Write;
 use std::time::Duration;
@@ -39,12 +39,50 @@ impl Default for TopConfig {
     }
 }
 
-/// One dashboard frame: fetches the daemon's retained time-series and
-/// slow log over a connected client and renders them.
+/// One dashboard frame: fetches the daemon's retained time-series, slow
+/// log, and reactor counters over a connected client and renders them.
 pub fn fetch_frame(client: &mut NetClient, title: &str) -> Result<String, CliError> {
     let points = client.history(0).map_err(|e| CliError(format!("history query: {e}")))?;
     let slow = client.slow_log(0).map_err(|e| CliError(format!("slow-log query: {e}")))?;
-    Ok(render_dashboard(title, &points, &slow))
+    let samples = client.stats().map_err(|e| CliError(format!("stats query: {e}")))?;
+    let mut frame = render_dashboard(title, &points, &slow);
+    frame.push_str(&render_net_line(&MetricsSnapshot { samples }));
+    frame.push('\n');
+    Ok(frame)
+}
+
+/// The reactor health line: connection count, wakeups, syscall amortization
+/// (read/write syscalls per frame — vectored writes and multi-frame reads
+/// push both below 1), and the write-queue depth tail. Lifetime totals, so
+/// the ratios are stable summaries rather than windowed rates.
+pub fn render_net_line(metrics: &MetricsSnapshot) -> String {
+    let counter = |name: &str| metrics.counter_total(name) as f64;
+    let conns: i64 = metrics
+        .samples
+        .iter()
+        .filter(|s| s.name == "biq_net_connections_open")
+        .filter_map(|s| match s.value {
+            MetricValue::Gauge(g) => Some(g),
+            _ => None,
+        })
+        .sum();
+    let per = |num: f64, den: f64| if den > 0.0 { num / den } else { 0.0 };
+    let wq_p99 = metrics
+        .samples
+        .iter()
+        .find(|s| s.name == "biq_net_write_queue_depth")
+        .and_then(|s| match &s.value {
+            MetricValue::Histogram(h) => Some(h.quantile(0.99)),
+            _ => None,
+        })
+        .unwrap_or(0);
+    format!(
+        "NET conns {conns}  wakeups {wakeups:.0}  rd-syscalls/frame {rd:.2}  \
+         wr-syscalls/frame {wr:.2}  wq-depth p99 {wq_p99}",
+        wakeups = counter("biq_net_reactor_wakeups_total"),
+        rd = per(counter("biq_net_read_syscalls_total"), counter("biq_net_frames_in_total")),
+        wr = per(counter("biq_net_write_syscalls_total"), counter("biq_net_frames_out_total")),
+    )
 }
 
 fn connect_retry(addr: &str, attempts: usize) -> Result<NetClient, CliError> {
@@ -121,6 +159,17 @@ mod tests {
         // Slow row: `#<req_id>` then the op name.
         let slow_row = frame.lines().find(|l| l.starts_with('#')).expect("slow row");
         assert_eq!(slow_row.split_whitespace().nth(1), Some("linear"));
+        // Reactor health line: present, with a live syscall amortization
+        // ratio (load was just served, so frames and syscalls are nonzero).
+        let net_row = frame.lines().find(|l| l.starts_with("NET")).expect("net row");
+        let rd: f64 = net_row
+            .split_whitespace()
+            .skip_while(|w| *w != "rd-syscalls/frame")
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(rd > 0.0, "read syscalls per frame must be nonzero: {net_row}");
 
         // The wire-carried records keep the phase-sum invariant.
         let hits = client.slow_log(0).unwrap();

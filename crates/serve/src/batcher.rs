@@ -21,6 +21,7 @@
 use crate::registry::OpId;
 use biq_matrix::{ColMatrix, Matrix};
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Errors a request can be answered with.
@@ -89,6 +90,27 @@ pub(crate) struct Answer {
     pub(crate) lap: Lap,
 }
 
+/// Fires its callback when dropped. The serving engine attaches one to a
+/// wire request's [`Pending`]: whichever path the request leaves the
+/// engine by — answered by a worker, canceled by a dropped channel, or
+/// refused at admission — the guard drops *after* the reply lands on the
+/// ticket channel, so the net reactor learns "poll this ticket now"
+/// without parking a thread on it. Spurious fires are harmless by
+/// contract: the reactor's pump simply finds nothing new.
+pub(crate) struct ReplyNotify(pub(crate) Arc<dyn Fn() + Send + Sync>);
+
+impl Drop for ReplyNotify {
+    fn drop(&mut self) {
+        (self.0)();
+    }
+}
+
+impl std::fmt::Debug for ReplyNotify {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ReplyNotify")
+    }
+}
+
 /// One accepted inference request, waiting in a bucket.
 #[derive(Debug)]
 pub(crate) struct Pending {
@@ -103,6 +125,12 @@ pub(crate) struct Pending {
     /// finalizes its lifecycle record (adding ticket/write phases); the
     /// worker must not record it, or it would be counted twice.
     pub(crate) deferred: bool,
+    /// Declared after `reply` so the wake-up fires only after the reply
+    /// sender is dropped (field drop order is declaration order) — by the
+    /// time the reactor polls, the ticket always resolves. Held only for
+    /// its `Drop`.
+    #[allow(dead_code)]
+    pub(crate) notify: Option<ReplyNotify>,
 }
 
 /// A flushed bucket: requests a worker packs into one executor pass.
@@ -223,6 +251,7 @@ mod tests {
             enqueued: now,
             pushed: now,
             deferred: false,
+            notify: None,
         };
         (p, rx)
     }

@@ -68,6 +68,8 @@ pub enum Outcome {
 pub struct NetClient {
     stream: TcpStream,
     next_id: u64,
+    /// Reused frame-encode scratch: steady-state sends allocate nothing.
+    scratch: Vec<u8>,
 }
 
 impl NetClient {
@@ -75,7 +77,7 @@ impl NetClient {
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<NetClient> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(NetClient { stream, next_id: 1 })
+        Ok(NetClient { stream, next_id: 1, scratch: Vec::new() })
     }
 
     /// The peer address.
@@ -165,13 +167,17 @@ impl NetClient {
         }
         let req_id = self.next_id;
         self.next_id += 1;
-        self.write_frame(&Message::Request {
+        // Borrow the caller's matrix and name directly into the scratch
+        // frame — no owned `Message`, no per-send allocation.
+        wire::encode_request_into(
+            &mut self.scratch,
             req_id,
-            op: op.to_string(),
-            rows: x.rows() as u32,
-            cols: x.cols() as u16,
-            data: x.as_slice().to_vec(),
-        })?;
+            op,
+            x.rows() as u32,
+            x.cols() as u16,
+            x.as_slice(),
+        );
+        self.stream.write_all(&self.scratch)?;
         Ok(req_id)
     }
 
@@ -202,8 +208,8 @@ impl NetClient {
     }
 
     fn write_frame(&mut self, msg: &Message) -> Result<(), NetError> {
-        let frame = wire::encode(msg);
-        self.stream.write_all(&frame)?;
+        wire::encode_into(&mut self.scratch, msg);
+        self.stream.write_all(&self.scratch)?;
         Ok(())
     }
 }

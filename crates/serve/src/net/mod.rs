@@ -22,11 +22,17 @@
 //!   verbatim (little-endian `to_le_bytes`), so a remote answer equals the
 //!   in-process [`biq_runtime::Executor::run`] result exactly — the
 //!   `net_equivalence` test pins this across concurrent connections.
+//! * **Readiness, not threads.** [`NetServer`] is a reactor (`sys` wraps
+//!   epoll, with a portable `poll` fallback): a fixed pool of I/O threads
+//!   multiplexes every connection through nonblocking sockets, incremental
+//!   frame decode, and vectored writes — holding thousands of idle
+//!   connections costs state, not stacks.
 
 pub mod client;
 pub mod server;
+mod sys;
 pub mod wire;
 
 pub use client::{NetClient, NetError, Outcome};
-pub use server::NetServer;
+pub use server::{NetConfig, NetServer};
 pub use wire::{Message, OpInfo, RejectCode, WireError};

@@ -1,37 +1,53 @@
-//! The TCP front-end: an acceptor thread plus per-connection reader/writer
-//! threads that bridge `BIQP` frames into [`crate::Client`] tickets.
+//! The TCP front-end: a readiness-driven reactor bridging `BIQP` frames
+//! into [`crate::Client`] tickets.
 //!
 //! ```text
-//!  TcpListener ──► acceptor thread ──► per connection:
-//!                                        reader thread ── read frame
-//!                                        │   Request ─► Client::try_submit
-//!                                        │     Ok(ticket)  ─► writer queue
-//!                                        │     Err(Busy…)  ─► reject frame
-//!                                        │   ListOps ─► op table frame
-//!                                        └► writer thread ── Ticket::wait → reply frame
+//!  TcpListener ──► acceptor thread ──► round-robin handoff
+//!                                          │
+//!                         io thread 0..N-1 (epoll / poll):
+//!                           ┌───────────────────────────────────────────┐
+//!                           │ nonblocking sockets, one state machine    │
+//!                           │ per connection:                           │
+//!                           │   readable ─► rbuf ─► incremental decode  │
+//!                           │     Request ─► Client::try_submit ─► FIFO │
+//!                           │   ticket resolved (ReplyNotify wake)      │
+//!                           │     ─► encode into recycled buffer ─► wq  │
+//!                           │   writable ─► writev drains wq            │
+//!                           └───────────────────────────────────────────┘
 //! ```
+//!
+//! A small fixed pool of I/O threads multiplexes every connection: no
+//! thread ever parks on one socket or one ticket, so thousands of idle
+//! connections cost file descriptors and a few hundred bytes of state
+//! each, not stacks. Workers wake the reactor through a `ReplyNotify`
+//! guard that fires when a request's reply lands on its ticket channel.
 //!
 //! Everything the in-process serving layer guarantees applies to remote
 //! traffic unchanged, because the bridge is a plain [`crate::Client`]:
 //! batching packs frames from different connections into one executor
 //! pass, backpressure surfaces as an explicit `Busy` reject frame
-//! (retryable), and [`NetServer::shutdown`] drains every accepted request
-//! before the final [`StatsSnapshot`] is captured.
+//! (retryable), replies stay FIFO per connection, and
+//! [`NetServer::shutdown`] drains every accepted request before the final
+//! [`StatsSnapshot`] is captured. A slow-reading peer gets a bounded
+//! write queue and a disconnect, never unbounded server memory.
 //!
 //! Malformed frames follow the codec's contract: the connection gets a
 //! best-effort `Reject(code = Malformed)` frame and is then closed —
 //! corrupt input never takes the server down (`net_hostile` pins this).
 
-use crate::net::wire::{self, Message, OpInfo, RejectCode, WireError};
+use crate::batcher::{Lap, ReplyNotify};
+use crate::net::sys::{self, Poller, Waker, WAKER_TOKEN};
+use crate::net::wire::{self, FrameStatus, Message, OpInfo, RejectCode, WireError};
 use crate::server::{Client, Server, StatsHandle, Ticket};
 use crate::stats::StatsSnapshot;
 use crate::ServeError;
-use biq_matrix::ColMatrix;
-use biq_obs::{span, Counter, Gauge, MetricsSnapshot, Registry, RequestRecord, SeriesRing};
-use std::io::{BufWriter, Read, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use biq_obs::{
+    span, Counter, Gauge, MetricsSnapshot, Pow2Histogram, Registry, RequestRecord, SeriesRing,
+};
+use std::collections::VecDeque;
+use std::io::{IoSlice, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -43,9 +59,44 @@ const ACCEPT_POLL: Duration = Duration::from_millis(5);
 /// tick, two minutes of history) — under the wire's `MAX_POINTS` cap.
 const HISTORY_POINTS: usize = 120;
 
+/// Bytes read per `read` syscall, and the cap on chunk rounds per
+/// readiness event: a firehosing connection yields after
+/// `READ_ROUNDS × READ_CHUNK` so byte-trickling neighbours still get
+/// their turn (level-triggered polling re-reports the leftover).
+const READ_CHUNK: usize = 64 * 1024;
+const READ_ROUNDS: usize = 4;
+
+/// Frames per `writev`: matches the kernel's `UIO_FASTIOV` fast path.
+const WRITE_BATCH: usize = 8;
+
+/// Poll timeout when anything might be in flight (drain, resolved
+/// tickets) — a safety net; every real transition also fires the waker.
+const BUSY_TICK_MS: i32 = 25;
+/// Poll timeout when fully idle.
+const IDLE_TICK_MS: i32 = 500;
+
+/// Reactor tunables for [`NetServer::bind_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct NetConfig {
+    /// I/O (reactor) threads multiplexing the connections. Two saturate a
+    /// loopback benchmark; raise for many-core fan-in. Clamped to ≥ 1.
+    pub io_threads: usize,
+    /// Per-connection write-queue cap in bytes: once a connection's
+    /// un-flushed replies exceed this, the peer is judged dead or
+    /// malicious (slow-loris reader) and the connection is dropped.
+    /// Memory stays bounded at roughly `cap + one frame` per connection.
+    pub max_write_queue: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self { io_threads: 2, max_write_queue: 32 << 20 }
+    }
+}
+
 /// Transport-layer counters, one set per [`NetServer`]. Every update is a
-/// relaxed atomic op on a reader/writer thread — nothing here touches a
-/// worker or takes a lock on the hot path.
+/// relaxed atomic op on a reactor thread — nothing here touches a worker
+/// or takes a lock on the hot path.
 pub(crate) struct NetMetrics {
     registry: Registry,
     frames_in: Counter,
@@ -60,6 +111,10 @@ pub(crate) struct NetMetrics {
     stats_queries: Counter,
     history_queries: Counter,
     slowlog_queries: Counter,
+    reactor_wakeups: Counter,
+    read_syscalls: Counter,
+    write_syscalls: Counter,
+    write_queue_depth: Arc<Pow2Histogram>,
 }
 
 impl NetMetrics {
@@ -78,6 +133,10 @@ impl NetMetrics {
             stats_queries: registry.counter("biq_net_stats_queries_total", &[]),
             history_queries: registry.counter("biq_net_history_queries_total", &[]),
             slowlog_queries: registry.counter("biq_net_slowlog_queries_total", &[]),
+            reactor_wakeups: registry.counter("biq_net_reactor_wakeups_total", &[]),
+            read_syscalls: registry.counter("biq_net_read_syscalls_total", &[]),
+            write_syscalls: registry.counter("biq_net_write_syscalls_total", &[]),
+            write_queue_depth: registry.histogram("biq_net_write_queue_depth", &[]),
             registry,
         }
     }
@@ -107,72 +166,154 @@ impl MetricsHub {
     }
 }
 
-/// A [`Read`] adapter that charges every byte pulled off the socket to a
-/// counter — how `biq_net_bytes_in_total` sees partial frames and garbage,
-/// not just well-formed messages.
-struct CountingRead<R> {
-    inner: R,
-    counter: Counter,
+/// What an io thread's peers (acceptor, workers via [`ReplyNotify`],
+/// shutdown) hand it between wakeups.
+#[derive(Default)]
+struct Inbox {
+    /// Accepted sockets awaiting registration.
+    new_conns: Vec<TcpStream>,
+    /// Tokens whose tickets (may) have resolved — pump these.
+    ready: Vec<u64>,
+    /// Shutdown: stop reading, answer what's pending, flush, exit.
+    drain: bool,
 }
 
-impl<R: Read> Read for CountingRead<R> {
-    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
-        let n = self.inner.read(buf)?;
-        self.counter.add(n as u64);
-        Ok(n)
+/// One io thread's shared half: its inbox plus the waker that interrupts
+/// its poll.
+struct IoShared {
+    inbox: Mutex<Inbox>,
+    waker: Waker,
+}
+
+impl IoShared {
+    /// Queues a token for pumping and wakes the thread (worker-side path
+    /// of [`ReplyNotify`]; a poisoned inbox degrades to the timeout tick).
+    fn notify_ready(&self, token: u64) {
+        if let Ok(mut inbox) = self.inbox.lock() {
+            inbox.ready.push(token);
+        }
+        self.waker.wake();
     }
 }
 
-/// What a reader hands its connection's writer thread.
-enum WriterMsg {
-    /// Wait the ticket, then write the reply (or a `Canceled` reject).
-    Reply { req_id: u64, ticket: Ticket },
-    /// Write a reject frame.
+/// An outbound obligation, FIFO per connection. Admin verbs are encoded
+/// only when they reach the queue's head, preserving reply order across
+/// every frame kind exactly like the old per-connection writer thread.
+enum PendingOut {
+    /// A submitted request: encode its reply (or reject) once the ticket
+    /// resolves.
+    Ticket { req_id: u64, ticket: Ticket },
+    /// An immediate reject (validation/admission failure).
     Reject { req_id: u64, code: RejectCode, msg: String },
-    /// Write the op table.
+    /// The op table.
     Ops,
-    /// Write a metrics snapshot (the `Stats` admin verb).
+    /// A metrics snapshot (the `Stats` admin verb).
     Stats,
-    /// Write the rolling time-series (the `History` admin verb).
-    History {
-        /// Newest points wanted (0 = every retained point).
-        max: u16,
-    },
-    /// Write the slowest-request records (the `SlowLog` admin verb).
-    SlowLog {
-        /// Entries wanted (0 = the whole reservoir).
-        max: u16,
-    },
+    /// The rolling time-series (the `History` admin verb).
+    History { max: u16 },
+    /// The slowest-request records (the `SlowLog` admin verb).
+    SlowLog { max: u16 },
 }
 
-/// One live connection: the stream handle (for shutdown) and the reader
-/// thread (which joins its own writer before exiting).
+/// One encoded frame waiting in a connection's write queue, plus the
+/// record finalized when its last byte reaches the socket.
+struct WBuf {
+    buf: Vec<u8>,
+    /// `(req_id, lap, ticket-wait end)` for replies whose lifecycle record
+    /// the reactor owns.
+    rec: Option<(u64, Lap, Instant)>,
+}
+
+/// One connection's state machine.
 struct Conn {
     stream: TcpStream,
-    reader: JoinHandle<()>,
+    fd: i32,
+    token: u64,
+    /// Accumulated unread bytes; frames decode incrementally off its front.
+    rbuf: Vec<u8>,
+    /// False after EOF, a protocol violation, or shutdown drain — the
+    /// connection only flushes from then on.
+    reading: bool,
+    /// Outbound obligations in arrival order.
+    pending: VecDeque<PendingOut>,
+    /// Encoded frames awaiting the socket.
+    wq: VecDeque<WBuf>,
+    /// Total bytes across `wq` (the backpressure measure).
+    wq_bytes: usize,
+    /// Bytes of `wq.front()` already written.
+    woff: usize,
+    /// Recycled frame buffers (steady-state encodes allocate nothing).
+    spare: Vec<Vec<u8>>,
+    /// The registered poll interests, to elide no-op `modify` calls.
+    intr: (bool, bool),
+    /// The per-connection wake-up closure, shared by every in-flight
+    /// request (one allocation per connection, not per request).
+    notify_fn: Arc<dyn Fn() + Send + Sync>,
+    /// Set on I/O error or backpressure overflow: close without flushing.
+    dead: bool,
+}
+
+impl Conn {
+    /// Done: nothing more will be read and everything owed was flushed.
+    fn finished(&self) -> bool {
+        self.dead || (!self.reading && self.pending.is_empty() && self.wq.is_empty())
+    }
+
+    fn recycle(&mut self, mut buf: Vec<u8>) {
+        // Keep a few buffers, but never park a one-off giant frame's
+        // allocation on an idle connection.
+        if self.spare.len() < 4 && buf.capacity() <= (1 << 20) {
+            buf.clear();
+            self.spare.push(buf);
+        }
+    }
+
+    fn take_spare(&mut self) -> Vec<u8> {
+        self.spare.pop().unwrap_or_default()
+    }
+}
+
+/// Immutable per-io-thread context.
+struct IoCtx {
+    poller: Poller,
+    shared: Arc<IoShared>,
+    client: Client,
+    ops: Arc<Vec<OpInfo>>,
+    hub: Arc<MetricsHub>,
+    max_write_queue: usize,
 }
 
 /// A running TCP front-end over a [`Server`]. Construct with
-/// [`NetServer::bind`], stop with [`NetServer::shutdown`].
+/// [`NetServer::bind`] or [`NetServer::bind_with`], stop with
+/// [`NetServer::shutdown`].
 pub struct NetServer {
     server: Option<Server>,
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
-    conns: Arc<Mutex<Vec<Conn>>>,
+    io: Vec<(Arc<IoShared>, Option<JoinHandle<()>>)>,
     hub: Arc<MetricsHub>,
 }
 
 impl NetServer {
     /// Binds `addr` (use port 0 for an ephemeral port — see
     /// [`NetServer::local_addr`]) and starts accepting connections that
-    /// submit into `server`'s batching pipeline.
+    /// submit into `server`'s batching pipeline, with default reactor
+    /// tunables.
     pub fn bind(addr: impl ToSocketAddrs, server: Server) -> std::io::Result<NetServer> {
+        Self::bind_with(addr, server, NetConfig::default())
+    }
+
+    /// [`NetServer::bind`] with explicit reactor tunables.
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        server: Server,
+        config: NetConfig,
+    ) -> std::io::Result<NetServer> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let conns = Arc::new(Mutex::new(Vec::new()));
         // The op table is immutable after Server::start; snapshot it once
         // and share it with every connection.
         let ops: Arc<Vec<OpInfo>> = Arc::new(
@@ -192,23 +333,40 @@ impl NetServer {
             net: NetMetrics::new(),
             series: SeriesRing::new(HISTORY_POINTS),
         });
+        // Create every poller before spawning anything so a failure here
+        // cannot leave half a reactor running.
+        let n_io = config.io_threads.max(1);
+        let mut pollers = Vec::with_capacity(n_io);
+        for _ in 0..n_io {
+            pollers.push(Poller::new()?);
+        }
+        let mut io = Vec::with_capacity(n_io);
+        for (i, poller) in pollers.into_iter().enumerate() {
+            let shared =
+                Arc::new(IoShared { inbox: Mutex::new(Inbox::default()), waker: poller.waker() });
+            let ctx = IoCtx {
+                poller,
+                shared: Arc::clone(&shared),
+                client: client.clone(),
+                ops: Arc::clone(&ops),
+                hub: Arc::clone(&hub),
+                max_write_queue: config.max_write_queue.max(1),
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("biq-net-io-{i}"))
+                .spawn(move || io_loop(ctx))
+                .expect("spawn net io thread");
+            io.push((shared, Some(handle)));
+        }
         let acceptor = {
             let stop = Arc::clone(&stop);
-            let conns = Arc::clone(&conns);
-            let hub = Arc::clone(&hub);
+            let targets: Vec<Arc<IoShared>> = io.iter().map(|(s, _)| Arc::clone(s)).collect();
             std::thread::Builder::new()
                 .name("biq-net-acceptor".to_string())
-                .spawn(move || acceptor_loop(listener, &stop, &conns, &client, &ops, &hub))
+                .spawn(move || acceptor_loop(listener, &stop, &targets))
                 .expect("spawn net acceptor")
         };
-        Ok(NetServer {
-            server: Some(server),
-            local_addr,
-            stop,
-            acceptor: Some(acceptor),
-            conns,
-            hub,
-        })
+        Ok(NetServer { server: Some(server), local_addr, stop, acceptor: Some(acceptor), io, hub })
     }
 
     /// The bound address (the actual port when bound with port 0).
@@ -236,10 +394,10 @@ impl NetServer {
         self.hub.series.sample(&self.hub.snapshot(), t_ms);
     }
 
-    /// Graceful shutdown: stops accepting new connections, half-closes
-    /// every connection's read side (in-flight requests keep their reply
-    /// path), waits for readers/writers to drain, then drains the inner
-    /// [`Server`] and returns the final statistics.
+    /// Graceful shutdown: stops accepting new connections, stops reading
+    /// from every connection (in-flight requests keep their reply path),
+    /// waits for the reactor to answer and flush everything pending, then
+    /// drains the inner [`Server`] and returns the final statistics.
     pub fn shutdown(mut self) -> StatsSnapshot {
         self.stop_net();
         self.server.take().expect("server present until shutdown").shutdown()
@@ -251,14 +409,18 @@ impl NetServer {
         if let Some(a) = self.acceptor.take() {
             let _ = a.join();
         }
-        let conns = std::mem::take(&mut *self.conns.lock().expect("conn list poisoned"));
-        for conn in &conns {
-            // Half-close: the reader sees EOF and stops accepting frames;
-            // the writer still flushes every queued reply first.
-            let _ = conn.stream.shutdown(Shutdown::Read);
+        // Workers are still alive here (Server::shutdown comes after), so
+        // every pending ticket resolves and the drain terminates.
+        for (shared, _) in &self.io {
+            if let Ok(mut inbox) = shared.inbox.lock() {
+                inbox.drain = true;
+            }
+            shared.waker.wake();
         }
-        for conn in conns {
-            let _ = conn.reader.join();
+        for (_, handle) in &mut self.io {
+            if let Some(h) = handle.take() {
+                let _ = h.join();
+            }
         }
     }
 }
@@ -274,46 +436,28 @@ impl Drop for NetServer {
     }
 }
 
-fn acceptor_loop(
-    listener: TcpListener,
-    stop: &AtomicBool,
-    conns: &Mutex<Vec<Conn>>,
-    client: &Client,
-    ops: &Arc<Vec<OpInfo>>,
-    hub: &Arc<MetricsHub>,
-) {
+fn acceptor_loop(listener: TcpListener, stop: &AtomicBool, targets: &[Arc<IoShared>]) {
+    let mut next = 0usize;
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
-                // Blocking I/O per connection; the listener alone stays
-                // non-blocking for the stop poll.
-                if stream.set_nonblocking(false).is_err() {
+                // The reactor owns all socket I/O; connections stay
+                // nonblocking for their whole life.
+                if stream.set_nonblocking(true).is_err() {
                     continue;
                 }
                 // Reply frames are latency-critical and already batched at
                 // the application layer — never let Nagle hold one back
                 // for a delayed ACK.
                 let _ = stream.set_nodelay(true);
-                let client = client.clone();
-                let ops = Arc::clone(ops);
-                let hub = Arc::clone(hub);
-                let Ok(read_half) = stream.try_clone() else { continue };
-                let reader = std::thread::Builder::new()
-                    .name("biq-net-conn".to_string())
-                    .spawn(move || connection_loop(read_half, &client, &ops, &hub))
-                    .expect("spawn net connection");
-                let mut guard = conns.lock().expect("conn list poisoned");
-                // Reap finished connections so the list doesn't grow with
-                // every client that ever connected.
-                guard.retain(|c| !c.reader.is_finished());
-                guard.push(Conn { stream, reader });
+                let target = &targets[next % targets.len()];
+                next += 1;
+                if let Ok(mut inbox) = target.inbox.lock() {
+                    inbox.new_conns.push(stream);
+                }
+                target.waker.wake();
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                // Idle beat: reap finished connections so their fds and
-                // join handles don't linger until the next accept.
-                if let Ok(mut guard) = conns.lock() {
-                    guard.retain(|c| !c.reader.is_finished());
-                }
                 std::thread::sleep(ACCEPT_POLL);
             }
             Err(_) => std::thread::sleep(ACCEPT_POLL),
@@ -322,104 +466,268 @@ fn acceptor_loop(
     // Dropping the listener closes the accept socket.
 }
 
-/// Reader side of one connection. Owns the writer thread: spawns it,
-/// feeds it, and joins it before returning (so `NetServer::shutdown`
-/// joining the reader implies the writer has flushed).
-fn connection_loop(
-    stream: TcpStream,
-    client: &Client,
-    ops: &Arc<Vec<OpInfo>>,
-    hub: &Arc<MetricsHub>,
-) {
-    let Ok(write_half) = stream.try_clone() else { return };
-    hub.net.connections_opened.inc();
-    hub.net.connections_open.add(1);
-    let (tx, rx) = mpsc::channel::<WriterMsg>();
-    let ops_for_writer = Arc::clone(ops);
-    let hub_for_writer = Arc::clone(hub);
-    let writer = std::thread::Builder::new()
-        .name("biq-net-writer".to_string())
-        .spawn(move || writer_loop(write_half, &rx, &ops_for_writer, &hub_for_writer))
-        .expect("spawn net writer");
-
-    let mut read = CountingRead { inner: stream, counter: hub.net.bytes_in.clone() };
+/// One reactor thread: multiplexes its share of the connections until a
+/// shutdown drain completes.
+fn io_loop(ctx: IoCtx) {
+    let mut conns: Vec<Option<Conn>> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut events = Vec::new();
+    let mut draining = false;
+    // Connections whose pending FIFO is non-empty, maintained by deltas in
+    // `service_counted` — the busy test must be O(1), not a slab scan, or
+    // a large idle herd taxes every wakeup (this loop runs per event
+    // batch, and 10k idle connections are exactly the case the reactor
+    // exists for).
+    let mut waiting = 0usize;
     loop {
-        match wire::read_message(&mut read) {
-            Ok(Message::Request { req_id, op, rows, cols, data }) => {
-                hub.net.frames_in.inc();
-                handle_request(client, &tx, req_id, &op, rows, cols, data);
+        let busy = draining || waiting > 0;
+        let timeout = if busy { BUSY_TICK_MS } else { IDLE_TICK_MS };
+        if ctx.poller.wait(&mut events, timeout).is_err() {
+            // A broken poller can't be recovered; back off instead of
+            // spinning (the timeout sweep below still makes progress).
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        ctx.hub.net.reactor_wakeups.inc();
+
+        // Drain the inbox: new sockets, resolved-ticket hints, shutdown.
+        let (new_conns, ready, drain_req) = {
+            let mut inbox = ctx.shared.inbox.lock().expect("net inbox poisoned");
+            (std::mem::take(&mut inbox.new_conns), std::mem::take(&mut inbox.ready), inbox.drain)
+        };
+        if drain_req && !draining {
+            draining = true;
+            for conn in conns.iter_mut().flatten() {
+                // Equivalent of the old half-close: frames not yet decoded
+                // are discarded, everything already admitted is answered.
+                conn.reading = false;
+                conn.rbuf = Vec::new();
             }
-            Ok(Message::ListOps) => {
-                hub.net.frames_in.inc();
-                if tx.send(WriterMsg::Ops).is_err() {
-                    break;
-                }
+        }
+        for stream in new_conns {
+            if draining {
+                continue; // dropped: a straggler past the stop flag
             }
-            Ok(Message::Stats) => {
-                hub.net.frames_in.inc();
-                hub.net.stats_queries.inc();
-                if tx.send(WriterMsg::Stats).is_err() {
-                    break;
-                }
+            register(&mut conns, &mut free, stream, &ctx);
+        }
+
+        // Readiness events, then resolved-ticket hints. Stale tokens are
+        // harmless: a replaced slot just gets a spurious pump/flush.
+        for ev in &events {
+            if ev.token == WAKER_TOKEN {
+                continue;
             }
-            Ok(Message::History { max_points }) => {
-                hub.net.frames_in.inc();
-                hub.net.history_queries.inc();
-                if tx.send(WriterMsg::History { max: max_points }).is_err() {
-                    break;
-                }
+            service_counted(
+                &mut conns,
+                &mut free,
+                ev.token as usize,
+                ev.readable,
+                &ctx,
+                &mut waiting,
+            );
+        }
+        for token in ready {
+            service_counted(&mut conns, &mut free, token as usize, false, &ctx, &mut waiting);
+        }
+
+        // Timeout tick (and every drain round): sweep everything — the
+        // safety net against a lost wake, and the drain's progress engine.
+        if events.is_empty() || draining {
+            for idx in 0..conns.len() {
+                service_counted(&mut conns, &mut free, idx, false, &ctx, &mut waiting);
             }
-            Ok(Message::SlowLog { max }) => {
-                hub.net.frames_in.inc();
-                hub.net.slowlog_queries.inc();
-                if tx.send(WriterMsg::SlowLog { max }).is_err() {
-                    break;
-                }
-            }
-            Ok(_) => {
-                // Server-to-client kinds arriving at the server violate
-                // the protocol just like garbage bytes do.
-                hub.net.frames_in.inc();
-                hub.net.malformed.inc();
-                let _ = tx.send(WriterMsg::Reject {
-                    req_id: 0,
-                    code: RejectCode::Malformed,
-                    msg: "unexpected server-to-client frame".into(),
-                });
+        }
+        if draining && conns.iter().all(Option::is_none) {
+            return;
+        }
+    }
+}
+
+/// Registers an accepted socket under a slab token.
+fn register(conns: &mut Vec<Option<Conn>>, free: &mut Vec<usize>, stream: TcpStream, ctx: &IoCtx) {
+    let fd = sys::sock_fd(&stream);
+    let idx = free.pop().unwrap_or_else(|| {
+        conns.push(None);
+        conns.len() - 1
+    });
+    let token = idx as u64;
+    if token == WAKER_TOKEN || ctx.poller.add(fd, token, true, false).is_err() {
+        free.push(idx);
+        return; // dropping the stream closes it
+    }
+    ctx.hub.net.connections_opened.inc();
+    ctx.hub.net.connections_open.add(1);
+    let shared = Arc::clone(&ctx.shared);
+    let notify_fn: Arc<dyn Fn() + Send + Sync> = Arc::new(move || shared.notify_ready(token));
+    conns[idx] = Some(Conn {
+        stream,
+        fd,
+        token,
+        rbuf: Vec::new(),
+        reading: true,
+        pending: VecDeque::new(),
+        wq: VecDeque::new(),
+        wq_bytes: 0,
+        woff: 0,
+        spare: Vec::new(),
+        intr: (true, false),
+        notify_fn,
+        dead: false,
+    });
+}
+
+/// [`service`] plus bookkeeping for the reactor's O(1) busy test: every
+/// mutation of a connection's pending FIFO happens inside `service` (frame
+/// decode pushes, pump pops, teardown drops the slot), so the before/after
+/// delta here keeps `waiting` exact without ever scanning the slab.
+fn service_counted(
+    conns: &mut [Option<Conn>],
+    free: &mut Vec<usize>,
+    idx: usize,
+    readable: bool,
+    ctx: &IoCtx,
+    waiting: &mut usize,
+) {
+    let pending = |conns: &[Option<Conn>]| {
+        conns.get(idx).and_then(Option::as_ref).is_some_and(|c| !c.pending.is_empty())
+    };
+    let before = pending(conns);
+    service(conns, free, idx, readable, ctx);
+    match (before, pending(conns)) {
+        (false, true) => *waiting += 1,
+        (true, false) => *waiting -= 1,
+        _ => {}
+    }
+}
+
+/// Advances one connection's state machine: read if the event said so,
+/// answer whatever resolved, flush, and reap it when finished.
+fn service(
+    conns: &mut [Option<Conn>],
+    free: &mut Vec<usize>,
+    idx: usize,
+    readable: bool,
+    ctx: &IoCtx,
+) {
+    let Some(conn) = conns.get_mut(idx).and_then(Option::as_mut) else {
+        return;
+    };
+    if readable && conn.reading && !conn.dead {
+        read_ready(conn, ctx);
+    }
+    pump(conn, ctx);
+    flush(conn, ctx);
+    if conn.finished() {
+        ctx.poller.delete(conn.fd);
+        ctx.hub.net.connections_open.add(-1);
+        conns[idx] = None;
+        free.push(idx);
+    } else {
+        set_interest(conn, ctx);
+    }
+}
+
+/// Pulls whatever the socket has (bounded per event for fairness) and
+/// decodes complete frames off the buffer's front.
+fn read_ready(conn: &mut Conn, ctx: &IoCtx) {
+    let mut chunk = [0u8; READ_CHUNK];
+    for _ in 0..READ_ROUNDS {
+        match (&conn.stream).read(&mut chunk) {
+            Ok(0) => {
+                // EOF: answer what was admitted, flush, close.
+                conn.reading = false;
                 break;
             }
-            Err(WireError::Closed) => break,
-            Err(WireError::Io(_)) => break,
-            Err(e @ WireError::Malformed(_)) => {
-                hub.net.malformed.inc();
-                if e.is_checksum_mismatch() {
-                    hub.net.checksum_failures.inc();
+            Ok(n) => {
+                ctx.hub.net.read_syscalls.inc();
+                ctx.hub.net.bytes_in.add(n as u64);
+                conn.rbuf.extend_from_slice(&chunk[..n]);
+                if n < chunk.len() {
+                    break; // socket drained
                 }
-                let WireError::Malformed(mut m) = e else { unreachable!() };
-                // Best-effort error report, then close: a peer that sends
-                // garbage cannot be resynchronized mid-stream.
-                m.truncate(wire::MAX_MSG);
-                let _ =
-                    tx.send(WriterMsg::Reject { req_id: 0, code: RejectCode::Malformed, msg: m });
-                break;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                return;
             }
         }
     }
-    let _ = read.inner.shutdown(Shutdown::Read);
-    // Closing the channel lets the writer drain queued replies and exit;
-    // joining it here makes connection teardown single-step for callers.
-    drop(tx);
-    let _ = writer.join();
-    // Full shutdown once the writer has flushed: the acceptor still holds
-    // a clone of this socket (for NetServer::shutdown), so dropping our
-    // halves alone would never FIN the peer.
-    let _ = read.inner.shutdown(Shutdown::Both);
-    hub.net.connections_open.add(-1);
+    let mut at = 0usize;
+    while conn.reading {
+        match wire::decode_frame(&conn.rbuf[at..]) {
+            Ok(FrameStatus::Frame { msg, used }) => {
+                at += used;
+                handle_message(conn, ctx, msg);
+            }
+            Ok(FrameStatus::NeedMore(_)) => break,
+            Err(e) => {
+                // Best-effort error report, then close: a peer that sends
+                // garbage cannot be resynchronized mid-stream.
+                ctx.hub.net.malformed.inc();
+                if e.is_checksum_mismatch() {
+                    ctx.hub.net.checksum_failures.inc();
+                }
+                let WireError::Malformed(mut m) = e else { unreachable!("decode_frame is pure") };
+                m.truncate(wire::MAX_MSG);
+                conn.pending.push_back(PendingOut::Reject {
+                    req_id: 0,
+                    code: RejectCode::Malformed,
+                    msg: m,
+                });
+                conn.reading = false;
+            }
+        }
+    }
+    if !conn.reading {
+        conn.rbuf = Vec::new();
+    } else if at > 0 {
+        conn.rbuf.drain(..at);
+        if conn.rbuf.is_empty() && conn.rbuf.capacity() > 16 * 1024 {
+            // Don't park a burst's buffer on a connection going idle —
+            // 10k held connections must stay cheap.
+            conn.rbuf = Vec::new();
+        }
+    }
+}
+
+/// One decoded client frame: validate, submit or queue the obligation.
+fn handle_message(conn: &mut Conn, ctx: &IoCtx, msg: Message) {
+    ctx.hub.net.frames_in.inc();
+    match msg {
+        Message::Request { req_id, op, rows, cols, data } => {
+            handle_request(conn, ctx, req_id, &op, rows, cols, data);
+        }
+        Message::ListOps => conn.pending.push_back(PendingOut::Ops),
+        Message::Stats => {
+            ctx.hub.net.stats_queries.inc();
+            conn.pending.push_back(PendingOut::Stats);
+        }
+        Message::History { max_points } => {
+            ctx.hub.net.history_queries.inc();
+            conn.pending.push_back(PendingOut::History { max: max_points });
+        }
+        Message::SlowLog { max } => {
+            ctx.hub.net.slowlog_queries.inc();
+            conn.pending.push_back(PendingOut::SlowLog { max });
+        }
+        _ => {
+            // Server-to-client kinds arriving at the server violate the
+            // protocol just like garbage bytes do.
+            ctx.hub.net.malformed.inc();
+            conn.pending.push_back(PendingOut::Reject {
+                req_id: 0,
+                code: RejectCode::Malformed,
+                msg: "unexpected server-to-client frame".into(),
+            });
+            conn.reading = false;
+        }
+    }
 }
 
 fn handle_request(
-    client: &Client,
-    tx: &Sender<WriterMsg>,
+    conn: &mut Conn,
+    ctx: &IoCtx,
     req_id: u64,
     op_name: &str,
     rows: u32,
@@ -431,8 +739,8 @@ fn handle_request(
     // used to read the clock internally — same read count) so the queue
     // phase starts at frame decode, not after validation.
     let t0 = Instant::now();
-    let Some(op) = client.registry().lookup(op_name) else {
-        let _ = tx.send(WriterMsg::Reject {
+    let Some(op) = ctx.client.registry().lookup(op_name) else {
+        conn.pending.push_back(PendingOut::Reject {
             req_id,
             code: RejectCode::UnknownOp,
             msg: format!("no op named '{op_name}'"),
@@ -441,27 +749,30 @@ fn handle_request(
     };
     // The reply must be encodable too: a request can satisfy every decode
     // cap while `m × cols` blows the frame budget (large-`m` ops). Reject
-    // up front — the writer's encode asserts must stay unreachable.
-    let m = client.registry().get(op).op().output_size();
+    // up front — the reply path's encode asserts must stay unreachable.
+    let m = ctx.client.registry().get(op).op().output_size();
     let reply_values = m.saturating_mul(cols as usize);
     if m > wire::MAX_ROWS || reply_values.saturating_mul(4) + wire::HEADER_LEN > wire::MAX_BODY {
-        let _ = tx.send(WriterMsg::Reject {
+        conn.pending.push_back(PendingOut::Reject {
             req_id,
             code: RejectCode::ShapeMismatch,
             msg: format!("reply {m}x{cols} exceeds the frame caps; send fewer columns"),
         });
         return;
     }
-    let x = ColMatrix::from_vec(rows as usize, cols as usize, data);
+    let x = biq_matrix::ColMatrix::from_vec(rows as usize, cols as usize, data);
     // `try_submit_stamped` (not `submit`): a full queue must become an
-    // explicit Busy frame, not a reader thread blocked on the submit
-    // queue — and the admission stamp defers lifecycle recording to the
-    // writer, which owns the last two phases.
-    let msg = match client.try_submit_stamped(op, x, t0) {
-        Ok(ticket) => WriterMsg::Reply { req_id, ticket },
-        Err(e) => WriterMsg::Reject { req_id, code: reject_code(&e), msg: e.to_string() },
-    };
-    let _ = tx.send(msg);
+    // explicit Busy frame, not a reactor thread blocked on the submit
+    // queue. The notify guard wakes this thread once the reply lands.
+    let notify = ReplyNotify(Arc::clone(&conn.notify_fn));
+    match ctx.client.try_submit_stamped(op, x, t0, Some(notify)) {
+        Ok(ticket) => conn.pending.push_back(PendingOut::Ticket { req_id, ticket }),
+        Err(e) => conn.pending.push_back(PendingOut::Reject {
+            req_id,
+            code: reject_code(&e),
+            msg: e.to_string(),
+        }),
+    }
 }
 
 /// Maps a serving error onto its wire code.
@@ -475,95 +786,164 @@ fn reject_code(e: &ServeError) -> RejectCode {
     }
 }
 
-/// Writer side of one connection: serializes every outbound frame. Ticket
-/// waits happen here, off the reader, so a connection can pipeline many
-/// requests; replies go out in submission order (FIFO per connection,
-/// which keeps the stream deterministic for a pipelining client).
-fn writer_loop(stream: TcpStream, rx: &Receiver<WriterMsg>, ops: &[OpInfo], hub: &MetricsHub) {
-    let mut w = BufWriter::new(stream);
-    // After a write error the peer is gone: keep draining tickets (their
-    // results must not dam up the worker replies) but stop writing.
-    let mut broken = false;
-    while let Ok(msg) = rx.recv() {
-        // Replies carry their lifecycle stamps; the record is finalized
-        // only after the frame actually reaches the socket.
-        let (frame, reply_lap) = match msg {
-            WriterMsg::Reply { req_id, ticket } => {
-                let waited = {
-                    let _span = span!("net.ticket_wait");
-                    ticket.wait_full()
-                };
-                // First of the two clock reads attribution adds on this
-                // thread (socket-bound, off the kernel hot path): the
-                // ticket phase ends here.
-                let wait_end = Instant::now();
-                match waited {
-                    Ok(a) => (
-                        wire::encode(&Message::Reply {
-                            req_id,
-                            rows: a.matrix.rows() as u32,
-                            cols: a.matrix.cols() as u16,
-                            data: a.matrix.as_slice().to_vec(),
-                        }),
-                        Some((req_id, a.lap, wait_end)),
-                    ),
-                    Err(e) => {
-                        let code = reject_code(&e);
-                        if code == RejectCode::Busy {
-                            hub.net.busy_rejects.inc();
-                        }
-                        (wire::encode(&Message::Reject { req_id, code, msg: e.to_string() }), None)
-                    }
-                }
+/// Converts resolved obligations at the FIFO head into encoded frames on
+/// the write queue. Stops at the first still-in-flight ticket — replies
+/// stay in submission order per connection.
+fn pump(conn: &mut Conn, ctx: &IoCtx) {
+    while !conn.dead {
+        // Backpressure: a peer not draining its replies must not buffer
+        // unbounded frames server-side. (Checked before each encode, so a
+        // single over-cap frame on an empty queue still goes out.)
+        if conn.wq_bytes > ctx.max_write_queue {
+            conn.dead = true;
+            return;
+        }
+        let resolved = match conn.pending.front() {
+            None => return,
+            Some(PendingOut::Ticket { ticket, .. }) => match ticket.try_wait_full() {
+                None => return, // in flight; ReplyNotify will wake us
+                Some(r) => Some(r),
+            },
+            Some(_) => None,
+        };
+        // First of the two clock reads attribution adds on the reactor
+        // (socket-bound, off the kernel hot path): the ticket phase ends
+        // where the reactor observes the resolved reply.
+        let wait_end = Instant::now();
+        let item = conn.pending.pop_front().expect("front checked above");
+        let mut buf = conn.take_spare();
+        let mut rec = None;
+        match (item, resolved) {
+            (PendingOut::Ticket { req_id, .. }, Some(Ok(a))) => {
+                wire::encode_reply_into(
+                    &mut buf,
+                    req_id,
+                    a.matrix.rows() as u32,
+                    a.matrix.cols() as u16,
+                    a.matrix.as_slice(),
+                );
+                rec = Some((req_id, a.lap, wait_end));
             }
-            WriterMsg::Reject { req_id, code, msg } => {
+            (PendingOut::Ticket { .. }, None) => {
+                unreachable!("ticket resolution checked before pop")
+            }
+            (PendingOut::Ticket { req_id, .. }, Some(Err(e))) => {
+                let code = reject_code(&e);
                 if code == RejectCode::Busy {
-                    hub.net.busy_rejects.inc();
+                    ctx.hub.net.busy_rejects.inc();
                 }
-                (wire::encode(&Message::Reject { req_id, code, msg }), None)
+                wire::encode_into(&mut buf, &Message::Reject { req_id, code, msg: e.to_string() });
             }
-            WriterMsg::Ops => (wire::encode(&Message::OpList(ops.to_vec())), None),
-            WriterMsg::Stats => {
+            (PendingOut::Reject { req_id, code, msg }, _) => {
+                if code == RejectCode::Busy {
+                    ctx.hub.net.busy_rejects.inc();
+                }
+                wire::encode_into(&mut buf, &Message::Reject { req_id, code, msg });
+            }
+            (PendingOut::Ops, _) => {
+                wire::encode_into(&mut buf, &Message::OpList(ctx.ops.to_vec()));
+            }
+            (PendingOut::Stats, _) => {
                 // Answered from counters alone — no worker, no submit
                 // queue. Truncation below the wire cap is defensive; the
                 // sample count is ~10 per op plus a fixed transport set.
-                let mut samples = hub.snapshot().samples;
+                let mut samples = ctx.hub.snapshot().samples;
                 samples.truncate(wire::MAX_SAMPLES);
-                (wire::encode(&Message::StatsReply(samples)), None)
+                wire::encode_into(&mut buf, &Message::StatsReply(samples));
             }
-            WriterMsg::History { max } => {
+            (PendingOut::History { max }, _) => {
                 let n =
                     if max == 0 { wire::MAX_POINTS } else { (max as usize).min(wire::MAX_POINTS) };
-                (wire::encode(&Message::HistoryReply(hub.series.recent(n))), None)
+                wire::encode_into(&mut buf, &Message::HistoryReply(ctx.hub.series.recent(n)));
             }
-            WriterMsg::SlowLog { max } => {
+            (PendingOut::SlowLog { max }, _) => {
                 let n = if max == 0 { wire::MAX_SLOW } else { (max as usize).min(wire::MAX_SLOW) };
-                (wire::encode(&Message::SlowLogReply(hub.serve.slow_hits(n))), None)
-            }
-        };
-        if !broken {
-            let _span = span!("net.write");
-            broken = w.write_all(&frame).and_then(|()| w.flush()).is_err();
-            if !broken {
-                hub.net.frames_out.inc();
-                hub.net.bytes_out.add(frame.len() as u64);
-                if let Some((req_id, lap, wait_end)) = reply_lap {
-                    // Second added clock read: the write phase ends when
-                    // the reply is flushed, closing the record's timeline.
-                    let write_end = Instant::now();
-                    hub.serve.sink().record(&RequestRecord::from_timeline(
-                        req_id,
-                        lap.op,
-                        lap.cols,
-                        lap.enqueued_ns,
-                        lap.pushed_ns,
-                        lap.dispatched_ns,
-                        lap.done_ns,
-                        biq_obs::trace::instant_ns(wait_end),
-                        biq_obs::trace::instant_ns(write_end),
-                    ));
-                }
+                wire::encode_into(&mut buf, &Message::SlowLogReply(ctx.hub.serve.slow_hits(n)));
             }
         }
+        conn.wq_bytes += buf.len();
+        conn.wq.push_back(WBuf { buf, rec });
+        ctx.hub.net.write_queue_depth.record(conn.wq.len() as u64);
+    }
+}
+
+/// Drains the write queue with vectored writes: one syscall carries up to
+/// [`WRITE_BATCH`] queued frames. Lifecycle records are finalized when
+/// their frame's last byte is accepted by the socket.
+fn flush(conn: &mut Conn, ctx: &IoCtx) {
+    if conn.dead || conn.wq.is_empty() {
+        return;
+    }
+    let _span = span!("net.write");
+    // Second added clock read, shared by every frame this flush completes
+    // (they hit the socket microseconds apart; one read is the cheaper,
+    // equally-faithful stamp).
+    let mut write_end: Option<Instant> = None;
+    'writing: while !conn.wq.is_empty() {
+        let n = {
+            let mut slices = [IoSlice::new(&[]); WRITE_BATCH];
+            let mut count = 0usize;
+            for (i, w) in conn.wq.iter().enumerate().take(WRITE_BATCH) {
+                slices[count] = IoSlice::new(if i == 0 { &w.buf[conn.woff..] } else { &w.buf });
+                count += 1;
+            }
+            match (&conn.stream).write_vectored(&slices[..count]) {
+                Ok(0) => {
+                    conn.dead = true;
+                    return;
+                }
+                Ok(n) => n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break 'writing,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue 'writing,
+                Err(_) => {
+                    // The peer is gone: stop writing. Still-pending tickets
+                    // drain harmlessly (their reply senders just error).
+                    conn.dead = true;
+                    return;
+                }
+            }
+        };
+        ctx.hub.net.write_syscalls.inc();
+        ctx.hub.net.bytes_out.add(n as u64);
+        let mut rem = n;
+        while rem > 0 {
+            let front_left = conn.wq.front().expect("bytes imply a frame").buf.len() - conn.woff;
+            if rem < front_left {
+                conn.woff += rem;
+                break;
+            }
+            rem -= front_left;
+            let w = conn.wq.pop_front().expect("front exists");
+            conn.wq_bytes -= w.buf.len();
+            conn.woff = 0;
+            ctx.hub.net.frames_out.inc();
+            if let Some((req_id, lap, wait_end)) = w.rec {
+                let end = *write_end.get_or_insert_with(Instant::now);
+                ctx.hub.serve.sink().record(&RequestRecord::from_timeline(
+                    req_id,
+                    lap.op,
+                    lap.cols,
+                    lap.enqueued_ns,
+                    lap.pushed_ns,
+                    lap.dispatched_ns,
+                    lap.done_ns,
+                    biq_obs::trace::instant_ns(wait_end),
+                    biq_obs::trace::instant_ns(end),
+                ));
+            }
+            conn.recycle(w.buf);
+        }
+    }
+}
+
+/// Syncs the poller's interest set with what the connection can act on.
+fn set_interest(conn: &mut Conn, ctx: &IoCtx) {
+    let want = (conn.reading, !conn.wq.is_empty());
+    if want != conn.intr {
+        if ctx.poller.modify(conn.fd, conn.token, want.0, want.1).is_err() {
+            conn.dead = true;
+            return;
+        }
+        conn.intr = want;
     }
 }

@@ -277,11 +277,11 @@ pub fn fold_checksum(body: &[u8]) -> u32 {
 
 // ---------------------------------------------------------------- encoding
 
-struct Writer {
-    buf: Vec<u8>,
+struct Writer<'a> {
+    buf: &'a mut Vec<u8>,
 }
 
-impl Writer {
+impl Writer<'_> {
     fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
@@ -304,6 +304,25 @@ impl Writer {
     }
 }
 
+/// Writes the 16-byte placeholder header; [`seal_frame`] patches it once
+/// the body length and checksum are known.
+fn start_frame(frame: &mut Vec<u8>, kind: u8) {
+    frame.clear();
+    frame.extend_from_slice(&MAGIC);
+    frame.push(WIRE_VERSION);
+    frame.push(kind);
+    frame.extend_from_slice(&0u16.to_le_bytes());
+    frame.extend_from_slice(&[0u8; 8]); // body_len + checksum, patched later
+}
+
+fn seal_frame(frame: &mut [u8]) {
+    let body_len = frame.len() - HEADER_LEN;
+    assert!(body_len <= MAX_BODY, "body over cap");
+    let sum = fold_checksum(&frame[HEADER_LEN..]);
+    frame[8..12].copy_from_slice(&(body_len as u32).to_le_bytes());
+    frame[12..16].copy_from_slice(&sum.to_le_bytes());
+}
+
 /// Encodes one message as a complete frame (header + body).
 ///
 /// # Panics
@@ -311,7 +330,17 @@ impl Writer {
 /// large, `data.len() != rows·cols`) — encoders construct messages, so a
 /// violation is a local bug, not remote input.
 pub fn encode(msg: &Message) -> Vec<u8> {
-    let mut w = Writer { buf: Vec::new() };
+    let mut frame = Vec::new();
+    encode_into(&mut frame, msg);
+    frame
+}
+
+/// [`encode`] into a caller-owned scratch buffer: the frame replaces the
+/// buffer's contents and its capacity is reused, so a steady-state encode
+/// loop allocates nothing once the buffer has grown to its working set.
+pub fn encode_into(frame: &mut Vec<u8>, msg: &Message) {
+    start_frame(frame, msg.kind());
+    let mut w = Writer { buf: frame };
     match msg {
         Message::Request { req_id, op, rows, cols, data } => {
             assert!(op.len() <= MAX_NAME, "op name over cap");
@@ -439,17 +468,55 @@ pub fn encode(msg: &Message) -> Vec<u8> {
             }
         }
     }
-    let body = w.buf;
-    assert!(body.len() <= MAX_BODY, "body over cap");
-    let mut frame = Vec::with_capacity(HEADER_LEN + body.len());
-    frame.extend_from_slice(&MAGIC);
-    frame.push(WIRE_VERSION);
-    frame.push(msg.kind());
-    frame.extend_from_slice(&0u16.to_le_bytes());
-    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
-    frame.extend_from_slice(&fold_checksum(&body).to_le_bytes());
-    frame.extend_from_slice(&body);
-    frame
+    seal_frame(frame);
+}
+
+/// Encodes a [`Message::Request`] frame straight from borrowed parts —
+/// byte-identical to `encode_into(frame, &Message::Request { .. })`
+/// without materialising the owned `String`/`Vec<f32>` the `Message`
+/// variant demands. The client's pipelined send path reuses one scratch
+/// buffer and allocates nothing at steady state.
+///
+/// # Panics
+/// Panics on cap violations, like [`encode`].
+pub fn encode_request_into(
+    frame: &mut Vec<u8>,
+    req_id: u64,
+    op: &str,
+    rows: u32,
+    cols: u16,
+    data: &[f32],
+) {
+    assert!(op.len() <= MAX_NAME, "op name over cap");
+    assert!((rows as usize) <= MAX_ROWS && (cols as usize) <= MAX_COLS);
+    assert_eq!(data.len(), rows as usize * cols as usize, "payload shape");
+    start_frame(frame, 1);
+    let mut w = Writer { buf: frame };
+    w.u64(req_id);
+    w.u16(op.len() as u16);
+    w.bytes(op.as_bytes());
+    w.u32(rows);
+    w.u16(cols);
+    w.f32s(data);
+    seal_frame(frame);
+}
+
+/// Encodes a `Reply` frame straight from its parts into `frame`
+/// (cleared first), skipping the intermediate [`Message`] — the server's
+/// hot reply path borrows the answer's storage instead of cloning it.
+///
+/// # Panics
+/// Panics on cap violations, like [`encode`].
+pub fn encode_reply_into(frame: &mut Vec<u8>, req_id: u64, rows: u32, cols: u16, data: &[f32]) {
+    assert!((rows as usize) <= MAX_ROWS && (cols as usize) <= MAX_COLS);
+    assert_eq!(data.len(), rows as usize * cols as usize, "payload shape");
+    start_frame(frame, 2);
+    let mut w = Writer { buf: frame };
+    w.u64(req_id);
+    w.u32(rows);
+    w.u16(cols);
+    w.f32s(data);
+    seal_frame(frame);
 }
 
 // ---------------------------------------------------------------- decoding
@@ -770,6 +837,44 @@ pub fn decode(bytes: &[u8]) -> Result<(Message, usize), WireError> {
     Ok((parse_body(kind, body)?, HEADER_LEN + body_len))
 }
 
+/// What [`decode_frame`] found at the front of a partial buffer.
+#[derive(Debug)]
+pub enum FrameStatus {
+    /// The buffer holds a frame prefix; at least this many more bytes are
+    /// needed before the frame can complete.
+    NeedMore(usize),
+    /// A complete frame: the decoded message and the bytes it consumed
+    /// (drain exactly `used` from the buffer's front).
+    Frame {
+        /// The decoded message.
+        msg: Message,
+        /// Bytes consumed from the buffer's front.
+        used: usize,
+    },
+}
+
+/// Incremental sibling of [`decode`] for nonblocking readers: decodes the
+/// frame at the front of a possibly-partial buffer. The header is
+/// validated as soon as 16 bytes are present — garbage fails fast instead
+/// of waiting for a body that will never arrive — and the same cap/
+/// checksum/tiling discipline as [`decode`] applies once the body is
+/// complete.
+pub fn decode_frame(bytes: &[u8]) -> Result<FrameStatus, WireError> {
+    if bytes.len() < HEADER_LEN {
+        return Ok(FrameStatus::NeedMore(HEADER_LEN - bytes.len()));
+    }
+    let header: &[u8; HEADER_LEN] = bytes[..HEADER_LEN].try_into().expect("16 bytes");
+    let (kind, body_len, checksum) = parse_header(header)?;
+    if bytes.len() < HEADER_LEN + body_len {
+        return Ok(FrameStatus::NeedMore(HEADER_LEN + body_len - bytes.len()));
+    }
+    let body = &bytes[HEADER_LEN..HEADER_LEN + body_len];
+    if fold_checksum(body) != checksum {
+        return Err(malformed("checksum mismatch"));
+    }
+    Ok(FrameStatus::Frame { msg: parse_body(kind, body)?, used: HEADER_LEN + body_len })
+}
+
 /// Reads exactly one frame from a stream. A clean EOF **at a frame
 /// boundary** is [`WireError::Closed`]; EOF mid-frame is `Malformed`. The
 /// body buffer is only allocated after the header's cap check.
@@ -884,6 +989,69 @@ mod tests {
             // Stream path agrees with the buffer path.
             let mut cursor = std::io::Cursor::new(frame);
             assert_eq!(read_message(&mut cursor).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn encode_into_and_reply_into_match_encode_bytes() {
+        let mut scratch = Vec::new();
+        let reply = Message::Reply { req_id: 11, rows: 3, cols: 2, data: vec![0.5f32; 6] };
+        for msg in [sample_request(), reply.clone(), Message::Stats] {
+            encode_into(&mut scratch, &msg);
+            assert_eq!(scratch, encode(&msg), "scratch encode must be byte-identical");
+        }
+        // The direct reply encoder agrees with the Message path and reuses
+        // capacity (second call must not grow the buffer).
+        encode_reply_into(&mut scratch, 11, 3, 2, &[0.5f32; 6]);
+        assert_eq!(scratch, encode(&reply));
+        let cap = scratch.capacity();
+        encode_reply_into(&mut scratch, 11, 3, 2, &[0.5f32; 6]);
+        assert_eq!(scratch.capacity(), cap, "steady-state encode must reuse the buffer");
+    }
+
+    #[test]
+    fn decode_frame_streams_partial_input() {
+        let frame = encode(&sample_request());
+        // Every prefix short of the full frame asks for more; header
+        // prefixes ask for the rest of the header first.
+        for cut in 0..frame.len() {
+            match decode_frame(&frame[..cut]).unwrap() {
+                FrameStatus::NeedMore(n) => {
+                    assert!(n > 0 && cut + n <= frame.len(), "cut {cut} wants {n}");
+                    if cut < HEADER_LEN {
+                        assert_eq!(n, HEADER_LEN - cut, "header completes first");
+                    } else {
+                        assert_eq!(cut + n, frame.len(), "body asks for exactly the rest");
+                    }
+                }
+                other => panic!("prefix {cut} decoded: {other:?}"),
+            }
+        }
+        // The full frame (plus pipelined trailing bytes) decodes the front.
+        let mut two = frame.clone();
+        two.extend_from_slice(&frame);
+        match decode_frame(&two).unwrap() {
+            FrameStatus::Frame { msg, used } => {
+                assert_eq!(msg, sample_request());
+                assert_eq!(used, frame.len());
+            }
+            other => panic!("full frame: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_frame_fails_garbage_at_the_header() {
+        // A bad header must fail as soon as 16 bytes exist — an attacker
+        // cannot park a connection on a body that never comes.
+        let garbage = [0x5au8; HEADER_LEN];
+        assert!(matches!(decode_frame(&garbage), Err(WireError::Malformed(_))));
+        // Checksum corruption is detected once the body is complete.
+        let mut frame = encode(&sample_request());
+        let at = HEADER_LEN + 3;
+        frame[at] ^= 0x40;
+        match decode_frame(&frame) {
+            Err(e) => assert!(e.is_checksum_mismatch(), "{e}"),
+            other => panic!("flip decoded: {other:?}"),
         }
     }
 

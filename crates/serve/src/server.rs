@@ -18,7 +18,7 @@
 //! channel, which blocks the batcher, which fills the bounded submit
 //! queue, which turns [`Client::try_submit`] into [`ServeError::Busy`].
 
-use crate::batcher::{Answer, BatchJob, Batcher, Lap, Pending, ServeError};
+use crate::batcher::{Answer, BatchJob, Batcher, Lap, Pending, ReplyNotify, ServeError};
 use crate::registry::{ModelRegistry, OpId};
 use crate::stats::{OpMeta, ServerStats, StatsSnapshot};
 use biq_matrix::{ColMatrix, Matrix};
@@ -98,8 +98,14 @@ impl Ticket {
     /// dropped reply channel (worker loss) resolves to
     /// [`ServeError::Canceled`], exactly like [`Ticket::wait`].
     pub fn try_wait(&self) -> Option<Result<Matrix, ServeError>> {
+        self.try_wait_full().map(|r| r.map(|a| a.matrix))
+    }
+
+    /// [`Ticket::try_wait`] keeping the lifecycle stamps — what the net
+    /// reactor polls when a request's [`ReplyNotify`] fires.
+    pub(crate) fn try_wait_full(&self) -> Option<Result<Answer, ServeError>> {
         match self.rx.try_recv() {
-            Ok(reply) => Some(reply.map(|a| a.matrix)),
+            Ok(reply) => Some(reply),
             Err(mpsc::TryRecvError::Empty) => None,
             Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServeError::Canceled)),
         }
@@ -128,7 +134,7 @@ impl Client {
         if !*gate {
             return Err(ServeError::ShuttingDown);
         }
-        let (pending, ticket) = self.admit(op, x, Instant::now(), false)?;
+        let (pending, ticket) = self.admit(op, x, Instant::now(), false, None)?;
         match pending {
             Some(p) => match self.tx.send(Submission::Request(p)) {
                 Ok(()) => {
@@ -144,20 +150,23 @@ impl Client {
     /// Like [`Client::submit`] but refusing with [`ServeError::Busy`]
     /// instead of blocking when the queue is full — the backpressure edge.
     pub fn try_submit(&self, op: OpId, x: ColMatrix) -> Result<Ticket, ServeError> {
-        self.try_submit_inner(op, x, Instant::now(), false)
+        self.try_submit_inner(op, x, Instant::now(), false, None)
     }
 
     /// [`Client::try_submit`] with an admission stamp the caller already
     /// took (the net front-end stamps at frame decode, so a request's
-    /// recorded queue wait includes the submit hop) and the lifecycle
-    /// record deferred to the net writer.
+    /// recorded queue wait includes the submit hop), the lifecycle record
+    /// deferred to the net writer, and an optional [`ReplyNotify`] that
+    /// rides with the request and fires once its reply (or cancellation)
+    /// has landed on the ticket channel — the reactor's wake-up.
     pub(crate) fn try_submit_stamped(
         &self,
         op: OpId,
         x: ColMatrix,
         enqueued: Instant,
+        notify: Option<ReplyNotify>,
     ) -> Result<Ticket, ServeError> {
-        self.try_submit_inner(op, x, enqueued, true)
+        self.try_submit_inner(op, x, enqueued, true, notify)
     }
 
     fn try_submit_inner(
@@ -166,12 +175,13 @@ impl Client {
         x: ColMatrix,
         enqueued: Instant,
         deferred: bool,
+        notify: Option<ReplyNotify>,
     ) -> Result<Ticket, ServeError> {
         let gate = self.accepting.read().expect("admission gate poisoned");
         if !*gate {
             return Err(ServeError::ShuttingDown);
         }
-        let (pending, ticket) = self.admit(op, x, enqueued, deferred)?;
+        let (pending, ticket) = self.admit(op, x, enqueued, deferred, notify)?;
         match pending {
             Some(p) => match self.tx.try_send(Submission::Request(p)) {
                 Ok(()) => {
@@ -196,6 +206,7 @@ impl Client {
         x: ColMatrix,
         enqueued: Instant,
         deferred: bool,
+        notify: Option<ReplyNotify>,
     ) -> Result<(Option<Pending>, Ticket), ServeError> {
         if op.0 >= self.registry.len() {
             return Err(ServeError::UnknownOp);
@@ -211,11 +222,13 @@ impl Client {
         let ticket = Ticket { rx };
         if x.cols() == 0 {
             // Nothing to compute; answer inline so workers never see b = 0.
+            // The notify guard (if any) drops here, after the send — the
+            // reactor's poll finds the inline answer immediately.
             let zero = Matrix::zeros(compiled.output_size(), 0);
             let _ = reply.send(Ok(Answer { matrix: zero, lap: Lap::default() }));
             return Ok((None, ticket));
         }
-        let p = Pending { op, x, reply, enqueued, pushed: enqueued, deferred };
+        let p = Pending { op, x, reply, enqueued, pushed: enqueued, deferred, notify };
         Ok((Some(p), ticket))
     }
 
