@@ -32,12 +32,17 @@ use std::fs::File;
 use std::path::Path;
 
 pub mod bench_check;
+pub mod fleet_cmds;
 pub mod model_cmds;
 pub mod net_cmds;
 pub mod serve_bench;
 pub mod stats_cmd;
 pub mod top_cmd;
 pub use bench_check::{cmd_bench_check, BenchCheckConfig, GateStatus};
+pub use fleet_cmds::{
+    cmd_model_list, cmd_model_load, cmd_model_unload, fetch_mem_budget, parse_mem_budget,
+    render_model_list, ModelLoadReport,
+};
 pub use model_cmds::{build_model, cmd_compile, cmd_inspect, cmd_run_model, CompileConfig};
 pub use net_cmds::{
     cmd_load_client, cmd_net_bench, cmd_serve, DaemonConfig, LoadClientConfig, LoadReport,

@@ -2,9 +2,11 @@
 
 use biq_cli::{
     cmd_bench_check, cmd_compile, cmd_gen, cmd_info, cmd_inspect, cmd_load_client, cmd_matmul,
-    cmd_net_bench, cmd_pack, cmd_quantize, cmd_run_model, cmd_serve, cmd_serve_bench, cmd_stats,
-    cmd_top, BenchCheckConfig, CliError, CompileConfig, DaemonConfig, GateStatus, LoadClientConfig,
-    NetBenchConfig, ServeBenchConfig, ServeOptions, StatsConfig, StatsFormat, TopConfig,
+    cmd_model_list, cmd_model_load, cmd_model_unload, cmd_net_bench, cmd_pack, cmd_quantize,
+    cmd_run_model, cmd_serve, cmd_serve_bench, cmd_stats, cmd_top, fetch_mem_budget,
+    parse_mem_budget, render_model_list, BenchCheckConfig, CliError, CompileConfig, DaemonConfig,
+    GateStatus, LoadClientConfig, NetBenchConfig, ServeBenchConfig, ServeOptions, StatsConfig,
+    StatsFormat, TopConfig,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -35,13 +37,16 @@ SERVING:
                   [--quick] [--out PATH]
   biq serve       --model ARTIFACT --addr HOST:PORT [--workers W]
                   [--window-us U] [--max-batch B] [--queue-cap Q]
-                  [--pin-workers] [--io-threads N]
+                  [--pin-workers] [--io-threads N] [--mem-budget BYTES]
                   [--kernel auto|scalar|avx2|avx512|neon]
                   [--stats-every SECS] [--trace-out PATH]
   biq load-client --addr HOST:PORT [--op NAME] [--requests R]
                   [--concurrency C] [--seed S] [--pipeline P]
   biq stats       --addr HOST:PORT [--prometheus | --json] [--watch SECS]
   biq top         --addr HOST:PORT [--once] [--interval SECS]
+  biq model load   --addr HOST:PORT --name NAME PATH
+  biq model unload --addr HOST:PORT --name NAME [--version V]
+  biq model list   --addr HOST:PORT
   biq net-bench   [--requests R] [--workers W] [--concurrency C]
                   [--window-us U] [--max-batch B] [--quick]
                   [--connections N,N,...] [--out PATH]
@@ -72,8 +77,9 @@ against a loaded artifact with --model — and writes the
 throughput/latency record (default results/BENCH_serve.json).
 
 serve is the network daemon: it loads a BIQM artifact, registers every
-linear op, and answers BIQP frames (length-prefixed, checksummed — spec in
-crates/serve/README.md) until SIGINT or stdin EOF, then drains and prints
+linear op under the artifact's file stem as the boot model name, and
+answers BIQP frames (length-prefixed, checksummed — spec in docs/BIQP.md)
+until SIGINT or stdin EOF, then drains and prints
 the final stats as JSON. --stats-every prints a one-line metrics summary on
 stderr that often (stderr by design: stdout stays reserved for the final
 machine-readable JSON report); --trace-out records always-on spans (net,
@@ -97,6 +103,18 @@ every held connection is checked alive afterwards; points past the fd
 limit are skipped with a note). `bench check` re-measures the committed
 results/BENCH_*.json baselines fresh and fails on >tolerance regressions
 (the CI perf gate), including the in-process/remote wire-tax ratio.
+
+model manages the daemon's fleet online: `model load` registers a BIQM
+artifact from a path on the daemon's filesystem (a new name becomes
+version 1; an existing name swaps to the next version — in-flight requests
+drain on the version that admitted them, zero drops). Op names are
+versioned (`linear@2`); a bare name always resolves to the live version.
+`model unload` retires a version (the live one by default), `model list`
+prints every version live and retired with resident bytes and traffic
+counts. `serve --mem-budget BYTES` (K/M/G suffixes) caps resident model
+bytes: a load past the ceiling evicts cold idle models LRU-first (never
+one with in-flight work), else is refused. See docs/OPERATIONS.md for the
+runbook.
 ";
 
 struct Args {
@@ -343,6 +361,9 @@ fn run() -> Result<(), CliError> {
             if args.has("io-threads") {
                 cfg.io_threads = args.usize_flag("io-threads")?.max(1);
             }
+            if let Some(budget) = args.flag("mem-budget") {
+                cfg.mem_budget = Some(parse_mem_budget(budget)?);
+            }
             let mut opts = ServeOptions::default();
             if args.has("stats-every") {
                 opts.stats_every =
@@ -422,6 +443,45 @@ fn run() -> Result<(), CliError> {
                 cfg.interval = Duration::from_secs(args.usize_flag("interval")?.max(1) as u64);
             }
             cmd_top(&cfg)?;
+        }
+        "model" => {
+            let addr = args.flag("addr").ok_or_else(|| CliError("missing --addr".into()))?;
+            match args.positional.first().map(String::as_str) {
+                Some("load") => {
+                    let name =
+                        args.flag("name").ok_or_else(|| CliError("missing --name".into()))?;
+                    let path = args
+                        .positional
+                        .get(1)
+                        .ok_or_else(|| CliError("missing artifact path".into()))?;
+                    let r = cmd_model_load(addr, name, path)?;
+                    println!(
+                        "loaded {name}@{} ({} ops, {} bytes resident)",
+                        r.version, r.ops, r.mem_bytes
+                    );
+                    for evicted in &r.evicted {
+                        println!("evicted {evicted}");
+                    }
+                }
+                Some("unload") => {
+                    let name =
+                        args.flag("name").ok_or_else(|| CliError("missing --name".into()))?;
+                    let version = args.flag("version").map_or(Ok(0u32), |v| {
+                        v.parse().map_err(|_| CliError("--version must be an integer".into()))
+                    })?;
+                    let (version, ops) = cmd_model_unload(addr, name, version)?;
+                    println!("unloaded {name}@{version} ({ops} ops retired)");
+                }
+                Some("list") => {
+                    let models = cmd_model_list(addr)?;
+                    print!("{}", render_model_list(&models, fetch_mem_budget(addr)));
+                }
+                other => {
+                    return Err(CliError(format!(
+                        "unknown model subcommand {other:?} (expected load | unload | list)"
+                    )))
+                }
+            }
         }
         "net-bench" => {
             let mut cfg = NetBenchConfig::default();

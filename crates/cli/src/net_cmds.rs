@@ -44,6 +44,9 @@ pub struct DaemonConfig {
     pub pin_workers: bool,
     /// Reactor I/O threads of the TCP front-end (`--io-threads`).
     pub io_threads: usize,
+    /// Resident-bytes ceiling for online model loads (`--mem-budget`).
+    /// Loads past it evict cold idle models LRU-first, then refuse.
+    pub mem_budget: Option<u64>,
 }
 
 impl Default for DaemonConfig {
@@ -55,6 +58,7 @@ impl Default for DaemonConfig {
             queue_capacity: 1024,
             pin_workers: false,
             io_threads: NetConfig::default().io_threads,
+            mem_budget: None,
         }
     }
 }
@@ -68,6 +72,7 @@ impl DaemonConfig {
             max_batch_cols: self.max_batch_cols,
             job_capacity: (self.workers * 2).max(2),
             pin_workers: self.pin_workers,
+            mem_budget: self.mem_budget,
         }
     }
 }
@@ -83,6 +88,12 @@ pub fn start_daemon(
 ) -> Result<(NetServer, Vec<(String, OpId)>), CliError> {
     let artifact = Artifact::open(model).map_err(|e| CliError(format!("{model:?}: {e}")))?;
     let mut registry = ModelRegistry::new();
+    // The boot model is named after the artifact's file stem, so fleet
+    // views (`biq model list`, `biq_model_memory_bytes{model}`) and a
+    // later `biq model load <stem> v2.biqmod` swap read naturally.
+    if let Some(stem) = model.file_stem().and_then(|s| s.to_str()) {
+        registry.set_model_name(stem);
+    }
     let (_model, ids) =
         registry.load_artifact(&artifact).map_err(|e| CliError(format!("{model:?}: {e}")))?;
     if ids.is_empty() {
@@ -461,14 +472,28 @@ pub fn cmd_load_client(cfg: &LoadClientConfig) -> Result<LoadReport, CliError> {
     let mut probe = connect_retry(&cfg.addr, cfg.connect_attempts)?;
     let ops = probe.list_ops().map_err(|e| CliError(format!("list ops: {e}")))?;
     drop(probe);
+    // The op table lists versioned display names (`linear@2`); a bare
+    // `--op linear` targets the live version, a pinned `--op linear@1`
+    // must match exactly — the same resolution rule request frames get.
+    let matches = |listed: &str, asked: &str| {
+        listed == asked
+            || (listed.len() > asked.len()
+                && listed.starts_with(asked)
+                && listed.as_bytes()[asked.len()] == b'@')
+    };
     let info = match &cfg.op {
-        Some(name) => ops.iter().find(|o| &o.name == name).ok_or_else(|| {
+        Some(name) => ops.iter().find(|o| matches(&o.name, name)).ok_or_else(|| {
             let known: Vec<&str> = ops.iter().map(|o| o.name.as_str()).collect();
             CliError(format!("server has no op '{name}' (ops: {})", known.join(", ")))
         })?,
         None => ops.first().ok_or_else(|| CliError("server lists no ops".into()))?,
     };
     let (op_name, m, n) = (info.name.clone(), info.m as usize, info.n as usize);
+    // Request frames carry the name the caller asked for, not the resolved
+    // display name: a bare `--op linear` keeps tracking the live version
+    // even if a swap lands mid-run, while a pinned `--op linear@1` stays
+    // pinned. The listed entry only supplies shapes (and the report name).
+    let wire_name = cfg.op.clone().unwrap_or_else(|| op_name.clone());
     let requests = cfg.requests.max(1);
     let concurrency = cfg.concurrency.clamp(1, requests);
 
@@ -486,7 +511,7 @@ pub fn cmd_load_client(cfg: &LoadClientConfig) -> Result<LoadReport, CliError> {
             let take = per + usize::from(c < extra);
             let range = start..start + take;
             start += take;
-            let (addr, op, x) = (&cfg.addr, op_name.as_str(), &x);
+            let (addr, op, x) = (&cfg.addr, wire_name.as_str(), &x);
             let pipeline = cfg.pipeline;
             handles.push(s.spawn(move || run_connection(addr, op, x, range, pipeline)));
         }
@@ -662,6 +687,7 @@ fn daemon_config(cfg: &NetBenchConfig) -> DaemonConfig {
         queue_capacity: cfg.requests.max(16),
         pin_workers: false,
         io_threads: NetConfig::default().io_threads,
+        mem_budget: None,
     }
 }
 
@@ -673,7 +699,7 @@ fn daemon_config(cfg: &NetBenchConfig) -> DaemonConfig {
 fn replay_in_process(cfg: &NetBenchConfig) -> Result<NetBenchRow, CliError> {
     let (registry, id) = bench_registry(cfg);
     let server = Server::start(registry, daemon_config(cfg).server_config());
-    let kernel = server.registry().get(id).op().plan().kernel.level().name();
+    let kernel = server.registry().op(id).expect("bench op is live").plan().kernel.level().name();
     let client = server.client();
     let n = cfg.cols;
     let x = MatrixRng::seed_from(1).gaussian_col(n, cfg.requests, 0.0, 1.0);
@@ -746,7 +772,7 @@ fn replay_in_process(cfg: &NetBenchConfig) -> Result<NetBenchRow, CliError> {
 fn replay_remote(cfg: &NetBenchConfig) -> Result<NetBenchRow, CliError> {
     let (registry, id) = bench_registry(cfg);
     let server = Server::start(registry, daemon_config(cfg).server_config());
-    let kernel = server.registry().get(id).op().plan().kernel.level().name();
+    let kernel = server.registry().op(id).expect("bench op is live").plan().kernel.level().name();
     let net = NetServer::bind("127.0.0.1:0", server)
         .map_err(|e| CliError(format!("bind loopback: {e}")))?;
     let addr = net.local_addr().to_string();
@@ -788,7 +814,7 @@ fn replay_remote(cfg: &NetBenchConfig) -> Result<NetBenchRow, CliError> {
 fn replay_remote_idle(cfg: &NetBenchConfig, idle: usize) -> Result<NetBenchRow, CliError> {
     let (registry, id) = bench_registry(cfg);
     let server = Server::start(registry, daemon_config(cfg).server_config());
-    let kernel = server.registry().get(id).op().plan().kernel.level().name();
+    let kernel = server.registry().op(id).expect("bench op is live").plan().kernel.level().name();
     let net = NetServer::bind("127.0.0.1:0", server)
         .map_err(|e| CliError(format!("bind loopback: {e}")))?;
     let addr = net.local_addr();
@@ -1019,7 +1045,8 @@ mod tests {
         cmd_compile(&cfg, &path).unwrap();
         let (net, _) = start_daemon(&path, "127.0.0.1:0", &DaemonConfig::default()).unwrap();
         let json = render_stats_json(&net.shutdown());
-        assert!(json.contains("\"name\": \"linear\""), "{json}");
+        // Stats rows carry the versioned display name.
+        assert!(json.contains("\"name\": \"linear@1\""), "{json}");
         assert!(json.contains("\"profile\""), "{json}");
         let _ = std::fs::remove_file(path);
     }

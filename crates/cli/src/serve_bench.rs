@@ -133,6 +133,7 @@ fn replay(
             queue_capacity: cfg.requests.max(16),
             job_capacity: (cfg.workers * 2).max(2),
             pin_workers: cfg.pin_workers,
+            mem_budget: None,
         },
     );
     let client = server.client();

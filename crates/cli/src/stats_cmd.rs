@@ -166,13 +166,22 @@ mod tests {
         assert_eq!(metrics.counter_total("biq_serve_completed_total"), 40);
         assert!(metrics.counter_total("biq_net_frames_in_total") >= 40);
         assert!(metrics.counter_total("biq_net_bytes_out_total") > 0);
-        let info = metrics.find("biq_op_info", "op", &ids[0].0).expect("op identity sample");
+        // Op labels carry the versioned display name (boot model is v1).
+        let versioned = format!("{}@1", ids[0].0);
+        let info = metrics.find("biq_op_info", "op", &versioned).expect("op identity sample");
         assert_eq!(report.kernel.as_deref(), info.label("kernel"));
 
         // Both renderings carry the headline counter.
         let prom = render_stats(&metrics, StatsFormat::Prometheus);
         assert!(prom.contains("# TYPE biq_serve_completed_total counter\n"), "{prom}");
-        assert!(prom.contains("biq_serve_completed_total{op=\"linear\"} 40\n"), "{prom}");
+        assert!(prom.contains("biq_serve_completed_total{op=\"linear@1\"} 40\n"), "{prom}");
+        // The fleet gauges ride along, labeled by the boot model's name
+        // (the artifact's file stem) and version.
+        let mem = metrics
+            .find("biq_model_memory_bytes", "model", "biq_cli_stats_live")
+            .expect("model memory gauge");
+        assert_eq!(mem.label("version"), Some("1"));
+        assert!(prom.contains("biq_model_memory_bytes{model=\"biq_cli_stats_live\""), "{prom}");
         let json = render_stats(&metrics, StatsFormat::Json);
         assert!(json.contains("biq_serve_completed_total"), "{json}");
 

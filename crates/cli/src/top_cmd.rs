@@ -1,7 +1,9 @@
-//! `biq top`: a live terminal dashboard over a running daemon's `History`
-//! and `SlowLog` admin verbs — per-op request rates with sparkline
-//! history, windowed latency quantiles, and the slowest requests with
-//! their phase breakdowns.
+//! `biq top`: a live terminal dashboard over a running daemon's `History`,
+//! `SlowLog`, and `ListModels` admin verbs — per-op request rates with
+//! sparkline history, windowed latency quantiles, the slowest requests
+//! with their phase breakdowns, and the model fleet table (resident bytes
+//! against the `--mem-budget` ceiling, in-flight and completed per
+//! version).
 //!
 //! The rendering itself is [`biq_obs::render_dashboard`] (pure strings);
 //! this module only fetches the two payloads and drives the refresh. In
@@ -40,13 +42,25 @@ impl Default for TopConfig {
 }
 
 /// One dashboard frame: fetches the daemon's retained time-series, slow
-/// log, and reactor counters over a connected client and renders them.
+/// log, model fleet, and reactor counters over a connected client and
+/// renders them.
 pub fn fetch_frame(client: &mut NetClient, title: &str) -> Result<String, CliError> {
     let points = client.history(0).map_err(|e| CliError(format!("history query: {e}")))?;
     let slow = client.slow_log(0).map_err(|e| CliError(format!("slow-log query: {e}")))?;
+    let models = client.list_models().map_err(|e| CliError(format!("model query: {e}")))?;
     let samples = client.stats().map_err(|e| CliError(format!("stats query: {e}")))?;
+    let metrics = MetricsSnapshot { samples };
+    let budget = metrics.samples.iter().find(|s| s.name == "biq_mem_budget_bytes").and_then(|s| {
+        match s.value {
+            MetricValue::Gauge(v) if v > 0 => Some(v as u64),
+            _ => None,
+        }
+    });
     let mut frame = render_dashboard(title, &points, &slow);
-    frame.push_str(&render_net_line(&MetricsSnapshot { samples }));
+    frame.push('\n');
+    frame
+        .push_str(&biq_obs::render_models_section(&crate::fleet_cmds::model_rows(&models), budget));
+    frame.push_str(&render_net_line(&metrics));
     frame.push('\n');
     Ok(frame)
 }
@@ -156,9 +170,17 @@ mod tests {
         let op_row = frame.lines().find(|l| l.starts_with("linear")).expect("op row");
         let rate: f64 = op_row.split_whitespace().nth(1).unwrap().parse().unwrap();
         assert!(rate > 0.0, "windowed rate must be nonzero: {op_row}");
-        // Slow row: `#<req_id>` then the op name.
+        // Slow row: `#<req_id>` then the versioned op name.
         let slow_row = frame.lines().find(|l| l.starts_with('#')).expect("slow row");
-        assert_eq!(slow_row.split_whitespace().nth(1), Some("linear"));
+        assert_eq!(slow_row.split_whitespace().nth(1), Some("linear@1"));
+        // Fleet section: header plus one live row for the boot model,
+        // named after the artifact's file stem.
+        let models_row = frame.lines().find(|l| l.starts_with("MODELS")).expect("models header");
+        assert!(models_row.contains("1 live"), "{models_row}");
+        let boot_row =
+            frame.lines().find(|l| l.starts_with("biq_cli_top_once@1")).expect("boot model row");
+        assert!(boot_row.contains("live"), "{boot_row}");
+        assert!(boot_row.contains("30"), "completed count rendered: {boot_row}");
         // Reactor health line: present, with a live syscall amortization
         // ratio (load was just served, so frames and syscalls are nonzero).
         let net_row = frame.lines().find(|l| l.starts_with("NET")).expect("net row");

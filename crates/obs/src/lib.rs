@@ -47,7 +47,9 @@ pub use metrics::{
     Sample, BUCKETS,
 };
 pub use record::{RecordRing, RecordSink, RequestRecord, SlowHit, SlowLog, PHASES};
-pub use render::{phase_bar, render_dashboard, sparkline};
+pub use render::{
+    human_bytes, phase_bar, render_dashboard, render_models_section, sparkline, ModelRow,
+};
 pub use series::{op_points, OpPoint, SeriesPoint, SeriesRing};
 pub use trace::{
     set_tracing, tracing_enabled, RingHealth, SpanGuard, TraceDump, TraceEvent, TraceHealth,

@@ -184,6 +184,73 @@ pub fn render_dashboard(title: &str, points: &[SeriesPoint], slow: &[SlowHit]) -
     out
 }
 
+/// One model-fleet row for [`render_models_section`] — obs owns the shape
+/// so the renderer stays decoupled from the serving crate's registry and
+/// wire types (callers map their `ModelInfo` into this).
+#[derive(Clone, Debug)]
+pub struct ModelRow {
+    /// Model name (the `name` half of `name@version`).
+    pub name: String,
+    /// Version number.
+    pub version: u32,
+    /// `true` while this version serves traffic.
+    pub live: bool,
+    /// Estimated resident bytes (0 once retired).
+    pub mem_bytes: u64,
+    /// Ops this version registered.
+    pub ops: u64,
+    /// Requests currently in flight against this version.
+    pub inflight: u64,
+    /// Requests this version has answered.
+    pub completed: u64,
+}
+
+/// Human-scaled byte count (`512`, `3.2K`, `1.5M`, `2.0G`) for the fleet
+/// table's memory column.
+pub fn human_bytes(bytes: u64) -> String {
+    const UNITS: [(&str, u64); 3] = [("G", 1 << 30), ("M", 1 << 20), ("K", 1 << 10)];
+    for (suffix, scale) in UNITS {
+        if bytes >= scale {
+            return format!("{:.1}{suffix}", bytes as f64 / scale as f64);
+        }
+    }
+    format!("{bytes}")
+}
+
+/// Renders the model-fleet table: one `MODELS` header line, then one row
+/// per model version (live first, then retired), each starting with the
+/// versioned `name@version` in column 1 — the same grep contract the
+/// per-op table keeps. `budget` is the daemon's `--mem-budget` ceiling,
+/// rendered in the header when set.
+pub fn render_models_section(rows: &[ModelRow], budget: Option<u64>) -> String {
+    let live_bytes: u64 = rows.iter().filter(|r| r.live).map(|r| r.mem_bytes).sum();
+    let mut out = format!(
+        "MODELS {} live, {} resident{}\n",
+        rows.iter().filter(|r| r.live).count(),
+        human_bytes(live_bytes),
+        match budget {
+            Some(b) => format!(" of {} budget", human_bytes(b)),
+            None => String::from(" (no budget)"),
+        },
+    );
+    out.push_str(&format!(
+        "{:<16} {:>8} {:>9} {:>5} {:>9} {:>10}\n",
+        "MODEL", "STATE", "MEM", "OPS", "INFLIGHT", "COMPLETED"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<16} {:>8} {:>9} {:>5} {:>9} {:>10}\n",
+            format!("{}@{}", r.name, r.version),
+            if r.live { "live" } else { "retired" },
+            human_bytes(r.mem_bytes),
+            r.ops,
+            r.inflight,
+            r.completed,
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,5 +323,46 @@ mod tests {
         let text = render_dashboard("x", &[], &[]);
         assert!(text.contains("(no samples yet)"));
         assert!(text.contains("(no requests captured yet)"));
+    }
+
+    #[test]
+    fn models_section_follows_the_grep_contract() {
+        let rows = [
+            ModelRow {
+                name: "gpt".into(),
+                version: 2,
+                live: true,
+                mem_bytes: 3 << 20,
+                ops: 4,
+                inflight: 1,
+                completed: 900,
+            },
+            ModelRow {
+                name: "gpt".into(),
+                version: 1,
+                live: false,
+                mem_bytes: 0,
+                ops: 4,
+                inflight: 0,
+                completed: 4100,
+            },
+        ];
+        let text = render_models_section(&rows, Some(8 << 20));
+        assert!(text.starts_with("MODELS 1 live, 3.0M resident of 8.0M budget\n"), "{text}");
+        let live_row = text.lines().find(|l| l.starts_with("gpt@2")).expect("live row");
+        assert_eq!(live_row.split_whitespace().nth(1), Some("live"));
+        let old_row = text.lines().find(|l| l.starts_with("gpt@1")).expect("retired row");
+        assert_eq!(old_row.split_whitespace().nth(1), Some("retired"));
+        assert!(old_row.contains("4100"), "{old_row}");
+        // No budget renders explicitly, not as zero.
+        assert!(render_models_section(&rows, None).contains("(no budget)"));
+    }
+
+    #[test]
+    fn human_bytes_picks_the_natural_scale() {
+        assert_eq!(human_bytes(512), "512");
+        assert_eq!(human_bytes(1536), "1.5K");
+        assert_eq!(human_bytes(3 << 20), "3.0M");
+        assert_eq!(human_bytes(2 << 30), "2.0G");
     }
 }

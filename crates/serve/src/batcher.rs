@@ -17,9 +17,19 @@
 //! will pack side by side into one `ColMatrix`, run through a single
 //! executor pass — one LUT build amortised across every column, the
 //! paper's core win — and scatter back to per-request reply channels.
+//!
+//! Buckets are keyed by slot index in a map (not a fixed table): the live
+//! registry grows online as models load, and a request against an op the
+//! batcher has never seen simply opens a new bucket. Each request carries
+//! its own `Arc`s of the compiled op and its stats block, captured at
+//! admission — the drain-on-retire contract: a swap or unload can never
+//! change what an already-accepted request runs against.
 
-use crate::registry::OpId;
+use crate::registry::{InflightGuard, OpId};
+use crate::stats::OpStats;
 use biq_matrix::{ColMatrix, Matrix};
+use biq_runtime::CompiledOp;
+use std::collections::HashMap;
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -31,7 +41,8 @@ pub enum ServeError {
     Busy,
     /// The server no longer accepts requests.
     ShuttingDown,
-    /// The op id does not belong to this server's registry.
+    /// The op id or name does not resolve to a live op (never registered,
+    /// or its version was retired by a swap/unload/eviction).
     UnknownOp,
     /// The input's row count disagrees with the op's input size.
     ShapeMismatch {
@@ -115,6 +126,11 @@ impl std::fmt::Debug for ReplyNotify {
 #[derive(Debug)]
 pub(crate) struct Pending {
     pub(crate) op: OpId,
+    /// The compiled op captured at admission — what this request WILL run
+    /// against, regardless of any swap/unload that lands in between.
+    pub(crate) compiled: Arc<CompiledOp>,
+    /// The op's stats block, captured with it.
+    pub(crate) stats: Arc<OpStats>,
     pub(crate) x: ColMatrix,
     pub(crate) reply: mpsc::Sender<Result<Answer, ServeError>>,
     pub(crate) enqueued: Instant,
@@ -125,6 +141,10 @@ pub(crate) struct Pending {
     /// finalizes its lifecycle record (adding ticket/write phases); the
     /// worker must not record it, or it would be counted twice.
     pub(crate) deferred: bool,
+    /// Pins the owning model "in flight" for eviction refusal; released
+    /// on drop, whichever way the request exits.
+    #[allow(dead_code)]
+    pub(crate) inflight: Option<InflightGuard>,
     /// Declared after `reply` so the wake-up fires only after the reply
     /// sender is dropped (field drop order is declaration order) — by the
     /// time the reactor polls, the ticket always resolves. Held only for
@@ -137,6 +157,9 @@ pub(crate) struct Pending {
 #[derive(Debug)]
 pub(crate) struct BatchJob {
     pub(crate) op: OpId,
+    /// Shared by every request in the bucket (same op ⇒ same capture).
+    pub(crate) compiled: Arc<CompiledOp>,
+    pub(crate) stats: Arc<OpStats>,
     pub(crate) requests: Vec<Pending>,
     /// Total packed width (sum of request column counts).
     pub(crate) cols: usize,
@@ -153,16 +176,16 @@ struct Bucket {
     opened: Instant,
 }
 
-/// The window/bucket policy state: one open bucket per registered op.
+/// The window/bucket policy state: one open bucket per active op.
 pub(crate) struct Batcher {
     window: Duration,
     max_cols: usize,
-    buckets: Vec<Option<Bucket>>,
+    buckets: HashMap<usize, Bucket>,
 }
 
 impl Batcher {
-    pub(crate) fn new(num_ops: usize, window: Duration, max_cols: usize) -> Self {
-        Self { window, max_cols: max_cols.max(1), buckets: (0..num_ops).map(|_| None).collect() }
+    pub(crate) fn new(window: Duration, max_cols: usize) -> Self {
+        Self { window, max_cols: max_cols.max(1), buckets: HashMap::new() }
     }
 
     /// Accepts one request; returns a job when the size trigger fires.
@@ -175,20 +198,27 @@ impl Batcher {
         p.pushed = now; // queue wait ends here; window wait begins
         let op = p.op;
         let cols = p.x.cols();
-        let slot = &mut self.buckets[op.0];
-        match slot {
+        match self.buckets.get_mut(&op.0) {
             None if cols >= self.max_cols => {
-                return Some(BatchJob { op, cols, requests: vec![p], dispatched: now });
+                let (compiled, stats) = (Arc::clone(&p.compiled), Arc::clone(&p.stats));
+                return Some(BatchJob {
+                    op,
+                    compiled,
+                    stats,
+                    cols,
+                    requests: vec![p],
+                    dispatched: now,
+                });
             }
             None => {
-                *slot = Some(Bucket { requests: vec![p], cols, opened: now });
+                self.buckets.insert(op.0, Bucket { requests: vec![p], cols, opened: now });
             }
             Some(bucket) => {
                 bucket.requests.push(p);
                 bucket.cols += cols;
             }
         }
-        if slot.as_ref().is_some_and(|b| b.cols >= self.max_cols) {
+        if self.buckets.get(&op.0).is_some_and(|b| b.cols >= self.max_cols) {
             self.take(op, now)
         } else {
             None
@@ -197,7 +227,7 @@ impl Batcher {
 
     /// Earliest moment any open bucket's window expires.
     pub(crate) fn next_deadline(&self) -> Option<Instant> {
-        self.buckets.iter().flatten().map(|b| b.opened + self.window).min()
+        self.buckets.values().map(|b| b.opened + self.window).min()
     }
 
     /// Flushes every bucket whose window has expired at `now`.
@@ -206,30 +236,29 @@ impl Batcher {
         let expired: Vec<OpId> = self
             .buckets
             .iter()
-            .enumerate()
-            .filter(|(_, b)| b.as_ref().is_some_and(|b| b.opened + window <= now))
-            .map(|(i, _)| OpId(i))
+            .filter(|(_, b)| b.opened + window <= now)
+            .map(|(&i, _)| OpId(i))
             .collect();
         expired.into_iter().filter_map(|op| self.take(op, now)).collect()
     }
 
     /// Flushes everything (shutdown drain).
     pub(crate) fn flush_all(&mut self, now: Instant) -> Vec<BatchJob> {
-        (0..self.buckets.len()).filter_map(|i| self.take(OpId(i), now)).collect()
+        let open: Vec<OpId> = self.buckets.keys().map(|&i| OpId(i)).collect();
+        open.into_iter().filter_map(|op| self.take(op, now)).collect()
     }
 
     /// Requests currently waiting in open buckets.
     #[cfg(test)]
     pub(crate) fn pending(&self) -> usize {
-        self.buckets.iter().flatten().map(|b| b.requests.len()).sum()
+        self.buckets.values().map(|b| b.requests.len()).sum()
     }
 
     fn take(&mut self, op: OpId, now: Instant) -> Option<BatchJob> {
-        self.buckets[op.0].take().map(|b| BatchJob {
-            op,
-            requests: b.requests,
-            cols: b.cols,
-            dispatched: now,
+        self.buckets.remove(&op.0).map(|b| {
+            let first = &b.requests[0];
+            let (compiled, stats) = (Arc::clone(&first.compiled), Arc::clone(&first.stats));
+            BatchJob { op, compiled, stats, requests: b.requests, cols: b.cols, dispatched: now }
         })
     }
 }
@@ -237,8 +266,18 @@ impl Batcher {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use biq_runtime::{compile, BackendSpec, PlanBuilder, QuantMethod, WeightSource};
+
+    fn tiny_op() -> Arc<CompiledOp> {
+        let signs = biq_matrix::MatrixRng::seed_from(6).signs(4, 4);
+        let plan = PlanBuilder::new(4, 4)
+            .backend(BackendSpec::Biq { bits: 1, method: QuantMethod::Greedy })
+            .build();
+        Arc::new(compile(&plan, WeightSource::Signs(&signs)))
+    }
 
     fn pending(
+        compiled: &Arc<CompiledOp>,
         op: usize,
         cols: usize,
         now: Instant,
@@ -246,11 +285,14 @@ mod tests {
         let (tx, rx) = mpsc::channel();
         let p = Pending {
             op: OpId(op),
+            compiled: Arc::clone(compiled),
+            stats: Arc::new(OpStats::default()),
             x: ColMatrix::zeros(4, cols),
             reply: tx,
             enqueued: now,
             pushed: now,
             deferred: false,
+            inflight: None,
             notify: None,
         };
         (p, rx)
@@ -258,29 +300,32 @@ mod tests {
 
     #[test]
     fn size_trigger_flushes_exactly_at_max_cols() {
+        let c = tiny_op();
         let now = Instant::now();
-        let mut b = Batcher::new(1, Duration::from_millis(10), 4);
+        let mut b = Batcher::new(Duration::from_millis(10), 4);
         let mut rxs = Vec::new();
         for i in 0..3 {
-            let (p, rx) = pending(0, 1, now);
+            let (p, rx) = pending(&c, 0, 1, now);
             rxs.push(rx);
             assert!(b.push(p, now).is_none(), "push {i} must keep collecting");
         }
-        let (p, rx) = pending(0, 1, now);
+        let (p, rx) = pending(&c, 0, 1, now);
         rxs.push(rx);
         let job = b.push(p, now).expect("fourth column fires the size trigger");
         assert_eq!(job.cols, 4);
         assert_eq!(job.requests.len(), 4);
+        assert!(Arc::ptr_eq(&job.compiled, &c), "job carries the admission-time op");
         assert_eq!(b.pending(), 0);
     }
 
     #[test]
     fn oversized_request_flushes_alone_without_stalling_the_bucket() {
+        let c = tiny_op();
         let now = Instant::now();
-        let mut b = Batcher::new(1, Duration::from_millis(10), 4);
-        let (small, _rx1) = pending(0, 1, now);
+        let mut b = Batcher::new(Duration::from_millis(10), 4);
+        let (small, _rx1) = pending(&c, 0, 1, now);
         assert!(b.push(small, now).is_none());
-        let (big, _rx2) = pending(0, 9, now);
+        let (big, _rx2) = pending(&c, 0, 9, now);
         let job = b.push(big, now).expect("bucket exceeds max_cols");
         assert_eq!(job.cols, 10, "waiting small request rides along");
         assert_eq!(b.pending(), 0);
@@ -288,13 +333,14 @@ mod tests {
 
     #[test]
     fn time_trigger_only_fires_per_bucket_window() {
+        let c = tiny_op();
         let now = Instant::now();
         let window = Duration::from_millis(5);
-        let mut b = Batcher::new(2, window, 64);
-        let (p0, _rx0) = pending(0, 1, now);
+        let mut b = Batcher::new(window, 64);
+        let (p0, _rx0) = pending(&c, 0, 1, now);
         b.push(p0, now);
         let later = now + Duration::from_millis(3);
-        let (p1, _rx1) = pending(1, 2, later);
+        let (p1, _rx1) = pending(&c, 1, 2, later);
         b.push(p1, later);
         assert_eq!(b.next_deadline(), Some(now + window), "oldest bucket anchors the deadline");
         assert!(b.flush_expired(now + Duration::from_millis(4)).is_empty());
@@ -309,12 +355,13 @@ mod tests {
 
     #[test]
     fn push_restamps_pickup_and_jobs_carry_dispatch_time() {
+        let c = tiny_op();
         let t0 = Instant::now();
         let later = t0 + Duration::from_millis(2);
-        let mut b = Batcher::new(1, Duration::from_millis(10), 2);
-        let (p, _rx0) = pending(0, 1, t0);
+        let mut b = Batcher::new(Duration::from_millis(10), 2);
+        let (p, _rx0) = pending(&c, 0, 1, t0);
         assert!(b.push(p, later).is_none());
-        let (p2, _rx1) = pending(0, 1, t0);
+        let (p2, _rx1) = pending(&c, 0, 1, t0);
         let job = b.push(p2, later).expect("size trigger");
         assert_eq!(job.dispatched, later, "dispatch stamp is the triggering clock read");
         assert!(
@@ -325,11 +372,12 @@ mod tests {
 
     #[test]
     fn flush_all_drains_every_bucket() {
+        let c = tiny_op();
         let now = Instant::now();
-        let mut b = Batcher::new(3, Duration::from_secs(1), 64);
+        let mut b = Batcher::new(Duration::from_secs(1), 64);
         let mut rxs = Vec::new();
         for op in [0usize, 1, 1, 2] {
-            let (p, rx) = pending(op, 1, now);
+            let (p, rx) = pending(&c, op, 1, now);
             rxs.push(rx);
             assert!(b.push(p, now).is_none());
         }

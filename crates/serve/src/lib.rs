@@ -11,10 +11,15 @@
 //!
 //! * a [`ModelRegistry`] names the [`biq_runtime::CompiledOp`]s to serve
 //!   (register plans + weights directly, or share an `nn` layer's packed
-//!   weights via [`ModelRegistry::register_linear`]);
+//!   weights via [`ModelRegistry::register_linear`]); at
+//!   [`Server::start`] it becomes a [`LiveRegistry`] — a versioned,
+//!   multi-tenant store that loads, swaps, and retires whole models
+//!   **online** (`op@v` names, atomic snapshot swap, drain-on-retire,
+//!   `--mem-budget` LRU eviction);
 //! * a [`Server`] owns one batcher thread and N worker threads, each
 //!   worker with a **private** [`biq_runtime::Executor`] warmed for every
-//!   op at startup — the sanctioned concurrent path, replacing the
+//!   boot-time op at startup (online-loaded ops warm lazily on first use)
+//!   — the sanctioned concurrent path, replacing the
 //!   [`biq_runtime::SharedExecutor`] mutex that would serialise traffic;
 //! * a [`Client`] submits `(op, ColMatrix)` requests into a **bounded**
 //!   queue ([`Client::try_submit`] surfaces backpressure as
@@ -73,6 +78,9 @@ pub mod stats;
 
 pub use batcher::ServeError;
 pub use net::{NetClient, NetServer};
-pub use registry::{ModelRegistry, OpId, RegisteredOp};
+pub use registry::{
+    LiveRegistry, LoadedModel, ModelError, ModelInfo, ModelRegistry, OpId, RegisteredOp,
+    UnloadedModel, MAX_MODELS,
+};
 pub use server::{Client, Server, ServerConfig, Ticket};
 pub use stats::{OpMeta, OpStatsSnapshot, StatsSnapshot};

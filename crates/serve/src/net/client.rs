@@ -122,6 +122,54 @@ impl NetClient {
         }
     }
 
+    /// Asks the daemon to load (or swap) the BIQM artifact at `path` —
+    /// a path on the **daemon's** filesystem — under `name` (the
+    /// `LoadModel` admin verb). Returns the resulting
+    /// [`Message::ModelLoaded`] fields `(version, mem_bytes, ops,
+    /// evicted)`. Refusals (bad artifact, op collision, memory budget)
+    /// come back as [`NetError::Rejected`] with
+    /// [`RejectCode::Refused`]; the connection stays usable.
+    pub fn load_model(
+        &mut self,
+        name: &str,
+        path: &str,
+    ) -> Result<(u32, u64, u32, Vec<String>), NetError> {
+        self.write_frame(&Message::LoadModel { name: name.into(), path: path.into() })?;
+        match wire::read_message(&mut self.stream)? {
+            Message::ModelLoaded { version, mem_bytes, ops, evicted, .. } => {
+                Ok((version, mem_bytes, ops, evicted))
+            }
+            Message::Reject { req_id, code, msg } => Err(NetError::Rejected { req_id, code, msg }),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Asks the daemon to retire a model version online (the
+    /// `UnloadModel` admin verb); `version == 0` retires the live
+    /// version. Returns `(version retired, ops retired)`. In-flight
+    /// requests against the retired version still complete
+    /// (drain-on-retire).
+    pub fn unload_model(&mut self, name: &str, version: u32) -> Result<(u32, u32), NetError> {
+        self.write_frame(&Message::UnloadModel { name: name.into(), version })?;
+        match wire::read_message(&mut self.stream)? {
+            Message::ModelUnloaded { version, ops_retired, .. } => Ok((version, ops_retired)),
+            Message::Reject { req_id, code, msg } => Err(NetError::Rejected { req_id, code, msg }),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Asks the daemon for its model table (the `ListModels` admin verb):
+    /// every version the registry knows, live first, with memory and
+    /// traffic accounting per row.
+    pub fn list_models(&mut self) -> Result<Vec<wire::ModelInfo>, NetError> {
+        self.write_frame(&Message::ListModels)?;
+        match wire::read_message(&mut self.stream)? {
+            Message::ModelList(models) => Ok(models),
+            Message::Reject { req_id, code, msg } => Err(NetError::Rejected { req_id, code, msg }),
+            other => Err(unexpected(&other)),
+        }
+    }
+
     /// Asks the server for its op table.
     pub fn list_ops(&mut self) -> Result<Vec<OpInfo>, NetError> {
         self.write_frame(&Message::ListOps)?;
@@ -227,6 +275,12 @@ fn unexpected(msg: &Message) -> NetError {
         Message::HistoryReply(_) => "history-reply",
         Message::SlowLog { .. } => "slow-log",
         Message::SlowLogReply(_) => "slow-log-reply",
+        Message::LoadModel { .. } => "load-model",
+        Message::ModelLoaded { .. } => "model-loaded",
+        Message::UnloadModel { .. } => "unload-model",
+        Message::ModelUnloaded { .. } => "model-unloaded",
+        Message::ListModels => "list-models",
+        Message::ModelList(_) => "model-list",
     };
     NetError::Wire(WireError::Malformed(format!("unexpected {kind} frame from server")))
 }

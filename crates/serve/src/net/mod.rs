@@ -6,8 +6,9 @@
 //! batching, backpressure, and shutdown-drain apply to remote traffic
 //! unchanged, and a blocking/pipelining [`NetClient`].
 //!
-//! The byte-level frame layout is specified in `crates/serve/README.md`
-//! (mirroring the artifact crate's container spec). Design invariants:
+//! The byte-level frame layout is specified in `docs/BIQP.md` at the
+//! repository root (mirroring the artifact crate's container spec).
+//! Design invariants:
 //!
 //! * **The bridge is a plain client.** Remote requests enter through
 //!   [`crate::Client::try_submit`], so a frame from connection A and a
@@ -35,4 +36,4 @@ pub mod wire;
 
 pub use client::{NetClient, NetError, Outcome};
 pub use server::{NetConfig, NetServer};
-pub use wire::{Message, OpInfo, RejectCode, WireError};
+pub use wire::{Message, ModelInfo, OpInfo, RejectCode, WireError};

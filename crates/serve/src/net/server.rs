@@ -205,6 +205,10 @@ enum PendingOut {
     Ticket { req_id: u64, ticket: Ticket },
     /// An immediate reject (validation/admission failure).
     Reject { req_id: u64, code: RejectCode, msg: String },
+    /// A reply computed at decode time (the model-fleet admin verbs run
+    /// inline on the reactor and queue their finished answer here, so it
+    /// still leaves in FIFO order behind earlier obligations).
+    Ready(Message),
     /// The op table.
     Ops,
     /// A metrics snapshot (the `Stats` admin verb).
@@ -278,7 +282,6 @@ struct IoCtx {
     poller: Poller,
     shared: Arc<IoShared>,
     client: Client,
-    ops: Arc<Vec<OpInfo>>,
     hub: Arc<MetricsHub>,
     max_write_queue: usize,
 }
@@ -314,19 +317,6 @@ impl NetServer {
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        // The op table is immutable after Server::start; snapshot it once
-        // and share it with every connection.
-        let ops: Arc<Vec<OpInfo>> = Arc::new(
-            server
-                .registry()
-                .iter()
-                .map(|(_, o)| OpInfo {
-                    name: o.name().to_string(),
-                    m: o.op().output_size() as u32,
-                    n: o.op().input_size() as u32,
-                })
-                .collect(),
-        );
         let client = server.client();
         let hub = Arc::new(MetricsHub {
             serve: server.stats_handle(),
@@ -348,7 +338,6 @@ impl NetServer {
                 poller,
                 shared: Arc::clone(&shared),
                 client: client.clone(),
-                ops: Arc::clone(&ops),
                 hub: Arc::clone(&hub),
                 max_write_queue: config.max_write_queue.max(1),
             };
@@ -711,6 +700,41 @@ fn handle_message(conn: &mut Conn, ctx: &IoCtx, msg: Message) {
             ctx.hub.net.slowlog_queries.inc();
             conn.pending.push_back(PendingOut::SlowLog { max });
         }
+        // Model-fleet admin verbs run inline on the reactor thread: a load
+        // briefly stalls this thread's other connections (artifact read +
+        // compile) but never drops a request — everything already admitted
+        // keeps its ticket, and the other io threads keep serving.
+        Message::LoadModel { name, path } => {
+            conn.pending.push_back(handle_load_model(ctx, &name, &path));
+        }
+        Message::UnloadModel { name, version } => {
+            conn.pending.push_back(match ctx.client.registry().unload_model(&name, version) {
+                Ok(out) => PendingOut::Ready(Message::ModelUnloaded {
+                    name,
+                    version: out.version,
+                    ops_retired: out.ops_retired as u32,
+                }),
+                Err(e) => refused(e.to_string()),
+            });
+        }
+        Message::ListModels => {
+            let models = ctx
+                .client
+                .registry()
+                .models()
+                .into_iter()
+                .map(|m| wire::ModelInfo {
+                    name: m.name,
+                    version: m.version,
+                    live: m.live,
+                    mem_bytes: m.mem_bytes,
+                    ops: m.ops as u32,
+                    inflight: m.inflight as u32,
+                    completed: m.completed,
+                })
+                .collect();
+            conn.pending.push_back(PendingOut::Ready(Message::ModelList(models)));
+        }
         _ => {
             // Server-to-client kinds arriving at the server violate the
             // protocol just like garbage bytes do.
@@ -750,7 +774,18 @@ fn handle_request(
     // The reply must be encodable too: a request can satisfy every decode
     // cap while `m × cols` blows the frame budget (large-`m` ops). Reject
     // up front — the reply path's encode asserts must stay unreachable.
-    let m = ctx.client.registry().get(op).op().output_size();
+    // (`op` resolved above but the model can retire between the two
+    // snapshot reads; admission re-checks, so treat a gap as UnknownOp.)
+    let Some(compiled) = ctx.client.registry().op(op) else {
+        conn.pending.push_back(PendingOut::Reject {
+            req_id,
+            code: RejectCode::UnknownOp,
+            msg: format!("op '{op_name}' was retired"),
+        });
+        return;
+    };
+    let m = compiled.output_size();
+    drop(compiled);
     let reply_values = m.saturating_mul(cols as usize);
     if m > wire::MAX_ROWS || reply_values.saturating_mul(4) + wire::HEADER_LEN > wire::MAX_BODY {
         conn.pending.push_back(PendingOut::Reject {
@@ -772,6 +807,35 @@ fn handle_request(
             code: reject_code(&e),
             msg: e.to_string(),
         }),
+    }
+}
+
+/// An admin-verb failure: `Reject(code = Refused)` with `req_id = 0`,
+/// connection stays open (unlike protocol violations).
+fn refused(msg: String) -> PendingOut {
+    let mut msg = msg;
+    msg.truncate(wire::MAX_MSG);
+    PendingOut::Reject { req_id: 0, code: RejectCode::Refused, msg }
+}
+
+/// The `LoadModel` verb: reads the BIQM artifact from the **daemon's**
+/// filesystem at `path` (the operator ships bytes out of band; the frame
+/// carries a path, never a multi-megabyte payload), then loads or swaps it
+/// in the live registry.
+fn handle_load_model(ctx: &IoCtx, name: &str, path: &str) -> PendingOut {
+    let artifact = match biq_artifact::Artifact::open(std::path::Path::new(path)) {
+        Ok(a) => a,
+        Err(e) => return refused(format!("open '{path}': {e}")),
+    };
+    match ctx.client.registry().load_model(name, &artifact) {
+        Ok(out) => PendingOut::Ready(Message::ModelLoaded {
+            name: name.to_string(),
+            version: out.version,
+            mem_bytes: out.mem_bytes,
+            ops: out.ops.len() as u32,
+            evicted: out.evicted.into_iter().map(|(n, v)| format!("{n}@{v}")).collect(),
+        }),
+        Err(e) => refused(e.to_string()),
     }
 }
 
@@ -840,8 +904,22 @@ fn pump(conn: &mut Conn, ctx: &IoCtx) {
                 }
                 wire::encode_into(&mut buf, &Message::Reject { req_id, code, msg });
             }
+            (PendingOut::Ready(msg), _) => {
+                wire::encode_into(&mut buf, &msg);
+            }
             (PendingOut::Ops, _) => {
-                wire::encode_into(&mut buf, &Message::OpList(ctx.ops.to_vec()));
+                // Built from the live snapshot at answer time — the op
+                // table changes whenever a model loads, swaps, or retires.
+                let snap = ctx.client.registry().snapshot();
+                let ops: Vec<OpInfo> = snap
+                    .live()
+                    .map(|(_, s)| OpInfo {
+                        name: s.meta.name.clone(),
+                        m: s.meta.m as u32,
+                        n: s.meta.n as u32,
+                    })
+                    .collect();
+                wire::encode_into(&mut buf, &Message::OpList(ops));
             }
             (PendingOut::Stats, _) => {
                 // Answered from counters alone — no worker, no submit

@@ -68,6 +68,15 @@ pub const MAX_SLOW: usize = 256;
 pub const HISTORY_VERSION: u8 = 1;
 /// `SlowLogReply` body schema version (own byte, like `STATS_VERSION`).
 pub const SLOWLOG_VERSION: u8 = 1;
+/// Cap on an artifact path carried by a `LoadModel` frame.
+pub const MAX_PATH: usize = 4096;
+/// Cap on model rows in one `ModelList` frame (and on evicted names in a
+/// `ModelLoaded` frame). Mirrors [`crate::registry::MAX_MODELS`].
+pub const MAX_MODELS: usize = 256;
+/// Body schema version shared by all six model-fleet admin bodies
+/// (`LoadModel`/`ModelLoaded`/`UnloadModel`/`ModelUnloaded`/`ListModels`/
+/// `ModelList`) — each body leads with this byte, like `STATS_VERSION`.
+pub const MODEL_VERSION: u8 = 1;
 
 /// Why a request was refused (the wire image of
 /// [`crate::ServeError`], plus `Malformed` for protocol errors).
@@ -85,6 +94,10 @@ pub enum RejectCode {
     Canceled,
     /// The frame itself was invalid; the connection closes after this.
     Malformed,
+    /// An admin verb (model load/unload) was refused — bad artifact,
+    /// name/op collision, memory budget, or in-flight protection. The
+    /// connection stays open; `req_id` is 0 (admin verbs carry none).
+    Refused,
 }
 
 impl RejectCode {
@@ -96,6 +109,7 @@ impl RejectCode {
             RejectCode::ShapeMismatch => 4,
             RejectCode::Canceled => 5,
             RejectCode::Malformed => 6,
+            RejectCode::Refused => 7,
         }
     }
 
@@ -107,6 +121,7 @@ impl RejectCode {
             4 => RejectCode::ShapeMismatch,
             5 => RejectCode::Canceled,
             6 => RejectCode::Malformed,
+            7 => RejectCode::Refused,
             other => return Err(malformed(format!("unknown reject code {other}"))),
         })
     }
@@ -120,6 +135,7 @@ impl RejectCode {
             RejectCode::ShapeMismatch => "shape-mismatch",
             RejectCode::Canceled => "canceled",
             RejectCode::Malformed => "malformed",
+            RejectCode::Refused => "refused",
         }
     }
 }
@@ -139,6 +155,26 @@ pub struct OpInfo {
     pub m: u32,
     /// Input rows `n` (what a request payload must have).
     pub n: u32,
+}
+
+/// One model row in a [`Message::ModelList`] frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModelInfo {
+    /// Model name (the `name` half of `op@v` resolution).
+    pub name: String,
+    /// Version of this row.
+    pub version: u32,
+    /// True while this version serves traffic; false once retired (its
+    /// slots and traffic counters are retained, its payload is dropped).
+    pub live: bool,
+    /// Estimated resident bytes (0 once retired).
+    pub mem_bytes: u64,
+    /// Ops this version registered.
+    pub ops: u32,
+    /// Requests currently in flight against this version.
+    pub inflight: u32,
+    /// Requests completed across this version's ops.
+    pub completed: u64,
 }
 
 /// Every message the protocol carries, client→server and server→client.
@@ -207,6 +243,52 @@ pub enum Message {
     /// Server→client: the slowest requests seen, slowest first, each with
     /// its full phase breakdown.
     SlowLogReply(Vec<SlowHit>),
+    /// Client→server (admin verb): load the BIQM artifact at `path` (on
+    /// the **daemon's** filesystem — the frame carries a path, never the
+    /// artifact bytes) under `name`. An existing live `name` swaps to a
+    /// new version and retires the old one (drain-on-retire). Refusals
+    /// come back as `Reject(code = Refused, req_id = 0)`.
+    LoadModel {
+        /// Model name to load or swap.
+        name: String,
+        /// Artifact path, resolved daemon-side.
+        path: String,
+    },
+    /// Server→client: the load succeeded.
+    ModelLoaded {
+        /// The loaded model's name (echoed).
+        name: String,
+        /// The version the load produced (1 for a new name, prev+1 for a
+        /// swap).
+        version: u32,
+        /// Estimated resident bytes of the new version.
+        mem_bytes: u64,
+        /// Ops the artifact registered.
+        ops: u32,
+        /// `name@version` of models evicted to make room under the memory
+        /// budget.
+        evicted: Vec<String>,
+    },
+    /// Client→server (admin verb): retire a model version online.
+    UnloadModel {
+        /// Model name to unload.
+        name: String,
+        /// Version to retire; 0 means "the live version".
+        version: u32,
+    },
+    /// Server→client: the unload succeeded.
+    ModelUnloaded {
+        /// The unloaded model's name (echoed).
+        name: String,
+        /// The version actually retired.
+        version: u32,
+        /// Ops the retirement removed from resolution.
+        ops_retired: u32,
+    },
+    /// Client→server (admin verb): ask for the model table.
+    ListModels,
+    /// Server→client: every model version the registry knows, live first.
+    ModelList(Vec<ModelInfo>),
 }
 
 impl Message {
@@ -223,6 +305,12 @@ impl Message {
             Message::HistoryReply(_) => 9,
             Message::SlowLog { .. } => 10,
             Message::SlowLogReply(_) => 11,
+            Message::LoadModel { .. } => 12,
+            Message::ModelLoaded { .. } => 13,
+            Message::UnloadModel { .. } => 14,
+            Message::ModelUnloaded { .. } => 15,
+            Message::ListModels => 16,
+            Message::ModelList(_) => 17,
         }
     }
 }
@@ -465,6 +553,65 @@ pub fn encode_into(frame: &mut Vec<u8>, msg: &Message) {
                 w.u64(r.exec_ns);
                 w.u64(r.ticket_ns);
                 w.u64(r.write_ns);
+            }
+        }
+        Message::LoadModel { name, path } => {
+            assert!(name.len() <= MAX_NAME, "model name over cap");
+            assert!(path.len() <= MAX_PATH, "artifact path over cap");
+            w.u8(MODEL_VERSION);
+            w.u16(name.len() as u16);
+            w.bytes(name.as_bytes());
+            w.u16(path.len() as u16);
+            w.bytes(path.as_bytes());
+        }
+        Message::ModelLoaded { name, version, mem_bytes, ops, evicted } => {
+            assert!(name.len() <= MAX_NAME, "model name over cap");
+            assert!(evicted.len() <= MAX_MODELS, "evicted list over cap");
+            w.u8(MODEL_VERSION);
+            w.u16(name.len() as u16);
+            w.bytes(name.as_bytes());
+            w.u32(*version);
+            w.u64(*mem_bytes);
+            w.u32(*ops);
+            w.u16(evicted.len() as u16);
+            for e in evicted {
+                assert!(e.len() <= MAX_NAME, "evicted name over cap");
+                w.u16(e.len() as u16);
+                w.bytes(e.as_bytes());
+            }
+        }
+        Message::UnloadModel { name, version } => {
+            assert!(name.len() <= MAX_NAME, "model name over cap");
+            w.u8(MODEL_VERSION);
+            w.u16(name.len() as u16);
+            w.bytes(name.as_bytes());
+            w.u32(*version);
+        }
+        Message::ModelUnloaded { name, version, ops_retired } => {
+            assert!(name.len() <= MAX_NAME, "model name over cap");
+            w.u8(MODEL_VERSION);
+            w.u16(name.len() as u16);
+            w.bytes(name.as_bytes());
+            w.u32(*version);
+            w.u32(*ops_retired);
+        }
+        Message::ListModels => {
+            w.u8(MODEL_VERSION);
+        }
+        Message::ModelList(models) => {
+            assert!(models.len() <= MAX_MODELS, "model list over cap");
+            w.u8(MODEL_VERSION);
+            w.u16(models.len() as u16);
+            for m in models {
+                assert!(m.name.len() <= MAX_NAME, "model name over cap");
+                w.u16(m.name.len() as u16);
+                w.bytes(m.name.as_bytes());
+                w.u32(m.version);
+                w.u8(if m.live { 1 } else { 2 });
+                w.u64(m.mem_bytes);
+                w.u32(m.ops);
+                w.u32(m.inflight);
+                w.u64(m.completed);
             }
         }
     }
@@ -810,6 +957,107 @@ fn parse_body(kind: u8, body: &[u8]) -> Result<Message, WireError> {
             }
             Message::SlowLogReply(hits)
         }
+        12 => {
+            let version = r.u8("model body version")?;
+            if version != MODEL_VERSION {
+                return Err(malformed(format!("unsupported model body version {version}")));
+            }
+            let name_len = r.u16("model name length")? as usize;
+            let name = r.string(name_len, MAX_NAME, "model name")?;
+            let path_len = r.u16("artifact path length")? as usize;
+            let path = r.string(path_len, MAX_PATH, "artifact path")?;
+            Message::LoadModel { name, path }
+        }
+        13 => {
+            let version = r.u8("model body version")?;
+            if version != MODEL_VERSION {
+                return Err(malformed(format!("unsupported model body version {version}")));
+            }
+            let name_len = r.u16("model name length")? as usize;
+            let name = r.string(name_len, MAX_NAME, "model name")?;
+            let model_version = r.u32("model version")?;
+            let mem_bytes = r.u64("model bytes")?;
+            let ops = r.u32("op count")?;
+            let count = r.u16("evicted count")? as usize;
+            if count > MAX_MODELS {
+                return Err(malformed(format!("evicted count {count} over cap {MAX_MODELS}")));
+            }
+            // Each evicted name is ≥ 2 bytes (its length prefix); cap the
+            // allocation by the bytes actually left.
+            if count * 2 > body.len() - r.at {
+                return Err(malformed(format!("evicted count {count} exceeds body")));
+            }
+            let mut evicted = Vec::with_capacity(count);
+            for _ in 0..count {
+                let len = r.u16("evicted name length")? as usize;
+                evicted.push(r.string(len, MAX_NAME, "evicted name")?);
+            }
+            Message::ModelLoaded { name, version: model_version, mem_bytes, ops, evicted }
+        }
+        14 => {
+            let version = r.u8("model body version")?;
+            if version != MODEL_VERSION {
+                return Err(malformed(format!("unsupported model body version {version}")));
+            }
+            let name_len = r.u16("model name length")? as usize;
+            let name = r.string(name_len, MAX_NAME, "model name")?;
+            let model_version = r.u32("model version")?;
+            Message::UnloadModel { name, version: model_version }
+        }
+        15 => {
+            let version = r.u8("model body version")?;
+            if version != MODEL_VERSION {
+                return Err(malformed(format!("unsupported model body version {version}")));
+            }
+            let name_len = r.u16("model name length")? as usize;
+            let name = r.string(name_len, MAX_NAME, "model name")?;
+            let model_version = r.u32("model version")?;
+            let ops_retired = r.u32("ops retired")?;
+            Message::ModelUnloaded { name, version: model_version, ops_retired }
+        }
+        16 => {
+            let version = r.u8("model body version")?;
+            if version != MODEL_VERSION {
+                return Err(malformed(format!("unsupported model body version {version}")));
+            }
+            Message::ListModels
+        }
+        17 => {
+            let version = r.u8("model body version")?;
+            if version != MODEL_VERSION {
+                return Err(malformed(format!("unsupported model body version {version}")));
+            }
+            let count = r.u16("model count")? as usize;
+            if count > MAX_MODELS {
+                return Err(malformed(format!("model count {count} over cap {MAX_MODELS}")));
+            }
+            // Each row is ≥ 31 bytes (name length + the fixed fields); cap
+            // the allocation by what the body can actually hold.
+            if count * 31 > body.len() - r.at {
+                return Err(malformed(format!("model count {count} exceeds body")));
+            }
+            let mut models = Vec::with_capacity(count);
+            for _ in 0..count {
+                let name_len = r.u16("model name length")? as usize;
+                let name = r.string(name_len, MAX_NAME, "model name")?;
+                let model_version = r.u32("model version")?;
+                let live = match r.u8("model state")? {
+                    1 => true,
+                    2 => false,
+                    other => return Err(malformed(format!("unknown model state {other}"))),
+                };
+                models.push(ModelInfo {
+                    name,
+                    version: model_version,
+                    live,
+                    mem_bytes: r.u64("model bytes")?,
+                    ops: r.u32("op count")?,
+                    inflight: r.u32("inflight")?,
+                    completed: r.u64("completed")?,
+                });
+            }
+            Message::ModelList(models)
+        }
         other => return Err(malformed(format!("unknown frame kind {other}"))),
     };
     r.finish("frame body")?;
@@ -980,6 +1228,37 @@ mod tests {
                     17, 0, 2, 1_000, 2_000, 300_000, 5_000_000, 5_100_000, 5_301_000,
                 ),
             }]),
+            Message::LoadModel { name: "bert".into(), path: "/models/bert.biqm".into() },
+            Message::ModelLoaded {
+                name: "bert".into(),
+                version: 3,
+                mem_bytes: 123_456,
+                ops: 6,
+                evicted: vec!["gpt@1".into(), "t5@4".into()],
+            },
+            Message::UnloadModel { name: "bert".into(), version: 0 },
+            Message::ModelUnloaded { name: "bert".into(), version: 3, ops_retired: 6 },
+            Message::ListModels,
+            Message::ModelList(vec![
+                ModelInfo {
+                    name: "bert".into(),
+                    version: 3,
+                    live: true,
+                    mem_bytes: 123_456,
+                    ops: 6,
+                    inflight: 2,
+                    completed: 9_000,
+                },
+                ModelInfo {
+                    name: "bert".into(),
+                    version: 2,
+                    live: false,
+                    mem_bytes: 0,
+                    ops: 6,
+                    inflight: 0,
+                    completed: 41,
+                },
+            ]),
         ];
         for msg in msgs {
             let frame = encode(&msg);
@@ -1199,6 +1478,98 @@ mod tests {
         match decode(&frame) {
             Err(WireError::Malformed(m)) => assert!(m.contains("trailing"), "{m}"),
             other => panic!("trailing bytes decoded: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn model_verbs_reject_bad_version_and_inflated_counts() {
+        // Every model-fleet body leads with MODEL_VERSION; a bumped byte
+        // must refuse on all six kinds, request and reply alike.
+        for msg in [
+            Message::LoadModel { name: "m".into(), path: "/p".into() },
+            Message::ModelLoaded {
+                name: "m".into(),
+                version: 1,
+                mem_bytes: 8,
+                ops: 1,
+                evicted: vec![],
+            },
+            Message::UnloadModel { name: "m".into(), version: 0 },
+            Message::ModelUnloaded { name: "m".into(), version: 1, ops_retired: 1 },
+            Message::ListModels,
+            Message::ModelList(vec![]),
+        ] {
+            let mut frame = encode(&msg);
+            frame[HEADER_LEN] = 9;
+            restamp(&mut frame);
+            match decode(&frame) {
+                Err(WireError::Malformed(m)) => assert!(m.contains("model body version"), "{m}"),
+                other => panic!("bad version decoded: {other:?}"),
+            }
+        }
+        // An evicted-name count the body cannot hold fails before
+        // allocating (count lives after name + version + mem + ops).
+        let loaded = Message::ModelLoaded {
+            name: "m".into(),
+            version: 1,
+            mem_bytes: 8,
+            ops: 1,
+            evicted: vec!["x@1".into()],
+        };
+        let mut frame = encode(&loaded);
+        let count_at = HEADER_LEN + 1 + 2 + 1 + 4 + 8 + 4;
+        frame[count_at..count_at + 2].copy_from_slice(&200u16.to_le_bytes());
+        restamp(&mut frame);
+        match decode(&frame) {
+            Err(WireError::Malformed(m)) => assert!(m.contains("evicted count"), "{m}"),
+            other => panic!("inflated evicted count decoded: {other:?}"),
+        }
+        // Same for the model-row count in a ModelList.
+        let list = Message::ModelList(vec![ModelInfo {
+            name: "m".into(),
+            version: 1,
+            live: true,
+            mem_bytes: 8,
+            ops: 1,
+            inflight: 0,
+            completed: 0,
+        }]);
+        let mut frame = encode(&list);
+        frame[HEADER_LEN + 1..HEADER_LEN + 3].copy_from_slice(&200u16.to_le_bytes());
+        restamp(&mut frame);
+        match decode(&frame) {
+            Err(WireError::Malformed(m)) => assert!(m.contains("model count"), "{m}"),
+            other => panic!("inflated model count decoded: {other:?}"),
+        }
+        // An unknown model-state byte is an error, not a default.
+        let mut frame = encode(&list);
+        let state_at = HEADER_LEN + 1 + 2 + 2 + 1 + 4; // ver + count + name_len + "m" + version
+        frame[state_at] = 7;
+        restamp(&mut frame);
+        match decode(&frame) {
+            Err(WireError::Malformed(m)) => assert!(m.contains("model state"), "{m}"),
+            other => panic!("bad state decoded: {other:?}"),
+        }
+        // Trailing garbage after the last row is an error on each kind.
+        for msg in [loaded, list, Message::ListModels] {
+            let mut frame = encode(&msg);
+            frame.push(0);
+            let len = (frame.len() - HEADER_LEN) as u32;
+            frame[8..12].copy_from_slice(&len.to_le_bytes());
+            restamp(&mut frame);
+            match decode(&frame) {
+                Err(WireError::Malformed(m)) => assert!(m.contains("trailing"), "{m}"),
+                other => panic!("trailing bytes decoded: {other:?}"),
+            }
+        }
+        // A LoadModel path over MAX_PATH refuses before allocating.
+        let mut frame = encode(&Message::LoadModel { name: "m".into(), path: "/p".into() });
+        let path_len_at = HEADER_LEN + 1 + 2 + 1; // ver + name_len + "m"
+        frame[path_len_at..path_len_at + 2].copy_from_slice(&((MAX_PATH + 1) as u16).to_le_bytes());
+        restamp(&mut frame);
+        match decode(&frame) {
+            Err(WireError::Malformed(m)) => assert!(m.contains("artifact path"), "{m}"),
+            other => panic!("oversized path decoded: {other:?}"),
         }
     }
 

@@ -12,15 +12,23 @@
 //! ```
 //!
 //! Workers never share an executor: each owns one, warmed at startup for
-//! every registered op, so the `SharedExecutor` mutex bottleneck never
+//! every boot-time op, so the `SharedExecutor` mutex bottleneck never
 //! appears on the serving path and per-worker arenas stay hot across
-//! batches. Backpressure is end-to-end — slow workers fill the bounded job
-//! channel, which blocks the batcher, which fills the bounded submit
-//! queue, which turns [`Client::try_submit`] into [`ServeError::Busy`].
+//! batches. Ops loaded online later warm lazily on their first batch (the
+//! executor grows arenas on demand). Backpressure is end-to-end — slow
+//! workers fill the bounded job channel, which blocks the batcher, which
+//! fills the bounded submit queue, which turns [`Client::try_submit`] into
+//! [`ServeError::Busy`].
+//!
+//! Requests resolve against the [`LiveRegistry`] at admission and carry
+//! their own `Arc` of the compiled op from there on — a model swap or
+//! unload never changes what an accepted request runs against, and the
+//! retiring version's payload drops only after its last in-flight request
+//! answers (drain-on-retire).
 
 use crate::batcher::{Answer, BatchJob, Batcher, Lap, Pending, ReplyNotify, ServeError};
-use crate::registry::{ModelRegistry, OpId};
-use crate::stats::{OpMeta, ServerStats, StatsSnapshot};
+use crate::registry::{LiveRegistry, ModelRegistry, OpId};
+use crate::stats::{ServerStats, StatsSnapshot};
 use biq_matrix::{ColMatrix, Matrix};
 use biq_obs::{MetricsSnapshot, RequestRecord, SlowHit};
 use biq_runtime::Executor;
@@ -53,6 +61,11 @@ pub struct ServerConfig {
     /// core that will serve from them. Best effort: a failed pin degrades to
     /// an unpinned worker. Off by default (`--pin-workers` opts in).
     pub pin_workers: bool,
+    /// Byte ceiling for resident model memory (`--mem-budget`). Online
+    /// loads beyond it evict cold models LRU-first, or are refused when
+    /// everything else is in flight. `None` disables accounting-based
+    /// eviction (gauges still export).
+    pub mem_budget: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +77,7 @@ impl Default for ServerConfig {
             max_batch_cols: 16,
             job_capacity: 4,
             pin_workers: false,
+            mem_budget: None,
         }
     }
 }
@@ -116,8 +130,7 @@ impl Ticket {
 #[derive(Clone)]
 pub struct Client {
     tx: SyncSender<Submission>,
-    registry: Arc<ModelRegistry>,
-    stats: Arc<ServerStats>,
+    registry: Arc<LiveRegistry>,
     /// The admission gate: submissions hold a read lock across the
     /// check-and-send, [`Server::shutdown`] takes the write lock to flip it.
     /// That ordering guarantees every accepted request is queued **before**
@@ -136,13 +149,17 @@ impl Client {
         }
         let (pending, ticket) = self.admit(op, x, Instant::now(), false, None)?;
         match pending {
-            Some(p) => match self.tx.send(Submission::Request(p)) {
-                Ok(()) => {
-                    self.record_accept(op);
-                    Ok(ticket)
+            Some(p) => {
+                let stats = Arc::clone(&p.stats);
+                match self.tx.send(Submission::Request(p)) {
+                    Ok(()) => {
+                        stats.submitted.fetch_add(1, Ordering::Relaxed);
+                        stats.queue_depth.fetch_add(1, Ordering::Relaxed);
+                        Ok(ticket)
+                    }
+                    Err(_) => Err(ServeError::ShuttingDown),
                 }
-                Err(_) => Err(ServeError::ShuttingDown),
-            },
+            }
             None => Ok(ticket),
         }
     }
@@ -183,23 +200,29 @@ impl Client {
         }
         let (pending, ticket) = self.admit(op, x, enqueued, deferred, notify)?;
         match pending {
-            Some(p) => match self.tx.try_send(Submission::Request(p)) {
-                Ok(()) => {
-                    self.record_accept(op);
-                    Ok(ticket)
+            Some(p) => {
+                let stats = Arc::clone(&p.stats);
+                match self.tx.try_send(Submission::Request(p)) {
+                    Ok(()) => {
+                        stats.submitted.fetch_add(1, Ordering::Relaxed);
+                        stats.queue_depth.fetch_add(1, Ordering::Relaxed);
+                        Ok(ticket)
+                    }
+                    Err(TrySendError::Full(_)) => {
+                        stats.rejected.fetch_add(1, Ordering::Relaxed);
+                        Err(ServeError::Busy)
+                    }
+                    Err(TrySendError::Disconnected(_)) => Err(ServeError::ShuttingDown),
                 }
-                Err(TrySendError::Full(_)) => {
-                    self.stats.ops[op.0].rejected.fetch_add(1, Ordering::Relaxed);
-                    Err(ServeError::Busy)
-                }
-                Err(TrySendError::Disconnected(_)) => Err(ServeError::ShuttingDown),
-            },
+            }
             None => Ok(ticket),
         }
     }
 
     /// Shared validation; `Ok((None, ticket))` means the request was
-    /// answered inline (empty batch) without touching the queue.
+    /// answered inline (empty batch) without touching the queue. A
+    /// successful admission captures the op's `Arc`s from the current
+    /// registry snapshot and pins the owning model in flight.
     fn admit(
         &self,
         op: OpId,
@@ -208,10 +231,10 @@ impl Client {
         deferred: bool,
         notify: Option<ReplyNotify>,
     ) -> Result<(Option<Pending>, Ticket), ServeError> {
-        if op.0 >= self.registry.len() {
-            return Err(ServeError::UnknownOp);
-        }
-        let compiled = self.registry.get(op).op();
+        let snap = self.registry.snapshot();
+        let Some(slot) = snap.slot(op) else { return Err(ServeError::UnknownOp) };
+        // A retired slot keeps its stats but serves nothing.
+        let Some(compiled) = slot.op.clone() else { return Err(ServeError::UnknownOp) };
         if x.rows() != compiled.input_size() {
             return Err(ServeError::ShapeMismatch {
                 expected: compiled.input_size(),
@@ -228,20 +251,27 @@ impl Client {
             let _ = reply.send(Ok(Answer { matrix: zero, lap: Lap::default() }));
             return Ok((None, ticket));
         }
-        let p = Pending { op, x, reply, enqueued, pushed: enqueued, deferred, notify };
+        let inflight = Some(self.registry.begin(slot));
+        let p = Pending {
+            op,
+            compiled,
+            stats: Arc::clone(&slot.stats),
+            x,
+            reply,
+            enqueued,
+            pushed: enqueued,
+            deferred,
+            inflight,
+            notify,
+        };
         Ok((Some(p), ticket))
     }
 
-    /// The registry this client submits against (op lookup by name — the
-    /// wire front-end resolves frame op names through this).
-    pub fn registry(&self) -> &ModelRegistry {
+    /// The live registry this client submits against: op lookup by
+    /// (versioned) name for the wire front-end, and the online
+    /// load/unload surface for the model-fleet admin verbs.
+    pub fn registry(&self) -> &LiveRegistry {
         &self.registry
-    }
-
-    fn record_accept(&self, op: OpId) {
-        let s = &self.stats.ops[op.0];
-        s.submitted.fetch_add(1, Ordering::Relaxed);
-        s.queue_depth.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -252,14 +282,11 @@ impl Client {
 /// they exit once every [`Client`] clone is gone and the queues drain.
 pub struct Server {
     tx: SyncSender<Submission>,
-    registry: Arc<ModelRegistry>,
+    registry: Arc<LiveRegistry>,
     stats: Arc<ServerStats>,
     accepting: Arc<RwLock<bool>>,
     batcher: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
-    /// Per-op identity (name, kernel level, dims) in registration order,
-    /// captured at startup for stats snapshots.
-    op_meta: Arc<Vec<OpMeta>>,
 }
 
 /// A cheap handle onto a server's statistics block — what the net layer
@@ -268,24 +295,24 @@ pub struct Server {
 #[derive(Clone)]
 pub(crate) struct StatsHandle {
     stats: Arc<ServerStats>,
-    op_meta: Arc<Vec<OpMeta>>,
+    registry: Arc<LiveRegistry>,
 }
 
 impl StatsHandle {
     /// The serving layer's live metric samples.
     pub(crate) fn metrics(&self) -> MetricsSnapshot {
-        self.stats.metrics(&self.op_meta)
+        crate::stats::metrics(&self.registry, &self.stats)
     }
 
-    /// The slowest captured requests, op indices resolved to names —
-    /// what the `SlowLog` wire verb answers with.
+    /// The slowest captured requests, op indices resolved to versioned
+    /// display names — what the `SlowLog` wire verb answers with.
     pub(crate) fn slow_hits(&self, max: usize) -> Vec<SlowHit> {
         self.stats
             .sink
             .slow
             .slowest(max)
             .into_iter()
-            .map(|rec| SlowHit { op: self.op_name(rec.op), rec })
+            .map(|rec| SlowHit { op: self.registry.op_name(rec.op as usize), rec })
             .collect()
     }
 
@@ -293,31 +320,17 @@ impl StatsHandle {
     pub(crate) fn sink(&self) -> &biq_obs::RecordSink {
         &self.stats.sink
     }
-
-    fn op_name(&self, op: u32) -> String {
-        self.op_meta.get(op as usize).map(|m| m.name.clone()).unwrap_or_else(|| format!("op{op}"))
-    }
 }
 
 impl Server {
     /// Spawns the batcher and `config.workers` worker threads; every worker
-    /// warms a private executor for every registered op (at the batcher's
-    /// packed-width cap) before serving.
+    /// warms a private executor for every boot-time op (at the batcher's
+    /// packed-width cap) before serving. The boot registry becomes version
+    /// 1 of the boot model in the server's [`LiveRegistry`].
     pub fn start(registry: ModelRegistry, config: ServerConfig) -> Server {
-        let registry = Arc::new(registry);
-        let stats = Arc::new(ServerStats::with_ops(registry.len()));
+        let registry = Arc::new(LiveRegistry::from_builder(registry, config.mem_budget));
+        let stats = Arc::new(ServerStats::new());
         let accepting = Arc::new(RwLock::new(true));
-        let op_meta: Arc<Vec<OpMeta>> = Arc::new(
-            registry
-                .iter()
-                .map(|(_, o)| OpMeta {
-                    name: o.name().to_string(),
-                    kernel: o.op().plan().kernel.level(),
-                    m: o.op().output_size(),
-                    n: o.op().input_size(),
-                })
-                .collect(),
-        );
 
         let (tx, rx) = mpsc::sync_channel::<Submission>(config.queue_capacity.max(1));
         let (job_tx, job_rx) = mpsc::sync_channel::<BatchJob>(config.job_capacity.max(1));
@@ -339,17 +352,15 @@ impl Server {
             .collect();
 
         let batcher = {
-            let stats = Arc::clone(&stats);
-            let num_ops = registry.len();
             let window = config.batch_window;
             let max_cols = config.max_batch_cols.max(1);
             std::thread::Builder::new()
                 .name("biq-serve-batcher".to_string())
-                .spawn(move || batcher_loop(rx, job_tx, &stats, num_ops, window, max_cols))
+                .spawn(move || batcher_loop(rx, job_tx, window, max_cols))
                 .expect("spawn serve batcher")
         };
 
-        Server { tx, registry, stats, accepting, batcher: Some(batcher), workers, op_meta }
+        Server { tx, registry, stats, accepting, batcher: Some(batcher), workers }
     }
 
     /// A new submission handle.
@@ -357,30 +368,29 @@ impl Server {
         Client {
             tx: self.tx.clone(),
             registry: Arc::clone(&self.registry),
-            stats: Arc::clone(&self.stats),
             accepting: Arc::clone(&self.accepting),
         }
     }
 
-    /// The registry this server was started with.
-    pub fn registry(&self) -> &ModelRegistry {
+    /// The live registry this server serves from.
+    pub fn registry(&self) -> &LiveRegistry {
         &self.registry
     }
 
     /// Live statistics snapshot.
     pub fn stats(&self) -> StatsSnapshot {
-        StatsSnapshot::capture(&self.stats, &self.op_meta)
+        StatsSnapshot::capture(&self.registry, &self.stats)
     }
 
     /// Live metric samples ([`biq_obs`] form — what the net layer's
     /// `Stats` verb and the Prometheus renderer consume).
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.stats.metrics(&self.op_meta)
+        crate::stats::metrics(&self.registry, &self.stats)
     }
 
     /// A handle that can capture metrics after `self` moves elsewhere.
     pub(crate) fn stats_handle(&self) -> StatsHandle {
-        StatsHandle { stats: Arc::clone(&self.stats), op_meta: Arc::clone(&self.op_meta) }
+        StatsHandle { stats: Arc::clone(&self.stats), registry: Arc::clone(&self.registry) }
     }
 
     /// Graceful shutdown: stops accepting, serves everything already
@@ -399,21 +409,19 @@ impl Server {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
-        StatsSnapshot::capture(&self.stats, &self.op_meta)
+        StatsSnapshot::capture(&self.registry, &self.stats)
     }
 }
 
 fn batcher_loop(
     rx: Receiver<Submission>,
     job_tx: SyncSender<BatchJob>,
-    stats: &ServerStats,
-    num_ops: usize,
     window: Duration,
     max_cols: usize,
 ) {
-    let mut batcher = Batcher::new(num_ops, window, max_cols);
+    let mut batcher = Batcher::new(window, max_cols);
     let dispatch = |job: BatchJob| {
-        let s = &stats.ops[job.op.0];
+        let s = &job.stats;
         s.queue_depth.fetch_sub(job.requests.len(), Ordering::Relaxed);
         s.record_batch(job.cols);
         // Trace the batcher window as a span from the oldest request's
@@ -471,7 +479,7 @@ fn batcher_loop(
 }
 
 fn worker_loop(
-    registry: &ModelRegistry,
+    registry: &LiveRegistry,
     stats: &ServerStats,
     jobs: &Mutex<Receiver<BatchJob>>,
     max_cols: usize,
@@ -483,8 +491,14 @@ fn worker_loop(
         crate::affinity::pin_current_thread(cpu);
     }
     let mut exec = Executor::new();
-    for (_, reg) in registry.iter() {
-        exec.warm_batch(reg.op(), max_cols.max(reg.op().plan().batch_hint));
+    {
+        // Boot-time ops get provisioned arenas before the first request;
+        // models loaded online later warm lazily on their first batch.
+        let snap = registry.snapshot();
+        for (_, slot) in snap.live() {
+            let op = slot.op.as_ref().expect("live slot has an op");
+            exec.warm_batch(op, max_cols.max(op.plan().batch_hint));
+        }
     }
     let mut xbuf: Vec<f32> = Vec::new();
     let mut ybuf: Vec<f32> = Vec::new();
@@ -504,7 +518,7 @@ fn worker_loop(
         let batch_start = biq_obs::trace::tracing_enabled().then(biq_obs::trace::now_ns);
         {
             let _span = biq_obs::span!("serve.batch");
-            run_job(registry, stats, &mut exec, &mut xbuf, &mut ybuf, job);
+            run_job(stats, &mut exec, &mut xbuf, &mut ybuf, job);
         }
         // Publish this worker's kernel-phase delta since the last batch.
         let total = *exec.profile();
@@ -536,14 +550,16 @@ fn worker_loop(
 }
 
 fn run_job(
-    registry: &ModelRegistry,
     stats: &ServerStats,
     exec: &mut Executor,
     xbuf: &mut Vec<f32>,
     ybuf: &mut Vec<f32>,
     job: BatchJob,
 ) {
-    let op = registry.get(job.op).op();
+    // The job's own arc — NOT a registry lookup: the op may have been
+    // retired by a swap while this batch waited, and it must still run
+    // against the version that admitted it.
+    let op = &job.compiled;
     let (m, n, b) = (op.output_size(), op.input_size(), job.cols);
     if ybuf.len() < m * b {
         ybuf.resize(m * b, 0.0);
@@ -569,7 +585,7 @@ fn run_job(
     // hoisted clock read stamps the whole batch "done" — strictly fewer
     // reads than the per-request `elapsed()` this replaces — and feeds
     // both the latency histogram and each request's lifecycle record.
-    let op_stats = &stats.ops[job.op.0];
+    let op_stats = &job.stats;
     let done = Instant::now();
     let done_ns = biq_obs::trace::instant_ns(done);
     let dispatched_ns = biq_obs::trace::instant_ns(job.dispatched);
@@ -637,7 +653,7 @@ mod tests {
         let y = client.submit(id, x.clone()).unwrap().wait().unwrap();
         assert_eq!(y.shape(), (16, 1));
         let mut exec = Executor::new();
-        let y_ref = exec.run(server.registry().get(id).op(), &x);
+        let y_ref = exec.run(&server.registry().op(id).unwrap(), &x);
         assert_eq!(y.as_slice(), y_ref.as_slice());
         let snap = server.shutdown();
         assert_eq!(snap.ops[0].completed, 1);
@@ -656,7 +672,7 @@ mod tests {
         let x = MatrixRng::seed_from(9).gaussian_col(32, 1, 0.0, 1.0);
         let y = client.submit(id, x.clone()).unwrap().wait().unwrap();
         let mut exec = Executor::new();
-        let y_ref = exec.run(server.registry().get(id).op(), &x);
+        let y_ref = exec.run(&server.registry().op(id).unwrap(), &x);
         assert_eq!(y.as_slice(), y_ref.as_slice());
         let snap = server.shutdown();
         assert_eq!(snap.ops[0].completed, 1);
@@ -714,7 +730,7 @@ mod tests {
         }
         let hits = handle.slow_hits(8);
         assert_eq!(hits.len(), 3);
-        assert_eq!(hits[0].op, "op", "slow hits resolve the op name");
+        assert_eq!(hits[0].op, "op@1", "slow hits resolve the versioned display name");
         assert!(hits[0].rec.total_ns >= hits[2].rec.total_ns, "slowest first");
         server.shutdown();
     }
@@ -729,5 +745,71 @@ mod tests {
             client.submit(id, ColMatrix::zeros(16, 1)),
             Err(ServeError::ShuttingDown)
         ));
+    }
+
+    #[test]
+    fn swap_mid_flight_answers_with_the_admitting_version() {
+        // Admit against v1, swap to v2 while the request sits in the
+        // bucket (long window), then flush by shutdown: the reply must be
+        // v1's bits, and v1's payload must have drained by then.
+        let mut g = MatrixRng::seed_from(77);
+        let w1 = g.gaussian(8, 16, 0.0, 1.0);
+        let l1 = biq_nn::Linear::quantized(
+            &w1,
+            2,
+            QuantMethod::Greedy,
+            biqgemm_core::BiqConfig::default(),
+            None,
+        );
+        let a1 =
+            biq_artifact::Artifact::from_bytes(biq_nn::model::CompiledModel::Linear(l1).snapshot())
+                .unwrap();
+        let w2 = g.gaussian(8, 16, 0.0, 1.0);
+        let l2 = biq_nn::Linear::quantized(
+            &w2,
+            2,
+            QuantMethod::Greedy,
+            biqgemm_core::BiqConfig::default(),
+            None,
+        );
+        let a2 =
+            biq_artifact::Artifact::from_bytes(biq_nn::model::CompiledModel::Linear(l2).snapshot())
+                .unwrap();
+
+        let mut reg = ModelRegistry::new();
+        reg.set_model_name("m");
+        reg.load_artifact(&a1).unwrap();
+        let config = ServerConfig {
+            batch_window: Duration::from_secs(30),
+            max_batch_cols: 64,
+            ..ServerConfig::default()
+        };
+        let server = Server::start(reg, config);
+        let client = server.client();
+        let v1 = server.registry().lookup("linear").unwrap();
+        let v1_op = server.registry().op(v1).unwrap();
+        let x = MatrixRng::seed_from(78).gaussian_col(16, 1, 0.0, 1.0);
+        let mut exec = Executor::new();
+        let expect_v1 = exec.run(&v1_op, &x);
+        drop(v1_op);
+
+        let ticket = client.submit(v1, x.clone()).unwrap();
+        // Swap while the request waits in the bucket.
+        server.registry().load_model("m", &a2).unwrap();
+        let v2 = server.registry().lookup("linear").unwrap();
+        assert_ne!(v1, v2);
+        assert!(server.registry().op(v1).is_none(), "v1 retired");
+        // New admissions against v1's id are refused now.
+        assert!(matches!(client.submit(v1, x.clone()), Err(ServeError::UnknownOp)));
+        // v2 answers with v2's bits while v1's request still waits.
+        let expect_v2 = exec.run(&server.registry().op(v2).unwrap(), &x);
+        let ticket2 = client.submit(v2, x.clone()).unwrap();
+        // Shutdown flushes both buckets and drains every accepted request.
+        let snap = server.shutdown();
+        let y1 = ticket.wait().unwrap();
+        let y2 = ticket2.wait().unwrap();
+        assert_eq!(y1.as_slice(), expect_v1.as_slice(), "v1 request got v1 bits");
+        assert_eq!(y2.as_slice(), expect_v2.as_slice(), "v2 request got v2 bits");
+        assert_eq!(snap.completed(), 2, "zero dropped requests across the swap");
     }
 }

@@ -2,27 +2,37 @@
 //! request latency quantiles per op, plus the merged kernel
 //! [`PhaseProfile`] across every worker.
 //!
+//! Per-op counters live inside the [`crate::registry::LiveRegistry`]'s
+//! slots (an op's counters follow it through load/swap/retire and survive
+//! retirement as retention stats); this module owns the counter type, the
+//! sample rendering, and the server-wide blocks (kernel profile, record
+//! sink).
+//!
 //! Latency and batch-size distributions are [`biq_obs::Pow2Histogram`]s —
 //! recording from the hot path is two relaxed `fetch_add`s, and quantiles
 //! are answered from bucket counts as the geometric midpoint of the
 //! holding bucket (within √2 of exact, see `biq_obs::metrics`).
 //!
 //! Two read paths share these atomics: `StatsSnapshot::capture` (the
-//! daemon's JSON report, `--stats-every` lines) and
-//! `ServerStats::metrics` (the sample list behind the `BIQP` `Stats`
-//! admin verb and the Prometheus renderer). Neither touches a worker.
+//! daemon's JSON report, `--stats-every` lines) and the sample list behind
+//! the `BIQP` `Stats` admin verb / Prometheus renderer. Neither touches a
+//! worker. Per-op samples are labeled with the **versioned display name**
+//! (`op="linear@1"`), so a swap shows up as a new series instead of
+//! silently splicing two versions' histograms together.
 
+use crate::registry::{LiveRegistry, SlotView};
 use biq_obs::{MetricValue, MetricsSnapshot, Pow2Histogram, RecordSink, Sample};
 use biqgemm_core::{KernelLevel, PhaseProfile};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
-/// Per-op identity captured at server startup: everything a snapshot
-/// reports that isn't a live counter.
+/// Per-op identity captured at registration: everything a snapshot
+/// reports that isn't a live counter. `name` is the versioned display
+/// name (`linear@1`).
 #[derive(Clone, Debug)]
 pub struct OpMeta {
-    /// Registration name.
+    /// Versioned display name.
     pub name: String,
     /// The kernel level the op's plan pinned.
     pub kernel: KernelLevel,
@@ -57,10 +67,10 @@ impl OpStats {
     }
 }
 
-/// The shared mutable statistics block (one per server).
+/// The shared mutable statistics block (one per server): everything that
+/// is server-wide rather than per-op.
 #[derive(Debug, Default)]
 pub(crate) struct ServerStats {
-    pub(crate) ops: Vec<OpStats>,
     /// Kernel phase profile merged from every worker executor.
     pub(crate) profile: Mutex<PhaseProfile>,
     /// Per-request lifecycle records: recent-traffic ring + slowest-N
@@ -76,66 +86,53 @@ fn counter(name: &str, op: &str, v: u64) -> Sample {
     }
 }
 
+/// Appends one slot's serving samples — per-op counters/gauges, batch and
+/// latency histograms, and an identity `biq_op_info` gauge carrying the
+/// pinned kernel level, dims, and owning model/version as labels.
+pub(crate) fn push_op_samples(samples: &mut Vec<Sample>, slot: &SlotView) {
+    let s = &slot.stats;
+    let m = &slot.meta;
+    let op = m.name.as_str();
+    samples.push(counter("biq_serve_submitted_total", op, s.submitted.load(Ordering::Relaxed)));
+    samples.push(counter("biq_serve_rejected_total", op, s.rejected.load(Ordering::Relaxed)));
+    samples.push(counter("biq_serve_completed_total", op, s.completed.load(Ordering::Relaxed)));
+    samples.push(Sample {
+        name: "biq_serve_queue_depth".to_string(),
+        labels: vec![("op".to_string(), op.to_string())],
+        value: MetricValue::Gauge(s.queue_depth.load(Ordering::Relaxed) as i64),
+    });
+    samples.push(counter("biq_serve_batches_total", op, s.batches.load(Ordering::Relaxed)));
+    samples.push(Sample {
+        name: "biq_serve_batch_cols".to_string(),
+        labels: vec![("op".to_string(), op.to_string())],
+        value: MetricValue::Histogram(s.batch_cols.snapshot()),
+    });
+    samples.push(Sample {
+        name: "biq_serve_latency_us".to_string(),
+        labels: vec![("op".to_string(), op.to_string())],
+        value: MetricValue::Histogram(s.latency_us.snapshot()),
+    });
+    samples.push(Sample {
+        name: "biq_op_info".to_string(),
+        labels: vec![
+            ("op".to_string(), op.to_string()),
+            ("kernel".to_string(), m.kernel.name().to_string()),
+            ("m".to_string(), m.m.to_string()),
+            ("n".to_string(), m.n.to_string()),
+            ("model".to_string(), slot.model_name.to_string()),
+            ("version".to_string(), slot.version.to_string()),
+        ],
+        value: MetricValue::Gauge(1),
+    });
+}
+
 impl ServerStats {
-    pub(crate) fn with_ops(n: usize) -> Self {
-        Self {
-            ops: (0..n).map(|_| OpStats::default()).collect(),
-            profile: Mutex::default(),
-            sink: RecordSink::default(),
-        }
+    pub(crate) fn new() -> Self {
+        Self::default()
     }
 
-    /// The serving layer's sample list — per-op counters/gauges, batch and
-    /// latency histograms, an identity `biq_op_info` gauge carrying the
-    /// pinned kernel level and dims as labels, and the merged kernel phase
-    /// profile as nanosecond counters. Reads only atomics (plus the
-    /// profile mutex no worker holds across a batch) — never a worker.
-    pub(crate) fn metrics(&self, meta: &[OpMeta]) -> MetricsSnapshot {
-        let mut samples = Vec::with_capacity(self.ops.len() * 8 + 3);
-        for (s, m) in self.ops.iter().zip(meta) {
-            let op = m.name.as_str();
-            samples.push(counter(
-                "biq_serve_submitted_total",
-                op,
-                s.submitted.load(Ordering::Relaxed),
-            ));
-            samples.push(counter(
-                "biq_serve_rejected_total",
-                op,
-                s.rejected.load(Ordering::Relaxed),
-            ));
-            samples.push(counter(
-                "biq_serve_completed_total",
-                op,
-                s.completed.load(Ordering::Relaxed),
-            ));
-            samples.push(Sample {
-                name: "biq_serve_queue_depth".to_string(),
-                labels: vec![("op".to_string(), op.to_string())],
-                value: MetricValue::Gauge(s.queue_depth.load(Ordering::Relaxed) as i64),
-            });
-            samples.push(counter("biq_serve_batches_total", op, s.batches.load(Ordering::Relaxed)));
-            samples.push(Sample {
-                name: "biq_serve_batch_cols".to_string(),
-                labels: vec![("op".to_string(), op.to_string())],
-                value: MetricValue::Histogram(s.batch_cols.snapshot()),
-            });
-            samples.push(Sample {
-                name: "biq_serve_latency_us".to_string(),
-                labels: vec![("op".to_string(), op.to_string())],
-                value: MetricValue::Histogram(s.latency_us.snapshot()),
-            });
-            samples.push(Sample {
-                name: "biq_op_info".to_string(),
-                labels: vec![
-                    ("op".to_string(), op.to_string()),
-                    ("kernel".to_string(), m.kernel.name().to_string()),
-                    ("m".to_string(), m.m.to_string()),
-                    ("n".to_string(), m.n.to_string()),
-                ],
-                value: MetricValue::Gauge(1),
-            });
-        }
+    /// Appends the merged kernel phase profile as nanosecond counters.
+    pub(crate) fn kernel_samples(&self, samples: &mut Vec<Sample>) {
         let profile = *self.profile.lock().expect("stats profile poisoned");
         for (phase, d) in
             [("build", profile.build), ("query", profile.query), ("replace", profile.replace)]
@@ -146,14 +143,23 @@ impl ServerStats {
                 value: MetricValue::Counter(d.as_nanos() as u64),
             });
         }
-        MetricsSnapshot { samples }
     }
+}
+
+/// The full serving sample list: per-op slots (live and retired), fleet
+/// gauges, and the kernel profile. Reads only atomics plus two brief
+/// mutexes — never a worker.
+pub(crate) fn metrics(registry: &LiveRegistry, stats: &ServerStats) -> MetricsSnapshot {
+    let mut samples = Vec::new();
+    registry.metric_samples(&mut samples);
+    stats.kernel_samples(&mut samples);
+    MetricsSnapshot { samples }
 }
 
 /// Point-in-time statistics for one op.
 #[derive(Clone, Debug)]
 pub struct OpStatsSnapshot {
-    /// Registration name.
+    /// Versioned display name (`linear@1`).
     pub name: String,
     /// The kernel level the op's plan pinned — what every batch of this op
     /// executes at on this host.
@@ -184,31 +190,35 @@ pub struct OpStatsSnapshot {
 /// Point-in-time statistics for a whole server.
 #[derive(Clone, Debug)]
 pub struct StatsSnapshot {
-    /// Per-op statistics, in registration order.
+    /// Per-op statistics, in registration order — retired versions keep
+    /// their rows, so totals stay monotone across swaps.
     pub ops: Vec<OpStatsSnapshot>,
     /// Kernel build/query/replace time merged across every worker.
     pub profile: PhaseProfile,
 }
 
 impl StatsSnapshot {
-    pub(crate) fn capture(stats: &ServerStats, meta: &[OpMeta]) -> Self {
-        let ops = stats
-            .ops
+    pub(crate) fn capture(registry: &LiveRegistry, stats: &ServerStats) -> Self {
+        let snap = registry.snapshot();
+        let ops = snap
+            .slots
             .iter()
-            .zip(meta)
-            .map(|(s, meta)| OpStatsSnapshot {
-                name: meta.name.clone(),
-                kernel: meta.kernel,
-                m: meta.m,
-                n: meta.n,
-                submitted: s.submitted.load(Ordering::Relaxed),
-                rejected: s.rejected.load(Ordering::Relaxed),
-                completed: s.completed.load(Ordering::Relaxed),
-                queue_depth: s.queue_depth.load(Ordering::Relaxed),
-                batches: s.batches.load(Ordering::Relaxed),
-                mean_batch_cols: s.batch_cols.mean(),
-                latency_p50: Duration::from_micros(s.latency_us.quantile(0.50)),
-                latency_p99: Duration::from_micros(s.latency_us.quantile(0.99)),
+            .map(|slot| {
+                let s = &slot.stats;
+                OpStatsSnapshot {
+                    name: slot.meta.name.clone(),
+                    kernel: slot.meta.kernel,
+                    m: slot.meta.m,
+                    n: slot.meta.n,
+                    submitted: s.submitted.load(Ordering::Relaxed),
+                    rejected: s.rejected.load(Ordering::Relaxed),
+                    completed: s.completed.load(Ordering::Relaxed),
+                    queue_depth: s.queue_depth.load(Ordering::Relaxed),
+                    batches: s.batches.load(Ordering::Relaxed),
+                    mean_batch_cols: s.batch_cols.mean(),
+                    latency_p50: Duration::from_micros(s.latency_us.quantile(0.50)),
+                    latency_p99: Duration::from_micros(s.latency_us.quantile(0.99)),
+                }
             })
             .collect();
         Self { ops, profile: *stats.profile.lock().expect("stats profile poisoned") }
@@ -223,24 +233,38 @@ impl StatsSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::registry::ModelRegistry;
+    use biq_matrix::MatrixRng;
+    use biq_runtime::{BackendSpec, PlanBuilder, QuantMethod, WeightSource};
 
-    fn test_meta() -> Vec<OpMeta> {
-        vec![
-            OpMeta { name: "a".into(), kernel: KernelLevel::Scalar, m: 4, n: 8 },
-            OpMeta { name: "b".into(), kernel: biqgemm_core::simd::host_best(), m: 16, n: 32 },
-        ]
+    fn live_two_ops() -> (LiveRegistry, crate::registry::OpId, crate::registry::OpId) {
+        let mut g = MatrixRng::seed_from(4);
+        let mut reg = ModelRegistry::new();
+        reg.set_model_name("m");
+        let signs_a = g.signs(4, 8);
+        let plan_a = PlanBuilder::new(4, 8)
+            .backend(BackendSpec::Biq { bits: 1, method: QuantMethod::Greedy })
+            .build();
+        let a = reg.register("a", &plan_a, WeightSource::Signs(&signs_a));
+        let signs_b = g.signs(16, 32);
+        let plan_b = PlanBuilder::new(16, 32)
+            .backend(BackendSpec::Biq { bits: 1, method: QuantMethod::Greedy })
+            .build();
+        let b = reg.register("b", &plan_b, WeightSource::Signs(&signs_b));
+        (LiveRegistry::from_builder(reg, None), a, b)
     }
 
     #[test]
     fn snapshot_captures_counters() {
-        let stats = ServerStats::with_ops(2);
-        stats.ops[1].submitted.fetch_add(5, Ordering::Relaxed);
-        stats.ops[1].record_batch(4);
-        stats.ops[1].record_latency(Duration::from_micros(100));
-        let snap = StatsSnapshot::capture(&stats, &test_meta());
+        let (live, _a, b) = live_two_ops();
+        let stats = ServerStats::new();
+        let slot_b = live.snapshot().slot(b).unwrap().clone();
+        slot_b.stats.submitted.fetch_add(5, Ordering::Relaxed);
+        slot_b.stats.record_batch(4);
+        slot_b.stats.record_latency(Duration::from_micros(100));
+        let snap = StatsSnapshot::capture(&live, &stats);
         assert_eq!(snap.ops[0].submitted, 0);
-        assert_eq!(snap.ops[0].kernel, KernelLevel::Scalar);
-        assert_eq!(snap.ops[1].kernel, biqgemm_core::simd::host_best());
+        assert_eq!(snap.ops[0].name, "a@1", "versioned display name");
         assert_eq!((snap.ops[1].m, snap.ops[1].n), (16, 32));
         assert_eq!(snap.ops[1].submitted, 5);
         assert_eq!(snap.ops[1].batches, 1);
@@ -254,27 +278,32 @@ mod tests {
 
     #[test]
     fn metrics_mirror_the_snapshot_and_carry_identity() {
-        let stats = ServerStats::with_ops(2);
-        stats.ops[0].submitted.fetch_add(3, Ordering::Relaxed);
-        stats.ops[0].record_latency(Duration::from_micros(50));
-        stats.ops[1].rejected.fetch_add(2, Ordering::Relaxed);
+        let (live, a, b) = live_two_ops();
+        let stats = ServerStats::new();
+        let snap = live.snapshot();
+        let (slot_a, slot_b) = (snap.slot(a).unwrap(), snap.slot(b).unwrap());
+        slot_a.stats.submitted.fetch_add(3, Ordering::Relaxed);
+        slot_a.stats.record_latency(Duration::from_micros(50));
+        slot_b.stats.rejected.fetch_add(2, Ordering::Relaxed);
         stats.profile.lock().unwrap().build = Duration::from_nanos(1234);
-        let meta = test_meta();
-        let metrics = stats.metrics(&meta);
-        assert_eq!(metrics.counter_total("biq_serve_submitted_total"), 3);
-        assert_eq!(metrics.counter_total("biq_serve_rejected_total"), 2);
-        assert_eq!(metrics.counter_total("biq_serve_completed_total"), 1);
-        assert_eq!(metrics.counter_total("biq_kernel_build_ns_total"), 1234);
-        let info = metrics.find("biq_op_info", "op", "b").expect("op b identity");
-        assert_eq!(info.label("kernel"), Some(biqgemm_core::simd::host_best().name()));
+        let m = metrics(&live, &stats);
+        assert_eq!(m.counter_total("biq_serve_submitted_total"), 3);
+        assert_eq!(m.counter_total("biq_serve_rejected_total"), 2);
+        assert_eq!(m.counter_total("biq_serve_completed_total"), 1);
+        assert_eq!(m.counter_total("biq_kernel_build_ns_total"), 1234);
+        let info = m.find("biq_op_info", "op", "b@1").expect("op b identity");
         assert_eq!(info.label("m"), Some("16"));
         assert_eq!(info.label("n"), Some("32"));
+        assert_eq!(info.label("model"), Some("m"));
+        assert_eq!(info.label("version"), Some("1"));
+        // Fleet gauges ride along with the serve samples.
+        assert!(m.find("biq_model_memory_bytes", "model", "m").is_some());
         // The sample list renders to parseable Prometheus text.
-        let text = metrics.render_prometheus();
-        assert!(text.contains("biq_serve_completed_total{op=\"a\"} 1\n"), "{text}");
+        let text = m.render_prometheus();
+        assert!(text.contains("biq_serve_completed_total{op=\"a@1\"} 1\n"), "{text}");
         assert!(text.contains("# TYPE biq_serve_latency_us histogram\n"), "{text}");
         // Counter totals agree between the two read paths.
-        let snap = StatsSnapshot::capture(&stats, &meta);
-        assert_eq!(snap.completed(), metrics.counter_total("biq_serve_completed_total"));
+        let snap = StatsSnapshot::capture(&live, &stats);
+        assert_eq!(snap.completed(), m.counter_total("biq_serve_completed_total"));
     }
 }

@@ -36,7 +36,7 @@ fn arb_message() -> impl Strategy<Value = Message> {
         cols,
         data: vec![0.25; rows as usize * cols as usize],
     });
-    let reject = (any::<u64>(), 0usize..6, 0usize..NAMES.len()).prop_map(|(req_id, code, msg)| {
+    let reject = (any::<u64>(), 0usize..7, 0usize..NAMES.len()).prop_map(|(req_id, code, msg)| {
         let codes = [
             RejectCode::Busy,
             RejectCode::ShuttingDown,
@@ -44,6 +44,7 @@ fn arb_message() -> impl Strategy<Value = Message> {
             RejectCode::ShapeMismatch,
             RejectCode::Canceled,
             RejectCode::Malformed,
+            RejectCode::Refused,
         ];
         Message::Reject { req_id, code: codes[code], msg: NAMES[msg].to_string() }
     });
@@ -63,6 +64,49 @@ fn arb_message() -> impl Strategy<Value = Message> {
     let slow_log = any::<u16>().prop_map(|max| Message::SlowLog { max });
     let slow_log_reply =
         proptest::collection::vec(arb_slow_hit(), 0..4).prop_map(Message::SlowLogReply);
+    let load_model = (0usize..NAMES.len(), 0usize..NAMES.len()).prop_map(|(name, path)| {
+        Message::LoadModel { name: NAMES[name].to_string(), path: format!("/tmp/{}", NAMES[path]) }
+    });
+    let model_loaded = (
+        0usize..NAMES.len(),
+        1u32..9,
+        any::<u64>(),
+        1u32..9,
+        proptest::collection::vec((0usize..NAMES.len(), 1u32..9), 0..3),
+    )
+        .prop_map(|(name, version, mem_bytes, ops, evicted)| Message::ModelLoaded {
+            name: NAMES[name].to_string(),
+            version,
+            mem_bytes,
+            ops,
+            evicted: evicted.into_iter().map(|(n, v)| format!("{}@{v}", NAMES[n])).collect(),
+        });
+    let unload_model = (0usize..NAMES.len(), 0u32..9).prop_map(|(name, version)| {
+        Message::UnloadModel { name: NAMES[name].to_string(), version }
+    });
+    let model_unloaded =
+        (0usize..NAMES.len(), 1u32..9, 1u32..9).prop_map(|(name, version, ops_retired)| {
+            Message::ModelUnloaded { name: NAMES[name].to_string(), version, ops_retired }
+        });
+    let model_list = proptest::collection::vec(
+        (
+            0usize..NAMES.len(),
+            1u32..9,
+            any::<bool>(),
+            (any::<u64>(), 1u32..9, 0u32..5, any::<u64>()),
+        )
+            .prop_map(|(name, version, live, rest)| wire::ModelInfo {
+                name: NAMES[name].to_string(),
+                version,
+                live,
+                mem_bytes: rest.0,
+                ops: rest.1,
+                inflight: rest.2,
+                completed: rest.3,
+            }),
+        0..4,
+    )
+    .prop_map(Message::ModelList);
     prop_oneof![
         request,
         reply,
@@ -75,6 +119,12 @@ fn arb_message() -> impl Strategy<Value = Message> {
         history_reply,
         slow_log,
         slow_log_reply,
+        load_model,
+        model_loaded,
+        unload_model,
+        model_unloaded,
+        Just(Message::ListModels),
+        model_list,
     ]
 }
 
@@ -338,6 +388,32 @@ fn start_one_op_server() -> (NetServer, ColMatrix, Vec<f32>) {
     reg.register_op("op", std::sync::Arc::new(op));
     let server = Server::start(reg, ServerConfig::default());
     (NetServer::bind("127.0.0.1:0", server).unwrap(), x, y_ref)
+}
+
+#[test]
+fn refused_admin_verbs_leave_the_connection_serving() {
+    // Unlike protocol violations, a refused model verb answers with
+    // Reject(code = Refused) and keeps the connection open: an operator
+    // typo must not drop the admin session (or any in-flight traffic).
+    let (net, x, y_ref) = start_one_op_server();
+    let mut client = NetClient::connect(net.local_addr()).unwrap();
+    match client.load_model("ghost", "/nonexistent/path.biqm") {
+        Err(biq_serve::net::NetError::Rejected { code: RejectCode::Refused, req_id: 0, msg }) => {
+            assert!(msg.contains("/nonexistent/path.biqm"), "{msg}");
+        }
+        other => panic!("expected a refused reject, got {other:?}"),
+    }
+    match client.unload_model("ghost", 0) {
+        Err(biq_serve::net::NetError::Rejected { code: RejectCode::Refused, .. }) => {}
+        other => panic!("expected a refused reject, got {other:?}"),
+    }
+    // The same connection still lists models and serves requests.
+    let models = client.list_models().unwrap();
+    assert_eq!(models.len(), 1, "the boot model is the only one");
+    assert!(models[0].live);
+    let y = client.request("op", &x).unwrap();
+    assert_eq!(y.as_slice(), y_ref.as_slice());
+    net.shutdown();
 }
 
 #[test]

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Offline relative-link check over the repository's markdown docs.
+#
+# Every `[text](target)` whose target is a relative path must resolve to
+# an existing file or directory, relative to the markdown file that
+# contains it. External schemes (http/https/mailto) and pure in-page
+# anchors (#…) are skipped — this runs in offline CI, so reachability of
+# the outside world is explicitly not checked. Targets may carry a
+# #fragment; only the path part is resolved.
+#
+# Usage: scripts/check_doc_links.sh [repo-root]   (default: script's repo)
+set -euo pipefail
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+cd "$root"
+
+# The documentation surface under contract: root README, docs/, every
+# crate README, and the process files.
+mapfile -t files < <(
+    ls README.md ROADMAP.md PAPER.md CHANGES.md 2>/dev/null
+    ls docs/*.md 2>/dev/null
+    ls crates/*/README.md crates/compat/README.md 2>/dev/null
+)
+
+fail=0
+checked=0
+for f in "${files[@]}"; do
+    dir=$(dirname "$f")
+    # Inline links only — `[text](target)` — one per line after the grep
+    # split; reference-style links are not used in this repo.
+    while IFS= read -r target; do
+        case "$target" in
+        http://* | https://* | mailto:* | '#'*) continue ;;
+        esac
+        path="${target%%#*}"           # drop any #fragment
+        [ -n "$path" ] || continue
+        checked=$((checked + 1))
+        if [ ! -e "$dir/$path" ]; then
+            echo "BROKEN  $f -> $target" >&2
+            fail=1
+        fi
+    done < <(grep -oE '\]\([^)]+\)' "$f" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "doc link check FAILED" >&2
+    exit 1
+fi
+echo "doc link check OK (${#files[@]} files, $checked relative links)"
